@@ -1,0 +1,28 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables or figures and saves
+the rendered rows under ``benchmarks/results/`` so the output survives
+pytest's capture.  Record counts are sized for laptop runtimes; export
+``REPRO_BENCH_RECORDS`` to scale every benchmark up or down (1.0 = the
+defaults below).
+"""
+
+import os
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+RESULTS_DIR.mkdir(exist_ok=True)
+
+#: Global scale knob for benchmark trace lengths.
+SCALE = float(os.environ.get("REPRO_BENCH_RECORDS", "1.0"))
+
+
+def records(n: int) -> int:
+    """Apply the global scale to a benchmark's default record count."""
+    return max(20_000, int(n * SCALE))
+
+
+def save_report(name: str, text: str) -> str:
+    """Persist a figure's rendered rows; returns the text for printing."""
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n")
+    return text

@@ -1,0 +1,30 @@
+"""Ablation bench: prefetch degree vs metadata-management polish.
+
+Reproduces the Section 1 observation that aggressive prefetching (degree
+1 -> 4) is where the hardware temporal prefetcher's gain comes from,
+dwarfing replacement-policy refinements (compare the ablation in
+``test_ablation_metadata_replacement.py``, whose policies sit within a
+few percent of each other).
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import ablation_degree
+
+N = records(100_000)
+
+
+def test_degree_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablation_degree.sweep(N), rounds=1, iterations=1
+    )
+    print(save_report("ablation_degree", ablation_degree.render(results)))
+    gm = ablation_degree.geomean_by_degree(results, "speedup")
+    # Aggressiveness is the big lever: degree 4 well above degree 1.
+    assert gm[4] > gm[1] + 0.02
+    assert gm[2] > gm[1]
+    # Traffic grows monotonically with degree (the cost of aggression).
+    tr = ablation_degree.geomean_by_degree(results, "traffic")
+    assert tr[8] >= tr[4] >= tr[2] >= tr[1]
+    # Returns flatten: the 4->8 step is smaller than the 1->4 step.
+    assert gm[8] - gm[4] < gm[4] - gm[1]

@@ -1,0 +1,41 @@
+"""Ablation: on-chip vs DRAM-resident metadata (Sections 1 and 2.1).
+
+The paper's motivation for on-chip metadata tables: early temporal
+prefetchers (STMS HPCA'09, Domino HPCA'18) stored correlations in DRAM and
+"fetching metadata from DRAM consumes a substantial amount of memory
+bandwidth that could otherwise be used for demand memory accesses".  This
+bench runs both generations side by side and checks the motivating shape:
+
+- the off-chip schemes' DRAM traffic is far above the on-chip schemes';
+- most of that traffic is metadata movement (on-chip schemes: none);
+- Prophet beats both off-chip schemes on speedup.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import ablation_offchip
+
+N = records(100_000)
+
+
+def test_offchip_metadata_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablation_offchip.run(N), rounds=1, iterations=1
+    )
+    print(save_report("ablation_offchip_metadata", ablation_offchip.render(results)))
+
+    traffic = {s: results.geomean_metric(s, "traffic") for s in results.schemes}
+    assert traffic["stms"] > traffic["triangel"]
+    assert traffic["domino"] > traffic["triangel"]
+    assert traffic["stms"] > traffic["prophet"]
+    # MISB's on-chip index cache lands it between the generations.
+    assert traffic["triangel"] < traffic["misb"] < traffic["stms"]
+
+    share_stms = ablation_offchip.metadata_traffic_share(results, "stms")
+    share_triangel = ablation_offchip.metadata_traffic_share(results, "triangel")
+    assert share_stms > 0.3
+    assert share_triangel == 0.0
+
+    speedups = {s: results.geomean_speedup(s) for s in results.schemes}
+    assert speedups["prophet"] > speedups["stms"]
+    assert speedups["prophet"] > speedups["domino"]

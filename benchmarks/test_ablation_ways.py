@@ -1,0 +1,30 @@
+"""Ablation bench: fixed metadata-table sizes (Section 2.1.3's claim).
+
+"Incorrect resizing can significantly degrade performance": no single
+fixed table size is best for every workload, and the per-workload oracle
+(what Prophet's profile-derived CSR hint approximates) beats every fixed
+choice.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import ablation_ways
+
+N = records(100_000)
+
+
+def test_ways_ablation(benchmark):
+    results = benchmark.pedantic(
+        lambda: ablation_ways.sweep(N), rounds=1, iterations=1
+    )
+    print(save_report("ablation_ways", ablation_ways.render(results)))
+    gm = ablation_ways.geomean_by_ways(results)
+    best = ablation_ways.best_ways(results)
+    oracle = ablation_ways.oracle_geomean(results)
+    # A metadata table earns real speedup at some size.
+    assert max(gm.values()) > 1.02
+    # The per-workload oracle beats (or ties) every fixed choice — the
+    # headroom Prophet's per-application resizing hint captures.
+    assert oracle >= max(gm.values())
+    # Workloads genuinely disagree about the best size.
+    assert len(set(best.values())) > 1

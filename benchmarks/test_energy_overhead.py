@@ -1,0 +1,20 @@
+"""Benchmark: Section 5.11 energy overhead (Prophet vs Triangel).
+
+Paper: ~1.6 % extra memory-hierarchy energy for a 14 % speedup.  Shape
+check: the mean overhead is small (single-digit percent), i.e. Prophet's
+extra structures and traffic do not blow up the energy budget.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import energy
+
+N = records(100_000)
+
+
+def test_energy_overhead(benchmark):
+    results = benchmark.pedantic(
+        lambda: energy.run(N), rounds=1, iterations=1
+    )
+    print(save_report("energy_overhead", energy.report(N)))
+    assert -0.05 < results.mean_overhead < 0.15

@@ -1,0 +1,26 @@
+"""Benchmark: regenerate Fig. 1 (metadata access pattern, omnetpp).
+
+Shape checks: useful and useless metadata accesses interleave (both dots
+present in volume), genuine first-accesses-with-pattern exist, and
+Triangel's PatternConf spends real time below its threshold, rejecting
+some of those useful insertions.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig01_pattern
+
+N = records(120_000)
+
+
+def test_fig01_metadata_pattern(benchmark):
+    analysis = benchmark.pedantic(
+        lambda: fig01_pattern.analyze_pattern(N), rounds=1, iterations=1
+    )
+    print(save_report("fig01_metadata_pattern", fig01_pattern.report(N)))
+    counts = analysis.counts
+    assert counts.get("blue_dot", 0) > 100
+    assert counts.get("red_dot", 0) > 100
+    assert counts.get("blue_star", 0) > 0
+    assert analysis.time_below_threshold > 0.0
+    assert analysis.rejected_useful_insertions > 0

@@ -1,0 +1,22 @@
+"""Benchmark: regenerate Fig. 6 (per-PC accuracy levels, omnetpp).
+
+Shape check: active PCs stratify into at least two distinct accuracy
+levels — the property that makes 3-bit per-PC hints sufficient.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig06_accuracy_levels
+
+N = records(120_000)
+
+
+def test_fig06_accuracy_levels(benchmark):
+    levels = benchmark.pedantic(
+        lambda: fig06_accuracy_levels.measure_levels(N), rounds=1, iterations=1
+    )
+    print(save_report("fig06_accuracy_levels", fig06_accuracy_levels.report(N)))
+    assert len(levels.per_pc) >= 3
+    assert levels.stratified
+    accs = sorted(levels.per_pc.values())
+    assert accs[-1] - accs[0] > 0.3  # levels are far apart

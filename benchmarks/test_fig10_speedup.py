@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 10 (IPC speedup, SPEC workloads).
+
+Paper's rows (geomean): Prophet +34.58 %, Triangel +20.35 %, RPG2 +0.1 %
+over the no-temporal-prefetcher baseline.  The assertions check the
+*shape*: Prophet > Triangel > RPG2, RPG2 ~ 1.0.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig10_speedup
+
+N = records(200_000)
+
+
+def test_fig10_speedup(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig10_speedup.run(N), rounds=1, iterations=1
+    )
+    print(save_report("fig10_speedup", results.table("speedup", "Fig. 10")))
+    prophet = results.geomean_speedup("prophet")
+    triangel = results.geomean_speedup("triangel")
+    rpg2 = results.geomean_speedup("rpg2")
+    assert prophet > triangel > rpg2
+    assert prophet > 1.15
+    assert abs(rpg2 - 1.0) < 0.05

@@ -1,0 +1,24 @@
+"""Benchmark: regenerate Fig. 11 (normalized DRAM traffic).
+
+Paper: Prophet +18.67 %, Triangel +10.33 %, RPG2 +0.07 %.  Shape checks:
+Prophet costs more traffic than Triangel but stays within ~1.4x baseline;
+RPG2 is traffic-neutral on SPEC.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig11_traffic
+
+N = records(200_000)
+
+
+def test_fig11_traffic(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig11_traffic.run(N), rounds=1, iterations=1
+    )
+    print(save_report("fig11_traffic", results.table("traffic", "Fig. 11")))
+    prophet = results.geomean_metric("prophet", "traffic")
+    triangel = results.geomean_metric("triangel", "traffic")
+    rpg2 = results.geomean_metric("rpg2", "traffic")
+    assert 1.0 <= triangel <= prophet < 1.45
+    assert abs(rpg2 - 1.0) < 0.05

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Fig. 13 (learning across gcc inputs).
+
+Shape checks: the fully learned binary beats both the Disable state and
+the first-profile-only state (geomean over all nine inputs), and learning
+closes most of the gap toward the per-input Direct ideal.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig13_learning_gcc
+
+N = records(100_000)
+
+
+def test_fig13_learning_gcc(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig13_learning_gcc.run(N), rounds=1, iterations=1
+    )
+    print(save_report("fig13_learning_gcc", results.table("Fig. 13")))
+    disable = results.geomean_of("Disable")
+    first = results.geomean_of("+166")
+    final = results.geomean_of("+expr2")
+    direct = results.geomean_of("Direct")
+    assert final > disable
+    assert final >= first - 0.01  # learning never regresses overall
+    # The learned binary lands close to the per-input ideal.
+    assert final >= disable + 0.6 * (direct - disable)

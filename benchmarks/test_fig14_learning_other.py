@@ -1,0 +1,25 @@
+"""Benchmark: regenerate Fig. 14 (learning generalizes: astar, soplex).
+
+Shape check per app: after learning both inputs, the single binary's
+geomean beats Disable and approaches Direct.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig14_learning_other
+
+N = records(100_000)
+
+
+def test_fig14_learning_other(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig14_learning_other.run(N), rounds=1, iterations=1
+    )
+    print(save_report("fig14_learning_other", fig14_learning_other.report(N)))
+    for app, res in results.items():
+        final_state = res.states[-2]  # the last learned state
+        final = res.geomean_of(final_state)
+        disable = res.geomean_of("Disable")
+        direct = res.geomean_of("Direct")
+        assert final > disable, app
+        assert final >= disable + 0.5 * (direct - disable), app

@@ -1,0 +1,30 @@
+"""Benchmark: regenerate Fig. 15 (CRONO graph workloads).
+
+Paper: Prophet 14.85 % > RPG2 9.11 % > Triangel 8.41 %.  Shape checks:
+all three schemes gain on graphs; RPG2 is *competitive* here (unlike on
+SPEC, where it is ~1.0) because the CSR scans are stride-analyzable; and
+Prophet still leads the suite.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig15_graph
+
+# CRONO graphs scale with trace length; below ~200k records the scaled
+# graphs fit too much of the LLC and Prophet's cross-iteration gains
+# vanish while RPG2's stride gains persist — 240k reproduces the paper's
+# ordering (measured: Prophet 1.157 > RPG2 1.096 > Triangel 1.051).
+N = records(240_000)
+
+
+def test_fig15_graph(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig15_graph.run(N), rounds=1, iterations=1
+    )
+    print(save_report("fig15_graph", results.table("speedup", "Fig. 15")))
+    prophet = results.geomean_speedup("prophet")
+    triangel = results.geomean_speedup("triangel")
+    rpg2 = results.geomean_speedup("rpg2")
+    assert prophet > max(rpg2, triangel)
+    assert rpg2 > 1.03  # software prefetching genuinely works on graphs
+    assert triangel > 1.0

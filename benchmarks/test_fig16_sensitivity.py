@@ -1,0 +1,39 @@
+"""Benchmark: regenerate Fig. 16 (parameter sensitivity).
+
+Shape checks: EL_ACC=0.15 (the paper's default) is at least as good as
+both extremes; priority bits give small monotone-ish gains; MVB
+candidate=1 is the best trade-off (extra candidates never help geomean).
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig16_sensitivity
+
+N = records(100_000)
+
+
+def test_fig16_sensitivity(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig16_sensitivity.run(N), rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            results.table("el_acc", "Fig. 16a"),
+            results.table("n_bits", "Fig. 16b"),
+            results.table("mvb", "Fig. 16c"),
+        ]
+    )
+    print(save_report("fig16_sensitivity", text))
+
+    mid = results.geomean_of("el_acc", "EL_ACC=0.15")
+    lo = results.geomean_of("el_acc", "EL_ACC=0.05")
+    hi = results.geomean_of("el_acc", "EL_ACC=0.25")
+    assert mid >= max(lo, hi) - 0.02  # interior optimum (within noise)
+
+    n1 = results.geomean_of("n_bits", "n=1")
+    n3 = results.geomean_of("n_bits", "n=3")
+    assert n3 >= n1 - 0.02  # finer levels do not hurt
+
+    c1 = results.geomean_of("mvb", "Candidate=1")
+    c4 = results.geomean_of("mvb", "Candidate=4")
+    assert c1 >= c4 - 0.02  # 1 candidate is the sweet spot

@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 17 (IPCP as the L1 prefetcher).
+
+Paper: Prophet 29.95 % > Triangel 17.51 % > RPG2 0.36 %.  Shape check:
+the ordering survives a stronger L1 prefetcher.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig17_l1_prefetcher
+
+N = records(150_000)
+
+
+def test_fig17_ipcp(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig17_l1_prefetcher.run(N), rounds=1, iterations=1
+    )
+    print(save_report("fig17_l1pf", results.table("speedup", "Fig. 17")))
+    prophet = results.geomean_speedup("prophet")
+    triangel = results.geomean_speedup("triangel")
+    rpg2 = results.geomean_speedup("rpg2")
+    assert prophet > triangel > rpg2
+    assert prophet > 1.1

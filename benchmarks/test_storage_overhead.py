@@ -1,0 +1,18 @@
+"""Benchmark: Section 5.10 storage-overhead accounting.
+
+Checks our structures' arithmetic against the paper's reported sizes:
+48 KB replacement state, 0.19 KB hint buffer, 344 KB MVB.
+"""
+
+import pytest
+from conftest import save_report
+
+from repro.experiments import storage
+
+
+def test_storage_overhead(benchmark):
+    measured = benchmark.pedantic(storage.measure, rounds=1, iterations=1)
+    print(save_report("storage_overhead", storage.report()))
+    assert measured["replacement_state_kb"] == pytest.approx(48.0)
+    assert measured["hint_buffer_kb"] == pytest.approx(0.19, abs=0.02)
+    assert measured["mvb_kb"] == pytest.approx(344.0, rel=0.01)

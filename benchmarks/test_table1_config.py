@@ -1,0 +1,45 @@
+"""Benchmark: Table 1 system-configuration consistency.
+
+Verifies the simulated machine matches the paper's configuration and
+measures baseline simulator throughput (records/second) as the harness's
+reference cost metric.
+"""
+
+from conftest import records, save_report
+
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.sim.results import format_table
+from repro.workloads.spec import make_spec_trace
+
+N = records(60_000)
+
+
+def test_table1_config(benchmark):
+    cfg = default_config()
+    rows = [
+        ["Core issue width", cfg.core.issue_width, 10],
+        ["ROB entries", cfg.core.rob_entries, 288],
+        ["L1D size (KB)", cfg.l1d.size_bytes // 1024, 64],
+        ["L1D assoc", cfg.l1d.assoc, 4],
+        ["L2 size (KB)", cfg.l2.size_bytes // 1024, 512],
+        ["L2 assoc", cfg.l2.assoc, 8],
+        ["L2 MSHRs", cfg.l2.mshrs, 32],
+        ["L3 size (MB)", cfg.l3.size_bytes // (1024 * 1024), 2],
+        ["L3 assoc", cfg.l3.assoc, 16],
+        ["DRAM channels", cfg.dram.channels, 1],
+    ]
+    print(save_report(
+        "table1_config",
+        format_table(["parameter", "model", "paper"], rows, "Table 1"),
+    ))
+    for _name, model, paper in rows:
+        assert model == paper
+
+    trace = make_spec_trace("xalancbmk", "ref", N)
+    result = benchmark.pedantic(
+        lambda: run_simulation(trace, cfg, None, "baseline"),
+        rounds=1,
+        iterations=1,
+    )
+    assert result.cycles > 0

@@ -1,0 +1,40 @@
+#!/usr/bin/env python3
+"""Ablation tour: what each Prophet feature buys (the Fig. 19 walk).
+
+Starting from the Triage4 + Triangel-metadata base, enable Prophet's
+replacement policy, insertion policy, Multi-path Victim Buffer, and
+resizing one at a time on a single workload and watch speedup and DRAM
+traffic move.
+
+Run:  python examples/ablation_tour.py [workload] [n_records]
+       e.g. python examples/ablation_tour.py omnetpp 150000
+"""
+
+import sys
+
+from repro.core.pipeline import OptimizedBinary
+from repro.experiments.fig19_breakdown import STATES
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.spec import make_spec_trace
+
+
+def main(app: str = "mcf", n_records: int = 150_000) -> None:
+    config = default_config()
+    trace = make_spec_trace(app, None, n_records)
+    baseline = run_simulation(trace, config, None, "baseline")
+    print(f"workload: {trace.label}   baseline ipc={baseline.ipc:.3f}\n")
+    print(f"{'state':14s} {'speedup':>8s} {'traffic':>8s} {'accuracy':>9s}")
+
+    binary = OptimizedBinary.from_profile(trace, config)
+    for name, features in STATES:
+        pf = binary.prefetcher(config, features)
+        res = run_simulation(trace, config, pf, name)
+        print(f"{name:14s} {res.speedup_over(baseline):8.3f} "
+              f"{res.traffic_over(baseline):8.3f} {res.accuracy:9.3f}")
+
+
+if __name__ == "__main__":
+    app = sys.argv[1] if len(sys.argv) > 1 else "mcf"
+    n = int(sys.argv[2]) if len(sys.argv) > 2 else 150_000
+    main(app, n)

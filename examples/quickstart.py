@@ -1,0 +1,56 @@
+#!/usr/bin/env python3
+"""Quickstart: profile a workload, build an optimized binary, measure.
+
+This walks the full Prophet workflow from Fig. 5 on one workload:
+
+1. build the mcf persona trace (the paper's strongest temporal workload);
+2. run the no-temporal-prefetcher baseline and the Triangel runtime
+   prefetcher for reference;
+3. Step 1+2 — profile under the simplified temporal prefetcher and
+   analyze the counters into hints (an "optimized binary");
+4. run the optimized binary with Prophet and compare.
+
+Run:  python examples/quickstart.py [n_records]
+"""
+
+import sys
+
+from repro.core.pipeline import OptimizedBinary
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.spec import make_spec_trace
+
+
+def main(n_records: int = 200_000) -> None:
+    config = default_config()
+    trace = make_spec_trace("mcf", "inp", n_records)
+    print(f"workload: {trace.label}  ({len(trace):,} records, "
+          f"{trace.instructions:,} instructions)")
+
+    baseline = run_simulation(trace, config, None, "baseline")
+    print(f"baseline          ipc={baseline.ipc:.3f}")
+
+    triangel = run_simulation(trace, config, TriangelPrefetcher(config), "triangel")
+    print(f"triangel          ipc={triangel.ipc:.3f}  "
+          f"speedup={triangel.speedup_over(baseline):.3f}  "
+          f"accuracy={triangel.accuracy:.2f}")
+
+    # Steps 1+2: profile with the simplified TP, analyze into hints.
+    binary = OptimizedBinary.from_profile(trace, config)
+    hints = binary.hints
+    print(f"profiled {binary.counters.n_pcs} PCs; "
+          f"{sum(h.insert for h in hints.pc_hints.values())} keep their "
+          f"insertion bit; CSR allocates {hints.csr.metadata_ways} LLC ways")
+
+    prophet = run_simulation(trace, config, binary.prefetcher(config), "prophet")
+    print(f"prophet           ipc={prophet.ipc:.3f}  "
+          f"speedup={prophet.speedup_over(baseline):.3f}  "
+          f"accuracy={prophet.accuracy:.2f}")
+    print(f"prophet vs triangel: "
+          f"{prophet.ipc / triangel.ipc - 1:+.1%} IPC, "
+          f"{prophet.dram_traffic / triangel.dram_traffic - 1:+.1%} DRAM traffic")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200_000)

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""SimPoint-style checkpoint evaluation (the paper's Section 5.1 protocol).
+
+The paper simulates SimPoint-selected checkpoints and aggregates metrics
+with the cluster weights instead of simulating whole programs.  This
+example selects checkpoints from a gcc persona trace with the BBV-cluster
+utility, runs each under baseline and Prophet, and compares the
+weighted-aggregate speedup against the full-trace result.
+
+Run:  python examples/simpoint_checkpoints.py [n_records]
+"""
+
+import sys
+
+from repro.core.pipeline import OptimizedBinary
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.simpoint import select_checkpoints, weighted_aggregate
+from repro.workloads.spec import make_spec_trace
+
+
+def main(n_records: int = 200_000) -> None:
+    config = default_config()
+    trace = make_spec_trace("gcc", "166", n_records)
+    binary = OptimizedBinary.from_profile(trace, config)
+
+    checkpoints = select_checkpoints(trace, interval=20_000, max_clusters=4)
+    print(f"{len(checkpoints)} checkpoints selected:")
+    for cp in checkpoints:
+        print(f"  records [{cp.start:,}, {cp.stop:,})  weight {cp.weight:.2f}")
+
+    speedups = []
+    for cp in checkpoints:
+        piece = cp.slice_of(trace)
+        base = run_simulation(piece, config, None, "baseline", warmup_frac=0.3)
+        res = run_simulation(piece, config, binary.prefetcher(config),
+                             "prophet", warmup_frac=0.3)
+        speedups.append(res.speedup_over(base))
+        print(f"  checkpoint speedup {speedups[-1]:.3f}")
+
+    weighted = weighted_aggregate(speedups, [cp.weight for cp in checkpoints])
+
+    full_base = run_simulation(trace, config, None, "baseline")
+    full_res = run_simulation(trace, config, binary.prefetcher(config), "prophet")
+    print(f"\nweighted checkpoint speedup: {weighted:.3f}")
+    print(f"full-trace speedup:          {full_res.speedup_over(full_base):.3f}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200_000)

@@ -1,0 +1,10 @@
+"""Setuptools shim.
+
+The project is configured in pyproject.toml; this file exists so that
+environments without the `wheel` package (which PEP 517 editable installs
+require) can still do `python setup.py develop`.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,84 @@
+"""repro — reproduction of "Profile-Guided Temporal Prefetching" (ISCA'25).
+
+A trace-driven microarchitecture simulation library built around Prophet,
+the paper's hardware-software co-designed temporal prefetcher:
+
+- :mod:`repro.sim`         — system config (Table 1), engine, metrics;
+- :mod:`repro.cache`       — caches, replacement policies, MSHRs, hierarchy;
+- :mod:`repro.memory`      — bandwidth-aware DRAM model;
+- :mod:`repro.prefetchers` — stride, IPCP, Triage, Triangel, RPG2 and the
+  shared Markov metadata table;
+- :mod:`repro.core`        — Prophet: profiling, analysis, learning, hints,
+  profile-guided policies, Multi-path Victim Buffer;
+- :mod:`repro.workloads`   — SPEC personas, CRONO graph kernels, SimPoint;
+- :mod:`repro.experiments` — one module per paper figure/table;
+- :mod:`repro.energy`      — CACTI-style energy accounting.
+
+Quickstart::
+
+    from repro import (
+        default_config, make_spec_trace, run_simulation, OptimizedBinary
+    )
+    config = default_config()
+    trace = make_spec_trace("mcf")
+    baseline = run_simulation(trace, config, None, "baseline")
+    binary = OptimizedBinary.from_profile(trace, config)
+    prophet = run_simulation(trace, config, binary.prefetcher(config), "prophet")
+    print(prophet.speedup_over(baseline))
+"""
+
+from .core.analysis import AnalysisParams, analyze
+from .core.hints import CSRHints, HintBuffer, HintSet, PCHint
+from .core.learning import merge_counters
+from .core.mvb import MultiPathVictimBuffer
+from .core.pipeline import OptimizedBinary, run_prophet
+from .core.profiler import CounterSet, profile
+from .core.prophet import ProphetFeatures, ProphetPrefetcher
+from .prefetchers.markov import MetadataTable
+from .prefetchers.offchip import DominoPrefetcher, MISBPrefetcher, STMSPrefetcher
+from .prefetchers.rpg2 import RPG2Prefetcher
+from .prefetchers.triage import TriagePrefetcher
+from .prefetchers.triangel import TriangelPrefetcher
+from .sim.config import SystemConfig, default_config
+from .sim.engine import run_simulation
+from .sim.results import SimResult, geomean
+from .workloads.base import Trace
+from .workloads.crono import make_crono_trace
+from .workloads.inputs import make_trace
+from .workloads.spec import make_spec_trace, spec_suite
+
+__version__ = "1.1.0"
+
+__all__ = [
+    "AnalysisParams",
+    "CSRHints",
+    "CounterSet",
+    "DominoPrefetcher",
+    "HintBuffer",
+    "HintSet",
+    "MISBPrefetcher",
+    "MetadataTable",
+    "MultiPathVictimBuffer",
+    "OptimizedBinary",
+    "PCHint",
+    "ProphetFeatures",
+    "ProphetPrefetcher",
+    "RPG2Prefetcher",
+    "STMSPrefetcher",
+    "SimResult",
+    "SystemConfig",
+    "Trace",
+    "TriagePrefetcher",
+    "TriangelPrefetcher",
+    "analyze",
+    "default_config",
+    "geomean",
+    "make_crono_trace",
+    "make_spec_trace",
+    "make_trace",
+    "merge_counters",
+    "profile",
+    "run_prophet",
+    "run_simulation",
+    "spec_suite",
+]

@@ -1,0 +1,33 @@
+"""Binary-image model for hint injection (Section 4.4).
+
+The paper injects Prophet's 3-bit hints into real binaries in one of three
+ways: Whisper-style *hint instructions* inserted at the program entry via
+BOLT, an *x86 instruction prefix* on the hinted memory instructions, or
+*reserved bits* inside instruction encodings where the ISA has them.  This
+package models the binary itself — a synthesized instruction image whose
+memory instructions are the trace's PCs — so the static-footprint,
+dynamic-instruction, and I-cache consequences of each method are computed
+from an actual artifact rather than asserted.
+
+- :mod:`repro.binary.image` — :class:`Instruction` / :class:`BinaryImage`,
+  synthesized from a :class:`repro.workloads.base.Trace`;
+- :mod:`repro.binary.injection` — the three injectors, each returning the
+  rewritten image plus an :class:`InjectionReport`.
+"""
+
+from .image import BinaryImage, Instruction
+from .injection import (
+    InjectionReport,
+    inject_hint_instructions,
+    inject_prefixes,
+    inject_reserved_bits,
+)
+
+__all__ = [
+    "BinaryImage",
+    "InjectionReport",
+    "Instruction",
+    "inject_hint_instructions",
+    "inject_prefixes",
+    "inject_reserved_bits",
+]

@@ -1,0 +1,180 @@
+"""Synthesized binary images: the artifact hints get injected into.
+
+A :class:`BinaryImage` stands in for the compiled program the paper's
+toolchain (BOLT, or a prefix-aware assembler) rewrites.  It is synthesized
+from a trace: every distinct PC that performs a memory access in the trace
+becomes a memory instruction, and the gaps between memory accesses become
+filler ALU instructions, so static code size, I-cache footprint, and
+dynamic instruction counts are all derived from the same workload the
+simulator runs.
+
+Two ISA flavours matter for Section 4.4:
+
+- ``x86``: variable-length instructions (deterministic per-PC lengths in
+  the 2-8 byte range), **no** reserved bits — hints need a prefix or the
+  hint buffer;
+- ``arm``: fixed 4-byte instructions, a configurable fraction of memory
+  encodings with reserved hint bits (hint-carrying loads exist in ARMv8's
+  ``PRFM``-adjacent space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..sim.config import LINE_SIZE
+from ..workloads.base import Trace
+
+#: Synthesized length (bytes) of a hint instruction (Section 4.4's
+#: specialized instruction; modeled as a normal fixed-width encoding).
+HINT_INSTRUCTION_BYTES = 4
+
+
+def _pc_hash(pc: int) -> int:
+    """Deterministic per-PC pseudo-random byte (splitmix-style mixer)."""
+    x = (pc + 0x9E3779B97F4A7C15) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 30)) * 0xBF58476D1CE4E5B9) & 0xFFFFFFFFFFFFFFFF
+    x = ((x ^ (x >> 27)) * 0x94D049BB133111EB) & 0xFFFFFFFFFFFFFFFF
+    return (x ^ (x >> 31)) & 0xFF
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One instruction in the image.
+
+    ``pc`` is the identity hints refer to (the trace's PC for memory
+    instructions).  ``address`` is the byte position in the text section,
+    assigned at layout time; injection changes addresses, never PCs.
+    """
+
+    pc: int
+    length: int
+    is_memory_access: bool
+    has_reserved_bits: bool = False
+    prefix_bytes: int = 0
+    is_hint: bool = False
+    address: int = 0
+
+    @property
+    def encoded_length(self) -> int:
+        return self.length + self.prefix_bytes
+
+
+class BinaryImage:
+    """An ordered instruction stream with a laid-out text section."""
+
+    def __init__(self, instructions: Iterable[Instruction], isa: str = "x86"):
+        if isa not in ("x86", "arm"):
+            raise ValueError(f"unknown ISA {isa!r}")
+        self.isa = isa
+        self.instructions: List[Instruction] = []
+        self._by_pc: Dict[int, int] = {}
+        addr = 0
+        for inst in instructions:
+            placed = replace(inst, address=addr)
+            if inst.is_memory_access:
+                self._by_pc[inst.pc] = len(self.instructions)
+            self.instructions.append(placed)
+            addr += placed.encoded_length
+
+    # ------------------------------------------------------------------
+    # construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_trace(
+        cls,
+        trace: Trace,
+        isa: str = "x86",
+        reserved_bits_fraction: float = 0.5,
+    ) -> "BinaryImage":
+        """Synthesize the image whose memory instructions are the trace's PCs.
+
+        Mean gap in the trace (non-memory instructions between memory
+        accesses) sets the filler count after each memory instruction, so
+        the static image reflects the workload's code character.
+        ``reserved_bits_fraction`` applies only to ``arm``: the share of
+        memory encodings with spare hint bits.
+        """
+        if not 0.0 <= reserved_bits_fraction <= 1.0:
+            raise ValueError("reserved_bits_fraction must be within [0, 1]")
+        pcs = sorted(set(trace.pcs))
+        n_records = max(1, len(trace))
+        mean_gap = max(0, (trace.instructions - n_records) // n_records)
+        instructions: List[Instruction] = []
+        filler_pc = (max(pcs) + 1) if pcs else 1
+        for pc in pcs:
+            if isa == "x86":
+                length = 2 + (_pc_hash(pc) % 7)  # 2-8 byte encodings
+                reserved = False
+            else:
+                length = 4
+                # Deterministic per-PC draw against the fraction (the
+                # divisor is 256 so fraction 1.0 covers hash value 255).
+                reserved = (_pc_hash(pc) / 256.0) < reserved_bits_fraction
+            instructions.append(
+                Instruction(pc, length, True, has_reserved_bits=reserved)
+            )
+            for _ in range(mean_gap):
+                length = 2 + (_pc_hash(filler_pc) % 4) if isa == "x86" else 4
+                instructions.append(Instruction(filler_pc, length, False))
+                filler_pc += 1
+        return cls(instructions, isa)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    @property
+    def n_instructions(self) -> int:
+        return len(self.instructions)
+
+    @property
+    def n_memory_instructions(self) -> int:
+        return len(self._by_pc)
+
+    @property
+    def n_hint_instructions(self) -> int:
+        return sum(1 for i in self.instructions if i.is_hint)
+
+    @property
+    def text_bytes(self) -> int:
+        """Static code size including any injected prefixes/instructions."""
+        return sum(i.encoded_length for i in self.instructions)
+
+    @property
+    def icache_lines(self) -> int:
+        """Distinct I-cache lines the laid-out text section occupies."""
+        if not self.instructions:
+            return 0
+        last = self.instructions[-1]
+        end = last.address + last.encoded_length
+        return (end + LINE_SIZE - 1) // LINE_SIZE
+
+    def memory_instruction(self, pc: int) -> Optional[Instruction]:
+        idx = self._by_pc.get(pc)
+        return self.instructions[idx] if idx is not None else None
+
+    def memory_pcs(self) -> List[int]:
+        return list(self._by_pc)
+
+    def dynamic_instructions(self, trace: Trace) -> int:
+        """Dynamic count when ``trace`` runs on this image: the trace's
+        instruction total plus one execution of each hint instruction
+        (they run once at program entry, Section 4.4)."""
+        return trace.instructions + self.n_hint_instructions
+
+    # ------------------------------------------------------------------
+    # rewriting
+    # ------------------------------------------------------------------
+    def rewrite(
+        self,
+        prepend: Iterable[Instruction] = (),
+        transform=None,
+    ) -> "BinaryImage":
+        """New image with ``prepend`` at entry and ``transform`` applied to
+        every instruction (None keeps the instruction unchanged)."""
+        body: List[Instruction] = list(prepend)
+        for inst in self.instructions:
+            out = transform(inst) if transform is not None else inst
+            body.append(out if out is not None else inst)
+        return BinaryImage(body, self.isa)

@@ -1,0 +1,271 @@
+"""Set-associative cache with prefetch bookkeeping and way partitioning.
+
+This is the building block for all three levels of the simulated hierarchy
+(:mod:`repro.cache.hierarchy`).  Beyond plain hit/miss behaviour it tracks,
+per resident line:
+
+- ``prefetched`` / ``used``: whether the line was installed by a prefetch
+  and whether a demand access has hit it since — the engine derives
+  prefetch *accuracy* (useful / issued) from these bits;
+- ``ready_cycle``: when an in-flight fill completes, so a demand access that
+  arrives before a prefetch's fill finishes pays the residual latency
+  (prefetch *timeliness*);
+- ``trigger_pc``: the PC whose access triggered the prefetch, so usefulness
+  is attributed to the right memory instruction — this is exactly the
+  per-PC ``L2_Prefetch_Useful`` counter Prophet's profiler samples.
+
+The LLC additionally supports *way partitioning*: reserving the top ways of
+every set for the Markov metadata table (Triage/Triangel/Prophet resizing).
+Reserved ways are invalidated and excluded from fills, shrinking the data
+capacity exactly as the paper's shared-LLC metadata table does.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from .replacement import make_policy
+
+
+#: Prefetch source codes stored per line (and in MSHR entries).
+PF_NONE = 0
+PF_L1 = 1
+PF_L2 = 2
+
+
+@dataclass(slots=True)
+class EvictedLine:
+    """Information about a line pushed out of the cache."""
+
+    line: int
+    dirty: bool
+    prefetched: bool
+    used: bool
+    trigger_pc: int
+    pf_source: int = PF_NONE
+
+
+@dataclass
+class CacheStats:
+    """Per-cache counters, reset with :meth:`Cache.reset_stats`."""
+
+    demand_hits: int = 0
+    demand_misses: int = 0
+    prefetch_fills: int = 0
+    useful_prefetches: int = 0
+    useless_evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def demand_accesses(self) -> int:
+        return self.demand_hits + self.demand_misses
+
+    @property
+    def miss_rate(self) -> float:
+        total = self.demand_accesses
+        return self.demand_misses / total if total else 0.0
+
+
+class Cache:
+    """One level of set-associative cache.
+
+    Parameters mirror :class:`repro.sim.config.CacheConfig`.  ``line``
+    arguments throughout are cache-line (block) numbers, not byte addresses.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        hit_latency: int,
+        replacement: str = "lru",
+        line_size: int = 64,
+    ):
+        if size_bytes % (assoc * line_size):
+            raise ValueError("cache size must be a multiple of assoc * line_size")
+        self.name = name
+        self.assoc = assoc
+        self.hit_latency = hit_latency
+        self.n_sets = size_bytes // (assoc * line_size)
+        if self.n_sets == 0:
+            raise ValueError("cache too small for the requested associativity")
+        self.policy = make_policy(replacement, self.n_sets, assoc)
+        self.stats = CacheStats()
+
+        n = self.n_sets * assoc
+        self._valid: List[bool] = [False] * n
+        self._lines: List[int] = [0] * n
+        self._dirty: List[bool] = [False] * n
+        self._prefetched: List[bool] = [False] * n
+        self._used: List[bool] = [False] * n
+        self._ready: List[float] = [0.0] * n
+        self._trigger_pc: List[int] = [-1] * n
+        self._pf_source: List[int] = [PF_NONE] * n
+        self._map: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        # All ways usable for data by default; the LLC shrinks this when
+        # LLC ways are reserved for the metadata table.
+        self._data_ways = assoc
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def set_index(self, line: int) -> int:
+        return line % self.n_sets
+
+    @property
+    def data_ways(self) -> int:
+        return self._data_ways
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.n_sets * self._data_ways
+
+    def set_data_ways(self, ways: int) -> None:
+        """Reserve ``assoc - ways`` ways per set (metadata partition).
+
+        Lines living in newly reserved ways are invalidated (their dirty
+        data is counted as writeback traffic), matching a hardware
+        repartition of the shared LLC.
+        """
+        if not 0 <= ways <= self.assoc:
+            raise ValueError(f"ways must be in [0, {self.assoc}]")
+        if ways < self._data_ways:
+            for set_idx in range(self.n_sets):
+                base = set_idx * self.assoc
+                for way in range(ways, self._data_ways):
+                    idx = base + way
+                    if self._valid[idx]:
+                        if self._dirty[idx]:
+                            self.stats.writebacks += 1
+                        del self._map[set_idx][self._lines[idx]]
+                        self._valid[idx] = False
+        self._data_ways = ways
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def probe(self, line: int) -> Optional[int]:
+        """Return the way holding ``line`` or None; no state change."""
+        return self._map[line % self.n_sets].get(line)
+
+    def contains(self, line: int) -> bool:
+        return self.probe(line) is not None
+
+    def on_demand_hit(self, line: int, way: int, is_write: bool = False) -> bool:
+        """Record a demand hit; returns True if this hit consumed a prefetch.
+
+        "Consumed" means the line was prefetched and this is the first
+        demand touch — the definition of a useful prefetch.
+        """
+        set_idx = self.set_index(line)
+        idx = set_idx * self.assoc + way
+        self.policy.on_hit(set_idx, way)
+        self.stats.demand_hits += 1
+        if is_write:
+            self._dirty[idx] = True
+        if self._prefetched[idx] and not self._used[idx]:
+            self._used[idx] = True
+            self.stats.useful_prefetches += 1
+            return True
+        return False
+
+    def ready_cycle(self, line: int, way: int) -> float:
+        return self._ready[self.set_index(line) * self.assoc + way]
+
+    def trigger_pc_of(self, line: int, way: int) -> int:
+        return self._trigger_pc[self.set_index(line) * self.assoc + way]
+
+    def pf_source_of(self, line: int, way: int) -> int:
+        return self._pf_source[self.set_index(line) * self.assoc + way]
+
+    def was_prefetched(self, line: int, way: int) -> bool:
+        idx = self.set_index(line) * self.assoc + way
+        return self._prefetched[idx] and not self._used[idx]
+
+    def fill(
+        self,
+        line: int,
+        ready_cycle: float = 0.0,
+        prefetched: bool = False,
+        trigger_pc: int = -1,
+        dirty: bool = False,
+        pf_source: int = PF_NONE,
+    ) -> Optional[EvictedLine]:
+        """Install ``line``; returns the evicted line's info if any.
+
+        A fill of a line already resident refreshes its metadata (this
+        happens when a prefetch races a demand miss) and evicts nothing.
+        """
+        set_idx = line % self.n_sets
+        mapping = self._map[set_idx]
+        existing = mapping.get(line)
+        if existing is not None:
+            idx = set_idx * self.assoc + existing
+            self._dirty[idx] = self._dirty[idx] or dirty
+            return None
+
+        evicted: Optional[EvictedLine] = None
+        way = self._free_way(set_idx) if len(mapping) < self._data_ways else None
+        if way is None:
+            restrict = None if self._data_ways == self.assoc else range(self._data_ways)
+            way = self.policy.victim(set_idx, restrict)
+            idx = set_idx * self.assoc + way
+            evicted = EvictedLine(
+                line=self._lines[idx],
+                dirty=self._dirty[idx],
+                prefetched=self._prefetched[idx],
+                used=self._used[idx],
+                trigger_pc=self._trigger_pc[idx],
+                pf_source=self._pf_source[idx],
+            )
+            if evicted.dirty:
+                self.stats.writebacks += 1
+            if evicted.prefetched and not evicted.used:
+                self.stats.useless_evictions += 1
+            del self._map[set_idx][self._lines[idx]]
+
+        idx = set_idx * self.assoc + way
+        self._valid[idx] = True
+        self._lines[idx] = line
+        self._dirty[idx] = dirty
+        self._prefetched[idx] = prefetched
+        self._used[idx] = False
+        self._ready[idx] = ready_cycle
+        self._trigger_pc[idx] = trigger_pc
+        self._pf_source[idx] = pf_source if prefetched else PF_NONE
+        self._map[set_idx][line] = way
+        self.policy.on_fill(set_idx, way)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def _free_way(self, set_idx: int) -> Optional[int]:
+        base = set_idx * self.assoc
+        for way in range(self._data_ways):
+            if not self._valid[base + way]:
+                return way
+        return None
+
+    def invalidate(self, line: int) -> bool:
+        """Drop ``line`` if resident (used for exclusive-ish L3 behaviour)."""
+        set_idx = self.set_index(line)
+        way = self._map[set_idx].pop(line, None)
+        if way is None:
+            return False
+        self._valid[set_idx * self.assoc + way] = False
+        return True
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # introspection used by tests and the set-dueller
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> List[int]:
+        return [line for mapping in self._map for line in mapping]
+
+    def occupancy(self) -> float:
+        total = self.n_sets * self._data_ways
+        return sum(len(m) for m in self._map) / total if total else 0.0

@@ -1,0 +1,354 @@
+"""Three-level cache hierarchy with prefetcher integration.
+
+This is the gem5 stand-in: L1D (with an optional L1 prefetcher), a private
+L2 where the temporal prefetcher lives, a shared L3 that also hosts the
+Markov metadata table (way-partitioned), and a bandwidth-aware DRAM model.
+
+Key modeled behaviours the experiments depend on:
+
+- the L2 temporal prefetcher trains on the **L2 access stream including L1
+  prefetch requests** (Section 5.1);
+- prefetches fill the L2 with a ``ready_cycle``; a demand access arriving
+  before the fill completes pays the residual latency (late prefetches are
+  only partially useful — *timeliness*);
+- the L3 is mostly exclusive: DRAM fills go to L2, L2 evictions spill into
+  the L3's data ways (CHAR-approximate), so reserving LLC ways for
+  metadata directly costs data capacity (*cache pollution* from resizing);
+- every L3 miss — demand or prefetch — and every writeback is DRAM
+  traffic (the Fig. 11 metric), and all DRAM accesses contend for channel
+  bandwidth (the Fig. 18 sensitivity).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Deque, List, Optional
+
+from ..memory.dram import DRAMModel
+from ..memory.tlb import TLB, TLBConfig, same_page
+from ..prefetchers.base import (
+    L1Prefetcher,
+    L2AccessInfo,
+    L2Prefetcher,
+    NullL1Prefetcher,
+    NullL2Prefetcher,
+    PrefetcherStats,
+    PrefetchRequest,
+)
+from ..sim.config import SystemConfig
+from .cache import PF_L1, PF_L2, PF_NONE, Cache
+from .mshr import MSHRFile
+
+
+@dataclass(slots=True)
+class AccessResult:
+    """Outcome of one demand access as seen by the core."""
+
+    latency: float
+    hit_level: str  # "l1", "l2", "l3", "dram"
+    consumed_prefetch_pc: int = -1  # PC credited with a useful prefetch
+    late_prefetch: bool = False
+
+
+class Hierarchy:
+    """L1D + L2 + partitioned L3 + DRAM, with both prefetchers attached."""
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        l2_prefetcher: Optional[L2Prefetcher] = None,
+        l1_prefetcher: Optional[L1Prefetcher] = None,
+    ):
+        self.config = config
+        c = config
+        self.l1d = Cache("L1D", c.l1d.size_bytes, c.l1d.assoc, c.l1d.hit_latency, "plru")
+        self.l2 = Cache("L2", c.l2.size_bytes, c.l2.assoc, c.l2.hit_latency, "plru")
+        self.l3 = Cache("L3", c.l3.size_bytes, c.l3.assoc, c.l3.hit_latency, "srrip")
+        self.dram = DRAMModel(c.dram)
+        self.tlb: Optional[TLB] = (
+            TLB(TLBConfig(c.tlb_entries, c.tlb_walk_latency))
+            if c.tlb_enabled
+            else None
+        )
+        self.l2_mshr = MSHRFile(c.l2.mshrs)
+        self.l1_prefetcher = l1_prefetcher or NullL1Prefetcher()
+        self.l2_prefetcher = l2_prefetcher or NullL2Prefetcher()
+        self.l2_pf_stats = PrefetcherStats()
+        self.l1_pf_stats = PrefetcherStats()
+        self.metadata_ways = 0
+        self.demand_accesses = 0
+        self.l2_demand_misses = 0
+        # Cached once: whether the L2 prefetcher keeps metadata in DRAM
+        # (STMS/Domino) and therefore needs its traffic drained per round.
+        self._offchip_metadata = bool(
+            getattr(self.l2_prefetcher, "uses_offchip_metadata", False)
+        )
+        # Prefetch queue: requests that found the MSHR file full wait here
+        # and issue as entries retire (temporal prefetchers keep their own
+        # request queues in hardware; dropping on a burst would starve all
+        # long-latency prefetches).
+        self._pf_queue: Deque[PrefetchRequest] = deque(maxlen=64)
+
+    # ------------------------------------------------------------------
+    # metadata table partitioning
+    # ------------------------------------------------------------------
+    def set_metadata_ways(self, ways: int) -> None:
+        """Reserve ``ways`` L3 ways for the Markov metadata table."""
+        if not 0 <= ways <= self.config.l3.assoc:
+            raise ValueError("metadata ways out of range")
+        self.metadata_ways = ways
+        self.l3.set_data_ways(self.config.l3.assoc - ways)
+        self.l2_prefetcher.on_metadata_resize(
+            self.config.metadata_capacity_for_ways(ways)
+        )
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+    def demand_access(
+        self, pc: int, line: int, cycle: float, is_write: bool = False
+    ) -> AccessResult:
+        """Run one demand access through the hierarchy.
+
+        Returns the core-visible latency and prefetch-consumption info.
+        Also drives both prefetchers and issues their requests.
+        """
+        self.demand_accesses += 1
+        cfg = self.config
+        self._drain_pf_queue(cycle)
+        result = self._lookup_and_fill(pc, line, cycle, is_write)
+        if self.tlb is not None:
+            walk = self.tlb.access(line)
+            if walk:
+                result.latency += walk
+
+        # L1 prefetcher observes the demand stream; its requests go through
+        # the L2 (training the temporal prefetcher) and fill L1 + L2.
+        l1_reqs = self.l1_prefetcher.observe(pc, line)
+        cross_page_ok = cfg.l1_pf_cross_page
+        for target in l1_reqs:
+            if target == line or target < 0:
+                continue
+            if not cross_page_ok and not same_page(line, target):
+                # Physically-indexed L1 prefetcher: the next page's frame
+                # is unknown, so the request dies at the boundary (§5.7).
+                continue
+            self._issue_l1_prefetch(pc, target, cycle)
+        return result
+
+    def _lookup_and_fill(
+        self, pc: int, line: int, cycle: float, is_write: bool
+    ) -> AccessResult:
+        cfg = self.config
+        # --- L1 ---
+        way = self.l1d.probe(line)
+        if way is not None:
+            consumed = self.l1d.on_demand_hit(line, way, is_write)
+            if consumed:
+                self.l1_pf_stats.record_useful(self.l1d.trigger_pc_of(line, way))
+            return AccessResult(cfg.l1d.hit_latency, "l1")
+        self.l1d.stats.demand_misses += 1
+
+        # --- L2 (temporal prefetcher's training stream) ---
+        latency = float(cfg.l1d.hit_latency)
+        way = self.l2.probe(line)
+        if way is not None:
+            consumed_pc = -1
+            late = False
+            ready = self.l2.ready_cycle(line, way)
+            trigger = self.l2.trigger_pc_of(line, way)
+            was_pf = self.l2.was_prefetched(line, way)
+            pf_source = self.l2.pf_source_of(line, way)
+            consumed = self.l2.on_demand_hit(line, way, is_write)
+            latency += cfg.l2.hit_latency
+            if ready > cycle + cfg.l2.hit_latency:
+                # In-flight prefetch: pay the residual fill latency.
+                latency = max(latency, ready - cycle)
+                late = True
+            if consumed and was_pf:
+                consumed_pc = trigger
+                if pf_source == PF_L2:
+                    self.l2_pf_stats.record_useful(trigger)
+                    self.l2_prefetcher.note_useful(trigger, line)
+                elif pf_source == PF_L1:
+                    self.l1_pf_stats.record_useful(trigger)
+            self._fill_l1(line, cycle + latency)
+            self._observe_l2(pc, line, cycle, l2_hit=True)
+            return AccessResult(latency, "l2", consumed_pc, late)
+
+        self.l2.stats.demand_misses += 1
+        self.l2_demand_misses += 1
+        latency += cfg.l2.hit_latency
+
+        # Merge with an in-flight miss/prefetch to the same line.  Merging
+        # with a prefetch marks it useful (late prefetch: the PMU's
+        # prefetch-hit event counts demand hits on prefetch MSHRs).
+        pending = self.l2_mshr.lookup(line, cycle)
+        if pending is not None:
+            latency = max(latency, pending.ready - cycle)
+            consumed_pc = -1
+            if pending.is_prefetch and not pending.consumed:
+                pending.consumed = True
+                consumed_pc = pending.trigger_pc
+                if pending.pf_source == PF_L2:
+                    self.l2_pf_stats.record_useful(pending.trigger_pc)
+                    self.l2_prefetcher.note_useful(pending.trigger_pc, line)
+                elif pending.pf_source == PF_L1:
+                    self.l1_pf_stats.record_useful(pending.trigger_pc)
+            self._fill_l2_and_l1(line, cycle + latency)
+            self._observe_l2(pc, line, cycle, l2_hit=False)
+            return AccessResult(latency, "l3", consumed_pc, late_prefetch=True)
+
+        # --- L3 ---
+        way = self.l3.probe(line)
+        if way is not None:
+            self.l3.on_demand_hit(line, way, is_write)
+            latency += cfg.l3.hit_latency
+            hit_level = "l3"
+        else:
+            self.l3.stats.demand_misses += 1
+            latency += cfg.l3.hit_latency  # tag check before going to DRAM
+            latency += self.dram.read(cycle, is_prefetch=False)
+            hit_level = "dram"
+        self.l2_mshr.allocate(line, cycle + latency, cycle)  # demand fill
+        self._fill_l2_and_l1(line, cycle + latency, dirty=is_write)
+        self._observe_l2(pc, line, cycle, l2_hit=False)
+        return AccessResult(latency, hit_level)
+
+    # ------------------------------------------------------------------
+    # fills and evictions
+    # ------------------------------------------------------------------
+    def _fill_l1(self, line: int, ready: float) -> None:
+        self.l1d.fill(line, ready)
+
+    def _fill_l2_and_l1(
+        self,
+        line: int,
+        ready: float,
+        dirty: bool = False,
+        prefetched: bool = False,
+        trigger_pc: int = -1,
+        pf_source: int = PF_NONE,
+    ) -> None:
+        evicted = self.l2.fill(
+            line,
+            ready,
+            prefetched=prefetched,
+            trigger_pc=trigger_pc,
+            dirty=dirty,
+            pf_source=pf_source,
+        )
+        if evicted is not None:
+            # Mostly-exclusive LLC: L2 victims spill into the L3 data ways.
+            l3_evicted = self.l3.fill(evicted.line, ready, dirty=evicted.dirty)
+            if l3_evicted is not None and l3_evicted.dirty:
+                self.dram.write(ready)
+        if not prefetched:
+            self._fill_l1(line, ready)
+
+    def _observe_l2(
+        self, pc: int, line: int, cycle: float, l2_hit: bool, from_l1_pf: bool = False
+    ) -> None:
+        reqs = self.l2_prefetcher.observe(
+            L2AccessInfo(pc, line, cycle, l2_hit, from_l1_pf)
+        )
+        if self._offchip_metadata:
+            reads, writes = self.l2_prefetcher.drain_metadata_traffic()
+            for _ in range(reads):
+                self.dram.metadata_read(cycle)
+            for _ in range(writes):
+                self.dram.metadata_write(cycle)
+        if reqs:
+            self.issue_l2_prefetches(reqs, cycle)
+
+    # ------------------------------------------------------------------
+    # prefetch issue paths
+    # ------------------------------------------------------------------
+    def _drain_pf_queue(self, cycle: float) -> None:
+        """Issue queued prefetches as MSHR entries retire."""
+        while self._pf_queue and not self.l2_mshr.is_full(cycle):
+            req = self._pf_queue.popleft()
+            self._issue_one_l2_prefetch(req, cycle)
+
+    def issue_l2_prefetches(self, reqs: List[PrefetchRequest], cycle: float) -> int:
+        """Issue temporal-prefetcher requests into the L2; returns #issued."""
+        issued = 0
+        for req in reqs:
+            if self.l2_mshr.is_full(cycle):
+                self._pf_queue.append(req)
+                continue
+            issued += self._issue_one_l2_prefetch(req, cycle)
+        return issued
+
+    def _issue_one_l2_prefetch(self, req: PrefetchRequest, cycle: float) -> int:
+        """Issue a single L2 prefetch; returns 1 if it went out, else 0."""
+        cfg = self.config
+        line = req.line
+        if line < 0 or self.l2.contains(line):
+            return 0
+        if self.l2_mshr.lookup(line, cycle) is not None:
+            return 0
+        way = self.l3.probe(line)
+        if way is not None:
+            self.l3.on_demand_hit(line, way)
+            ready = cycle + cfg.l3.hit_latency
+        else:
+            ready = cycle + cfg.l3.hit_latency + self.dram.read(
+                cycle, is_prefetch=True
+            )
+        self.l2_mshr.allocate(
+            line,
+            ready,
+            cycle,
+            is_prefetch=True,
+            trigger_pc=req.trigger_pc,
+            pf_source=PF_L2,
+        )
+        self._fill_l2_and_l1(
+            line, ready, prefetched=True, trigger_pc=req.trigger_pc,
+            pf_source=PF_L2,
+        )
+        self.l2_pf_stats.record_issue(req.trigger_pc)
+        self.l2_prefetcher.note_issued(req.trigger_pc, line)
+        return 1
+
+    def _issue_l1_prefetch(self, pc: int, line: int, cycle: float) -> None:
+        """L1 prefetch: fills L1; passes through the L2 stream on L2 miss."""
+        cfg = self.config
+        if self.l1d.contains(line):
+            return
+        way = self.l2.probe(line)
+        if way is not None:
+            self.l2.on_demand_hit(line, way)
+            ready = cycle + cfg.l2.hit_latency
+            self._observe_l2(pc, line, cycle, l2_hit=True, from_l1_pf=True)
+        else:
+            if self.l2_mshr.is_full(cycle):
+                return
+            if self.l2_mshr.lookup(line, cycle) is not None:
+                return
+            way3 = self.l3.probe(line)
+            if way3 is not None:
+                self.l3.on_demand_hit(line, way3)
+                ready = cycle + cfg.l3.hit_latency
+            else:
+                ready = cycle + cfg.l3.hit_latency + self.dram.read(
+                    cycle, is_prefetch=True
+                )
+            self.l2_mshr.allocate(
+                line, ready, cycle, is_prefetch=True, trigger_pc=pc,
+                pf_source=PF_L1,
+            )
+            self.l2.fill(
+                line, ready, prefetched=True, trigger_pc=pc, pf_source=PF_L1
+            )
+            self._observe_l2(pc, line, cycle, l2_hit=False, from_l1_pf=True)
+        self.l1d.fill(line, ready, prefetched=True, trigger_pc=pc, pf_source=PF_L1)
+        self.l1_pf_stats.record_issue(pc)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def dram_traffic(self) -> int:
+        return self.dram.stats.total_traffic

@@ -1,0 +1,95 @@
+"""Miss status holding registers (MSHRs).
+
+An MSHR file bounds the number of outstanding misses a cache can sustain
+and merges requests to the same line.  In this trace-driven model the MSHR
+file serves three purposes:
+
+- it deduplicates in-flight prefetches and demand misses to the same line
+  (a prefetch that races a pending demand miss issues no second DRAM
+  access);
+- a demand request that merges with an in-flight *prefetch* marks that
+  prefetch useful — this is how late-but-useful prefetches are credited,
+  matching how a PMU's prefetch-hit event counts MSHR hits;
+- its capacity caps the memory-level parallelism the timing model may
+  assume (:mod:`repro.sim.cpu`).
+
+Entries retire lazily: callers pass the current cycle and completed
+entries are swept out before capacity checks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+
+@dataclass(slots=True)
+class MSHREntry:
+    """One in-flight line fill."""
+
+    ready: float
+    is_prefetch: bool = False
+    trigger_pc: int = -1
+    consumed: bool = False
+    pf_source: int = 0  # cache.PF_NONE / PF_L1 / PF_L2
+
+
+class MSHRFile:
+    """Tracks in-flight line fills keyed by line address."""
+
+    def __init__(self, capacity: int):
+        if capacity <= 0:
+            raise ValueError("MSHR capacity must be positive")
+        self.capacity = capacity
+        self._inflight: Dict[int, MSHREntry] = {}
+        self.merges = 0
+        self.rejects = 0
+
+    def _sweep(self, cycle: float) -> None:
+        done = [line for line, e in self._inflight.items() if e.ready <= cycle]
+        for line in done:
+            del self._inflight[line]
+
+    def outstanding(self, cycle: float) -> int:
+        self._sweep(cycle)
+        return len(self._inflight)
+
+    def lookup(self, line: int, cycle: float) -> Optional[MSHREntry]:
+        """Return the pending entry for ``line``, or None if none/complete."""
+        entry = self._inflight.get(line)
+        if entry is None or entry.ready <= cycle:
+            return None
+        return entry
+
+    def allocate(
+        self,
+        line: int,
+        ready_cycle: float,
+        cycle: float,
+        is_prefetch: bool = False,
+        trigger_pc: int = -1,
+        pf_source: int = 0,
+    ) -> bool:
+        """Reserve an entry; False when the file is full (request stalls).
+
+        A request to a line already in flight merges (no new entry) and
+        returns True.
+        """
+        pending = self._inflight.get(line)
+        if pending is not None and pending.ready > cycle:
+            self.merges += 1
+            return True
+        if len(self._inflight) >= self.capacity:
+            self._sweep(cycle)  # lazy: only reclaim when at capacity
+        if len(self._inflight) >= self.capacity:
+            self.rejects += 1
+            return False
+        self._inflight[line] = MSHREntry(
+            ready_cycle, is_prefetch, trigger_pc, pf_source=pf_source
+        )
+        return True
+
+    def is_full(self, cycle: float) -> bool:
+        if len(self._inflight) < self.capacity:
+            return False
+        return self.outstanding(cycle) >= self.capacity

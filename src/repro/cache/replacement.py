@@ -1,0 +1,330 @@
+"""Replacement policies for set-associative structures.
+
+Used by both the data caches (PLRU per Table 1) and the on-chip Markov
+metadata table (SRRIP in Triangel, optionally Hawkeye as in Triage, and
+Prophet's profile-guided priority policy in :mod:`repro.core.replacement`).
+
+A policy instance manages *one* set-associative structure.  The cache calls:
+
+- ``on_fill(set_idx, way)`` when a line is installed,
+- ``on_hit(set_idx, way)`` when a resident line is re-referenced,
+- ``victim(set_idx, ways)`` to pick the way to evict among candidates.
+
+Victim selection is *rank* based: every policy defines
+``rank(set_idx, way)`` where a smaller rank means "evict sooner".  This lets
+callers restrict candidates to a subset of ways, which the LLC needs when
+some ways are reserved for the metadata table, and which Prophet's
+replacement policy needs to let the runtime policy break ties among its
+lowest-priority candidates (Section 3.1).
+
+Ways are small integers ``0 .. assoc-1``; policies keep per-way state in
+flat lists indexed by ``set_idx * assoc + way`` for speed.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List, Optional, Sequence
+
+
+class ReplacementPolicy:
+    """Base class; concrete policies implement the hooks and ``rank``."""
+
+    name = "base"
+
+    def __init__(self, n_sets: int, assoc: int):
+        if n_sets <= 0 or assoc <= 0:
+            raise ValueError("n_sets and assoc must be positive")
+        self.n_sets = n_sets
+        self.assoc = assoc
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        raise NotImplementedError
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        raise NotImplementedError
+
+    def rank(self, set_idx: int, way: int) -> int:
+        """Eviction rank: the candidate with the smallest rank is evicted."""
+        raise NotImplementedError
+
+    def victim(self, set_idx: int, ways: Optional[Sequence[int]] = None) -> int:
+        """Pick the victim way among ``ways`` (default: all ways)."""
+        candidates: Iterable[int] = ways if ways is not None else range(self.assoc)
+        rank = self.rank
+        best_way = -1
+        best = None
+        for w in candidates:
+            r = rank(set_idx, w)
+            if best is None or r < best:
+                best = r
+                best_way = w
+        if best_way < 0:
+            raise ValueError("victim() called with no candidate ways")
+        return best_way
+
+
+class LRUPolicy(ReplacementPolicy):
+    """True least-recently-used via a monotonic per-structure clock."""
+
+    name = "lru"
+
+    def __init__(self, n_sets: int, assoc: int):
+        super().__init__(n_sets, assoc)
+        self._clock = 0
+        self._stamp: List[int] = [0] * (n_sets * assoc)
+
+    def _touch(self, set_idx: int, way: int) -> None:
+        self._clock += 1
+        self._stamp[set_idx * self.assoc + way] = self._clock
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._touch(set_idx, way)
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        self._touch(set_idx, way)
+
+    def rank(self, set_idx: int, way: int) -> int:
+        return self._stamp[set_idx * self.assoc + way]
+
+    def victim(self, set_idx: int, ways: Optional[Sequence[int]] = None) -> int:
+        # Direct scan of the stamp array (hot path).
+        base = set_idx * self.assoc
+        stamps = self._stamp
+        candidates: Iterable[int] = ways if ways is not None else range(self.assoc)
+        best_way = -1
+        best = None
+        for w in candidates:
+            s = stamps[base + w]
+            if best is None or s < best:
+                best = s
+                best_way = w
+        if best_way < 0:
+            raise ValueError("victim() called with no candidate ways")
+        return best_way
+
+    def age_of(self, set_idx: int, way: int) -> int:
+        """Recency stamp (larger == more recent); exposed for tie-breaks."""
+        return self._stamp[set_idx * self.assoc + way]
+
+
+class FIFOPolicy(LRUPolicy):
+    """First-in-first-out: hits do not refresh recency."""
+
+    name = "fifo"
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        pass
+
+
+class TreePLRUPolicy(ReplacementPolicy):
+    """Binary-tree pseudo-LRU (the PLRU of Table 1).
+
+    Requires a power-of-two associativity.  Each set keeps ``assoc - 1``
+    direction bits; a hit/fill points the bits along the touched way's path
+    *away* from it, and the victim walk follows the bits.  ``rank`` encodes
+    the victim-walk order: at each tree level a way on the pointed-to side
+    contributes a 0 bit (evict sooner), so the walk's victim has rank 0.
+    """
+
+    name = "plru"
+
+    def __init__(self, n_sets: int, assoc: int):
+        super().__init__(n_sets, assoc)
+        if assoc & (assoc - 1):
+            raise ValueError("tree PLRU requires power-of-two associativity")
+        self._levels = assoc.bit_length() - 1
+        self._bits: List[int] = [0] * (n_sets * max(1, assoc - 1))
+
+    def _update(self, set_idx: int, way: int) -> None:
+        base = set_idx * (self.assoc - 1)
+        node = 0
+        span = self.assoc
+        offset = 0
+        for _ in range(self._levels):
+            half = span // 2
+            go_right = (way - offset) >= half
+            # Point the bit AWAY from the touched half (0 = left, 1 = right).
+            self._bits[base + node] = 0 if go_right else 1
+            node = 2 * node + (2 if go_right else 1)
+            if go_right:
+                offset += half
+            span = half
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._update(set_idx, way)
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        self._update(set_idx, way)
+
+    def rank(self, set_idx: int, way: int) -> int:
+        base = set_idx * (self.assoc - 1)
+        node = 0
+        span = self.assoc
+        offset = 0
+        value = 0
+        for _ in range(self._levels):
+            half = span // 2
+            bit = self._bits[base + node]
+            in_right = (way - offset) >= half
+            on_victim_side = (bit == 1) == in_right
+            value = (value << 1) | (0 if on_victim_side else 1)
+            if in_right:
+                node = 2 * node + 2
+                offset += half
+            else:
+                node = 2 * node + 1
+            span = half
+        return value
+
+    def victim(self, set_idx: int, ways: Optional[Sequence[int]] = None) -> int:
+        if ways is not None:
+            return super().victim(set_idx, ways)
+        # Unrestricted victim: follow the tree bits directly (hot path).
+        base = set_idx * (self.assoc - 1)
+        bits = self._bits
+        node = 0
+        span = self.assoc
+        offset = 0
+        for _ in range(self._levels):
+            half = span // 2
+            if bits[base + node]:
+                node = 2 * node + 2
+                offset += half
+            else:
+                node = 2 * node + 1
+            span = half
+        return offset
+
+
+class SRRIPPolicy(ReplacementPolicy):
+    """Static re-reference interval prediction (Jaleel et al., ISCA 2010).
+
+    2-bit RRPVs by default: fills install at ``max - 1`` (long re-reference
+    interval), hits promote to 0, and the way with the highest RRPV is
+    evicted first.  Triangel uses SRRIP for the metadata table
+    (Section 2.1.2).
+    """
+
+    name = "srrip"
+
+    def __init__(self, n_sets: int, assoc: int, bits: int = 2):
+        super().__init__(n_sets, assoc)
+        self.max_rrpv = (1 << bits) - 1
+        self._rrpv: List[int] = [self.max_rrpv] * (n_sets * assoc)
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        self._rrpv[set_idx * self.assoc + way] = self.max_rrpv - 1
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        self._rrpv[set_idx * self.assoc + way] = 0
+
+    def rank(self, set_idx: int, way: int) -> int:
+        # Higher RRPV == evict sooner == smaller rank.
+        return self.max_rrpv - self._rrpv[set_idx * self.assoc + way]
+
+    def victim(self, set_idx: int, ways: Optional[Sequence[int]] = None) -> int:
+        # Direct scan of the RRPV array (hot path).
+        base = set_idx * self.assoc
+        rrpv = self._rrpv
+        candidates: Iterable[int] = ways if ways is not None else range(self.assoc)
+        best_way = -1
+        best = -1
+        for w in candidates:
+            r = rrpv[base + w]
+            if r > best:
+                best = r
+                best_way = w
+        if best_way < 0:
+            raise ValueError("victim() called with no candidate ways")
+        return best_way
+
+    def rrpv_of(self, set_idx: int, way: int) -> int:
+        return self._rrpv[set_idx * self.assoc + way]
+
+
+class HawkeyePolicy(ReplacementPolicy):
+    """Hawkeye-style predictor (Jain & Lin, ISCA 2016), simplified.
+
+    Trains a per-signature confidence counter from an OPTgen-like sampled
+    reuse check: a reuse short enough that Belady's OPT would have kept the
+    line trains the signature as cache-friendly, otherwise cache-averse.
+    Friendly lines install at RRPV 0, averse lines at max (evicted first);
+    evicting a friendly line detrains its signature.
+
+    Triage's original design used Hawkeye for the metadata table at a 13 KB
+    cost for only ~0.25 % speedup (Section 2.1.2); we reproduce it both for
+    that ablation and for completeness.
+    """
+
+    name = "hawkeye"
+
+    def __init__(self, n_sets: int, assoc: int, bits: int = 3):
+        super().__init__(n_sets, assoc)
+        self.max_rrpv = (1 << bits) - 1
+        self._rrpv: List[int] = [self.max_rrpv] * (n_sets * assoc)
+        self._sig: List[int] = [0] * (n_sets * assoc)
+        self._counters: Dict[int, int] = {}
+        self._last_seen: Dict[int, int] = {}
+        self._time = 0
+        self._window = 8 * assoc
+
+    def _friendly(self, sig: int) -> bool:
+        # Unknown signatures default to cache-averse: they have shown no
+        # reuse evidence yet, so OPT would not have kept them.
+        return self._counters.get(sig, 0) > 0
+
+    def _train(self, sig: int, hit_like: bool) -> None:
+        c = self._counters.get(sig, 0)
+        c = min(3, c + 1) if hit_like else max(-4, c - 1)
+        self._counters[sig] = c
+
+    def record_access(self, set_idx: int, way: int, sig: int) -> None:
+        """OPTgen sample: reuse within the window trains ``sig`` friendly."""
+        self._time += 1
+        last = self._last_seen.get(sig)
+        if last is not None:
+            self._train(sig, self._time - last <= self._window)
+        self._last_seen[sig] = self._time
+        self._sig[set_idx * self.assoc + way] = sig
+
+    def on_fill(self, set_idx: int, way: int) -> None:
+        idx = set_idx * self.assoc + way
+        self._rrpv[idx] = 0 if self._friendly(self._sig[idx]) else self.max_rrpv
+
+    def on_hit(self, set_idx: int, way: int) -> None:
+        idx = set_idx * self.assoc + way
+        self._rrpv[idx] = 0 if self._friendly(self._sig[idx]) else self.max_rrpv
+
+    def rank(self, set_idx: int, way: int) -> int:
+        return self.max_rrpv - self._rrpv[set_idx * self.assoc + way]
+
+    def victim(self, set_idx: int, ways: Optional[Sequence[int]] = None) -> int:
+        way = super().victim(set_idx, ways)
+        idx = set_idx * self.assoc + way
+        # Evicting a line Hawkeye wanted to keep means OPT disagreed.
+        if self._rrpv[idx] < self.max_rrpv:
+            self._train(self._sig[idx], False)
+        return way
+
+
+_POLICIES = {
+    "lru": LRUPolicy,
+    "fifo": FIFOPolicy,
+    "plru": TreePLRUPolicy,
+    "srrip": SRRIPPolicy,
+    "hawkeye": HawkeyePolicy,
+    # CHAR (Table 1's L3 policy) is hierarchy-aware bypass on top of an
+    # RRIP base; at trace granularity its set-local behaviour is RRIP-like.
+    "char": SRRIPPolicy,
+}
+
+
+def make_policy(name: str, n_sets: int, assoc: int) -> ReplacementPolicy:
+    """Factory used by :class:`repro.cache.cache.Cache`."""
+    try:
+        cls = _POLICIES[name]
+    except KeyError:
+        raise ValueError(
+            f"unknown replacement policy {name!r}; options: {sorted(_POLICIES)}"
+        ) from None
+    return cls(n_sets, assoc)

@@ -1,0 +1,188 @@
+"""Command-line interface: regenerate any of the paper's artifacts.
+
+Usage::
+
+    python -m repro.cli list
+    python -m repro.cli fig10 [--records N] [--chart] [--csv]
+    python -m repro.cli all [--records N] [--out DIR]
+    python -m repro.cli trace mcf_inp [--records N]
+    python -m repro.cli trace all
+
+Each experiment prints the same rows/series the paper's figure reports and
+(with ``--out``) writes them to a text file per figure.  ``--chart``
+renders suite experiments as ASCII bar charts, ``--csv`` as CSV.  The
+``trace`` command characterizes any catalog workload (reuse distances,
+stride mass, Markov multi-target share) instead of simulating it.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from .experiments import (
+    ablation_degree,
+    ablation_offchip,
+    ablation_ways,
+    energy,
+    fig01_pattern,
+    fig06_accuracy_levels,
+    fig08_markov_targets,
+    fig10_speedup,
+    fig11_traffic,
+    fig12_coverage_accuracy,
+    fig13_learning_gcc,
+    fig14_learning_other,
+    fig15_graph,
+    fig16_sensitivity,
+    fig17_l1_prefetcher,
+    fig18_bandwidth,
+    fig19_breakdown,
+    injection,
+    overhead,
+    storage,
+    tlb_sensitivity,
+)
+
+#: name -> (report function taking n_records, default records, description)
+EXPERIMENTS: Dict[str, tuple] = {
+    "fig01": (fig01_pattern.report, 150_000, "metadata access pattern (omnetpp)"),
+    "fig06": (fig06_accuracy_levels.report, 150_000, "per-PC accuracy levels"),
+    "fig08": (fig08_markov_targets.report, 150_000, "Markov target distribution"),
+    "fig10": (fig10_speedup.report, 300_000, "IPC speedup (SPEC)"),
+    "fig11": (fig11_traffic.report, 300_000, "DRAM traffic (SPEC)"),
+    "fig12": (fig12_coverage_accuracy.report, 300_000, "coverage & accuracy"),
+    "fig13": (fig13_learning_gcc.report, 150_000, "learning across gcc inputs"),
+    "fig14": (fig14_learning_other.report, 150_000, "learning: astar & soplex"),
+    "fig15": (fig15_graph.report, 250_000, "CRONO graph workloads"),
+    "fig16": (fig16_sensitivity.report, 120_000, "parameter sensitivity"),
+    "fig17": (fig17_l1_prefetcher.report, 300_000, "IPCP L1 prefetcher"),
+    "fig18": (fig18_bandwidth.report, 300_000, "2 DRAM channels"),
+    "fig19": (fig19_breakdown.report, 150_000, "feature breakdown"),
+    "storage": (lambda n: storage.report(), 0, "storage overhead (5.10)"),
+    "energy": (energy.report, 150_000, "energy overhead (5.11)"),
+    "overhead": (overhead.report, 100_000, "profiling overheads (5.4)"),
+    "offchip": (ablation_offchip.report, 150_000,
+                "on-chip vs DRAM-resident metadata (STMS/Domino)"),
+    "injection": (injection.report, 80_000, "hint injection methods (4.4)"),
+    "tlbvm": (tlb_sensitivity.report, 150_000,
+              "realistic virtual memory (TLB + page-bound L1 PF)"),
+    "degree": (ablation_degree.report, 120_000,
+               "prefetch-degree ablation (aggressiveness claim)"),
+    "ways": (ablation_ways.report, 120_000,
+             "fixed metadata-table size sweep (resizing risk, 2.1.3)"),
+}
+
+#: Suite experiments that can render as charts/CSV: name -> (run fn, metric).
+CHARTABLE: Dict[str, tuple] = {
+    "fig10": (fig10_speedup.run, "speedup"),
+    "fig11": (fig11_traffic.run, "traffic"),
+    "fig12": (fig12_coverage_accuracy.run, "coverage"),
+    "fig15": (fig15_graph.run, "speedup"),
+    "offchip": (ablation_offchip.run, "traffic"),
+    "tlbvm": (tlb_sensitivity.run, "speedup"),
+}
+
+
+def run_chart(name: str, records: Optional[int], as_csv: bool) -> str:
+    """Render a suite experiment as an ASCII chart or CSV."""
+    from . import viz
+
+    run_fn, metric = CHARTABLE[name]
+    default_records = EXPERIMENTS[name][1]
+    results = run_fn(records or default_records)
+    if as_csv:
+        return viz.suite_to_csv(results, metric)
+    return viz.suite_chart(results, metric, title=f"{name} — {metric}")
+
+
+def run_trace_report(target: str, records: int) -> str:
+    """Characterize one catalog workload (or 'all' for the whole catalog)."""
+    from .workloads.analysis import characterize, summary_table
+    from .workloads.inputs import all_labels, make_trace
+
+    labels = all_labels() if target == "all" else [target]
+    known = set(all_labels())
+    unknown = [l for l in labels if l not in known]
+    if unknown:
+        raise SystemExit(
+            f"unknown workload(s): {', '.join(unknown)}; catalog: "
+            + ", ".join(all_labels())
+        )
+    characters = [characterize(make_trace(label, records)) for label in labels]
+    text = summary_table(characters)
+    if len(characters) == 1:
+        text += f"\n  verdict: {characters[0].verdict()}"
+    return text
+
+
+def run_experiment(name: str, records: Optional[int], out_dir: Optional[Path]) -> str:
+    report_fn, default_records, _desc = EXPERIMENTS[name]
+    n = records or default_records
+    start = time.perf_counter()
+    text = report_fn(n) if n else report_fn(0)
+    elapsed = time.perf_counter() - start
+    text = f"{text}\n  [{name}: {elapsed:.1f}s at {n or 'fixed'} records]"
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}.txt").write_text(text + "\n")
+    return text
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="Regenerate the paper's tables and figures."
+    )
+    parser.add_argument(
+        "experiment", help="experiment name, 'list', 'all', or 'trace'"
+    )
+    parser.add_argument(
+        "target", nargs="?", default=None,
+        help="workload label for the 'trace' command (or 'all')",
+    )
+    parser.add_argument("--records", type=int, default=None,
+                        help="trace length override")
+    parser.add_argument("--out", type=Path, default=None,
+                        help="directory for per-figure text outputs")
+    parser.add_argument("--chart", action="store_true",
+                        help="render suite experiments as ASCII bar charts")
+    parser.add_argument("--csv", action="store_true",
+                        help="render suite experiments as CSV")
+    args = parser.parse_args(argv)
+
+    if args.experiment == "list":
+        for name, (_fn, records, desc) in EXPERIMENTS.items():
+            chart = "  [chartable]" if name in CHARTABLE else ""
+            print(f"{name:10s} {desc}  (default {records or 'n/a'} records){chart}")
+        return 0
+
+    if args.experiment == "trace":
+        if args.target is None:
+            parser.error("trace requires a workload label (or 'all')")
+        print(run_trace_report(args.target, args.records or 60_000))
+        return 0
+
+    if args.chart or args.csv:
+        name = args.experiment
+        if name not in CHARTABLE:
+            parser.error(
+                f"{name!r} is not chartable; options: {', '.join(CHARTABLE)}"
+            )
+        print(run_chart(name, args.records, args.csv))
+        return 0
+
+    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in EXPERIMENTS]
+    if unknown:
+        parser.error(f"unknown experiment(s): {', '.join(unknown)}; try 'list'")
+    for name in names:
+        print(run_experiment(name, args.records, args.out))
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,79 @@
+"""Step 2: Analysis (Section 4.2).
+
+Offline script that turns a :class:`repro.core.profiler.CounterSet` into
+the hints of an optimized binary:
+
+- per profiled PC: the Equation 1 insertion bit and Equation 2 priority
+  level (together a 3-bit PC hint);
+- application-level: the Equation 3 metadata-table way count, written to
+  the CSR at program start.
+
+The paper reports this step takes under a second per workload — here it is
+a dictionary comprehension over byte-sized counters, which is the point of
+counter-based (rather than trace-based) profiling.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .hints import CSRHints, HintSet, PCHint
+from .insertion import DEFAULT_EL_ACC, insertion_bit
+from .profiler import CounterSet
+from .replacement import DEFAULT_PRIORITY_BITS, priority_level
+from .resizing import allocated_ways
+from ..sim.config import SystemConfig
+
+
+@dataclass(frozen=True)
+class AnalysisParams:
+    """Designer-controlled knobs (Fig. 16 sensitivities)."""
+
+    el_acc: float = DEFAULT_EL_ACC
+    priority_bits: int = DEFAULT_PRIORITY_BITS
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.el_acc <= 1.0:
+            raise ValueError("el_acc must be in [0, 1]")
+        if self.priority_bits < 1:
+            raise ValueError("priority_bits must be >= 1")
+
+
+def analyze(
+    counters: CounterSet,
+    config: SystemConfig,
+    params: AnalysisParams = AnalysisParams(),
+) -> HintSet:
+    """Generate the optimized binary's hints from profiling counters."""
+    pc_hints = {}
+    for pc, acc in counters.accuracy.items():
+        insert = insertion_bit(acc, params.el_acc)
+        prio = priority_level(acc, params.priority_bits, params.el_acc) if insert else 0
+        pc_hints[pc] = PCHint(insert=insert, priority=prio)
+    peak = _post_filter_peak(counters, pc_hints)
+    ways = allocated_ways(peak, config)
+    csr = CSRHints(metadata_ways=ways, prophet_enabled=ways > 0)
+    return HintSet(pc_hints=pc_hints, csr=csr)
+
+
+def _post_filter_peak(counters: CounterSet, pc_hints) -> int:
+    """Scale the profiled peak to the demand surviving the insertion filter.
+
+    Profiling runs with the insertion policy *disabled* (Section 3.2), so
+    the raw allocated-entries peak includes metadata the optimized binary
+    will never insert.  The per-PC distinct-key counters tell us what
+    fraction of the distinct metadata demand comes from PCs whose
+    insertion bit survived Equation 1; resizing for that fraction keeps
+    the LLC from paying for filtered-out junk.
+    """
+    if not counters.insert_counts:
+        return counters.peak_entries
+    total = sum(counters.insert_counts.values())
+    if total == 0:
+        return counters.peak_entries
+    kept = sum(
+        n
+        for pc, n in counters.insert_counts.items()
+        if pc not in pc_hints or pc_hints[pc].insert
+    )
+    return int(counters.peak_entries * (kept / total))

@@ -1,0 +1,109 @@
+"""Hint representation and injection (Section 4.4).
+
+Prophet's analysis produces two kinds of hints:
+
+- **PC-level hints** (3 bits per memory instruction): one insertion bit
+  (Equation 1) plus a 2-bit replacement priority level (Equation 2).  The
+  paper injects these either through reserved instruction bits / an x86
+  prefix, or through Whisper-style hint instructions that populate a
+  128-entry **hint buffer** near the prefetcher.  We model the hint
+  buffer: an associative PC -> hint map of bounded capacity, filled at
+  "program start" with the hottest-miss PCs.
+- **Application-level hints** in a **CSR**: the metadata-table way count
+  from Prophet Resizing (Equation 3) and the master enable bits, written
+  by a CSR-manipulation instruction at program entry.
+
+The "optimized binary" of the paper is, in this model, the original trace
+plus a :class:`HintSet` — hints travel with the workload, not the
+prefetcher, exactly like a recompiled binary would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Mapping, Optional
+
+#: Default hint-buffer capacity (0.19 KB, Section 4.4).
+HINT_BUFFER_ENTRIES = 128
+
+#: Bits per PC-level hint: 1 insertion bit + 2 priority bits.
+HINT_BITS = 3
+
+
+@dataclass(frozen=True)
+class PCHint:
+    """The 3-bit per-instruction hint."""
+
+    insert: bool  # Equation 1: train/insert metadata for this PC at all?
+    priority: int  # Equation 2: replacement priority level (0 .. 2^n - 1)
+
+    def __post_init__(self) -> None:
+        if self.priority < 0:
+            raise ValueError("priority must be non-negative")
+
+
+@dataclass(frozen=True)
+class CSRHints:
+    """Application-level hints applied at program start."""
+
+    metadata_ways: int  # Equation 3 outcome; 0 disables temporal prefetching
+    prophet_enabled: bool = True
+
+
+@dataclass
+class HintSet:
+    """Everything Prophet injected into one optimized binary."""
+
+    pc_hints: Dict[int, PCHint] = field(default_factory=dict)
+    csr: CSRHints = field(default_factory=lambda: CSRHints(metadata_ways=4))
+
+    @property
+    def storage_bits(self) -> int:
+        """Hint payload carried by the binary (3 bits per hinted PC)."""
+        return HINT_BITS * len(self.pc_hints)
+
+
+class HintBuffer:
+    """The 128-entry PC -> hint store consulted by the prefetcher.
+
+    Hint instructions execute once at program entry (inserted via BOLT in
+    the paper), so the model loads the buffer up front.  When more PCs are
+    hinted than the buffer holds, only the ``capacity`` hottest (by miss
+    count) are kept — matching the paper's "focus on memory instructions
+    that contribute the most to cache misses".
+    """
+
+    def __init__(self, capacity: int = HINT_BUFFER_ENTRIES):
+        if capacity <= 0:
+            raise ValueError("hint buffer capacity must be positive")
+        self.capacity = capacity
+        self._entries: Dict[int, PCHint] = {}
+
+    def load(
+        self,
+        pc_hints: Mapping[int, PCHint],
+        miss_counts: Optional[Mapping[int, int]] = None,
+    ) -> None:
+        """Fill the buffer, prioritizing the hottest-miss PCs."""
+        self._entries.clear()
+        pcs: Iterable[int] = pc_hints.keys()
+        if len(pc_hints) > self.capacity:
+            ranked = sorted(
+                pc_hints,
+                key=lambda pc: (miss_counts or {}).get(pc, 0),
+                reverse=True,
+            )
+            pcs = ranked[: self.capacity]
+        for pc in pcs:
+            self._entries[pc] = pc_hints[pc]
+
+    def lookup(self, pc: int) -> Optional[PCHint]:
+        return self._entries.get(pc)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def storage_bytes(self) -> float:
+        """Hardware cost: ~(PC tag + 3 hint bits) per entry, 0.19 KB/128."""
+        return self.capacity * 12 / 8

@@ -1,0 +1,25 @@
+"""Prophet Insertion Policy (Sections 2.1.1 and 4.2, Equation 1).
+
+The insertion policy filters only metadata that is *highly unlikely* to
+come from a temporal pattern: a PC whose profiled prefetching accuracy
+falls below the extremely low threshold ``EL_ACC`` gets a 0 insertion bit,
+and the prefetcher discards its demand requests for training/insertion.
+
+Unlike Triangel's PatternConf — which reacts to short-term history and
+rejects genuine patterns after a useless burst (Fig. 1) — this decision is
+made once from whole-program counters, so interleaved useful accesses are
+never collateral damage.
+"""
+
+from __future__ import annotations
+
+#: Default extremely-low-accuracy threshold (Fig. 16a: 0.15 is the sweet
+#: spot; 0.05 under-filters and 0.25 starts discarding useful metadata).
+DEFAULT_EL_ACC = 0.15
+
+
+def insertion_bit(accuracy: float, el_acc: float = DEFAULT_EL_ACC) -> bool:
+    """Equation 1: I(acc) = 1 iff acc >= EL_ACC."""
+    if not 0.0 <= el_acc <= 1.0:
+        raise ValueError("el_acc must be within [0, 1]")
+    return accuracy >= el_acc

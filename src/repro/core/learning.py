@@ -1,0 +1,69 @@
+"""Step 3: Learning (Section 4.3).
+
+Prophet re-profiles at intervals under new program inputs and *merges* the
+new counters with the maintained ones, so a single optimized binary
+converges to good hints for every input it has seen (Fig. 13/14).
+
+Per-PC prefetching accuracy merges by Equation 4:
+
+    merged = o + (n - o) / min(l + 1, L)   if the PC was seen before
+    merged = n                              otherwise
+
+where ``o``/``n`` are the old/new values, ``l`` is the number of completed
+Analysis loops, and ``L`` caps the dampening so frequently observed values
+dominate over time.  The peak allocated-entry count merges by Equation 5:
+``merged = max(o, n)`` (conservative: the table must fit every input).
+
+The three Fig. 7 cases fall out directly:
+
+- **Load A** (same behaviour under both inputs): o and n sit in the same
+  hint bucket, so the merged value keeps the hint.
+- **Loads B/C** (input-specific): the PC is new, merged = n, and the next
+  Analysis emits a hint for it.
+- **Load E** (same PC, different behaviour): the merge nudges o toward n;
+  with repeated observations the frequent behaviour wins.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .profiler import CounterSet
+
+#: Default dampening cap L of Equation 4.
+DEFAULT_LOOP_CAP = 4
+
+
+def merge_accuracy(old: float, new: float, loops: int, loop_cap: int) -> float:
+    """Equation 4 for one PC present in both counter sets."""
+    step = min(loops + 1, loop_cap)
+    return old + (new - old) / step
+
+
+def merge_counters(
+    old: CounterSet, new: CounterSet, loop_cap: int = DEFAULT_LOOP_CAP
+) -> CounterSet:
+    """Merge a new profiling round into the maintained counters."""
+    if loop_cap < 1:
+        raise ValueError("loop_cap must be >= 1")
+    accuracy: Dict[int, float] = dict(old.accuracy)
+    for pc, n_acc in new.accuracy.items():
+        o_acc = accuracy.get(pc)
+        if o_acc is None:
+            accuracy[pc] = n_acc  # Equation 4's "o not in X" branch
+        else:
+            accuracy[pc] = merge_accuracy(o_acc, n_acc, old.loops, loop_cap)
+    miss_counts: Dict[int, int] = dict(old.miss_counts)
+    for pc, n_miss in new.miss_counts.items():
+        miss_counts[pc] = max(miss_counts.get(pc, 0), n_miss)
+    insert_counts: Dict[int, int] = dict(old.insert_counts)
+    for pc, n_ins in new.insert_counts.items():
+        insert_counts[pc] = max(insert_counts.get(pc, 0), n_ins)
+    return CounterSet(
+        accuracy=accuracy,
+        miss_counts=miss_counts,
+        insert_counts=insert_counts,
+        peak_entries=max(old.peak_entries, new.peak_entries),  # Equation 5
+        loops=old.loops + 1,
+        source=f"{old.source}+{new.source}" if old.source else new.source,
+    )

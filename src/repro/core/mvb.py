@@ -1,0 +1,126 @@
+"""Multi-path Victim Buffer (Section 4.5).
+
+The metadata table stores one Markov target per address; addresses with
+several targets (Fig. 8: ~45 % of addresses have 2+) thrash their entry and
+mispredict.  The MVB captures targets displaced from the metadata table —
+both set-replacement victims and same-key overwrites — and serves them as
+*additional* prefetch candidates on lookup.
+
+Management rules (paper):
+
+- **Insertion**: only targets whose replacement priority level is > 0
+  (``acc > EL_ACC``) are buffered.
+- **Replacement**: each stored target has a small counter, incremented on
+  use; the entry priority is the maximum counter among its targets, and
+  low-priority entries are evicted first (LRU tie-break).
+- **Prefetch**: every metadata-table lookup also consults the MVB; targets
+  different from the table's answer are prefetched, up to the configured
+  candidate count (Fig. 16c sensitivity: 1 is the sweet spot).
+
+Geometry: 65,536 entries at 43 bits each = 344 KB (Section 5.10).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+#: Paper geometry (Section 5.10).
+MVB_ENTRIES = 65_536
+MVB_BITS_PER_ENTRY = 43  # 31-bit target + 10-bit tag + 2-bit counter
+COUNTER_MAX = 3  # 2-bit usefulness counter
+
+
+@dataclass
+class _MVBEntry:
+    targets: List[int] = field(default_factory=list)
+    counters: List[int] = field(default_factory=list)
+    lru: int = 0
+
+
+class MultiPathVictimBuffer:
+    """Set-associative victim store for alternate Markov targets."""
+
+    def __init__(
+        self,
+        entries: int = MVB_ENTRIES,
+        assoc: int = 8,
+        candidates_per_entry: int = 1,
+    ):
+        if candidates_per_entry < 1:
+            raise ValueError("candidates_per_entry must be >= 1")
+        self.assoc = assoc
+        self.n_sets = max(1, entries // assoc)
+        self.capacity = self.n_sets * assoc
+        self.candidates_per_entry = candidates_per_entry
+        self._sets: List[Dict[int, _MVBEntry]] = [dict() for _ in range(self.n_sets)]
+        self._clock = 0
+        self.inserts = 0
+        self.hits = 0
+        self.lookups = 0
+
+    def _set_of(self, line: int) -> Dict[int, _MVBEntry]:
+        return self._sets[line % self.n_sets]
+
+    # ------------------------------------------------------------------
+    def insert(self, line: int, target: int, priority: int) -> None:
+        """Buffer a displaced Markov target (only if priority > 0)."""
+        if priority <= 0:
+            return
+        bucket = self._set_of(line)
+        self._clock += 1
+        entry = bucket.get(line)
+        if entry is None:
+            if len(bucket) >= self.assoc:
+                self._evict(bucket)
+            entry = _MVBEntry()
+            bucket[line] = entry
+        entry.lru = self._clock
+        if target in entry.targets:
+            return
+        if len(entry.targets) >= self.candidates_per_entry:
+            # Displace the coldest stored target.
+            coldest = min(range(len(entry.targets)), key=lambda i: entry.counters[i])
+            entry.targets[coldest] = target
+            entry.counters[coldest] = 0
+        else:
+            entry.targets.append(target)
+            entry.counters.append(0)
+        self.inserts += 1
+
+    def _evict(self, bucket: Dict[int, _MVBEntry]) -> None:
+        """Prophet replacement: lowest max-counter first, LRU tie-break."""
+        victim_key = min(
+            bucket,
+            key=lambda k: (max(bucket[k].counters, default=0), bucket[k].lru),
+        )
+        del bucket[victim_key]
+
+    # ------------------------------------------------------------------
+    def lookup(self, line: int, exclude: Optional[int] = None) -> List[int]:
+        """Alternate targets for ``line`` (excluding the table's answer)."""
+        self.lookups += 1
+        entry = self._set_of(line).get(line)
+        if entry is None:
+            return []
+        self._clock += 1
+        entry.lru = self._clock
+        out: List[int] = []
+        for i, target in enumerate(entry.targets):
+            if target == exclude:
+                continue
+            entry.counters[i] = min(COUNTER_MAX, entry.counters[i] + 1)
+            out.append(target)
+        if out:
+            self.hits += 1
+        return out
+
+    # ------------------------------------------------------------------
+    @property
+    def live_entries(self) -> int:
+        return sum(len(bucket) for bucket in self._sets)
+
+    @property
+    def storage_bytes(self) -> int:
+        """344 KB at paper geometry (Section 5.10)."""
+        return self.capacity * MVB_BITS_PER_ENTRY // 8

@@ -1,0 +1,96 @@
+"""The full Prophet workflow: Profile -> Analyze -> (Learn -> Analyze)*.
+
+Ties the three steps of Fig. 5 together around the simulator:
+
+1. :func:`repro.core.profiler.profile` runs the binary (trace) under the
+   simplified temporal prefetcher and collects counters;
+2. :func:`repro.core.analysis.analyze` turns counters into an
+   :class:`OptimizedBinary` (the original workload + injected hints);
+3. :func:`OptimizedBinary.learn` merges counters from further inputs
+   (Equation 4/5) and regenerates the hints — the Fig. 13/14 loop.
+
+``run_prophet`` is the one-call entry point most experiments use: profile
+an input, build the optimized binary, and simulate it with Prophet.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional
+
+from ..sim.config import SystemConfig
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from ..workloads.base import Trace
+from .analysis import AnalysisParams, analyze
+from .hints import HintSet
+from .learning import DEFAULT_LOOP_CAP, merge_counters
+from .profiler import CounterSet, profile
+from .prophet import ProphetFeatures, ProphetPrefetcher
+
+
+@dataclass
+class OptimizedBinary:
+    """A workload binary with Prophet hints injected.
+
+    Mirrors the paper's artifact: the binary is re-analyzed (hints
+    regenerated) every time new counters are learned, while the maintained
+    counters accumulate across inputs.
+    """
+
+    app: str
+    counters: CounterSet
+    hints: HintSet
+    params: AnalysisParams = field(default_factory=AnalysisParams)
+
+    @classmethod
+    def from_profile(
+        cls,
+        trace: Trace,
+        config: SystemConfig,
+        params: AnalysisParams = AnalysisParams(),
+        warmup_frac: float = 0.25,
+    ) -> "OptimizedBinary":
+        """Steps 1+2 on a first input."""
+        counters = profile(trace, config, warmup_frac)
+        return cls(trace.name, counters, analyze(counters, config, params), params)
+
+    def learn(
+        self,
+        trace: Trace,
+        config: SystemConfig,
+        loop_cap: int = DEFAULT_LOOP_CAP,
+        warmup_frac: float = 0.25,
+    ) -> "OptimizedBinary":
+        """Step 3 + re-analysis on a new input; returns a new binary."""
+        if trace.name != self.app:
+            raise ValueError(
+                f"learning input for {trace.name!r} into binary for {self.app!r}"
+            )
+        new_counters = profile(trace, config, warmup_frac)
+        merged = merge_counters(self.counters, new_counters, loop_cap)
+        return OptimizedBinary(
+            self.app, merged, analyze(merged, config, self.params), self.params
+        )
+
+    def prefetcher(
+        self, config: SystemConfig, features: ProphetFeatures = ProphetFeatures()
+    ) -> ProphetPrefetcher:
+        return ProphetPrefetcher(
+            config, self.hints, features, miss_counts=self.counters.miss_counts
+        )
+
+
+def run_prophet(
+    trace: Trace,
+    config: SystemConfig,
+    features: ProphetFeatures = ProphetFeatures(),
+    params: AnalysisParams = AnalysisParams(),
+    binary: Optional[OptimizedBinary] = None,
+    warmup_frac: float = 0.25,
+) -> SimResult:
+    """Profile (unless a binary is supplied) and simulate under Prophet."""
+    if binary is None:
+        binary = OptimizedBinary.from_profile(trace, config, params, warmup_frac)
+    pf = binary.prefetcher(config, features)
+    return run_simulation(trace, config, pf, "prophet", warmup_frac)

@@ -1,0 +1,121 @@
+"""Step 1: Profiling (Section 4.1).
+
+Prophet profiles with *counters, not traces*: the program runs once under
+the **simplified temporal prefetcher** — insertion policy disabled, a
+fixed 1 MB metadata table, prefetch degree 1 — while PEBS-like events
+count, per PC,
+
+- ``MEM_LOAD_RETIRED.L2_Prefetch_Issue``  (issued prefetches),
+- ``MEM_LOAD_RETIRED.L2_Prefetch_Useful`` (prefetches hit by demands),
+- ``MEM_LOAD_RETIRED.L2_MISS``            (to pick hint-buffer residents),
+
+plus one standard PMU pair whose difference is the number of allocated
+metadata entries (insertions − replacements); its running peak drives
+Prophet Resizing.
+
+In this reproduction the PMU *is* the simulator's per-PC accounting: the
+profiler runs :func:`repro.sim.engine.run_simulation` with the simplified
+configuration and packages the counters into a :class:`CounterSet`, the
+byte-sized artifact that Steps 2 and 3 operate on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+from ..prefetchers.triage import TriagePrefetcher
+from ..sim.config import MAX_METADATA_ENTRIES, SystemConfig
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from ..workloads.base import Trace
+
+
+@dataclass
+class CounterSet:
+    """The profiling artifact: per-PC accuracy counters + one app counter.
+
+    ``accuracy`` maps PC -> prefetching accuracy (useful/issued) under the
+    simplified temporal prefetcher; ``miss_counts`` ranks PCs for the hint
+    buffer; ``peak_entries`` is the allocated-entries peak for resizing.
+    ``loops`` counts how many Analysis rounds these counters have been
+    through (the ``l`` of Equation 4).
+    """
+
+    accuracy: Dict[int, float] = field(default_factory=dict)
+    miss_counts: Dict[int, int] = field(default_factory=dict)
+    insert_counts: Dict[int, int] = field(default_factory=dict)
+    peak_entries: int = 0
+    loops: int = 1
+    source: str = ""
+
+    def accuracy_of(self, pc: int) -> Optional[float]:
+        return self.accuracy.get(pc)
+
+    @property
+    def n_pcs(self) -> int:
+        return len(self.accuracy)
+
+
+def simplified_prefetcher(config: SystemConfig) -> TriagePrefetcher:
+    """The profiling configuration of Section 3.2.
+
+    "The simplified temporal prefetcher operates with a configuration of
+    Prophet with insertion policy disabled, a fixed metadata table of
+    1 MB, and a prefetching degree of 1" — i.e. a degree-1, full-table,
+    unfiltered trainer.
+    """
+    pf = TriagePrefetcher(
+        config,
+        degree=1,
+        replacement="srrip",
+        initial_ways=config.l3.assoc // 2,  # 8 ways == 1 MB
+        resize_enabled=False,
+        track_inserts=True,
+    )
+    return pf
+
+
+def profile(
+    trace: Trace,
+    config: SystemConfig,
+    warmup_frac: float = 0.25,
+    min_issued: int = 8,
+) -> CounterSet:
+    """Run Step 1 and return the counters.
+
+    PCs with fewer than ``min_issued`` issued prefetches are skipped: a
+    real PEBS sample would not resolve their accuracy, and Equation 4's
+    merge handles their later appearance.
+    """
+    pf = simplified_prefetcher(config)
+    result = run_simulation(trace, config, pf, "profiling", warmup_frac)
+    return counters_from_result(result, min_issued, pf.insert_key_counts())
+
+
+def counters_from_result(
+    result: SimResult,
+    min_issued: int = 8,
+    insert_counts: Optional[Dict[int, int]] = None,
+) -> CounterSet:
+    """Package a simplified-TP run's per-PC stats into a CounterSet."""
+    accuracy: Dict[int, float] = {}
+    for pc, issued in result.issued_by_pc.items():
+        if issued < min_issued:
+            continue
+        accuracy[pc] = result.useful_by_pc.get(pc, 0) / issued
+    # PCs that miss a lot but never triggered a prefetch have accuracy 0 —
+    # exactly the metadata the insertion policy should reject.
+    total_misses = sum(result.miss_by_pc.values())
+    for pc, misses in result.miss_by_pc.items():
+        if pc not in accuracy and total_misses and misses / total_misses >= 0.005:
+            accuracy[pc] = 0.0
+    peak = min(result.metadata_peak_entries, MAX_METADATA_ENTRIES)
+    return CounterSet(
+        accuracy=accuracy,
+        miss_counts=dict(result.miss_by_pc),
+        insert_counts=dict(insert_counts or {}),
+        peak_entries=peak,
+        loops=1,
+        source=result.label,
+    )

@@ -1,0 +1,184 @@
+"""The Prophet prefetcher (Section 3.1, Fig. 4).
+
+Prophet coexists with the runtime hardware temporal prefetcher: both share
+the on-chip Markov metadata table, and for each demand request the
+prefetcher consults the **hint buffer**.
+
+- PC *in* the hint buffer -> Prophet's profile-guided policies apply:
+  the Equation 1 insertion bit decides training/insertion, the Equation 2
+  priority level is recorded into the Prophet Replacement State, and the
+  prefetch walk is gated by the same bit.
+- PC *not* in the buffer -> the runtime solution (Triangel's PatternConf/
+  ReuseConf, or plain Triage) decides, preserving the original behaviour
+  for code the profile never saw — the "Compatible" property.
+
+Resizing: with Prophet Resizing enabled the CSR fixes the table size at
+program start (Equation 3) and the runtime Set Dueller is disabled; the
+metadata table may also be disabled outright when the profiled demand is
+under half a way.
+
+The Multi-path Victim Buffer feeds on entries displaced from the table
+(replacements and same-key overwrites with priority > 0) and contributes
+alternate Markov targets to every prefetch walk (Section 4.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional
+
+from ..prefetchers.base import L2AccessInfo, PrefetchRequest
+from ..prefetchers.markov import MetadataTable
+from ..prefetchers.triangel import TriangelPrefetcher
+from ..sim.config import SystemConfig
+from .hints import HintBuffer, HintSet
+from .mvb import MultiPathVictimBuffer
+
+
+@dataclass(frozen=True)
+class ProphetFeatures:
+    """Feature switches for the Fig. 19 breakdown and Fig. 16 sweeps."""
+
+    insertion: bool = True
+    replacement: bool = True
+    resizing: bool = True
+    mvb: bool = True
+    mvb_candidates: int = 1
+    degree: int = 4
+    #: Runtime fallback for unhinted PCs: "triangel" (PatternConf/ReuseConf
+    #: + Set Dueller) or "triage" (no filter, fixed table) — the Fig. 19
+    #: ablation base is Triage4 + Triangel's metadata format.
+    runtime: str = "triangel"
+
+    def __post_init__(self) -> None:
+        if self.runtime not in ("triangel", "triage"):
+            raise ValueError("runtime must be 'triangel' or 'triage'")
+        if self.mvb_candidates < 1:
+            raise ValueError("mvb_candidates must be >= 1")
+
+
+#: Priority recorded for runtime-policy (unhinted) insertions: one level
+#: above the floor, so profiled-low PCs are evicted before unknown ones but
+#: profiled-high PCs outrank both.
+RUNTIME_PRIORITY = 1
+
+
+class ProphetPrefetcher(TriangelPrefetcher):
+    """Prophet policies layered over a runtime temporal prefetcher."""
+
+    name = "prophet"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        hints: HintSet,
+        features: ProphetFeatures = ProphetFeatures(),
+        miss_counts: Optional[Mapping[int, int]] = None,
+        runtime_initial_ways: int = 4,
+    ):
+        runtime_is_triangel = features.runtime == "triangel"
+        super().__init__(
+            config,
+            degree=features.degree,
+            dueller_enabled=runtime_is_triangel and not features.resizing,
+            insertion_filter_enabled=runtime_is_triangel,
+            initial_ways=runtime_initial_ways,
+        )
+        self.features = features
+        self.hints = hints
+        self.hint_buffer = HintBuffer()
+        self.hint_buffer.load(hints.pc_hints, miss_counts)
+        self.prophet_enabled = hints.csr.prophet_enabled
+
+        if features.resizing:
+            self.initial_ways = hints.csr.metadata_ways
+            if self.initial_ways == 0:
+                self.prophet_enabled = False  # Equation 3 disabled the TP
+        elif features.runtime == "triage":
+            # Fig. 19 base: fixed full-size table, no runtime resizing.
+            self.initial_ways = config.l3.assoc // 2
+
+        self.table = MetadataTable(
+            config.metadata_capacity_for_ways(max(1, self.initial_ways)),
+            replacement="srrip",
+            prophet_priorities=features.replacement,
+        )
+        self.mvb = (
+            MultiPathVictimBuffer(candidates_per_entry=features.mvb_candidates)
+            if features.mvb
+            else None
+        )
+
+    # ------------------------------------------------------------------
+    def observe(self, access: L2AccessInfo) -> List[PrefetchRequest]:
+        if self.initial_ways == 0 and self.features.resizing:
+            return []  # temporal prefetching disabled by Equation 3
+        pc, line = access.pc, access.line
+        self._access_index += 1
+        entry = self._trainer_entry(pc)
+        self._update_confidences(entry, line)
+
+        hint = self.hint_buffer.lookup(pc) if self.prophet_enabled else None
+        if hint is not None and self.features.insertion:
+            # Prophet Insertion Policy: the runtime policy is disabled for
+            # hinted PCs (Section 3.1).
+            allow = hint.insert
+        else:
+            allow = self.runtime_allow(entry)
+
+        if entry.last_line >= 0 and entry.last_line != line and allow:
+            if hint is not None and self.features.replacement:
+                priority = hint.priority
+            else:
+                priority = RUNTIME_PRIORITY
+            displaced = self.table.insert(entry.last_line, line, priority)
+            if displaced is not None and self.mvb is not None:
+                self.mvb.insert(
+                    displaced.key_line, displaced.target, displaced.priority
+                )
+        entry.last_line = line
+
+        if not allow:
+            return []
+        requests = self._walk_with_mvb(line, pc)
+        return requests
+
+    def _walk_with_mvb(self, line: int, pc: int) -> List[PrefetchRequest]:
+        """Chain walk that also consults the Multi-path Victim Buffer."""
+        requests: List[PrefetchRequest] = []
+        cursor: Optional[int] = line
+        for depth in range(self.degree):
+            target = self.table.lookup(cursor)
+            if self.mvb is not None:
+                for alt in self.mvb.lookup(cursor, exclude=target):
+                    requests.append(
+                        PrefetchRequest(alt, trigger_pc=pc, chain_depth=depth)
+                    )
+            if target is None:
+                break
+            requests.append(PrefetchRequest(target, trigger_pc=pc, chain_depth=depth))
+            cursor = target
+        return requests
+
+    # ------------------------------------------------------------------
+    def desired_metadata_ways(self, current_ways: int) -> Optional[int]:
+        if self.features.resizing:
+            return None  # fixed at program start via the CSR
+        return super().desired_metadata_ways(current_ways)
+
+    # ------------------------------------------------------------------
+    # storage accounting (Section 5.10)
+    # ------------------------------------------------------------------
+    def storage_overhead_bytes(self) -> Dict[str, float]:
+        """Prophet-specific storage: replacement state, hint buffer, MVB."""
+        from .replacement import DEFAULT_PRIORITY_BITS, replacement_state_bytes
+
+        overhead: Dict[str, float] = {
+            "replacement_state": replacement_state_bytes(
+                self.table.capacity, DEFAULT_PRIORITY_BITS
+            ),
+            "hint_buffer": self.hint_buffer.storage_bytes,
+        }
+        if self.mvb is not None:
+            overhead["mvb"] = float(self.mvb.storage_bytes)
+        return overhead

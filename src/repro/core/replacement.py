@@ -1,0 +1,53 @@
+"""Prophet Replacement Policy (Sections 2.1.2 and 4.2, Equation 2).
+
+Metadata entries are tagged with a priority level derived from their
+inserting PC's profiled prefetching accuracy.  With ``n`` priority bits,
+the accuracy range [EL_ACC, 1) is cut into 2^n levels:
+
+    R(acc) = k  for  k/2^n <= acc < (k+1)/2^n   (floored at level 0
+             for EL_ACC <= acc < 1/2^n)
+
+Victim selection picks candidates from the lowest populated level and
+lets the runtime replacement state (SRRIP/LRU recency) break ties — the
+"Prophet generates candidate victims, the runtime policy chooses the final
+victim" flow of Section 3.1.  The mechanism itself lives in
+:class:`repro.prefetchers.markov.MetadataTable` (``prophet_priorities``);
+this module computes the levels.
+
+The paper adopts n = 2 (a 2-bit Prophet Replacement State per entry,
+48 KB for the 196,608-entry table); Fig. 16b sweeps n in {1, 2, 3}.
+"""
+
+from __future__ import annotations
+
+from .insertion import DEFAULT_EL_ACC
+
+#: Paper default: 2 priority bits.
+DEFAULT_PRIORITY_BITS = 2
+
+
+def priority_level(
+    accuracy: float,
+    n_bits: int = DEFAULT_PRIORITY_BITS,
+    el_acc: float = DEFAULT_EL_ACC,
+) -> int:
+    """Equation 2: map accuracy to one of 2^n priority levels.
+
+    Accuracies below ``el_acc`` never reach here in normal operation (the
+    insertion policy already dropped them); they map to level 0.
+    """
+    if n_bits < 1:
+        raise ValueError("n_bits must be >= 1")
+    levels = 1 << n_bits
+    if accuracy >= 1.0:
+        return levels - 1
+    if accuracy < el_acc:
+        return 0
+    return int(accuracy * levels)
+
+
+def replacement_state_bytes(
+    table_entries: int, n_bits: int = DEFAULT_PRIORITY_BITS
+) -> int:
+    """Storage for the Prophet Replacement State (48 KB at paper scale)."""
+    return table_entries * n_bits // 8

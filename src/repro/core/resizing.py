@@ -1,0 +1,45 @@
+"""Prophet Resizing (Sections 2.1.3 and 4.2, Equation 3).
+
+Prophet sizes the metadata table *once*, at program start, from the peak
+number of allocated entries observed during profiling — a Bloom-filter-
+grade measurement without the 200 KB of runtime filter state Triage needs,
+and without the Set Dueller's tendency to sample itself into conservative
+sizes on long-reuse workloads (omnetpp, mcf).
+
+The pipeline:
+
+1. round the peak entry count up to a power of two (capped at the 1 MB
+   table's 196,608 entries);
+2. convert to LLC ways: ``ways = ceil(target_lines / llc_sets)`` where
+   each reserved way stores ``llc_sets * 12`` compressed entries;
+3. if the demand is under half a way, disable temporal prefetching
+   entirely (Equation 3's < 0.5 rule) — the table would cost more LLC
+   capacity than its prefetches return.
+"""
+
+from __future__ import annotations
+
+from ..sim.config import MAX_METADATA_ENTRIES, SystemConfig
+
+
+def rounded_target_entries(peak_entries: int) -> int:
+    """Round the profiled peak up to a power of two, capped at 1 MB."""
+    if peak_entries <= 0:
+        return 0
+    target = 1
+    while target < peak_entries:
+        target <<= 1
+    return min(target, MAX_METADATA_ENTRIES)
+
+
+def allocated_ways(peak_entries: int, config: SystemConfig) -> int:
+    """Equation 3: LLC ways for the metadata table; 0 = disable TP."""
+    target = rounded_target_entries(peak_entries)
+    if target == 0:
+        return 0
+    per_way = config.metadata_entries_per_llc_way
+    ways_exact = target / per_way
+    if ways_exact < 0.5:
+        return 0
+    ways = -(-target // per_way)  # ceil
+    return min(ways, config.l3.assoc // 2)

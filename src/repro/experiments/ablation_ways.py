@@ -1,0 +1,105 @@
+"""Ablation: fixed metadata-table size (the resizing-risk claim).
+
+Section 2.1.3 argues that resizing "provides only marginal performance
+gains, while incorrect resizing can significantly degrade performance" —
+which is why Prophet replaces runtime resizing with a profile-derived
+fixed allocation.  This sweep pins the metadata table to 0/2/4/8 LLC ways
+(no runtime resizing, no Prophet) and measures each workload at each
+size.
+
+Expected shape:
+
+- workloads with large metadata needs (mcf, omnetpp) lose coverage when
+  the table is squeezed — their best size is large;
+- workloads with small needs (sphinx3) pay LLC-capacity pollution when
+  the table is oversized — their best size is small;
+- consequently no single fixed size is best for every workload, which is
+  exactly the gap Prophet's per-application CSR hint closes.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..prefetchers.triage import TriagePrefetcher
+from ..sim.config import SystemConfig, default_config
+from ..sim.engine import run_simulation
+from ..sim.results import format_table, geomean
+from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+
+WAY_CHOICES = (0, 2, 4, 8)
+
+
+def sweep(
+    n_records: int = 120_000,
+    config: Optional[SystemConfig] = None,
+    ways: tuple = WAY_CHOICES,
+) -> Dict[str, Dict[int, float]]:
+    """workload -> {ways: speedup-over-no-TP-baseline}."""
+    config = config or default_config()
+    out: Dict[str, Dict[int, float]] = {}
+    for app, inp in SPEC_WORKLOADS:
+        trace = make_spec_trace(app, inp, n_records)
+        base = run_simulation(trace, config, None, "baseline")
+        row: Dict[int, float] = {}
+        for n_ways in ways:
+            if n_ways == 0:
+                row[0] = 1.0  # no table at all == the baseline
+                continue
+            pf = TriagePrefetcher(
+                config,
+                degree=4,
+                replacement="srrip",
+                initial_ways=n_ways,
+                resize_enabled=False,
+            )
+            res = run_simulation(trace, config, pf, f"ways{n_ways}")
+            row[n_ways] = res.speedup_over(base)
+        out[trace.label] = row
+    return out
+
+
+def best_ways(results: Dict[str, Dict[int, float]]) -> Dict[str, int]:
+    """Each workload's best fixed size (what Prophet's CSR would encode)."""
+    return {
+        label: max(row, key=row.get) for label, row in results.items()
+    }
+
+
+def geomean_by_ways(results: Dict[str, Dict[int, float]]) -> Dict[int, float]:
+    ways = sorted(next(iter(results.values())))
+    return {
+        w: geomean([row[w] for row in results.values()]) for w in ways
+    }
+
+
+def oracle_geomean(results: Dict[str, Dict[int, float]]) -> float:
+    """Geomean when every workload gets its own best size — Prophet's
+    per-application resizing upper bound."""
+    return geomean([max(row.values()) for row in results.values()])
+
+
+def render(results: Dict[str, Dict[int, float]]) -> str:
+    ways = sorted(next(iter(results.values())))
+    rows = []
+    best = best_ways(results)
+    for label, row in results.items():
+        rows.append(
+            [label]
+            + [f"{row[w]:.3f}" for w in ways]
+            + [str(best[label])]
+        )
+    gm = geomean_by_ways(results)
+    rows.append(
+        ["Geomean"] + [f"{gm[w]:.3f}" for w in ways]
+        + [f"oracle {oracle_geomean(results):.3f}"]
+    )
+    return format_table(
+        ["workload"] + [f"ways={w}" for w in ways] + ["best"],
+        rows,
+        "Fixed metadata-table size sweep (Section 2.1.3)",
+    )
+
+
+def report(n_records: int = 120_000) -> str:
+    return render(sweep(n_records))

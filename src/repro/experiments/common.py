@@ -1,0 +1,215 @@
+"""Shared experiment infrastructure.
+
+Every figure-reproduction module builds on :func:`evaluate_suite`: run a
+set of workloads under a set of schemes (always including the
+no-temporal-prefetcher baseline every paper metric normalizes to) and
+collect :class:`repro.sim.results.SimResult` per (workload, scheme).
+
+Schemes are small factories so each workload gets a fresh prefetcher and
+Prophet gets its own profiling pass (its hints are workload-specific, like
+the recompiled binaries in the paper).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from ..core.analysis import AnalysisParams
+from ..core.pipeline import OptimizedBinary
+from ..core.prophet import ProphetFeatures, ProphetPrefetcher
+from ..prefetchers.base import L2Prefetcher
+from ..prefetchers.rpg2 import (
+    RPG2Prefetcher,
+    binary_search_distance,
+    identify_kernels,
+)
+from ..prefetchers.triage import TriagePrefetcher
+from ..prefetchers.triangel import TriangelPrefetcher
+from ..sim.config import SystemConfig, default_config
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult, format_table, geomean
+from ..workloads.base import Trace
+
+#: Fraction of the trace used for RPG2's online distance tuning runs.
+RPG2_TUNE_FRACTION = 0.3
+
+
+@dataclass
+class SuiteResults:
+    """Results for one experiment: per-workload, per-scheme SimResults."""
+
+    schemes: List[str]
+    by_workload: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible dict for persisting a whole experiment run."""
+        return {
+            "schemes": list(self.schemes),
+            "by_workload": {
+                label: {s: r.to_dict() for s, r in per_scheme.items()}
+                for label, per_scheme in self.by_workload.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "SuiteResults":
+        return cls(
+            schemes=list(d["schemes"]),
+            by_workload={
+                label: {
+                    s: SimResult.from_dict(rd) for s, rd in per_scheme.items()
+                }
+                for label, per_scheme in d["by_workload"].items()
+            },
+        )
+
+    def save(self, path) -> None:
+        """Write the run to a JSON file."""
+        import json
+        from pathlib import Path
+
+        Path(path).write_text(json.dumps(self.to_dict()))
+
+    @classmethod
+    def load(cls, path) -> "SuiteResults":
+        """Read a run written by :meth:`save`."""
+        import json
+        from pathlib import Path
+
+        return cls.from_dict(json.loads(Path(path).read_text()))
+
+    def baseline(self, label: str) -> SimResult:
+        return self.by_workload[label]["baseline"]
+
+    def speedup(self, label: str, scheme: str) -> float:
+        return self.by_workload[label][scheme].speedup_over(self.baseline(label))
+
+    def coverage(self, label: str, scheme: str) -> float:
+        return self.by_workload[label][scheme].coverage_over(self.baseline(label))
+
+    def accuracy(self, label: str, scheme: str) -> float:
+        return self.by_workload[label][scheme].accuracy
+
+    def traffic(self, label: str, scheme: str) -> float:
+        return self.by_workload[label][scheme].traffic_over(self.baseline(label))
+
+    @property
+    def labels(self) -> List[str]:
+        return list(self.by_workload)
+
+    def geomean_speedup(self, scheme: str) -> float:
+        return geomean([self.speedup(label, scheme) for label in self.labels])
+
+    def geomean_metric(self, scheme: str, metric: str) -> float:
+        fn = getattr(self, metric)
+        return geomean([fn(label, scheme) for label in self.labels])
+
+    def table(self, metric: str = "speedup", title: Optional[str] = None) -> str:
+        """Render the figure's rows: one line per workload plus geomean."""
+        fn = getattr(self, metric)
+        rows = []
+        for label in self.labels:
+            rows.append(
+                [label] + [f"{fn(label, s):.3f}" for s in self.schemes]
+            )
+        rows.append(
+            ["Geomean"]
+            + [f"{self.geomean_metric(s, metric):.3f}" for s in self.schemes]
+        )
+        return format_table(["workload"] + list(self.schemes), rows, title)
+
+
+SchemeFactory = Callable[[Trace, SystemConfig, SimResult], Optional[L2Prefetcher]]
+
+
+def make_triangel(trace: Trace, config: SystemConfig, base: SimResult):
+    return TriangelPrefetcher(config)
+
+
+def make_triage4(trace: Trace, config: SystemConfig, base: SimResult):
+    """Fig. 19's "Triage4 + Triangel Meta" base configuration."""
+    return TriagePrefetcher(
+        config, degree=4, replacement="srrip",
+        initial_ways=config.l3.assoc // 2, resize_enabled=False,
+    )
+
+
+def make_rpg2(trace: Trace, config: SystemConfig, base: SimResult):
+    """RPG2 with kernel identification and binary-search distance tuning.
+
+    Follows the paper's baseline methodology (Section 5.1): PCs with
+    >= 10 % of cache misses and a stride-analyzable kernel get a simulated
+    software prefetch at ``address + distance``, with the distance tuned
+    by binary search on IPC over a shortened run.
+    """
+    kernels = identify_kernels(trace.pcs, trace.lines, base.miss_by_pc)
+    if not kernels:
+        return RPG2Prefetcher([])
+    tune_trace = trace.interval(0, max(2000, int(len(trace) * RPG2_TUNE_FRACTION)))
+
+    def evaluate(distance: int) -> float:
+        pf = RPG2Prefetcher(kernels).with_distance(distance)
+        return run_simulation(tune_trace, config, pf, "rpg2-tune").ipc
+
+    best, _ = binary_search_distance(evaluate)
+    return RPG2Prefetcher(kernels).with_distance(best)
+
+
+def make_prophet(
+    features: ProphetFeatures = ProphetFeatures(),
+    params: AnalysisParams = AnalysisParams(),
+) -> SchemeFactory:
+    """Prophet factory: profiles each workload, then attaches the hints."""
+
+    def factory(trace: Trace, config: SystemConfig, base: SimResult):
+        binary = OptimizedBinary.from_profile(trace, config, params)
+        return binary.prefetcher(config, features)
+
+    return factory
+
+
+DEFAULT_SCHEMES: Dict[str, SchemeFactory] = {
+    "rpg2": make_rpg2,
+    "triangel": make_triangel,
+    "prophet": make_prophet(),
+}
+
+
+#: Memo for the shared SPEC comparison (Figs. 10, 11, 12 report different
+#: metrics of the same runs, exactly like the paper).
+_SPEC_MEMO: Dict[tuple, SuiteResults] = {}
+
+
+def spec_comparison(
+    n_records: int = 300_000,
+    config: Optional[SystemConfig] = None,
+    key: str = "default",
+) -> SuiteResults:
+    """RPG2 / Triangel / Prophet on the seven Fig. 10 workloads (memoized)."""
+    from ..workloads.spec import spec_suite
+
+    memo_key = (n_records, key)
+    if memo_key not in _SPEC_MEMO:
+        _SPEC_MEMO[memo_key] = evaluate_suite(spec_suite(n_records), config)
+    return _SPEC_MEMO[memo_key]
+
+
+def evaluate_suite(
+    traces: Sequence[Trace],
+    config: Optional[SystemConfig] = None,
+    schemes: Optional[Dict[str, SchemeFactory]] = None,
+    warmup_frac: float = 0.25,
+) -> SuiteResults:
+    """Run every scheme (plus the baseline) on every workload."""
+    config = config or default_config()
+    schemes = schemes if schemes is not None else DEFAULT_SCHEMES
+    results = SuiteResults(schemes=list(schemes))
+    for trace in traces:
+        base = run_simulation(trace, config, None, "baseline", warmup_frac)
+        per_scheme: Dict[str, SimResult] = {"baseline": base}
+        for name, factory in schemes.items():
+            pf = factory(trace, config, base)
+            per_scheme[name] = run_simulation(trace, config, pf, name, warmup_frac)
+        results.by_workload[trace.label] = per_scheme
+    return results

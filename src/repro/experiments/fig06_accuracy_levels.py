@@ -1,0 +1,86 @@
+"""Fig. 6: per-instruction temporal-prefetching accuracy stratifies into
+levels (omnetpp).
+
+Although individual metadata accesses are highly variable (Fig. 1), the
+*per-PC* prefetching accuracy under the simplified temporal prefetcher
+clusters into distinct high / medium / low levels — which is what makes a
+3-bit profile-guided hint per instruction sufficient.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from ..sim.config import default_config
+from ..workloads.spec import make_spec_trace
+
+#: Level boundaries used for the qualitative high/medium/low split.
+LEVELS = [("low", 0.0, 0.34), ("medium", 0.34, 0.67), ("high", 0.67, 1.01)]
+
+
+@dataclass
+class AccuracyLevels:
+    per_pc: Dict[int, float]
+
+    @property
+    def level_counts(self) -> Dict[str, int]:
+        counts = {name: 0 for name, _, _ in LEVELS}
+        for acc in self.per_pc.values():
+            for name, lo, hi in LEVELS:
+                if lo <= acc < hi:
+                    counts[name] += 1
+                    break
+        return counts
+
+    @property
+    def stratified(self) -> bool:
+        """True when PCs populate at least two distinct levels."""
+        return sum(1 for v in self.level_counts.values() if v > 0) >= 2
+
+
+def measure_levels(
+    n_records: int = 150_000, app: str = "omnetpp", min_misses: int = 32
+) -> AccuracyLevels:
+    """Profile ``app`` and collect per-PC accuracies of active PCs.
+
+    The figure's quantity is the PC's *temporal prefetching accuracy over
+    its demand misses*: useful prefetches / max(issued prefetches,
+    misses).  For instructions that trigger a prefetch on every miss the
+    ratio equals plain useful/issued; for instructions whose accesses
+    mostly have no recorded pattern (so few prefetches are even issued),
+    it correctly reports a low level rather than the high accuracy of the
+    few lucky issues — the stratification Fig. 6 shows.
+    """
+    config = default_config()
+    trace = make_spec_trace(app, None, n_records)
+    from ..core.profiler import simplified_prefetcher
+    from ..sim.engine import run_simulation
+
+    result = run_simulation(trace, config, simplified_prefetcher(config),
+                            "profiling")
+    active: Dict[int, float] = {}
+    for pc, misses in result.miss_by_pc.items():
+        if misses < min_misses:
+            continue
+        issued = result.issued_by_pc.get(pc, 0)
+        useful = result.useful_by_pc.get(pc, 0)
+        denom = max(issued, misses)
+        active[pc] = useful / denom if denom else 0.0
+    return AccuracyLevels(per_pc=active)
+
+
+def report(n_records: int = 150_000) -> str:
+    levels = measure_levels(n_records)
+    counts = levels.level_counts
+    ranked: List[Tuple[int, float]] = sorted(
+        levels.per_pc.items(), key=lambda kv: kv[1], reverse=True
+    )
+    lines = ["Fig. 6 — per-PC prefetching accuracy levels (omnetpp)"]
+    for pc, acc in ranked:
+        lines.append(f"  pc={pc:#x}  accuracy={acc:.3f}")
+    lines.append(
+        f"  level counts: high={counts['high']} medium={counts['medium']} "
+        f"low={counts['low']}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,21 @@
+"""Fig. 11: normalized DRAM traffic (reads + writes) of each scheme.
+
+Paper: Prophet +18.67 %, Triangel +10.33 %, RPG2 +0.07 % over baseline —
+Prophet's extra speedup costs only ~5 % additional traffic over Triangel.
+The reproduction checks that ordering and that all overheads stay modest.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..sim.config import SystemConfig
+from .common import SuiteResults, spec_comparison
+
+
+def run(n_records: int = 300_000, config: Optional[SystemConfig] = None) -> SuiteResults:
+    return spec_comparison(n_records, config)
+
+
+def report(n_records: int = 300_000) -> str:
+    return run(n_records).table("traffic", "Fig. 11 — normalized DRAM traffic")

@@ -1,0 +1,115 @@
+"""Fig. 13: Prophet learns counters across gcc's inputs.
+
+One binary is profiled on gcc_166 (Steps 1+2), then *learns* gcc_expr,
+gcc_typeck, and gcc_expr2 in sequence (Step 3 + re-analysis).  Each
+learning state is evaluated on all nine gcc inputs and compared against:
+
+- **Disable** — the runtime prefetcher alone (Triage4 + Triangel
+  metadata, the Fig. 19 base configuration), i.e. no Prophet hints, and
+- **Direct** — the per-input ideal: a binary profiled directly on the
+  input being measured (the learning goal).
+
+Expected shape: each learning round lifts performance on the newly
+learned input (and on inputs sharing its behaviour, e.g. gcc_200 after
+learning gcc_expr) without losing previously learned inputs; after four
+rounds the single binary is near the Direct bars everywhere.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.pipeline import OptimizedBinary
+from ..core.prophet import ProphetFeatures
+from ..sim.config import SystemConfig, default_config
+from ..sim.engine import run_simulation
+from ..sim.results import format_table, geomean
+from ..workloads.base import Trace
+from ..workloads.spec import GCC_INPUTS, make_spec_trace
+from .common import make_triage4
+
+LEARN_ORDER = ["166", "expr", "typeck", "expr2"]
+
+
+@dataclass
+class LearningResults:
+    """Speedup per (state, input); states ordered Disable .. Direct."""
+
+    app: str
+    inputs: List[str]
+    states: List[str]
+    speedup: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def geomean_of(self, state: str) -> float:
+        return geomean([self.speedup[state][inp] for inp in self.inputs])
+
+    def table(self, title: str) -> str:
+        rows = []
+        for inp in self.inputs:
+            rows.append(
+                [f"{self.app}_{inp}"]
+                + [f"{self.speedup[s][inp]:.3f}" for s in self.states]
+            )
+        rows.append(
+            ["Geomean"] + [f"{self.geomean_of(s):.3f}" for s in self.states]
+        )
+        return format_table(["input"] + self.states, rows, title)
+
+
+def run_learning_study(
+    app: str,
+    inputs: List[str],
+    learn_order: List[str],
+    n_records: int = 150_000,
+    config: Optional[SystemConfig] = None,
+) -> LearningResults:
+    """Shared driver for Fig. 13 (gcc) and Fig. 14 (astar/soplex)."""
+    config = config or default_config()
+    traces: Dict[str, Trace] = {
+        inp: make_spec_trace(app, inp, n_records) for inp in inputs
+    }
+    baselines = {
+        inp: run_simulation(traces[inp], config, None, "baseline")
+        for inp in inputs
+    }
+
+    states = ["Disable"] + [f"+{inp}" for inp in learn_order] + ["Direct"]
+    results = LearningResults(app=app, inputs=inputs, states=states)
+
+    def evaluate(state: str, binary: Optional[OptimizedBinary]) -> None:
+        per_input: Dict[str, float] = {}
+        for inp in inputs:
+            if binary is None:
+                pf = make_triage4(traces[inp], config, baselines[inp])
+            else:
+                pf = binary.prefetcher(config, ProphetFeatures())
+            res = run_simulation(traces[inp], config, pf, state)
+            per_input[inp] = res.speedup_over(baselines[inp])
+        results.speedup[state] = per_input
+
+    evaluate("Disable", None)
+    binary = OptimizedBinary.from_profile(traces[learn_order[0]], config)
+    evaluate(f"+{learn_order[0]}", binary)
+    for inp in learn_order[1:]:
+        binary = binary.learn(traces[inp], config)
+        evaluate(f"+{inp}", binary)
+
+    # Direct: the per-input ideal is profiled on the measured input itself.
+    direct: Dict[str, float] = {}
+    for inp in inputs:
+        own = OptimizedBinary.from_profile(traces[inp], config)
+        res = run_simulation(
+            traces[inp], config, own.prefetcher(config), "Direct"
+        )
+        direct[inp] = res.speedup_over(baselines[inp])
+    results.speedup["Direct"] = direct
+    return results
+
+
+def run(n_records: int = 150_000) -> LearningResults:
+    return run_learning_study("gcc", GCC_INPUTS, LEARN_ORDER, n_records)
+
+
+def report(n_records: int = 150_000) -> str:
+    return run(n_records).table("Fig. 13 — Prophet learning across gcc inputs")

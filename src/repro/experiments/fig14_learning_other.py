@@ -1,0 +1,31 @@
+"""Fig. 14: the learning feature generalizes to astar and soplex.
+
+Same protocol as Fig. 13 with two inputs per app: profile on the first,
+learn the second, compare each state against Disable and per-input Direct.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from ..workloads.spec import ASTAR_INPUTS, SOPLEX_INPUTS
+from .fig13_learning_gcc import LearningResults, run_learning_study
+
+
+def run(n_records: int = 150_000) -> Dict[str, LearningResults]:
+    return {
+        "astar": run_learning_study(
+            "astar", ASTAR_INPUTS, list(ASTAR_INPUTS), n_records
+        ),
+        "soplex": run_learning_study(
+            "soplex", SOPLEX_INPUTS, list(SOPLEX_INPUTS), n_records
+        ),
+    }
+
+
+def report(n_records: int = 150_000) -> str:
+    results = run(n_records)
+    return "\n\n".join(
+        res.table(f"Fig. 14 — Prophet learning on {app}")
+        for app, res in results.items()
+    )

@@ -1,0 +1,110 @@
+"""Fig. 16: sensitivity to Prophet's parameters.
+
+(a) EL_ACC in {0.05, 0.15, 0.25} — both extremes lose: a low threshold
+    buffers patternless metadata, a high one filters useful entries.
+(b) n (priority bits) in {1, 2, 3} — finer levels help slightly; the
+    paper adopts n=2 to balance gain against replacement-state storage.
+(c) Multi-path Victim Buffer candidates in {1, 2, 4} — 1 is the sweet
+    spot; extra candidates waste bandwidth and hurt astar in particular.
+
+One profiling pass per workload is shared across all parameter points
+(only the Analysis step differs), exactly as the real workflow would.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.analysis import AnalysisParams, analyze
+from ..core.pipeline import OptimizedBinary
+from ..core.profiler import profile
+from ..core.prophet import ProphetFeatures
+from ..sim.config import SystemConfig, default_config
+from ..sim.engine import run_simulation
+from ..sim.results import format_table, geomean
+from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+
+EL_ACC_VALUES = [0.05, 0.15, 0.25]
+N_BITS_VALUES = [1, 2, 3]
+MVB_CANDIDATES = [1, 2, 4]
+
+
+@dataclass
+class SensitivityResults:
+    """speedup[sweep_name][point][workload]."""
+
+    sweeps: Dict[str, Dict[str, Dict[str, float]]] = field(default_factory=dict)
+
+    def geomean_of(self, sweep: str, point: str) -> float:
+        vals = self.sweeps[sweep][point]
+        return geomean(list(vals.values()))
+
+    def table(self, sweep: str, title: str) -> str:
+        points = list(self.sweeps[sweep])
+        labels = list(next(iter(self.sweeps[sweep].values())))
+        rows = [
+            [label] + [f"{self.sweeps[sweep][p][label]:.3f}" for p in points]
+            for label in labels
+        ]
+        rows.append(
+            ["Geomean"] + [f"{self.geomean_of(sweep, p):.3f}" for p in points]
+        )
+        return format_table(["workload"] + points, rows, title)
+
+
+def run(
+    n_records: int = 120_000, config: Optional[SystemConfig] = None
+) -> SensitivityResults:
+    config = config or default_config()
+    results = SensitivityResults(
+        sweeps={"el_acc": {}, "n_bits": {}, "mvb": {}}
+    )
+    for sweep in results.sweeps:
+        for point in _points(sweep):
+            results.sweeps[sweep][point] = {}
+
+    for app, inp in SPEC_WORKLOADS:
+        trace = make_spec_trace(app, inp, n_records)
+        base = run_simulation(trace, config, None, "baseline")
+        counters = profile(trace, config)
+
+        def speedup(params: AnalysisParams, features: ProphetFeatures) -> float:
+            hints = analyze(counters, config, params)
+            binary = OptimizedBinary(trace.name, counters, hints, params)
+            pf = binary.prefetcher(config, features)
+            res = run_simulation(trace, config, pf, "prophet")
+            return res.speedup_over(base)
+
+        for el_acc in EL_ACC_VALUES:
+            results.sweeps["el_acc"][f"EL_ACC={el_acc}"][trace.label] = speedup(
+                AnalysisParams(el_acc=el_acc), ProphetFeatures()
+            )
+        for bits in N_BITS_VALUES:
+            results.sweeps["n_bits"][f"n={bits}"][trace.label] = speedup(
+                AnalysisParams(priority_bits=bits), ProphetFeatures()
+            )
+        for cand in MVB_CANDIDATES:
+            results.sweeps["mvb"][f"Candidate={cand}"][trace.label] = speedup(
+                AnalysisParams(), ProphetFeatures(mvb_candidates=cand)
+            )
+    return results
+
+
+def _points(sweep: str) -> List[str]:
+    if sweep == "el_acc":
+        return [f"EL_ACC={v}" for v in EL_ACC_VALUES]
+    if sweep == "n_bits":
+        return [f"n={v}" for v in N_BITS_VALUES]
+    return [f"Candidate={v}" for v in MVB_CANDIDATES]
+
+
+def report(n_records: int = 120_000) -> str:
+    results = run(n_records)
+    return "\n\n".join(
+        [
+            results.table("el_acc", "Fig. 16a — EL_ACC sensitivity"),
+            results.table("n_bits", "Fig. 16b — priority bits sensitivity"),
+            results.table("mvb", "Fig. 16c — MVB candidates sensitivity"),
+        ]
+    )

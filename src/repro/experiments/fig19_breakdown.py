@@ -1,0 +1,95 @@
+"""Fig. 19: Prophet feature breakdown (speedup and DRAM traffic).
+
+Starting from "Triage4 + Triangel Meta" (degree-4 Triage with Triangel's
+compressed metadata format and a fixed full-size table), Prophet's
+features are enabled cumulatively:
+
+    base -> +Repla -> +Insert -> +MVB -> +Resize
+
+Expected shape: replacement and insertion carry most of the gain
+(replacement especially on mcf/omnetpp; insertion on mcf), MVB adds
+soplex's multi-target win, resizing helps the small-footprint workload
+(sphinx3) by returning LLC ways.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..core.pipeline import OptimizedBinary
+from ..core.prophet import ProphetFeatures
+from ..sim.config import SystemConfig, default_config
+from ..sim.engine import run_simulation
+from ..sim.results import format_table, geomean
+from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+
+#: Cumulative feature states, in the paper's order.  The runtime is
+#: "triage" (no PatternConf filter) throughout: the base configuration is
+#: Triage4, and each step adds exactly one Prophet feature.
+STATES: List[tuple] = [
+    ("Triage4+Meta", ProphetFeatures(insertion=False, replacement=False,
+                                     resizing=False, mvb=False, runtime="triage")),
+    ("+Repla", ProphetFeatures(insertion=False, replacement=True,
+                               resizing=False, mvb=False, runtime="triage")),
+    ("+Insert", ProphetFeatures(insertion=True, replacement=True,
+                                resizing=False, mvb=False, runtime="triage")),
+    ("+MVB", ProphetFeatures(insertion=True, replacement=True,
+                             resizing=False, mvb=True, runtime="triage")),
+    ("+Resize", ProphetFeatures(insertion=True, replacement=True,
+                                resizing=True, mvb=True, runtime="triage")),
+]
+
+
+@dataclass
+class BreakdownResults:
+    speedup: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    traffic: Dict[str, Dict[str, float]] = field(default_factory=dict)
+
+    def geomean_of(self, metric: str, state: str) -> float:
+        data = getattr(self, metric)[state]
+        return geomean(list(data.values()))
+
+    def table(self, metric: str, title: str) -> str:
+        states = [name for name, _ in STATES]
+        labels = list(getattr(self, metric)[states[0]])
+        rows = [
+            [label]
+            + [f"{getattr(self, metric)[s][label]:.3f}" for s in states]
+            for label in labels
+        ]
+        rows.append(
+            ["Geomean"]
+            + [f"{self.geomean_of(metric, s):.3f}" for s in states]
+        )
+        return format_table(["workload"] + states, rows, title)
+
+
+def run(
+    n_records: int = 150_000, config: Optional[SystemConfig] = None
+) -> BreakdownResults:
+    config = config or default_config()
+    results = BreakdownResults(
+        speedup={name: {} for name, _ in STATES},
+        traffic={name: {} for name, _ in STATES},
+    )
+    for app, inp in SPEC_WORKLOADS:
+        trace = make_spec_trace(app, inp, n_records)
+        base = run_simulation(trace, config, None, "baseline")
+        binary = OptimizedBinary.from_profile(trace, config)
+        for name, features in STATES:
+            pf = binary.prefetcher(config, features)
+            res = run_simulation(trace, config, pf, name)
+            results.speedup[name][trace.label] = res.speedup_over(base)
+            results.traffic[name][trace.label] = res.traffic_over(base)
+    return results
+
+
+def report(n_records: int = 150_000) -> str:
+    results = run(n_records)
+    return "\n\n".join(
+        [
+            results.table("speedup", "Fig. 19a — feature breakdown (speedup)"),
+            results.table("traffic", "Fig. 19b — feature breakdown (DRAM traffic)"),
+        ]
+    )

@@ -1,0 +1,113 @@
+"""DRAM model: latency, bandwidth contention, and traffic accounting.
+
+Table 1's memory system is LPDDR5_5500 with a single 1x16 channel.  The
+figures we must reproduce depend on DRAM through three effects:
+
+1. **latency** of demand misses that reach memory (drives IPC),
+2. **traffic** (Fig. 11 and Fig. 19b report normalized DRAM reads+writes),
+3. **bandwidth contention**: aggressive prefetching consumes bandwidth that
+   demand requests need, which is why astar (bandwidth sensitive) punishes
+   over-prefetching and why doubling the channel count (Fig. 18) changes
+   the picture.
+
+We model contention with a sliding-window queue: each access occupies
+``line_size / bytes_per_cycle`` cycles of channel service time; when
+requests arrive faster than the channel drains, the queue depth inflates
+their effective latency.  The model is deterministic and cheap — one dict
+lookup and a couple of float ops per access.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..sim.config import DRAMConfig, LINE_SIZE
+
+
+@dataclass
+class DRAMStats:
+    reads: int = 0
+    writes: int = 0
+    demand_reads: int = 0
+    prefetch_reads: int = 0
+    #: Correlation-metadata traffic from DRAM-resident prefetcher state
+    #: (STMS/Domino).  Counted inside ``reads``/``writes`` as well — the
+    #: channel does not care what a line holds — but tracked separately so
+    #: experiments can report the metadata share.
+    metadata_reads: int = 0
+    metadata_writes: int = 0
+
+    @property
+    def total_traffic(self) -> int:
+        """Cumulative DRAM reads + writes (the Fig. 11 metric)."""
+        return self.reads + self.writes
+
+    @property
+    def metadata_traffic(self) -> int:
+        """The share of total traffic spent moving prefetcher metadata."""
+        return self.metadata_reads + self.metadata_writes
+
+
+class DRAMModel:
+    """Bandwidth-aware DRAM latency and traffic model."""
+
+    def __init__(self, config: DRAMConfig):
+        self.config = config
+        self.stats = DRAMStats()
+        self._service_cycles = LINE_SIZE / (
+            config.bytes_per_cycle_per_channel * config.channels
+        )
+        # The channel is busy until this cycle; arrivals queue behind it.
+        self._busy_until = 0.0
+
+    @property
+    def service_cycles(self) -> float:
+        """Channel occupancy per line transfer at current channel count."""
+        return self._service_cycles
+
+    def _serve(self, cycle: float) -> float:
+        """Advance the channel queue; return queueing delay for an arrival."""
+        start = max(cycle, self._busy_until)
+        self._busy_until = start + self._service_cycles
+        return start - cycle
+
+    def read(self, cycle: float, is_prefetch: bool = False) -> float:
+        """Issue a line read; returns total latency (queue + access)."""
+        self.stats.reads += 1
+        if is_prefetch:
+            self.stats.prefetch_reads += 1
+        else:
+            self.stats.demand_reads += 1
+        queue_delay = self._serve(cycle)
+        return self.config.access_latency + queue_delay
+
+    def write(self, cycle: float) -> None:
+        """Issue a writeback; occupies the channel but is not latency
+        critical (the core does not wait on it)."""
+        self.stats.writes += 1
+        self._serve(cycle)
+
+    def metadata_read(self, cycle: float) -> None:
+        """A DRAM-resident prefetcher-metadata line read (STMS/Domino).
+
+        Occupies the channel like any read — this contention is precisely
+        the overhead that motivated on-chip metadata tables — but the core
+        never waits on it, so no latency is returned.
+        """
+        self.stats.reads += 1
+        self.stats.metadata_reads += 1
+        self._serve(cycle)
+
+    def metadata_write(self, cycle: float) -> None:
+        """A buffered prefetcher-metadata line writeback."""
+        self.stats.writes += 1
+        self.stats.metadata_writes += 1
+        self._serve(cycle)
+
+    def utilization_hint(self, cycle: float) -> float:
+        """Backlog depth in requests; >0 means the channel is saturated."""
+        backlog = self._busy_until - cycle
+        return max(0.0, backlog / self._service_cycles)
+
+    def reset_stats(self) -> None:
+        self.stats = DRAMStats()

@@ -1,0 +1,104 @@
+"""TLB and page-boundary modeling for the virtual-memory substrate.
+
+Section 5.7 of the paper notes that commercial L1 prefetchers "can
+leverage more information (e.g., virtual addresses) and prefetch across
+page boundaries" while L2-and-below prefetchers work on physical
+addresses, where a page boundary breaks contiguity.  This module supplies
+the two pieces needed to model that distinction:
+
+- :class:`TLB` — a fully-associative LRU translation buffer; misses add a
+  page-walk latency to the demand access (and are counted, so experiments
+  can report MPKI-style TLB pressure);
+- :func:`same_page` / :func:`page_of` — the boundary predicate the
+  hierarchy applies to *physically-indexed* L1 prefetch requests when
+  ``SystemConfig.l1_pf_cross_page`` is off.
+
+Both features default off so the Table 1 configuration is unchanged; the
+``tlb_sensitivity`` bench turns them on.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+
+from ..sim.config import LINE_SIZE
+
+#: 4 KiB pages: 64 lines of 64 bytes.
+PAGE_BYTES = 4096
+LINES_PER_PAGE = PAGE_BYTES // LINE_SIZE
+
+
+def page_of(line: int) -> int:
+    """Page number of a cache-line address."""
+    return line // LINES_PER_PAGE
+
+
+def same_page(a: int, b: int) -> bool:
+    """Whether two line addresses share a (4 KiB) page."""
+    return page_of(a) == page_of(b)
+
+
+@dataclass(frozen=True)
+class TLBConfig:
+    """A data-TLB: Neoverse/Xeon-class defaults.
+
+    ``walk_latency`` is the full page-table-walk penalty added to a
+    demand access on a TLB miss (caching of intermediate levels is folded
+    into the constant).
+    """
+
+    entries: int = 64
+    walk_latency: int = 30
+
+    def __post_init__(self) -> None:
+        if self.entries <= 0:
+            raise ValueError("TLB must have at least one entry")
+        if self.walk_latency < 0:
+            raise ValueError("walk latency must be non-negative")
+
+
+@dataclass
+class TLBStats:
+    hits: int = 0
+    misses: int = 0
+
+    @property
+    def accesses(self) -> int:
+        return self.hits + self.misses
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+class TLB:
+    """Fully-associative LRU TLB over 4 KiB pages."""
+
+    def __init__(self, config: TLBConfig = TLBConfig()):
+        self.config = config
+        self.stats = TLBStats()
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+
+    def access(self, line: int) -> int:
+        """Translate the page of ``line``; returns added latency (0 on hit)."""
+        page = page_of(line)
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self.stats.hits += 1
+            return 0
+        self.stats.misses += 1
+        self._entries[page] = None
+        if len(self._entries) > self.config.entries:
+            self._entries.popitem(last=False)
+        return self.config.walk_latency
+
+    def contains(self, line: int) -> bool:
+        """Probe without updating LRU or stats (prefetch-side checks)."""
+        return page_of(line) in self._entries
+
+    def reset_stats(self) -> None:
+        self.stats = TLBStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)

@@ -1,0 +1,273 @@
+"""On-chip Markov metadata table (shared by Triage, Triangel, Prophet).
+
+The table records first-order address correlations: ``lookup(A) -> B``
+means "the last time A was accessed, B followed".  Per Section 3.1 the
+entries are compressed 12-to-a-cache-line (10-bit tag + 31-bit target), and
+the table borrows whole LLC ways, so capacity comes in multiples of
+``llc_sets * 12`` entries (:meth:`repro.sim.config.SystemConfig
+.metadata_capacity_for_ways`).
+
+The table is set-associative with one compressed line per set (12 ways).
+Replacement within a set is pluggable:
+
+- plain policies from :mod:`repro.cache.replacement` (SRRIP for Triangel,
+  LRU/Hawkeye for the Triage ablations), and
+- Prophet's profile-guided priority overlay: each entry carries a 2-bit
+  priority level (Equation 2); victims are drawn from the lowest-priority
+  candidates and the *runtime* policy breaks ties among them (Section 3.1,
+  "Prophet Replacement Policy first generates candidate victims for the
+  Runtime Replacement Policy, which then chooses the final victim").
+
+Like Triage's compressed metadata, addresses are translated to dense
+*structural indices* (assigned in first-touch order) before indexing: the
+10-bit tag and 31-bit target are fields of the index, not of the raw
+address, which is what makes the compressed format practical.  Aliasing
+between indices that collide in (set, tag) is modeled faithfully — a real
+(small) source of mispredictions in the paper's design that we keep.
+
+Counters mirror the PMU events Prophet profiles: ``insertions`` and
+``replacements``, whose difference is the allocated-entries metric of
+Section 4.1, plus the running peak used by Prophet Resizing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.config import METADATA_ENTRIES_PER_LINE, METADATA_TAG_BITS
+from ..cache.replacement import make_policy
+
+TAG_MASK = (1 << METADATA_TAG_BITS) - 1
+
+
+@dataclass
+class MetadataStats:
+    insertions: int = 0
+    replacements: int = 0
+    overwrites: int = 0
+    lookups: int = 0
+    hits: int = 0
+    peak_allocated: int = 0
+
+    @property
+    def allocated_entries(self) -> int:
+        """The Section 4.1 PMU metric: insertions - replacements."""
+        return self.insertions - self.replacements
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.lookups if self.lookups else 0.0
+
+
+@dataclass
+class EvictedMeta:
+    """An entry displaced from the table (fodder for Prophet's MVB)."""
+
+    key_line: int
+    target: int
+    priority: int
+
+
+class MetadataTable:
+    """Set-associative compressed Markov table."""
+
+    def __init__(
+        self,
+        capacity_entries: int,
+        assoc: int = METADATA_ENTRIES_PER_LINE,
+        replacement: str = "srrip",
+        prophet_priorities: bool = False,
+    ):
+        if capacity_entries < assoc:
+            capacity_entries = assoc
+        self.assoc = assoc
+        self.replacement_name = replacement
+        self.prophet_priorities = prophet_priorities
+        # Structural index table: line address <-> dense first-touch index.
+        self._dense_of: Dict[int, int] = {}
+        self._line_of: List[int] = []
+        self._build(capacity_entries)
+
+    def _dense(self, line: int) -> int:
+        idx = self._dense_of.get(line)
+        if idx is None:
+            idx = len(self._line_of)
+            self._dense_of[line] = idx
+            self._line_of.append(line)
+        return idx
+
+    def _build(self, capacity_entries: int) -> None:
+        self.n_sets = max(1, capacity_entries // self.assoc)
+        self.capacity = self.n_sets * self.assoc
+        n = self.capacity
+        self._valid: List[bool] = [False] * n
+        self._tags: List[int] = [0] * n
+        self._keys: List[int] = [0] * n  # full key kept for stats/export
+        self._targets: List[int] = [0] * n
+        self._priority: List[int] = [0] * n
+        self._map: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self.policy = make_policy(self.replacement_name, self.n_sets, self.assoc)
+        self.stats = MetadataStats()
+        self._live = 0
+
+    # ------------------------------------------------------------------
+    def _index_tag(self, line: int) -> Tuple[int, int]:
+        idx = self._dense(line)
+        return idx % self.n_sets, (idx // self.n_sets) & TAG_MASK
+
+    def _find(self, line: int) -> Optional[Tuple[int, int]]:
+        """(set_idx, way) of a resident entry, or None; no allocation."""
+        idx = self._dense_of.get(line)
+        if idx is None:
+            return None
+        set_idx = idx % self.n_sets
+        tag = (idx // self.n_sets) & TAG_MASK
+        way = self._map[set_idx].get(tag)
+        if way is None:
+            return None
+        return set_idx, way
+
+    def lookup(self, line: int) -> Optional[int]:
+        """Return the recorded Markov target for ``line`` (or None).
+
+        Tag aliasing between structural indices can return a stale
+        neighbour's target, as in the real compressed format.
+        """
+        self.stats.lookups += 1
+        found = self._find(line)
+        if found is None:
+            return None
+        set_idx, way = found
+        self.stats.hits += 1
+        self.policy.on_hit(set_idx, way)
+        return self._targets[set_idx * self.assoc + way]
+
+    def probe(self, line: int) -> Optional[int]:
+        """Lookup without touching replacement state or counters."""
+        found = self._find(line)
+        if found is None:
+            return None
+        set_idx, way = found
+        return self._targets[set_idx * self.assoc + way]
+
+    def priority_of(self, line: int) -> Optional[int]:
+        found = self._find(line)
+        if found is None:
+            return None
+        set_idx, way = found
+        return self._priority[set_idx * self.assoc + way]
+
+    def insert(
+        self, line: int, target: int, priority: int = 0
+    ) -> Optional[EvictedMeta]:
+        """Record ``line -> target``; returns displaced entry info if any.
+
+        Updating an existing entry with a *different* target counts as an
+        overwrite and returns the old mapping (the Multi-path Victim Buffer
+        feeds on these: the address has multiple Markov targets).
+        """
+        set_idx, tag = self._index_tag(line)
+        base = set_idx * self.assoc
+        way = self._map[set_idx].get(tag)
+        if way is not None:
+            idx = base + way
+            old_target = self._targets[idx]
+            old_priority = self._priority[idx]
+            self._targets[idx] = target
+            self._priority[idx] = priority
+            self.policy.on_hit(set_idx, way)
+            if old_target != target:
+                self.stats.overwrites += 1
+                return EvictedMeta(line, old_target, old_priority)
+            return None
+
+        evicted: Optional[EvictedMeta] = None
+        free_way = None
+        for w in range(self.assoc):
+            if not self._valid[base + w]:
+                free_way = w
+                break
+        if free_way is None:
+            free_way = self._pick_victim(set_idx)
+            idx = base + free_way
+            evicted = EvictedMeta(
+                self._keys[idx], self._targets[idx], self._priority[idx]
+            )
+            del self._map[set_idx][self._tags[idx]]
+            self.stats.replacements += 1
+            self._live -= 1
+
+        idx = base + free_way
+        self._valid[idx] = True
+        self._tags[idx] = tag
+        self._keys[idx] = line
+        self._targets[idx] = target
+        self._priority[idx] = priority
+        self._map[set_idx][tag] = free_way
+        self.policy.on_fill(set_idx, free_way)
+        self.stats.insertions += 1
+        self._live += 1
+        if self._live > self.stats.peak_allocated:
+            self.stats.peak_allocated = self._live
+        return evicted
+
+    def _pick_victim(self, set_idx: int) -> int:
+        base = set_idx * self.assoc
+        if self.prophet_priorities:
+            # Lowest-priority entries are the candidates; the runtime
+            # replacement policy (rank) picks the final victim among them.
+            min_prio = min(self._priority[base + w] for w in range(self.assoc))
+            candidates = [
+                w for w in range(self.assoc) if self._priority[base + w] == min_prio
+            ]
+            return self.policy.victim(set_idx, candidates)
+        return self.policy.victim(set_idx)
+
+    # ------------------------------------------------------------------
+    def resize(self, capacity_entries: int) -> None:
+        """Rebuild the table at a new capacity, keeping what fits.
+
+        Resizes are rare (once per Set-Dueller window, or once at program
+        start for Prophet), so an O(live entries) rebuild is acceptable.
+        """
+        old_entries = [
+            (self._keys[i], self._targets[i], self._priority[i])
+            for i in range(len(self._valid))
+            if self._valid[i]
+        ]
+        old_stats = self.stats
+        self._build(capacity_entries)
+        self.stats = old_stats
+        for key, target, priority in old_entries:
+            set_idx, tag = self._index_tag(key)
+            if tag in self._map[set_idx]:
+                continue
+            base = set_idx * self.assoc
+            for w in range(self.assoc):
+                if not self._valid[base + w]:
+                    idx = base + w
+                    self._valid[idx] = True
+                    self._tags[idx] = tag
+                    self._keys[idx] = key
+                    self._targets[idx] = target
+                    self._priority[idx] = priority
+                    self._map[set_idx][tag] = w
+                    self.policy.on_fill(set_idx, w)
+                    self._live += 1
+                    break
+
+    @property
+    def live_entries(self) -> int:
+        return self._live
+
+    def occupancy(self) -> float:
+        return self._live / self.capacity if self.capacity else 0.0
+
+    def entries(self) -> List[Tuple[int, int, int]]:
+        """(key_line, target, priority) for every live entry (for tests)."""
+        return [
+            (self._keys[i], self._targets[i], self._priority[i])
+            for i in range(len(self._valid))
+            if self._valid[i]
+        ]

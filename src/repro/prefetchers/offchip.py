@@ -1,0 +1,395 @@
+"""Off-chip (DRAM-resident) metadata temporal prefetchers: STMS and Domino.
+
+The paper's opening motivation (Sections 1 and 2.1) is that early temporal
+prefetchers [10, 26, 46, 55, 58] kept their correlation metadata in DRAM,
+and "fetching metadata from DRAM consumes a substantial amount of memory
+bandwidth that could otherwise be used for demand memory accesses" — which
+is exactly why Triage/Triangel/Prophet move the metadata on chip.  These
+two reimplementations make that motivation measurable:
+
+- :class:`STMSPrefetcher` — Sampled Temporal Memory Streaming (Wenisch et
+  al., HPCA 2009): a global **history buffer** of the LLC-bound miss
+  stream plus an **index table** mapping each address to its most recent
+  history position, both DRAM-resident.  A miss looks up the index (one
+  metadata read), fetches the history segment that followed the previous
+  occurrence (one streamed read per metadata line), and prefetches the
+  addresses in it.
+- :class:`DominoPrefetcher` — Domino temporal prefetching (Bakhshalipour
+  et al., HPCA 2018): same history organisation, but indexed by the pair
+  of the **two last miss addresses**, which disambiguates addresses with
+  multiple successors (the same phenomenon Prophet's Multi-path Victim
+  Buffer targets on chip) at the cost of a second index lookup on the
+  fallback path.
+
+Neither scheme has a capacity problem — DRAM holds arbitrarily large
+histories, which is their one advantage over the on-chip Markov table —
+so their prediction state here is unbounded Python dicts.  What they pay
+is **traffic**: every index probe, history segment fetch, and buffered
+append is a line-sized DRAM access.  The prefetchers accumulate those
+accesses in pending counters and the hierarchy drains them into the
+:class:`repro.memory.dram.DRAMModel` (see
+:meth:`repro.prefetchers.base.L2Prefetcher.drain_metadata_traffic`), so
+off-chip metadata contends for the same channel as demand requests and
+shows up in the Fig. 11 traffic metric.
+
+The ablation bench ``benchmarks/test_ablation_offchip_metadata.py``
+reproduces the motivating comparison: STMS/Domino reach useful coverage
+but at a DRAM-traffic multiple that the on-chip schemes avoid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..sim.config import LINE_SIZE
+from .base import L2AccessInfo, L2Prefetcher, PrefetchRequest
+
+#: 8-byte metadata records (address + tag bits) packed per 64-byte line.
+#: Both the history buffer and the index table transfer whole lines.
+ENTRIES_PER_METADATA_LINE = LINE_SIZE // 8
+
+
+@dataclass
+class OffChipMetadataStats:
+    """Traffic and hit-rate accounting for a DRAM-resident metadata store."""
+
+    index_lookups: int = 0
+    index_hits: int = 0
+    history_appends: int = 0
+    metadata_reads: int = 0
+    metadata_writes: int = 0
+
+    @property
+    def index_hit_rate(self) -> float:
+        return self.index_hits / self.index_lookups if self.index_lookups else 0.0
+
+    @property
+    def total_metadata_traffic(self) -> int:
+        return self.metadata_reads + self.metadata_writes
+
+
+class HistoryBuffer:
+    """Global history buffer of miss addresses, modeled as DRAM-resident.
+
+    Appends are write-buffered: the prefetcher accumulates records in an
+    on-chip line buffer and spills one DRAM line write per
+    ``ENTRIES_PER_METADATA_LINE`` appends, as the original hardware does.
+    Reads fetch line-aligned segments, so reading ``n`` consecutive
+    records costs ``ceil(n / ENTRIES_PER_METADATA_LINE)`` line reads
+    (plus one if the segment straddles a line boundary).
+    """
+
+    def __init__(self, capacity: int = 1 << 22):
+        if capacity < ENTRIES_PER_METADATA_LINE:
+            raise ValueError("history capacity below one metadata line")
+        self.capacity = capacity
+        self._buf: List[int] = []
+        self._head = 0  # circular write position once the buffer wraps
+
+    def __len__(self) -> int:
+        return len(self._buf)
+
+    def append(self, line: int) -> int:
+        """Record a miss address; returns its history position."""
+        if len(self._buf) < self.capacity:
+            pos = len(self._buf)
+            self._buf.append(line)
+            return pos
+        pos = self._head
+        self._buf[pos] = line
+        self._head = (self._head + 1) % self.capacity
+        return pos
+
+    def segment(self, pos: int, length: int) -> List[int]:
+        """The ``length`` records that followed position ``pos``.
+
+        Stops at the current end of history; wrapped (overwritten)
+        positions return an empty segment, as the stale index entry
+        would point into recycled storage in the real design.
+        """
+        if pos < 0 or pos >= len(self._buf):
+            return []
+        start = pos + 1
+        return self._buf[start : start + length]
+
+    @staticmethod
+    def lines_for_segment(pos: int, length: int) -> int:
+        """DRAM line reads needed to fetch ``length`` records after ``pos``."""
+        if length <= 0:
+            return 0
+        first = (pos + 1) // ENTRIES_PER_METADATA_LINE
+        last = (pos + length) // ENTRIES_PER_METADATA_LINE
+        return last - first + 1
+
+
+class _OffChipTemporalBase(L2Prefetcher):
+    """Shared machinery for the DRAM-metadata temporal prefetchers."""
+
+    uses_offchip_metadata = True
+
+    def __init__(self, degree: int = 4, history_capacity: int = 1 << 22):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.history = HistoryBuffer(history_capacity)
+        self.stats = OffChipMetadataStats()
+        self._pending_reads = 0
+        self._pending_writes = 0
+        self._append_buffer_fill = 0
+        self._index_write_buffer_fill = 0
+
+    # ------------------------------------------------------------------
+    # traffic plumbing (drained by the hierarchy each observe round)
+    # ------------------------------------------------------------------
+    def drain_metadata_traffic(self) -> Tuple[int, int]:
+        reads, writes = self._pending_reads, self._pending_writes
+        self._pending_reads = 0
+        self._pending_writes = 0
+        return reads, writes
+
+    def _charge_read(self, n_lines: int = 1) -> None:
+        self._pending_reads += n_lines
+        self.stats.metadata_reads += n_lines
+
+    def _charge_write(self, n_lines: int = 1) -> None:
+        self._pending_writes += n_lines
+        self.stats.metadata_writes += n_lines
+
+    def _charge_append(self) -> None:
+        """Write-buffered history append: one line write per full buffer."""
+        self.stats.history_appends += 1
+        self._append_buffer_fill += 1
+        if self._append_buffer_fill >= ENTRIES_PER_METADATA_LINE:
+            self._append_buffer_fill = 0
+            self._charge_write()
+
+    def _charge_index_update(self) -> None:
+        """Index updates are coalesced in a small on-chip write buffer."""
+        self._index_write_buffer_fill += 1
+        if self._index_write_buffer_fill >= ENTRIES_PER_METADATA_LINE:
+            self._index_write_buffer_fill = 0
+            self._charge_write()
+
+    # ------------------------------------------------------------------
+    def _predict(self, access: L2AccessInfo) -> List[int]:
+        """Scheme-specific: return predicted successor lines for a miss."""
+        raise NotImplementedError
+
+    def observe(self, access: L2AccessInfo) -> List[PrefetchRequest]:
+        """Train on L2 misses only: off-chip schemes record the miss stream.
+
+        Hits are ignored both for training and prediction — streaming the
+        metadata of every L2 access would multiply the already significant
+        DRAM traffic, so the original designs observe the miss stream.
+        """
+        if access.l2_hit:
+            return []
+        targets = self._predict(access)
+        return [
+            PrefetchRequest(line, access.pc, chain_depth=i)
+            for i, line in enumerate(targets)
+            if line != access.line
+        ]
+
+
+class STMSPrefetcher(_OffChipTemporalBase):
+    """Sampled Temporal Memory Streaming with DRAM-resident metadata.
+
+    Single-address index: ``index[A]`` holds the history position of the
+    most recent occurrence of A.  On a miss to A the prefetcher
+
+    1. probes the index — one metadata line read;
+    2. on an index hit, fetches the history segment following the previous
+       occurrence and issues prefetches for it — one read per history
+       line covered;
+    3. appends A to the history and updates ``index[A]`` — write-buffered.
+    """
+
+    name = "stms"
+
+    def __init__(self, degree: int = 4, history_capacity: int = 1 << 22):
+        super().__init__(degree, history_capacity)
+        self._index: Dict[int, int] = {}
+
+    def _predict(self, access: L2AccessInfo) -> List[int]:
+        line = access.line
+        self.stats.index_lookups += 1
+        self._charge_read()  # index probe
+        prev_pos = self._index.get(line)
+        targets: List[int] = []
+        if prev_pos is not None:
+            self.stats.index_hits += 1
+            targets = self.history.segment(prev_pos, self.degree)
+            if targets:
+                self._charge_read(
+                    HistoryBuffer.lines_for_segment(prev_pos, len(targets))
+                )
+        pos = self.history.append(line)
+        self._charge_append()
+        self._index[line] = pos
+        self._charge_index_update()
+        return targets
+
+
+class MetadataCache:
+    """A small on-chip cache over DRAM-resident index entries (MISB-style).
+
+    Caches ``address -> history position`` mappings at metadata-line
+    granularity: a miss fetches the whole line's worth of neighbouring
+    index entries (spatial locality in the index mirrors locality in the
+    data), so subsequent probes to nearby structural indices hit on chip.
+    LRU over line frames.
+    """
+
+    def __init__(self, capacity_lines: int = 1024):
+        if capacity_lines <= 0:
+            raise ValueError("metadata cache needs at least one line")
+        self.capacity_lines = capacity_lines
+        from collections import OrderedDict
+
+        self._frames: "OrderedDict[int, Dict[int, int]]" = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    @staticmethod
+    def _frame_of(dense_idx: int) -> int:
+        return dense_idx // ENTRIES_PER_METADATA_LINE
+
+    def lookup(self, dense_idx: int) -> Tuple[bool, Optional[int]]:
+        """(on-chip hit?, cached value or None).  A miss means the caller
+        must fetch the frame from DRAM and call :meth:`install`."""
+        frame = self._frame_of(dense_idx)
+        entries = self._frames.get(frame)
+        if entries is None:
+            self.misses += 1
+            return False, None
+        self._frames.move_to_end(frame)
+        self.hits += 1
+        return True, entries.get(dense_idx)
+
+    def install(self, dense_idx: int, value: Optional[int]) -> None:
+        """Bring the entry's frame on chip (after a DRAM fetch) and/or
+        update the cached value."""
+        frame = self._frame_of(dense_idx)
+        entries = self._frames.get(frame)
+        if entries is None:
+            entries = {}
+            self._frames[frame] = entries
+            if len(self._frames) > self.capacity_lines:
+                self._frames.popitem(last=False)
+        else:
+            self._frames.move_to_end(frame)
+        if value is not None:
+            entries[dense_idx] = value
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class MISBPrefetcher(_OffChipTemporalBase):
+    """MISB-style hybrid: off-chip metadata behind an on-chip index cache.
+
+    The generation between STMS (every probe goes to DRAM) and Triage
+    (everything on chip): the index over the DRAM-resident history is
+    cached on chip at line granularity over *structural indices* (dense
+    first-touch numbering, as in MISB and Triage), so consecutive chain
+    addresses share index lines and most probes hit on chip.  DRAM is
+    charged only for index-cache misses, history segment fetches, and the
+    buffered appends/updates — strictly less traffic than STMS on the
+    same stream, strictly more than the fully on-chip schemes.
+    """
+
+    name = "misb"
+
+    def __init__(
+        self,
+        degree: int = 4,
+        history_capacity: int = 1 << 22,
+        cache_lines: int = 1024,
+    ):
+        super().__init__(degree, history_capacity)
+        self._index: Dict[int, int] = {}  # dense idx -> history position
+        self.cache = MetadataCache(cache_lines)
+        self._dense_of: Dict[int, int] = {}
+
+    def _dense(self, line: int) -> int:
+        idx = self._dense_of.get(line)
+        if idx is None:
+            idx = len(self._dense_of)
+            self._dense_of[line] = idx
+        return idx
+
+    def _predict(self, access: L2AccessInfo) -> List[int]:
+        line = access.line
+        dense = self._dense(line)
+        self.stats.index_lookups += 1
+        on_chip, cached = self.cache.lookup(dense)
+        if on_chip:
+            prev_pos = cached if cached is not None else self._index.get(dense)
+        else:
+            self._charge_read()  # index frame fetch from DRAM
+            prev_pos = self._index.get(dense)
+            self.cache.install(dense, prev_pos)
+        targets: List[int] = []
+        if prev_pos is not None:
+            self.stats.index_hits += 1
+            targets = self.history.segment(prev_pos, self.degree)
+            if targets:
+                self._charge_read(
+                    HistoryBuffer.lines_for_segment(prev_pos, len(targets))
+                )
+        pos = self.history.append(line)
+        self._charge_append()
+        self._index[dense] = pos
+        self.cache.install(dense, pos)
+        self._charge_index_update()
+        return targets
+
+
+class DominoPrefetcher(_OffChipTemporalBase):
+    """Domino temporal prefetching: pair-indexed DRAM-resident history.
+
+    The primary index key is the pair ``(previous miss, current miss)``,
+    which distinguishes the multiple-successor addresses that defeat a
+    single-address index (Fig. 8 of the Prophet paper: ~45 % of addresses
+    have more than one Markov target).  When the pair misses, Domino falls
+    back to the single-address index — a second metadata read.
+    """
+
+    name = "domino"
+
+    def __init__(self, degree: int = 4, history_capacity: int = 1 << 22):
+        super().__init__(degree, history_capacity)
+        self._pair_index: Dict[Tuple[int, int], int] = {}
+        self._addr_index: Dict[int, int] = {}
+        self._last_miss: Optional[int] = None
+
+    def _predict(self, access: L2AccessInfo) -> List[int]:
+        line = access.line
+        self.stats.index_lookups += 1
+        prev_pos: Optional[int] = None
+        if self._last_miss is not None:
+            self._charge_read()  # pair-index probe
+            prev_pos = self._pair_index.get((self._last_miss, line))
+        if prev_pos is None:
+            self._charge_read()  # fallback single-address probe
+            prev_pos = self._addr_index.get(line)
+        targets: List[int] = []
+        if prev_pos is not None:
+            self.stats.index_hits += 1
+            targets = self.history.segment(prev_pos, self.degree)
+            if targets:
+                self._charge_read(
+                    HistoryBuffer.lines_for_segment(prev_pos, len(targets))
+                )
+        pos = self.history.append(line)
+        self._charge_append()
+        self._addr_index[line] = pos
+        if self._last_miss is not None:
+            self._pair_index[(self._last_miss, line)] = pos
+        self._charge_index_update()
+        self._last_miss = line
+        return targets

@@ -1,0 +1,55 @@
+"""Per-PC stride prefetcher for the L1D cache (Table 1: degree 8).
+
+Classic reference-prediction-table design (Baer & Chen): one entry per PC
+holding the last line, last stride, and a 2-bit confidence counter.  Once
+two consecutive accesses from the same PC repeat a stride, the prefetcher
+emits ``degree`` lines ahead along that stride.
+
+The temporal prefetchers are trained on the L2 access stream *including*
+these L1 prefetch requests (Section 5.1), which matters: stride-covered
+accesses rarely miss, so the temporal metadata table ends up dedicated to
+the irregular remainder.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Tuple
+
+from .base import L1Prefetcher
+
+
+class StridePrefetcher(L1Prefetcher):
+    """Reference prediction table, confidence-gated, configurable degree."""
+
+    name = "stride"
+
+    def __init__(self, degree: int = 8, table_size: int = 256):
+        if degree < 1:
+            raise ValueError("degree must be >= 1")
+        self.degree = degree
+        self.table_size = table_size
+        # pc -> (last_line, stride, confidence)
+        self._table: Dict[int, Tuple[int, int, int]] = {}
+
+    def observe(self, pc: int, line: int) -> List[int]:
+        entry = self._table.get(pc)
+        if entry is None:
+            if len(self._table) >= self.table_size:
+                # Simple FIFO-ish eviction of an arbitrary old entry.
+                self._table.pop(next(iter(self._table)))
+            self._table[pc] = (line, 0, 0)
+            return []
+
+        last_line, stride, conf = entry
+        new_stride = line - last_line
+        if new_stride == stride and stride != 0:
+            conf = min(3, conf + 1)
+        else:
+            conf = max(0, conf - 1)
+            if conf == 0:
+                stride = new_stride
+        self._table[pc] = (line, stride, conf)
+
+        if conf >= 2 and stride != 0:
+            return [line + stride * (i + 1) for i in range(self.degree)]
+        return []

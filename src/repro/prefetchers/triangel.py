@@ -1,0 +1,218 @@
+"""Triangel: the state-of-the-art hardware temporal prefetcher (ISCA 2024).
+
+Reimplementation following the paper's Section 2.1 characterization.  On
+top of the shared Markov metadata table, Triangel adds per-PC training
+state and three management mechanisms:
+
+- **PatternConf** (4-bit): tracks whether a PC's accesses follow the
+  recorded temporal pattern.  A metadata access that correctly predicted
+  the current access increments it; a mispredicting one decrements it.
+  When it falls below the threshold the PC neither inserts metadata nor
+  prefetches — the Fig. 1 behaviour whose over-conservatism Prophet fixes
+  (interleaved useful/useless runs drive the counter to 0 and subsequent
+  genuine patterns are rejected).
+- **ReuseConf** (4-bit): samples address reuse distances and checks they
+  fit the metadata table; patterns too long to cache are filtered.
+- **Set Dueller** resizing: a sampled comparison of metadata-table benefit
+  against LLC-capacity benefit, implemented here as a windowed hill-climb
+  on sampled usefulness vs. data-miss pressure.  As in the paper, short
+  sampling windows under-observe long-reuse-distance patterns, so the
+  dueller tends to pick conservative sizes on mcf/omnetpp-like workloads.
+- **Aggressive prefetching**: walks the Markov chain to degree 4, which
+  Triangel's own ablation credits with most of its speedup.
+
+Metadata replacement is SRRIP (the storage-cheap choice Triangel made
+after finding Hawkeye's 13 KB bought only 0.25 %).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..sim.config import SystemConfig, MAX_METADATA_ENTRIES
+from .base import L2AccessInfo, L2Prefetcher, PrefetchRequest
+from .markov import MetadataTable
+
+PATTERN_CONF_MAX = 15
+REUSE_CONF_MAX = 15
+
+
+@dataclass(slots=True)
+class _TrainerEntry:
+    last_line: int = -1
+    pattern_conf: int = 8
+    reuse_conf: int = 8
+    blocked: int = 0  # rejected insertions since last sampled one
+
+
+class TriangelPrefetcher(L2Prefetcher):
+    """Triangel with PatternConf/ReuseConf filtering and Set-Dueller resizing."""
+
+    name = "triangel"
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        degree: int = 4,
+        pattern_threshold: int = 8,
+        reuse_threshold: int = 8,
+        replacement: str = "srrip",
+        initial_ways: int = 4,
+        dueller_enabled: bool = True,
+        insertion_filter_enabled: bool = True,
+        trainer_size: int = 2048,
+        sampler_size: int = 4096,
+        sample_interval: int = 8,
+    ):
+        self.config = config
+        self.degree = degree
+        self.pattern_threshold = pattern_threshold
+        self.reuse_threshold = reuse_threshold
+        self.dueller_enabled = dueller_enabled
+        self.insertion_filter_enabled = insertion_filter_enabled
+        self.initial_ways = initial_ways
+        self.max_ways = self._ways_for_entries(MAX_METADATA_ENTRIES)
+        self.table = MetadataTable(
+            config.metadata_capacity_for_ways(initial_ways), replacement=replacement
+        )
+        self.trainer_size = trainer_size
+        self._trainer: Dict[int, _TrainerEntry] = {}
+        # Reuse-distance sampler: line -> access index at sampling time.
+        self.sampler_size = sampler_size
+        self.sample_interval = sample_interval
+        self._sampler: Dict[int, int] = {}
+        self._access_index = 0
+        # Set-Dueller window statistics.
+        self._window_useful = 0
+        self._window_issued = 0
+
+    def _ways_for_entries(self, entries: int) -> int:
+        per_way = self.config.metadata_entries_per_llc_way
+        return max(0, min(self.config.l3.assoc // 2, -(-entries // per_way)))
+
+    # ------------------------------------------------------------------
+    def _trainer_entry(self, pc: int) -> _TrainerEntry:
+        entry = self._trainer.get(pc)
+        if entry is None:
+            if len(self._trainer) >= self.trainer_size:
+                self._trainer.pop(next(iter(self._trainer)))
+            entry = _TrainerEntry()
+            self._trainer[pc] = entry
+        return entry
+
+    def _update_confidences(self, entry: _TrainerEntry, line: int) -> None:
+        """Train PatternConf and ReuseConf on one observed access.
+
+        A correctly-predicting metadata access increments PatternConf; a
+        mispredicting or absent one decrements it (the blue/red dots of
+        Fig. 1).  This short-term training is exactly what collapses on
+        interleaved useful/useless bursts: a run of red dots drives the
+        counter to zero and the interleaved genuine patterns that follow
+        are rejected until sampled insertions slowly rebuild confidence —
+        the inefficiency Prophet's profile-guided insertion removes.
+        """
+        if entry.last_line >= 0 and entry.last_line != line:
+            predicted = self.table.probe(entry.last_line)
+            if predicted is not None:
+                if predicted == line:
+                    entry.pattern_conf = min(PATTERN_CONF_MAX, entry.pattern_conf + 1)
+                else:
+                    entry.pattern_conf = max(0, entry.pattern_conf - 1)
+        # --- ReuseConf: does the PC's reuse distance fit the table? ---
+        self._update_reuse_conf(entry, line)
+
+    #: One in this many blocked insertions proceeds anyway, so PatternConf
+    #: can relearn a pattern after collapsing to zero (Triangel's sampling).
+    SAMPLED_INSERTION_PERIOD = 32
+
+    def runtime_allow(self, entry: _TrainerEntry) -> bool:
+        """The runtime insertion decision (PatternConf x ReuseConf).
+
+        When confidence is below threshold, one in
+        ``SAMPLED_INSERTION_PERIOD`` requests trains anyway — without this
+        escape a zeroed PatternConf could never observe a correct
+        prediction again.  Recovery is deliberately slow, which is why the
+        Fig. 1 bursts cost Triangel real coverage.
+        """
+        if not self.insertion_filter_enabled:
+            return True
+        if (
+            entry.pattern_conf >= self.pattern_threshold
+            and entry.reuse_conf >= self.reuse_threshold
+        ):
+            return True
+        entry.blocked += 1
+        return entry.blocked % self.SAMPLED_INSERTION_PERIOD == 0
+
+    def chain_requests(self, line: int, pc: int) -> List[PrefetchRequest]:
+        """Walk the Markov chain to ``degree`` from ``line``."""
+        requests: List[PrefetchRequest] = []
+        cursor: Optional[int] = line
+        for depth in range(self.degree):
+            cursor = self.table.lookup(cursor)
+            if cursor is None:
+                break
+            requests.append(PrefetchRequest(cursor, trigger_pc=pc, chain_depth=depth))
+        return requests
+
+    def observe(self, access: L2AccessInfo) -> List[PrefetchRequest]:
+        pc, line = access.pc, access.line
+        self._access_index += 1
+        entry = self._trainer_entry(pc)
+        self._update_confidences(entry, line)
+        allow = self.runtime_allow(entry)
+        if entry.last_line >= 0 and entry.last_line != line and allow:
+            self.table.insert(entry.last_line, line)
+        entry.last_line = line
+        if allow:
+            return self.chain_requests(line, pc)
+        return []
+
+    def note_issued(self, pc: int, line: int) -> None:
+        self._window_issued += 1
+
+    def _update_reuse_conf(self, entry: _TrainerEntry, line: int) -> None:
+        seen_at = self._sampler.get(line)
+        if seen_at is not None:
+            distance = self._access_index - seen_at
+            if distance <= self.table.capacity:
+                entry.reuse_conf = min(REUSE_CONF_MAX, entry.reuse_conf + 1)
+            else:
+                entry.reuse_conf = max(0, entry.reuse_conf - 1)
+            self._sampler[line] = self._access_index
+        elif self._access_index % self.sample_interval == 0:
+            if len(self._sampler) >= self.sampler_size:
+                self._sampler.pop(next(iter(self._sampler)))
+            self._sampler[line] = self._access_index
+
+    def note_useful(self, pc: int, line: int) -> None:
+        self._window_useful += 1
+
+    # ------------------------------------------------------------------
+    def desired_metadata_ways(self, current_ways: int) -> Optional[int]:
+        """Set Dueller: windowed duel between table benefit and LLC space.
+
+        Grows the table when the window shows high, accurate prefetch
+        utility and a full table; shrinks when the sampled window shows
+        little benefit.  Because the window is short, patterns with long
+        metadata reuse distances look useless and the dueller picks
+        conservative sizes — the inefficiency Section 2.1.3 describes.
+        """
+        if not self.dueller_enabled:
+            return None
+        useful, issued = self._window_useful, self._window_issued
+        self._window_useful = 0
+        self._window_issued = 0
+        accuracy = useful / issued if issued else 0.0
+        if issued == 0 or accuracy < 0.25:
+            return max(1, current_ways - 1)
+        if accuracy > 0.55 and self.table.occupancy() > 0.85:
+            return min(self.max_ways, current_ways + 1)
+        return current_ways
+
+    def on_metadata_resize(self, capacity_entries: int) -> None:
+        if capacity_entries <= 0:
+            capacity_entries = self.table.assoc
+        if capacity_entries != self.table.capacity:
+            self.table.resize(capacity_entries)

@@ -1,0 +1,170 @@
+"""System configuration for the simulated machine (paper Table 1).
+
+The paper evaluates Prophet in gem5 full-system mode on a 5-wide fetch /
+10-wide issue out-of-order core with a three-level cache hierarchy and an
+LPDDR5 memory system.  We reproduce the same parameters here as plain
+dataclasses consumed by :mod:`repro.cache.hierarchy` and
+:mod:`repro.sim.engine`.
+
+All sizes are in bytes and all latencies in core cycles unless noted.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+LINE_SIZE = 64
+LINE_SHIFT = 6
+
+#: Compressed metadata entries packed per 64-byte cache line (Section 3.1:
+#: "Prophet packs 12 compressed metadata entries inside each 64-byte cache
+#: line, with each metadata entry containing a 10-bit tag and a 31-bit
+#: target address").
+METADATA_ENTRIES_PER_LINE = 12
+
+#: Metadata entry format (bits) used for storage-overhead accounting.
+METADATA_TAG_BITS = 10
+METADATA_TARGET_BITS = 31
+
+
+@dataclass(frozen=True)
+class CoreConfig:
+    """Out-of-order core parameters (paper Table 1, "Core" row)."""
+
+    fetch_width: int = 5
+    decode_width: int = 5
+    issue_width: int = 10
+    commit_width: int = 10
+    iq_entries: int = 120
+    lq_entries: int = 85
+    sq_entries: int = 90
+    rob_entries: int = 288
+
+
+@dataclass(frozen=True)
+class CacheConfig:
+    """One cache level.
+
+    ``mostly_inclusive`` / ``mostly_exclusive`` from Table 1 only affect
+    writeback traffic accounting in this model, not correctness.
+    """
+
+    name: str
+    size_bytes: int
+    assoc: int
+    hit_latency: int
+    mshrs: int
+    replacement: str = "plru"
+    line_size: int = LINE_SIZE
+
+    @property
+    def n_lines(self) -> int:
+        return self.size_bytes // self.line_size
+
+    @property
+    def n_sets(self) -> int:
+        return self.n_lines // self.assoc
+
+
+@dataclass(frozen=True)
+class DRAMConfig:
+    """LPDDR5-like memory system.
+
+    ``access_latency`` is the unloaded round-trip latency seen past the LLC.
+    ``bytes_per_cycle`` approximates a single LPDDR5_5500 1x16 channel's
+    sustainable bandwidth relative to the core clock; the queueing model in
+    :mod:`repro.memory.dram` adds latency as a channel saturates.
+    """
+
+    channels: int = 1
+    access_latency: int = 160
+    bytes_per_cycle_per_channel: float = 4.0
+    queue_window: int = 2048
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Complete system: Table 1 defaults.
+
+    ``l1_prefetcher`` selects the L1D prefetcher ("stride" degree-8 by
+    default; "ipcp" for the Section 5.7 sensitivity study; "none" disables
+    it).  ``mlp`` bounds the number of overlapping long-latency misses the
+    timing model may assume, capped by L2 MSHRs.
+    """
+
+    core: CoreConfig = field(default_factory=CoreConfig)
+    l1i: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1I", 64 * 1024, 4, 2, 16)
+    )
+    l1d: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L1D", 64 * 1024, 4, 2, 16)
+    )
+    l2: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L2", 512 * 1024, 8, 9, 32)
+    )
+    l3: CacheConfig = field(
+        default_factory=lambda: CacheConfig("L3", 2 * 1024 * 1024, 16, 20, 36, "char")
+    )
+    dram: DRAMConfig = field(default_factory=DRAMConfig)
+    l1_prefetcher: str = "stride"
+    l1_prefetch_degree: int = 8
+    mlp: int = 4
+    #: Virtual-memory modeling (both off in the Table 1 baseline).
+    #: ``tlb_enabled`` adds a data TLB whose walk latency hits demand
+    #: accesses; ``l1_pf_cross_page = False`` confines L1 prefetches to
+    #: the trigger's 4 KiB page (physically-indexed prefetcher), the
+    #: constraint Section 5.7 contrasts with virtual-address prefetchers.
+    tlb_enabled: bool = False
+    tlb_entries: int = 64
+    tlb_walk_latency: int = 30
+    l1_pf_cross_page: bool = True
+
+    def with_dram_channels(self, channels: int) -> "SystemConfig":
+        """Return a copy with a different DRAM channel count (Fig. 18)."""
+        return replace(self, dram=replace(self.dram, channels=channels))
+
+    def with_l1_prefetcher(self, kind: str) -> "SystemConfig":
+        """Return a copy with a different L1 prefetcher (Fig. 17)."""
+        return replace(self, l1_prefetcher=kind)
+
+    def with_tlb(
+        self, entries: int = 64, walk_latency: int = 30
+    ) -> "SystemConfig":
+        """Return a copy with the data TLB enabled."""
+        return replace(
+            self, tlb_enabled=True, tlb_entries=entries,
+            tlb_walk_latency=walk_latency,
+        )
+
+    def with_page_constrained_l1_prefetch(self) -> "SystemConfig":
+        """Return a copy whose L1 prefetcher cannot cross page boundaries."""
+        return replace(self, l1_pf_cross_page=False)
+
+    @property
+    def llc_sets(self) -> int:
+        return self.l3.n_sets
+
+    @property
+    def metadata_entries_per_llc_way(self) -> int:
+        """Markov entries stored per reserved LLC way (compressed lines)."""
+        return self.llc_sets * METADATA_ENTRIES_PER_LINE
+
+    def metadata_capacity_for_ways(self, ways: int) -> int:
+        """Total Markov-entry capacity when ``ways`` LLC ways are reserved."""
+        return ways * self.metadata_entries_per_llc_way
+
+
+#: Maximum metadata table the paper supports: 1 MB == 196,608 entries
+#: (Section 5.10).  1 MB / 64 B = 16,384 lines x 12 entries = 196,608.
+MAX_METADATA_BYTES = 1024 * 1024
+MAX_METADATA_ENTRIES = (MAX_METADATA_BYTES // LINE_SIZE) * METADATA_ENTRIES_PER_LINE
+
+
+def default_config() -> SystemConfig:
+    """The Table 1 configuration used by every experiment unless varied."""
+    return SystemConfig()
+
+
+def line_of(addr: int) -> int:
+    """Cache-line address (block number) of a byte address."""
+    return addr >> LINE_SHIFT

@@ -1,0 +1,51 @@
+"""Analytic out-of-order core timing model.
+
+A full gem5 O3 pipeline is replaced by a per-access stall model that keeps
+the effects the paper's results depend on:
+
+- non-memory instructions retire at ``issue_width`` IPC (they are the
+  ``gap`` field of trace records, plus the memory op itself);
+- short-latency hits (L1, L2) hide inside the out-of-order window — the
+  model exposes only latency beyond ``hide_cycles``;
+- long-latency misses overlap up to the workload's memory-level
+  parallelism (bounded by the L2 MSHR count), so a DRAM miss costs
+  ``(latency - hide) / mlp`` stall cycles;
+- DRAM queueing delays (from :mod:`repro.memory.dram`) arrive folded into
+  ``latency``, so bandwidth saturation shows up as IPC loss, which is what
+  makes aggressive prefetching hurt bandwidth-sensitive workloads (astar)
+  and what the Fig. 18 channel sweep measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from .config import SystemConfig
+
+
+@dataclass
+class TimingModel:
+    """Converts access latencies into core stall cycles."""
+
+    issue_width: int
+    hide_cycles: float
+    mlp: int
+
+    @classmethod
+    def for_config(cls, config: SystemConfig, workload_mlp: int = 0) -> "TimingModel":
+        mlp = workload_mlp or config.mlp
+        mlp = max(1, min(mlp, config.l2.mshrs))
+        # The OoO window hides roughly an L2 hit's worth of latency.
+        hide = config.l2.hit_latency + config.l1d.hit_latency + 1
+        return cls(config.core.issue_width, float(hide), mlp)
+
+    def instruction_cycles(self, gap: int) -> float:
+        """Cycles to issue ``gap`` non-memory instructions + the memory op."""
+        return (gap + 1) / self.issue_width
+
+    def stall_cycles(self, latency: float) -> float:
+        """Exposed stall for one memory access of the given latency."""
+        exposed = latency - self.hide_cycles
+        if exposed <= 0:
+            return 0.0
+        return exposed / self.mlp

@@ -1,0 +1,133 @@
+"""Trace-driven simulation engine.
+
+Runs a :class:`repro.workloads.base.Trace` through the cache hierarchy
+with a chosen L2 (temporal) prefetcher and the configured L1 prefetcher,
+applying the timing model per record and collecting a
+:class:`repro.sim.results.SimResult`.
+
+Engine responsibilities:
+
+- **warmup**: the first ``warmup_frac`` of records run with full state
+  changes but no metric accounting (the paper warms 250 M instructions
+  before measuring 50 M);
+- **resize polling**: every ``resize_window`` demand accesses the engine
+  asks the prefetcher for its desired metadata-table size and applies it
+  to both the LLC partition and the table (Set Dueller / Bloom filter /
+  Prophet CSR all flow through this single mechanism);
+- **per-PC accounting**: demand L2 misses per PC (RPG2 kernel selection
+  and hint-buffer placement) and prefetch issued/useful per PC (Prophet's
+  simulated PEBS events).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..cache.hierarchy import Hierarchy
+from ..prefetchers.base import L1Prefetcher, L2Prefetcher, NullL1Prefetcher
+from ..prefetchers.ipcp import IPCPPrefetcher
+from ..prefetchers.stride import StridePrefetcher
+from ..workloads.base import Trace
+from .config import SystemConfig
+from .cpu import TimingModel
+from .results import SimResult
+
+
+def make_l1_prefetcher(config: SystemConfig) -> L1Prefetcher:
+    """Instantiate the configured L1D prefetcher."""
+    kind = config.l1_prefetcher
+    if kind == "stride":
+        return StridePrefetcher(degree=config.l1_prefetch_degree)
+    if kind == "ipcp":
+        return IPCPPrefetcher()
+    if kind in ("none", ""):
+        return NullL1Prefetcher()
+    raise ValueError(f"unknown L1 prefetcher kind {kind!r}")
+
+
+def run_simulation(
+    trace: Trace,
+    config: SystemConfig,
+    l2_prefetcher: Optional[L2Prefetcher] = None,
+    scheme: str = "baseline",
+    warmup_frac: float = 0.25,
+    resize_window: int = 8192,
+) -> SimResult:
+    """Simulate ``trace`` and return measured metrics (post-warmup)."""
+    if not 0.0 <= warmup_frac < 1.0:
+        raise ValueError("warmup_frac must be in [0, 1)")
+    hierarchy = Hierarchy(config, l2_prefetcher, make_l1_prefetcher(config))
+    pf = hierarchy.l2_prefetcher
+    initial_ways = getattr(pf, "initial_ways", None)
+    if initial_ways is None:
+        initial_ways = 0
+    table = getattr(pf, "table", None)
+    if table is not None and initial_ways:
+        hierarchy.set_metadata_ways(min(initial_ways, config.l3.assoc // 2))
+
+    timing = TimingModel.for_config(config, trace.mlp)
+    warmup_records = int(len(trace) * warmup_frac)
+
+    cycle = 0.0
+    measured_cycles = 0.0
+    measured_instructions = 0
+    measured_misses = 0
+    miss_by_pc: Dict[int, int] = {}
+    accesses = 0
+    measuring = warmup_records == 0
+
+    for i, (pc, line, gap) in enumerate(trace.records()):
+        if not measuring and i >= warmup_records:
+            measuring = True
+            hierarchy.l1d.reset_stats()
+            hierarchy.l2.reset_stats()
+            hierarchy.l3.reset_stats()
+            hierarchy.dram.reset_stats()
+            if hierarchy.tlb is not None:
+                hierarchy.tlb.reset_stats()
+            hierarchy.l2_pf_stats.issued = 0
+            hierarchy.l2_pf_stats.useful = 0
+            hierarchy.l2_pf_stats.issued_by_pc.clear()
+            hierarchy.l2_pf_stats.useful_by_pc.clear()
+
+        step = timing.instruction_cycles(gap)
+        result = hierarchy.demand_access(pc, line, cycle)
+        step += timing.stall_cycles(result.latency)
+        cycle += step
+
+        if measuring:
+            measured_cycles += step
+            measured_instructions += gap + 1
+            if result.hit_level in ("l3", "dram"):
+                measured_misses += 1
+                miss_by_pc[pc] = miss_by_pc.get(pc, 0) + 1
+
+        accesses += 1
+        if accesses % resize_window == 0:
+            desired = pf.desired_metadata_ways(hierarchy.metadata_ways)
+            if desired is not None and desired != hierarchy.metadata_ways:
+                desired = max(0, min(desired, config.l3.assoc // 2))
+                hierarchy.set_metadata_ways(desired)
+
+    meta = getattr(pf, "table", None)
+    return SimResult(
+        label=trace.label,
+        scheme=scheme,
+        instructions=measured_instructions,
+        cycles=measured_cycles,
+        l2_demand_misses=measured_misses,
+        dram_reads=hierarchy.dram.stats.reads,
+        dram_writes=hierarchy.dram.stats.writes,
+        pf_issued=hierarchy.l2_pf_stats.issued,
+        pf_useful=hierarchy.l2_pf_stats.useful,
+        issued_by_pc=dict(hierarchy.l2_pf_stats.issued_by_pc),
+        useful_by_pc=dict(hierarchy.l2_pf_stats.useful_by_pc),
+        miss_by_pc=miss_by_pc,
+        metadata_insertions=meta.stats.insertions if meta else 0,
+        metadata_replacements=meta.stats.replacements if meta else 0,
+        metadata_peak_entries=meta.stats.peak_allocated if meta else 0,
+        metadata_ways_final=hierarchy.metadata_ways,
+        l1_pf_issued=hierarchy.l1_pf_stats.issued,
+        l1_pf_useful=hierarchy.l1_pf_stats.useful,
+        dram_metadata_traffic=hierarchy.dram.stats.metadata_traffic,
+    )

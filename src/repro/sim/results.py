@@ -1,0 +1,129 @@
+"""Simulation result records and metric helpers.
+
+Collects everything the paper's figures report: IPC (speedups are ratios
+of these), DRAM traffic (Fig. 11), prefetch coverage and accuracy
+(Fig. 12), and the per-PC counters Prophet's profiler consumes
+(Section 4.1).  Results serialize to/from JSON-compatible dicts so runs
+can be persisted and compared across sessions.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import asdict, dataclass, field, fields
+from typing import Dict, List, Optional, Sequence
+
+
+@dataclass
+class SimResult:
+    """Outcome of one trace run under one prefetcher configuration."""
+
+    label: str
+    scheme: str
+    instructions: int
+    cycles: float
+    l2_demand_misses: int
+    dram_reads: int
+    dram_writes: int
+    pf_issued: int
+    pf_useful: int
+    issued_by_pc: Dict[int, int] = field(default_factory=dict)
+    useful_by_pc: Dict[int, int] = field(default_factory=dict)
+    miss_by_pc: Dict[int, int] = field(default_factory=dict)
+    metadata_insertions: int = 0
+    metadata_replacements: int = 0
+    metadata_peak_entries: int = 0
+    metadata_ways_final: int = 0
+    l1_pf_issued: int = 0
+    l1_pf_useful: int = 0
+    #: DRAM line transfers spent moving prefetcher correlation metadata
+    #: (non-zero only for the off-chip schemes, STMS/Domino); included in
+    #: ``dram_reads``/``dram_writes`` already — this is the breakdown.
+    dram_metadata_traffic: int = 0
+
+    @property
+    def ipc(self) -> float:
+        return self.instructions / self.cycles if self.cycles else 0.0
+
+    @property
+    def dram_traffic(self) -> int:
+        """Cumulative DRAM reads + writes: the Fig. 11 metric."""
+        return self.dram_reads + self.dram_writes
+
+    @property
+    def accuracy(self) -> float:
+        """Prefetching accuracy: useful / issued (Fig. 12b)."""
+        return self.pf_useful / self.pf_issued if self.pf_issued else 0.0
+
+    def accuracy_of(self, pc: int) -> float:
+        issued = self.issued_by_pc.get(pc, 0)
+        return self.useful_by_pc.get(pc, 0) / issued if issued else 0.0
+
+    def speedup_over(self, baseline: "SimResult") -> float:
+        """IPC speedup relative to a baseline run of the same trace."""
+        if baseline.label != self.label:
+            raise ValueError("speedup requires results for the same workload")
+        return self.ipc / baseline.ipc if baseline.ipc else 0.0
+
+    def coverage_over(self, baseline: "SimResult") -> float:
+        """Demand-miss reduction vs. baseline (Fig. 12a); clamped at 0."""
+        if baseline.l2_demand_misses == 0:
+            return 0.0
+        reduced = baseline.l2_demand_misses - self.l2_demand_misses
+        return max(0.0, reduced / baseline.l2_demand_misses)
+
+    def traffic_over(self, baseline: "SimResult") -> float:
+        """Normalized DRAM traffic vs. baseline (Fig. 11)."""
+        if baseline.dram_traffic == 0:
+            return 1.0
+        return self.dram_traffic / baseline.dram_traffic
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible dict (per-PC keys become strings)."""
+        d = asdict(self)
+        for key in ("issued_by_pc", "useful_by_pc", "miss_by_pc"):
+            d[key] = {str(pc): v for pc, v in d[key].items()}
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "SimResult":
+        """Inverse of :meth:`to_dict`; ignores unknown keys."""
+        known = {f.name for f in fields(cls)}
+        kwargs = {k: v for k, v in d.items() if k in known}
+        for key in ("issued_by_pc", "useful_by_pc", "miss_by_pc"):
+            if key in kwargs:
+                kwargs[key] = {int(pc): v for pc, v in kwargs[key].items()}
+        return cls(**kwargs)
+
+
+def geomean(values: Sequence[float]) -> float:
+    """Geometric mean, the paper's cross-workload aggregate."""
+    vals = [v for v in values if v > 0]
+    if not vals:
+        return 0.0
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+def geomean_speedup(results: Sequence[SimResult], baselines: Sequence[SimResult]) -> float:
+    if len(results) != len(baselines):
+        raise ValueError("results/baselines length mismatch")
+    return geomean([r.speedup_over(b) for r, b in zip(results, baselines)])
+
+
+def format_table(
+    headers: Sequence[str], rows: Sequence[Sequence[object]], title: Optional[str] = None
+) -> str:
+    """Fixed-width text table used by every experiment's report."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    widths = [
+        max(len(h), *(len(r[i]) for r in str_rows)) if str_rows else len(h)
+        for i, h in enumerate(headers)
+    ]
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append("  ".join(h.ljust(w) for h, w in zip(headers, widths)))
+    lines.append("  ".join("-" * w for w in widths))
+    for row in str_rows:
+        lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)

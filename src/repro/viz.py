@@ -1,0 +1,177 @@
+"""Terminal-friendly figure rendering and tabular export.
+
+Every experiment's numbers can be rendered three ways:
+
+- :func:`bar_chart` / :func:`grouped_bar_chart` — ASCII horizontal bars,
+  the closest a terminal gets to the paper's figures;
+- :func:`to_csv` / :func:`suite_to_csv` — machine-readable export for
+  external plotting;
+- :func:`to_markdown` — tables that drop straight into EXPERIMENTS.md.
+
+All functions are pure string builders with no plotting dependencies, so
+they work over SSH, in CI logs, and in the saved ``benchmarks/results``
+reports.
+"""
+
+from __future__ import annotations
+
+import io
+from typing import Dict, List, Mapping, Optional, Sequence
+
+BAR_CHAR = "█"
+HALF_CHAR = "▌"
+
+
+def _scaled_bar(value: float, vmax: float, width: int) -> str:
+    """A bar of up to ``width`` cells for ``value`` on a [0, vmax] axis."""
+    if vmax <= 0 or value <= 0:
+        return ""
+    cells = value / vmax * width
+    full = int(cells)
+    return BAR_CHAR * full + (HALF_CHAR if cells - full >= 0.5 else "")
+
+
+def bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    title: Optional[str] = None,
+    width: int = 40,
+    fmt: str = "{:.3f}",
+    vmax: Optional[float] = None,
+) -> str:
+    """One horizontal bar per label.
+
+    ``vmax`` pins the axis (default: the data maximum), letting callers
+    keep multiple charts on a shared scale.
+    """
+    if len(labels) != len(values):
+        raise ValueError("labels/values length mismatch")
+    if width <= 0:
+        raise ValueError("width must be positive")
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    if not labels:
+        return out.getvalue().rstrip("\n")
+    vmax = vmax if vmax is not None else max(values)
+    label_w = max(len(l) for l in labels)
+    for label, value in zip(labels, values):
+        bar = _scaled_bar(value, vmax, width)
+        out.write(f"{label.ljust(label_w)}  {bar} {fmt.format(value)}\n")
+    return out.getvalue().rstrip("\n")
+
+
+def grouped_bar_chart(
+    labels: Sequence[str],
+    series: Mapping[str, Sequence[float]],
+    title: Optional[str] = None,
+    width: int = 40,
+    fmt: str = "{:.3f}",
+    baseline: Optional[float] = None,
+) -> str:
+    """Grouped bars: for each label, one bar per series (the Fig. 10 look).
+
+    ``baseline`` draws values relative to it (e.g. 1.0 for normalized
+    speedups): bars start at the baseline and grow by the delta, which
+    makes a 1.05 vs 1.30 comparison legible instead of two nearly equal
+    full-width bars.
+    """
+    for name, vals in series.items():
+        if len(vals) != len(labels):
+            raise ValueError(f"series {name!r} length != labels length")
+    out = io.StringIO()
+    if title:
+        out.write(title + "\n")
+    if not labels or not series:
+        return out.getvalue().rstrip("\n")
+    offset = baseline if baseline is not None else 0.0
+    deltas = [
+        v - offset for vals in series.values() for v in vals
+    ]
+    vmax = max(max(deltas), 1e-12)
+    label_w = max(len(l) for l in labels)
+    name_w = max(len(n) for n in series)
+    for i, label in enumerate(labels):
+        for j, (name, vals) in enumerate(series.items()):
+            head = label.ljust(label_w) if j == 0 else " " * label_w
+            bar = _scaled_bar(vals[i] - offset, vmax, width)
+            out.write(
+                f"{head}  {name.ljust(name_w)}  {bar} {fmt.format(vals[i])}\n"
+            )
+    return out.getvalue().rstrip("\n")
+
+
+def to_csv(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Minimal CSV (quotes fields containing commas/quotes/newlines)."""
+
+    def field(v: object) -> str:
+        s = str(v)
+        if any(ch in s for ch in ',"\n\r'):
+            return '"' + s.replace('"', '""') + '"'
+        return s
+
+    lines = [",".join(field(h) for h in headers)]
+    for row in rows:
+        if len(row) != len(headers):
+            raise ValueError("row width != header width")
+        lines.append(",".join(field(c) for c in row))
+    return "\n".join(lines)
+
+
+def to_markdown(
+    headers: Sequence[str], rows: Sequence[Sequence[object]]
+) -> str:
+    """A GitHub-flavoured markdown table."""
+    str_rows = [[str(c) for c in row] for row in rows]
+    for row in str_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width != header width")
+    lines = [
+        "| " + " | ".join(headers) + " |",
+        "|" + "|".join("---" for _ in headers) + "|",
+    ]
+    for row in str_rows:
+        lines.append("| " + " | ".join(row) + " |")
+    return "\n".join(lines)
+
+
+def suite_rows(results, metric: str = "speedup") -> List[List[str]]:
+    """(workload x scheme) rows for a SuiteResults, plus the geomean row."""
+    fn = getattr(results, metric)
+    rows = [
+        [label] + [f"{fn(label, s):.4f}" for s in results.schemes]
+        for label in results.labels
+    ]
+    rows.append(
+        ["geomean"]
+        + [f"{results.geomean_metric(s, metric):.4f}" for s in results.schemes]
+    )
+    return rows
+
+
+def suite_to_csv(results, metric: str = "speedup") -> str:
+    """CSV export of one metric of a SuiteResults."""
+    return to_csv(["workload"] + list(results.schemes), suite_rows(results, metric))
+
+
+def suite_to_markdown(results, metric: str = "speedup") -> str:
+    """Markdown export of one metric of a SuiteResults."""
+    return to_markdown(
+        ["workload"] + list(results.schemes), suite_rows(results, metric)
+    )
+
+
+def suite_chart(results, metric: str = "speedup", title: Optional[str] = None) -> str:
+    """Grouped ASCII chart of one metric of a SuiteResults (Fig. 10 style).
+
+    Speedup and traffic are normalized metrics, so their bars grow from
+    the 1.0 baseline; coverage/accuracy grow from zero.
+    """
+    fn = getattr(results, metric)
+    series = {
+        s: [fn(label, s) for label in results.labels] for s in results.schemes
+    }
+    baseline = 1.0 if metric in ("speedup", "traffic") else None
+    return grouped_bar_chart(
+        results.labels, series, title=title, baseline=baseline
+    )

@@ -1,0 +1,275 @@
+"""Trace characterization: the statistics the paper's mechanisms key on.
+
+This module answers "what kind of workload is this?" for any trace —
+generated persona or imported capture — with the quantities that decide
+how each prefetcher family will fare on it:
+
+- **reuse distances** (exact LRU stack distances): whether the working
+  set fits the LLC, and whether temporal patterns repeat within the
+  metadata table's reach (DESIGN.md's "reuse-distance regime");
+- **per-PC stride profile**: the fraction of each PC's accesses explained
+  by its dominant stride — what RPG2 and the L1 stride prefetcher can
+  exploit;
+- **Markov target distribution** (Fig. 8): how many distinct successors
+  each address has — the Multi-path Victim Buffer's food supply;
+- **repeat fraction and footprint**: raw temporal-locality mass.
+
+Stack distances are computed exactly in O(n log n) with a Fenwick tree
+over last-access times (the classical algorithm); a naive quadratic
+reference implementation lives alongside it for property testing.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..sim.results import format_table
+from .base import Trace, markov_target_counts
+
+#: Stack distance reported for a line's first (cold) access.
+COLD = -1
+
+
+class _Fenwick:
+    """Binary indexed tree over positions; supports prefix sums."""
+
+    def __init__(self, n: int):
+        self.n = n
+        self._tree = [0] * (n + 1)
+
+    def add(self, i: int, delta: int) -> None:
+        i += 1
+        while i <= self.n:
+            self._tree[i] += delta
+            i += i & (-i)
+
+    def prefix_sum(self, i: int) -> int:
+        """Sum of elements at positions 0..i inclusive."""
+        i += 1
+        s = 0
+        while i > 0:
+            s += self._tree[i]
+            i -= i & (-i)
+        return s
+
+
+def stack_distances(lines: Sequence[int]) -> List[int]:
+    """Exact LRU stack distance of every access (:data:`COLD` for first
+    touches).
+
+    Distance k means k distinct other lines were touched since this
+    line's previous access — i.e. the access hits in any LRU cache with
+    capacity > k lines.
+    """
+    n = len(lines)
+    tree = _Fenwick(n)
+    last_pos: Dict[int, int] = {}
+    out: List[int] = []
+    for i, line in enumerate(lines):
+        prev = last_pos.get(line)
+        if prev is None:
+            out.append(COLD)
+        else:
+            # Distinct lines touched in (prev, i) = number of "live" marks
+            # after prev; each line keeps one mark at its last position.
+            out.append(tree.prefix_sum(i - 1) - tree.prefix_sum(prev))
+            tree.add(prev, -1)
+        tree.add(i, 1)
+        last_pos[line] = i
+    return out
+
+
+def stack_distances_naive(lines: Sequence[int]) -> List[int]:
+    """Quadratic LRU-stack reference implementation (tests only)."""
+    stack: List[int] = []  # most recent first
+    out: List[int] = []
+    for line in lines:
+        try:
+            depth = stack.index(line)
+        except ValueError:
+            out.append(COLD)
+        else:
+            out.append(depth)
+            del stack[depth]
+        stack.insert(0, line)
+    return out
+
+
+def reuse_histogram(
+    lines: Sequence[int], bucket_edges: Sequence[int] = ()
+) -> Dict[str, int]:
+    """Stack-distance histogram over power-of-two buckets.
+
+    ``bucket_edges`` overrides the default edges (ascending).  The
+    returned dict maps labels (``"<=4096"``, ``"cold"``, ...) to counts.
+    """
+    edges = list(bucket_edges) or [2 ** k for k in range(6, 22, 2)]
+    if edges != sorted(edges):
+        raise ValueError("bucket edges must ascend")
+    dists = stack_distances(lines)
+    hist: Dict[str, int] = {f"<={e}": 0 for e in edges}
+    hist[f">{edges[-1]}"] = 0
+    hist["cold"] = 0
+    for d in dists:
+        if d == COLD:
+            hist["cold"] += 1
+            continue
+        for e in edges:
+            if d <= e:
+                hist[f"<={e}"] += 1
+                break
+        else:
+            hist[f">{edges[-1]}"] += 1
+    return hist
+
+
+@dataclass
+class PCProfile:
+    """Per-PC access character.
+
+    Line-granularity deltas hide element-granularity scans (a CSR sweep
+    reads ~16 ints per 64 B line, so most line deltas are 0 with periodic
+    +1), so scans are captured by ``sequential_share`` — the fraction of
+    deltas in [0, 3] — while classic strides are captured by the dominant
+    nonzero delta's share.
+    """
+
+    pc: int
+    accesses: int
+    dominant_stride: int  # most common nonzero line delta (0 if none)
+    stride_share: float  # that delta's share of all deltas
+    sequential_share: float  # share of deltas in [0, 3]
+
+    @property
+    def stride_friendly(self) -> bool:
+        """Would a stride engine (or RPG2's kernel test) lock onto it?"""
+        return self.sequential_share >= 0.75 or (
+            self.dominant_stride != 0 and self.stride_share >= 0.6
+        )
+
+
+def pc_stride_profiles(
+    pcs: Sequence[int], lines: Sequence[int], min_accesses: int = 16
+) -> Dict[int, PCProfile]:
+    """Per-PC stride/scan profiles (PCs with >= ``min_accesses``)."""
+    deltas_by_pc: Dict[int, Counter] = {}
+    counts: Dict[int, int] = {}
+    last_by_pc: Dict[int, int] = {}
+    for pc, line in zip(pcs, lines):
+        counts[pc] = counts.get(pc, 0) + 1
+        last = last_by_pc.get(pc)
+        if last is not None:
+            deltas_by_pc.setdefault(pc, Counter())[line - last] += 1
+        last_by_pc[pc] = line
+    out: Dict[int, PCProfile] = {}
+    for pc, n in counts.items():
+        if n < min_accesses:
+            continue
+        deltas = deltas_by_pc.get(pc)
+        if not deltas:
+            continue
+        total = sum(deltas.values())
+        nonzero = [(d, c) for d, c in deltas.items() if d != 0]
+        if nonzero:
+            stride, freq = max(nonzero, key=lambda item: item[1])
+        else:
+            stride, freq = 0, 0
+        sequential = sum(c for d, c in deltas.items() if 0 <= d <= 3)
+        out[pc] = PCProfile(pc, n, stride, freq / total, sequential / total)
+    return out
+
+
+@dataclass
+class TraceCharacter:
+    """Everything :func:`characterize` computes for one trace."""
+
+    label: str
+    n_records: int
+    n_pcs: int
+    instructions: int
+    footprint_lines: int
+    repeat_fraction: float  # accesses to previously seen lines
+    median_reuse: Optional[int]  # median non-cold stack distance
+    reuse_hist: Dict[str, int] = field(default_factory=dict)
+    stride_friendly_share: float = 0.0  # accesses from stride-friendly PCs
+    markov_multi_target_share: float = 0.0  # Fig. 8 tail mass
+
+    def verdict(self) -> str:
+        """One-line reading of which prefetcher family fits this trace."""
+        if self.stride_friendly_share > 0.5:
+            return "stride territory: L1 stride / RPG2 should capture most"
+        if self.markov_multi_target_share > 0.05 and self.repeat_fraction > 0.3:
+            return "temporal territory with multi-target tail: Prophet + MVB"
+        if self.repeat_fraction > 0.3:
+            return "temporal territory: Triangel/Prophet applicable"
+        return "mostly irregular-cold: little for any prefetcher"
+
+
+def characterize(trace: Trace) -> TraceCharacter:
+    """Full characterization of one trace (see module docstring)."""
+    dists = stack_distances(trace.lines)
+    warm = sorted(d for d in dists if d != COLD)
+    profiles = pc_stride_profiles(trace.pcs, trace.lines)
+    friendly_accesses = sum(
+        p.accesses for p in profiles.values() if p.stride_friendly
+    )
+    targets = markov_target_counts(trace.pcs, trace.lines)
+    multi = sum(1 for n in targets.values() if n > 1)
+    return TraceCharacter(
+        label=trace.label,
+        n_records=len(trace),
+        n_pcs=len(set(trace.pcs)),
+        instructions=trace.instructions,
+        footprint_lines=len(set(trace.lines)),
+        repeat_fraction=(len(warm) / len(dists)) if dists else 0.0,
+        median_reuse=warm[len(warm) // 2] if warm else None,
+        reuse_hist=reuse_histogram(trace.lines),
+        stride_friendly_share=(friendly_accesses / len(trace)) if len(trace) else 0.0,
+        markov_multi_target_share=(multi / len(targets)) if targets else 0.0,
+    )
+
+
+def working_set_curve(
+    lines: Sequence[int], window: int = 10_000
+) -> List[Tuple[int, int]]:
+    """Distinct lines per consecutive window: (window start, distinct)."""
+    if window <= 0:
+        raise ValueError("window must be positive")
+    out: List[Tuple[int, int]] = []
+    for start in range(0, len(lines), window):
+        chunk = lines[start : start + window]
+        out.append((start, len(set(chunk))))
+    return out
+
+
+def summary_table(characters: Sequence[TraceCharacter]) -> str:
+    """Render a comparison table across traces."""
+    rows = [
+        [
+            c.label,
+            f"{c.n_records:,}",
+            f"{c.n_pcs}",
+            f"{c.footprint_lines:,}",
+            f"{c.repeat_fraction:.2f}",
+            f"{c.median_reuse if c.median_reuse is not None else '-'}",
+            f"{c.stride_friendly_share:.2f}",
+            f"{c.markov_multi_target_share:.2f}",
+        ]
+        for c in characters
+    ]
+    return format_table(
+        [
+            "trace",
+            "records",
+            "PCs",
+            "footprint",
+            "repeat",
+            "med reuse",
+            "stride share",
+            "multi-target",
+        ],
+        rows,
+        "Trace characterization",
+    )

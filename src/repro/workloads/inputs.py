@@ -1,0 +1,52 @@
+"""Input catalog: every named workload/input the experiments use.
+
+Provides one flat registry mapping a label like ``gcc_expr`` or
+``bfs_100000_16`` to a trace factory, so experiments and examples can ask
+for workloads by the exact names the paper's figures use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+from .base import Trace
+from .crono import CRONO_WORKLOADS, make_crono_trace
+from .spec import (
+    ASTAR_INPUTS,
+    GCC_INPUTS,
+    SOPLEX_INPUTS,
+    SPEC_WORKLOADS,
+    make_spec_trace,
+)
+
+
+def spec_label(app: str, input_name: str) -> str:
+    return f"{app}_{input_name}"
+
+
+def all_labels() -> List[str]:
+    """Every workload label the experiments reference."""
+    labels = [spec_label(app, inp) for app, inp in SPEC_WORKLOADS]
+    labels += [spec_label("gcc", inp) for inp in GCC_INPUTS]
+    labels += [spec_label("astar", inp) for inp in ASTAR_INPUTS]
+    labels += [spec_label("soplex", inp) for inp in SOPLEX_INPUTS]
+    labels += list(CRONO_WORKLOADS)
+    # Deduplicate, preserving order.
+    seen = set()
+    out = []
+    for label in labels:
+        if label not in seen:
+            seen.add(label)
+            out.append(label)
+    return out
+
+
+def make_trace(label: str, n_records: int = 120_000, **kwargs) -> Trace:
+    """Build the trace for any catalog label (SPEC persona or CRONO)."""
+    if label in CRONO_WORKLOADS:
+        return make_crono_trace(label, n_records, **kwargs)
+    app, _, input_name = label.partition("_")
+    if not input_name:
+        # Bare app name: use the Fig. 10 default input.
+        return make_spec_trace(app, None, n_records, **kwargs)
+    return make_spec_trace(app, input_name, n_records, **kwargs)

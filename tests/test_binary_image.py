@@ -1,0 +1,249 @@
+"""Unit tests for the binary-image model and Section 4.4 hint injection."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.binary import (
+    BinaryImage,
+    Instruction,
+    inject_hint_instructions,
+    inject_prefixes,
+    inject_reserved_bits,
+)
+from repro.binary.image import HINT_INSTRUCTION_BYTES
+from repro.core.hints import HINT_BITS, PCHint
+from repro.sim.config import default_config
+from repro.workloads.spec import make_spec_trace
+
+
+def simple_image(n_mem=10, isa="x86", reserved_every=2):
+    """Hand-built image: n_mem memory instructions at PCs 100, 104, ..."""
+    instrs = []
+    for i in range(n_mem):
+        instrs.append(
+            Instruction(
+                pc=100 + 4 * i,
+                length=4,
+                is_memory_access=True,
+                has_reserved_bits=(i % reserved_every == 0),
+            )
+        )
+        instrs.append(Instruction(pc=1000 + i, length=4, is_memory_access=False))
+    return BinaryImage(instrs, isa)
+
+
+def hints_for(image, n=None, priority=1):
+    pcs = image.memory_pcs()
+    if n is not None:
+        pcs = pcs[:n]
+    return {pc: PCHint(insert=True, priority=priority) for pc in pcs}
+
+
+# ----------------------------------------------------------------------
+# BinaryImage
+# ----------------------------------------------------------------------
+class TestBinaryImage:
+    def test_layout_assigns_contiguous_addresses(self):
+        img = simple_image(3)
+        addrs = [i.address for i in img.instructions]
+        lens = [i.encoded_length for i in img.instructions]
+        for k in range(1, len(addrs)):
+            assert addrs[k] == addrs[k - 1] + lens[k - 1]
+
+    def test_text_bytes_matches_layout(self):
+        img = simple_image(4)
+        last = img.instructions[-1]
+        assert img.text_bytes == last.address + last.encoded_length
+
+    def test_unknown_isa_rejected(self):
+        with pytest.raises(ValueError):
+            BinaryImage([], isa="riscv")
+
+    def test_from_trace_covers_all_pcs(self):
+        trace = make_spec_trace("mcf", "inp", 5000)
+        img = BinaryImage.from_trace(trace)
+        assert set(img.memory_pcs()) == set(trace.pcs)
+
+    def test_from_trace_x86_has_no_reserved_bits(self):
+        trace = make_spec_trace("mcf", "inp", 3000)
+        img = BinaryImage.from_trace(trace, isa="x86")
+        assert all(
+            not img.memory_instruction(pc).has_reserved_bits
+            for pc in img.memory_pcs()
+        )
+
+    def test_from_trace_arm_reserved_fraction(self):
+        trace = make_spec_trace("omnetpp", "inp", 5000)
+        img = BinaryImage.from_trace(trace, isa="arm", reserved_bits_fraction=1.0)
+        assert all(
+            img.memory_instruction(pc).has_reserved_bits
+            for pc in img.memory_pcs()
+        )
+        img0 = BinaryImage.from_trace(trace, isa="arm", reserved_bits_fraction=0.0)
+        assert not any(
+            img0.memory_instruction(pc).has_reserved_bits
+            for pc in img0.memory_pcs()
+        )
+
+    def test_from_trace_arm_fixed_width(self):
+        trace = make_spec_trace("mcf", "inp", 2000)
+        img = BinaryImage.from_trace(trace, isa="arm")
+        assert all(i.length == 4 for i in img.instructions)
+
+    def test_from_trace_deterministic(self):
+        trace = make_spec_trace("mcf", "inp", 2000)
+        a = BinaryImage.from_trace(trace)
+        b = BinaryImage.from_trace(trace)
+        assert a.text_bytes == b.text_bytes
+        assert a.n_instructions == b.n_instructions
+
+    def test_bad_reserved_fraction_rejected(self):
+        trace = make_spec_trace("mcf", "inp", 1000)
+        with pytest.raises(ValueError):
+            BinaryImage.from_trace(trace, reserved_bits_fraction=1.5)
+
+    def test_icache_lines(self):
+        img = simple_image(8)  # 16 instrs x 4 B = 64 B = exactly one line
+        assert img.icache_lines == 1
+
+    def test_dynamic_instructions_without_hints(self):
+        trace = make_spec_trace("mcf", "inp", 2000)
+        img = BinaryImage.from_trace(trace)
+        assert img.dynamic_instructions(trace) == trace.instructions
+
+    @given(n=st.integers(1, 30))
+    @settings(max_examples=20)
+    def test_memory_instruction_lookup(self, n):
+        img = simple_image(n)
+        for pc in img.memory_pcs():
+            inst = img.memory_instruction(pc)
+            assert inst is not None and inst.pc == pc
+        assert img.memory_instruction(99_999) is None
+
+
+# ----------------------------------------------------------------------
+# Hint-instruction (hint buffer) injection
+# ----------------------------------------------------------------------
+class TestHintInstructionInjection:
+    def test_instructions_prepended_at_entry(self):
+        img = simple_image(10)
+        hints = hints_for(img, 5)
+        new, buffer, report = inject_hint_instructions(img, hints)
+        assert new.n_hint_instructions == 5
+        assert all(i.is_hint for i in new.instructions[:5])
+        assert len(buffer) == 5
+
+    def test_capacity_caps_and_prefers_hot_pcs(self):
+        img = simple_image(10)
+        hints = hints_for(img)
+        misses = {pc: i for i, pc in enumerate(img.memory_pcs())}
+        hottest = max(misses, key=misses.get)
+        coldest = min(misses, key=misses.get)
+        new, buffer, report = inject_hint_instructions(
+            img, hints, miss_counts=misses, capacity=3
+        )
+        assert report.hinted_pcs == 3
+        assert report.dropped_pcs == 7
+        assert buffer.lookup(hottest) is not None
+        assert buffer.lookup(coldest) is None
+
+    def test_static_and_dynamic_costs(self):
+        img = simple_image(10)
+        hints = hints_for(img, 4)
+        new, _, report = inject_hint_instructions(img, hints)
+        assert report.static_bytes_added == 4 * HINT_INSTRUCTION_BYTES
+        assert report.dynamic_instructions_added == 4
+        assert new.text_bytes == img.text_bytes + report.static_bytes_added
+
+    def test_dynamic_instruction_accounting_on_trace(self):
+        trace = make_spec_trace("mcf", "inp", 4000)
+        img = BinaryImage.from_trace(trace)
+        hints = {pc: PCHint(True, 1) for pc in img.memory_pcs()[:8]}
+        new, _, _ = inject_hint_instructions(img, hints)
+        assert new.dynamic_instructions(trace) == trace.instructions + len(hints)
+
+    def test_paper_storage_arithmetic(self):
+        """128-entry buffer = 0.19 KB (Section 5.10)."""
+        img = simple_image(200)
+        hints = hints_for(img)
+        _, buffer, report = inject_hint_instructions(img, hints, capacity=128)
+        assert report.hinted_pcs == 128
+        assert buffer.storage_bytes == pytest.approx(0.19 * 1024, rel=0.02)
+
+    def test_unknown_pcs_not_injected(self):
+        img = simple_image(5)
+        hints = {424242: PCHint(True, 0)}
+        new, buffer, report = inject_hint_instructions(img, hints)
+        assert report.hinted_pcs == 0
+        assert report.dropped_pcs == 1
+
+    def test_bad_capacity_rejected(self):
+        img = simple_image(2)
+        with pytest.raises(ValueError):
+            inject_hint_instructions(img, hints_for(img), capacity=0)
+
+
+# ----------------------------------------------------------------------
+# x86 prefix injection
+# ----------------------------------------------------------------------
+class TestPrefixInjection:
+    def test_prefixed_instructions_grow(self):
+        img = simple_image(6)
+        hints = hints_for(img, 3)
+        new, report = inject_prefixes(img, hints)
+        assert report.static_bytes_added == 3
+        assert new.text_bytes == img.text_bytes + 3
+
+    def test_paper_icache_arithmetic(self):
+        """3 bits x 128 instructions = 48 B payload -> 6 B per line-count
+        accounting in Section 4.4 (3 x 128 / 64 = 6)."""
+        img = simple_image(200)
+        hints = hints_for(img)
+        _, report = inject_prefixes(img, hints, limit=128)
+        assert report.payload_bits == HINT_BITS * 128
+        assert report.payload_bytes == 48.0
+        assert report.icache_impact_fraction < 0.001
+
+    def test_no_dynamic_overhead(self):
+        img = simple_image(4)
+        _, report = inject_prefixes(img, hints_for(img))
+        assert report.dynamic_instructions_added == 0
+
+    def test_arm_rejected(self):
+        trace = make_spec_trace("mcf", "inp", 1000)
+        img = BinaryImage.from_trace(trace, isa="arm")
+        with pytest.raises(ValueError):
+            inject_prefixes(img, {})
+
+    def test_addresses_relaid_out_after_prefixing(self):
+        img = simple_image(6)
+        new, _ = inject_prefixes(img, hints_for(img, 6))
+        addrs = [i.address for i in new.instructions]
+        lens = [i.encoded_length for i in new.instructions]
+        for k in range(1, len(addrs)):
+            assert addrs[k] == addrs[k - 1] + lens[k - 1]
+
+
+# ----------------------------------------------------------------------
+# Reserved-bits injection
+# ----------------------------------------------------------------------
+class TestReservedBitsInjection:
+    def test_zero_cost(self):
+        img = simple_image(10, isa="arm")
+        _, report = inject_reserved_bits(img, hints_for(img))
+        assert report.static_bytes_added == 0
+        assert report.dynamic_instructions_added == 0
+        assert report.payload_bits == 0
+
+    def test_applicability_constraint(self):
+        """Only instructions with reserved bits can carry hints."""
+        img = simple_image(10, isa="arm", reserved_every=2)  # half have bits
+        _, report = inject_reserved_bits(img, hints_for(img))
+        assert report.hinted_pcs == 5
+        assert report.dropped_pcs == 5
+
+    def test_image_unchanged(self):
+        img = simple_image(4, isa="arm")
+        new, _ = inject_reserved_bits(img, hints_for(img))
+        assert new is img

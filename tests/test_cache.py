@@ -1,0 +1,152 @@
+"""Unit tests for the set-associative cache."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.cache import PF_L1, PF_L2, Cache
+
+
+def small_cache(assoc=4, sets=4, replacement="lru"):
+    return Cache("T", 64 * assoc * sets, assoc, 2, replacement)
+
+
+class TestBasics:
+    def test_miss_then_hit(self):
+        c = small_cache()
+        assert c.probe(100) is None
+        c.fill(100)
+        way = c.probe(100)
+        assert way is not None
+        assert not c.on_demand_hit(100, way)  # demand fill: no prefetch credit
+        assert c.stats.demand_hits == 1
+
+    def test_set_mapping(self):
+        c = small_cache(sets=4)
+        assert c.set_index(0) == 0
+        assert c.set_index(5) == 1
+        assert c.set_index(7) == 3
+
+    def test_capacity_eviction(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0)
+        c.fill(1)
+        evicted = c.fill(2)
+        assert evicted is not None
+        assert evicted.line == 0  # LRU
+        assert c.probe(0) is None
+
+    def test_refill_resident_line_evicts_nothing(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0)
+        assert c.fill(0) is None
+
+    def test_dirty_eviction_counts_writeback(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0, dirty=True)
+        c.fill(1)
+        assert c.stats.writebacks == 1
+
+    def test_invalidate(self):
+        c = small_cache()
+        c.fill(42)
+        assert c.invalidate(42)
+        assert c.probe(42) is None
+        assert not c.invalidate(42)
+
+    def test_geometry_validation(self):
+        with pytest.raises(ValueError):
+            Cache("bad", 100, 4, 2)
+
+
+class TestPrefetchBookkeeping:
+    def test_useful_prefetch_once(self):
+        c = small_cache()
+        c.fill(7, prefetched=True, trigger_pc=0x99, pf_source=PF_L2)
+        way = c.probe(7)
+        assert c.was_prefetched(7, way)
+        assert c.trigger_pc_of(7, way) == 0x99
+        assert c.pf_source_of(7, way) == PF_L2
+        assert c.on_demand_hit(7, way)  # first touch consumes
+        assert not c.on_demand_hit(7, way)  # second touch is a plain hit
+        assert c.stats.useful_prefetches == 1
+
+    def test_useless_eviction_counted(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0, prefetched=True, trigger_pc=1)
+        c.fill(1)
+        assert c.stats.useless_evictions == 1
+
+    def test_used_prefetch_not_useless_on_eviction(self):
+        c = small_cache(assoc=1, sets=1)
+        c.fill(0, prefetched=True, trigger_pc=1)
+        c.on_demand_hit(0, c.probe(0))
+        c.fill(1)
+        assert c.stats.useless_evictions == 0
+
+    def test_ready_cycle_stored(self):
+        c = small_cache()
+        c.fill(3, ready_cycle=123.5, prefetched=True)
+        assert c.ready_cycle(3, c.probe(3)) == 123.5
+
+    def test_pf_source_cleared_for_demand_fill(self):
+        c = small_cache()
+        c.fill(9, prefetched=False, pf_source=PF_L1)
+        assert c.pf_source_of(9, c.probe(9)) == 0
+
+
+class TestWayPartitioning:
+    def test_shrink_invalidates_reserved_ways(self):
+        c = small_cache(assoc=4, sets=2)
+        for line in range(8):
+            c.fill(line)
+        assert c.occupancy() == 1.0
+        c.set_data_ways(2)
+        assert c.data_ways == 2
+        assert c.capacity_lines == 4
+        assert sum(1 for line in range(8) if c.probe(line) is not None) == 4
+
+    def test_fills_respect_partition(self):
+        c = small_cache(assoc=4, sets=1)
+        c.set_data_ways(2)
+        for line in range(4):
+            c.fill(line)
+        resident = [line for line in range(4) if c.probe(line) is not None]
+        assert len(resident) == 2
+
+    def test_grow_restores_capacity(self):
+        c = small_cache(assoc=4, sets=1)
+        c.set_data_ways(1)
+        c.set_data_ways(4)
+        for line in range(4):
+            c.fill(line)
+        assert all(c.probe(line) is not None for line in range(4))
+
+    def test_invalid_ways_raises(self):
+        c = small_cache(assoc=4)
+        with pytest.raises(ValueError):
+            c.set_data_ways(5)
+
+    def test_shrink_counts_dirty_writebacks(self):
+        c = small_cache(assoc=2, sets=1)
+        c.fill(0, dirty=True)
+        c.fill(1, dirty=True)
+        c.set_data_ways(0)
+        assert c.stats.writebacks == 2
+
+
+@given(
+    st.lists(st.integers(0, 63), min_size=1, max_size=300),
+    st.sampled_from(["lru", "plru", "srrip"]),
+)
+@settings(max_examples=40, deadline=None)
+def test_cache_residency_invariants(lines, replacement):
+    """Property: occupancy bounded, a filled line is immediately resident,
+    and the per-set map never exceeds the data ways."""
+    c = Cache("P", 64 * 4 * 4, 4, 2, replacement)
+    for line in lines:
+        c.fill(line)
+        assert c.probe(line) is not None
+    assert 0.0 < c.occupancy() <= 1.0
+    for mapping in c._map:
+        assert len(mapping) <= c.data_ways
+    assert len(set(c.resident_lines())) == len(c.resident_lines())

@@ -1,0 +1,75 @@
+"""Tests for the CLI and configuration module."""
+
+import pytest
+
+from repro.cli import EXPERIMENTS, main, run_experiment
+from repro.sim.config import (
+    LINE_SIZE,
+    MAX_METADATA_ENTRIES,
+    METADATA_ENTRIES_PER_LINE,
+    CacheConfig,
+    default_config,
+    line_of,
+)
+
+
+class TestConfig:
+    def test_line_of(self):
+        assert line_of(0) == 0
+        assert line_of(63) == 0
+        assert line_of(64) == 1
+        assert line_of(12345 * 64 + 7) == 12345
+
+    def test_cache_geometry(self):
+        c = CacheConfig("X", 64 * 1024, 4, 2, 16)
+        assert c.n_lines == 1024
+        assert c.n_sets == 256
+
+    def test_max_metadata_entries_is_paper_value(self):
+        # Section 5.10: 1 MB == 196,608 entries.
+        assert MAX_METADATA_ENTRIES == 196_608
+        assert MAX_METADATA_ENTRIES == (1 << 20) // LINE_SIZE * METADATA_ENTRIES_PER_LINE
+
+    def test_config_immutable(self):
+        cfg = default_config()
+        with pytest.raises(Exception):
+            cfg.mlp = 99  # frozen dataclass
+
+    def test_variants_do_not_mutate_original(self):
+        cfg = default_config()
+        cfg2 = cfg.with_dram_channels(4)
+        assert cfg.dram.channels == 1
+        assert cfg2.dram.channels == 4
+        cfg3 = cfg.with_l1_prefetcher("ipcp")
+        assert cfg.l1_prefetcher == "stride"
+        assert cfg3.l1_prefetcher == "ipcp"
+
+
+class TestCLI:
+    def test_list_covers_all_figures(self, capsys):
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        for fig in ["fig01", "fig10", "fig15", "fig19", "storage", "energy"]:
+            assert fig in out
+
+    def test_experiment_registry_complete(self):
+        # Every evaluation artifact of the paper has a CLI entry
+        # (extension studies may add more — see DESIGN.md X1-X5).
+        expected = {f"fig{n:02d}" for n in (1, 6, 8, 10, 11, 12, 13, 14, 15,
+                                            16, 17, 18, 19)}
+        expected |= {"storage", "energy", "overhead"}
+        assert expected <= set(EXPERIMENTS)
+
+    def test_unknown_experiment_errors(self):
+        with pytest.raises(SystemExit):
+            main(["fig99"])
+
+    def test_storage_runs_and_writes(self, tmp_path, capsys):
+        assert main(["storage", "--out", str(tmp_path)]) == 0
+        assert (tmp_path / "storage.txt").exists()
+        assert "48.00" in (tmp_path / "storage.txt").read_text()
+
+    def test_run_experiment_records_override(self, tmp_path):
+        text = run_experiment("fig08", 5_000, tmp_path)
+        assert "T=1" in text
+        assert (tmp_path / "fig08.txt").exists()

@@ -1,0 +1,54 @@
+"""Tests for the CLI's trace/chart/csv commands and new experiments."""
+
+import pytest
+
+from repro import cli
+
+
+class TestRegistry:
+    def test_new_experiments_registered(self):
+        for name in ("offchip", "injection", "tlbvm"):
+            assert name in cli.EXPERIMENTS
+
+    def test_chartable_subset_of_experiments(self):
+        assert set(cli.CHARTABLE) <= set(cli.EXPERIMENTS)
+
+    def test_list_marks_chartable(self, capsys):
+        cli.main(["list"])
+        out = capsys.readouterr().out
+        assert "[chartable]" in out
+        assert "tlbvm" in out
+
+
+class TestTraceCommand:
+    def test_single_workload(self, capsys):
+        assert cli.main(["trace", "mcf_inp", "--records", "8000"]) == 0
+        out = capsys.readouterr().out
+        assert "mcf_inp" in out
+        assert "verdict" in out
+
+    def test_unknown_workload_exits(self):
+        with pytest.raises(SystemExit):
+            cli.main(["trace", "not_a_workload", "--records", "4000"])
+
+    def test_trace_requires_target(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["trace"])
+
+
+class TestChartCommand:
+    def test_chart_rejected_for_unchartable(self, capsys):
+        with pytest.raises(SystemExit):
+            cli.main(["fig13", "--chart"])
+
+    def test_chart_renders(self, capsys):
+        assert cli.main(["fig10", "--chart", "--records", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out or "▌" in out
+        assert "prophet" in out
+
+    def test_csv_renders(self, capsys):
+        assert cli.main(["fig10", "--csv", "--records", "20000"]) == 0
+        out = capsys.readouterr().out
+        assert out.splitlines()[0].startswith("workload,")
+        assert "geomean" in out

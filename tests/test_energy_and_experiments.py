@@ -1,0 +1,150 @@
+"""Tests for the energy model and smoke tests for every experiment module."""
+
+import pytest
+
+from repro.energy.cacti import (
+    DRAM_MULTIPLIER,
+    EnergyBreakdown,
+    hierarchy_energy,
+    relative_overhead,
+    sram_access_pj,
+)
+from repro.sim.config import default_config
+from repro.sim.results import SimResult, format_table, geomean
+
+
+def make_result(**overrides):
+    base = dict(
+        label="w", scheme="s", instructions=1_000_000, cycles=2_000_000.0,
+        l2_demand_misses=10_000, dram_reads=8_000, dram_writes=1_000,
+        pf_issued=5_000, pf_useful=4_000,
+    )
+    base.update(overrides)
+    return SimResult(**base)
+
+
+class TestEnergyModel:
+    def test_sram_energy_scales_with_size(self):
+        assert sram_access_pj(2 * 1024 * 1024) == pytest.approx(250.0)
+        assert sram_access_pj(512 * 1024) == pytest.approx(125.0)
+        assert sram_access_pj(0) == 0.0
+
+    def test_dram_multiplier_is_25x(self):
+        assert DRAM_MULTIPLIER == 25.0
+
+    def test_breakdown_components(self):
+        cfg = default_config()
+        res = make_result()
+        e = hierarchy_energy(res, cfg, metadata_accesses=1000)
+        assert set(e.components) >= {"l2", "llc", "metadata_table", "dram"}
+        assert e.total_pj > 0
+
+    def test_dram_dominates_for_traffic_heavy_runs(self):
+        cfg = default_config()
+        res = make_result(dram_reads=100_000, dram_writes=50_000)
+        e = hierarchy_energy(res, cfg)
+        assert e.components["dram"] > e.components["llc"]
+
+    def test_relative_overhead(self):
+        a = EnergyBreakdown({"x": 110.0})
+        b = EnergyBreakdown({"x": 100.0})
+        assert relative_overhead(a, b) == pytest.approx(0.10)
+        assert relative_overhead(a, EnergyBreakdown({})) == 0.0
+
+    def test_prophet_structures_add_energy(self):
+        cfg = default_config()
+        res = make_result()
+        plain = hierarchy_energy(res, cfg, metadata_accesses=10_000)
+        prophet = hierarchy_energy(
+            res, cfg, metadata_accesses=10_000, mvb_accesses=5_000,
+            mvb_bytes=352_256, extra_state_bytes=48 * 1024,
+        )
+        assert prophet.total_pj > plain.total_pj
+
+
+class TestResultHelpers:
+    def test_geomean(self):
+        assert geomean([1.0, 4.0]) == pytest.approx(2.0)
+        assert geomean([]) == 0.0
+
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [["x", "1"], ["yy", "22"]], "T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert len(lines) == 5
+
+    def test_traffic_and_coverage_edge_cases(self):
+        base = make_result(dram_reads=0, dram_writes=0, l2_demand_misses=0)
+        res = make_result()
+        assert res.traffic_over(base) == 1.0
+        assert res.coverage_over(base) == 0.0
+
+
+class TestExperimentSmoke:
+    """Each experiment module runs end to end at a tiny scale."""
+
+    def test_fig01(self):
+        from repro.experiments import fig01_pattern
+        a = fig01_pattern.analyze_pattern(20_000)
+        assert a.events and a.conf_timeline
+        assert "Fig. 1" in fig01_pattern.report(20_000)
+
+    def test_fig06(self):
+        from repro.experiments import fig06_accuracy_levels
+        levels = fig06_accuracy_levels.measure_levels(20_000)
+        assert levels.per_pc
+
+    def test_fig08(self):
+        from repro.experiments import fig08_markov_targets
+        dists = fig08_markov_targets.measure(10_000)
+        assert "all" in dists
+        for dist in dists.values():
+            assert sum(dist.values()) == pytest.approx(1.0, abs=1e-6) or not any(
+                dist.values()
+            )
+
+    def test_storage(self):
+        from repro.experiments import storage
+        measured = storage.measure()
+        assert measured["replacement_state_kb"] == 48.0
+
+    def test_overhead(self):
+        from repro.experiments import overhead
+        reports = overhead.measure(15_000)
+        assert len(reports) == 7
+        for r in reports.values():
+            assert r.hint_instructions <= 128
+
+    def test_suite_results_tables(self):
+        from repro.experiments.common import evaluate_suite
+        from repro.workloads.spec import make_spec_trace
+
+        traces = [make_spec_trace("sphinx3", "an4", 10_000)]
+        results = evaluate_suite(traces, schemes={})
+        assert results.labels == ["sphinx3_an4"]
+        assert "baseline" in results.by_workload["sphinx3_an4"]
+
+    def test_spec_comparison_memo_contract(self):
+        from repro.experiments.common import _SPEC_MEMO
+
+        # The shared Fig. 10/11/12 memo is keyed by (records, config key).
+        assert isinstance(_SPEC_MEMO, dict)
+        for key in _SPEC_MEMO:
+            assert len(key) == 2
+
+
+class TestExperimentSmokeSlowPieces:
+    def test_learning_study_tiny(self):
+        from repro.experiments.fig13_learning_gcc import run_learning_study
+
+        res = run_learning_study("astar", ["biglakes"], ["biglakes"], 12_000)
+        assert "Disable" in res.speedup and "Direct" in res.speedup
+        assert res.geomean_of("Direct") > 0
+
+    def test_fig19_states_cover_all_features(self):
+        from repro.experiments.fig19_breakdown import STATES
+
+        names = [name for name, _ in STATES]
+        assert names == ["Triage4+Meta", "+Repla", "+Insert", "+MVB", "+Resize"]
+        final = STATES[-1][1]
+        assert final.insertion and final.replacement and final.mvb and final.resizing

@@ -1,0 +1,122 @@
+"""Integration tests for the simulation engine and timing model."""
+
+import pytest
+
+from repro.prefetchers.triage import TriagePrefetcher
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.config import default_config
+from repro.sim.cpu import TimingModel
+from repro.sim.engine import make_l1_prefetcher, run_simulation
+from repro.workloads.base import Trace
+from repro.workloads.spec import make_spec_trace
+
+
+def small_trace(n=20_000):
+    return make_spec_trace("xalancbmk", "ref", n)
+
+
+class TestTimingModel:
+    def test_instruction_cycles(self):
+        tm = TimingModel(issue_width=10, hide_cycles=12.0, mlp=4)
+        assert tm.instruction_cycles(9) == pytest.approx(1.0)
+
+    def test_short_latency_fully_hidden(self):
+        tm = TimingModel(issue_width=10, hide_cycles=12.0, mlp=4)
+        assert tm.stall_cycles(11.0) == 0.0
+
+    def test_long_latency_divided_by_mlp(self):
+        tm = TimingModel(issue_width=10, hide_cycles=12.0, mlp=4)
+        assert tm.stall_cycles(212.0) == pytest.approx(50.0)
+
+    def test_for_config_caps_mlp_at_mshrs(self):
+        cfg = default_config()
+        tm = TimingModel.for_config(cfg, workload_mlp=1000)
+        assert tm.mlp == cfg.l2.mshrs
+
+
+class TestEngine:
+    def test_deterministic(self):
+        cfg = default_config()
+        trace = small_trace()
+        a = run_simulation(trace, cfg, None, "baseline")
+        b = run_simulation(trace, cfg, None, "baseline")
+        assert a.cycles == b.cycles
+        assert a.dram_reads == b.dram_reads
+
+    def test_ipc_positive_and_bounded(self):
+        cfg = default_config()
+        result = run_simulation(small_trace(), cfg, None, "baseline")
+        assert 0.0 < result.ipc <= cfg.core.issue_width
+
+    def test_warmup_excluded_from_instructions(self):
+        cfg = default_config()
+        trace = small_trace()
+        full = run_simulation(trace, cfg, None, "b", warmup_frac=0.0)
+        part = run_simulation(trace, cfg, None, "b", warmup_frac=0.5)
+        assert part.instructions < full.instructions
+
+    def test_invalid_warmup_rejected(self):
+        with pytest.raises(ValueError):
+            run_simulation(small_trace(2000), default_config(), None, "b",
+                           warmup_frac=1.0)
+
+    def test_prefetcher_improves_ipc_on_temporal_trace(self):
+        cfg = default_config()
+        trace = small_trace(60_000)
+        base = run_simulation(trace, cfg, None, "baseline")
+        pf = TriagePrefetcher(cfg, degree=4, replacement="srrip")
+        res = run_simulation(trace, cfg, pf, "triage")
+        assert res.ipc > base.ipc
+
+    def test_initial_metadata_ways_applied(self):
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, initial_ways=4, dueller_enabled=False)
+        res = run_simulation(small_trace(5_000), cfg, pf, "tg")
+        assert res.metadata_ways_final == 4
+
+    def test_resize_window_drives_dueller(self):
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, initial_ways=2)
+        res = run_simulation(small_trace(60_000), cfg, pf, "tg",
+                             resize_window=4096)
+        assert 1 <= res.metadata_ways_final <= cfg.l3.assoc // 2
+
+    def test_miss_by_pc_collected(self):
+        cfg = default_config()
+        res = run_simulation(small_trace(), cfg, None, "baseline")
+        assert res.miss_by_pc
+        assert sum(res.miss_by_pc.values()) == res.l2_demand_misses
+
+    def test_l1_prefetcher_factory(self):
+        cfg = default_config()
+        assert make_l1_prefetcher(cfg).degree == cfg.l1_prefetch_degree
+        assert make_l1_prefetcher(cfg.with_l1_prefetcher("ipcp")).name == "ipcp"
+        assert make_l1_prefetcher(cfg.with_l1_prefetcher("none")).name == "none"
+        with pytest.raises(ValueError):
+            make_l1_prefetcher(cfg.with_l1_prefetcher("magic"))
+
+    def test_speedup_requires_same_workload(self):
+        cfg = default_config()
+        a = run_simulation(small_trace(2_000), cfg, None, "baseline")
+        other = make_spec_trace("mcf", "inp", 2_000)
+        b = run_simulation(other, cfg, None, "baseline")
+        with pytest.raises(ValueError):
+            b.speedup_over(a)
+
+
+class TestConfigVariants:
+    def test_with_dram_channels(self):
+        cfg = default_config().with_dram_channels(2)
+        assert cfg.dram.channels == 2
+        # More bandwidth can only help.
+        trace = small_trace(40_000)
+        one = run_simulation(trace, default_config(), None, "baseline")
+        two = run_simulation(trace, cfg, None, "baseline")
+        assert two.ipc >= one.ipc * 0.999
+
+    def test_metadata_capacity_math(self):
+        cfg = default_config()
+        # 2 MB LLC, 16 ways, 64 B lines -> 2048 sets; 12 entries per line.
+        assert cfg.llc_sets == 2048
+        assert cfg.metadata_entries_per_llc_way == 2048 * 12
+        assert cfg.metadata_capacity_for_ways(8) == 196_608  # the 1 MB table

@@ -1,0 +1,99 @@
+"""Deeper tests for experiment-module logic (shapes on small runs)."""
+
+import pytest
+
+from repro.experiments.fig01_pattern import PATTERN_THRESHOLD, analyze_pattern
+from repro.experiments.fig06_accuracy_levels import LEVELS, AccuracyLevels
+from repro.experiments.fig08_markov_targets import target_distribution
+from repro.experiments.fig16_sensitivity import (
+    EL_ACC_VALUES,
+    MVB_CANDIDATES,
+    N_BITS_VALUES,
+)
+from repro.experiments.fig19_breakdown import STATES
+
+
+class TestFig01Logic:
+    def test_conf_timeline_bounded(self):
+        a = analyze_pattern(30_000)
+        assert all(0 <= c <= 15 for c in a.conf_timeline)
+
+    def test_events_classified(self):
+        a = analyze_pattern(30_000)
+        kinds = set(a.events)
+        assert kinds <= {"blue_dot", "red_dot", "blue_star", "red_star"}
+        assert "blue_dot" in kinds and "red_dot" in kinds
+
+    def test_interleaving_not_phase_separated(self):
+        """Blue and red dots alternate (the Fig. 1 'highly variable'
+        property), rather than appearing in one contiguous block each."""
+        a = analyze_pattern(30_000)
+        dots = [e for e in a.events if e.endswith("_dot")]
+        switches = sum(1 for x, y in zip(dots, dots[1:]) if x != y)
+        assert switches > 20
+
+    def test_threshold_is_midscale(self):
+        assert PATTERN_THRESHOLD == 8
+
+
+class TestFig06Logic:
+    def test_levels_partition_unit_interval(self):
+        lo = min(l[1] for l in LEVELS)
+        hi = max(l[2] for l in LEVELS)
+        assert lo == 0.0 and hi > 1.0
+        for acc in (0.0, 0.33, 0.5, 0.99, 1.0):
+            matches = [n for n, a, b in LEVELS if a <= acc < b]
+            assert len(matches) == 1
+
+    def test_level_counts(self):
+        levels = AccuracyLevels({1: 0.9, 2: 0.5, 3: 0.1, 4: 0.95})
+        counts = levels.level_counts
+        assert counts == {"high": 2, "medium": 1, "low": 1}
+        assert levels.stratified
+
+    def test_not_stratified_single_level(self):
+        assert not AccuracyLevels({1: 0.9, 2: 0.95}).stratified
+
+
+class TestFig08Logic:
+    def test_distribution_sums_to_one(self):
+        pcs = [1] * 10
+        lines = [1, 2, 1, 3, 1, 2, 4, 5, 4, 6]
+        dist = target_distribution(pcs, lines)
+        assert sum(dist.values()) == pytest.approx(1.0)
+
+    def test_multi_target_detected(self):
+        pcs = [1] * 6
+        lines = [1, 2, 1, 3, 1, 4]  # address 1 has targets {2,3,4}
+        dist = target_distribution(pcs, lines)
+        assert dist[3] > 0
+
+    def test_empty_stream(self):
+        dist = target_distribution([], [])
+        assert all(v == 0.0 for v in dist.values())
+
+
+class TestSweepDefinitions:
+    def test_fig16_sweeps_match_paper(self):
+        assert EL_ACC_VALUES == [0.05, 0.15, 0.25]
+        assert N_BITS_VALUES == [1, 2, 3]
+        assert MVB_CANDIDATES == [1, 2, 4]
+
+    def test_fig19_states_cumulative(self):
+        flags = []
+        for _name, features in STATES:
+            flags.append(
+                (features.replacement, features.insertion, features.mvb,
+                 features.resizing)
+            )
+        # Each state turns exactly one more feature on, in order.
+        expected = [
+            (False, False, False, False),
+            (True, False, False, False),
+            (True, True, False, False),
+            (True, True, True, False),
+            (True, True, True, True),
+        ]
+        assert flags == expected
+        # The ablation base is the Triage runtime, as in Section 5.9.
+        assert all(f.runtime == "triage" for _n, f in STATES)

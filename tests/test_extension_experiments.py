@@ -1,0 +1,143 @@
+"""Tests for the extension experiment modules (X1-X4).
+
+Full-scale shape assertions live in benchmarks/; these tests exercise the
+modules' logic and the small-scale behaviour that must already hold.
+"""
+
+import pytest
+
+from repro.experiments import (
+    ablation_degree,
+    ablation_offchip,
+    ablation_ways,
+    injection,
+    tlb_sensitivity,
+)
+from repro.sim.config import default_config
+
+
+class TestAblationOffchip:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return ablation_offchip.run(25_000)
+
+    def test_all_schemes_present(self, results):
+        assert set(results.schemes) == {
+            "stms", "domino", "misb", "triangel", "prophet"
+        }
+
+    def test_offchip_traffic_above_onchip_even_at_small_scale(self, results):
+        assert results.geomean_metric("stms", "traffic") > results.geomean_metric(
+            "triangel", "traffic"
+        )
+
+    def test_misb_between_generations(self, results):
+        stms = results.geomean_metric("stms", "traffic")
+        misb = results.geomean_metric("misb", "traffic")
+        triangel = results.geomean_metric("triangel", "traffic")
+        assert triangel < misb < stms
+
+    def test_metadata_share_zero_for_onchip(self, results):
+        assert ablation_offchip.metadata_traffic_share(results, "triangel") == 0.0
+        assert ablation_offchip.metadata_traffic_share(results, "prophet") == 0.0
+        assert ablation_offchip.metadata_traffic_share(results, "stms") > 0.2
+
+    def test_render_contains_all_schemes(self, results):
+        text = ablation_offchip.render(results)
+        for scheme in results.schemes:
+            assert scheme in text
+
+
+class TestAblationDegree:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return ablation_degree.sweep(20_000, degrees=(1, 4))
+
+    def test_sweep_structure(self, sweep):
+        assert set(sweep) == {1, 4}
+        labels = set(next(iter(sweep.values())))
+        assert len(labels) == 7
+
+    def test_geomean_by_degree(self, sweep):
+        gm = ablation_degree.geomean_by_degree(sweep, "speedup")
+        assert set(gm) == {1, 4}
+        assert all(v > 0 for v in gm.values())
+
+    def test_aggression_pays_even_small_scale(self, sweep):
+        gm = ablation_degree.geomean_by_degree(sweep, "speedup")
+        assert gm[4] >= gm[1]
+
+    def test_render(self, sweep):
+        text = ablation_degree.render(sweep)
+        assert "degree=1" in text and "degree=4" in text
+        assert "speedup" in text and "traffic" in text
+
+
+class TestInjectionExperiment:
+    @pytest.fixture(scope="class")
+    def measured(self):
+        return injection.measure(15_000)
+
+    def test_covers_all_workloads(self, measured):
+        assert len(measured) == 7
+
+    def test_hint_buffer_bounded(self, measured):
+        from repro.core.hints import HINT_BUFFER_ENTRIES
+
+        for w in measured.values():
+            assert w.hint_buffer.hinted_pcs <= HINT_BUFFER_ENTRIES
+
+    def test_dynamic_overhead_zero_division_guard(self):
+        from repro.binary.injection import InjectionReport
+
+        w = injection.WorkloadInjection(
+            "x", 0,
+            InjectionReport("hint-buffer", 0, 0, 0, 5, 0),
+            InjectionReport("x86-prefix", 0, 0, 0, 0, 0),
+            InjectionReport("reserved-bits", 0, 0, 0, 0, 0),
+        )
+        assert w.dynamic_overhead(w.hint_buffer) == 0.0
+
+    def test_report_renders(self, measured):
+        assert "hint instrs" in injection.report(15_000)
+
+
+class TestAblationWays:
+    @pytest.fixture(scope="class")
+    def sweep(self):
+        return ablation_ways.sweep(20_000, ways=(0, 2, 8))
+
+    def test_zero_ways_is_exactly_baseline(self, sweep):
+        assert all(row[0] == 1.0 for row in sweep.values())
+
+    def test_best_ways_keys(self, sweep):
+        best = ablation_ways.best_ways(sweep)
+        assert set(best) == set(sweep)
+        assert all(b in (0, 2, 8) for b in best.values())
+
+    def test_oracle_at_least_any_fixed(self, sweep):
+        gm = ablation_ways.geomean_by_ways(sweep)
+        assert ablation_ways.oracle_geomean(sweep) >= max(gm.values()) - 1e-12
+
+    def test_render_has_oracle(self, sweep):
+        text = ablation_ways.render(sweep)
+        assert "oracle" in text and "ways=2" in text
+
+
+class TestTLBSensitivity:
+    def test_realistic_config_flags(self):
+        config = tlb_sensitivity.realistic_vm_config()
+        assert config.tlb_enabled
+        assert not config.l1_pf_cross_page
+
+    def test_compare_keys(self):
+        out = tlb_sensitivity.compare(12_000)
+        assert set(out) == {"ideal", "realistic"}
+        # VM realism costs the baseline: realistic IPCs sit at or below
+        # ideal for the same trace/scheme.
+        ideal = out["ideal"].by_workload
+        real = out["realistic"].by_workload
+        for label in ideal:
+            assert (
+                real[label]["baseline"].ipc <= ideal[label]["baseline"].ipc
+            )

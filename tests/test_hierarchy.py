@@ -1,0 +1,176 @@
+"""Integration tests for the cache hierarchy."""
+
+import pytest
+
+from repro.cache.hierarchy import Hierarchy
+from repro.prefetchers.base import (
+    L2AccessInfo,
+    L2Prefetcher,
+    NullL1Prefetcher,
+    PrefetchRequest,
+)
+from repro.sim.config import default_config
+
+
+def make_hierarchy(l2_pf=None, l1_pf=None):
+    return Hierarchy(default_config(), l2_pf, l1_pf or NullL1Prefetcher())
+
+
+class RecordingPrefetcher(L2Prefetcher):
+    """Observes the L2 stream; optionally requests fixed targets."""
+
+    name = "recording"
+
+    def __init__(self, targets=None):
+        self.seen = []
+        self.targets = targets or {}
+        self.useful = []
+
+    def observe(self, access: L2AccessInfo):
+        self.seen.append((access.pc, access.line, access.l2_hit,
+                          access.from_l1_prefetcher))
+        target = self.targets.get(access.line)
+        if target is None:
+            return []
+        return [PrefetchRequest(target, trigger_pc=access.pc)]
+
+    def note_useful(self, pc, line):
+        self.useful.append((pc, line))
+
+
+class TestDemandPath:
+    def test_cold_miss_goes_to_dram(self):
+        h = make_hierarchy()
+        r = h.demand_access(1, 1000, 0.0)
+        assert r.hit_level == "dram"
+        assert r.latency > h.config.dram.access_latency
+        assert h.dram.stats.demand_reads == 1
+
+    def test_second_access_hits_l1(self):
+        h = make_hierarchy()
+        h.demand_access(1, 1000, 0.0)
+        r = h.demand_access(1, 1000, 500.0)
+        assert r.hit_level == "l1"
+        assert r.latency == h.config.l1d.hit_latency
+
+    def test_l2_hit_after_l1_eviction(self):
+        h = make_hierarchy()
+        cfg = default_config()
+        h.demand_access(1, 1000, 0.0)
+        # Evict line 1000 from L1 by filling its set (same L1 set index).
+        sets = h.l1d.n_sets
+        for k in range(1, h.l1d.assoc + 1):
+            h.demand_access(1, 1000 + k * sets, 1000.0 * k)
+        r = h.demand_access(1, 1000, 1e6)
+        assert r.hit_level == "l2"
+
+    def test_exclusive_l3_fills_from_l2_evictions(self):
+        h = make_hierarchy()
+        h.demand_access(1, 42, 0.0)
+        assert not h.l3.contains(42)  # DRAM fill goes to L2, not L3
+        sets = h.l2.n_sets
+        for k in range(1, h.l2.assoc + 1):
+            h.demand_access(1, 42 + k * sets, 1000.0 * k)
+        assert h.l3.contains(42)  # victim spilled into LLC
+
+    def test_demand_miss_counting(self):
+        h = make_hierarchy()
+        h.demand_access(1, 1, 0.0)
+        h.demand_access(1, 2, 100.0)
+        h.demand_access(1, 1, 200.0)  # L1 hit
+        assert h.l2_demand_misses == 2
+
+
+class TestL2PrefetcherIntegration:
+    def test_prefetcher_sees_l2_stream_not_l1_hits(self):
+        pf = RecordingPrefetcher()
+        h = make_hierarchy(pf)
+        h.demand_access(7, 100, 0.0)
+        h.demand_access(7, 100, 500.0)  # L1 hit: invisible to the L2 stream
+        assert len(pf.seen) == 1
+
+    def test_prefetch_fills_l2_and_counts_issue(self):
+        pf = RecordingPrefetcher(targets={100: 200})
+        h = make_hierarchy(pf)
+        h.demand_access(7, 100, 0.0)
+        assert h.l2.contains(200)
+        assert h.l2_pf_stats.issued == 1
+        assert not h.l1d.contains(200)  # L2 prefetches do not fill L1
+
+    def test_useful_prefetch_credited_on_timely_hit(self):
+        pf = RecordingPrefetcher(targets={100: 200})
+        h = make_hierarchy(pf)
+        h.demand_access(7, 100, 0.0)
+        r = h.demand_access(8, 200, 10_000.0)  # long after fill completes
+        assert r.hit_level == "l2"
+        assert r.consumed_prefetch_pc == 7
+        assert h.l2_pf_stats.useful == 1
+        assert pf.useful == [(7, 200)]
+
+    def test_late_prefetch_pays_residual_latency(self):
+        pf = RecordingPrefetcher(targets={100: 200})
+        h = make_hierarchy(pf)
+        h.demand_access(7, 100, 0.0)
+        r = h.demand_access(8, 200, 1.0)  # fill still in flight
+        assert r.consumed_prefetch_pc == 7
+        assert r.late_prefetch
+        assert r.latency > h.config.l2.hit_latency
+
+    def test_duplicate_prefetch_not_issued(self):
+        pf = RecordingPrefetcher(targets={100: 200})
+        h = make_hierarchy(pf)
+        h.demand_access(7, 100, 0.0)
+        h.demand_access(7, 100 + h.l1d.n_sets * 100, 1.0)
+        pf.targets[100 + h.l1d.n_sets * 100] = 200  # same target again
+        issued_before = h.l2_pf_stats.issued
+        h.demand_access(7, 100, 20_000.0)
+        # Target 200 already resides in L2: no re-issue.
+        assert h.l2_pf_stats.issued == issued_before
+
+    def test_prefetch_traffic_counted(self):
+        pf = RecordingPrefetcher(targets={100: 200})
+        h = make_hierarchy(pf)
+        h.demand_access(7, 100, 0.0)
+        assert h.dram.stats.prefetch_reads == 1
+
+
+class TestMetadataPartitioning:
+    def test_set_metadata_ways_shrinks_data(self):
+        h = make_hierarchy()
+        full = h.l3.data_ways
+        h.set_metadata_ways(4)
+        assert h.l3.data_ways == full - 4
+        assert h.metadata_ways == 4
+
+    def test_resize_notifies_prefetcher(self):
+        class Resizable(RecordingPrefetcher):
+            def __init__(self):
+                super().__init__()
+                self.capacities = []
+
+            def on_metadata_resize(self, capacity):
+                self.capacities.append(capacity)
+
+        pf = Resizable()
+        h = Hierarchy(default_config(), pf)
+        h.set_metadata_ways(2)
+        assert pf.capacities == [default_config().metadata_capacity_for_ways(2)]
+
+    def test_out_of_range_ways_rejected(self):
+        h = make_hierarchy()
+        with pytest.raises(ValueError):
+            h.set_metadata_ways(99)
+
+
+class TestPrefetchQueue:
+    def test_queue_drains_as_mshrs_retire(self):
+        pf = RecordingPrefetcher()
+        h = make_hierarchy(pf)
+        # Saturate MSHRs with a burst of prefetches at the same cycle.
+        reqs = [PrefetchRequest(5000 + i, trigger_pc=1) for i in range(64)]
+        issued = h.issue_l2_prefetches(reqs, 0.0)
+        assert issued <= h.l2_mshr.capacity
+        assert len(h._pf_queue) > 0
+        # A demand access far in the future retires MSHRs and drains.
+        h.demand_access(2, 9999, 1e6)
+        assert len(h._pf_queue) == 0

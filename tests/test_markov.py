@@ -1,0 +1,148 @@
+"""Unit tests for the Markov metadata table."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.prefetchers.markov import MetadataTable
+
+
+class TestBasics:
+    def test_insert_lookup(self):
+        t = MetadataTable(1200)
+        t.insert(1, 2)
+        assert t.lookup(1) == 2
+        assert t.lookup(99) is None
+
+    def test_probe_no_side_effects(self):
+        t = MetadataTable(1200)
+        t.insert(1, 2)
+        lookups = t.stats.lookups
+        assert t.probe(1) == 2
+        assert t.stats.lookups == lookups
+
+    def test_overwrite_same_key_returns_old_target(self):
+        t = MetadataTable(1200)
+        t.insert(1, 2, priority=3)
+        displaced = t.insert(1, 5, priority=1)
+        assert displaced is not None
+        assert displaced.key_line == 1
+        assert displaced.target == 2
+        assert displaced.priority == 3  # the displaced mapping's priority
+        assert t.lookup(1) == 5
+        assert t.stats.overwrites == 1
+
+    def test_same_target_reinsert_is_not_overwrite(self):
+        t = MetadataTable(1200)
+        t.insert(1, 2)
+        assert t.insert(1, 2) is None
+        assert t.stats.overwrites == 0
+
+    def test_capacity_rounds_to_sets(self):
+        t = MetadataTable(100, assoc=12)
+        assert t.capacity == (100 // 12) * 12
+
+    def test_minimum_capacity(self):
+        t = MetadataTable(1, assoc=12)
+        assert t.capacity == 12
+
+
+class TestReplacement:
+    def test_set_overflow_evicts(self):
+        t = MetadataTable(12, assoc=12)  # one set
+        for i in range(13):
+            t.insert(i, i + 100)
+        assert t.stats.replacements == 1
+        assert t.live_entries == 12
+
+    def test_allocated_entries_counter(self):
+        t = MetadataTable(12, assoc=12)
+        for i in range(20):
+            t.insert(i, i + 100)
+        assert t.stats.allocated_entries == t.live_entries
+        assert t.stats.peak_allocated == 12
+
+    def test_prophet_priorities_protect_high_levels(self):
+        t = MetadataTable(12, assoc=12, prophet_priorities=True)
+        for i in range(11):
+            t.insert(i, i + 100, priority=3)
+        t.insert(11, 111, priority=0)  # the only low-priority entry
+        t.insert(12, 112, priority=3)  # forces a replacement
+        # The level-0 entry must be the victim.
+        assert t.probe(11) is None
+        assert all(t.probe(i) is not None for i in range(11))
+
+    def test_runtime_policy_breaks_priority_ties(self):
+        t = MetadataTable(12, assoc=12, replacement="lru", prophet_priorities=True)
+        for i in range(12):
+            t.insert(i, i + 100, priority=1)
+        t.lookup(0)  # refresh key 0
+        t.insert(50, 150, priority=1)
+        assert t.probe(0) is not None  # refreshed entry survived
+        assert t.live_entries == 12
+
+
+class TestResize:
+    def test_shrink_keeps_what_fits(self):
+        t = MetadataTable(240, assoc=12)
+        for i in range(200):
+            t.insert(i, i + 1000)
+        t.resize(48)
+        assert t.capacity == 48
+        assert t.live_entries <= 48
+        for key, target, _prio in t.entries():
+            assert t.probe(key) == target
+
+    def test_grow_preserves_entries(self):
+        t = MetadataTable(24, assoc=12)
+        for i in range(20):
+            t.insert(i, i + 1000)
+        live_before = {k: v for k, v, _ in t.entries()}
+        t.resize(1200)
+        for key, target in live_before.items():
+            assert t.probe(key) == target
+
+    def test_resize_preserves_stats(self):
+        t = MetadataTable(24, assoc=12)
+        t.insert(1, 2)
+        t.resize(48)
+        assert t.stats.insertions == 1
+
+
+class TestStructuralIndices:
+    def test_distant_addresses_do_not_alias(self):
+        t = MetadataTable(1200)
+        # Raw addresses gigabytes apart would alias in a raw-tag design;
+        # dense structural indices keep them distinct.
+        a, b = 1 << 30, (1 << 30) + 1200 * 7
+        t.insert(a, 1)
+        t.insert(b, 2)
+        assert t.lookup(a) == 1
+        assert t.lookup(b) == 2
+
+    def test_hit_rate_tracking(self):
+        t = MetadataTable(1200)
+        t.insert(1, 2)
+        t.lookup(1)
+        t.lookup(3)
+        assert t.stats.hit_rate == pytest.approx(0.5)
+
+
+@given(
+    st.lists(
+        st.tuples(st.integers(0, 500), st.integers(0, 500), st.integers(0, 3)),
+        max_size=400,
+    )
+)
+@settings(max_examples=40, deadline=None)
+def test_table_invariants(ops):
+    """Property: live entries never exceed capacity; allocated-entries
+    counter always equals live entries; peak is monotone."""
+    t = MetadataTable(120, assoc=12, prophet_priorities=True)
+    peak_seen = 0
+    for key, target, prio in ops:
+        if key != target:
+            t.insert(key, target, prio)
+        assert t.live_entries <= t.capacity
+        assert t.stats.allocated_entries == t.live_entries
+        assert t.stats.peak_allocated >= peak_seen
+        peak_seen = t.stats.peak_allocated

@@ -1,0 +1,166 @@
+"""Unit tests for the MSHR file and the DRAM model."""
+
+import pytest
+
+from repro.cache.mshr import MSHRFile
+from repro.memory.dram import DRAMModel
+from repro.sim.config import DRAMConfig, LINE_SIZE
+
+
+class TestMSHR:
+    def test_allocate_and_lookup(self):
+        m = MSHRFile(4)
+        assert m.allocate(10, ready_cycle=100.0, cycle=0.0)
+        entry = m.lookup(10, 50.0)
+        assert entry is not None and entry.ready == 100.0
+
+    def test_completed_entries_invisible(self):
+        m = MSHRFile(4)
+        m.allocate(10, 100.0, 0.0)
+        assert m.lookup(10, 150.0) is None
+
+    def test_merge_does_not_consume_entry(self):
+        m = MSHRFile(1)
+        m.allocate(10, 100.0, 0.0)
+        assert m.allocate(10, 200.0, 1.0)  # merge
+        assert m.merges == 1
+        assert m.lookup(10, 50.0).ready == 100.0  # original ready kept
+
+    def test_full_rejects(self):
+        m = MSHRFile(1)
+        m.allocate(1, 100.0, 0.0)
+        assert not m.allocate(2, 100.0, 0.0)
+        assert m.rejects == 1
+
+    def test_capacity_reclaimed_after_completion(self):
+        m = MSHRFile(1)
+        m.allocate(1, 10.0, 0.0)
+        assert m.allocate(2, 100.0, 50.0)  # entry 1 completed by cycle 50
+
+    def test_is_full_accounts_for_completions(self):
+        m = MSHRFile(2)
+        m.allocate(1, 10.0, 0.0)
+        m.allocate(2, 10.0, 0.0)
+        assert m.is_full(5.0)
+        assert not m.is_full(20.0)
+
+    def test_prefetch_provenance(self):
+        m = MSHRFile(4)
+        m.allocate(7, 100.0, 0.0, is_prefetch=True, trigger_pc=0x33, pf_source=2)
+        e = m.lookup(7, 1.0)
+        assert e.is_prefetch and e.trigger_pc == 0x33 and e.pf_source == 2
+        assert not e.consumed
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            MSHRFile(0)
+
+
+class TestDRAM:
+    def make(self, channels=1):
+        return DRAMModel(DRAMConfig(channels=channels))
+
+    def test_unloaded_read_latency(self):
+        d = self.make()
+        assert d.read(0.0) == d.config.access_latency
+
+    def test_traffic_counters(self):
+        d = self.make()
+        d.read(0.0)
+        d.read(0.0, is_prefetch=True)
+        d.write(0.0)
+        assert d.stats.reads == 2
+        assert d.stats.demand_reads == 1
+        assert d.stats.prefetch_reads == 1
+        assert d.stats.writes == 1
+        assert d.stats.total_traffic == 3
+
+    def test_queueing_under_burst(self):
+        d = self.make()
+        first = d.read(0.0)
+        second = d.read(0.0)  # same-cycle arrival queues behind the first
+        assert second > first
+        assert second - first == pytest.approx(d.service_cycles)
+
+    def test_queue_drains_over_time(self):
+        d = self.make()
+        d.read(0.0)
+        far_later = d.read(10_000.0)
+        assert far_later == d.config.access_latency
+
+    def test_more_channels_reduce_service_time(self):
+        one = self.make(channels=1)
+        two = self.make(channels=2)
+        assert two.service_cycles == pytest.approx(one.service_cycles / 2)
+
+    def test_writes_occupy_channel(self):
+        d = self.make()
+        for _ in range(8):
+            d.write(0.0)
+        assert d.read(0.0) > d.config.access_latency
+
+    def test_utilization_hint(self):
+        d = self.make()
+        assert d.utilization_hint(0.0) == 0.0
+        for _ in range(4):
+            d.read(0.0)
+        assert d.utilization_hint(0.0) > 0.0
+
+    def test_service_cycles_matches_bandwidth(self):
+        d = self.make()
+        expected = LINE_SIZE / d.config.bytes_per_cycle_per_channel
+        assert d.service_cycles == pytest.approx(expected)
+
+
+class TestMetadataTraffic:
+    """DRAM-resident prefetcher metadata accesses (STMS/Domino paths)."""
+
+    def make(self, channels=1):
+        from repro.sim.config import DRAMConfig
+        from repro.memory.dram import DRAMModel
+
+        return DRAMModel(DRAMConfig(channels=channels))
+
+    def test_metadata_read_counts_in_both_ledgers(self):
+        d = self.make()
+        d.metadata_read(0.0)
+        assert d.stats.reads == 1
+        assert d.stats.metadata_reads == 1
+        assert d.stats.demand_reads == 0 and d.stats.prefetch_reads == 0
+        assert d.stats.total_traffic == 1
+        assert d.stats.metadata_traffic == 1
+
+    def test_metadata_write_counts_in_both_ledgers(self):
+        d = self.make()
+        d.metadata_write(0.0)
+        assert d.stats.writes == 1
+        assert d.stats.metadata_writes == 1
+        assert d.stats.metadata_traffic == 1
+
+    def test_metadata_reads_occupy_the_channel(self):
+        """Metadata movement delays a subsequent demand read — the
+        contention that motivated on-chip metadata tables."""
+        quiet = self.make()
+        busy = self.make()
+        for _ in range(16):
+            busy.metadata_read(0.0)
+        assert busy.read(0.0) > quiet.read(0.0)
+
+    def test_reset_clears_metadata_counters(self):
+        d = self.make()
+        d.metadata_read(0.0)
+        d.metadata_write(0.0)
+        d.reset_stats()
+        assert d.stats.metadata_reads == 0
+        assert d.stats.metadata_writes == 0
+
+    def test_breakdown_identity_under_mixed_traffic(self):
+        d = self.make()
+        for i in range(5):
+            d.read(float(i), is_prefetch=(i % 2 == 0))
+        for i in range(3):
+            d.metadata_read(float(i))
+        assert (
+            d.stats.demand_reads + d.stats.prefetch_reads + d.stats.metadata_reads
+            == d.stats.reads
+        )

@@ -1,0 +1,340 @@
+"""Unit tests for the DRAM-resident metadata prefetchers (STMS, Domino)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import Hierarchy
+from repro.prefetchers.base import L2AccessInfo
+from repro.prefetchers.offchip import (
+    ENTRIES_PER_METADATA_LINE,
+    DominoPrefetcher,
+    HistoryBuffer,
+    MetadataCache,
+    MISBPrefetcher,
+    STMSPrefetcher,
+)
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.spec import spec_suite
+
+
+def miss(pc, line, cycle=0.0):
+    return L2AccessInfo(pc=pc, line=line, cycle=cycle, l2_hit=False)
+
+
+def hit(pc, line, cycle=0.0):
+    return L2AccessInfo(pc=pc, line=line, cycle=cycle, l2_hit=True)
+
+
+# ----------------------------------------------------------------------
+# HistoryBuffer
+# ----------------------------------------------------------------------
+class TestHistoryBuffer:
+    def test_append_returns_sequential_positions(self):
+        hb = HistoryBuffer(capacity=64)
+        assert [hb.append(line) for line in (10, 20, 30)] == [0, 1, 2]
+
+    def test_segment_returns_successors(self):
+        hb = HistoryBuffer(capacity=64)
+        for line in (1, 2, 3, 4, 5):
+            hb.append(line)
+        assert hb.segment(0, 3) == [2, 3, 4]
+        assert hb.segment(3, 3) == [5]
+
+    def test_segment_out_of_range_is_empty(self):
+        hb = HistoryBuffer(capacity=64)
+        hb.append(1)
+        assert hb.segment(5, 4) == []
+        assert hb.segment(-1, 4) == []
+
+    def test_wraparound_overwrites_oldest(self):
+        hb = HistoryBuffer(capacity=ENTRIES_PER_METADATA_LINE)
+        for line in range(ENTRIES_PER_METADATA_LINE):
+            hb.append(line)
+        pos = hb.append(99)  # overwrites position 0
+        assert pos == 0
+        assert hb.segment(0, 2) == [1, 2]
+        assert len(hb) == ENTRIES_PER_METADATA_LINE
+
+    def test_capacity_below_one_line_rejected(self):
+        with pytest.raises(ValueError):
+            HistoryBuffer(capacity=1)
+
+    def test_lines_for_segment_single_line(self):
+        # records 1..4 after pos 0 all live in metadata line 0
+        assert HistoryBuffer.lines_for_segment(0, 4) == 1
+
+    def test_lines_for_segment_straddles_boundary(self):
+        # records 6..9 after pos 5 straddle the line-0/line-1 boundary
+        pos = ENTRIES_PER_METADATA_LINE - 3
+        assert HistoryBuffer.lines_for_segment(pos, 4) == 2
+
+    def test_lines_for_segment_zero_length(self):
+        assert HistoryBuffer.lines_for_segment(0, 0) == 0
+
+    @given(pos=st.integers(0, 1000), length=st.integers(1, 64))
+    @settings(max_examples=60)
+    def test_lines_for_segment_bounds(self, pos, length):
+        n = HistoryBuffer.lines_for_segment(pos, length)
+        lo = (length + ENTRIES_PER_METADATA_LINE - 1) // ENTRIES_PER_METADATA_LINE
+        assert lo <= n <= lo + 1
+
+
+# ----------------------------------------------------------------------
+# STMS
+# ----------------------------------------------------------------------
+class TestSTMS:
+    def test_repeated_sequence_is_predicted(self):
+        pf = STMSPrefetcher(degree=3)
+        seq = [100, 200, 300, 400]
+        for line in seq:
+            assert pf.observe(miss(1, line)) == []
+        reqs = pf.observe(miss(1, 100))  # second pass: index hit on 100
+        assert [r.line for r in reqs] == [200, 300, 400]
+
+    def test_hits_are_ignored(self):
+        pf = STMSPrefetcher()
+        assert pf.observe(hit(1, 100)) == []
+        assert pf.stats.index_lookups == 0
+        assert len(pf.history) == 0
+
+    def test_trigger_pc_attribution(self):
+        pf = STMSPrefetcher(degree=1)
+        for line in (5, 6):
+            pf.observe(miss(7, line))
+        reqs = pf.observe(miss(9, 5))
+        assert reqs and all(r.trigger_pc == 9 for r in reqs)
+
+    def test_self_prefetch_filtered(self):
+        pf = STMSPrefetcher(degree=2)
+        for line in (1, 1):  # A followed by A: successor equals trigger
+            pf.observe(miss(1, line))
+        reqs = pf.observe(miss(1, 1))
+        assert all(r.line != 1 for r in reqs)
+
+    def test_every_miss_charges_index_probe(self):
+        pf = STMSPrefetcher()
+        for i in range(10):
+            pf.observe(miss(1, i))
+        assert pf.stats.index_lookups == 10
+        assert pf.stats.metadata_reads >= 10  # one index probe per miss
+
+    def test_append_writes_are_buffered(self):
+        pf = STMSPrefetcher()
+        for i in range(ENTRIES_PER_METADATA_LINE * 3):
+            pf.observe(miss(1, i + 1000))
+        # one history-line write per 8 appends, plus coalesced index updates
+        assert pf.stats.metadata_writes == 3 + 3
+
+    def test_drain_resets_pending(self):
+        pf = STMSPrefetcher()
+        pf.observe(miss(1, 1))
+        reads, writes = pf.drain_metadata_traffic()
+        assert reads >= 1
+        assert pf.drain_metadata_traffic() == (0, 0)
+
+    def test_index_hit_rate_on_repeating_stream(self):
+        pf = STMSPrefetcher(degree=2)
+        stream = list(range(50)) * 3
+        for line in stream:
+            pf.observe(miss(1, line))
+        assert pf.stats.index_hit_rate > 0.6
+
+    def test_degree_validation(self):
+        with pytest.raises(ValueError):
+            STMSPrefetcher(degree=0)
+
+
+# ----------------------------------------------------------------------
+# Domino
+# ----------------------------------------------------------------------
+class TestDomino:
+    def test_pair_index_disambiguates_multiple_successors(self):
+        """(A,B)->C and (X,B)->D must be kept apart; STMS conflates them."""
+        pf = DominoPrefetcher(degree=1)
+        for line in (10, 20, 30):  # A B C
+            pf.observe(miss(1, line))
+        for line in (40, 20, 50):  # X B D
+            pf.observe(miss(1, line))
+        pf.observe(miss(1, 10))  # A again
+        reqs = pf.observe(miss(1, 20))  # (A, B) -> expect C, not D
+        assert [r.line for r in reqs] == [30]
+
+    def test_stms_conflates_the_same_case(self):
+        pf = STMSPrefetcher(degree=1)
+        for line in (10, 20, 30, 40, 20, 50):
+            pf.observe(miss(1, line))
+        pf.observe(miss(1, 10))
+        reqs = pf.observe(miss(1, 20))
+        assert [r.line for r in reqs] == [50]  # last occurrence wins
+
+    def test_fallback_to_address_index(self):
+        """A pair never seen before still predicts via the address index."""
+        pf = DominoPrefetcher(degree=1)
+        for line in (1, 2, 3):
+            pf.observe(miss(1, line))
+        pf.observe(miss(1, 99))  # novel predecessor
+        reqs = pf.observe(miss(1, 2))  # pair (99,2) unknown; addr index hits
+        assert [r.line for r in reqs] == [3]
+
+    def test_pair_miss_costs_two_reads(self):
+        pf = DominoPrefetcher()
+        pf.observe(miss(1, 1))
+        pf.drain_metadata_traffic()
+        pf.observe(miss(1, 2))  # pair probe misses, fallback probe misses
+        reads, _ = pf.drain_metadata_traffic()
+        assert reads == 2
+
+    def test_first_miss_has_no_pair_probe(self):
+        pf = DominoPrefetcher()
+        pf.observe(miss(1, 1))
+        reads, _ = pf.drain_metadata_traffic()
+        assert reads == 1  # only the fallback address probe
+
+    def test_repeated_sequence_predicted(self):
+        pf = DominoPrefetcher(degree=3)
+        seq = [7, 8, 9, 10]
+        for _ in range(2):
+            for line in seq:
+                pf.observe(miss(1, line))
+        pf.observe(miss(1, 7))
+        reqs = pf.observe(miss(1, 8))
+        assert [r.line for r in reqs][0] == 9
+
+
+# ----------------------------------------------------------------------
+# MISB: on-chip index cache over the off-chip store
+# ----------------------------------------------------------------------
+class TestMetadataCache:
+    def test_miss_then_hit_within_frame(self):
+        cache = MetadataCache(capacity_lines=4)
+        hit, _ = cache.lookup(0)
+        assert not hit
+        cache.install(0, 42)
+        hit, value = cache.lookup(0)
+        assert hit and value == 42
+        # Same frame: dense indices 0..7 share a metadata line.
+        hit, value = cache.lookup(1)
+        assert hit and value is None
+
+    def test_lru_eviction_at_capacity(self):
+        cache = MetadataCache(capacity_lines=2)
+        for frame in range(3):
+            cache.install(frame * ENTRIES_PER_METADATA_LINE, frame)
+        hit, _ = cache.lookup(0)  # frame 0 was evicted
+        assert not hit
+
+    def test_hit_rate(self):
+        cache = MetadataCache(capacity_lines=2)
+        cache.lookup(0)
+        cache.install(0, 1)
+        cache.lookup(0)
+        assert cache.hit_rate == 0.5
+
+    def test_capacity_validation(self):
+        with pytest.raises(ValueError):
+            MetadataCache(capacity_lines=0)
+
+
+class TestMISB:
+    def test_repeated_sequence_is_predicted(self):
+        pf = MISBPrefetcher(degree=3)
+        seq = [100, 200, 300, 400]
+        for line in seq:
+            assert pf.observe(miss(1, line)) == []
+        reqs = pf.observe(miss(1, 100))
+        assert [r.line for r in reqs] == [200, 300, 400]
+
+    def test_cached_index_probes_are_free(self):
+        """Repeated probes to cached index frames charge no DRAM reads."""
+        pf = MISBPrefetcher(degree=1, cache_lines=64)
+        pf.observe(miss(1, 5))
+        pf.drain_metadata_traffic()
+        # Second access to the same line: its index frame is now cached;
+        # no prediction targets exist, so no segment fetch either.
+        pf.observe(miss(1, 5))
+        reads, _ = pf.drain_metadata_traffic()
+        # One read at most (history segment after the index hit), never
+        # the index-frame fetch STMS would pay.
+        assert pf.cache.hits >= 1
+
+    def test_less_traffic_than_stms_same_stream(self):
+        stream = list(range(200)) * 3
+        stms, misb = STMSPrefetcher(degree=2), MISBPrefetcher(degree=2)
+        for line in stream:
+            stms.observe(miss(1, line))
+            misb.observe(miss(1, line))
+        assert misb.stats.metadata_reads < stms.stats.metadata_reads
+
+    def test_tiny_cache_approaches_stms_traffic(self):
+        """With a one-line index cache, most probes go to DRAM again."""
+        stream = list(range(400)) * 2
+        stms = STMSPrefetcher(degree=1)
+        tiny = MISBPrefetcher(degree=1, cache_lines=1)
+        big = MISBPrefetcher(degree=1, cache_lines=4096)
+        for line in stream:
+            stms.observe(miss(1, line))
+            tiny.observe(miss(1, line))
+            big.observe(miss(1, line))
+        assert big.stats.metadata_reads < tiny.stats.metadata_reads
+        assert tiny.stats.metadata_reads <= stms.stats.metadata_reads
+
+    def test_hits_ignored(self):
+        pf = MISBPrefetcher()
+        assert pf.observe(hit(1, 9)) == []
+        assert pf.stats.index_lookups == 0
+
+
+# ----------------------------------------------------------------------
+# Hierarchy integration: metadata traffic reaches the DRAM model
+# ----------------------------------------------------------------------
+class TestHierarchyIntegration:
+    def _run(self, pf_cls, n=24_000):
+        trace = spec_suite(n)[2]  # mcf: dense temporal patterns
+        config = default_config()
+        pf = pf_cls(degree=4)
+        result = run_simulation(trace, config, pf, pf.name, warmup_frac=0.0)
+        return pf, result
+
+    def test_metadata_traffic_counted_in_dram(self):
+        config = default_config()
+        pf = STMSPrefetcher()
+        h = Hierarchy(config, pf)
+        for i in range(200):
+            h.demand_access(1, 10_000 + i * 7, float(i * 40))
+        assert h.dram.stats.metadata_reads > 0
+        assert h.dram.stats.metadata_reads <= h.dram.stats.reads
+        assert h.dram.stats.metadata_traffic <= h.dram.stats.total_traffic
+
+    def test_onchip_prefetcher_has_no_metadata_traffic(self):
+        from repro.prefetchers.triangel import TriangelPrefetcher
+
+        config = default_config()
+        h = Hierarchy(config, TriangelPrefetcher(config))
+        for i in range(200):
+            h.demand_access(1, 10_000 + i * 7, float(i * 40))
+        assert h.dram.stats.metadata_reads == 0
+        assert h.dram.stats.metadata_writes == 0
+
+    def test_stms_produces_useful_prefetches_on_temporal_workload(self):
+        pf, result = self._run(STMSPrefetcher)
+        assert result.pf_issued > 0
+        assert result.pf_useful > 0
+
+    def test_offchip_traffic_exceeds_onchip(self):
+        """The paper's motivating comparison, at unit-test scale."""
+        from repro.prefetchers.triangel import TriangelPrefetcher
+
+        trace = spec_suite(24_000)[2]
+        config = default_config()
+        off = run_simulation(trace, config, STMSPrefetcher(degree=4), "stms",
+                             warmup_frac=0.0)
+        on = run_simulation(trace, config, TriangelPrefetcher(config),
+                            "triangel", warmup_frac=0.0)
+        assert off.dram_traffic > on.dram_traffic
+
+    def test_domino_runs_end_to_end(self):
+        pf, result = self._run(DominoPrefetcher, n=20_000)
+        assert result.instructions > 0
+        assert pf.stats.metadata_reads > 0

@@ -1,0 +1,231 @@
+"""Unit tests for the baseline prefetchers (stride, IPCP, Triage,
+Triangel, RPG2)."""
+
+import pytest
+
+from repro.prefetchers.base import L2AccessInfo
+from repro.prefetchers.ipcp import IPCPPrefetcher
+from repro.prefetchers.rpg2 import (
+    RPG2Kernel,
+    RPG2Prefetcher,
+    binary_search_distance,
+    dominant_stride,
+    identify_kernels,
+)
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.triage import TriagePrefetcher
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.config import default_config
+
+
+def access(pc, line, hit=False):
+    return L2AccessInfo(pc=pc, line=line, cycle=0.0, l2_hit=hit)
+
+
+class TestStride:
+    def test_locks_onto_constant_stride(self):
+        pf = StridePrefetcher(degree=4)
+        out = []
+        for i in range(6):
+            out = pf.observe(1, 100 + 3 * i)
+        assert out == [100 + 3 * 5 + 3 * (k + 1) for k in range(4)]
+
+    def test_no_prefetch_without_confidence(self):
+        pf = StridePrefetcher()
+        assert pf.observe(1, 100) == []
+        assert pf.observe(1, 103) == []  # stride learned, conf not yet
+
+    def test_irregular_stream_stays_quiet(self):
+        pf = StridePrefetcher()
+        fired = []
+        for line in [10, 500, 37, 9000, 123, 4567, 88, 31415]:
+            fired += pf.observe(1, line)
+        assert fired == []
+
+    def test_invalid_degree(self):
+        with pytest.raises(ValueError):
+            StridePrefetcher(degree=0)
+
+
+class TestIPCP:
+    def test_constant_stride_class(self):
+        pf = IPCPPrefetcher(degree=2)
+        out = []
+        for i in range(6):
+            out = pf.observe(1, 100 + 5 * i)
+        assert out and out[0] == 100 + 25 + 5
+
+    def test_complex_delta_pattern(self):
+        pf = IPCPPrefetcher()
+        # Alternating +3/+7 deltas: CS fails, CPLX learns the pair.
+        line = 1000
+        fired = []
+        for i in range(64):
+            fired = pf.observe(2, line)
+            line += 3 if i % 2 == 0 else 7
+        assert fired  # CPLX predicted the next delta
+
+    def test_stream_class_detects_dense_region(self):
+        pf = IPCPPrefetcher(degree=2)
+        fired = []
+        for i in range(30):
+            # Dense forward sweep within one region, with a PC that changes
+            # every access so neither CS nor CPLX can track it.
+            fired += pf.observe(100 + i, 5120 + i)
+        assert fired
+
+
+class TestTriage:
+    def test_learns_pairs_and_prefetches(self):
+        cfg = default_config()
+        pf = TriagePrefetcher(cfg, degree=1, resize_enabled=False)
+        pf.observe(access(1, 10))
+        pf.observe(access(1, 20))  # trains 10 -> 20
+        reqs = pf.observe(access(1, 10))
+        assert [r.line for r in reqs] == [20]
+
+    def test_degree_walks_chain(self):
+        cfg = default_config()
+        pf = TriagePrefetcher(cfg, degree=3, resize_enabled=False)
+        for line in [1, 2, 3, 4]:
+            pf.observe(access(7, line))
+        reqs = pf.observe(access(7, 1))
+        assert [r.line for r in reqs] == [2, 3, 4]
+
+    def test_no_insertion_policy(self):
+        """Triage trains on every pair — even obviously useless ones."""
+        cfg = default_config()
+        pf = TriagePrefetcher(cfg, degree=1, resize_enabled=False)
+        inserted_before = pf.table.stats.insertions
+        for line in range(100, 160):
+            pf.observe(access(9, line * 977))
+        assert pf.table.stats.insertions >= inserted_before + 50
+
+    def test_bloom_resizing_grows_with_distinct_keys(self):
+        cfg = default_config()
+        pf = TriagePrefetcher(cfg, degree=1, initial_ways=1)
+        for line in range(60_000):
+            pf.observe(access(3, line * 13))
+        ways = pf.desired_metadata_ways(1)
+        assert ways is not None and ways > 1
+
+    def test_insert_tracking_optional(self):
+        cfg = default_config()
+        on = TriagePrefetcher(cfg, track_inserts=True)
+        off = TriagePrefetcher(cfg, track_inserts=False)
+        for pf in (on, off):
+            pf.observe(access(1, 10))
+            pf.observe(access(1, 20))
+        assert on.insert_key_counts() == {1: 1}
+        assert off.insert_key_counts() == {}
+
+
+class TestTriangel:
+    def test_pattern_conf_rises_on_correct_predictions(self):
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, dueller_enabled=False)
+        for _ in range(8):
+            for line in [1, 2, 3, 4]:
+                pf.observe(access(5, line))
+        entry = pf._trainer[5]
+        assert entry.pattern_conf > 8
+
+    def test_pattern_conf_collapses_on_mispredicting_bursts(self):
+        """The Fig. 1 failure mode: reshuffled sequences crash the conf."""
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, dueller_enabled=False)
+        chain = list(range(100, 132))
+        for _ in range(4):  # learn the stable order
+            for line in chain:
+                pf.observe(access(5, line))
+        stable_conf = pf._trainer[5].pattern_conf
+        import random as _r
+        rng = _r.Random(0)
+        for _ in range(6):  # reshuffled walks: stale metadata mispredicts
+            rng.shuffle(chain)
+            for line in chain:
+                pf.observe(access(5, line))
+        assert pf._trainer[5].pattern_conf < min(stable_conf, 8)
+
+    def test_blocked_pc_stops_prefetching(self):
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, dueller_enabled=False)
+        entry = pf._trainer_entry(9)
+        entry.pattern_conf = 0
+        reqs = pf.observe(access(9, 1))
+        assert reqs == []
+
+    def test_sampled_insertions_allow_recovery(self):
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, dueller_enabled=False)
+        entry = pf._trainer_entry(9)
+        entry.pattern_conf = 0
+        allowed = sum(pf.runtime_allow(entry) for _ in range(64))
+        assert allowed == 2  # one in SAMPLED_INSERTION_PERIOD
+
+    def test_filter_disabled_allows_everything(self):
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, insertion_filter_enabled=False)
+        entry = pf._trainer_entry(9)
+        entry.pattern_conf = 0
+        assert pf.runtime_allow(entry)
+
+    def test_dueller_shrinks_on_useless_window(self):
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, initial_ways=4)
+        pf._window_issued = 1000
+        pf._window_useful = 10
+        assert pf.desired_metadata_ways(4) == 3
+
+    def test_dueller_grows_on_useful_full_table(self):
+        cfg = default_config()
+        pf = TriangelPrefetcher(cfg, initial_ways=1)
+        # Fill the table to high occupancy.
+        for i in range(pf.table.capacity * 2):
+            pf.table.insert(i, i + 1)
+        pf._window_issued = 1000
+        pf._window_useful = 800
+        assert pf.desired_metadata_ways(1) == 2
+
+
+class TestRPG2:
+    def test_dominant_stride_detects_stride(self):
+        assert dominant_stride(list(range(0, 100, 3))) == 3
+
+    def test_dominant_stride_rejects_pointer_chase(self):
+        import random as _r
+        lines = list(range(0, 2000, 10))
+        _r.Random(5).shuffle(lines)  # scattered deltas, no dominant stride
+        assert dominant_stride(lines) is None
+
+    def test_identify_kernels_miss_share_threshold(self):
+        pcs = [1] * 90 + [2] * 10
+        lines = list(range(90)) + [i * 971 for i in range(10)]
+        kernels = identify_kernels(pcs, lines, {1: 95, 2: 5})
+        assert [k.pc for k in kernels] == [1]
+
+    def test_identify_kernels_requires_stride(self):
+        pcs = [1] * 100
+        lines = [(i * 48271) % 99991 for i in range(100)]
+        assert identify_kernels(pcs, lines, {1: 100}) == []
+
+    def test_prefetcher_issues_at_distance(self):
+        pf = RPG2Prefetcher([RPG2Kernel(pc=1, stride=2, distance=8)])
+        reqs = pf.observe(access(1, 100))
+        assert [r.line for r in reqs] == [116]
+        assert pf.observe(access(2, 100)) == []
+
+    def test_with_distance_copies(self):
+        pf = RPG2Prefetcher([RPG2Kernel(1, 2, 8)])
+        pf2 = pf.with_distance(4)
+        assert pf2.kernels[1].distance == 4
+        assert pf.kernels[1].distance == 8
+
+    def test_binary_search_finds_peak(self):
+        best, value = binary_search_distance(lambda d: -abs(d - 23), 1, 64)
+        assert best == 23
+        assert value == 0
+
+    def test_binary_search_monotone(self):
+        best, _ = binary_search_distance(lambda d: float(d), 1, 64)
+        assert best == 64

@@ -1,0 +1,194 @@
+"""Integration tests for the Prophet prefetcher and the full pipeline."""
+
+import pytest
+
+from repro.core.analysis import AnalysisParams, analyze
+from repro.core.hints import CSRHints, HintSet, PCHint
+from repro.core.pipeline import OptimizedBinary, run_prophet
+from repro.core.profiler import CounterSet, profile, simplified_prefetcher
+from repro.core.prophet import ProphetFeatures, ProphetPrefetcher
+from repro.prefetchers.base import L2AccessInfo
+from repro.sim.config import MAX_METADATA_ENTRIES, default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.spec import make_spec_trace
+
+
+def access(pc, line):
+    return L2AccessInfo(pc=pc, line=line, cycle=0.0, l2_hit=False)
+
+
+def hintset(pc_hints, ways=4):
+    return HintSet(pc_hints=pc_hints, csr=CSRHints(metadata_ways=ways))
+
+
+class TestSimplifiedPrefetcher:
+    def test_matches_section_3_2(self):
+        cfg = default_config()
+        pf = simplified_prefetcher(cfg)
+        assert pf.degree == 1
+        assert pf.resize_enabled is False
+        assert pf.table.capacity == MAX_METADATA_ENTRIES  # the 1 MB table
+        assert pf.track_inserts
+
+
+class TestProfiler:
+    def test_profile_produces_counters(self):
+        cfg = default_config()
+        trace = make_spec_trace("sphinx3", "an4", 30_000)
+        counters = profile(trace, cfg)
+        assert counters.n_pcs > 0
+        assert all(0.0 <= a <= 1.0 for a in counters.accuracy.values())
+        assert counters.peak_entries > 0
+        assert counters.loops == 1
+
+    def test_high_and_low_accuracy_pcs_separate(self):
+        cfg = default_config()
+        trace = make_spec_trace("mcf", "inp", 60_000)
+        counters = profile(trace, cfg)
+        accs = sorted(counters.accuracy.values())
+        assert accs[0] < 0.15 < accs[-1]  # churn vs hot chains
+
+
+class TestProphetInsertion:
+    def test_hinted_zero_bit_blocks_insert_and_prefetch(self):
+        cfg = default_config()
+        hints = hintset({9: PCHint(insert=False, priority=0)})
+        pf = ProphetPrefetcher(cfg, hints)
+        pf.observe(access(9, 1))
+        reqs = pf.observe(access(9, 2))
+        assert reqs == []
+        assert pf.table.live_entries == 0
+
+    def test_hinted_one_bit_always_inserts(self):
+        cfg = default_config()
+        hints = hintset({9: PCHint(insert=True, priority=3)})
+        pf = ProphetPrefetcher(cfg, hints)
+        # Zero the runtime confidence: Prophet must override it.
+        entry = pf._trainer_entry(9)
+        entry.pattern_conf = 0
+        pf.observe(access(9, 1))
+        pf.observe(access(9, 2))
+        assert pf.table.live_entries == 1
+        assert pf.table.priority_of(1) == 3
+
+    def test_unhinted_pc_uses_runtime_policy(self):
+        cfg = default_config()
+        pf = ProphetPrefetcher(cfg, hintset({}))
+        entry = pf._trainer_entry(7)
+        entry.pattern_conf = 0  # runtime policy blocks
+        pf.observe(access(7, 1))
+        pf.observe(access(7, 2))
+        assert pf.table.live_entries == 0
+
+    def test_insertion_feature_off_falls_back(self):
+        cfg = default_config()
+        hints = hintset({9: PCHint(insert=False, priority=0)})
+        pf = ProphetPrefetcher(cfg, hints, ProphetFeatures(insertion=False))
+        pf.observe(access(9, 1))
+        pf.observe(access(9, 2))
+        assert pf.table.live_entries == 1  # runtime policy allowed it
+
+
+class TestProphetResizing:
+    def test_csr_sets_initial_ways(self):
+        cfg = default_config()
+        pf = ProphetPrefetcher(cfg, hintset({}, ways=3))
+        assert pf.initial_ways == 3
+        assert pf.desired_metadata_ways(3) is None  # fixed at start
+
+    def test_zero_ways_disables_temporal_prefetching(self):
+        cfg = default_config()
+        pf = ProphetPrefetcher(cfg, hintset({}, ways=0))
+        pf.observe(access(1, 1))
+        reqs = pf.observe(access(1, 2))
+        assert reqs == []
+        assert pf.table.live_entries == 0
+
+    def test_resizing_off_uses_runtime_dueller(self):
+        cfg = default_config()
+        pf = ProphetPrefetcher(cfg, hintset({}, ways=3),
+                               ProphetFeatures(resizing=False))
+        pf._window_issued = 1000
+        pf._window_useful = 10
+        assert pf.desired_metadata_ways(4) == 3  # dueller active
+
+
+class TestProphetMVB:
+    def test_displaced_multi_target_served_from_mvb(self):
+        cfg = default_config()
+        hints = hintset({9: PCHint(insert=True, priority=3)})
+        pf = ProphetPrefetcher(cfg, hints)
+        # Two alternating successors of line 1: B=2 then C=3.
+        for succ in (2, 3):
+            pf.observe(access(9, 1))
+            pf.observe(access(9, succ))
+        # Table now holds 1 -> 3; MVB holds the displaced 1 -> 2.
+        reqs = pf.observe(access(9, 1))
+        lines = {r.line for r in reqs}
+        assert 3 in lines
+        assert 2 in lines  # the MVB's alternate target
+
+    def test_mvb_disabled_loses_alternate(self):
+        cfg = default_config()
+        hints = hintset({9: PCHint(insert=True, priority=3)})
+        pf = ProphetPrefetcher(cfg, hints, ProphetFeatures(mvb=False))
+        for succ in (2, 3):
+            pf.observe(access(9, 1))
+            pf.observe(access(9, succ))
+        reqs = pf.observe(access(9, 1))
+        lines = {r.line for r in reqs}
+        assert 3 in lines  # the table's (latest) target
+        assert 2 not in lines  # the displaced target is gone without MVB
+
+    def test_low_priority_victims_skip_mvb(self):
+        cfg = default_config()
+        hints = hintset({9: PCHint(insert=True, priority=0)})
+        pf = ProphetPrefetcher(cfg, hints)
+        for succ in (2, 3):
+            pf.observe(access(9, 1))
+            pf.observe(access(9, succ))
+        assert pf.mvb.live_entries == 0
+
+
+class TestPipeline:
+    def test_end_to_end_beats_baseline(self):
+        cfg = default_config()
+        trace = make_spec_trace("xalancbmk", "ref", 60_000)
+        base = run_simulation(trace, cfg, None, "baseline")
+        res = run_prophet(trace, cfg)
+        assert res.speedup_over(base) > 1.0
+
+    def test_optimized_binary_learn_requires_same_app(self):
+        cfg = default_config()
+        binary = OptimizedBinary.from_profile(
+            make_spec_trace("gcc", "166", 10_000), cfg
+        )
+        with pytest.raises(ValueError):
+            binary.learn(make_spec_trace("mcf", "inp", 10_000), cfg)
+
+    def test_learning_increments_loops_and_merges(self):
+        cfg = default_config()
+        binary = OptimizedBinary.from_profile(
+            make_spec_trace("gcc", "166", 20_000), cfg
+        )
+        learned = binary.learn(make_spec_trace("gcc", "expr", 20_000), cfg)
+        assert learned.counters.loops == binary.counters.loops + 1
+        assert learned.counters.n_pcs >= binary.counters.n_pcs
+
+    def test_analysis_consistent_with_counters(self):
+        cfg = default_config()
+        counters = CounterSet(
+            accuracy={1: 0.9, 2: 0.05}, miss_counts={1: 50, 2: 50},
+            peak_entries=60_000,
+        )
+        hints = analyze(counters, cfg, AnalysisParams())
+        assert hints.pc_hints[1].insert and hints.pc_hints[1].priority == 3
+        assert not hints.pc_hints[2].insert
+        assert hints.csr.metadata_ways >= 1
+
+    def test_storage_overhead_reported(self):
+        cfg = default_config()
+        pf = ProphetPrefetcher(cfg, hintset({}))
+        overhead = pf.storage_overhead_bytes()
+        assert set(overhead) == {"replacement_state", "hint_buffer", "mvb"}
+        assert overhead["mvb"] == 352_256

@@ -1,0 +1,176 @@
+"""Unit tests for Prophet's analysis-side policies (Equations 1-5)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.insertion import DEFAULT_EL_ACC, insertion_bit
+from repro.core.learning import merge_accuracy, merge_counters
+from repro.core.profiler import CounterSet
+from repro.core.replacement import priority_level, replacement_state_bytes
+from repro.core.resizing import allocated_ways, rounded_target_entries
+from repro.sim.config import MAX_METADATA_ENTRIES, default_config
+
+
+class TestEquation1Insertion:
+    def test_threshold_boundary(self):
+        assert insertion_bit(DEFAULT_EL_ACC)
+        assert not insertion_bit(DEFAULT_EL_ACC - 1e-9)
+
+    def test_extremes(self):
+        assert insertion_bit(1.0)
+        assert not insertion_bit(0.0)
+
+    def test_custom_threshold(self):
+        assert insertion_bit(0.06, el_acc=0.05)
+        assert not insertion_bit(0.04, el_acc=0.05)
+
+    def test_invalid_threshold(self):
+        with pytest.raises(ValueError):
+            insertion_bit(0.5, el_acc=1.5)
+
+
+class TestEquation2Priority:
+    def test_n2_buckets(self):
+        # n=2: levels split [0,1) into quarters.
+        assert priority_level(0.20, 2) == 0
+        assert priority_level(0.30, 2) == 1
+        assert priority_level(0.55, 2) == 2
+        assert priority_level(0.80, 2) == 3
+
+    def test_accuracy_one_is_top_level(self):
+        assert priority_level(1.0, 2) == 3
+        assert priority_level(1.0, 3) == 7
+
+    def test_below_el_acc_is_floor(self):
+        assert priority_level(0.01, 2) == 0
+
+    def test_n_bits_scaling(self):
+        assert priority_level(0.6, 1) == 1
+        assert priority_level(0.6, 3) == 4
+
+    def test_invalid_bits(self):
+        with pytest.raises(ValueError):
+            priority_level(0.5, 0)
+
+    @given(st.floats(min_value=0.0, max_value=1.0), st.integers(1, 4))
+    @settings(max_examples=200, deadline=None)
+    def test_level_always_in_range(self, acc, bits):
+        level = priority_level(acc, bits)
+        assert 0 <= level < (1 << bits)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_monotone_in_accuracy(self, a, b):
+        lo, hi = sorted((a, b))
+        assert priority_level(lo, 2) <= priority_level(hi, 2)
+
+    def test_replacement_state_is_48kb_at_paper_scale(self):
+        assert replacement_state_bytes(MAX_METADATA_ENTRIES, 2) == 48 * 1024
+
+
+class TestEquation3Resizing:
+    def test_rounding_to_power_of_two(self):
+        assert rounded_target_entries(1000) == 1024
+        assert rounded_target_entries(1024) == 1024
+        assert rounded_target_entries(1025) == 2048
+
+    def test_cap_at_1mb_table(self):
+        assert rounded_target_entries(10**9) == MAX_METADATA_ENTRIES
+
+    def test_zero_demand_disables(self):
+        cfg = default_config()
+        assert allocated_ways(0, cfg) == 0
+
+    def test_tiny_demand_disables(self):
+        cfg = default_config()
+        # Far below half a way's worth of entries.
+        assert allocated_ways(100, cfg) == 0
+
+    def test_full_demand_uses_max_ways(self):
+        cfg = default_config()
+        assert allocated_ways(MAX_METADATA_ENTRIES, cfg) == cfg.l3.assoc // 2
+
+    def test_mid_demand(self):
+        cfg = default_config()
+        per_way = cfg.metadata_entries_per_llc_way
+        ways = allocated_ways(per_way + 1, cfg)
+        assert ways == 2  # rounds up to two ways
+
+    @given(st.integers(0, 10**7))
+    @settings(max_examples=200, deadline=None)
+    def test_ways_bounded(self, peak):
+        cfg = default_config()
+        ways = allocated_ways(peak, cfg)
+        assert 0 <= ways <= cfg.l3.assoc // 2
+
+
+class TestEquation4and5Learning:
+    def test_same_behaviour_keeps_bucket(self):
+        # Fig. 7 Load A: both inputs report ~the same accuracy.
+        merged = merge_accuracy(0.8, 0.82, loops=1, loop_cap=4)
+        assert priority_level(merged, 2) == priority_level(0.8, 2)
+
+    def test_new_pc_takes_new_value(self):
+        old = CounterSet(accuracy={1: 0.9}, loops=1)
+        new = CounterSet(accuracy={2: 0.3}, loops=1)
+        merged = merge_counters(old, new)
+        assert merged.accuracy[2] == 0.3  # Load B/C case
+        assert merged.accuracy[1] == 0.9
+
+    def test_conflicting_pc_moves_toward_new(self):
+        # Fig. 7 Load E: same PC, different behaviour.
+        old = CounterSet(accuracy={1: 0.9}, loops=1)
+        new = CounterSet(accuracy={1: 0.1}, loops=1)
+        merged = merge_counters(old, new)
+        assert 0.1 < merged.accuracy[1] < 0.9
+
+    def test_dampening_grows_with_loops(self):
+        late = merge_accuracy(0.9, 0.1, loops=3, loop_cap=4)
+        early = merge_accuracy(0.9, 0.1, loops=1, loop_cap=4)
+        assert abs(late - 0.9) < abs(early - 0.9)
+
+    def test_loop_cap_bounds_dampening(self):
+        capped = merge_accuracy(0.9, 0.1, loops=100, loop_cap=4)
+        at_cap = merge_accuracy(0.9, 0.1, loops=3, loop_cap=4)
+        assert capped == pytest.approx(at_cap)
+
+    def test_peak_entries_merge_is_max(self):
+        old = CounterSet(peak_entries=100, loops=1)
+        new = CounterSet(peak_entries=50, loops=1)
+        assert merge_counters(old, new).peak_entries == 100  # Equation 5
+
+    def test_loops_increment(self):
+        old = CounterSet(loops=2)
+        assert merge_counters(old, CounterSet()).loops == 3
+
+    def test_invalid_loop_cap(self):
+        with pytest.raises(ValueError):
+            merge_counters(CounterSet(), CounterSet(), loop_cap=0)
+
+    @given(
+        st.floats(min_value=0.0, max_value=1.0),
+        st.floats(min_value=0.0, max_value=1.0),
+        st.integers(1, 10),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_merged_accuracy_stays_in_range(self, o, n, loops):
+        merged = merge_accuracy(o, n, loops, loop_cap=4)
+        assert 0.0 <= merged <= 1.0
+        assert min(o, n) <= merged <= max(o, n)
+
+    @given(st.integers(1, 20))
+    @settings(max_examples=30, deadline=None)
+    def test_repeated_learning_converges(self, rounds):
+        """Property: repeatedly learning the same input converges the
+        maintained accuracy toward that input's value."""
+        counters = CounterSet(accuracy={1: 0.9}, loops=1)
+        target = CounterSet(accuracy={1: 0.2}, loops=1)
+        prev_gap = abs(counters.accuracy[1] - 0.2)
+        for _ in range(rounds):
+            counters = merge_counters(counters, target)
+            gap = abs(counters.accuracy[1] - 0.2)
+            assert gap <= prev_gap + 1e-12
+            prev_gap = gap

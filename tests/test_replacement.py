@@ -1,0 +1,197 @@
+"""Unit tests for the replacement policies."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.cache.replacement import (
+    FIFOPolicy,
+    HawkeyePolicy,
+    LRUPolicy,
+    SRRIPPolicy,
+    TreePLRUPolicy,
+    make_policy,
+)
+
+
+class TestLRU:
+    def test_victim_is_least_recently_used(self):
+        p = LRUPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+        p.on_hit(0, 0)  # refresh way 0
+        assert p.victim(0) == 1
+
+    def test_fill_refreshes_recency(self):
+        p = LRUPolicy(1, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_fill(0, 0)
+        assert p.victim(0) == 1
+
+    def test_restricted_candidates(self):
+        p = LRUPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+        # Way 0 is globally LRU but excluded from candidates.
+        assert p.victim(0, [2, 3]) == 2
+
+    def test_sets_are_independent(self):
+        p = LRUPolicy(2, 2)
+        p.on_fill(0, 0)
+        p.on_fill(1, 1)
+        p.on_fill(0, 1)
+        assert p.victim(0) == 0
+        assert p.victim(1) == 0  # way 0 of set 1 never touched
+
+    def test_empty_candidates_raises(self):
+        p = LRUPolicy(1, 2)
+        with pytest.raises(ValueError):
+            p.victim(0, [])
+
+
+class TestFIFO:
+    def test_hits_do_not_refresh(self):
+        p = FIFOPolicy(1, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_hit(0, 0)
+        assert p.victim(0) == 0  # still oldest fill
+
+
+class TestTreePLRU:
+    def test_requires_power_of_two_assoc(self):
+        with pytest.raises(ValueError):
+            TreePLRUPolicy(1, 6)
+
+    def test_victim_avoids_most_recent(self):
+        p = TreePLRUPolicy(1, 8)
+        for way in range(8):
+            p.on_fill(0, way)
+        p.on_hit(0, 3)
+        assert p.victim(0) != 3
+
+    def test_two_way_behaves_like_lru(self):
+        p = TreePLRUPolicy(1, 2)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_hit(0, 0)
+        assert p.victim(0) == 1
+
+    def test_rank_zero_matches_victim_walk(self):
+        p = TreePLRUPolicy(4, 8)
+        for s in range(4):
+            for way in range(8):
+                p.on_fill(s, way)
+            p.on_hit(s, s % 8)
+            walk = p.victim(s)
+            assert p.rank(s, walk) == 0
+            # The walk victim has the strictly smallest rank.
+            ranks = [p.rank(s, w) for w in range(8)]
+            assert ranks.count(0) == 1
+
+    @given(st.lists(st.integers(0, 7), min_size=1, max_size=64))
+    @settings(max_examples=50, deadline=None)
+    def test_victim_never_equals_last_touch(self, touches):
+        p = TreePLRUPolicy(1, 8)
+        for way in touches:
+            p.on_hit(0, way)
+        assert p.victim(0) != touches[-1]
+
+
+class TestSRRIP:
+    def test_fill_inserts_at_long_interval(self):
+        p = SRRIPPolicy(1, 4)
+        p.on_fill(0, 0)
+        assert p.rrpv_of(0, 0) == p.max_rrpv - 1
+
+    def test_hit_promotes_to_zero(self):
+        p = SRRIPPolicy(1, 4)
+        p.on_fill(0, 0)
+        p.on_hit(0, 0)
+        assert p.rrpv_of(0, 0) == 0
+
+    def test_victim_prefers_distant_rrpv(self):
+        p = SRRIPPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+        p.on_hit(0, 2)
+        assert p.victim(0) != 2
+
+    def test_untouched_ways_evicted_first(self):
+        p = SRRIPPolicy(1, 4)
+        p.on_fill(0, 0)
+        p.on_fill(0, 1)
+        p.on_hit(0, 0)
+        p.on_hit(0, 1)
+        # Ways 2, 3 never filled: still at max RRPV.
+        assert p.victim(0) in (2, 3)
+
+    def test_restricted_candidates(self):
+        p = SRRIPPolicy(1, 4)
+        for way in range(4):
+            p.on_fill(0, way)
+        p.on_hit(0, 1)
+        assert p.victim(0, [0, 1]) == 0
+
+
+class TestHawkeye:
+    def test_friendly_signature_protected(self):
+        p = HawkeyePolicy(1, 4)
+        # Train signature 7 as cache-friendly via short reuses.
+        for way in (0, 0, 0, 0):
+            p.record_access(0, way, 7)
+        p.on_fill(0, 0)
+        # Averse signature: one-shot long-idle signatures never reused.
+        for i, way in enumerate((1, 2, 3)):
+            p.record_access(0, way, 100 + i)
+            p.on_fill(0, way)
+        assert p.victim(0) != 0
+
+    def test_eviction_of_friendly_line_detrains(self):
+        p = HawkeyePolicy(1, 2)
+        for _ in range(4):
+            p.record_access(0, 0, 9)
+        p.on_fill(0, 0)
+        before = p._counters[9]
+        p.record_access(0, 1, 9)
+        p.on_fill(0, 1)
+        p.victim(0)
+        assert p._counters[9] <= before + 1  # detrain happened on eviction
+
+
+class TestFactory:
+    @pytest.mark.parametrize(
+        "name", ["lru", "fifo", "plru", "srrip", "hawkeye", "char"]
+    )
+    def test_known_policies(self, name):
+        p = make_policy(name, 4, 4)
+        p.on_fill(0, 0)
+        assert 0 <= p.victim(0) < 4
+
+    def test_unknown_policy_raises(self):
+        with pytest.raises(ValueError):
+            make_policy("belady", 4, 4)
+
+    def test_invalid_geometry_raises(self):
+        with pytest.raises(ValueError):
+            LRUPolicy(0, 4)
+
+
+@given(
+    st.sampled_from(["lru", "fifo", "srrip", "plru"]),
+    st.lists(
+        st.tuples(st.sampled_from(["fill", "hit"]), st.integers(0, 7)),
+        max_size=100,
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_policy_victim_always_valid(name, ops):
+    """Property: any op sequence leaves victim() returning a valid way."""
+    p = make_policy(name, 2, 8)
+    for op, way in ops:
+        if op == "fill":
+            p.on_fill(way % 2, way)
+        else:
+            p.on_hit(way % 2, way)
+    assert 0 <= p.victim(0) < 8
+    assert 0 <= p.victim(1) < 8

@@ -1,0 +1,106 @@
+"""Unit tests for SimResult metrics and the timing model edge cases."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.config import default_config
+from repro.sim.cpu import TimingModel
+from repro.sim.results import SimResult, format_table, geomean
+
+
+def result(**overrides):
+    base = dict(
+        label="w", scheme="s", instructions=100, cycles=50.0,
+        l2_demand_misses=10, dram_reads=5, dram_writes=2,
+        pf_issued=8, pf_useful=6,
+    )
+    base.update(overrides)
+    return SimResult(**base)
+
+
+class TestSimResult:
+    def test_ipc(self):
+        assert result().ipc == 2.0
+        assert result(cycles=0.0).ipc == 0.0
+
+    def test_accuracy(self):
+        assert result().accuracy == 0.75
+        assert result(pf_issued=0).accuracy == 0.0
+
+    def test_accuracy_of_pc(self):
+        r = result(issued_by_pc={1: 10}, useful_by_pc={1: 7})
+        assert r.accuracy_of(1) == 0.7
+        assert r.accuracy_of(2) == 0.0
+
+    def test_coverage_clamped_at_zero(self):
+        base = result(l2_demand_misses=10)
+        worse = result(l2_demand_misses=20)
+        assert worse.coverage_over(base) == 0.0
+
+    def test_coverage_positive(self):
+        base = result(l2_demand_misses=10)
+        better = result(l2_demand_misses=4)
+        assert better.coverage_over(base) == pytest.approx(0.6)
+
+    def test_coverage_zero_baseline(self):
+        base = result(l2_demand_misses=0)
+        assert result().coverage_over(base) == 0.0
+
+    def test_traffic(self):
+        base = result(dram_reads=10, dram_writes=0)
+        r = result(dram_reads=12, dram_writes=3)
+        assert r.traffic_over(base) == 1.5
+
+    def test_dram_traffic_sum(self):
+        assert result().dram_traffic == 7
+
+
+class TestGeomean:
+    def test_basic(self):
+        assert geomean([2.0, 8.0]) == 4.0
+
+    def test_ignores_nonpositive(self):
+        assert geomean([4.0, 0.0, -1.0]) == 4.0
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1,
+                    max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_between_min_and_max(self, vals):
+        g = geomean(vals)
+        assert min(vals) - 1e-9 <= g <= max(vals) + 1e-9
+
+
+class TestFormatTable:
+    def test_empty_rows(self):
+        text = format_table(["a", "b"], [])
+        assert "a" in text and "-" in text
+
+    def test_column_alignment(self):
+        text = format_table(["col"], [["x"], ["longer"]])
+        lines = text.splitlines()
+        assert len(set(len(l.rstrip()) <= len("longer") + 2 for l in lines))
+
+
+class TestTimingModelEdges:
+    def test_zero_gap(self):
+        tm = TimingModel(10, 12.0, 4)
+        assert tm.instruction_cycles(0) == pytest.approx(0.1)
+
+    def test_exact_hide_boundary(self):
+        tm = TimingModel(10, 12.0, 4)
+        assert tm.stall_cycles(12.0) == 0.0
+        assert tm.stall_cycles(12.0 + 4.0) == pytest.approx(1.0)
+
+    def test_workload_mlp_overrides_config(self):
+        cfg = default_config()
+        tm = TimingModel.for_config(cfg, workload_mlp=2)
+        assert tm.mlp == 2
+        tm_default = TimingModel.for_config(cfg, workload_mlp=0)
+        assert tm_default.mlp == cfg.mlp
+
+    @given(st.floats(min_value=0.0, max_value=1000.0))
+    @settings(max_examples=100, deadline=None)
+    def test_stall_monotone_in_latency(self, lat):
+        tm = TimingModel(10, 12.0, 4)
+        assert tm.stall_cycles(lat) <= tm.stall_cycles(lat + 1.0)
+        assert tm.stall_cycles(lat) >= 0.0

@@ -1,0 +1,230 @@
+"""System-level invariants under randomized streams and fault injection.
+
+These tests stress the substrate the way no figure does: random access
+streams, adversarial resize thrash, MSHR floods, and prefetchers that
+misbehave.  The assertions are structural — accounting identities,
+capacity bounds, monotonicity — rather than performance shapes.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.cache import Cache
+from repro.cache.hierarchy import Hierarchy
+from repro.prefetchers.base import L2AccessInfo, L2Prefetcher, PrefetchRequest
+from repro.prefetchers.markov import MetadataTable
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.base import Trace
+from repro.workloads.spec import make_spec_trace
+
+# Compact strategies for access streams.
+small_lines = st.lists(st.integers(0, 500), min_size=1, max_size=300)
+small_pcs = st.integers(1, 8)
+
+
+def random_trace(seed: int, n: int = 2000, n_pcs: int = 6, space: int = 4000) -> Trace:
+    rng = random.Random(seed)
+    pcs = [0x1000 + rng.randrange(n_pcs) for _ in range(n)]
+    lines = [rng.randrange(space) for _ in range(n)]
+    gaps = [rng.randrange(8) for _ in range(n)]
+    return Trace("rand", str(seed), pcs, lines, gaps)
+
+
+# ----------------------------------------------------------------------
+# Cache invariants
+# ----------------------------------------------------------------------
+class TestCacheInvariants:
+    @given(lines=small_lines)
+    @settings(max_examples=50)
+    def test_occupancy_never_exceeds_capacity(self, lines):
+        cache = Cache("t", 64 * 64, 4, 1, "lru")  # 64 lines
+        for i, line in enumerate(lines):
+            cache.fill(line, float(i))
+        resident = sum(1 for line in set(lines) if cache.contains(line))
+        assert resident <= 64
+
+    @given(lines=small_lines)
+    @settings(max_examples=50)
+    def test_probe_after_fill(self, lines):
+        cache = Cache("t", 256 * 64, 8, 1, "plru")
+        for i, line in enumerate(lines):
+            cache.fill(line, float(i))
+        # The most recently filled line must be resident.
+        assert cache.contains(lines[-1])
+
+    def test_data_ways_shrink_evicts(self):
+        config = default_config()
+        h = Hierarchy(config)
+        # Fill some L3 content via demand traffic.
+        for i in range(2000):
+            h.demand_access(1, i * 3, float(i) * 30)
+        h.set_metadata_ways(config.l3.assoc // 2)
+        assert len(h.l3.resident_lines()) <= h.l3.capacity_lines
+
+
+# ----------------------------------------------------------------------
+# Metadata table invariants
+# ----------------------------------------------------------------------
+class TestMetadataTableInvariants:
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 300), st.integers(0, 300)),
+            min_size=1,
+            max_size=400,
+        )
+    )
+    @settings(max_examples=50)
+    def test_accounting_identity(self, ops):
+        table = MetadataTable(capacity_entries=96)
+        for key, target in ops:
+            table.insert(key, target)
+        assert table.live_entries == len(table.entries())
+        assert table.live_entries <= table.capacity
+        assert (
+            table.stats.insertions - table.stats.replacements
+            >= table.live_entries > 0
+        )
+        assert table.stats.peak_allocated >= table.live_entries
+
+    @given(
+        ops=st.lists(
+            st.tuples(st.integers(0, 200), st.integers(0, 200)),
+            min_size=1,
+            max_size=200,
+        ),
+        new_capacity=st.sampled_from([12, 48, 96, 192]),
+    )
+    @settings(max_examples=40)
+    def test_resize_preserves_subset(self, ops, new_capacity):
+        table = MetadataTable(capacity_entries=96)
+        for key, target in ops:
+            table.insert(key, target)
+        before = {(k, t) for k, t, _ in table.entries()}
+        table.resize(new_capacity)
+        after = {(k, t) for k, t, _ in table.entries()}
+        assert after <= before
+        assert table.live_entries <= table.capacity
+
+    def test_resize_thrash_stays_consistent(self):
+        table = MetadataTable(capacity_entries=192)
+        rng = random.Random(3)
+        for i in range(500):
+            table.insert(rng.randrange(400), rng.randrange(400))
+            if i % 50 == 49:
+                table.resize(12 if (i // 50) % 2 else 192)
+        assert table.live_entries == len(table.entries())
+        assert table.live_entries <= table.capacity
+
+
+# ----------------------------------------------------------------------
+# Hierarchy invariants under random traffic
+# ----------------------------------------------------------------------
+class TestHierarchyInvariants:
+    def test_latency_at_least_l1_hit(self):
+        config = default_config()
+        h = Hierarchy(config)
+        rng = random.Random(11)
+        for i in range(1500):
+            r = h.demand_access(1 + rng.randrange(4), rng.randrange(5000), i * 25.0)
+            assert r.latency >= config.l1d.hit_latency
+
+    def test_dram_read_breakdown_sums(self):
+        config = default_config()
+        h = Hierarchy(config, TriangelPrefetcher(config))
+        rng = random.Random(13)
+        for i in range(3000):
+            h.demand_access(1 + rng.randrange(4), rng.randrange(8000), i * 25.0)
+        s = h.dram.stats
+        assert s.demand_reads + s.prefetch_reads + s.metadata_reads == s.reads
+
+    def test_useful_never_exceeds_issued(self):
+        trace = make_spec_trace("mcf", "inp", 15_000)
+        config = default_config()
+        res = run_simulation(trace, config, TriangelPrefetcher(config), "t")
+        assert 0 <= res.pf_useful <= res.pf_issued
+        for pc, useful in res.useful_by_pc.items():
+            assert useful <= res.issued_by_pc.get(pc, 0)
+
+    def test_resize_thrash_mid_run(self):
+        """Violent way-count oscillation must not corrupt the hierarchy."""
+        config = default_config()
+        pf = TriangelPrefetcher(config)
+        h = Hierarchy(config, pf)
+        rng = random.Random(17)
+        for i in range(2000):
+            h.demand_access(1 + rng.randrange(4), rng.randrange(6000), i * 25.0)
+            if i % 100 == 99:
+                h.set_metadata_ways(8 if (i // 100) % 2 else 0)
+        assert len(h.l3.resident_lines()) <= h.l3.capacity_lines
+        assert pf.table.live_entries <= pf.table.capacity
+
+    def test_metadata_ways_bounds_enforced(self):
+        h = Hierarchy(default_config())
+        with pytest.raises(ValueError):
+            h.set_metadata_ways(-1)
+        with pytest.raises(ValueError):
+            h.set_metadata_ways(17)
+
+
+# ----------------------------------------------------------------------
+# Fault injection: misbehaving prefetchers must not break accounting
+# ----------------------------------------------------------------------
+class _FloodPrefetcher(L2Prefetcher):
+    """Asks for an absurd number of lines on every access."""
+
+    name = "flood"
+
+    def observe(self, access):
+        return [
+            PrefetchRequest(access.line + k + 1, access.pc) for k in range(64)
+        ]
+
+
+class _NegativeLinePrefetcher(L2Prefetcher):
+    """Emits invalid (negative) line addresses."""
+
+    name = "negative"
+
+    def observe(self, access):
+        return [PrefetchRequest(-5, access.pc), PrefetchRequest(access.line, access.pc)]
+
+
+class _SelfPrefetcher(L2Prefetcher):
+    """Prefetches exactly the line being accessed (a no-op request)."""
+
+    name = "self"
+
+    def observe(self, access):
+        return [PrefetchRequest(access.line, access.pc)]
+
+
+class TestFaultInjection:
+    def _run(self, pf, n=4000):
+        trace = random_trace(29, n=n, space=20_000)
+        return run_simulation(trace, default_config(), pf, pf.name,
+                              warmup_frac=0.0)
+
+    def test_flood_prefetcher_is_throttled_not_fatal(self):
+        res = self._run(_FloodPrefetcher())
+        assert res.instructions > 0
+        # MSHR + queue caps keep issue volume finite (< degree x accesses).
+        assert res.pf_issued < 64 * 4000
+
+    def test_negative_lines_are_rejected(self):
+        res = self._run(_NegativeLinePrefetcher())
+        assert res.instructions > 0
+        assert res.pf_issued == 0  # negative dropped; same-line dropped
+
+    def test_self_prefetch_is_a_noop(self):
+        res = self._run(_SelfPrefetcher())
+        assert res.pf_issued == 0
+
+    def test_flood_slows_but_never_corrupts_dram_stats(self):
+        res = self._run(_FloodPrefetcher(), n=2500)
+        assert res.dram_reads >= 0 and res.dram_writes >= 0
+        assert res.dram_metadata_traffic == 0

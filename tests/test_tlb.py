@@ -1,0 +1,127 @@
+"""Tests for the TLB model and page-boundary prefetch constraint."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cache.hierarchy import Hierarchy
+from repro.memory.tlb import (
+    LINES_PER_PAGE,
+    TLB,
+    TLBConfig,
+    page_of,
+    same_page,
+)
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.spec import make_spec_trace
+
+
+class TestPageMath:
+    def test_lines_per_page(self):
+        assert LINES_PER_PAGE == 64
+
+    def test_page_of(self):
+        assert page_of(0) == 0
+        assert page_of(63) == 0
+        assert page_of(64) == 1
+
+    @given(line=st.integers(0, 1 << 40))
+    @settings(max_examples=50)
+    def test_same_page_reflexive_and_local(self, line):
+        assert same_page(line, line)
+        page_start = (line // LINES_PER_PAGE) * LINES_PER_PAGE
+        assert same_page(line, page_start)
+        assert not same_page(line, page_start + LINES_PER_PAGE)
+
+
+class TestTLB:
+    def test_first_access_misses_then_hits(self):
+        tlb = TLB(TLBConfig(entries=4, walk_latency=25))
+        assert tlb.access(100) == 25
+        assert tlb.access(100) == 0
+        assert tlb.access(110) == 0  # same page (lines 64..127)
+        assert tlb.stats.hits == 2 and tlb.stats.misses == 1
+
+    def test_lru_eviction(self):
+        tlb = TLB(TLBConfig(entries=2, walk_latency=10))
+        tlb.access(0 * LINES_PER_PAGE)
+        tlb.access(1 * LINES_PER_PAGE)
+        tlb.access(0 * LINES_PER_PAGE)  # refresh page 0
+        tlb.access(2 * LINES_PER_PAGE)  # evicts page 1
+        assert tlb.contains(0)
+        assert not tlb.contains(1 * LINES_PER_PAGE)
+
+    def test_capacity_never_exceeded(self):
+        tlb = TLB(TLBConfig(entries=8))
+        for page in range(50):
+            tlb.access(page * LINES_PER_PAGE)
+        assert len(tlb) == 8
+
+    def test_contains_does_not_touch_stats(self):
+        tlb = TLB()
+        tlb.contains(5)
+        assert tlb.stats.accesses == 0
+
+    def test_miss_rate(self):
+        tlb = TLB(TLBConfig(entries=4))
+        for _ in range(2):
+            tlb.access(0)
+        assert tlb.stats.miss_rate == 0.5
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TLBConfig(entries=0)
+        with pytest.raises(ValueError):
+            TLBConfig(walk_latency=-1)
+
+    @given(pages=st.lists(st.integers(0, 30), min_size=1, max_size=200))
+    @settings(max_examples=40)
+    def test_hits_plus_misses_equals_accesses(self, pages):
+        tlb = TLB(TLBConfig(entries=8))
+        for p in pages:
+            tlb.access(p * LINES_PER_PAGE)
+        assert tlb.stats.accesses == len(pages)
+        assert len(tlb) == min(8, len(set(pages)))
+
+
+class TestHierarchyIntegration:
+    def test_tlb_disabled_by_default(self):
+        h = Hierarchy(default_config())
+        assert h.tlb is None
+
+    def test_tlb_walks_add_latency(self):
+        config = default_config().with_tlb(entries=4, walk_latency=50)
+        h = Hierarchy(config)
+        # Two accesses to the same line: first page walk, then TLB hit.
+        first = h.demand_access(1, 10_000, 0.0)
+        second = h.demand_access(1, 10_000, 500.0)
+        assert first.latency >= 50
+        assert second.latency < first.latency
+        assert h.tlb.stats.misses == 1
+
+    def test_page_constraint_drops_cross_page_prefetches(self):
+        """A stride crossing pages issues fewer L1 prefetches when confined."""
+        trace = make_spec_trace("mcf", "inp", 20_000)
+        free = run_simulation(trace, default_config(), None, "baseline")
+        confined = run_simulation(
+            trace,
+            default_config().with_page_constrained_l1_prefetch(),
+            None,
+            "baseline",
+        )
+        assert confined.l1_pf_issued <= free.l1_pf_issued
+
+    def test_tlb_pressure_slows_irregular_workload(self):
+        trace = make_spec_trace("mcf", "inp", 20_000)
+        base = run_simulation(trace, default_config(), None, "baseline")
+        walked = run_simulation(
+            trace, default_config().with_tlb(entries=16), None, "baseline"
+        )
+        assert walked.ipc < base.ipc
+
+    def test_with_tlb_returns_new_config(self):
+        config = default_config()
+        tlbed = config.with_tlb()
+        assert not config.tlb_enabled
+        assert tlbed.tlb_enabled

@@ -1,0 +1,50 @@
+"""Property-based tests over the full workload catalog."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.base import markov_target_counts
+from repro.workloads.inputs import make_trace
+from repro.workloads.spec import SPEC_WORKLOADS, make_spec_trace
+
+LABELS = [f"{app}_{inp}" for app, inp in SPEC_WORKLOADS]
+
+
+@given(st.sampled_from(LABELS), st.integers(500, 4_000))
+@settings(max_examples=20, deadline=None)
+def test_any_label_any_length(label, n):
+    t = make_trace(label, n)
+    assert len(t) == n
+    assert len(t.pcs) == len(t.lines) == len(t.gaps)
+    assert all(pc > 0 for pc in t.pcs)
+    assert all(line >= 0 for line in t.lines)
+
+
+@given(st.sampled_from(LABELS))
+@settings(max_examples=7, deadline=None)
+def test_markov_counts_bounded_by_distinct_lines(label):
+    t = make_trace(label, 4_000)
+    counts = markov_target_counts(t.pcs, t.lines)
+    distinct = len(set(t.lines))
+    assert len(counts) <= distinct
+    assert all(n >= 1 for n in counts.values())
+
+
+@given(st.integers(1_000, 6_000))
+@settings(max_examples=10, deadline=None)
+def test_prefix_stability(n):
+    """A longer trace of the same workload starts with different pools
+    (pools scale with length), but the same length is bit-stable."""
+    a = make_spec_trace("omnetpp", "inp", n)
+    b = make_spec_trace("omnetpp", "inp", n)
+    assert a.lines == b.lines
+
+
+def test_all_spec_inputs_have_positive_gaps():
+    from repro.workloads.spec import ASTAR_INPUTS, GCC_INPUTS, SOPLEX_INPUTS
+
+    for app, inputs in [("gcc", GCC_INPUTS), ("astar", ASTAR_INPUTS),
+                        ("soplex", SOPLEX_INPUTS)]:
+        for inp in inputs:
+            t = make_spec_trace(app, inp, 1_000)
+            assert min(t.gaps) >= 0
+            assert t.mlp >= 1
