@@ -1,0 +1,111 @@
+"""Engine throughput microbenchmark: records/sec for the simulation loop.
+
+Measures how fast :func:`repro.sim.engine.run_simulation` drives records
+through the cache hierarchy, for the two configurations that bracket the
+engine's cost:
+
+- **baseline** — no L2 temporal prefetcher (the cheapest per-record path);
+- **prophet**  — profile + simulate under Prophet (the most expensive
+  path: metadata table training, MVB, resize polling).
+
+Results are written to ``BENCH_engine.json`` next to this file (override
+with ``--out``) so successive PRs accumulate a perf trajectory; compare
+the ``records_per_sec`` fields across commits on the same machine.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py --smoke
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --records 200000 --repeats 5 --out /tmp/bench.json
+
+``--smoke`` shrinks the run for CI: it validates that the benchmark still
+executes end to end, not that the numbers are meaningful.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.core.pipeline import OptimizedBinary
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.inputs import make_trace
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_engine.json"
+
+#: Workload used for all measurements: mcf-like pointer chasing exercises
+#: the full miss path (L1/L2/L3/DRAM) rather than degenerating to L1 hits.
+BENCH_WORKLOAD = "mcf_inp"
+
+
+def _measure(fn, n_records: int, repeats: int) -> dict:
+    """Best-of-``repeats`` wall-clock throughput for one engine setup."""
+    times = []
+    for _ in range(repeats):
+        start = time.perf_counter()
+        fn()
+        times.append(time.perf_counter() - start)
+    best = min(times)
+    return {
+        "seconds_best": best,
+        "seconds_all": times,
+        "records": n_records,
+        "records_per_sec": n_records / best if best else 0.0,
+    }
+
+
+def run_bench(n_records: int, repeats: int) -> dict:
+    config = default_config()
+    trace = make_trace(BENCH_WORKLOAD, n_records)
+
+    def baseline() -> None:
+        run_simulation(trace, config, None, "baseline")
+
+    binary = OptimizedBinary.from_profile(trace, config)
+
+    def prophet() -> None:
+        run_simulation(trace, config, binary.prefetcher(config), "prophet")
+
+    return {
+        "workload": BENCH_WORKLOAD,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "baseline": _measure(baseline, n_records, repeats),
+        "prophet": _measure(prophet, n_records, repeats),
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--records", type=int, default=150_000,
+                        help="trace length per measured run")
+    parser.add_argument("--repeats", type=int, default=3,
+                        help="repetitions per configuration (best is kept)")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny run for CI: checks execution, not perf")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    n_records = 5_000 if args.smoke else args.records
+    repeats = 1 if args.smoke else args.repeats
+    result = run_bench(n_records, repeats)
+    result["smoke"] = args.smoke
+
+    args.out.write_text(json.dumps(result, indent=2) + "\n")
+    for kind in ("baseline", "prophet"):
+        rps = result[kind]["records_per_sec"]
+        print(f"{kind:9s} {rps:>12,.0f} records/sec "
+              f"({result[kind]['seconds_best']:.2f}s best of {repeats})")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,22 @@ defaults below).
 import os
 from pathlib import Path
 
+import pytest
+
 RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def pytest_collection_modifyitems(items):
+    """Every benchmark regenerates a full figure: mark them all slow.
+
+    CI's fast lane runs ``pytest -m "not slow"`` (the tests/ suite) and
+    covers the figures via the engine microbenchmark's smoke mode.
+    (The hook sees the whole session's items, so scope to this directory.)
+    """
+    here = Path(__file__).parent
+    for item in items:
+        if here in Path(str(item.fspath)).parents:
+            item.add_marker(pytest.mark.slow)
 RESULTS_DIR.mkdir(exist_ok=True)
 
 #: Global scale knob for benchmark trace lengths.

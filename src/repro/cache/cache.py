@@ -18,6 +18,13 @@ The LLC additionally supports *way partitioning*: reserving the top ways of
 every set for the Markov metadata table (Triage/Triangel/Prophet resizing).
 Reserved ways are invalidated and excluded from fills, shrinking the data
 capacity exactly as the paper's shared-LLC metadata table does.
+
+Storage layout (hot-path note): per-line state lives in one slot record —
+a small list ``[line, dirty, prefetched, used, ready, trigger_pc,
+pf_source]`` per (set, way), ``None`` when invalid — so a fill is a single
+list store instead of eight parallel-array stores, and an eviction reads
+one record.  :meth:`Cache.demand_lookup` fuses probe + hit bookkeeping for
+the hierarchy's demand path.
 """
 
 from __future__ import annotations
@@ -33,6 +40,9 @@ PF_NONE = 0
 PF_L1 = 1
 PF_L2 = 2
 
+#: Slot record field indices (see module docstring).
+_LINE, _DIRTY, _PF, _USED, _READY, _TRIGGER, _SRC = range(7)
+
 
 @dataclass(slots=True)
 class EvictedLine:
@@ -46,7 +56,7 @@ class EvictedLine:
     pf_source: int = PF_NONE
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheStats:
     """Per-cache counters, reset with :meth:`Cache.reset_stats`."""
 
@@ -74,6 +84,12 @@ class Cache:
     arguments throughout are cache-line (block) numbers, not byte addresses.
     """
 
+    __slots__ = (
+        "name", "assoc", "hit_latency", "n_sets", "policy", "stats",
+        "_slots", "_map", "_data_ways",
+        "_policy_on_hit", "_policy_on_fill", "_policy_victim",
+    )
+
     def __init__(
         self,
         name: str,
@@ -94,19 +110,17 @@ class Cache:
         self.policy = make_policy(replacement, self.n_sets, assoc)
         self.stats = CacheStats()
 
-        n = self.n_sets * assoc
-        self._valid: List[bool] = [False] * n
-        self._lines: List[int] = [0] * n
-        self._dirty: List[bool] = [False] * n
-        self._prefetched: List[bool] = [False] * n
-        self._used: List[bool] = [False] * n
-        self._ready: List[float] = [0.0] * n
-        self._trigger_pc: List[int] = [-1] * n
-        self._pf_source: List[int] = [PF_NONE] * n
+        #: One record per (set, way); None == invalid.
+        self._slots: List[Optional[list]] = [None] * (self.n_sets * assoc)
         self._map: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
         # All ways usable for data by default; the LLC shrinks this when
         # LLC ways are reserved for the metadata table.
         self._data_ways = assoc
+        # The policy never changes after construction; bound methods save
+        # an attribute chase on every hit/fill/victim.
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_fill = self.policy.on_fill
+        self._policy_victim = self.policy.victim
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -132,15 +146,17 @@ class Cache:
         if not 0 <= ways <= self.assoc:
             raise ValueError(f"ways must be in [0, {self.assoc}]")
         if ways < self._data_ways:
+            slots = self._slots
             for set_idx in range(self.n_sets):
                 base = set_idx * self.assoc
                 for way in range(ways, self._data_ways):
                     idx = base + way
-                    if self._valid[idx]:
-                        if self._dirty[idx]:
+                    slot = slots[idx]
+                    if slot is not None:
+                        if slot[_DIRTY]:
                             self.stats.writebacks += 1
-                        del self._map[set_idx][self._lines[idx]]
-                        self._valid[idx] = False
+                        del self._map[set_idx][slot[_LINE]]
+                        slots[idx] = None
         self._data_ways = ways
 
     # ------------------------------------------------------------------
@@ -151,7 +167,7 @@ class Cache:
         return self._map[line % self.n_sets].get(line)
 
     def contains(self, line: int) -> bool:
-        return self.probe(line) is not None
+        return self._map[line % self.n_sets].get(line) is not None
 
     def on_demand_hit(self, line: int, way: int, is_write: bool = False) -> bool:
         """Record a demand hit; returns True if this hit consumed a prefetch.
@@ -159,30 +175,57 @@ class Cache:
         "Consumed" means the line was prefetched and this is the first
         demand touch — the definition of a useful prefetch.
         """
-        set_idx = self.set_index(line)
-        idx = set_idx * self.assoc + way
-        self.policy.on_hit(set_idx, way)
+        set_idx = line % self.n_sets
+        self._policy_on_hit(set_idx, way)
         self.stats.demand_hits += 1
+        slot = self._slots[set_idx * self.assoc + way]
         if is_write:
-            self._dirty[idx] = True
-        if self._prefetched[idx] and not self._used[idx]:
-            self._used[idx] = True
+            slot[_DIRTY] = True
+        if slot[_PF] and not slot[_USED]:
+            slot[_USED] = True
             self.stats.useful_prefetches += 1
             return True
         return False
 
+    def demand_lookup(self, line: int, is_write: bool = False):
+        """Fused probe + demand-hit bookkeeping for the hierarchy hot path.
+
+        Returns ``None`` on a miss (after counting it), else the tuple
+        ``(consumed, ready_cycle, trigger_pc, pf_source)`` — everything the
+        demand path reads, gathered in one call instead of five
+        (:meth:`probe`, :meth:`ready_cycle`, :meth:`trigger_pc_of`,
+        :meth:`pf_source_of`, :meth:`on_demand_hit`).
+        """
+        set_idx = line % self.n_sets
+        way = self._map[set_idx].get(line)
+        stats = self.stats
+        if way is None:
+            stats.demand_misses += 1
+            return None
+        self._policy_on_hit(set_idx, way)
+        stats.demand_hits += 1
+        slot = self._slots[set_idx * self.assoc + way]
+        if is_write:
+            slot[_DIRTY] = True
+        consumed = False
+        if slot[_PF] and not slot[_USED]:
+            slot[_USED] = True
+            stats.useful_prefetches += 1
+            consumed = True
+        return consumed, slot[_READY], slot[_TRIGGER], slot[_SRC]
+
     def ready_cycle(self, line: int, way: int) -> float:
-        return self._ready[self.set_index(line) * self.assoc + way]
+        return self._slots[(line % self.n_sets) * self.assoc + way][_READY]
 
     def trigger_pc_of(self, line: int, way: int) -> int:
-        return self._trigger_pc[self.set_index(line) * self.assoc + way]
+        return self._slots[(line % self.n_sets) * self.assoc + way][_TRIGGER]
 
     def pf_source_of(self, line: int, way: int) -> int:
-        return self._pf_source[self.set_index(line) * self.assoc + way]
+        return self._slots[(line % self.n_sets) * self.assoc + way][_SRC]
 
     def was_prefetched(self, line: int, way: int) -> bool:
-        idx = self.set_index(line) * self.assoc + way
-        return self._prefetched[idx] and not self._used[idx]
+        slot = self._slots[(line % self.n_sets) * self.assoc + way]
+        return slot[_PF] and not slot[_USED]
 
     def fill(
         self,
@@ -197,64 +240,163 @@ class Cache:
 
         A fill of a line already resident refreshes its metadata (this
         happens when a prefetch races a demand miss) and evicts nothing.
+        This is the fully-reported variant; the hierarchy's hot paths use
+        :meth:`fill_clean` (L1 demand fills) and :meth:`fill_victim`
+        (L2/L3 fills, bare ``(line, dirty)`` victim info) instead.
         """
         set_idx = line % self.n_sets
         mapping = self._map[set_idx]
+        assoc = self.assoc
+        base = set_idx * assoc
+        slots = self._slots
         existing = mapping.get(line)
         if existing is not None:
-            idx = set_idx * self.assoc + existing
-            self._dirty[idx] = self._dirty[idx] or dirty
+            if dirty:
+                slots[base + existing][_DIRTY] = True
             return None
 
         evicted: Optional[EvictedLine] = None
-        way = self._free_way(set_idx) if len(mapping) < self._data_ways else None
+        way = None
+        data_ways = self._data_ways
+        if len(mapping) < data_ways:
+            for w in range(data_ways):
+                if slots[base + w] is None:
+                    way = w
+                    break
         if way is None:
-            restrict = None if self._data_ways == self.assoc else range(self._data_ways)
-            way = self.policy.victim(set_idx, restrict)
-            idx = set_idx * self.assoc + way
+            restrict = None if data_ways == assoc else range(data_ways)
+            way = self._policy_victim(set_idx, restrict)
+            old = slots[base + way]
+            old_dirty = old[_DIRTY]
+            old_unused_pf = old[_PF] and not old[_USED]
             evicted = EvictedLine(
-                line=self._lines[idx],
-                dirty=self._dirty[idx],
-                prefetched=self._prefetched[idx],
-                used=self._used[idx],
-                trigger_pc=self._trigger_pc[idx],
-                pf_source=self._pf_source[idx],
+                line=old[_LINE],
+                dirty=old_dirty,
+                prefetched=old[_PF],
+                used=old[_USED],
+                trigger_pc=old[_TRIGGER],
+                pf_source=old[_SRC],
             )
-            if evicted.dirty:
-                self.stats.writebacks += 1
-            if evicted.prefetched and not evicted.used:
-                self.stats.useless_evictions += 1
-            del self._map[set_idx][self._lines[idx]]
+            stats = self.stats
+            if old_dirty:
+                stats.writebacks += 1
+            if old_unused_pf:
+                stats.useless_evictions += 1
+            del mapping[old[_LINE]]
 
-        idx = set_idx * self.assoc + way
-        self._valid[idx] = True
-        self._lines[idx] = line
-        self._dirty[idx] = dirty
-        self._prefetched[idx] = prefetched
-        self._used[idx] = False
-        self._ready[idx] = ready_cycle
-        self._trigger_pc[idx] = trigger_pc
-        self._pf_source[idx] = pf_source if prefetched else PF_NONE
-        self._map[set_idx][line] = way
-        self.policy.on_fill(set_idx, way)
+        slots[base + way] = [
+            line, dirty, prefetched, False, ready_cycle, trigger_pc,
+            pf_source if prefetched else PF_NONE,
+        ]
+        mapping[line] = way
+        self._policy_on_fill(set_idx, way)
         if prefetched:
             self.stats.prefetch_fills += 1
         return evicted
 
-    def _free_way(self, set_idx: int) -> Optional[int]:
-        base = set_idx * self.assoc
-        for way in range(self._data_ways):
-            if not self._valid[base + way]:
-                return way
-        return None
+    def fill_clean(self, line: int, ready: float) -> None:
+        """Demand fill of a clean, non-prefetched line; victim discarded.
+
+        The specialized L1 path: every record that misses the L1 ends in
+        one of these, so it drops :meth:`fill`'s generality (prefetch
+        bookkeeping, dirty propagation, EvictedLine construction) while
+        keeping identical placement, eviction statistics, and
+        replacement-policy behaviour.
+        """
+        set_idx = line % self.n_sets
+        mapping = self._map[set_idx]
+        if line in mapping:
+            return
+        assoc = self.assoc
+        base = set_idx * assoc
+        slots = self._slots
+        way = None
+        data_ways = self._data_ways
+        if len(mapping) < data_ways:
+            for w in range(data_ways):
+                if slots[base + w] is None:
+                    way = w
+                    break
+        if way is None:
+            restrict = None if data_ways == assoc else range(data_ways)
+            way = self._policy_victim(set_idx, restrict)
+            old = slots[base + way]
+            if old[_DIRTY]:
+                self.stats.writebacks += 1
+            if old[_PF] and not old[_USED]:
+                self.stats.useless_evictions += 1
+            del mapping[old[_LINE]]
+        slots[base + way] = [line, False, False, False, ready, -1, PF_NONE]
+        mapping[line] = way
+        self._policy_on_fill(set_idx, way)
+
+    def fill_victim(
+        self,
+        line: int,
+        ready_cycle: float = 0.0,
+        prefetched: bool = False,
+        trigger_pc: int = -1,
+        dirty: bool = False,
+        pf_source: int = PF_NONE,
+    ):
+        """:meth:`fill` returning only ``(victim_line, victim_dirty)``.
+
+        The hierarchy's L2-fill/L3-spill path needs exactly those two
+        victim fields, so this variant skips the :class:`EvictedLine`
+        record.  Returns ``None`` when nothing was evicted.  Semantics
+        (placement, statistics, policy updates) are identical to
+        :meth:`fill`.
+        """
+        set_idx = line % self.n_sets
+        mapping = self._map[set_idx]
+        assoc = self.assoc
+        base = set_idx * assoc
+        slots = self._slots
+        existing = mapping.get(line)
+        if existing is not None:
+            if dirty:
+                slots[base + existing][_DIRTY] = True
+            return None
+
+        victim = None
+        way = None
+        data_ways = self._data_ways
+        if len(mapping) < data_ways:
+            for w in range(data_ways):
+                if slots[base + w] is None:
+                    way = w
+                    break
+        if way is None:
+            restrict = None if data_ways == assoc else range(data_ways)
+            way = self._policy_victim(set_idx, restrict)
+            old = slots[base + way]
+            old_line = old[_LINE]
+            old_dirty = old[_DIRTY]
+            stats = self.stats
+            if old_dirty:
+                stats.writebacks += 1
+            if old[_PF] and not old[_USED]:
+                stats.useless_evictions += 1
+            del mapping[old_line]
+            victim = (old_line, old_dirty)
+
+        slots[base + way] = [
+            line, dirty, prefetched, False, ready_cycle, trigger_pc,
+            pf_source if prefetched else PF_NONE,
+        ]
+        mapping[line] = way
+        self._policy_on_fill(set_idx, way)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return victim
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` if resident (used for exclusive-ish L3 behaviour)."""
-        set_idx = self.set_index(line)
+        set_idx = line % self.n_sets
         way = self._map[set_idx].pop(line, None)
         if way is None:
             return False
-        self._valid[set_idx * self.assoc + way] = False
+        self._slots[set_idx * self.assoc + way] = None
         return True
 
     def reset_stats(self) -> None:

@@ -54,6 +54,15 @@ class AccessResult:
 class Hierarchy:
     """L1D + L2 + partitioned L3 + DRAM, with both prefetchers attached."""
 
+    __slots__ = (
+        "config", "l1d", "l2", "l3", "dram", "tlb", "l2_mshr",
+        "l1_prefetcher", "l2_prefetcher", "l2_pf_stats", "l1_pf_stats",
+        "metadata_ways", "demand_accesses", "l2_demand_misses",
+        "_offchip_metadata", "_pf_queue",
+        "_l1_lat_i", "_l1_lat", "_l2_lat", "_l3_lat",
+        "_cross_page_ok", "_null_l1_pf", "_null_l2_pf",
+    )
+
     def __init__(
         self,
         config: SystemConfig,
@@ -79,6 +88,18 @@ class Hierarchy:
         self.metadata_ways = 0
         self.demand_accesses = 0
         self.l2_demand_misses = 0
+        # Hot-path constants, hoisted once: the demand path would otherwise
+        # chase config attribute chains on every record.
+        self._l1_lat_i = c.l1d.hit_latency
+        self._l1_lat = float(c.l1d.hit_latency)
+        self._l2_lat = c.l2.hit_latency
+        self._l3_lat = c.l3.hit_latency
+        self._cross_page_ok = c.l1_pf_cross_page
+        # Exact-type checks: the null prefetchers return [] unconditionally,
+        # so their observe calls (and per-access L2AccessInfo allocation)
+        # are skipped entirely.
+        self._null_l1_pf = type(self.l1_prefetcher) is NullL1Prefetcher
+        self._null_l2_pf = type(self.l2_prefetcher) is NullL2Prefetcher
         # Cached once: whether the L2 prefetcher keeps metadata in DRAM
         # (STMS/Domino) and therefore needs its traffic drained per round.
         self._offchip_metadata = bool(
@@ -114,72 +135,80 @@ class Hierarchy:
         Returns the core-visible latency and prefetch-consumption info.
         Also drives both prefetchers and issues their requests.
         """
+        return AccessResult(
+            *self.demand_access_fast(pc, line, cycle, is_write)
+        )
+
+    def demand_access_fast(
+        self, pc: int, line: int, cycle: float, is_write: bool = False
+    ):
+        """:meth:`demand_access` returning a plain tuple.
+
+        The engine's inner loop uses this to skip the per-record
+        :class:`AccessResult` allocation; the tuple fields are
+        ``(latency, hit_level, consumed_prefetch_pc, late_prefetch)``.
+        """
         self.demand_accesses += 1
-        cfg = self.config
-        self._drain_pf_queue(cycle)
+        if self._pf_queue:
+            self._drain_pf_queue(cycle)
         result = self._lookup_and_fill(pc, line, cycle, is_write)
-        if self.tlb is not None:
-            walk = self.tlb.access(line)
+        tlb = self.tlb
+        if tlb is not None:
+            walk = tlb.access(line)
             if walk:
-                result.latency += walk
+                result = (result[0] + walk,) + result[1:]
 
         # L1 prefetcher observes the demand stream; its requests go through
         # the L2 (training the temporal prefetcher) and fill L1 + L2.
-        l1_reqs = self.l1_prefetcher.observe(pc, line)
-        cross_page_ok = cfg.l1_pf_cross_page
-        for target in l1_reqs:
-            if target == line or target < 0:
-                continue
-            if not cross_page_ok and not same_page(line, target):
-                # Physically-indexed L1 prefetcher: the next page's frame
-                # is unknown, so the request dies at the boundary (§5.7).
-                continue
-            self._issue_l1_prefetch(pc, target, cycle)
+        if not self._null_l1_pf:
+            l1_reqs = self.l1_prefetcher.observe(pc, line)
+            if l1_reqs:
+                cross_page_ok = self._cross_page_ok
+                for target in l1_reqs:
+                    if target == line or target < 0:
+                        continue
+                    if not cross_page_ok and not same_page(line, target):
+                        # Physically-indexed L1 prefetcher: the next page's
+                        # frame is unknown, so the request dies at the
+                        # boundary (§5.7).
+                        continue
+                    self._issue_l1_prefetch(pc, target, cycle)
         return result
 
-    def _lookup_and_fill(
-        self, pc: int, line: int, cycle: float, is_write: bool
-    ) -> AccessResult:
-        cfg = self.config
+    def _lookup_and_fill(self, pc: int, line: int, cycle: float, is_write: bool):
+        """Demand lookup; returns ``(latency, level, consumed_pc, late)``."""
         # --- L1 ---
-        way = self.l1d.probe(line)
-        if way is not None:
-            consumed = self.l1d.on_demand_hit(line, way, is_write)
-            if consumed:
-                self.l1_pf_stats.record_useful(self.l1d.trigger_pc_of(line, way))
-            return AccessResult(cfg.l1d.hit_latency, "l1")
-        self.l1d.stats.demand_misses += 1
+        hit = self.l1d.demand_lookup(line, is_write)
+        if hit is not None:
+            if hit[0]:  # consumed a prefetched line
+                self.l1_pf_stats.record_useful(hit[2])
+            return (self._l1_lat_i, "l1", -1, False)
 
         # --- L2 (temporal prefetcher's training stream) ---
-        latency = float(cfg.l1d.hit_latency)
-        way = self.l2.probe(line)
-        if way is not None:
+        l2_lat = self._l2_lat
+        latency = self._l1_lat + l2_lat
+        hit = self.l2.demand_lookup(line, is_write)
+        if hit is not None:
+            consumed, ready, trigger, pf_source = hit
             consumed_pc = -1
             late = False
-            ready = self.l2.ready_cycle(line, way)
-            trigger = self.l2.trigger_pc_of(line, way)
-            was_pf = self.l2.was_prefetched(line, way)
-            pf_source = self.l2.pf_source_of(line, way)
-            consumed = self.l2.on_demand_hit(line, way, is_write)
-            latency += cfg.l2.hit_latency
-            if ready > cycle + cfg.l2.hit_latency:
+            if ready > cycle + l2_lat:
                 # In-flight prefetch: pay the residual fill latency.
                 latency = max(latency, ready - cycle)
                 late = True
-            if consumed and was_pf:
+            if consumed:
                 consumed_pc = trigger
                 if pf_source == PF_L2:
                     self.l2_pf_stats.record_useful(trigger)
                     self.l2_prefetcher.note_useful(trigger, line)
                 elif pf_source == PF_L1:
                     self.l1_pf_stats.record_useful(trigger)
-            self._fill_l1(line, cycle + latency)
-            self._observe_l2(pc, line, cycle, l2_hit=True)
-            return AccessResult(latency, "l2", consumed_pc, late)
+            self.l1d.fill_clean(line, cycle + latency)
+            if not self._null_l2_pf:
+                self._observe_l2(pc, line, cycle, l2_hit=True)
+            return (latency, "l2", consumed_pc, late)
 
-        self.l2.stats.demand_misses += 1
         self.l2_demand_misses += 1
-        latency += cfg.l2.hit_latency
 
         # Merge with an in-flight miss/prefetch to the same line.  Merging
         # with a prefetch marks it useful (late prefetch: the PMU's
@@ -197,30 +226,30 @@ class Hierarchy:
                 elif pending.pf_source == PF_L1:
                     self.l1_pf_stats.record_useful(pending.trigger_pc)
             self._fill_l2_and_l1(line, cycle + latency)
-            self._observe_l2(pc, line, cycle, l2_hit=False)
-            return AccessResult(latency, "l3", consumed_pc, late_prefetch=True)
+            if not self._null_l2_pf:
+                self._observe_l2(pc, line, cycle, l2_hit=False)
+            return (latency, "l3", consumed_pc, True)
 
         # --- L3 ---
-        way = self.l3.probe(line)
-        if way is not None:
-            self.l3.on_demand_hit(line, way, is_write)
-            latency += cfg.l3.hit_latency
+        hit = self.l3.demand_lookup(line, is_write)
+        if hit is not None:
+            latency += self._l3_lat
             hit_level = "l3"
         else:
-            self.l3.stats.demand_misses += 1
-            latency += cfg.l3.hit_latency  # tag check before going to DRAM
+            latency += self._l3_lat  # tag check before going to DRAM
             latency += self.dram.read(cycle, is_prefetch=False)
             hit_level = "dram"
         self.l2_mshr.allocate(line, cycle + latency, cycle)  # demand fill
-        self._fill_l2_and_l1(line, cycle + latency, dirty=is_write)
-        self._observe_l2(pc, line, cycle, l2_hit=False)
-        return AccessResult(latency, hit_level)
+        self._fill_l2_and_l1(line, cycle + latency, is_write)
+        if not self._null_l2_pf:
+            self._observe_l2(pc, line, cycle, l2_hit=False)
+        return (latency, hit_level, -1, False)
 
     # ------------------------------------------------------------------
     # fills and evictions
     # ------------------------------------------------------------------
     def _fill_l1(self, line: int, ready: float) -> None:
-        self.l1d.fill(line, ready)
+        self.l1d.fill_clean(line, ready)
 
     def _fill_l2_and_l1(
         self,
@@ -231,21 +260,17 @@ class Hierarchy:
         trigger_pc: int = -1,
         pf_source: int = PF_NONE,
     ) -> None:
-        evicted = self.l2.fill(
-            line,
-            ready,
-            prefetched=prefetched,
-            trigger_pc=trigger_pc,
-            dirty=dirty,
-            pf_source=pf_source,
+        # fill_victim: only the victim's (line, dirty) pair matters here.
+        victim = self.l2.fill_victim(
+            line, ready, prefetched, trigger_pc, dirty, pf_source
         )
-        if evicted is not None:
+        if victim is not None:
             # Mostly-exclusive LLC: L2 victims spill into the L3 data ways.
-            l3_evicted = self.l3.fill(evicted.line, ready, dirty=evicted.dirty)
-            if l3_evicted is not None and l3_evicted.dirty:
+            spilled = self.l3.fill_victim(victim[0], ready, False, -1, victim[1])
+            if spilled is not None and spilled[1]:
                 self.dram.write(ready)
         if not prefetched:
-            self._fill_l1(line, ready)
+            self.l1d.fill_clean(line, ready)
 
     def _observe_l2(
         self, pc: int, line: int, cycle: float, l2_hit: bool, from_l1_pf: bool = False
@@ -274,77 +299,92 @@ class Hierarchy:
     def issue_l2_prefetches(self, reqs: List[PrefetchRequest], cycle: float) -> int:
         """Issue temporal-prefetcher requests into the L2; returns #issued."""
         issued = 0
+        mshr = self.l2_mshr
+        mshr_is_full = mshr.is_full
+        mshr_lookup = mshr.lookup
+        queue_append = self._pf_queue.append
+        l2 = self.l2
+        l2_map = l2._map
+        l2_n_sets = l2.n_sets
         for req in reqs:
-            if self.l2_mshr.is_full(cycle):
-                self._pf_queue.append(req)
+            if mshr_is_full(cycle):
+                queue_append(req)
                 continue
-            issued += self._issue_one_l2_prefetch(req, cycle)
+            # Cheap rejects inlined: most requests die on one of these
+            # (already resident or already in flight) without paying the
+            # full issue-path call.
+            line = req.line
+            if line < 0 or l2_map[line % l2_n_sets].get(line) is not None:
+                continue
+            if mshr_lookup(line, cycle) is not None:
+                continue
+            self._issue_l2_fill(req, cycle)
+            issued += 1
         return issued
 
     def _issue_one_l2_prefetch(self, req: PrefetchRequest, cycle: float) -> int:
         """Issue a single L2 prefetch; returns 1 if it went out, else 0."""
-        cfg = self.config
         line = req.line
-        if line < 0 or self.l2.contains(line):
+        l2 = self.l2
+        if line < 0 or l2._map[line % l2.n_sets].get(line) is not None:
             return 0
-        if self.l2_mshr.lookup(line, cycle) is not None:
+        mshr = self.l2_mshr
+        if mshr.lookup(line, cycle) is not None:
             return 0
-        way = self.l3.probe(line)
+        self._issue_l2_fill(req, cycle)
+        return 1
+
+    def _issue_l2_fill(self, req: PrefetchRequest, cycle: float) -> None:
+        """The issue path proper; caller has already done the reject checks."""
+        line = req.line
+        mshr = self.l2_mshr
+        l3 = self.l3
+        way = l3._map[line % l3.n_sets].get(line)
         if way is not None:
-            self.l3.on_demand_hit(line, way)
-            ready = cycle + cfg.l3.hit_latency
+            l3.on_demand_hit(line, way)
+            ready = cycle + self._l3_lat
         else:
-            ready = cycle + cfg.l3.hit_latency + self.dram.read(
+            ready = cycle + self._l3_lat + self.dram.read(
                 cycle, is_prefetch=True
             )
-        self.l2_mshr.allocate(
-            line,
-            ready,
-            cycle,
-            is_prefetch=True,
-            trigger_pc=req.trigger_pc,
-            pf_source=PF_L2,
-        )
-        self._fill_l2_and_l1(
-            line, ready, prefetched=True, trigger_pc=req.trigger_pc,
-            pf_source=PF_L2,
-        )
-        self.l2_pf_stats.record_issue(req.trigger_pc)
-        self.l2_prefetcher.note_issued(req.trigger_pc, line)
-        return 1
+        trigger_pc = req.trigger_pc
+        mshr.allocate(line, ready, cycle, True, trigger_pc, PF_L2)
+        self._fill_l2_and_l1(line, ready, False, True, trigger_pc, PF_L2)
+        self.l2_pf_stats.record_issue(trigger_pc)
+        self.l2_prefetcher.note_issued(trigger_pc, line)
 
     def _issue_l1_prefetch(self, pc: int, line: int, cycle: float) -> None:
         """L1 prefetch: fills L1; passes through the L2 stream on L2 miss."""
-        cfg = self.config
-        if self.l1d.contains(line):
+        l1d = self.l1d
+        if l1d._map[line % l1d.n_sets].get(line) is not None:
             return
-        way = self.l2.probe(line)
+        l2 = self.l2
+        way = l2._map[line % l2.n_sets].get(line)
         if way is not None:
-            self.l2.on_demand_hit(line, way)
-            ready = cycle + cfg.l2.hit_latency
-            self._observe_l2(pc, line, cycle, l2_hit=True, from_l1_pf=True)
+            l2.on_demand_hit(line, way)
+            ready = cycle + self._l2_lat
+            if not self._null_l2_pf:
+                self._observe_l2(pc, line, cycle, l2_hit=True, from_l1_pf=True)
         else:
-            if self.l2_mshr.is_full(cycle):
+            mshr = self.l2_mshr
+            if mshr.is_full(cycle):
                 return
-            if self.l2_mshr.lookup(line, cycle) is not None:
+            if mshr.lookup(line, cycle) is not None:
                 return
-            way3 = self.l3.probe(line)
+            l3 = self.l3
+            way3 = l3._map[line % l3.n_sets].get(line)
             if way3 is not None:
-                self.l3.on_demand_hit(line, way3)
-                ready = cycle + cfg.l3.hit_latency
+                l3.on_demand_hit(line, way3)
+                ready = cycle + self._l3_lat
             else:
-                ready = cycle + cfg.l3.hit_latency + self.dram.read(
+                ready = cycle + self._l3_lat + self.dram.read(
                     cycle, is_prefetch=True
                 )
-            self.l2_mshr.allocate(
-                line, ready, cycle, is_prefetch=True, trigger_pc=pc,
-                pf_source=PF_L1,
-            )
-            self.l2.fill(
-                line, ready, prefetched=True, trigger_pc=pc, pf_source=PF_L1
-            )
-            self._observe_l2(pc, line, cycle, l2_hit=False, from_l1_pf=True)
-        self.l1d.fill(line, ready, prefetched=True, trigger_pc=pc, pf_source=PF_L1)
+            mshr.allocate(line, ready, cycle, True, pc, PF_L1)
+            l2.fill_victim(line, ready, True, pc, False, PF_L1)
+            if not self._null_l2_pf:
+                self._observe_l2(pc, line, cycle, l2_hit=False, from_l1_pf=True)
+        l1d.fill_victim(line, ready, True, pc, False, PF_L1)
         self.l1_pf_stats.record_issue(pc)
 
     # ------------------------------------------------------------------

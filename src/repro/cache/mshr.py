@@ -37,6 +37,8 @@ class MSHREntry:
 class MSHRFile:
     """Tracks in-flight line fills keyed by line address."""
 
+    __slots__ = ("capacity", "_inflight", "merges", "rejects")
+
     def __init__(self, capacity: int):
         if capacity <= 0:
             raise ValueError("MSHR capacity must be positive")

@@ -124,47 +124,88 @@ class TreePLRUPolicy(ReplacementPolicy):
     *away* from it, and the victim walk follows the bits.  ``rank`` encodes
     the victim-walk order: at each tree level a way on the pointed-to side
     contributes a 0 bit (evict sooner), so the walk's victim has rank 0.
+
+    The direction bits of one set are packed into a single integer (bit
+    ``node`` of the int == the tree's ``bits[node]``), so a touch is two
+    mask operations against precomputed per-way masks and — for the
+    associativities the hierarchy uses — the unrestricted victim walk is a
+    table lookup indexed by the packed state.  Touches and victim walks
+    are the two hottest operations in the whole simulator.
     """
 
     name = "plru"
+
+    #: Build the victim lookup table only up to this associativity
+    #: (2**(assoc-1) states); larger structures walk the tree per call.
+    _TABLE_MAX_ASSOC = 16
 
     def __init__(self, n_sets: int, assoc: int):
         super().__init__(n_sets, assoc)
         if assoc & (assoc - 1):
             raise ValueError("tree PLRU requires power-of-two associativity")
         self._levels = assoc.bit_length() - 1
-        self._bits: List[int] = [0] * (n_sets * max(1, assoc - 1))
+        #: Packed per-set direction bits (all zero == seed initial state).
+        self._state: List[int] = [0] * n_sets
+        # Per-way touch masks: state' = (state & keep[way]) | point[way].
+        keep_masks: List[int] = []
+        point_masks: List[int] = []
+        for way in range(assoc):
+            node = 0
+            span = assoc
+            offset = 0
+            keep = -1  # all bits set
+            point = 0
+            for _ in range(self._levels):
+                half = span // 2
+                go_right = (way - offset) >= half
+                # Point the bit AWAY from the touched half (0=left, 1=right).
+                keep &= ~(1 << node)
+                if not go_right:
+                    point |= 1 << node
+                node = 2 * node + (2 if go_right else 1)
+                if go_right:
+                    offset += half
+                span = half
+            keep_masks.append(keep)
+            point_masks.append(point)
+        self._keep = tuple(keep_masks)
+        self._point = tuple(point_masks)
+        self._victims: Optional[tuple] = None
+        if assoc <= self._TABLE_MAX_ASSOC:
+            self._victims = tuple(
+                self._walk(state) for state in range(1 << max(0, assoc - 1))
+            )
 
-    def _update(self, set_idx: int, way: int) -> None:
-        base = set_idx * (self.assoc - 1)
+    def _walk(self, state: int) -> int:
+        """Follow the direction bits of ``state`` to the victim way."""
         node = 0
         span = self.assoc
         offset = 0
         for _ in range(self._levels):
             half = span // 2
-            go_right = (way - offset) >= half
-            # Point the bit AWAY from the touched half (0 = left, 1 = right).
-            self._bits[base + node] = 0 if go_right else 1
-            node = 2 * node + (2 if go_right else 1)
-            if go_right:
+            if (state >> node) & 1:
+                node = 2 * node + 2
                 offset += half
+            else:
+                node = 2 * node + 1
             span = half
-
-    def on_fill(self, set_idx: int, way: int) -> None:
-        self._update(set_idx, way)
+        return offset
 
     def on_hit(self, set_idx: int, way: int) -> None:
-        self._update(set_idx, way)
+        state = self._state
+        state[set_idx] = (state[set_idx] & self._keep[way]) | self._point[way]
+
+    on_fill = on_hit
 
     def rank(self, set_idx: int, way: int) -> int:
-        base = set_idx * (self.assoc - 1)
+        state = self._state[set_idx]
         node = 0
         span = self.assoc
         offset = 0
         value = 0
         for _ in range(self._levels):
             half = span // 2
-            bit = self._bits[base + node]
+            bit = (state >> node) & 1
             in_right = (way - offset) >= half
             on_victim_side = (bit == 1) == in_right
             value = (value << 1) | (0 if on_victim_side else 1)
@@ -179,21 +220,10 @@ class TreePLRUPolicy(ReplacementPolicy):
     def victim(self, set_idx: int, ways: Optional[Sequence[int]] = None) -> int:
         if ways is not None:
             return super().victim(set_idx, ways)
-        # Unrestricted victim: follow the tree bits directly (hot path).
-        base = set_idx * (self.assoc - 1)
-        bits = self._bits
-        node = 0
-        span = self.assoc
-        offset = 0
-        for _ in range(self._levels):
-            half = span // 2
-            if bits[base + node]:
-                node = 2 * node + 2
-                offset += half
-            else:
-                node = 2 * node + 1
-            span = half
-        return offset
+        victims = self._victims
+        if victims is not None:
+            return victims[self._state[set_idx]]
+        return self._walk(self._state[set_idx])
 
 
 class SRRIPPolicy(ReplacementPolicy):

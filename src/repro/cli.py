@@ -4,7 +4,7 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli fig10 [--records N] [--chart] [--csv]
-    python -m repro.cli all [--records N] [--out DIR]
+    python -m repro.cli all [--records N] [--out DIR] [--jobs N]
     python -m repro.cli trace mcf_inp [--records N]
     python -m repro.cli trace all
 
@@ -13,6 +13,18 @@ Each experiment prints the same rows/series the paper's figure reports and
 renders suite experiments as ASCII bar charts, ``--csv`` as CSV.  The
 ``trace`` command characterizes any catalog workload (reuse distances,
 stride mass, Markov multi-target share) instead of simulating it.
+
+Execution goes through one shared :class:`repro.runner.Runner`:
+
+- ``--jobs N``     fans simulations out over N worker processes;
+- ``--cache-dir D`` / ``--no-cache`` control the on-disk result cache
+  (default ``.repro-cache/``) — a second ``cli all`` run reuses every
+  result of the first, and figures that share runs (10/11/12) never
+  re-simulate each other's work;
+- ``--verbose``    prints per-job progress as the runner executes.
+
+The runner's executed/cache-hit counts are logged after every simulating
+command.
 """
 
 from __future__ import annotations
@@ -22,6 +34,8 @@ import sys
 import time
 from pathlib import Path
 from typing import Callable, Dict, Optional
+
+from .runner import Runner, set_runner
 
 from .experiments import (
     ablation_degree,
@@ -132,6 +146,19 @@ def run_experiment(name: str, records: Optional[int], out_dir: Optional[Path]) -
     return text
 
 
+def make_progress_printer() -> Callable:
+    """Per-job progress lines for --verbose (written to stderr)."""
+
+    def progress(event: str, job, done: int, total: int) -> None:
+        print(
+            f"[runner {done}/{total}] {event:9s} "
+            f"{job.scheme}:{job.label or '-'} @ {job.trace.label}",
+            file=sys.stderr,
+        )
+
+    return progress
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro", description="Regenerate the paper's tables and figures."
@@ -151,8 +178,44 @@ def main(argv=None) -> int:
                         help="render suite experiments as ASCII bar charts")
     parser.add_argument("--csv", action="store_true",
                         help="render suite experiments as CSV")
+    parser.add_argument("--jobs", type=int, default=1,
+                        help="worker processes for simulations (default 1)")
+    parser.add_argument("--no-cache", action="store_true",
+                        help="disable the on-disk result cache")
+    parser.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
+                        help="result cache directory (default .repro-cache)")
+    parser.add_argument("--verbose", action="store_true",
+                        help="print per-job runner progress to stderr")
     args = parser.parse_args(argv)
 
+    runner = Runner(
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        use_cache=not args.no_cache,
+        progress=make_progress_printer() if args.verbose else None,
+    )
+
+    def report_runner_stats() -> None:
+        stats = runner.stats
+        if stats.total == 0:
+            return
+        cache_note = (
+            "cache disabled" if args.no_cache
+            else f"cache hits: {stats.cache_hits} ({args.cache_dir})"
+        )
+        print(
+            f"[runner] jobs={args.jobs}  simulated: {stats.executed}  "
+            f"{cache_note}"
+        )
+
+    set_runner(runner)
+    try:
+        return _dispatch(args, parser, report_runner_stats)
+    finally:
+        set_runner(None)
+
+
+def _dispatch(args, parser, report_runner_stats) -> int:
     if args.experiment == "list":
         for name, (_fn, records, desc) in EXPERIMENTS.items():
             chart = "  [chartable]" if name in CHARTABLE else ""
@@ -172,6 +235,7 @@ def main(argv=None) -> int:
                 f"{name!r} is not chartable; options: {', '.join(CHARTABLE)}"
             )
         print(run_chart(name, args.records, args.csv))
+        report_runner_stats()
         return 0
 
     names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -181,6 +245,7 @@ def main(argv=None) -> int:
     for name in names:
         print(run_experiment(name, args.records, args.out))
         print()
+    report_runner_stats()
     return 0
 
 

@@ -100,16 +100,27 @@ class MultiPathVictimBuffer:
     def lookup(self, line: int, exclude: Optional[int] = None) -> List[int]:
         """Alternate targets for ``line`` (excluding the table's answer)."""
         self.lookups += 1
-        entry = self._set_of(line).get(line)
+        entry = self._sets[line % self.n_sets].get(line)
         if entry is None:
             return []
+        return self._consume(entry, exclude)
+
+    def _consume(self, entry: "_MVBEntry", exclude: Optional[int]) -> List[int]:
+        """Touch a resident entry and return its non-excluded targets.
+
+        Split out of :meth:`lookup` so the prefetcher's chain walk can
+        inline the (overwhelmingly common) miss check and only pay this
+        call on a hit.
+        """
         self._clock += 1
         entry.lru = self._clock
         out: List[int] = []
+        counters = entry.counters
         for i, target in enumerate(entry.targets):
             if target == exclude:
                 continue
-            entry.counters[i] = min(COUNTER_MAX, entry.counters[i] + 1)
+            if counters[i] < COUNTER_MAX:
+                counters[i] += 1
             out.append(target)
         if out:
             self.hits += 1

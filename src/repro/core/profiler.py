@@ -56,6 +56,31 @@ class CounterSet:
     def n_pcs(self) -> int:
         return len(self.accuracy)
 
+    def to_dict(self) -> Dict:
+        """JSON-compatible dict (per-PC keys become strings)."""
+        return {
+            "accuracy": {str(pc): v for pc, v in self.accuracy.items()},
+            "miss_counts": {str(pc): v for pc, v in self.miss_counts.items()},
+            "insert_counts": {str(pc): v for pc, v in self.insert_counts.items()},
+            "peak_entries": self.peak_entries,
+            "loops": self.loops,
+            "source": self.source,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "CounterSet":
+        """Inverse of :meth:`to_dict` (lossless round-trip)."""
+        return cls(
+            accuracy={int(pc): v for pc, v in d.get("accuracy", {}).items()},
+            miss_counts={int(pc): v for pc, v in d.get("miss_counts", {}).items()},
+            insert_counts={
+                int(pc): v for pc, v in d.get("insert_counts", {}).items()
+            },
+            peak_entries=d.get("peak_entries", 0),
+            loops=d.get("loops", 1),
+            source=d.get("source", ""),
+        )
+
 
 def simplified_prefetcher(config: SystemConfig) -> TriagePrefetcher:
     """The profiling configuration of Section 3.2.

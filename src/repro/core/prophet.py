@@ -28,8 +28,8 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
 from ..prefetchers.base import L2AccessInfo, PrefetchRequest
-from ..prefetchers.markov import MetadataTable
-from ..prefetchers.triangel import TriangelPrefetcher
+from ..prefetchers.markov import TAG_MASK, MetadataTable
+from ..prefetchers.triangel import TriangelPrefetcher, _TrainerEntry
 from ..sim.config import SystemConfig
 from .hints import HintBuffer, HintSet
 from .mvb import MultiPathVictimBuffer
@@ -89,6 +89,10 @@ class ProphetPrefetcher(TriangelPrefetcher):
         self.hint_buffer = HintBuffer()
         self.hint_buffer.load(hints.pc_hints, miss_counts)
         self.prophet_enabled = hints.csr.prophet_enabled
+        # Feature switches hoisted out of the per-access observe path.
+        self._feat_insertion = features.insertion
+        self._feat_replacement = features.replacement
+        self._feat_resizing = features.resizing
 
         if features.resizing:
             self.initial_ways = hints.csr.metadata_ways
@@ -108,18 +112,26 @@ class ProphetPrefetcher(TriangelPrefetcher):
             if features.mvb
             else None
         )
+        self._bind_walker()
 
     # ------------------------------------------------------------------
     def observe(self, access: L2AccessInfo) -> List[PrefetchRequest]:
-        if self.initial_ways == 0 and self.features.resizing:
+        if self.initial_ways == 0 and self._feat_resizing:
             return []  # temporal prefetching disabled by Equation 3
         pc, line = access.pc, access.line
         self._access_index += 1
-        entry = self._trainer_entry(pc)
+        # _trainer_entry inlined (one call per trained access).
+        trainer = self._trainer
+        entry = trainer.get(pc)
+        if entry is None:
+            if len(trainer) >= self.trainer_size:
+                trainer.pop(next(iter(trainer)))
+            entry = _TrainerEntry()
+            trainer[pc] = entry
         self._update_confidences(entry, line)
 
-        hint = self.hint_buffer.lookup(pc) if self.prophet_enabled else None
-        if hint is not None and self.features.insertion:
+        hint = self.hint_buffer._entries.get(pc) if self.prophet_enabled else None
+        if hint is not None and self._feat_insertion:
             # Prophet Insertion Policy: the runtime policy is disabled for
             # hinted PCs (Section 3.1).
             allow = hint.insert
@@ -127,7 +139,7 @@ class ProphetPrefetcher(TriangelPrefetcher):
             allow = self.runtime_allow(entry)
 
         if entry.last_line >= 0 and entry.last_line != line and allow:
-            if hint is not None and self.features.replacement:
+            if hint is not None and self._feat_replacement:
                 priority = hint.priority
             else:
                 priority = RUNTIME_PRIORITY
@@ -143,22 +155,68 @@ class ProphetPrefetcher(TriangelPrefetcher):
         requests = self._walk_with_mvb(line, pc)
         return requests
 
-    def _walk_with_mvb(self, line: int, pc: int) -> List[PrefetchRequest]:
-        """Chain walk that also consults the Multi-path Victim Buffer."""
-        requests: List[PrefetchRequest] = []
-        cursor: Optional[int] = line
-        for depth in range(self.degree):
-            target = self.table.lookup(cursor)
-            if self.mvb is not None:
-                for alt in self.mvb.lookup(cursor, exclude=target):
-                    requests.append(
-                        PrefetchRequest(alt, trigger_pc=pc, chain_depth=depth)
-                    )
-            if target is None:
-                break
-            requests.append(PrefetchRequest(target, trigger_pc=pc, chain_depth=depth))
-            cursor = target
-        return requests
+    def _bind_walker(self) -> None:
+        """(Re)build the chain-walk closure over the current table arrays.
+
+        The walk runs once per L2 access and each step is a table probe;
+        closing over the table's internals (instead of chasing attributes
+        per step) is the single hottest-path optimization in the Prophet
+        model.  Must be called again whenever the table is rebuilt —
+        :meth:`on_metadata_resize` does.
+        """
+        mvb = self.mvb
+        table = self.table
+        t_stats = table.stats
+        t_dense_get = table._dense_of.get
+        t_map = table._map
+        t_targets = table._targets
+        t_on_hit = table._policy_on_hit
+        t_n_sets = table.n_sets
+        t_assoc = table.assoc
+        degree = self.degree
+        if mvb is not None:
+            mvb_sets = mvb._sets
+            mvb_n_sets = mvb.n_sets
+            mvb_consume = mvb._consume
+
+        def walk(line: int, pc: int) -> List[PrefetchRequest]:
+            requests: List[PrefetchRequest] = []
+            append = requests.append
+            cursor = line
+            for depth in range(degree):
+                # MetadataTable.lookup inlined (see markov.py for the
+                # reference implementation).
+                t_stats.lookups += 1
+                target = None
+                idx = t_dense_get(cursor)
+                if idx is not None:
+                    set_idx = idx % t_n_sets
+                    way = t_map[set_idx].get((idx // t_n_sets) & TAG_MASK)
+                    if way is not None:
+                        t_stats.hits += 1
+                        t_on_hit(set_idx, way)
+                        target = t_targets[set_idx * t_assoc + way]
+                if mvb is not None:
+                    # MVB miss check inlined (misses dominate); hits take
+                    # the full _consume path.
+                    mvb.lookups += 1
+                    m_entry = mvb_sets[cursor % mvb_n_sets].get(cursor)
+                    if m_entry is not None:
+                        for alt in mvb_consume(m_entry, target):
+                            append(PrefetchRequest(
+                                alt, trigger_pc=pc, chain_depth=depth
+                            ))
+                if target is None:
+                    break
+                append(PrefetchRequest(target, trigger_pc=pc, chain_depth=depth))
+                cursor = target
+            return requests
+
+        self._walk_with_mvb = walk
+
+    def on_metadata_resize(self, capacity_entries: int) -> None:
+        super().on_metadata_resize(capacity_entries)
+        self._bind_walker()
 
     # ------------------------------------------------------------------
     def desired_metadata_ways(self, current_ways: int) -> Optional[int]:

@@ -18,9 +18,8 @@ from __future__ import annotations
 
 from typing import Dict, List, Optional
 
-from ..prefetchers.triage import TriagePrefetcher
+from ..runner import SimJob, TraceRef, get_runner
 from ..sim.config import SystemConfig, default_config
-from ..sim.engine import run_simulation
 from ..sim.results import format_table, geomean
 from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
 
@@ -31,22 +30,40 @@ def sweep(
     n_records: int = 120_000,
     config: Optional[SystemConfig] = None,
     degrees: tuple = DEGREES,
+    runner=None,
 ) -> Dict[int, Dict[str, Dict[str, float]]]:
-    """degree -> workload -> {"speedup": ..., "traffic": ...}."""
+    """degree -> workload -> {"speedup": ..., "traffic": ...}.
+
+    One SimJob per (workload, degree) plus the shared baselines, executed
+    through the runner (parallel across the whole sweep, cached on disk).
+    """
     config = config or default_config()
-    out: Dict[int, Dict[str, Dict[str, float]]] = {d: {} for d in degrees}
-    for app, inp in SPEC_WORKLOADS:
-        trace = make_spec_trace(app, inp, n_records)
-        base = run_simulation(trace, config, None, "baseline")
+    runner = runner or get_runner()
+    traces = [make_spec_trace(app, inp, n_records) for app, inp in SPEC_WORKLOADS]
+    jobs = []
+    slots = []
+    for trace in traces:
+        ref = TraceRef.from_trace(trace)
+        jobs.append(SimJob("baseline", ref, config, label="baseline"))
+        slots.append((trace.label, "baseline"))
         for degree in degrees:
-            pf = TriagePrefetcher(
-                config,
-                degree=degree,
-                replacement="srrip",
-                initial_ways=config.l3.assoc // 2,
-                resize_enabled=False,
+            params = (
+                ("degree", degree),
+                ("replacement", "srrip"),
+                ("initial_ways", config.l3.assoc // 2),
+                ("resize_enabled", False),
             )
-            res = run_simulation(trace, config, pf, f"triage{degree}")
+            jobs.append(SimJob(
+                "triage", ref, config, params=params, label=f"triage{degree}"
+            ))
+            slots.append((trace.label, degree))
+    by_slot = dict(zip(slots, runner.run(jobs)))
+
+    out: Dict[int, Dict[str, Dict[str, float]]] = {d: {} for d in degrees}
+    for trace in traces:
+        base = by_slot[(trace.label, "baseline")]
+        for degree in degrees:
+            res = by_slot[(trace.label, degree)]
             out[degree][trace.label] = {
                 "speedup": res.speedup_over(base),
                 "traffic": res.traffic_over(base),

@@ -37,12 +37,21 @@ def make_stms(trace, config, base):
     return STMSPrefetcher(degree=4)
 
 
+make_stms.runner_scheme = "stms"
+
+
 def make_domino(trace, config, base):
     return DominoPrefetcher(degree=4)
 
 
+make_domino.runner_scheme = "domino"
+
+
 def make_misb(trace, config, base):
     return MISBPrefetcher(degree=4)
+
+
+make_misb.runner_scheme = "misb"
 
 
 SCHEMES = {

@@ -21,9 +21,8 @@ from __future__ import annotations
 
 from typing import Dict, Optional
 
-from ..prefetchers.triage import TriagePrefetcher
+from ..runner import SimJob, TraceRef, get_runner
 from ..sim.config import SystemConfig, default_config
-from ..sim.engine import run_simulation
 from ..sim.results import format_table, geomean
 from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
 
@@ -34,27 +33,46 @@ def sweep(
     n_records: int = 120_000,
     config: Optional[SystemConfig] = None,
     ways: tuple = WAY_CHOICES,
+    runner=None,
 ) -> Dict[str, Dict[int, float]]:
-    """workload -> {ways: speedup-over-no-TP-baseline}."""
+    """workload -> {ways: speedup-over-no-TP-baseline}.
+
+    One SimJob per (workload, table size) plus the shared baselines,
+    executed through the runner.
+    """
     config = config or default_config()
+    runner = runner or get_runner()
+    traces = [make_spec_trace(app, inp, n_records) for app, inp in SPEC_WORKLOADS]
+    jobs = []
+    slots = []
+    for trace in traces:
+        ref = TraceRef.from_trace(trace)
+        jobs.append(SimJob("baseline", ref, config, label="baseline"))
+        slots.append((trace.label, "baseline"))
+        for n_ways in ways:
+            if n_ways == 0:
+                continue  # no table at all == the baseline
+            params = (
+                ("degree", 4),
+                ("replacement", "srrip"),
+                ("initial_ways", n_ways),
+                ("resize_enabled", False),
+            )
+            jobs.append(SimJob(
+                "triage", ref, config, params=params, label=f"ways{n_ways}"
+            ))
+            slots.append((trace.label, n_ways))
+    by_slot = dict(zip(slots, runner.run(jobs)))
+
     out: Dict[str, Dict[int, float]] = {}
-    for app, inp in SPEC_WORKLOADS:
-        trace = make_spec_trace(app, inp, n_records)
-        base = run_simulation(trace, config, None, "baseline")
+    for trace in traces:
+        base = by_slot[(trace.label, "baseline")]
         row: Dict[int, float] = {}
         for n_ways in ways:
             if n_ways == 0:
-                row[0] = 1.0  # no table at all == the baseline
-                continue
-            pf = TriagePrefetcher(
-                config,
-                degree=4,
-                replacement="srrip",
-                initial_ways=n_ways,
-                resize_enabled=False,
-            )
-            res = run_simulation(trace, config, pf, f"ways{n_ways}")
-            row[n_ways] = res.speedup_over(base)
+                row[0] = 1.0
+            else:
+                row[n_ways] = by_slot[(trace.label, n_ways)].speedup_over(base)
         out[trace.label] = row
     return out
 

@@ -8,11 +8,18 @@ collect :class:`repro.sim.results.SimResult` per (workload, scheme).
 Schemes are small factories so each workload gets a fresh prefetcher and
 Prophet gets its own profiling pass (its hints are workload-specific, like
 the recompiled binaries in the paper).
+
+Execution is routed through :mod:`repro.runner`: factories tagged with a
+``runner_scheme`` attribute become :class:`~repro.runner.jobs.SimJob`
+specs (parallelizable across a process pool and cached on disk by
+content hash); untagged custom factories — tests and ad-hoc studies pass
+those — fall back to the historical inline path, fed with the
+runner-computed baselines.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import asdict, dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.analysis import AnalysisParams
@@ -26,6 +33,8 @@ from ..prefetchers.rpg2 import (
 )
 from ..prefetchers.triage import TriagePrefetcher
 from ..prefetchers.triangel import TriangelPrefetcher
+from ..runner import SimJob, TraceRef, get_runner
+from ..runner.runner import Runner
 from ..sim.config import SystemConfig, default_config
 from ..sim.engine import run_simulation
 from ..sim.results import SimResult, format_table, geomean
@@ -33,6 +42,9 @@ from ..workloads.base import Trace
 
 #: Fraction of the trace used for RPG2's online distance tuning runs.
 RPG2_TUNE_FRACTION = 0.3
+
+#: Version stamp written into persisted SuiteResults files.
+SUITE_SCHEMA_VERSION = 1
 
 
 @dataclass
@@ -45,6 +57,7 @@ class SuiteResults:
     def to_dict(self) -> Dict:
         """JSON-compatible dict for persisting a whole experiment run."""
         return {
+            "schema_version": SUITE_SCHEMA_VERSION,
             "schemes": list(self.schemes),
             "by_workload": {
                 label: {s: r.to_dict() for s, r in per_scheme.items()}
@@ -54,6 +67,12 @@ class SuiteResults:
 
     @classmethod
     def from_dict(cls, d: Dict) -> "SuiteResults":
+        version = d.get("schema_version", SUITE_SCHEMA_VERSION)
+        if version > SUITE_SCHEMA_VERSION:
+            raise ValueError(
+                f"SuiteResults schema version {version} is newer than "
+                f"supported ({SUITE_SCHEMA_VERSION})"
+            )
         return cls(
             schemes=list(d["schemes"]),
             by_workload={
@@ -127,6 +146,21 @@ def make_triangel(trace: Trace, config: SystemConfig, base: SimResult):
     return TriangelPrefetcher(config)
 
 
+#: Runner dispatch tag: evaluate_suite turns calls to this factory into a
+#: SimJob for the named executor (see repro.runner.schemes).
+make_triangel.runner_scheme = "triangel"
+
+
+def triage4_params(config: SystemConfig) -> tuple:
+    """SimJob params reproducing :func:`make_triage4` exactly."""
+    return (
+        ("degree", 4),
+        ("replacement", "srrip"),
+        ("initial_ways", config.l3.assoc // 2),
+        ("resize_enabled", False),
+    )
+
+
 def make_triage4(trace: Trace, config: SystemConfig, base: SimResult):
     """Fig. 19's "Triage4 + Triangel Meta" base configuration."""
     return TriagePrefetcher(
@@ -156,6 +190,9 @@ def make_rpg2(trace: Trace, config: SystemConfig, base: SimResult):
     return RPG2Prefetcher(kernels).with_distance(best)
 
 
+make_rpg2.runner_scheme = "rpg2"
+
+
 def make_prophet(
     features: ProphetFeatures = ProphetFeatures(),
     params: AnalysisParams = AnalysisParams(),
@@ -166,6 +203,11 @@ def make_prophet(
         binary = OptimizedBinary.from_profile(trace, config, params)
         return binary.prefetcher(config, features)
 
+    factory.runner_scheme = "prophet"
+    factory.runner_params = (
+        ("features", asdict(features)),
+        ("params", asdict(params)),
+    )
     return factory
 
 
@@ -195,21 +237,78 @@ def spec_comparison(
     return _SPEC_MEMO[memo_key]
 
 
+def suite_jobs(
+    traces: Sequence[Trace],
+    config: SystemConfig,
+    schemes: Dict[str, SchemeFactory],
+    warmup_frac: float = 0.25,
+):
+    """Build the SimJob list for a suite evaluation.
+
+    Returns ``(jobs, slots, custom)``: jobs with aligned
+    ``(workload_label, scheme_name)`` slots, plus the custom (untagged)
+    factories that must run inline after the baselines exist.
+    """
+    jobs: List[SimJob] = []
+    slots: List[tuple] = []
+    custom: List[tuple] = []
+    for trace in traces:
+        ref = TraceRef.from_trace(trace)
+        base_job = SimJob(
+            "baseline", ref, config, warmup_frac, label="baseline"
+        )
+        jobs.append(base_job)
+        slots.append((trace.label, "baseline"))
+        for name, factory in schemes.items():
+            scheme = getattr(factory, "runner_scheme", None)
+            if scheme is None:
+                custom.append((trace, name, factory))
+                continue
+            params = tuple(getattr(factory, "runner_params", ()))
+            deps: Dict[str, SimJob] = {}
+            if scheme == "rpg2":
+                deps["base"] = base_job
+            elif scheme == "prophet":
+                # Two-stage pipeline: the profiling pass is its own job, so
+                # it parallelizes (and caches) independently of the
+                # simulate stage.
+                deps["profile"] = SimJob("profile", ref, config)
+            jobs.append(
+                SimJob(scheme, ref, config, warmup_frac, params, deps, name)
+            )
+            slots.append((trace.label, name))
+    return jobs, slots, custom
+
+
 def evaluate_suite(
     traces: Sequence[Trace],
     config: Optional[SystemConfig] = None,
     schemes: Optional[Dict[str, SchemeFactory]] = None,
     warmup_frac: float = 0.25,
+    runner: Optional[Runner] = None,
 ) -> SuiteResults:
-    """Run every scheme (plus the baseline) on every workload."""
+    """Run every scheme (plus the baseline) on every workload.
+
+    Work is expressed as SimJobs and executed by ``runner`` (default: the
+    process-wide runner from :func:`repro.runner.get_runner`), which
+    parallelizes across workloads/schemes and reuses cached results.
+    Factories without a ``runner_scheme`` tag run inline, exactly as
+    before, fed with the runner-computed baseline.
+    """
     config = config or default_config()
     schemes = schemes if schemes is not None else DEFAULT_SCHEMES
+    runner = runner or get_runner()
     results = SuiteResults(schemes=list(schemes))
-    for trace in traces:
-        base = run_simulation(trace, config, None, "baseline", warmup_frac)
-        per_scheme: Dict[str, SimResult] = {"baseline": base}
-        for name, factory in schemes.items():
-            pf = factory(trace, config, base)
-            per_scheme[name] = run_simulation(trace, config, pf, name, warmup_frac)
-        results.by_workload[trace.label] = per_scheme
+
+    jobs, slots, custom = suite_jobs(list(traces), config, schemes, warmup_frac)
+    payloads = runner.run(jobs)
+    for (label, name), payload in zip(slots, payloads):
+        results.by_workload.setdefault(label, {})[name] = payload
+
+    for trace, name, factory in custom:
+        base = results.by_workload[trace.label]["baseline"]
+        pf = factory(trace, config, base)
+        results.by_workload[trace.label][name] = run_simulation(
+            trace, config, pf, name, warmup_frac
+        )
     return results

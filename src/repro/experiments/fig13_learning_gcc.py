@@ -20,14 +20,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional
 
-from ..core.pipeline import OptimizedBinary
-from ..core.prophet import ProphetFeatures
+from ..runner import SimJob, TraceRef, get_runner
 from ..sim.config import SystemConfig, default_config
-from ..sim.engine import run_simulation
 from ..sim.results import format_table, geomean
 from ..workloads.base import Trace
 from ..workloads.spec import GCC_INPUTS, make_spec_trace
-from .common import make_triage4
+from .common import triage4_params
 
 LEARN_ORDER = ["166", "expr", "typeck", "expr2"]
 
@@ -63,47 +61,67 @@ def run_learning_study(
     learn_order: List[str],
     n_records: int = 150_000,
     config: Optional[SystemConfig] = None,
+    runner=None,
 ) -> LearningResults:
-    """Shared driver for Fig. 13 (gcc) and Fig. 14 (astar/soplex)."""
+    """Shared driver for Fig. 13 (gcc) and Fig. 14 (astar/soplex).
+
+    The whole study is one SimJob graph: each learn input is profiled
+    exactly once (a shared ``profile`` job), every learning state becomes
+    a ``prophet_learned`` job folding the profile chain through
+    Equation 4/5, and all (state, input) evaluations fan out through the
+    runner — so the figure parallelizes across its ~60 simulations and
+    re-runs hit the result cache.
+    """
     config = config or default_config()
+    runner = runner or get_runner()
     traces: Dict[str, Trace] = {
         inp: make_spec_trace(app, inp, n_records) for inp in inputs
     }
-    baselines = {
-        inp: run_simulation(traces[inp], config, None, "baseline")
-        for inp in inputs
+    refs = {inp: TraceRef.from_trace(traces[inp]) for inp in inputs}
+    profile_jobs = {
+        inp: SimJob("profile", refs[inp], config)
+        for inp in set(inputs) | set(learn_order)
     }
 
     states = ["Disable"] + [f"+{inp}" for inp in learn_order] + ["Direct"]
     results = LearningResults(app=app, inputs=inputs, states=states)
 
-    def evaluate(state: str, binary: Optional[OptimizedBinary]) -> None:
-        per_input: Dict[str, float] = {}
-        for inp in inputs:
-            if binary is None:
-                pf = make_triage4(traces[inp], config, baselines[inp])
-            else:
-                pf = binary.prefetcher(config, ProphetFeatures())
-            res = run_simulation(traces[inp], config, pf, state)
-            per_input[inp] = res.speedup_over(baselines[inp])
-        results.speedup[state] = per_input
-
-    evaluate("Disable", None)
-    binary = OptimizedBinary.from_profile(traces[learn_order[0]], config)
-    evaluate(f"+{learn_order[0]}", binary)
-    for inp in learn_order[1:]:
-        binary = binary.learn(traces[inp], config)
-        evaluate(f"+{inp}", binary)
-
-    # Direct: the per-input ideal is profiled on the measured input itself.
-    direct: Dict[str, float] = {}
+    jobs: List[SimJob] = []
+    slots: List[tuple] = []
     for inp in inputs:
-        own = OptimizedBinary.from_profile(traces[inp], config)
-        res = run_simulation(
-            traces[inp], config, own.prefetcher(config), "Direct"
-        )
-        direct[inp] = res.speedup_over(baselines[inp])
-    results.speedup["Direct"] = direct
+        jobs.append(SimJob("baseline", refs[inp], config, label="baseline"))
+        slots.append(("baseline", inp))
+    t4 = triage4_params(config)
+    for inp in inputs:
+        jobs.append(SimJob("triage", refs[inp], config, params=t4, label="Disable"))
+        slots.append(("Disable", inp))
+    for k, learned in enumerate(learn_order):
+        state = f"+{learned}"
+        deps = {
+            f"profile_{i}": profile_jobs[learn_order[i]] for i in range(k + 1)
+        }
+        for inp in inputs:
+            jobs.append(SimJob(
+                "prophet_learned", refs[inp], config, deps=dict(deps),
+                label=state,
+            ))
+            slots.append((state, inp))
+    # Direct: the per-input ideal is profiled on the measured input itself.
+    for inp in inputs:
+        jobs.append(SimJob(
+            "prophet", refs[inp], config,
+            deps={"profile": profile_jobs[inp]}, label="Direct",
+        ))
+        slots.append(("Direct", inp))
+
+    payloads = runner.run(jobs)
+    by_slot = dict(zip(slots, payloads))
+    baselines = {inp: by_slot[("baseline", inp)] for inp in inputs}
+    for state in states:
+        results.speedup[state] = {
+            inp: by_slot[(state, inp)].speedup_over(baselines[inp])
+            for inp in inputs
+        }
     return results
 
 

@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from ..sim.config import DRAMConfig, LINE_SIZE
 
 
-@dataclass
+@dataclass(slots=True)
 class DRAMStats:
     reads: int = 0
     writes: int = 0
@@ -51,6 +51,8 @@ class DRAMStats:
 class DRAMModel:
     """Bandwidth-aware DRAM latency and traffic model."""
 
+    __slots__ = ("config", "stats", "_service_cycles", "_busy_until")
+
     def __init__(self, config: DRAMConfig):
         self.config = config
         self.stats = DRAMStats()
@@ -73,13 +75,17 @@ class DRAMModel:
 
     def read(self, cycle: float, is_prefetch: bool = False) -> float:
         """Issue a line read; returns total latency (queue + access)."""
-        self.stats.reads += 1
+        stats = self.stats
+        stats.reads += 1
         if is_prefetch:
-            self.stats.prefetch_reads += 1
+            stats.prefetch_reads += 1
         else:
-            self.stats.demand_reads += 1
-        queue_delay = self._serve(cycle)
-        return self.config.access_latency + queue_delay
+            stats.demand_reads += 1
+        # _serve() inlined: reads are the hot DRAM path.
+        busy = self._busy_until
+        start = cycle if cycle > busy else busy
+        self._busy_until = start + self._service_cycles
+        return self.config.access_latency + (start - cycle)
 
     def write(self, cycle: float) -> None:
         """Issue a writeback; occupies the channel but is not latency

@@ -41,7 +41,7 @@ from ..cache.replacement import make_policy
 TAG_MASK = (1 << METADATA_TAG_BITS) - 1
 
 
-@dataclass
+@dataclass(slots=True)
 class MetadataStats:
     insertions: int = 0
     replacements: int = 0
@@ -71,6 +71,13 @@ class EvictedMeta:
 
 class MetadataTable:
     """Set-associative compressed Markov table."""
+
+    __slots__ = (
+        "assoc", "replacement_name", "prophet_priorities",
+        "_dense_of", "_line_of", "n_sets", "capacity",
+        "_valid", "_tags", "_keys", "_targets", "_priority", "_map",
+        "policy", "_policy_on_hit", "_policy_on_fill", "stats", "_live",
+    )
 
     def __init__(
         self,
@@ -108,6 +115,9 @@ class MetadataTable:
         self._priority: List[int] = [0] * n
         self._map: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
         self.policy = make_policy(self.replacement_name, self.n_sets, self.assoc)
+        # Rebound on every _build/resize; saves an attribute chase per op.
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_fill = self.policy.on_fill
         self.stats = MetadataStats()
         self._live = 0
 
@@ -134,21 +144,31 @@ class MetadataTable:
         Tag aliasing between structural indices can return a stale
         neighbour's target, as in the real compressed format.
         """
-        self.stats.lookups += 1
-        found = self._find(line)
-        if found is None:
+        stats = self.stats
+        stats.lookups += 1
+        # _find() inlined: lookup is called per chain-walk step (hot).
+        idx = self._dense_of.get(line)
+        if idx is None:
             return None
-        set_idx, way = found
-        self.stats.hits += 1
-        self.policy.on_hit(set_idx, way)
+        n_sets = self.n_sets
+        set_idx = idx % n_sets
+        way = self._map[set_idx].get((idx // n_sets) & TAG_MASK)
+        if way is None:
+            return None
+        stats.hits += 1
+        self._policy_on_hit(set_idx, way)
         return self._targets[set_idx * self.assoc + way]
 
     def probe(self, line: int) -> Optional[int]:
         """Lookup without touching replacement state or counters."""
-        found = self._find(line)
-        if found is None:
+        idx = self._dense_of.get(line)
+        if idx is None:
             return None
-        set_idx, way = found
+        n_sets = self.n_sets
+        set_idx = idx % n_sets
+        way = self._map[set_idx].get((idx // n_sets) & TAG_MASK)
+        if way is None:
+            return None
         return self._targets[set_idx * self.assoc + way]
 
     def priority_of(self, line: int) -> Optional[int]:
@@ -167,7 +187,16 @@ class MetadataTable:
         overwrite and returns the old mapping (the Multi-path Victim Buffer
         feeds on these: the address has multiple Markov targets).
         """
-        set_idx, tag = self._index_tag(line)
+        # _index_tag()/_dense() inlined: insert runs once per trained access.
+        dense_of = self._dense_of
+        idx = dense_of.get(line)
+        if idx is None:
+            idx = len(self._line_of)
+            dense_of[line] = idx
+            self._line_of.append(line)
+        n_sets = self.n_sets
+        set_idx = idx % n_sets
+        tag = (idx // n_sets) & TAG_MASK
         base = set_idx * self.assoc
         way = self._map[set_idx].get(tag)
         if way is not None:
@@ -176,7 +205,7 @@ class MetadataTable:
             old_priority = self._priority[idx]
             self._targets[idx] = target
             self._priority[idx] = priority
-            self.policy.on_hit(set_idx, way)
+            self._policy_on_hit(set_idx, way)
             if old_target != target:
                 self.stats.overwrites += 1
                 return EvictedMeta(line, old_target, old_priority)
@@ -205,7 +234,7 @@ class MetadataTable:
         self._targets[idx] = target
         self._priority[idx] = priority
         self._map[set_idx][tag] = free_way
-        self.policy.on_fill(set_idx, free_way)
+        self._policy_on_fill(set_idx, free_way)
         self.stats.insertions += 1
         self._live += 1
         if self._live > self.stats.peak_allocated:

@@ -28,8 +28,9 @@ class StridePrefetcher(L1Prefetcher):
             raise ValueError("degree must be >= 1")
         self.degree = degree
         self.table_size = table_size
-        # pc -> (last_line, stride, confidence)
-        self._table: Dict[int, Tuple[int, int, int]] = {}
+        # pc -> [last_line, stride, confidence]; mutable records so the
+        # per-access update is in-place instead of a tuple rebuild.
+        self._table: Dict[int, List[int]] = {}
 
     def observe(self, pc: int, line: int) -> List[int]:
         entry = self._table.get(pc)
@@ -37,18 +38,22 @@ class StridePrefetcher(L1Prefetcher):
             if len(self._table) >= self.table_size:
                 # Simple FIFO-ish eviction of an arbitrary old entry.
                 self._table.pop(next(iter(self._table)))
-            self._table[pc] = (line, 0, 0)
+            self._table[pc] = [line, 0, 0]
             return []
 
-        last_line, stride, conf = entry
-        new_stride = line - last_line
+        stride = entry[1]
+        conf = entry[2]
+        new_stride = line - entry[0]
         if new_stride == stride and stride != 0:
-            conf = min(3, conf + 1)
+            if conf < 3:
+                conf += 1
         else:
-            conf = max(0, conf - 1)
+            conf = conf - 1 if conf > 0 else 0
             if conf == 0:
                 stride = new_stride
-        self._table[pc] = (line, stride, conf)
+        entry[0] = line
+        entry[1] = stride
+        entry[2] = conf
 
         if conf >= 2 and stride != 0:
             return [line + stride * (i + 1) for i in range(self.degree)]

@@ -120,7 +120,20 @@ class TriangelPrefetcher(L2Prefetcher):
                 else:
                     entry.pattern_conf = max(0, entry.pattern_conf - 1)
         # --- ReuseConf: does the PC's reuse distance fit the table? ---
-        self._update_reuse_conf(entry, line)
+        # (_update_reuse_conf inlined: this runs once per trained access.)
+        sampler = self._sampler
+        seen_at = sampler.get(line)
+        access_index = self._access_index
+        if seen_at is not None:
+            if access_index - seen_at <= self.table.capacity:
+                entry.reuse_conf = min(REUSE_CONF_MAX, entry.reuse_conf + 1)
+            else:
+                entry.reuse_conf = max(0, entry.reuse_conf - 1)
+            sampler[line] = access_index
+        elif access_index % self.sample_interval == 0:
+            if len(sampler) >= self.sampler_size:
+                sampler.pop(next(iter(sampler)))
+            sampler[line] = access_index
 
     #: One in this many blocked insertions proceeds anyway, so PatternConf
     #: can relearn a pattern after collapsing to zero (Triangel's sampling).
@@ -171,20 +184,6 @@ class TriangelPrefetcher(L2Prefetcher):
 
     def note_issued(self, pc: int, line: int) -> None:
         self._window_issued += 1
-
-    def _update_reuse_conf(self, entry: _TrainerEntry, line: int) -> None:
-        seen_at = self._sampler.get(line)
-        if seen_at is not None:
-            distance = self._access_index - seen_at
-            if distance <= self.table.capacity:
-                entry.reuse_conf = min(REUSE_CONF_MAX, entry.reuse_conf + 1)
-            else:
-                entry.reuse_conf = max(0, entry.reuse_conf - 1)
-            self._sampler[line] = self._access_index
-        elif self._access_index % self.sample_interval == 0:
-            if len(self._sampler) >= self.sampler_size:
-                self._sampler.pop(next(iter(self._sampler)))
-            self._sampler[line] = self._access_index
 
     def note_useful(self, pc: int, line: int) -> None:
         self._window_useful += 1

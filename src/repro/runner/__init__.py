@@ -1,0 +1,38 @@
+"""Parallel experiment runner: job specs, scheme executors, result cache.
+
+The experiment stack runs every (workload, scheme) pair as a
+:class:`~repro.runner.jobs.SimJob` — a self-contained, content-addressed
+description of one simulation (or profiling pass).  A
+:class:`~repro.runner.runner.Runner` executes job graphs with a process
+pool, deterministic result ordering, progress callbacks, and an on-disk
+JSON result cache keyed by each job's hash, so repeated figure runs and
+``cli all`` never re-simulate identical work.
+
+Layers:
+
+- :mod:`repro.runner.jobs`    — ``TraceRef``/``SimJob`` specs + cache keys;
+- :mod:`repro.runner.schemes` — named executors (baseline, triangel,
+  triage, rpg2, stms/domino/misb, profile, prophet, prophet_learned);
+- :mod:`repro.runner.runner`  — the pool runner and ``ResultCache``;
+- :mod:`repro.runner.context` — the process-wide active runner that
+  :func:`repro.experiments.common.evaluate_suite` picks up, so the CLI
+  configures parallelism/caching once for every experiment.
+"""
+
+from .context import get_runner, set_runner, use_runner
+from .jobs import ENGINE_VERSION, SimJob, TraceRef, config_from_dict, config_to_dict
+from .runner import ResultCache, Runner, RunnerStats
+
+__all__ = [
+    "ENGINE_VERSION",
+    "ResultCache",
+    "Runner",
+    "RunnerStats",
+    "SimJob",
+    "TraceRef",
+    "config_from_dict",
+    "config_to_dict",
+    "get_runner",
+    "set_runner",
+    "use_runner",
+]

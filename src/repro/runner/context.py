@@ -1,0 +1,43 @@
+"""Process-wide active Runner.
+
+The experiment modules fetch their Runner from here, so one CLI-level
+``Runner`` (configured with ``--jobs`` / ``--cache-dir`` / ``--no-cache``)
+is shared by every figure an invocation touches.  The default runner is
+serial with no cache — library callers and tests see exactly the
+historical inline behavior unless they opt in.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .runner import Runner
+
+_ACTIVE: Optional[Runner] = None
+
+
+def get_runner() -> Runner:
+    """The active runner (a serial, cache-less one if none was set)."""
+    global _ACTIVE
+    if _ACTIVE is None:
+        _ACTIVE = Runner(jobs=1, cache_dir=None, use_cache=False)
+    return _ACTIVE
+
+
+def set_runner(runner: Optional[Runner]) -> None:
+    """Install (or with ``None`` reset) the process-wide runner."""
+    global _ACTIVE
+    _ACTIVE = runner
+
+
+@contextmanager
+def use_runner(runner: Runner) -> Iterator[Runner]:
+    """Temporarily install ``runner`` (restores the previous one)."""
+    global _ACTIVE
+    previous = _ACTIVE
+    _ACTIVE = runner
+    try:
+        yield runner
+    finally:
+        _ACTIVE = previous

@@ -1,0 +1,140 @@
+"""Job specifications: content-addressed descriptions of simulation work.
+
+A :class:`SimJob` fully describes one unit of work — which trace, which
+system configuration, which scheme executor, what warmup — plus the jobs
+it depends on (RPG2 needs the baseline's miss profile, Prophet needs a
+profiling pass).  Jobs hash to a stable :attr:`SimJob.cache_key`, which is
+what makes the on-disk result cache and cross-process deduplication safe:
+two jobs with equal keys are guaranteed to describe identical work.
+
+``ENGINE_VERSION`` is folded into every key; bump it whenever the
+simulation semantics change so stale cached results are never reused.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field
+from typing import Any, Dict, Optional, Tuple
+
+from ..sim.config import CacheConfig, CoreConfig, DRAMConfig, SystemConfig
+from ..workloads.base import Trace
+
+#: Version tag for the simulation semantics; part of every cache key.
+#: Bump on any change that alters SimResult values for the same inputs.
+ENGINE_VERSION = "1"
+
+
+# ----------------------------------------------------------------------
+# config (de)serialization
+# ----------------------------------------------------------------------
+def config_to_dict(config: SystemConfig) -> Dict:
+    """JSON-compatible dict of a :class:`SystemConfig` (stable key order)."""
+    return asdict(config)
+
+
+def config_from_dict(d: Dict) -> SystemConfig:
+    """Inverse of :func:`config_to_dict`."""
+    kwargs = dict(d)
+    kwargs["core"] = CoreConfig(**d["core"])
+    for cache_field in ("l1i", "l1d", "l2", "l3"):
+        kwargs[cache_field] = CacheConfig(**d[cache_field])
+    kwargs["dram"] = DRAMConfig(**d["dram"])
+    return SystemConfig(**kwargs)
+
+
+# ----------------------------------------------------------------------
+# trace references
+# ----------------------------------------------------------------------
+@dataclass
+class TraceRef:
+    """A trace by reference (catalog label) or by value (inline arrays).
+
+    Catalog refs stay tiny (workers regenerate the deterministic persona);
+    inline refs carry the record arrays and are content-hashed, so custom
+    or externally loaded traces cache just as safely.
+    """
+
+    label: str
+    n_records: int
+    payload: Optional[Trace] = None
+    digest: str = ""
+
+    @classmethod
+    def from_catalog(cls, label: str, n_records: int) -> "TraceRef":
+        return cls(label, n_records, None, f"catalog:{label}:{n_records}")
+
+    @classmethod
+    def from_trace(cls, trace: Trace) -> "TraceRef":
+        h = hashlib.sha256()
+        h.update(f"{trace.name}|{trace.input_name}|{trace.mlp}|".encode())
+        for seq in (trace.pcs, trace.lines, trace.gaps):
+            h.update(",".join(map(str, seq)).encode())
+            h.update(b";")
+        return cls(trace.label, len(trace), trace, f"trace:{h.hexdigest()}")
+
+    def resolve(self) -> Trace:
+        """Materialize the trace (regenerating catalog personas)."""
+        if self.payload is not None:
+            return self.payload
+        from ..workloads.inputs import make_trace
+
+        return make_trace(self.label, self.n_records)
+
+
+# ----------------------------------------------------------------------
+# jobs
+# ----------------------------------------------------------------------
+@dataclass
+class SimJob:
+    """One unit of simulation work, addressable by content hash.
+
+    ``scheme`` names an executor in
+    :data:`repro.runner.schemes.SCHEME_REGISTRY`; ``params`` carries
+    executor-specific knobs as a ``((name, value), ...)`` tuple of
+    JSON-compatible values; ``deps`` maps executor-defined roles (e.g.
+    ``"base"``, ``"profile"``) to the jobs whose payloads the executor
+    receives; ``label`` is recorded as the resulting SimResult's scheme
+    name (it is part of the cache key — results are cached *as labelled*).
+    """
+
+    scheme: str
+    trace: TraceRef
+    config: SystemConfig
+    warmup_frac: float = 0.25
+    params: Tuple[Tuple[str, Any], ...] = ()
+    deps: Dict[str, "SimJob"] = field(default_factory=dict)
+    label: str = ""
+
+    _key: Optional[str] = field(default=None, repr=False, compare=False)
+
+    @property
+    def cache_key(self) -> str:
+        """Stable sha256 over everything that determines the result."""
+        if self._key is None:
+            spec = {
+                "engine": ENGINE_VERSION,
+                "scheme": self.scheme,
+                "trace": self.trace.digest,
+                "config": config_to_dict(self.config),
+                "warmup": repr(self.warmup_frac),
+                "params": list(self.params),
+                "label": self.label,
+                "deps": {
+                    role: dep.cache_key for role, dep in sorted(self.deps.items())
+                },
+            }
+            blob = json.dumps(spec, sort_keys=True).encode()
+            self._key = hashlib.sha256(blob).hexdigest()
+        return self._key
+
+    def param_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    def stripped(self) -> "SimJob":
+        """Copy without deps (their payloads travel separately to workers)."""
+        return SimJob(
+            self.scheme, self.trace, self.config, self.warmup_frac,
+            self.params, {}, self.label,
+        )

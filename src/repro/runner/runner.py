@@ -1,0 +1,220 @@
+"""Job-graph execution: process pool, result cache, progress reporting.
+
+:class:`Runner.run` takes any list of :class:`~repro.runner.jobs.SimJob`
+(dependencies included by reference), deduplicates them by cache key,
+executes them level by level (a job only runs after its dependencies),
+and returns payloads in the order of the input list — results are
+deterministic regardless of worker scheduling.
+
+With ``jobs=1`` (the default) everything runs in-process, matching the
+historical serial path exactly; with ``jobs=N`` each dependency level
+fans out over a ``ProcessPoolExecutor``.  An optional
+:class:`ResultCache` persists every payload as JSON keyed by the job
+hash, so identical work — across figures, commands, and sessions — is
+never simulated twice.  Cached payloads round-trip bit-identically (a
+tier-1 test asserts this).
+"""
+
+from __future__ import annotations
+
+import json
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Sequence, Union
+
+from ..core.profiler import CounterSet
+from ..sim.results import SimResult
+from .jobs import SimJob
+from .schemes import execute_job
+
+#: Payloads a job can produce.
+Payload = Union[SimResult, CounterSet]
+
+#: progress(event, job, done, total); event in {"cache-hit", "start", "done"}.
+ProgressFn = Callable[[str, SimJob, int, int], None]
+
+
+def payload_to_dict(payload: Payload) -> Dict:
+    """Tagged JSON-compatible dict for a job payload."""
+    if isinstance(payload, SimResult):
+        return {"kind": "sim", "data": payload.to_dict()}
+    if isinstance(payload, CounterSet):
+        return {"kind": "counters", "data": payload.to_dict()}
+    raise TypeError(f"unsupported payload type {type(payload)!r}")
+
+
+def payload_from_dict(d: Dict) -> Payload:
+    kind = d.get("kind")
+    if kind == "sim":
+        return SimResult.from_dict(d["data"])
+    if kind == "counters":
+        return CounterSet.from_dict(d["data"])
+    raise ValueError(f"unknown payload kind {kind!r}")
+
+
+class ResultCache:
+    """On-disk JSON store of job payloads, one file per cache key."""
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, key: str) -> Path:
+        return self.root / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Payload]:
+        path = self._path(key)
+        if not path.exists():
+            return None
+        try:
+            return payload_from_dict(json.loads(path.read_text()))
+        except (ValueError, KeyError, json.JSONDecodeError):
+            return None  # corrupt entry: treat as a miss and overwrite
+
+    def put(self, key: str, payload: Payload) -> None:
+        tmp = self._path(key).with_suffix(".tmp")
+        tmp.write_text(json.dumps(payload_to_dict(payload)))
+        tmp.replace(self._path(key))
+
+    def clear(self) -> int:
+        """Delete every cached entry; returns the number removed."""
+        removed = 0
+        for path in self.root.glob("*.json"):
+            path.unlink()
+            removed += 1
+        return removed
+
+
+@dataclass
+class RunnerStats:
+    """Counters for one Runner's lifetime (the CLI reports these)."""
+
+    cache_hits: int = 0
+    executed: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.cache_hits + self.executed
+
+
+class Runner:
+    """Executes SimJob graphs with optional parallelism and caching."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir: Optional[Union[str, Path]] = None,
+        use_cache: bool = True,
+        progress: Optional[ProgressFn] = None,
+    ):
+        self.jobs = max(1, int(jobs))
+        self.cache = (
+            ResultCache(cache_dir) if (use_cache and cache_dir is not None) else None
+        )
+        self.progress = progress
+        self.stats = RunnerStats()
+
+    # ------------------------------------------------------------------
+    def _emit(self, event: str, job: SimJob, done: int, total: int) -> None:
+        if self.progress is not None:
+            self.progress(event, job, done, total)
+
+    def run(self, jobs: Sequence[SimJob]) -> List[Payload]:
+        """Execute ``jobs`` (and their deps); returns payloads in order."""
+        # Deduplicate the transitive closure by cache key.
+        order: Dict[str, SimJob] = {}
+
+        def visit(job: SimJob) -> None:
+            key = job.cache_key
+            if key in order:
+                return
+            for role in sorted(job.deps):
+                visit(job.deps[role])
+            order[key] = job
+
+        for job in jobs:
+            visit(job)
+
+        # Group by dependency depth: level N runs only after level N-1.
+        depth: Dict[str, int] = {}
+
+        def depth_of(job: SimJob) -> int:
+            key = job.cache_key
+            if key not in depth:
+                depth[key] = 1 + max(
+                    (depth_of(dep) for dep in job.deps.values()), default=0
+                )
+            return depth[key]
+
+        for job in order.values():
+            depth_of(job)
+
+        total = len(order)
+        done = 0
+        results: Dict[str, Payload] = {}
+        pool: Optional[ProcessPoolExecutor] = None
+        try:
+            for level in sorted(set(depth.values())):
+                level_jobs = [
+                    j for j in order.values() if depth[j.cache_key] == level
+                ]
+                pending: List[SimJob] = []
+                for job in level_jobs:
+                    key = job.cache_key
+                    cached = self.cache.get(key) if self.cache else None
+                    if cached is not None:
+                        results[key] = cached
+                        self.stats.cache_hits += 1
+                        done += 1
+                        self._emit("cache-hit", job, done, total)
+                    else:
+                        pending.append(job)
+
+                if not pending:
+                    continue
+                if self.jobs == 1 or len(pending) == 1:
+                    for job in pending:
+                        self._emit("start", job, done, total)
+                        payload = execute_job(job, self._dep_payloads(job, results))
+                        done = self._record(job, payload, results, done, total)
+                else:
+                    if pool is None:
+                        pool = ProcessPoolExecutor(max_workers=self.jobs)
+                    futures = []
+                    for job in pending:
+                        self._emit("start", job, done, total)
+                        futures.append((job, pool.submit(
+                            execute_job,
+                            job.stripped(),
+                            self._dep_payloads(job, results),
+                        )))
+                    # Collect in submission order: deterministic results.
+                    for job, future in futures:
+                        done = self._record(job, future.result(), results, done, total)
+        finally:
+            if pool is not None:
+                pool.shutdown()
+
+        return [results[job.cache_key] for job in jobs]
+
+    def _dep_payloads(
+        self, job: SimJob, results: Dict[str, Payload]
+    ) -> Dict[str, Payload]:
+        return {role: results[dep.cache_key] for role, dep in job.deps.items()}
+
+    def _record(
+        self,
+        job: SimJob,
+        payload: Payload,
+        results: Dict[str, Payload],
+        done: int,
+        total: int,
+    ) -> int:
+        results[job.cache_key] = payload
+        self.stats.executed += 1
+        if self.cache is not None:
+            self.cache.put(job.cache_key, payload)
+        done += 1
+        self._emit("done", job, done, total)
+        return done

@@ -1,0 +1,194 @@
+"""Named scheme executors: the worker-side half of the runner.
+
+Each executor is a module-level function (so the process pool can pickle
+it by reference) that reconstructs its prefetcher from a
+:class:`~repro.runner.jobs.SimJob` spec and runs the simulation.  The
+executors mirror the factory functions in
+:mod:`repro.experiments.common` exactly — a scheme run through the runner
+must produce a bit-identical :class:`~repro.sim.results.SimResult` to the
+same scheme run inline.
+
+Dependency roles consumed from ``dep_payloads``:
+
+- ``rpg2``            — ``"base"``: the baseline SimResult (kernel
+  selection needs its per-PC miss profile);
+- ``prophet``         — ``"profile"``: the CounterSet from a ``profile``
+  job (Prophet's two-stage profile → analyze → simulate pipeline);
+- ``prophet_learned`` — ``"profile_0" .. "profile_N"``: CounterSets
+  folded in order through Equation 4/5 (the Fig. 13/14 learning chain).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional
+
+from ..core.analysis import AnalysisParams, analyze
+from ..core.learning import DEFAULT_LOOP_CAP, merge_counters
+from ..core.profiler import CounterSet, profile
+from ..core.prophet import ProphetFeatures, ProphetPrefetcher
+from ..prefetchers.offchip import DominoPrefetcher, MISBPrefetcher, STMSPrefetcher
+from ..prefetchers.rpg2 import (
+    RPG2Prefetcher,
+    binary_search_distance,
+    identify_kernels,
+)
+from ..prefetchers.triage import TriagePrefetcher
+from ..prefetchers.triangel import TriangelPrefetcher
+from ..sim.config import SystemConfig
+from ..sim.engine import run_simulation
+from ..sim.results import SimResult
+from ..workloads.base import Trace
+from .jobs import SimJob
+
+#: Fraction of the trace used for RPG2's online distance tuning runs
+#: (kept in lockstep with repro.experiments.common.RPG2_TUNE_FRACTION).
+RPG2_TUNE_FRACTION = 0.3
+
+Executor = Callable[[SimJob, Trace, SystemConfig, Dict[str, object]], object]
+
+
+def _label(job: SimJob, default: str) -> str:
+    return job.label or default
+
+
+def run_baseline(job, trace, config, deps):
+    return run_simulation(
+        trace, config, None, _label(job, "baseline"), job.warmup_frac
+    )
+
+
+def run_triangel(job, trace, config, deps):
+    return run_simulation(
+        trace, config, TriangelPrefetcher(config), _label(job, "triangel"),
+        job.warmup_frac,
+    )
+
+
+def run_triage(job, trace, config, deps):
+    """Parameterized Triage: degree/replacement/ways/resizing via params."""
+    p = job.param_dict()
+    pf = TriagePrefetcher(
+        config,
+        degree=p.get("degree", 1),
+        replacement=p.get("replacement", "hawkeye"),
+        initial_ways=p.get("initial_ways", 8),
+        resize_enabled=p.get("resize_enabled", True),
+        track_inserts=p.get("track_inserts", False),
+    )
+    return run_simulation(trace, config, pf, _label(job, "triage"), job.warmup_frac)
+
+
+def run_stms(job, trace, config, deps):
+    return run_simulation(
+        trace, config, STMSPrefetcher(degree=4), _label(job, "stms"),
+        job.warmup_frac,
+    )
+
+
+def run_domino(job, trace, config, deps):
+    return run_simulation(
+        trace, config, DominoPrefetcher(degree=4), _label(job, "domino"),
+        job.warmup_frac,
+    )
+
+
+def run_misb(job, trace, config, deps):
+    return run_simulation(
+        trace, config, MISBPrefetcher(degree=4), _label(job, "misb"),
+        job.warmup_frac,
+    )
+
+
+def run_rpg2(job, trace, config, deps):
+    """RPG2 with kernel identification and binary-search distance tuning.
+
+    Mirrors :func:`repro.experiments.common.make_rpg2`: PCs with >= 10 %
+    of the *baseline's* cache misses and a stride-analyzable kernel get a
+    simulated software prefetch, distance tuned by binary search on IPC
+    over a shortened run.
+    """
+    base: SimResult = deps["base"]
+    kernels = identify_kernels(trace.pcs, trace.lines, base.miss_by_pc)
+    if not kernels:
+        pf = RPG2Prefetcher([])
+    else:
+        tune_trace = trace.interval(
+            0, max(2000, int(len(trace) * RPG2_TUNE_FRACTION))
+        )
+
+        def evaluate(distance: int) -> float:
+            tuned = RPG2Prefetcher(kernels).with_distance(distance)
+            return run_simulation(tune_trace, config, tuned, "rpg2-tune").ipc
+
+        best, _ = binary_search_distance(evaluate)
+        pf = RPG2Prefetcher(kernels).with_distance(best)
+    return run_simulation(trace, config, pf, _label(job, "rpg2"), job.warmup_frac)
+
+
+def run_profile(job, trace, config, deps):
+    """Prophet Step 1: counters under the simplified temporal prefetcher.
+
+    Suite builders leave ``warmup_frac`` at the job default (0.25),
+    matching ``OptimizedBinary.from_profile``; it is honoured here
+    because it is part of the job's cache key.
+    """
+    return profile(trace, config, job.warmup_frac)
+
+
+def _prophet_from_counters(
+    counters: CounterSet, config: SystemConfig, p: Dict
+) -> ProphetPrefetcher:
+    features = ProphetFeatures(**p.get("features", {}))
+    params = AnalysisParams(**p.get("params", {}))
+    hints = analyze(counters, config, params)
+    return ProphetPrefetcher(
+        config, hints, features, miss_counts=counters.miss_counts
+    )
+
+
+def run_prophet(job, trace, config, deps):
+    """Prophet Steps 2+: analyze profiled counters, attach hints, simulate."""
+    counters: CounterSet = deps["profile"]
+    pf = _prophet_from_counters(counters, config, job.param_dict())
+    return run_simulation(trace, config, pf, _label(job, "prophet"), job.warmup_frac)
+
+
+def run_prophet_learned(job, trace, config, deps):
+    """Prophet after learning a chain of inputs (Fig. 13/14 states).
+
+    Folds ``profile_0 .. profile_N`` through Equation 4/5 exactly as
+    ``OptimizedBinary.from_profile`` + repeated ``.learn`` calls would,
+    then re-analyzes and simulates on ``trace``.
+    """
+    p = job.param_dict()
+    loop_cap = p.get("loop_cap", DEFAULT_LOOP_CAP)
+    chain = [deps[f"profile_{i}"] for i in range(len(deps))]
+    counters = chain[0]
+    for nxt in chain[1:]:
+        counters = merge_counters(counters, nxt, loop_cap)
+    pf = _prophet_from_counters(counters, config, p)
+    return run_simulation(trace, config, pf, _label(job, "prophet"), job.warmup_frac)
+
+
+SCHEME_REGISTRY: Dict[str, Executor] = {
+    "baseline": run_baseline,
+    "triangel": run_triangel,
+    "triage": run_triage,
+    "stms": run_stms,
+    "domino": run_domino,
+    "misb": run_misb,
+    "rpg2": run_rpg2,
+    "profile": run_profile,
+    "prophet": run_prophet,
+    "prophet_learned": run_prophet_learned,
+}
+
+
+def execute_job(job: SimJob, dep_payloads: Optional[Dict[str, object]] = None):
+    """Worker entry point: resolve the trace and run the executor."""
+    fn = SCHEME_REGISTRY.get(job.scheme)
+    if fn is None:
+        raise ValueError(
+            f"unknown scheme {job.scheme!r}; registry: {sorted(SCHEME_REGISTRY)}"
+        )
+    return fn(job, job.trace.resolve(), job.config, dep_payloads or {})

@@ -17,10 +17,19 @@ Engine responsibilities:
 - **per-PC accounting**: demand L2 misses per PC (RPG2 kernel selection
   and hint-buffer placement) and prefetch issued/useful per PC (Prophet's
   simulated PEBS events).
+
+The hot loop is written for throughput: the warmup and measuring phases
+are separate loops (no per-record phase test), the timing model's
+arithmetic is inlined with its parameters in locals, and per-PC miss
+accounting uses a :class:`collections.defaultdict`.  The seed
+implementation is preserved as :func:`run_simulation_reference`; a tier-1
+test asserts both produce identical :class:`SimResult` fields.
 """
 
 from __future__ import annotations
 
+from collections import defaultdict
+from itertools import islice
 from typing import Dict, Optional
 
 from ..cache.hierarchy import Hierarchy
@@ -45,15 +54,13 @@ def make_l1_prefetcher(config: SystemConfig) -> L1Prefetcher:
     raise ValueError(f"unknown L1 prefetcher kind {kind!r}")
 
 
-def run_simulation(
+def _setup(
     trace: Trace,
     config: SystemConfig,
-    l2_prefetcher: Optional[L2Prefetcher] = None,
-    scheme: str = "baseline",
-    warmup_frac: float = 0.25,
-    resize_window: int = 8192,
-) -> SimResult:
-    """Simulate ``trace`` and return measured metrics (post-warmup)."""
+    l2_prefetcher: Optional[L2Prefetcher],
+    warmup_frac: float,
+) -> Hierarchy:
+    """Build the hierarchy and apply the prefetcher's initial table size."""
     if not 0.0 <= warmup_frac < 1.0:
         raise ValueError("warmup_frac must be in [0, 1)")
     hierarchy = Hierarchy(config, l2_prefetcher, make_l1_prefetcher(config))
@@ -64,7 +71,148 @@ def run_simulation(
     table = getattr(pf, "table", None)
     if table is not None and initial_ways:
         hierarchy.set_metadata_ways(min(initial_ways, config.l3.assoc // 2))
+    return hierarchy
 
+
+def _reset_measurement(hierarchy: Hierarchy) -> None:
+    """Clear all warmup-phase statistics before the measuring phase."""
+    hierarchy.l1d.reset_stats()
+    hierarchy.l2.reset_stats()
+    hierarchy.l3.reset_stats()
+    hierarchy.dram.reset_stats()
+    if hierarchy.tlb is not None:
+        hierarchy.tlb.reset_stats()
+    hierarchy.l2_pf_stats.issued = 0
+    hierarchy.l2_pf_stats.useful = 0
+    hierarchy.l2_pf_stats.issued_by_pc.clear()
+    hierarchy.l2_pf_stats.useful_by_pc.clear()
+
+
+def _collect(
+    trace: Trace,
+    scheme: str,
+    hierarchy: Hierarchy,
+    instructions: int,
+    cycles: float,
+    misses: int,
+    miss_by_pc: Dict[int, int],
+) -> SimResult:
+    """Package the hierarchy's post-warmup counters into a SimResult."""
+    meta = getattr(hierarchy.l2_prefetcher, "table", None)
+    return SimResult(
+        label=trace.label,
+        scheme=scheme,
+        instructions=instructions,
+        cycles=cycles,
+        l2_demand_misses=misses,
+        dram_reads=hierarchy.dram.stats.reads,
+        dram_writes=hierarchy.dram.stats.writes,
+        pf_issued=hierarchy.l2_pf_stats.issued,
+        pf_useful=hierarchy.l2_pf_stats.useful,
+        issued_by_pc=dict(hierarchy.l2_pf_stats.issued_by_pc),
+        useful_by_pc=dict(hierarchy.l2_pf_stats.useful_by_pc),
+        miss_by_pc=dict(miss_by_pc),
+        metadata_insertions=meta.stats.insertions if meta else 0,
+        metadata_replacements=meta.stats.replacements if meta else 0,
+        metadata_peak_entries=meta.stats.peak_allocated if meta else 0,
+        metadata_ways_final=hierarchy.metadata_ways,
+        l1_pf_issued=hierarchy.l1_pf_stats.issued,
+        l1_pf_useful=hierarchy.l1_pf_stats.useful,
+        dram_metadata_traffic=hierarchy.dram.stats.metadata_traffic,
+    )
+
+
+def run_simulation(
+    trace: Trace,
+    config: SystemConfig,
+    l2_prefetcher: Optional[L2Prefetcher] = None,
+    scheme: str = "baseline",
+    warmup_frac: float = 0.25,
+    resize_window: int = 8192,
+) -> SimResult:
+    """Simulate ``trace`` and return measured metrics (post-warmup)."""
+    hierarchy = _setup(trace, config, l2_prefetcher, warmup_frac)
+    pf = hierarchy.l2_prefetcher
+    timing = TimingModel.for_config(config, trace.mlp)
+    n = len(trace)
+    warmup_records = int(n * warmup_frac)
+
+    # Hot-loop locals: every name resolved per record lives in the frame.
+    issue_width = timing.issue_width
+    hide = timing.hide_cycles
+    mlp = timing.mlp
+    demand_access = hierarchy.demand_access_fast
+    desired_metadata_ways = pf.desired_metadata_ways
+    max_meta_ways = config.l3.assoc // 2
+
+    cycle = 0.0
+    resize_left = resize_window
+    stream = zip(trace.pcs, trace.lines, trace.gaps)
+
+    # --- warmup phase: full state changes, no accounting ---------------
+    for pc, line, gap in islice(stream, warmup_records):
+        step = (gap + 1) / issue_width
+        latency = demand_access(pc, line, cycle)[0]
+        if latency > hide:
+            step += (latency - hide) / mlp
+        cycle += step
+        resize_left -= 1
+        if not resize_left:
+            resize_left = resize_window
+            desired = desired_metadata_ways(hierarchy.metadata_ways)
+            if desired is not None and desired != hierarchy.metadata_ways:
+                hierarchy.set_metadata_ways(max(0, min(desired, max_meta_ways)))
+    if warmup_records:
+        _reset_measurement(hierarchy)
+
+    # --- measuring phase ------------------------------------------------
+    measured_cycles = 0.0
+    gap_total = 0
+    measured_misses = 0
+    miss_by_pc: Dict[int, int] = defaultdict(int)
+    for pc, line, gap in stream:
+        step = (gap + 1) / issue_width
+        latency, hit_level, _, _ = demand_access(pc, line, cycle)
+        if latency > hide:
+            step += (latency - hide) / mlp
+        cycle += step
+
+        measured_cycles += step
+        gap_total += gap
+        if hit_level == "l3" or hit_level == "dram":
+            measured_misses += 1
+            miss_by_pc[pc] += 1
+
+        resize_left -= 1
+        if not resize_left:
+            resize_left = resize_window
+            desired = desired_metadata_ways(hierarchy.metadata_ways)
+            if desired is not None and desired != hierarchy.metadata_ways:
+                hierarchy.set_metadata_ways(max(0, min(desired, max_meta_ways)))
+
+    measured_instructions = gap_total + (n - warmup_records)
+    return _collect(
+        trace, scheme, hierarchy, measured_instructions, measured_cycles,
+        measured_misses, miss_by_pc,
+    )
+
+
+def run_simulation_reference(
+    trace: Trace,
+    config: SystemConfig,
+    l2_prefetcher: Optional[L2Prefetcher] = None,
+    scheme: str = "baseline",
+    warmup_frac: float = 0.25,
+    resize_window: int = 8192,
+) -> SimResult:
+    """The seed (pre-optimization) simulation loop, kept as the oracle.
+
+    Tier-1 tests assert :func:`run_simulation` produces an identical
+    :class:`SimResult`; any divergence means the optimized loop changed
+    semantics, not just speed.
+    """
+    hierarchy = _setup(trace, config, l2_prefetcher, warmup_frac)
+    pf = hierarchy.l2_prefetcher
     timing = TimingModel.for_config(config, trace.mlp)
     warmup_records = int(len(trace) * warmup_frac)
 
@@ -79,16 +227,7 @@ def run_simulation(
     for i, (pc, line, gap) in enumerate(trace.records()):
         if not measuring and i >= warmup_records:
             measuring = True
-            hierarchy.l1d.reset_stats()
-            hierarchy.l2.reset_stats()
-            hierarchy.l3.reset_stats()
-            hierarchy.dram.reset_stats()
-            if hierarchy.tlb is not None:
-                hierarchy.tlb.reset_stats()
-            hierarchy.l2_pf_stats.issued = 0
-            hierarchy.l2_pf_stats.useful = 0
-            hierarchy.l2_pf_stats.issued_by_pc.clear()
-            hierarchy.l2_pf_stats.useful_by_pc.clear()
+            _reset_measurement(hierarchy)
 
         step = timing.instruction_cycles(gap)
         result = hierarchy.demand_access(pc, line, cycle)
@@ -109,25 +248,7 @@ def run_simulation(
                 desired = max(0, min(desired, config.l3.assoc // 2))
                 hierarchy.set_metadata_ways(desired)
 
-    meta = getattr(pf, "table", None)
-    return SimResult(
-        label=trace.label,
-        scheme=scheme,
-        instructions=measured_instructions,
-        cycles=measured_cycles,
-        l2_demand_misses=measured_misses,
-        dram_reads=hierarchy.dram.stats.reads,
-        dram_writes=hierarchy.dram.stats.writes,
-        pf_issued=hierarchy.l2_pf_stats.issued,
-        pf_useful=hierarchy.l2_pf_stats.useful,
-        issued_by_pc=dict(hierarchy.l2_pf_stats.issued_by_pc),
-        useful_by_pc=dict(hierarchy.l2_pf_stats.useful_by_pc),
-        miss_by_pc=miss_by_pc,
-        metadata_insertions=meta.stats.insertions if meta else 0,
-        metadata_replacements=meta.stats.replacements if meta else 0,
-        metadata_peak_entries=meta.stats.peak_allocated if meta else 0,
-        metadata_ways_final=hierarchy.metadata_ways,
-        l1_pf_issued=hierarchy.l1_pf_stats.issued,
-        l1_pf_useful=hierarchy.l1_pf_stats.useful,
-        dram_metadata_traffic=hierarchy.dram.stats.metadata_traffic,
+    return _collect(
+        trace, scheme, hierarchy, measured_instructions, measured_cycles,
+        measured_misses, miss_by_pc,
     )

@@ -1,12 +1,20 @@
-"""Trace persistence: compact on-disk format for generated traces.
+"""Trace persistence: on-disk formats for generated and captured traces.
 
 Personas are deterministic, so traces are usually regenerated on demand;
 persisting them matters when (a) a trace is expensive to generate and is
 reused across many experiment configurations, or (b) an externally
 captured trace (e.g. converted from a real PIN/DynamoRIO run) is imported
-into the simulator.  The format is a compressed ``.npz`` holding the
-three record arrays plus the trace's identity fields — lossless and
-platform independent.
+into the simulator.  Two formats are supported:
+
+- the **native** format — a compressed ``.npz`` holding the three record
+  arrays plus the trace's identity fields, lossless and platform
+  independent (:func:`save_trace` / :func:`load_trace`);
+- the **DRAMSim2 k6** text format — one ``<address> <command> <cycle>``
+  line per access (commands ``P_MEM_RD`` / ``P_MEM_WR``), the common
+  interchange format for captured memory traces
+  (:func:`load_k6_trace` / :func:`save_k6_trace`).  k6 traces carry no
+  PCs, so loads synthesize a single PC (configurable), and inter-access
+  cycles map to/from the record ``gap`` field via the issue width.
 """
 
 from __future__ import annotations
@@ -21,6 +29,14 @@ from .base import Trace
 
 #: Format marker written into every trace file (bump on layout changes).
 FORMAT_VERSION = 1
+
+#: Synthetic PC assigned to k6-trace records (the format carries none).
+K6_DEFAULT_PC = 0x400000
+
+#: k6 command mnemonics (DRAMSim2 "k6" trace flavour).
+K6_READ = "P_MEM_RD"
+K6_WRITE = "P_MEM_WR"
+_K6_COMMANDS = {K6_READ, K6_WRITE, "BOFF"}
 
 
 def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
@@ -75,3 +91,92 @@ def load_trace(path: Union[str, Path]) -> Trace:
         gaps=[int(x) for x in gaps],
         mlp=int(meta["mlp"]),
     )
+
+
+# ----------------------------------------------------------------------
+# DRAMSim2 k6 text traces
+# ----------------------------------------------------------------------
+def _parse_k6_int(token: str) -> int:
+    return int(token, 16) if token.lower().startswith("0x") else int(token)
+
+
+def load_k6_trace(
+    path: Union[str, Path],
+    name: str = "",
+    input_name: str = "k6",
+    pc: int = K6_DEFAULT_PC,
+    mlp: int = 4,
+    line_shift: int = 6,
+) -> Trace:
+    """Read a DRAMSim2-style k6 trace: ``<address> <command> <cycle>``.
+
+    Addresses may be hex (``0x10040``) or decimal; commands ``P_MEM_RD``
+    and ``P_MEM_WR`` are accepted (``BOFF`` lines are skipped), and blank
+    lines / ``#`` or ``;`` comments are ignored.  The k6 format has no
+    program counters, so every record gets the synthetic ``pc``; the
+    cycle column becomes the per-record ``gap`` (instructions between
+    consecutive accesses), preserving the trace's pacing through the
+    timing model.  Cycles must be non-decreasing.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    lines: list = []
+    gaps: list = []
+    prev_cycle = None
+    for lineno, raw in enumerate(path.read_text().splitlines(), 1):
+        text = raw.strip()
+        if not text or text.startswith(("#", ";")):
+            continue
+        parts = text.split()
+        if len(parts) != 3:
+            raise ValueError(
+                f"{path}:{lineno}: expected '<address> <command> <cycle>', "
+                f"got {text!r}"
+            )
+        address, command, cycle_s = parts
+        if command not in _K6_COMMANDS:
+            raise ValueError(
+                f"{path}:{lineno}: unknown k6 command {command!r}"
+            )
+        if command == "BOFF":  # bus-off marker: no memory access
+            continue
+        cycle = _parse_k6_int(cycle_s)
+        if prev_cycle is not None and cycle < prev_cycle:
+            raise ValueError(
+                f"{path}:{lineno}: cycle {cycle} goes backwards "
+                f"(previous {prev_cycle})"
+            )
+        gap = cycle if prev_cycle is None else max(0, cycle - prev_cycle - 1)
+        lines.append(_parse_k6_int(address) >> line_shift)
+        gaps.append(gap)
+        prev_cycle = cycle
+    if not lines:
+        raise ValueError(f"{path}: no k6 records found")
+    return Trace(
+        name=name or path.stem,
+        input_name=input_name,
+        pcs=[pc] * len(lines),
+        lines=lines,
+        gaps=gaps,
+        mlp=mlp,
+    )
+
+
+def save_k6_trace(
+    trace: Trace, path: Union[str, Path], line_shift: int = 6
+) -> Path:
+    """Write ``trace`` in k6 format (``<address> <command> <cycle>``).
+
+    The export is lossy by design of the format: PCs are dropped (k6 has
+    no PC column) and every access is emitted as a read.  Line addresses
+    and gaps survive a :func:`load_k6_trace` round-trip exactly.
+    """
+    path = Path(path)
+    out = []
+    cycle = 0
+    for i, (line, gap) in enumerate(zip(trace.lines, trace.gaps)):
+        cycle += gap if i == 0 else gap + 1
+        out.append(f"0x{line << line_shift:x} {K6_READ} {cycle}")
+    path.write_text("\n".join(out) + "\n")
+    return path

@@ -1,0 +1,95 @@
+"""Tests for DRAMSim2-style k6 trace import/export."""
+
+import pytest
+
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.spec import make_spec_trace
+from repro.workloads.tracefile import (
+    K6_DEFAULT_PC,
+    load_k6_trace,
+    save_k6_trace,
+)
+
+
+class TestK6Load:
+    def test_parses_hex_addresses_and_commands(self, tmp_path):
+        path = tmp_path / "k6_sample.trc"
+        path.write_text(
+            "# comment line\n"
+            "0x10000 P_MEM_RD 10\n"
+            "0x10040 P_MEM_RD 20\n"
+            "0x10080 P_MEM_WR 30\n"
+        )
+        trace = load_k6_trace(path)
+        assert trace.lines == [0x10000 >> 6, 0x10040 >> 6, 0x10080 >> 6]
+        assert trace.pcs == [K6_DEFAULT_PC] * 3
+        assert trace.name == "k6_sample"
+        assert trace.input_name == "k6"
+
+    def test_cycle_deltas_become_gaps(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text(
+            "0x40 P_MEM_RD 5\n0x80 P_MEM_RD 6\n0xc0 P_MEM_RD 16\n"
+        )
+        trace = load_k6_trace(path)
+        # First gap is the lead-in; back-to-back cycles give gap 0.
+        assert trace.gaps == [5, 0, 9]
+
+    def test_decimal_addresses(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text("64 P_MEM_RD 1\n128 P_MEM_RD 2\n")
+        trace = load_k6_trace(path)
+        assert trace.lines == [1, 2]
+
+    def test_rejects_malformed_rows(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text("0x40 P_MEM_RD\n")
+        with pytest.raises(ValueError, match="expected"):
+            load_k6_trace(path)
+
+    def test_rejects_unknown_command(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text("0x40 P_MEM_XX 1\n")
+        with pytest.raises(ValueError, match="unknown k6 command"):
+            load_k6_trace(path)
+
+    def test_rejects_backwards_cycles(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text("0x40 P_MEM_RD 10\n0x80 P_MEM_RD 4\n")
+        with pytest.raises(ValueError, match="backwards"):
+            load_k6_trace(path)
+
+    def test_rejects_empty_file(self, tmp_path):
+        path = tmp_path / "t.trc"
+        path.write_text("# nothing\n")
+        with pytest.raises(ValueError, match="no k6 records"):
+            load_k6_trace(path)
+
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_k6_trace(tmp_path / "nope.trc")
+
+
+class TestK6RoundTrip:
+    def test_persona_round_trips_lines_and_gaps(self, tmp_path):
+        trace = make_spec_trace("mcf", None, 4000)
+        path = save_k6_trace(trace, tmp_path / "mcf.trc")
+        back = load_k6_trace(path, name=trace.name)
+        assert back.lines == trace.lines
+        assert back.gaps == trace.gaps
+        assert len(back) == len(trace)
+
+    def test_round_trip_is_stable(self, tmp_path):
+        trace = make_spec_trace("omnetpp", None, 2000)
+        once = load_k6_trace(save_k6_trace(trace, tmp_path / "a.trc"))
+        twice = load_k6_trace(save_k6_trace(once, tmp_path / "b.trc"))
+        assert twice.lines == once.lines
+        assert twice.gaps == once.gaps
+
+    def test_loaded_trace_simulates(self, tmp_path):
+        trace = make_spec_trace("mcf", None, 4000)
+        back = load_k6_trace(save_k6_trace(trace, tmp_path / "m.trc"))
+        result = run_simulation(back, default_config(), None, "baseline")
+        assert result.instructions > 0
+        assert result.cycles > 0
