@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Ablation tour: what each Prophet feature buys (the Fig. 19 walk).
 
-Starting from the Triage4 + Triangel-metadata base, enable Prophet's
-replacement policy, insertion policy, Multi-path Victim Buffer, and
-resizing one at a time on a single workload and watch speedup and DRAM
-traffic move.
+Starting from the Triage4 + Triangel-metadata base, Prophet's replacement
+policy, insertion policy, Multi-path Victim Buffer, and resizing are
+enabled one at a time.  The walk is driven through ``repro.api``: the
+registered ``fig19`` experiment, narrowed to a single workload, returns a
+``BreakdownResults`` whose states are the cumulative feature steps.
 
 Run:  python examples/ablation_tour.py [workload] [n_records]
        e.g. python examples/ablation_tour.py omnetpp 150000
@@ -12,26 +13,27 @@ Run:  python examples/ablation_tour.py [workload] [n_records]
 
 import sys
 
-from repro.core.pipeline import OptimizedBinary
-from repro.experiments.fig19_breakdown import STATES
-from repro.sim.config import default_config
-from repro.sim.engine import run_simulation
-from repro.workloads.spec import make_spec_trace
+import repro.api as api
+from repro.workloads.spec import SPEC_WORKLOADS
+
+
+def canonical_label(app: str) -> str:
+    """Map a bare app name to its Fig. 10 catalog label."""
+    for a, inp in SPEC_WORKLOADS:
+        if app == a:
+            return f"{a}_{inp}"
+    return app
 
 
 def main(app: str = "mcf", n_records: int = 150_000) -> None:
-    config = default_config()
-    trace = make_spec_trace(app, None, n_records)
-    baseline = run_simulation(trace, config, None, "baseline")
-    print(f"workload: {trace.label}   baseline ipc={baseline.ipc:.3f}\n")
-    print(f"{'state':14s} {'speedup':>8s} {'traffic':>8s} {'accuracy':>9s}")
-
-    binary = OptimizedBinary.from_profile(trace, config)
-    for name, features in STATES:
-        pf = binary.prefetcher(config, features)
-        res = run_simulation(trace, config, pf, name)
-        print(f"{name:14s} {res.speedup_over(baseline):8.3f} "
-              f"{res.traffic_over(baseline):8.3f} {res.accuracy:9.3f}")
+    label = canonical_label(app)
+    result = api.run("fig19", records=n_records, workloads=[label])
+    breakdown = result.payload
+    print(f"workload: {label}\n")
+    print(f"{'state':14s} {'speedup':>8s} {'traffic':>8s}")
+    for state in breakdown.speedup:
+        print(f"{state:14s} {breakdown.speedup[state][label]:8.3f} "
+              f"{breakdown.traffic[state][label]:8.3f}")
 
 
 if __name__ == "__main__":

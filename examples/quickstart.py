@@ -1,56 +1,56 @@
 #!/usr/bin/env python3
-"""Quickstart: profile a workload, build an optimized binary, measure.
+"""Quickstart: drive the paper's experiments through ``repro.api``.
 
-This walks the full Prophet workflow from Fig. 5 on one workload:
+The Experiment API is one call: pick a registered experiment, shape the
+scenario (records, workloads, schemes, config overrides), and get a
+structured ``ExperimentResult`` back.  This walks the essentials:
 
-1. build the mcf persona trace (the paper's strongest temporal workload);
-2. run the no-temporal-prefetcher baseline and the Triangel runtime
-   prefetcher for reference;
-3. Step 1+2 — profile under the simplified temporal prefetcher and
-   analyze the counters into hints (an "optimized binary");
-4. run the optimized binary with Prophet and compare.
+1. run the Fig. 10 comparison narrowed to the mcf persona (the paper's
+   strongest temporal workload) and two schemes;
+2. read typed metrics straight off the ``SuiteResults`` payload;
+3. re-render the *same* result as a chart and round-trip it through
+   JSON — no re-simulation;
+4. change the machine with a dotted-path config override — a scenario
+   matrix entry is one line, not a new module.
 
 Run:  python examples/quickstart.py [n_records]
 """
 
 import sys
 
-from repro.core.pipeline import OptimizedBinary
-from repro.prefetchers.triangel import TriangelPrefetcher
-from repro.sim.config import default_config
-from repro.sim.engine import run_simulation
-from repro.workloads.spec import make_spec_trace
+import repro.api as api
+from repro import viz
 
 
-def main(n_records: int = 200_000) -> None:
-    config = default_config()
-    trace = make_spec_trace("mcf", "inp", n_records)
-    print(f"workload: {trace.label}  ({len(trace):,} records, "
-          f"{trace.instructions:,} instructions)")
+def main(n_records: int = 120_000) -> None:
+    result = api.run(
+        "fig10",
+        records=n_records,
+        workloads=["mcf_inp"],
+        schemes=["triangel", "prophet"],
+    )
+    print(result.text())
 
-    baseline = run_simulation(trace, config, None, "baseline")
-    print(f"baseline          ipc={baseline.ipc:.3f}")
+    suite = result.payload  # the typed SuiteResults underneath
+    print(f"\ntriangel speedup on mcf: {suite.speedup('mcf_inp', 'triangel'):.3f}")
+    print(f"prophet  speedup on mcf: {suite.speedup('mcf_inp', 'prophet'):.3f}")
 
-    triangel = run_simulation(trace, config, TriangelPrefetcher(config), "triangel")
-    print(f"triangel          ipc={triangel.ipc:.3f}  "
-          f"speedup={triangel.speedup_over(baseline):.3f}  "
-          f"accuracy={triangel.accuracy:.2f}")
+    print("\nsame result, rendered as a chart:")
+    print(viz.render_result(result, "chart"))
 
-    # Steps 1+2: profile with the simplified TP, analyze into hints.
-    binary = OptimizedBinary.from_profile(trace, config)
-    hints = binary.hints
-    print(f"profiled {binary.counters.n_pcs} PCs; "
-          f"{sum(h.insert for h in hints.pc_hints.values())} keep their "
-          f"insertion bit; CSR allocates {hints.csr.metadata_ways} LLC ways")
+    blob = result.to_json()
+    again = api.ExperimentResult.from_json(blob)
+    print(f"\nJSON round-trip ({len(blob)} bytes): geomean prophet speedup "
+          f"{again.payload.geomean_speedup('prophet'):.3f}")
 
-    prophet = run_simulation(trace, config, binary.prefetcher(config), "prophet")
-    print(f"prophet           ipc={prophet.ipc:.3f}  "
-          f"speedup={prophet.speedup_over(baseline):.3f}  "
-          f"accuracy={prophet.accuracy:.2f}")
-    print(f"prophet vs triangel: "
-          f"{prophet.ipc / triangel.ipc - 1:+.1%} IPC, "
-          f"{prophet.dram_traffic / triangel.dram_traffic - 1:+.1%} DRAM traffic")
+    # One override = one scenario-matrix point: same figure, 4 MB L3.
+    big_l3 = api.run(
+        "fig10", records=n_records, workloads=["mcf_inp"],
+        schemes=["prophet"], overrides={"l3.size_kb": 4096},
+    )
+    print(f"prophet speedup with a 4 MB L3: "
+          f"{big_l3.payload.speedup('mcf_inp', 'prophet'):.3f}")
 
 
 if __name__ == "__main__":
-    main(int(sys.argv[1]) if len(sys.argv) > 1 else 200_000)
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 120_000)

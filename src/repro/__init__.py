@@ -11,8 +11,16 @@ the paper's hardware-software co-designed temporal prefetcher:
 - :mod:`repro.core`        — Prophet: profiling, analysis, learning, hints,
   profile-guided policies, Multi-path Victim Buffer;
 - :mod:`repro.workloads`   — SPEC personas, CRONO graph kernels, SimPoint;
-- :mod:`repro.experiments` — one module per paper figure/table;
+- :mod:`repro.experiments` — one module per paper figure/table, each
+  declared through the :mod:`repro.experiments.registry`;
+- :mod:`repro.api`         — the facade: ``repro.api.run("fig10", ...)``
+  runs any registered experiment with workload/scheme selection, config
+  overrides, and parallel execution, returning structured results;
 - :mod:`repro.energy`      — CACTI-style energy accounting.
+
+(``repro.api`` and ``repro.experiments`` are imported lazily — pulling in
+the experiment registry means importing every figure module, which plain
+simulation users and pool workers don't need.)
 
 Quickstart::
 
@@ -47,7 +55,7 @@ from .workloads.crono import make_crono_trace
 from .workloads.inputs import make_trace
 from .workloads.spec import make_spec_trace, spec_suite
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = [
     "AnalysisParams",

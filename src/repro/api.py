@@ -1,0 +1,183 @@
+"""Public library facade for the Experiment API.
+
+One call runs any registered experiment with full control over scenario
+shape and execution, and returns a structured result::
+
+    import repro.api as api
+
+    result = api.run(
+        "fig10",
+        records=50_000,
+        workloads=["mcf_inp", "omnetpp_inp"],   # any catalog labels
+        schemes=["triangel", "prophet"],        # named scheme factories
+        overrides={"l3.size_kb": 4096},         # dotted-path config edits
+        jobs=4,                                 # process-pool fan-out
+        cache_dir=".repro-cache",               # on-disk result reuse
+    )
+    print(result.text())                        # the figure's report rows
+    result.payload.geomean_speedup("prophet")   # typed payload underneath
+    blob = result.to_json()                     # machine-readable
+    again = api.ExperimentResult.from_json(blob)
+
+``run`` owns the whole execution lifecycle: it builds the
+:class:`~repro.runner.Runner` from ``jobs``/``cache_dir`` (or accepts a
+shared one), installs it for the duration of the experiment, and restores
+the previous runner afterwards — no module-level ``set_runner``
+choreography.  The CLI is a thin client of exactly this function.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+
+from .experiments import ExperimentRequest, all_experiments, get_experiment
+from .experiments.registry import Experiment
+from .runner import Runner, make_runner, use_runner
+from .sim.config import SystemConfig
+
+#: Version stamp written into every ExperimentResult dict.
+RESULT_SCHEMA_VERSION = 1
+
+
+@dataclass
+class ExperimentResult:
+    """A completed experiment run: payload + the request that shaped it.
+
+    ``payload`` is the experiment's typed result object (a
+    ``SuiteResults`` grid for suite experiments, the module's own
+    dataclass/dict otherwise).  ``to_dict``/``to_json`` serialize through
+    the experiment's declared converters; ``from_dict``/``from_json``
+    invert them (suite and learning payloads reconstruct their classes,
+    generic payloads stay plain dicts).
+    """
+
+    name: str
+    records: Optional[int]
+    payload: Any
+    elapsed: float = 0.0
+    workloads: Optional[List[str]] = None
+    schemes: Optional[List[str]] = None
+    overrides: Dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def experiment(self) -> Experiment:
+        return get_experiment(self.name)
+
+    def text(self) -> str:
+        """The experiment's report text (the paper figure's rows)."""
+        return self.experiment.render(self.payload)
+
+    def to_dict(self) -> Dict:
+        return {
+            "schema_version": RESULT_SCHEMA_VERSION,
+            "experiment": self.name,
+            "records": self.records,
+            "elapsed_seconds": round(self.elapsed, 3),
+            "workloads": list(self.workloads) if self.workloads is not None else None,
+            "schemes": list(self.schemes) if self.schemes is not None else None,
+            "overrides": dict(self.overrides),
+            "payload": self.experiment.payload_to_dict(self.payload),
+        }
+
+    def to_json(self, indent: Optional[int] = None) -> str:
+        return json.dumps(self.to_dict(), indent=indent)
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "ExperimentResult":
+        version = d.get("schema_version", RESULT_SCHEMA_VERSION)
+        if version > RESULT_SCHEMA_VERSION:
+            raise ValueError(
+                f"ExperimentResult schema version {version} is newer than "
+                f"supported ({RESULT_SCHEMA_VERSION})"
+            )
+        exp = get_experiment(d["experiment"])
+        return cls(
+            name=d["experiment"],
+            records=d.get("records"),
+            payload=exp.payload_from_dict(d["payload"]),
+            elapsed=float(d.get("elapsed_seconds", 0.0)),
+            workloads=d.get("workloads"),
+            schemes=d.get("schemes"),
+            overrides=dict(d.get("overrides") or {}),
+        )
+
+    @classmethod
+    def from_json(cls, blob: str) -> "ExperimentResult":
+        return cls.from_dict(json.loads(blob))
+
+
+def experiments() -> List[Experiment]:
+    """Every registered experiment, in listing order."""
+    return all_experiments()
+
+
+def run(
+    name: str,
+    *,
+    records: Optional[int] = None,
+    workloads: Optional[Sequence[str]] = None,
+    schemes: Optional[Sequence[str]] = None,
+    overrides: Optional[Mapping[str, Any]] = None,
+    config: Optional[SystemConfig] = None,
+    jobs: int = 1,
+    cache_dir=None,
+    runner: Optional[Runner] = None,
+    progress: Optional[Callable] = None,
+) -> ExperimentResult:
+    """Run one registered experiment and return its structured result.
+
+    - ``records`` overrides the experiment's default trace length
+      (rejected for static experiments such as ``storage``);
+    - ``workloads``/``schemes`` narrow the scenario to a subset (catalog
+      labels / named scheme factories) where the experiment supports it;
+    - ``overrides`` are dotted-path config overrides
+      (``{"l3.size_kb": 2048}``) applied on top of the experiment's base
+      config; ``config`` replaces that base config outright;
+    - ``jobs``/``cache_dir``/``progress`` build the
+      :class:`~repro.runner.Runner` for this run, or pass a shared
+      ``runner`` (the CLI does, so one cache serves a whole invocation).
+
+    The runner is installed only for the duration of the call; the
+    previously active runner is restored afterwards.
+    """
+    exp = get_experiment(name)
+    overrides = dict(overrides or {})
+
+    if exp.static and records is not None:
+        raise ValueError(
+            f"experiment {name!r} is static (no trace-length knob); "
+            "records cannot be overridden"
+        )
+    if workloads is not None and not exp.supports_workloads:
+        raise ValueError(f"experiment {name!r} does not select workloads")
+    if schemes is not None and not exp.supports_schemes:
+        raise ValueError(f"experiment {name!r} does not select schemes")
+    if (overrides or config is not None) and not exp.supports_overrides:
+        raise ValueError(f"experiment {name!r} takes no config overrides")
+
+    req = ExperimentRequest(
+        records=records if records is not None else exp.records,
+        workloads=tuple(workloads) if workloads is not None else None,
+        schemes=tuple(schemes) if schemes is not None else None,
+        overrides=overrides,
+        config=config,
+    )
+    active = runner if runner is not None else make_runner(
+        jobs=jobs, cache_dir=cache_dir, progress=progress
+    )
+    start = time.perf_counter()
+    with use_runner(active):
+        payload = exp.run(req)
+    elapsed = time.perf_counter() - start
+    return ExperimentResult(
+        name=name,
+        records=req.records,
+        payload=payload,
+        elapsed=elapsed,
+        workloads=list(workloads) if workloads is not None else None,
+        schemes=list(schemes) if schemes is not None else None,
+        overrides=overrides,
+    )

@@ -1,116 +1,67 @@
-"""Command-line interface: regenerate any of the paper's artifacts.
+"""Command-line interface: a thin client of :mod:`repro.api`.
 
 Usage::
 
     python -m repro.cli list
-    python -m repro.cli fig10 [--records N] [--chart] [--csv]
-    python -m repro.cli all [--records N] [--out DIR] [--jobs N]
+    python -m repro.cli fig10 [--records N] [--chart] [--csv] [--json]
+    python -m repro.cli fig10 --workloads mcf_inp,omnetpp_inp --schemes prophet
+    python -m repro.cli fig10 --set l3.size_kb=4096 --set dram.channels=2
+    python -m repro.cli all --records N --out DIR --jobs N
     python -m repro.cli trace mcf_inp [--records N]
-    python -m repro.cli trace all
 
-Each experiment prints the same rows/series the paper's figure reports and
-(with ``--out``) writes them to a text file per figure.  ``--chart``
-renders suite experiments as ASCII bar charts, ``--csv`` as CSV.  The
-``trace`` command characterizes any catalog workload (reuse distances,
-stride mass, Markov multi-target share) instead of simulating it.
+Every experiment comes from the declarative registry
+(:mod:`repro.experiments.registry`); ``list`` prints it.  The scenario
+flags map 1:1 onto :func:`repro.api.run`:
 
-Execution goes through one shared :class:`repro.runner.Runner`:
+- ``--workloads A,B``  run on a subset of catalog workloads;
+- ``--schemes X,Y``    run a subset of the named schemes;
+- ``--set key=value``  dotted-path config override (repeatable), e.g.
+  ``--set l3.size_kb=2048 --set l1_prefetcher=ipcp``;
+- ``--records N``      trace-length override (static experiments have none).
 
-- ``--jobs N``     fans simulations out over N worker processes;
-- ``--cache-dir D`` / ``--no-cache`` control the on-disk result cache
-  (default ``.repro-cache/``) — a second ``cli all`` run reuses every
-  result of the first, and figures that share runs (10/11/12) never
-  re-simulate each other's work;
-- ``--verbose``    prints per-job progress as the runner executes.
+Output flags render the same structured result different ways: the
+default report text, ``--chart`` (ASCII bars), ``--csv``, or ``--json``
+(the full serialized ``ExperimentResult``).  With ``--out DIR`` each
+rendering is also written to ``DIR/<name>.{txt,csv,json}``.
 
-The runner's executed/cache-hit counts are logged after every simulating
-command.
+Execution flags build the one shared :class:`repro.runner.Runner` for
+the whole invocation: ``--jobs N`` fans simulations out over N worker
+processes, ``--cache-dir``/``--no-cache`` control the on-disk result
+cache (default ``.repro-cache/``), ``--verbose`` prints per-job
+progress.  The runner's executed/cache-hit counts are logged after every
+simulating command.
 """
 
 from __future__ import annotations
 
 import argparse
 import sys
-import time
 from pathlib import Path
-from typing import Callable, Dict, Optional
+from typing import Callable, List, Optional
 
-from .runner import Runner, set_runner
-
-from .experiments import (
-    ablation_degree,
-    ablation_offchip,
-    ablation_ways,
-    energy,
-    fig01_pattern,
-    fig06_accuracy_levels,
-    fig08_markov_targets,
-    fig10_speedup,
-    fig11_traffic,
-    fig12_coverage_accuracy,
-    fig13_learning_gcc,
-    fig14_learning_other,
-    fig15_graph,
-    fig16_sensitivity,
-    fig17_l1_prefetcher,
-    fig18_bandwidth,
-    fig19_breakdown,
-    injection,
-    overhead,
-    storage,
-    tlb_sensitivity,
-)
-
-#: name -> (report function taking n_records, default records, description)
-EXPERIMENTS: Dict[str, tuple] = {
-    "fig01": (fig01_pattern.report, 150_000, "metadata access pattern (omnetpp)"),
-    "fig06": (fig06_accuracy_levels.report, 150_000, "per-PC accuracy levels"),
-    "fig08": (fig08_markov_targets.report, 150_000, "Markov target distribution"),
-    "fig10": (fig10_speedup.report, 300_000, "IPC speedup (SPEC)"),
-    "fig11": (fig11_traffic.report, 300_000, "DRAM traffic (SPEC)"),
-    "fig12": (fig12_coverage_accuracy.report, 300_000, "coverage & accuracy"),
-    "fig13": (fig13_learning_gcc.report, 150_000, "learning across gcc inputs"),
-    "fig14": (fig14_learning_other.report, 150_000, "learning: astar & soplex"),
-    "fig15": (fig15_graph.report, 250_000, "CRONO graph workloads"),
-    "fig16": (fig16_sensitivity.report, 120_000, "parameter sensitivity"),
-    "fig17": (fig17_l1_prefetcher.report, 300_000, "IPCP L1 prefetcher"),
-    "fig18": (fig18_bandwidth.report, 300_000, "2 DRAM channels"),
-    "fig19": (fig19_breakdown.report, 150_000, "feature breakdown"),
-    "storage": (lambda n: storage.report(), 0, "storage overhead (5.10)"),
-    "energy": (energy.report, 150_000, "energy overhead (5.11)"),
-    "overhead": (overhead.report, 100_000, "profiling overheads (5.4)"),
-    "offchip": (ablation_offchip.report, 150_000,
-                "on-chip vs DRAM-resident metadata (STMS/Domino)"),
-    "injection": (injection.report, 80_000, "hint injection methods (4.4)"),
-    "tlbvm": (tlb_sensitivity.report, 150_000,
-              "realistic virtual memory (TLB + page-bound L1 PF)"),
-    "degree": (ablation_degree.report, 120_000,
-               "prefetch-degree ablation (aggressiveness claim)"),
-    "ways": (ablation_ways.report, 120_000,
-             "fixed metadata-table size sweep (resizing risk, 2.1.3)"),
-}
-
-#: Suite experiments that can render as charts/CSV: name -> (run fn, metric).
-CHARTABLE: Dict[str, tuple] = {
-    "fig10": (fig10_speedup.run, "speedup"),
-    "fig11": (fig11_traffic.run, "traffic"),
-    "fig12": (fig12_coverage_accuracy.run, "coverage"),
-    "fig15": (fig15_graph.run, "speedup"),
-    "offchip": (ablation_offchip.run, "traffic"),
-    "tlbvm": (tlb_sensitivity.run, "speedup"),
-}
+from . import api, viz
+from .experiments import all_experiments, get_experiment
+from .runner import make_runner
+from .sim.config import parse_override
 
 
-def run_chart(name: str, records: Optional[int], as_csv: bool) -> str:
-    """Render a suite experiment as an ASCII chart or CSV."""
-    from . import viz
-
-    run_fn, metric = CHARTABLE[name]
-    default_records = EXPERIMENTS[name][1]
-    results = run_fn(records or default_records)
-    if as_csv:
-        return viz.suite_to_csv(results, metric)
-    return viz.suite_chart(results, metric, title=f"{name} — {metric}")
+def list_experiments() -> str:
+    """The registry, one line per experiment (what ``list`` prints)."""
+    lines = []
+    for exp in all_experiments():
+        extras = []
+        if exp.kind == "suite":
+            extras.append("chartable")
+        if exp.supports_workloads:
+            extras.append("workloads")
+        if exp.supports_schemes:
+            extras.append("schemes")
+        tag = f"  [{', '.join(extras)}]" if extras else ""
+        lines.append(
+            f"{exp.name:10s} {exp.description}  "
+            f"(default {exp.records or 'n/a'} records){tag}"
+        )
+    return "\n".join(lines)
 
 
 def run_trace_report(target: str, records: int) -> str:
@@ -133,19 +84,6 @@ def run_trace_report(target: str, records: int) -> str:
     return text
 
 
-def run_experiment(name: str, records: Optional[int], out_dir: Optional[Path]) -> str:
-    report_fn, default_records, _desc = EXPERIMENTS[name]
-    n = records or default_records
-    start = time.perf_counter()
-    text = report_fn(n) if n else report_fn(0)
-    elapsed = time.perf_counter() - start
-    text = f"{text}\n  [{name}: {elapsed:.1f}s at {n or 'fixed'} records]"
-    if out_dir is not None:
-        out_dir.mkdir(parents=True, exist_ok=True)
-        (out_dir / f"{name}.txt").write_text(text + "\n")
-    return text
-
-
 def make_progress_printer() -> Callable:
     """Per-job progress lines for --verbose (written to stderr)."""
 
@@ -157,6 +95,59 @@ def make_progress_printer() -> Callable:
         )
 
     return progress
+
+
+def _split_csv(value: Optional[str]) -> Optional[List[str]]:
+    if value is None:
+        return None
+    items = [part.strip() for part in value.split(",") if part.strip()]
+    return items or None
+
+
+def _render_one(args, name: str, runner, out_dir: Optional[Path],
+                running_all: bool = False) -> str:
+    """Run one experiment through the facade and render/persist it."""
+    exp = get_experiment(name)
+    workloads = _split_csv(args.workloads)
+    schemes = _split_csv(args.schemes)
+    overrides = dict(parse_override(expr) for expr in args.set or [])
+    if running_all:
+        # 'all' applies each flag wherever the experiment supports it —
+        # a suite-wide sweep must not abort at the first static or
+        # fixed-scenario experiment.
+        if not exp.supports_workloads:
+            workloads = None
+        if not exp.supports_schemes:
+            schemes = None
+        if not exp.supports_overrides:
+            overrides = {}
+    elif exp.static and args.records is not None:
+        raise ValueError(f"experiment {name!r} is static; --records does not apply")
+    result = api.run(
+        name,
+        records=args.records if not exp.static else None,
+        workloads=workloads,
+        schemes=schemes,
+        overrides=overrides,
+        runner=runner,
+    )
+    if args.json:
+        text, suffix = viz.render_result(result, "json"), ".json"
+    elif args.chart:
+        text, suffix = viz.render_result(result, "chart"), ".txt"
+    elif args.csv:
+        text, suffix = viz.render_result(result, "csv"), ".csv"
+    else:
+        n = result.records
+        text = (
+            f"{result.text()}\n"
+            f"  [{name}: {result.elapsed:.1f}s at {n or 'fixed'} records]"
+        )
+        suffix = ".txt"
+    if out_dir is not None:
+        out_dir.mkdir(parents=True, exist_ok=True)
+        (out_dir / f"{name}{suffix}").write_text(text + "\n")
+    return text
 
 
 def main(argv=None) -> int:
@@ -172,12 +163,20 @@ def main(argv=None) -> int:
     )
     parser.add_argument("--records", type=int, default=None,
                         help="trace length override")
+    parser.add_argument("--workloads", default=None,
+                        help="comma-separated catalog workload labels")
+    parser.add_argument("--schemes", default=None,
+                        help="comma-separated scheme names (e.g. prophet,triangel)")
+    parser.add_argument("--set", action="append", metavar="KEY=VALUE",
+                        help="dotted-path config override (repeatable)")
     parser.add_argument("--out", type=Path, default=None,
-                        help="directory for per-figure text outputs")
+                        help="directory for per-figure outputs")
     parser.add_argument("--chart", action="store_true",
-                        help="render suite experiments as ASCII bar charts")
+                        help="render results as ASCII bar charts")
     parser.add_argument("--csv", action="store_true",
-                        help="render suite experiments as CSV")
+                        help="render results as CSV")
+    parser.add_argument("--json", action="store_true",
+                        help="print the serialized ExperimentResult as JSON")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for simulations (default 1)")
     parser.add_argument("--no-cache", action="store_true",
@@ -188,10 +187,9 @@ def main(argv=None) -> int:
                         help="print per-job runner progress to stderr")
     args = parser.parse_args(argv)
 
-    runner = Runner(
+    runner = make_runner(
         jobs=args.jobs,
         cache_dir=None if args.no_cache else args.cache_dir,
-        use_cache=not args.no_cache,
         progress=make_progress_printer() if args.verbose else None,
     )
 
@@ -203,23 +201,18 @@ def main(argv=None) -> int:
             "cache disabled" if args.no_cache
             else f"cache hits: {stats.cache_hits} ({args.cache_dir})"
         )
+        # With a machine-readable rendering, stdout is exactly the
+        # result(s); keep diagnostics on stderr so `--json | jq` and
+        # `--csv > out.csv` stay parseable.
+        machine_readable = args.json or args.csv or args.chart
         print(
             f"[runner] jobs={args.jobs}  simulated: {stats.executed}  "
-            f"{cache_note}"
+            f"{cache_note}",
+            file=sys.stderr if machine_readable else sys.stdout,
         )
 
-    set_runner(runner)
-    try:
-        return _dispatch(args, parser, report_runner_stats)
-    finally:
-        set_runner(None)
-
-
-def _dispatch(args, parser, report_runner_stats) -> int:
     if args.experiment == "list":
-        for name, (_fn, records, desc) in EXPERIMENTS.items():
-            chart = "  [chartable]" if name in CHARTABLE else ""
-            print(f"{name:10s} {desc}  (default {records or 'n/a'} records){chart}")
+        print(list_experiments())
         return 0
 
     if args.experiment == "trace":
@@ -228,23 +221,26 @@ def _dispatch(args, parser, report_runner_stats) -> int:
         print(run_trace_report(args.target, args.records or 60_000))
         return 0
 
-    if args.chart or args.csv:
-        name = args.experiment
-        if name not in CHARTABLE:
-            parser.error(
-                f"{name!r} is not chartable; options: {', '.join(CHARTABLE)}"
-            )
-        print(run_chart(name, args.records, args.csv))
-        report_runner_stats()
-        return 0
-
-    names = list(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in EXPERIMENTS]
+    registered = [exp.name for exp in all_experiments()]
+    names = registered if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in registered]
     if unknown:
         parser.error(f"unknown experiment(s): {', '.join(unknown)}; try 'list'")
+    running_all = args.experiment == "all"
     for name in names:
-        print(run_experiment(name, args.records, args.out))
-        print()
+        try:
+            text = _render_one(args, name, runner, args.out,
+                               running_all=running_all)
+        except ValueError as exc:
+            if not running_all:
+                parser.error(str(exc))
+            # A sweep must not abort because one experiment cannot take a
+            # flag (e.g. fig01 accepts a single workload only).
+            print(f"[skip] {name}: {exc}", file=sys.stderr)
+            continue
+        print(text)
+        if not args.json:
+            print()
     report_runner_stats()
     return 0
 

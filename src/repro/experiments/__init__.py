@@ -1,0 +1,55 @@
+"""Experiment package: every figure/ablation registers itself here.
+
+Importing this package imports every experiment module, and each module's
+``@register_experiment`` declaration populates
+:data:`repro.experiments.registry.REGISTRY`.  Clients — the CLI,
+:mod:`repro.api`, services — never enumerate experiments by hand; they
+ask the registry.
+
+The import order below is the listing order (``repro.cli list`` and
+:func:`repro.experiments.all_experiments` follow it): the paper's figures
+first, then the section studies, then the extension ablations.
+"""
+
+from .registry import (
+    REGISTRY,
+    Experiment,
+    ExperimentRequest,
+    all_experiments,
+    get_experiment,
+    register_experiment,
+)
+
+# Registration side effects: each module declares its experiment(s).
+from . import (  # noqa: E402  (registry must exist first)
+    fig01_pattern,
+    fig06_accuracy_levels,
+    fig08_markov_targets,
+    fig10_speedup,
+    fig11_traffic,
+    fig12_coverage_accuracy,
+    fig13_learning_gcc,
+    fig14_learning_other,
+    fig15_graph,
+    fig16_sensitivity,
+    fig17_l1_prefetcher,
+    fig18_bandwidth,
+    fig19_breakdown,
+    storage,
+    energy,
+    overhead,
+    ablation_offchip,
+    injection,
+    tlb_sensitivity,
+    ablation_degree,
+    ablation_ways,
+)
+
+__all__ = [
+    "REGISTRY",
+    "Experiment",
+    "ExperimentRequest",
+    "all_experiments",
+    "get_experiment",
+    "register_experiment",
+]

@@ -21,7 +21,8 @@ from typing import Dict, List, Optional
 from ..runner import SimJob, TraceRef, get_runner
 from ..sim.config import SystemConfig, default_config
 from ..sim.results import format_table, geomean
-from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+from .common import spec_traces
+from .registry import ExperimentRequest, register_experiment
 
 DEGREES = (1, 2, 4, 8)
 
@@ -31,6 +32,7 @@ def sweep(
     config: Optional[SystemConfig] = None,
     degrees: tuple = DEGREES,
     runner=None,
+    workloads: Optional[List[str]] = None,
 ) -> Dict[int, Dict[str, Dict[str, float]]]:
     """degree -> workload -> {"speedup": ..., "traffic": ...}.
 
@@ -39,7 +41,7 @@ def sweep(
     """
     config = config or default_config()
     runner = runner or get_runner()
-    traces = [make_spec_trace(app, inp, n_records) for app, inp in SPEC_WORKLOADS]
+    traces = spec_traces(n_records, workloads)
     jobs = []
     slots = []
     for trace in traces:
@@ -103,3 +105,34 @@ def render(results: Dict[int, Dict[str, Dict[str, float]]]) -> str:
 
 def report(n_records: int = 120_000) -> str:
     return render(sweep(n_records))
+
+
+def _tabulate(results: Dict[int, Dict[str, Dict[str, float]]]):
+    degrees = sorted(results)
+    labels = list(next(iter(results.values())))
+    rows = [
+        [label]
+        + [f"{results[d][label]['speedup']:.4f}" for d in degrees]
+        for label in labels
+    ]
+    gm = geomean_by_degree(results, "speedup")
+    rows.append(["geomean"] + [f"{gm[d]:.4f}" for d in degrees])
+    return ["workload"] + [f"degree={d}" for d in degrees], rows
+
+
+def _from_dict(d: Dict) -> Dict[int, Dict[str, Dict[str, float]]]:
+    # JSON stringifies the degree keys; restore them as ints.
+    return {int(degree): rows for degree, rows in d.items()}
+
+
+@register_experiment(
+    "degree",
+    description="prefetch-degree ablation (aggressiveness claim)",
+    records=120_000,
+    supports_workloads=True,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> Dict[int, Dict[str, Dict[str, float]]]:
+    return sweep(req.records, req.configure(), workloads=req.workloads)

@@ -30,7 +30,16 @@ from ..prefetchers.offchip import (
 from ..sim.config import SystemConfig
 from ..sim.results import format_table, geomean
 from ..workloads.spec import spec_suite
-from .common import SuiteResults, evaluate_suite, make_prophet, make_triangel
+from .common import (
+    SuiteResults,
+    evaluate_suite,
+    make_prophet,
+    make_triangel,
+    register_scheme,
+    spec_labels,
+    suite_request,
+)
+from .registry import ExperimentRequest, register_experiment
 
 
 def make_stms(trace, config, base):
@@ -38,6 +47,7 @@ def make_stms(trace, config, base):
 
 
 make_stms.runner_scheme = "stms"
+register_scheme("stms", make_stms)
 
 
 def make_domino(trace, config, base):
@@ -45,6 +55,7 @@ def make_domino(trace, config, base):
 
 
 make_domino.runner_scheme = "domino"
+register_scheme("domino", make_domino)
 
 
 def make_misb(trace, config, base):
@@ -52,6 +63,7 @@ def make_misb(trace, config, base):
 
 
 make_misb.runner_scheme = "misb"
+register_scheme("misb", make_misb)
 
 
 SCHEMES = {
@@ -97,3 +109,17 @@ def render(results: SuiteResults) -> str:
 
 def report(n_records: int = 150_000) -> str:
     return render(run(n_records))
+
+
+@register_experiment(
+    "offchip",
+    description="on-chip vs DRAM-resident metadata (STMS/Domino)",
+    records=150_000,
+    kind="suite",
+    metrics=("traffic", "speedup"),
+    workloads=spec_labels(),
+    schemes=tuple(SCHEMES),
+    render=render,
+)
+def experiment(req: ExperimentRequest) -> SuiteResults:
+    return suite_request(req, schemes=SCHEMES)

@@ -24,7 +24,8 @@ from typing import Dict, Optional
 from ..runner import SimJob, TraceRef, get_runner
 from ..sim.config import SystemConfig, default_config
 from ..sim.results import format_table, geomean
-from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+from .common import spec_traces
+from .registry import ExperimentRequest, register_experiment
 
 WAY_CHOICES = (0, 2, 4, 8)
 
@@ -34,6 +35,7 @@ def sweep(
     config: Optional[SystemConfig] = None,
     ways: tuple = WAY_CHOICES,
     runner=None,
+    workloads: Optional[list] = None,
 ) -> Dict[str, Dict[int, float]]:
     """workload -> {ways: speedup-over-no-TP-baseline}.
 
@@ -42,7 +44,7 @@ def sweep(
     """
     config = config or default_config()
     runner = runner or get_runner()
-    traces = [make_spec_trace(app, inp, n_records) for app, inp in SPEC_WORKLOADS]
+    traces = spec_traces(n_records, workloads)
     jobs = []
     slots = []
     for trace in traces:
@@ -121,3 +123,35 @@ def render(results: Dict[str, Dict[int, float]]) -> str:
 
 def report(n_records: int = 120_000) -> str:
     return render(sweep(n_records))
+
+
+def _tabulate(results: Dict[str, Dict[int, float]]):
+    ways = sorted(next(iter(results.values())))
+    rows = [
+        [label] + [f"{row[w]:.4f}" for w in ways]
+        for label, row in results.items()
+    ]
+    gm = geomean_by_ways(results)
+    rows.append(["geomean"] + [f"{gm[w]:.4f}" for w in ways])
+    return ["workload"] + [f"ways={w}" for w in ways], rows
+
+
+def _from_dict(d: Dict) -> Dict[str, Dict[int, float]]:
+    # JSON stringifies the way-count keys; restore them as ints.
+    return {
+        label: {int(w): float(s) for w, s in row.items()}
+        for label, row in d.items()
+    }
+
+
+@register_experiment(
+    "ways",
+    description="fixed metadata-table size sweep (resizing risk, 2.1.3)",
+    records=120_000,
+    supports_workloads=True,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> Dict[str, Dict[int, float]]:
+    return sweep(req.records, req.configure(), workloads=req.workloads)

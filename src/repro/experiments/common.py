@@ -35,7 +35,7 @@ from ..prefetchers.triage import TriagePrefetcher
 from ..prefetchers.triangel import TriangelPrefetcher
 from ..runner import SimJob, TraceRef, get_runner
 from ..runner.runner import Runner
-from ..sim.config import SystemConfig, default_config
+from ..sim.config import SystemConfig, config_digest, default_config
 from ..sim.engine import run_simulation
 from ..sim.results import SimResult, format_table, geomean
 from ..workloads.base import Trace
@@ -217,24 +217,83 @@ DEFAULT_SCHEMES: Dict[str, SchemeFactory] = {
     "prophet": make_prophet(),
 }
 
+#: Named scheme factories the Experiment API can select by name
+#: (``repro.api.run(..., schemes=["prophet"])``).  Modules defining extra
+#: schemes (the off-chip generations) add theirs via :func:`register_scheme`.
+SCHEME_FACTORIES: Dict[str, SchemeFactory] = dict(DEFAULT_SCHEMES)
+
+
+def register_scheme(name: str, factory: SchemeFactory) -> SchemeFactory:
+    """Make ``factory`` selectable by ``name`` through the Experiment API."""
+    SCHEME_FACTORIES[name] = factory
+    return factory
+
 
 #: Memo for the shared SPEC comparison (Figs. 10, 11, 12 report different
-#: metrics of the same runs, exactly like the paper).
+#: metrics of the same runs, exactly like the paper).  Keyed by
+#: ``(n_records, config_digest)``: the config's *content* is part of the
+#: key, so callers passing different SystemConfigs never share results.
 _SPEC_MEMO: Dict[tuple, SuiteResults] = {}
 
 
 def spec_comparison(
     n_records: int = 300_000,
     config: Optional[SystemConfig] = None,
-    key: str = "default",
 ) -> SuiteResults:
     """RPG2 / Triangel / Prophet on the seven Fig. 10 workloads (memoized)."""
     from ..workloads.spec import spec_suite
 
-    memo_key = (n_records, key)
+    config = config or default_config()
+    memo_key = (n_records, config_digest(config))
     if memo_key not in _SPEC_MEMO:
         _SPEC_MEMO[memo_key] = evaluate_suite(spec_suite(n_records), config)
     return _SPEC_MEMO[memo_key]
+
+
+def spec_labels() -> List[str]:
+    """Catalog labels of the seven canonical Fig. 10 workloads."""
+    from ..workloads.spec import SPEC_WORKLOADS
+
+    return [f"{app}_{inp}" for app, inp in SPEC_WORKLOADS]
+
+
+def spec_traces(
+    n_records: int, workloads: Optional[Sequence[str]] = None
+) -> List[Trace]:
+    """Traces for ``workloads`` (catalog labels; default: the Fig. 10 set).
+
+    The shared workload selector for experiments that historically looped
+    over ``SPEC_WORKLOADS``: passing ``workloads=None`` reproduces that
+    exact suite, while any catalog labels — other SPEC inputs, CRONO
+    graphs — slot straight in.
+    """
+    from ..workloads.inputs import resolve_traces
+
+    labels = list(workloads) if workloads is not None else spec_labels()
+    return resolve_traces(labels, n_records)
+
+
+def suite_request(
+    req,
+    base_config: Optional[SystemConfig] = None,
+    labels: Optional[Sequence[str]] = None,
+    schemes: Optional[Dict[str, SchemeFactory]] = None,
+    shared: bool = False,
+) -> SuiteResults:
+    """Evaluate one suite experiment's :class:`ExperimentRequest`.
+
+    ``labels``/``schemes`` are the experiment's defaults (Fig. 10's seven
+    workloads x three schemes unless given); the request may narrow
+    both.  ``shared=True`` routes default-selection runs through the
+    :func:`spec_comparison` memo so Figs. 10/11/12 (and the config
+    variants 17/18) keep sharing one set of simulations per config.
+    """
+    config = req.configure(base_config)
+    if shared and req.selects_defaults:
+        return spec_comparison(req.records, config)
+    traces = req.resolve_traces(labels if labels is not None else spec_labels())
+    resolved = req.resolve_schemes(schemes if schemes is not None else DEFAULT_SCHEMES)
+    return evaluate_suite(traces, config, resolved)
 
 
 def suite_jobs(

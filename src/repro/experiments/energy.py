@@ -16,7 +16,8 @@ from ..prefetchers.triangel import TriangelPrefetcher
 from ..sim.config import SystemConfig, default_config
 from ..sim.engine import run_simulation
 from ..sim.results import format_table
-from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+from .common import spec_traces
+from .registry import ExperimentRequest, register_experiment
 
 
 @dataclass
@@ -30,12 +31,13 @@ class EnergyResults:
 
 
 def run(
-    n_records: int = 150_000, config: Optional[SystemConfig] = None
+    n_records: int = 150_000,
+    config: Optional[SystemConfig] = None,
+    workloads: Optional[list] = None,
 ) -> EnergyResults:
     config = config or default_config()
     results = EnergyResults()
-    for app, inp in SPEC_WORKLOADS:
-        trace = make_spec_trace(app, inp, n_records)
+    for trace in spec_traces(n_records, workloads):
 
         tg = TriangelPrefetcher(config)
         tg_res = run_simulation(trace, config, tg, "triangel")
@@ -59,8 +61,7 @@ def run(
     return results
 
 
-def report(n_records: int = 150_000) -> str:
-    results = run(n_records)
+def render(results: EnergyResults) -> str:
     rows = [
         [label, f"{ovh * 100:+.2f}%"]
         for label, ovh in results.per_workload.items()
@@ -71,3 +72,32 @@ def report(n_records: int = 150_000) -> str:
         rows,
         "Section 5.11 — memory-hierarchy energy overhead",
     )
+
+
+def report(n_records: int = 150_000) -> str:
+    return render(run(n_records))
+
+
+def _tabulate(results: EnergyResults):
+    rows = [
+        [label, f"{ovh:.6f}"] for label, ovh in results.per_workload.items()
+    ]
+    rows.append(["mean", f"{results.mean_overhead:.6f}"])
+    return ["workload", "energy_overhead"], rows
+
+
+def _from_dict(d: Dict) -> EnergyResults:
+    return EnergyResults(per_workload=dict(d["per_workload"]))
+
+
+@register_experiment(
+    "energy",
+    description="energy overhead (5.11)",
+    records=150_000,
+    supports_workloads=True,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> EnergyResults:
+    return run(req.records, req.configure(), req.workloads)

@@ -21,8 +21,8 @@ from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, List, Tuple
 
-from ..sim.config import default_config
-from ..workloads.spec import make_spec_trace
+from ..workloads.inputs import make_trace
+from .registry import ExperimentRequest, register_experiment
 
 PATTERN_CONF_MAX = 15
 PATTERN_THRESHOLD = 8
@@ -36,6 +36,7 @@ class PatternAnalysis:
     events: List[str] = field(default_factory=list)  # dot/star stream
     conf_timeline: List[int] = field(default_factory=list)
     rejected_useful_insertions: int = 0
+    app: str = "omnetpp"
 
     @property
     def counts(self) -> Dict[str, int]:
@@ -52,8 +53,11 @@ def _hot_pc(pcs: List[int]) -> int:
 
 
 def analyze_pattern(n_records: int = 150_000, app: str = "omnetpp") -> PatternAnalysis:
-    """Replay the hot PC's stream against an unlimited, unfiltered table."""
-    trace = make_spec_trace(app, None, n_records)
+    """Replay the hot PC's stream against an unlimited, unfiltered table.
+
+    ``app`` is any catalog label (bare app names use the Fig. 10 input).
+    """
+    trace = make_trace(app, n_records)
     hot = _hot_pc(trace.pcs)
     stream = [line for pc, line in zip(trace.pcs, trace.lines) if pc == hot]
 
@@ -63,7 +67,7 @@ def analyze_pattern(n_records: int = 150_000, app: str = "omnetpp") -> PatternAn
     # address appear again later in the stream?
     remaining = Counter(stream)
     seen = set()
-    analysis = PatternAnalysis(pc=hot)
+    analysis = PatternAnalysis(pc=hot, app=app)
     conf = PATTERN_CONF_MAX // 2 + 1
     last = None
     for line in stream:
@@ -90,11 +94,10 @@ def analyze_pattern(n_records: int = 150_000, app: str = "omnetpp") -> PatternAn
     return analysis
 
 
-def report(n_records: int = 150_000) -> str:
-    a = analyze_pattern(n_records)
+def render(a: PatternAnalysis) -> str:
     counts = a.counts
     lines = [
-        "Fig. 1 — metadata access pattern (hot omnetpp PC, unlimited table)",
+        f"Fig. 1 — metadata access pattern (hot {a.app} PC, unlimited table)",
         f"  blue dots (useful metadata accesses):  {counts.get('blue_dot', 0)}",
         f"  red dots (useless metadata accesses):  {counts.get('red_dot', 0)}",
         f"  blue stars (first access, has pattern): {counts.get('blue_star', 0)}",
@@ -103,3 +106,46 @@ def report(n_records: int = 150_000) -> str:
         f"  useful insertions Triangel rejects:     {a.rejected_useful_insertions}",
     ]
     return "\n".join(lines)
+
+
+def report(n_records: int = 150_000) -> str:
+    return render(analyze_pattern(n_records))
+
+
+def _tabulate(a: PatternAnalysis) -> Tuple[List[str], List[List[str]]]:
+    counts = a.counts
+    rows = [[event, str(counts.get(event, 0))]
+            for event in ("blue_dot", "red_dot", "blue_star", "red_star")]
+    rows.append(["conf_below_threshold", f"{a.time_below_threshold:.4f}"])
+    rows.append(["rejected_useful_insertions", str(a.rejected_useful_insertions)])
+    return ["event", "count"], rows
+
+
+def _from_dict(d: Dict) -> PatternAnalysis:
+    return PatternAnalysis(
+        pc=d["pc"],
+        events=list(d["events"]),
+        conf_timeline=list(d["conf_timeline"]),
+        rejected_useful_insertions=d["rejected_useful_insertions"],
+        app=d.get("app", "omnetpp"),
+    )
+
+
+@register_experiment(
+    "fig01",
+    description="metadata access pattern (omnetpp)",
+    records=150_000,
+    workloads=("omnetpp_inp",),
+    supports_workloads=True,
+    supports_overrides=False,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> PatternAnalysis:
+    if req.workloads is None:
+        return analyze_pattern(req.records)
+    labels = req.workload_labels([])
+    if len(labels) != 1:
+        raise ValueError("fig01 analyzes a single workload; pass one label")
+    return analyze_pattern(req.records, labels[0])

@@ -10,10 +10,11 @@ clusters into distinct high / medium / low levels — which is what makes a
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
-from ..sim.config import default_config
-from ..workloads.spec import make_spec_trace
+from ..sim.config import SystemConfig, default_config
+from ..workloads.inputs import make_trace
+from .registry import ExperimentRequest, register_experiment
 
 #: Level boundaries used for the qualitative high/medium/low split.
 LEVELS = [("low", 0.0, 0.34), ("medium", 0.34, 0.67), ("high", 0.67, 1.01)]
@@ -22,6 +23,7 @@ LEVELS = [("low", 0.0, 0.34), ("medium", 0.34, 0.67), ("high", 0.67, 1.01)]
 @dataclass
 class AccuracyLevels:
     per_pc: Dict[int, float]
+    app: str = "omnetpp"
 
     @property
     def level_counts(self) -> Dict[str, int]:
@@ -40,7 +42,10 @@ class AccuracyLevels:
 
 
 def measure_levels(
-    n_records: int = 150_000, app: str = "omnetpp", min_misses: int = 32
+    n_records: int = 150_000,
+    app: str = "omnetpp",
+    min_misses: int = 32,
+    config: Optional[SystemConfig] = None,
 ) -> AccuracyLevels:
     """Profile ``app`` and collect per-PC accuracies of active PCs.
 
@@ -52,8 +57,8 @@ def measure_levels(
     it correctly reports a low level rather than the high accuracy of the
     few lucky issues — the stratification Fig. 6 shows.
     """
-    config = default_config()
-    trace = make_spec_trace(app, None, n_records)
+    config = config or default_config()
+    trace = make_trace(app, n_records)
     from ..core.profiler import simplified_prefetcher
     from ..sim.engine import run_simulation
 
@@ -67,16 +72,15 @@ def measure_levels(
         useful = result.useful_by_pc.get(pc, 0)
         denom = max(issued, misses)
         active[pc] = useful / denom if denom else 0.0
-    return AccuracyLevels(per_pc=active)
+    return AccuracyLevels(per_pc=active, app=app)
 
 
-def report(n_records: int = 150_000) -> str:
-    levels = measure_levels(n_records)
+def render(levels: AccuracyLevels) -> str:
     counts = levels.level_counts
     ranked: List[Tuple[int, float]] = sorted(
         levels.per_pc.items(), key=lambda kv: kv[1], reverse=True
     )
-    lines = ["Fig. 6 — per-PC prefetching accuracy levels (omnetpp)"]
+    lines = [f"Fig. 6 — per-PC prefetching accuracy levels ({levels.app})"]
     for pc, acc in ranked:
         lines.append(f"  pc={pc:#x}  accuracy={acc:.3f}")
     lines.append(
@@ -84,3 +88,42 @@ def report(n_records: int = 150_000) -> str:
         f"low={counts['low']}"
     )
     return "\n".join(lines)
+
+
+def report(n_records: int = 150_000) -> str:
+    return render(measure_levels(n_records))
+
+
+def _tabulate(levels: AccuracyLevels) -> Tuple[List[str], List[List[str]]]:
+    counts = levels.level_counts
+    return (
+        ["level", "pcs"],
+        [[name, str(counts[name])] for name, _, _ in LEVELS],
+    )
+
+
+def _from_dict(d: Dict) -> AccuracyLevels:
+    return AccuracyLevels(
+        per_pc={int(pc): float(acc) for pc, acc in d["per_pc"].items()},
+        app=d.get("app", "omnetpp"),
+    )
+
+
+@register_experiment(
+    "fig06",
+    description="per-PC accuracy levels",
+    records=150_000,
+    workloads=("omnetpp_inp",),
+    supports_workloads=True,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> AccuracyLevels:
+    config = req.configure()
+    if req.workloads is None:
+        return measure_levels(req.records, config=config)
+    labels = req.workload_labels([])
+    if len(labels) != 1:
+        raise ValueError("fig06 analyzes a single workload; pass one label")
+    return measure_levels(req.records, labels[0], config=config)

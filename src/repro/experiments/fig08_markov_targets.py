@@ -9,11 +9,12 @@ Buffer (Section 4.5).
 
 from __future__ import annotations
 
-from typing import Dict, List
+from typing import Dict, List, Optional, Sequence
 
 from ..sim.results import format_table
 from ..workloads.base import markov_target_counts
-from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+from .common import spec_traces
+from .registry import ExperimentRequest, register_experiment
 
 MAX_T = 5
 
@@ -30,13 +31,14 @@ def target_distribution(pcs, lines) -> Dict[int, float]:
     return {t: c / total for t, c in dist.items()}
 
 
-def measure(n_records: int = 150_000) -> Dict[str, Dict[int, float]]:
+def measure(
+    n_records: int = 150_000, workloads: Optional[Sequence[str]] = None
+) -> Dict[str, Dict[int, float]]:
     """Per-workload target distributions plus the suite-wide aggregate."""
     out: Dict[str, Dict[int, float]] = {}
     all_pcs: List[int] = []
     all_lines: List[int] = []
-    for app, inp in SPEC_WORKLOADS:
-        trace = make_spec_trace(app, inp, n_records)
+    for trace in spec_traces(n_records, workloads):
         out[trace.label] = target_distribution(trace.pcs, trace.lines)
         all_pcs.extend(trace.pcs)
         all_lines.extend(trace.lines)
@@ -57,3 +59,24 @@ def render(dists: Dict[str, Dict[int, float]]) -> str:
 
 def report(n_records: int = 150_000) -> str:
     return render(measure(n_records))
+
+
+def _from_dict(d: Dict) -> Dict[str, Dict[int, float]]:
+    # JSON stringifies the T=1..5 keys; restore them as ints.
+    return {
+        label: {int(t): float(f) for t, f in dist.items()}
+        for label, dist in d.items()
+    }
+
+
+@register_experiment(
+    "fig08",
+    description="Markov target distribution",
+    records=150_000,
+    supports_workloads=True,
+    supports_overrides=False,
+    render=render,
+    from_dict=_from_dict,
+)
+def experiment(req: ExperimentRequest) -> Dict[str, Dict[int, float]]:
+    return measure(req.records, req.workloads)

@@ -10,12 +10,33 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim.config import SystemConfig
-from .common import SuiteResults, spec_comparison
+from .common import SuiteResults, spec_comparison, spec_labels, suite_request
+from .registry import ExperimentRequest, register_experiment
+
+TITLE = "Fig. 11 — normalized DRAM traffic"
 
 
 def run(n_records: int = 300_000, config: Optional[SystemConfig] = None) -> SuiteResults:
     return spec_comparison(n_records, config)
 
 
+def render(results: SuiteResults) -> str:
+    return results.table("traffic", TITLE)
+
+
 def report(n_records: int = 300_000) -> str:
-    return run(n_records).table("traffic", "Fig. 11 — normalized DRAM traffic")
+    return render(run(n_records))
+
+
+@register_experiment(
+    "fig11",
+    description="DRAM traffic (SPEC)",
+    records=300_000,
+    kind="suite",
+    metrics=("traffic",),
+    workloads=spec_labels(),
+    schemes=("rpg2", "triangel", "prophet"),
+    render=render,
+)
+def experiment(req: ExperimentRequest) -> SuiteResults:
+    return suite_request(req, shared=True)

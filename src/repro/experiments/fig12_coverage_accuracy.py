@@ -11,18 +11,36 @@ from __future__ import annotations
 from typing import Optional
 
 from ..sim.config import SystemConfig
-from .common import SuiteResults, spec_comparison
+from .common import SuiteResults, spec_comparison, spec_labels, suite_request
+from .registry import ExperimentRequest, register_experiment
 
 
 def run(n_records: int = 300_000, config: Optional[SystemConfig] = None) -> SuiteResults:
     return spec_comparison(n_records, config)
 
 
-def report(n_records: int = 300_000) -> str:
-    results = run(n_records)
+def render(results: SuiteResults) -> str:
     return "\n\n".join(
         [
             results.table("coverage", "Fig. 12a — prefetching coverage"),
             results.table("accuracy", "Fig. 12b — prefetching accuracy"),
         ]
     )
+
+
+def report(n_records: int = 300_000) -> str:
+    return render(run(n_records))
+
+
+@register_experiment(
+    "fig12",
+    description="coverage & accuracy",
+    records=300_000,
+    kind="suite",
+    metrics=("coverage", "accuracy"),
+    workloads=spec_labels(),
+    schemes=("rpg2", "triangel", "prophet"),
+    render=render,
+)
+def experiment(req: ExperimentRequest) -> SuiteResults:
+    return suite_request(req, shared=True)

@@ -26,8 +26,11 @@ from ..sim.results import format_table, geomean
 from ..workloads.base import Trace
 from ..workloads.spec import GCC_INPUTS, make_spec_trace
 from .common import triage4_params
+from .registry import ExperimentRequest, register_experiment
 
 LEARN_ORDER = ["166", "expr", "typeck", "expr2"]
+
+TITLE = "Fig. 13 — Prophet learning across gcc inputs"
 
 
 @dataclass
@@ -53,6 +56,41 @@ class LearningResults:
             ["Geomean"] + [f"{self.geomean_of(s):.3f}" for s in self.states]
         )
         return format_table(["input"] + self.states, rows, title)
+
+    def to_dict(self) -> Dict:
+        """JSON-compatible dict (inverse: :meth:`from_dict`)."""
+        return {
+            "app": self.app,
+            "inputs": list(self.inputs),
+            "states": list(self.states),
+            "speedup": {
+                state: dict(per_input) for state, per_input in self.speedup.items()
+            },
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "LearningResults":
+        return cls(
+            app=d["app"],
+            inputs=list(d["inputs"]),
+            states=list(d["states"]),
+            speedup={
+                state: {inp: float(v) for inp, v in per_input.items()}
+                for state, per_input in d["speedup"].items()
+            },
+        )
+
+    def rows(self) -> tuple:
+        """(headers, rows) for chart/CSV rendering."""
+        rows = [
+            [f"{self.app}_{inp}"]
+            + [f"{self.speedup[s][inp]:.4f}" for s in self.states]
+            for inp in self.inputs
+        ]
+        rows.append(
+            ["geomean"] + [f"{self.geomean_of(s):.4f}" for s in self.states]
+        )
+        return ["input"] + list(self.states), rows
 
 
 def run_learning_study(
@@ -129,5 +167,25 @@ def run(n_records: int = 150_000) -> LearningResults:
     return run_learning_study("gcc", GCC_INPUTS, LEARN_ORDER, n_records)
 
 
+def render(results: LearningResults) -> str:
+    return results.table(TITLE)
+
+
 def report(n_records: int = 150_000) -> str:
-    return run(n_records).table("Fig. 13 — Prophet learning across gcc inputs")
+    return render(run(n_records))
+
+
+@register_experiment(
+    "fig13",
+    description="learning across gcc inputs",
+    records=150_000,
+    workloads=tuple(f"gcc_{inp}" for inp in GCC_INPUTS),
+    render=render,
+    to_dict=LearningResults.to_dict,
+    from_dict=LearningResults.from_dict,
+    tabulate=LearningResults.rows,
+)
+def experiment(req: ExperimentRequest) -> LearningResults:
+    return run_learning_study(
+        "gcc", GCC_INPUTS, LEARN_ORDER, req.records, config=req.configure()
+    )

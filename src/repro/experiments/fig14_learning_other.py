@@ -6,26 +6,67 @@ learn the second, compare each state against Disable and per-input Direct.
 
 from __future__ import annotations
 
-from typing import Dict
+from typing import Dict, List, Tuple
 
 from ..workloads.spec import ASTAR_INPUTS, SOPLEX_INPUTS
 from .fig13_learning_gcc import LearningResults, run_learning_study
+from .registry import ExperimentRequest, register_experiment
 
 
-def run(n_records: int = 150_000) -> Dict[str, LearningResults]:
+def run(n_records: int = 150_000, config=None) -> Dict[str, LearningResults]:
     return {
         "astar": run_learning_study(
-            "astar", ASTAR_INPUTS, list(ASTAR_INPUTS), n_records
+            "astar", ASTAR_INPUTS, list(ASTAR_INPUTS), n_records, config=config
         ),
         "soplex": run_learning_study(
-            "soplex", SOPLEX_INPUTS, list(SOPLEX_INPUTS), n_records
+            "soplex", SOPLEX_INPUTS, list(SOPLEX_INPUTS), n_records, config=config
         ),
     }
 
 
-def report(n_records: int = 150_000) -> str:
-    results = run(n_records)
+def render(results: Dict[str, LearningResults]) -> str:
     return "\n\n".join(
         res.table(f"Fig. 14 — Prophet learning on {app}")
         for app, res in results.items()
     )
+
+
+def report(n_records: int = 150_000) -> str:
+    return render(run(n_records))
+
+
+def _to_dict(results: Dict[str, LearningResults]) -> Dict:
+    return {app: res.to_dict() for app, res in results.items()}
+
+
+def _from_dict(d: Dict) -> Dict[str, LearningResults]:
+    return {app: LearningResults.from_dict(rd) for app, rd in d.items()}
+
+
+def _tabulate(results: Dict[str, LearningResults]) -> Tuple[List[str], List[List[str]]]:
+    # Long format: the two apps have different learning-state names, so a
+    # shared wide table would misalign columns.
+    rows = [
+        [f"{res.app}_{inp}", state, f"{res.speedup[state][inp]:.4f}"]
+        for res in results.values()
+        for state in res.states
+        for inp in res.inputs
+    ]
+    return ["workload", "state", "speedup"], rows
+
+
+@register_experiment(
+    "fig14",
+    description="learning: astar & soplex",
+    records=150_000,
+    workloads=tuple(
+        [f"astar_{inp}" for inp in ASTAR_INPUTS]
+        + [f"soplex_{inp}" for inp in SOPLEX_INPUTS]
+    ),
+    render=render,
+    to_dict=_to_dict,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> Dict[str, LearningResults]:
+    return run(req.records, config=req.configure())

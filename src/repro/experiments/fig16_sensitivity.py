@@ -23,7 +23,8 @@ from ..core.prophet import ProphetFeatures
 from ..sim.config import SystemConfig, default_config
 from ..sim.engine import run_simulation
 from ..sim.results import format_table, geomean
-from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+from .common import spec_traces
+from .registry import ExperimentRequest, register_experiment
 
 EL_ACC_VALUES = [0.05, 0.15, 0.25]
 N_BITS_VALUES = [1, 2, 3]
@@ -54,7 +55,9 @@ class SensitivityResults:
 
 
 def run(
-    n_records: int = 120_000, config: Optional[SystemConfig] = None
+    n_records: int = 120_000,
+    config: Optional[SystemConfig] = None,
+    workloads: Optional[List[str]] = None,
 ) -> SensitivityResults:
     config = config or default_config()
     results = SensitivityResults(
@@ -64,8 +67,7 @@ def run(
         for point in _points(sweep):
             results.sweeps[sweep][point] = {}
 
-    for app, inp in SPEC_WORKLOADS:
-        trace = make_spec_trace(app, inp, n_records)
+    for trace in spec_traces(n_records, workloads):
         base = run_simulation(trace, config, None, "baseline")
         counters = profile(trace, config)
 
@@ -99,8 +101,7 @@ def _points(sweep: str) -> List[str]:
     return [f"Candidate={v}" for v in MVB_CANDIDATES]
 
 
-def report(n_records: int = 120_000) -> str:
-    results = run(n_records)
+def render(results: SensitivityResults) -> str:
     return "\n\n".join(
         [
             results.table("el_acc", "Fig. 16a — EL_ACC sensitivity"),
@@ -108,3 +109,34 @@ def report(n_records: int = 120_000) -> str:
             results.table("mvb", "Fig. 16c — MVB candidates sensitivity"),
         ]
     )
+
+
+def report(n_records: int = 120_000) -> str:
+    return render(run(n_records))
+
+
+def _tabulate(results: SensitivityResults):
+    rows = [
+        [sweep, point, label, f"{value:.4f}"]
+        for sweep, points in results.sweeps.items()
+        for point, per_label in points.items()
+        for label, value in per_label.items()
+    ]
+    return ["sweep", "point", "workload", "speedup"], rows
+
+
+def _from_dict(d: Dict) -> SensitivityResults:
+    return SensitivityResults(sweeps=d["sweeps"])
+
+
+@register_experiment(
+    "fig16",
+    description="parameter sensitivity",
+    records=120_000,
+    supports_workloads=True,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> SensitivityResults:
+    return run(req.records, req.configure(), req.workloads)

@@ -7,18 +7,39 @@ like L1 complex) and shows Prophet's advantage persists: 29.95 % vs
 
 from __future__ import annotations
 
-from typing import Optional
-
 from ..sim.config import SystemConfig, default_config
-from .common import SuiteResults, spec_comparison
+from .common import SuiteResults, spec_comparison, spec_labels, suite_request
+from .registry import ExperimentRequest, register_experiment
+
+TITLE = "Fig. 17 — IPC speedup with IPCP L1 prefetcher"
+
+
+def base_config() -> SystemConfig:
+    """Table 1 with IPCP in place of the stride L1 prefetcher."""
+    return default_config().with_l1_prefetcher("ipcp")
 
 
 def run(n_records: int = 300_000) -> SuiteResults:
-    config = default_config().with_l1_prefetcher("ipcp")
-    return spec_comparison(n_records, config, key="ipcp")
+    return spec_comparison(n_records, base_config())
+
+
+def render(results: SuiteResults) -> str:
+    return results.table("speedup", TITLE)
 
 
 def report(n_records: int = 300_000) -> str:
-    return run(n_records).table(
-        "speedup", "Fig. 17 — IPC speedup with IPCP L1 prefetcher"
-    )
+    return render(run(n_records))
+
+
+@register_experiment(
+    "fig17",
+    description="IPCP L1 prefetcher",
+    records=300_000,
+    kind="suite",
+    metrics=("speedup",),
+    workloads=spec_labels(),
+    schemes=("rpg2", "triangel", "prophet"),
+    render=render,
+)
+def experiment(req: ExperimentRequest) -> SuiteResults:
+    return suite_request(req, base_config=base_config(), shared=True)

@@ -8,15 +8,36 @@ aggressive prefetching; the paper reports Prophet 32.27 % vs Triangel
 from __future__ import annotations
 
 from ..sim.config import default_config
-from .common import SuiteResults, spec_comparison
+from .common import SuiteResults, spec_comparison, spec_labels, suite_request
+from .registry import ExperimentRequest, register_experiment
+
+TITLE = "Fig. 18 — IPC speedup with 2 DRAM channels"
 
 
 def run(n_records: int = 300_000, channels: int = 2) -> SuiteResults:
     config = default_config().with_dram_channels(channels)
-    return spec_comparison(n_records, config, key=f"dram{channels}")
+    return spec_comparison(n_records, config)
+
+
+def render(results: SuiteResults) -> str:
+    return results.table("speedup", TITLE)
 
 
 def report(n_records: int = 300_000) -> str:
-    return run(n_records).table(
-        "speedup", "Fig. 18 — IPC speedup with 2 DRAM channels"
+    return render(run(n_records))
+
+
+@register_experiment(
+    "fig18",
+    description="2 DRAM channels",
+    records=300_000,
+    kind="suite",
+    metrics=("speedup",),
+    workloads=spec_labels(),
+    schemes=("rpg2", "triangel", "prophet"),
+    render=render,
+)
+def experiment(req: ExperimentRequest) -> SuiteResults:
+    return suite_request(
+        req, base_config=default_config().with_dram_channels(2), shared=True
     )

@@ -22,7 +22,8 @@ from ..core.prophet import ProphetFeatures
 from ..sim.config import SystemConfig, default_config
 from ..sim.engine import run_simulation
 from ..sim.results import format_table, geomean
-from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+from .common import spec_traces
+from .registry import ExperimentRequest, register_experiment
 
 #: Cumulative feature states, in the paper's order.  The runtime is
 #: "triage" (no PatternConf filter) throughout: the base configuration is
@@ -66,15 +67,16 @@ class BreakdownResults:
 
 
 def run(
-    n_records: int = 150_000, config: Optional[SystemConfig] = None
+    n_records: int = 150_000,
+    config: Optional[SystemConfig] = None,
+    workloads: Optional[List[str]] = None,
 ) -> BreakdownResults:
     config = config or default_config()
     results = BreakdownResults(
         speedup={name: {} for name, _ in STATES},
         traffic={name: {} for name, _ in STATES},
     )
-    for app, inp in SPEC_WORKLOADS:
-        trace = make_spec_trace(app, inp, n_records)
+    for trace in spec_traces(n_records, workloads):
         base = run_simulation(trace, config, None, "baseline")
         binary = OptimizedBinary.from_profile(trace, config)
         for name, features in STATES:
@@ -85,11 +87,44 @@ def run(
     return results
 
 
-def report(n_records: int = 150_000) -> str:
-    results = run(n_records)
+def render(results: BreakdownResults) -> str:
     return "\n\n".join(
         [
             results.table("speedup", "Fig. 19a — feature breakdown (speedup)"),
             results.table("traffic", "Fig. 19b — feature breakdown (DRAM traffic)"),
         ]
     )
+
+
+def report(n_records: int = 150_000) -> str:
+    return render(run(n_records))
+
+
+def _tabulate(results: BreakdownResults):
+    states = [name for name, _ in STATES]
+    labels = list(results.speedup[states[0]])
+    rows = [
+        [label] + [f"{results.speedup[s][label]:.4f}" for s in states]
+        for label in labels
+    ]
+    rows.append(
+        ["geomean"] + [f"{results.geomean_of('speedup', s):.4f}" for s in states]
+    )
+    return ["workload"] + states, rows
+
+
+def _from_dict(d: Dict) -> BreakdownResults:
+    return BreakdownResults(speedup=d["speedup"], traffic=d["traffic"])
+
+
+@register_experiment(
+    "fig19",
+    description="feature breakdown",
+    records=150_000,
+    supports_workloads=True,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> BreakdownResults:
+    return run(req.records, req.configure(), req.workloads)

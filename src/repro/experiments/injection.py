@@ -27,7 +27,8 @@ from ..binary.injection import (
 from ..core.pipeline import OptimizedBinary
 from ..sim.config import SystemConfig, default_config
 from ..sim.results import format_table
-from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+from .common import spec_traces
+from .registry import ExperimentRequest, register_experiment
 
 #: ARM memory encodings assumed to have spare hint bits (model parameter;
 #: the constraint Section 4.4 notes is that this is below 1.0).
@@ -51,13 +52,14 @@ class WorkloadInjection:
 
 
 def measure(
-    n_records: int = 80_000, config: Optional[SystemConfig] = None
+    n_records: int = 80_000,
+    config: Optional[SystemConfig] = None,
+    workloads: Optional[list] = None,
 ) -> Dict[str, WorkloadInjection]:
     """Profile each workload, inject its hints three ways, report costs."""
     config = config or default_config()
     out: Dict[str, WorkloadInjection] = {}
-    for app, inp in SPEC_WORKLOADS:
-        trace = make_spec_trace(app, inp, n_records)
+    for trace in spec_traces(n_records, workloads):
         binary = OptimizedBinary.from_profile(trace, config)
         hints = binary.hints.pc_hints
         misses = binary.counters.miss_counts
@@ -75,8 +77,7 @@ def measure(
     return out
 
 
-def report(n_records: int = 80_000) -> str:
-    measured = measure(n_records)
+def render(measured: Dict[str, WorkloadInjection]) -> str:
     rows = []
     for label, w in measured.items():
         rows.append(
@@ -103,3 +104,53 @@ def report(n_records: int = 80_000) -> str:
         rows,
         "Section 4.4 — hint injection methods",
     )
+
+
+def report(n_records: int = 80_000) -> str:
+    return render(measure(n_records))
+
+
+def _tabulate(measured: Dict[str, WorkloadInjection]):
+    rows = [
+        [
+            label,
+            str(w.hint_buffer.hinted_pcs),
+            str(w.hint_buffer.static_bytes_added),
+            f"{w.dynamic_overhead(w.hint_buffer):.8f}",
+            str(w.prefix.static_bytes_added),
+            f"{w.prefix.payload_bytes:.0f}",
+            str(w.reserved.hinted_pcs),
+        ]
+        for label, w in measured.items()
+    ]
+    return (
+        ["workload", "hint_instructions", "hb_static_bytes", "hb_dynamic_overhead",
+         "prefix_static_bytes", "prefix_payload_bytes", "reserved_reached_pcs"],
+        rows,
+    )
+
+
+def _from_dict(d: Dict) -> Dict[str, WorkloadInjection]:
+    return {
+        label: WorkloadInjection(
+            label=wd["label"],
+            total_instructions=wd["total_instructions"],
+            hint_buffer=InjectionReport(**wd["hint_buffer"]),
+            prefix=InjectionReport(**wd["prefix"]),
+            reserved=InjectionReport(**wd["reserved"]),
+        )
+        for label, wd in d.items()
+    }
+
+
+@register_experiment(
+    "injection",
+    description="hint injection methods (4.4)",
+    records=80_000,
+    supports_workloads=True,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> Dict[str, WorkloadInjection]:
+    return measure(req.records, req.configure(), req.workloads)

@@ -23,7 +23,8 @@ from ..core.hints import HINT_BUFFER_ENTRIES
 from ..core.profiler import profile
 from ..sim.config import SystemConfig, default_config
 from ..sim.results import format_table
-from ..workloads.spec import SPEC_WORKLOADS, make_spec_trace
+from .common import spec_traces
+from .registry import ExperimentRequest, register_experiment
 
 #: PEBS sampling cost bound from the paper's citation ([15]): < 2 %.
 PROFILING_OVERHEAD_BOUND = 0.02
@@ -44,12 +45,13 @@ class OverheadReport:
 
 
 def measure(
-    n_records: int = 100_000, config: Optional[SystemConfig] = None
+    n_records: int = 100_000,
+    config: Optional[SystemConfig] = None,
+    workloads: Optional[list] = None,
 ) -> Dict[str, OverheadReport]:
     config = config or default_config()
     out: Dict[str, OverheadReport] = {}
-    for app, inp in SPEC_WORKLOADS:
-        trace = make_spec_trace(app, inp, n_records)
+    for trace in spec_traces(n_records, workloads):
         counters = profile(trace, config)
         start = time.perf_counter()
         hints = analyze(counters, config)
@@ -66,8 +68,7 @@ def measure(
     return out
 
 
-def report(n_records: int = 100_000) -> str:
-    reports = measure(n_records)
+def render(reports: Dict[str, OverheadReport]) -> str:
     rows = [
         [
             label,
@@ -83,3 +84,42 @@ def report(n_records: int = 100_000) -> str:
         rows,
         "Section 5.4 — profiling / analysis / instruction overhead",
     )
+
+
+def report(n_records: int = 100_000) -> str:
+    return render(measure(n_records))
+
+
+def _tabulate(reports: Dict[str, OverheadReport]):
+    rows = [
+        [
+            label,
+            str(r.counter_bytes),
+            f"{r.analysis_seconds * 1000:.3f}",
+            str(r.hint_instructions),
+            f"{r.instruction_overhead:.8f}",
+        ]
+        for label, r in reports.items()
+    ]
+    return (
+        ["workload", "counter_bytes", "analysis_ms", "hint_instructions",
+         "instruction_overhead"],
+        rows,
+    )
+
+
+def _from_dict(d: Dict) -> Dict[str, OverheadReport]:
+    return {label: OverheadReport(**rd) for label, rd in d.items()}
+
+
+@register_experiment(
+    "overhead",
+    description="profiling overheads (5.4)",
+    records=100_000,
+    supports_workloads=True,
+    render=render,
+    from_dict=_from_dict,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> Dict[str, OverheadReport]:
+    return measure(req.records, req.configure(), req.workloads)

@@ -8,7 +8,8 @@ Prophet's hardware additions:
 
 All three are computed from the same constants the implementation uses,
 so this experiment doubles as a consistency check between the model and
-the paper's arithmetic.
+the paper's arithmetic.  It is *static* — no trace is simulated — so it
+registers with ``records=None`` rather than a zero-record sentinel.
 """
 
 from __future__ import annotations
@@ -20,6 +21,7 @@ from ..core.mvb import MVB_BITS_PER_ENTRY, MVB_ENTRIES, MultiPathVictimBuffer
 from ..core.replacement import DEFAULT_PRIORITY_BITS, replacement_state_bytes
 from ..sim.config import MAX_METADATA_ENTRIES
 from ..sim.results import format_table
+from .registry import ExperimentRequest, register_experiment
 
 
 def measure() -> Dict[str, float]:
@@ -42,10 +44,9 @@ PAPER_KB = {
 }
 
 
-def report() -> str:
-    ours = measure()
+def render(measured: Dict[str, float]) -> str:
     rows = [
-        [name, f"{ours[name]:.2f}", f"{PAPER_KB[name]:.2f}"]
+        [name, f"{measured[name]:.2f}", f"{PAPER_KB[name]:.2f}"]
         for name in PAPER_KB
     ]
     return format_table(
@@ -53,3 +54,29 @@ def report() -> str:
         rows,
         "Section 5.10 — Prophet storage overhead",
     )
+
+
+def report() -> str:
+    return render(measure())
+
+
+def _tabulate(measured: Dict[str, float]):
+    return (
+        ["structure", "measured_kb", "paper_kb"],
+        [
+            [name, f"{measured[name]:.2f}", f"{PAPER_KB[name]:.2f}"]
+            for name in PAPER_KB
+        ],
+    )
+
+
+@register_experiment(
+    "storage",
+    description="storage overhead (5.10)",
+    records=None,
+    render=render,
+    supports_overrides=False,
+    tabulate=_tabulate,
+)
+def experiment(req: ExperimentRequest) -> Dict[str, float]:
+    return measure()

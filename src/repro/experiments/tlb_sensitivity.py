@@ -18,7 +18,16 @@ from typing import Dict, Optional
 
 from ..sim.config import SystemConfig, default_config
 from ..workloads.spec import spec_suite
-from .common import DEFAULT_SCHEMES, SuiteResults, evaluate_suite
+from .common import (
+    DEFAULT_SCHEMES,
+    SuiteResults,
+    evaluate_suite,
+    spec_labels,
+    suite_request,
+)
+from .registry import ExperimentRequest, register_experiment
+
+TITLE = "Realistic VM (TLB + page-bound L1 PF) — IPC speedup"
 
 
 def realistic_vm_config() -> SystemConfig:
@@ -35,11 +44,13 @@ def run(
     )
 
 
-def report(n_records: int = 150_000) -> str:
+def render(results: SuiteResults) -> str:
     """Render the realistic-VM speedup rows."""
-    return run(n_records).table(
-        "speedup", "Realistic VM (TLB + page-bound L1 PF) — IPC speedup"
-    )
+    return results.table("speedup", TITLE)
+
+
+def report(n_records: int = 150_000) -> str:
+    return render(run(n_records))
 
 
 def compare(n_records: int = 150_000) -> Dict[str, SuiteResults]:
@@ -49,3 +60,17 @@ def compare(n_records: int = 150_000) -> Dict[str, SuiteResults]:
         "ideal": evaluate_suite(traces, default_config(), DEFAULT_SCHEMES),
         "realistic": evaluate_suite(traces, realistic_vm_config(), DEFAULT_SCHEMES),
     }
+
+
+@register_experiment(
+    "tlbvm",
+    description="realistic virtual memory (TLB + page-bound L1 PF)",
+    records=150_000,
+    kind="suite",
+    metrics=("speedup",),
+    workloads=spec_labels(),
+    schemes=("rpg2", "triangel", "prophet"),
+    render=render,
+)
+def experiment(req: ExperimentRequest) -> SuiteResults:
+    return suite_request(req, base_config=realistic_vm_config())

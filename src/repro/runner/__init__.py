@@ -19,7 +19,7 @@ Layers:
   configures parallelism/caching once for every experiment.
 """
 
-from .context import get_runner, set_runner, use_runner
+from .context import get_runner, make_runner, set_runner, use_runner
 from .jobs import ENGINE_VERSION, SimJob, TraceRef, config_from_dict, config_to_dict
 from .runner import ResultCache, Runner, RunnerStats
 
@@ -33,6 +33,7 @@ __all__ = [
     "config_from_dict",
     "config_to_dict",
     "get_runner",
+    "make_runner",
     "set_runner",
     "use_runner",
 ]

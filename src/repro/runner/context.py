@@ -10,11 +10,32 @@ historical inline behavior unless they opt in.
 from __future__ import annotations
 
 from contextlib import contextmanager
-from typing import Iterator, Optional
+from pathlib import Path
+from typing import Callable, Iterator, Optional, Union
 
 from .runner import Runner
 
 _ACTIVE: Optional[Runner] = None
+
+
+def make_runner(
+    jobs: int = 1,
+    cache_dir: Optional[Union[str, Path]] = None,
+    progress: Optional[Callable] = None,
+) -> Runner:
+    """Build a Runner from the Experiment API's execution knobs.
+
+    ``cache_dir=None`` disables the on-disk cache (the library default);
+    pass a directory to opt in.  This is the one place
+    :func:`repro.api.run` and the CLI construct runners, so the knob
+    semantics stay identical everywhere.
+    """
+    return Runner(
+        jobs=jobs,
+        cache_dir=cache_dir,
+        use_cache=cache_dir is not None,
+        progress=progress,
+    )
 
 
 def get_runner() -> Runner:

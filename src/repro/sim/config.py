@@ -11,7 +11,10 @@ All sizes are in bytes and all latencies in core cycles unless noted.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+import hashlib
+import json
+from dataclasses import asdict, dataclass, field, fields, is_dataclass, replace
+from typing import Any, Mapping, Tuple
 
 LINE_SIZE = 64
 LINE_SHIFT = 6
@@ -168,3 +171,135 @@ def default_config() -> SystemConfig:
 def line_of(addr: int) -> int:
     """Cache-line address (block number) of a byte address."""
     return addr >> LINE_SHIFT
+
+
+# ----------------------------------------------------------------------
+# content hashing and dotted-path overrides (the Experiment API's config
+# surface: ``repro.api.run(..., overrides={"l3.size_kb": 2048})`` and the
+# CLI's ``--set key=value`` both land here)
+# ----------------------------------------------------------------------
+
+def config_digest(config: SystemConfig) -> str:
+    """Stable sha256 content hash of a configuration.
+
+    Two configs digest equally iff every field (recursively) is equal, so
+    the hash is safe to use as a memo/cache key component.
+    """
+    blob = json.dumps(asdict(config), sort_keys=True).encode()
+    return hashlib.sha256(blob).hexdigest()
+
+
+#: Convenience aliases accepted as override leaf names: alias ->
+#: (real field, multiplier applied to the value).  ``l3.size_kb=2048``
+#: reads better than ``l3.size_bytes=2097152`` in a sweep spec.
+_OVERRIDE_ALIASES = {
+    "size_kb": ("size_bytes", 1024),
+    "size_mb": ("size_bytes", 1024 * 1024),
+}
+
+_TRUE_STRINGS = {"true", "yes", "on", "1"}
+_FALSE_STRINGS = {"false", "no", "off", "0"}
+
+
+def _coerce(value: Any, current: Any, path: str) -> Any:
+    """Coerce ``value`` to the type of the field's current value."""
+    if isinstance(current, bool):
+        if isinstance(value, bool):
+            return value
+        if isinstance(value, (int, float)) and value in (0, 1):
+            return bool(value)
+        if isinstance(value, str) and value.lower() in _TRUE_STRINGS | _FALSE_STRINGS:
+            return value.lower() in _TRUE_STRINGS
+        raise ValueError(f"config key {path!r} expects a boolean, got {value!r}")
+    if isinstance(current, int):
+        if isinstance(value, bool):
+            raise ValueError(f"config key {path!r} expects an integer, got {value!r}")
+        if isinstance(value, int):
+            return value
+        if isinstance(value, float) and value.is_integer():
+            return int(value)
+        if isinstance(value, str):
+            return int(value, 0)
+        raise ValueError(f"config key {path!r} expects an integer, got {value!r}")
+    if isinstance(current, float):
+        if isinstance(value, bool):
+            raise ValueError(f"config key {path!r} expects a number, got {value!r}")
+        if isinstance(value, (int, float)):
+            return float(value)
+        if isinstance(value, str):
+            return float(value)
+        raise ValueError(f"config key {path!r} expects a number, got {value!r}")
+    if isinstance(current, str):
+        if isinstance(value, str):
+            return value
+        raise ValueError(f"config key {path!r} expects a string, got {value!r}")
+    raise ValueError(f"config key {path!r} is not overridable")
+
+
+def _override_one(obj: Any, path: str, full_path: str, value: Any) -> Any:
+    head, _, rest = path.partition(".")
+    if not is_dataclass(obj):
+        raise ValueError(f"unknown config key {full_path!r}")
+    names = [f.name for f in fields(obj)]
+    scale = 1
+    if head not in names and not rest and head in _OVERRIDE_ALIASES:
+        alias_target, scale = _OVERRIDE_ALIASES[head]
+        if alias_target in names:
+            head = alias_target
+        else:
+            scale = 1
+    if head not in names:
+        raise ValueError(
+            f"unknown config key {full_path!r}; "
+            f"options here: {', '.join(sorted(names))}"
+        )
+    current = getattr(obj, head)
+    if rest:
+        if not is_dataclass(current):
+            raise ValueError(
+                f"config key {full_path!r}: {head!r} has no sub-fields"
+            )
+        return replace(obj, **{head: _override_one(current, rest, full_path, value)})
+    if scale != 1:
+        if isinstance(value, str):
+            value = float(value)
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            value = value * scale
+            if isinstance(value, float) and value.is_integer():
+                value = int(value)
+    return replace(obj, **{head: _coerce(value, current, full_path)})
+
+
+def apply_overrides(
+    config: SystemConfig, overrides: Mapping[str, Any]
+) -> SystemConfig:
+    """Return a copy of ``config`` with dotted-path overrides applied.
+
+    Paths name dataclass fields (``mlp``, ``dram.channels``,
+    ``l3.size_bytes``, ``core.rob_entries``, ...); the ``size_kb`` /
+    ``size_mb`` aliases scale into ``size_bytes``.  Unknown keys raise
+    ``ValueError`` listing the valid options at the failing level, and
+    values are coerced to the field's type (strings from the CLI's
+    ``--set`` parse cleanly into ints/floats/bools).
+    """
+    for path, value in (overrides or {}).items():
+        config = _override_one(config, path, path, value)
+    return config
+
+
+def parse_override(expr: str) -> Tuple[str, Any]:
+    """Parse one CLI ``--set key=value`` expression into ``(path, value)``.
+
+    The value is JSON-decoded when possible (``2048``, ``1.5``, ``true``)
+    and kept as a plain string otherwise (``ipcp``).
+    """
+    path, sep, raw = expr.partition("=")
+    path = path.strip()
+    if not sep or not path:
+        raise ValueError(f"--set expects key=value, got {expr!r}")
+    raw = raw.strip()
+    try:
+        value = json.loads(raw)
+    except json.JSONDecodeError:
+        value = raw
+    return path, value

@@ -8,6 +8,13 @@ Every experiment's numbers can be rendered three ways:
   external plotting;
 - :func:`to_markdown` — tables that drop straight into EXPERIMENTS.md.
 
+On top of those primitives, :func:`render_result` renders *any*
+:class:`repro.api.ExperimentResult` — suite or not — as a report table,
+chart, CSV, or JSON from the same structured object: suite payloads use
+the first-class grid renderers, everything else goes through the
+experiment's declared ``tabulate`` or a generic tabulation of its
+serialized payload.
+
 All functions are pure string builders with no plotting dependencies, so
 they work over SSH, in CI logs, and in the saved ``benchmarks/results``
 reports.
@@ -16,7 +23,7 @@ reports.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Mapping, Optional, Sequence
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
 
 BAR_CHAR = "█"
 HALF_CHAR = "▌"
@@ -174,4 +181,156 @@ def suite_chart(results, metric: str = "speedup", title: Optional[str] = None) -
     baseline = 1.0 if metric in ("speedup", "traffic") else None
     return grouped_bar_chart(
         results.labels, series, title=title, baseline=baseline
+    )
+
+
+# ----------------------------------------------------------------------
+# rendering any ExperimentResult (the Experiment API's output object)
+# ----------------------------------------------------------------------
+
+def _is_scalar(v) -> bool:
+    return isinstance(v, (str, int, float, bool)) or v is None
+
+
+def _fmt_cell(v) -> str:
+    if isinstance(v, float):
+        return f"{v:.4f}"
+    return str(v)
+
+
+def generic_rows(payload) -> Tuple[List[str], List[List[str]]]:
+    """(headers, rows) for an arbitrary dictified payload.
+
+    Handles the common experiment shapes: a flat mapping becomes
+    key/value rows; a mapping of mappings becomes a cross table (union of
+    inner keys as columns, deeper values stringified).  Anything else is
+    a single-cell table.
+    """
+    if isinstance(payload, Mapping) and payload:
+        values = list(payload.values())
+        if all(isinstance(v, Mapping) for v in values):
+            columns: List[str] = []
+            for v in values:
+                for k in v:
+                    if k not in columns:
+                        columns.append(str(k))
+            rows = [
+                [str(key)] + [_fmt_cell(v.get(c, v.get(_maybe_int(c), "")))
+                              for c in columns]
+                for key, v in payload.items()
+            ]
+            return ["key"] + columns, rows
+        rows = [
+            [str(k), _fmt_cell(v) if _is_scalar(v) else _fmt_cell(str(v))]
+            for k, v in payload.items()
+        ]
+        return ["key", "value"], rows
+    return ["value"], [[_fmt_cell(payload) if _is_scalar(payload) else str(payload)]]
+
+
+def _maybe_int(s: str):
+    try:
+        return int(s)
+    except (TypeError, ValueError):
+        return s
+
+
+def result_rows(result) -> Tuple[List[str], List[List[str]]]:
+    """(headers, rows) for any ExperimentResult.
+
+    Suite payloads use :func:`suite_rows` on the experiment's primary
+    metric; other experiments use their declared ``tabulate`` or fall
+    back to :func:`generic_rows` over the serialized payload.
+    """
+    exp = result.experiment
+    if exp.kind == "suite":
+        metric = exp.metrics[0] if exp.metrics else "speedup"
+        return (
+            ["workload"] + list(result.payload.schemes),
+            suite_rows(result.payload, metric),
+        )
+    if exp.tabulate is not None:
+        headers, rows = exp.tabulate(result.payload)
+        return list(headers), [list(r) for r in rows]
+    return generic_rows(exp.payload_to_dict(result.payload))
+
+
+def result_csv(result) -> str:
+    """CSV rendering of any ExperimentResult."""
+    exp = result.experiment
+    if exp.kind == "suite":
+        metric = exp.metrics[0] if exp.metrics else "speedup"
+        return suite_to_csv(result.payload, metric)
+    headers, rows = result_rows(result)
+    return to_csv(headers, rows)
+
+
+def result_chart(result, title: Optional[str] = None) -> str:
+    """ASCII chart of any ExperimentResult.
+
+    Suite payloads render the Fig. 10-style grouped chart on the primary
+    metric; tabular payloads chart their numeric columns (one series per
+    column).  Raises ``ValueError`` when the payload has no numeric
+    columns to chart.
+    """
+    exp = result.experiment
+    if exp.kind == "suite":
+        metric = exp.metrics[0] if exp.metrics else "speedup"
+        return suite_chart(
+            result.payload, metric,
+            title=title if title is not None else f"{result.name} — {metric}",
+        )
+    headers, rows = result_rows(result)
+    numeric: List[int] = []
+    for i in range(1, len(headers)):
+        try:
+            for row in rows:
+                float(row[i])
+        except (TypeError, ValueError, IndexError):
+            continue
+        numeric.append(i)
+    if not rows or not numeric:
+        raise ValueError(
+            f"experiment {result.name!r} has no numeric columns to chart; "
+            "use the report or CSV rendering"
+        )
+    # Bars are identified by every non-numeric column, not just the first
+    # — long-format tables (sweep, point, workload, value) would otherwise
+    # chart as runs of duplicate labels.
+    label_cols = [i for i in range(len(headers)) if i not in numeric]
+    labels = [
+        " ".join(str(row[i]) for i in label_cols if i < len(row)) or "-"
+        for row in rows
+    ]
+    if len(numeric) == 1:
+        i = numeric[0]
+        return bar_chart(
+            labels, [float(row[i]) for row in rows],
+            title=title if title is not None else f"{result.name} — {headers[i]}",
+        )
+    series = {
+        headers[i]: [float(row[i]) for row in rows] for i in numeric
+    }
+    return grouped_bar_chart(
+        labels, series,
+        title=title if title is not None else f"{result.name}",
+    )
+
+
+def render_result(result, fmt: str = "report") -> str:
+    """Render an ExperimentResult as ``report``, ``chart``, ``csv``,
+    ``markdown``, or ``json``."""
+    if fmt == "report":
+        return result.text()
+    if fmt == "chart":
+        return result_chart(result)
+    if fmt == "csv":
+        return result_csv(result)
+    if fmt == "markdown":
+        headers, rows = result_rows(result)
+        return to_markdown(headers, rows)
+    if fmt == "json":
+        return result.to_json(indent=2)
+    raise ValueError(
+        f"unknown format {fmt!r}; options: report, chart, csv, markdown, json"
     )

@@ -41,6 +41,27 @@ def all_labels() -> List[str]:
     return out
 
 
+def validate_labels(labels: List[str]) -> List[str]:
+    """Check every label against the catalog; returns them unchanged.
+
+    The one place the "unknown workload" error is produced, shared by the
+    Experiment API's workload selectors.
+    """
+    known = set(all_labels())
+    unknown = [l for l in labels if l not in known]
+    if unknown:
+        raise ValueError(
+            f"unknown workload(s): {', '.join(unknown)}; catalog: "
+            + ", ".join(all_labels())
+        )
+    return list(labels)
+
+
+def resolve_traces(labels: List[str], n_records: int) -> List[Trace]:
+    """Validate ``labels`` and materialize their traces."""
+    return [make_trace(label, n_records) for label in validate_labels(labels)]
+
+
 def make_trace(label: str, n_records: int = 120_000, **kwargs) -> Trace:
     """Build the trace for any catalog label (SPEC persona or CRONO)."""
     if label in CRONO_WORKLOADS:

@@ -2,14 +2,17 @@
 
 import pytest
 
-from repro.cli import EXPERIMENTS, main, run_experiment
+from repro.cli import main
+from repro.experiments import REGISTRY
 from repro.sim.config import (
     LINE_SIZE,
     MAX_METADATA_ENTRIES,
     METADATA_ENTRIES_PER_LINE,
     CacheConfig,
+    apply_overrides,
     default_config,
     line_of,
+    parse_override,
 )
 
 
@@ -45,6 +48,45 @@ class TestConfig:
         assert cfg3.l1_prefetcher == "ipcp"
 
 
+class TestOverrides:
+    def test_top_level_override(self):
+        cfg = apply_overrides(default_config(), {"mlp": 8})
+        assert cfg.mlp == 8
+
+    def test_nested_override(self):
+        cfg = apply_overrides(default_config(), {"dram.channels": 2})
+        assert cfg.dram.channels == 2
+        assert default_config().dram.channels == 1
+
+    def test_size_kb_alias(self):
+        cfg = apply_overrides(default_config(), {"l3.size_kb": 4096})
+        assert cfg.l3.size_bytes == 4096 * 1024
+
+    def test_unknown_key_rejected(self):
+        with pytest.raises(ValueError, match="unknown config key"):
+            apply_overrides(default_config(), {"l3.bogus": 1})
+        with pytest.raises(ValueError, match="unknown config key"):
+            apply_overrides(default_config(), {"nonsense": 1})
+
+    def test_type_coercion_from_strings(self):
+        cfg = apply_overrides(
+            default_config(),
+            {"mlp": "8", "tlb_enabled": "true", "l1_prefetcher": "ipcp",
+             "dram.bytes_per_cycle_per_channel": "8.0"},
+        )
+        assert cfg.mlp == 8
+        assert cfg.tlb_enabled is True
+        assert cfg.l1_prefetcher == "ipcp"
+        assert cfg.dram.bytes_per_cycle_per_channel == 8.0
+
+    def test_parse_override(self):
+        assert parse_override("l3.size_kb=2048") == ("l3.size_kb", 2048)
+        assert parse_override("l1_prefetcher=ipcp") == ("l1_prefetcher", "ipcp")
+        assert parse_override("tlb_enabled=true") == ("tlb_enabled", True)
+        with pytest.raises(ValueError):
+            parse_override("no_equals_sign")
+
+
 class TestCLI:
     def test_list_covers_all_figures(self, capsys):
         assert main(["list"]) == 0
@@ -53,23 +95,29 @@ class TestCLI:
             assert fig in out
 
     def test_experiment_registry_complete(self):
-        # Every evaluation artifact of the paper has a CLI entry
+        # Every evaluation artifact of the paper has a registry entry
         # (extension studies may add more — see DESIGN.md X1-X5).
         expected = {f"fig{n:02d}" for n in (1, 6, 8, 10, 11, 12, 13, 14, 15,
                                             16, 17, 18, 19)}
         expected |= {"storage", "energy", "overhead"}
-        assert expected <= set(EXPERIMENTS)
+        assert expected <= set(REGISTRY)
 
     def test_unknown_experiment_errors(self):
         with pytest.raises(SystemExit):
             main(["fig99"])
 
     def test_storage_runs_and_writes(self, tmp_path, capsys):
-        assert main(["storage", "--out", str(tmp_path)]) == 0
+        assert main(["storage", "--out", str(tmp_path), "--no-cache"]) == 0
         assert (tmp_path / "storage.txt").exists()
         assert "48.00" in (tmp_path / "storage.txt").read_text()
 
-    def test_run_experiment_records_override(self, tmp_path):
-        text = run_experiment("fig08", 5_000, tmp_path)
-        assert "T=1" in text
+    def test_records_override_and_out(self, tmp_path, capsys):
+        assert main(["fig08", "--records", "5000", "--out", str(tmp_path),
+                     "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "T=1" in out
         assert (tmp_path / "fig08.txt").exists()
+
+    def test_static_experiment_rejects_records(self):
+        with pytest.raises(SystemExit):
+            main(["storage", "--records", "5"])

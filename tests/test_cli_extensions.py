@@ -3,20 +3,24 @@
 import pytest
 
 from repro import cli
+from repro.experiments import REGISTRY, get_experiment
 
 
 class TestRegistry:
     def test_new_experiments_registered(self):
         for name in ("offchip", "injection", "tlbvm"):
-            assert name in cli.EXPERIMENTS
+            assert name in REGISTRY
 
-    def test_chartable_subset_of_experiments(self):
-        assert set(cli.CHARTABLE) <= set(cli.EXPERIMENTS)
+    def test_suite_experiments_declare_metrics(self):
+        for exp in REGISTRY.values():
+            if exp.kind == "suite":
+                assert exp.metrics, f"{exp.name} declares no metrics"
+                assert exp.supports_workloads and exp.supports_schemes
 
     def test_list_marks_chartable(self, capsys):
         cli.main(["list"])
         out = capsys.readouterr().out
-        assert "[chartable]" in out
+        assert "chartable" in out
         assert "tlbvm" in out
 
 
@@ -37,18 +41,32 @@ class TestTraceCommand:
 
 
 class TestChartCommand:
-    def test_chart_rejected_for_unchartable(self, capsys):
-        with pytest.raises(SystemExit):
-            cli.main(["fig13", "--chart"])
-
     def test_chart_renders(self, capsys):
-        assert cli.main(["fig10", "--chart", "--records", "20000"]) == 0
+        assert cli.main(["fig10", "--chart", "--records", "20000",
+                         "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert "█" in out or "▌" in out
         assert "prophet" in out
 
     def test_csv_renders(self, capsys):
-        assert cli.main(["fig10", "--csv", "--records", "20000"]) == 0
+        assert cli.main(["fig10", "--csv", "--records", "20000",
+                         "--no-cache"]) == 0
         out = capsys.readouterr().out
         assert out.splitlines()[0].startswith("workload,")
         assert "geomean" in out
+
+    def test_generic_experiment_charts_too(self, capsys):
+        # Non-suite experiments render through their tabulation now
+        # (the old CLI rejected anything outside the CHARTABLE table).
+        assert cli.main(["storage", "--chart", "--no-cache"]) == 0
+        out = capsys.readouterr().out
+        assert "█" in out or "▌" in out
+
+    def test_chart_and_csv_respect_out(self, tmp_path, capsys):
+        assert cli.main(["storage", "--chart", "--out", str(tmp_path),
+                         "--no-cache"]) == 0
+        assert (tmp_path / "storage.txt").exists()
+        assert cli.main(["storage", "--csv", "--out", str(tmp_path),
+                         "--no-cache"]) == 0
+        csv_text = (tmp_path / "storage.csv").read_text()
+        assert csv_text.startswith("structure,")

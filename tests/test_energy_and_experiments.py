@@ -126,11 +126,17 @@ class TestExperimentSmoke:
 
     def test_spec_comparison_memo_contract(self):
         from repro.experiments.common import _SPEC_MEMO
+        from repro.sim.config import config_digest, default_config
 
-        # The shared Fig. 10/11/12 memo is keyed by (records, config key).
+        # The shared Fig. 10/11/12 memo is keyed by (records, config
+        # content hash): two callers with different SystemConfigs must
+        # never share results, even at equal record counts.
         assert isinstance(_SPEC_MEMO, dict)
+        digest = config_digest(default_config())
+        assert digest != config_digest(default_config().with_dram_channels(2))
         for key in _SPEC_MEMO:
             assert len(key) == 2
+            assert isinstance(key[1], str) and len(key[1]) == 64
 
 
 class TestExperimentSmokeSlowPieces:
