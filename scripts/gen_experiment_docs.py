@@ -1,0 +1,133 @@
+#!/usr/bin/env python
+"""Render ``docs/experiments.md`` from the live experiment registry.
+
+Every figure/ablation module self-declares through
+:func:`repro.experiments.registry.register_experiment`; this script walks
+the registry and emits one documentation section per experiment — name,
+description, defaults, scenario knobs, chartable metrics, and the
+implementing module — so the catalog documents itself and can never
+drift from the code silently.
+
+Usage::
+
+    PYTHONPATH=src python scripts/gen_experiment_docs.py          # write
+    PYTHONPATH=src python scripts/gen_experiment_docs.py --check  # CI
+
+``--check`` regenerates the document in memory and exits non-zero when
+the committed file is stale; CI runs it next to the test suite.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+DEFAULT_OUT = REPO_ROOT / "docs" / "experiments.md"
+
+if str(REPO_ROOT / "src") not in sys.path:
+    sys.path.insert(0, str(REPO_ROOT / "src"))
+
+HEADER = """\
+# Experiment catalog
+
+<!-- GENERATED FILE — do not edit by hand.
+     Regenerate with:  PYTHONPATH=src python scripts/gen_experiment_docs.py
+     CI fails when this file is stale (scripts/gen_experiment_docs.py --check). -->
+
+Every experiment is a registered, declarative object
+(`repro.experiments.registry`); this catalog is rendered from the live
+registry.  Run any of them through the facade:
+
+```python
+import repro.api as api
+result = api.run("<name>", records=..., workloads=[...], schemes=[...],
+                 overrides={"l3.size_kb": 4096}, jobs=4)
+print(result.text())
+```
+
+or the CLI: `python -m repro.cli <name> [--records N] [--workloads ...]
+[--schemes ...] [--set key=value] [--jobs N] [--json|--chart|--csv]`.
+"""
+
+
+def _fmt_tuple(values) -> str:
+    return ", ".join(f"`{v}`" for v in values) if values else "—"
+
+
+def render_catalog() -> str:
+    from repro.experiments import all_experiments
+
+    experiments = all_experiments()
+    lines = [HEADER]
+    lines.append(f"{len(experiments)} experiments registered.\n")
+    lines.append("| name | kind | default records | description |")
+    lines.append("|---|---|---|---|")
+    for exp in experiments:
+        records = "static" if exp.static else f"{exp.records:,}"
+        lines.append(
+            f"| [`{exp.name}`](#{exp.name}) | {exp.kind} | {records} "
+            f"| {exp.description} |"
+        )
+    lines.append("")
+    for exp in experiments:
+        lines.append(f"## {exp.name}")
+        lines.append("")
+        lines.append(f"{exp.description}")
+        lines.append("")
+        lines.append(f"- **kind**: `{exp.kind}`")
+        records = "static (no trace-length knob)" if exp.static else f"{exp.records:,}"
+        lines.append(f"- **default records**: {records}")
+        if exp.supports_workloads:
+            lines.append(
+                f"- **default workloads** ({len(exp.workloads)}): "
+                f"{_fmt_tuple(exp.workloads)}"
+            )
+        else:
+            lines.append("- **workload selection**: not supported")
+        if exp.supports_schemes:
+            lines.append(
+                f"- **default schemes**: {_fmt_tuple(exp.schemes)}"
+            )
+        else:
+            lines.append("- **scheme selection**: not supported")
+        lines.append(
+            "- **config overrides**: "
+            + ("supported (`--set key=value` / `overrides=`)"
+               if exp.supports_overrides else "not supported")
+        )
+        lines.append(f"- **chartable metrics**: {_fmt_tuple(exp.metrics)}")
+        lines.append(f"- **module**: `{exp.module}`")
+        lines.append("")
+    return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output path (default {DEFAULT_OUT})")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 2) if the committed file is stale")
+    args = parser.parse_args(argv)
+
+    content = render_catalog()
+    if args.check:
+        current = args.out.read_text() if args.out.exists() else ""
+        if current != content:
+            print(
+                f"{args.out} is stale; regenerate with "
+                "`PYTHONPATH=src python scripts/gen_experiment_docs.py`",
+                file=sys.stderr,
+            )
+            return 2
+        print(f"{args.out} is up to date")
+        return 0
+    args.out.parent.mkdir(parents=True, exist_ok=True)
+    args.out.write_text(content)
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

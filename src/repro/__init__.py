@@ -38,15 +38,19 @@ Quickstart::
 from .core.analysis import AnalysisParams, analyze
 from .core.hints import CSRHints, HintBuffer, HintSet, PCHint
 from .core.learning import merge_counters
-from .core.mvb import MultiPathVictimBuffer
+from .core.mvb import MultiPathVictimBuffer, MultiPathVictimBufferReference
 from .core.pipeline import OptimizedBinary, run_prophet
 from .core.profiler import CounterSet, profile
-from .core.prophet import ProphetFeatures, ProphetPrefetcher
-from .prefetchers.markov import MetadataTable
+from .core.prophet import (
+    ProphetFeatures,
+    ProphetPrefetcher,
+    ProphetPrefetcherReference,
+)
+from .prefetchers.markov import MetadataTable, MetadataTableReference
 from .prefetchers.offchip import DominoPrefetcher, MISBPrefetcher, STMSPrefetcher
 from .prefetchers.rpg2 import RPG2Prefetcher
 from .prefetchers.triage import TriagePrefetcher
-from .prefetchers.triangel import TriangelPrefetcher
+from .prefetchers.triangel import TriangelPrefetcher, TriangelPrefetcherReference
 from .sim.config import SystemConfig, default_config
 from .sim.engine import run_simulation
 from .sim.results import SimResult, geomean
@@ -55,7 +59,7 @@ from .workloads.crono import make_crono_trace
 from .workloads.inputs import make_trace
 from .workloads.spec import make_spec_trace, spec_suite
 
-__version__ = "1.2.0"
+__version__ = "1.3.0"
 
 __all__ = [
     "AnalysisParams",
@@ -66,11 +70,14 @@ __all__ = [
     "HintSet",
     "MISBPrefetcher",
     "MetadataTable",
+    "MetadataTableReference",
     "MultiPathVictimBuffer",
+    "MultiPathVictimBufferReference",
     "OptimizedBinary",
     "PCHint",
     "ProphetFeatures",
     "ProphetPrefetcher",
+    "ProphetPrefetcherReference",
     "RPG2Prefetcher",
     "STMSPrefetcher",
     "SimResult",
@@ -78,6 +85,7 @@ __all__ = [
     "Trace",
     "TriagePrefetcher",
     "TriangelPrefetcher",
+    "TriangelPrefetcherReference",
     "analyze",
     "default_config",
     "geomean",

@@ -1,0 +1,71 @@
+"""Optional numpy acceleration, behind an explicit feature flag.
+
+The packed model structures (:class:`repro.prefetchers.markov.MetadataTable`,
+:class:`repro.core.mvb.MultiPathVictimBuffer`) are plain ``array``-backed
+Python by default — the per-access hot path is scalar and CPython beats
+numpy at scalar indexing.  What numpy *is* good at is the bulk work those
+structures occasionally do: recomputing every structural index's (set, tag)
+placement when the metadata table is rebuilt at a new geometry.  That path
+is vectorized here, gated so the default build has zero third-party
+dependencies at runtime.
+
+Enable with either::
+
+    REPRO_NUMPY=1 python -m repro.cli fig10 ...
+
+or programmatically::
+
+    from repro import _accel
+    _accel.set_numpy_enabled(True)
+
+The flag is process-wide.  When numpy is not importable the flag is
+silently treated as off — results are identical either way (equivalence
+tests pin this), only the bulk-rebuild speed differs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Optional
+
+_ENV_FLAG = "REPRO_NUMPY"
+
+#: Tri-state programmatic override: None -> follow the environment.
+_forced: Optional[bool] = None
+
+_numpy = None
+_numpy_checked = False
+
+
+def _import_numpy():
+    """Import numpy once, lazily; None when unavailable."""
+    global _numpy, _numpy_checked
+    if not _numpy_checked:
+        _numpy_checked = True
+        try:
+            import numpy  # noqa: F401
+
+            _numpy = numpy
+        except ImportError:  # pragma: no cover - environment dependent
+            _numpy = None
+    return _numpy
+
+
+def set_numpy_enabled(enabled: Optional[bool]) -> None:
+    """Force the flag on/off; ``None`` restores environment control."""
+    global _forced
+    _forced = enabled
+
+
+def numpy_enabled() -> bool:
+    """True when numpy acceleration is requested *and* importable."""
+    if _forced is not None:
+        want = _forced
+    else:
+        want = os.environ.get(_ENV_FLAG, "").lower() in ("1", "true", "yes", "on")
+    return bool(want and _import_numpy() is not None)
+
+
+def get_numpy():
+    """The numpy module when acceleration is active, else None."""
+    return _import_numpy() if numpy_enabled() else None

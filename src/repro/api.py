@@ -64,13 +64,34 @@ class ExperimentResult:
 
     @property
     def experiment(self) -> Experiment:
+        """The registry record this result came from.
+
+        Raises ``ValueError`` if the experiment is no longer registered
+        (e.g. a result deserialized against a build that dropped it).
+        """
         return get_experiment(self.name)
 
     def text(self) -> str:
-        """The experiment's report text (the paper figure's rows)."""
+        """The experiment's report text (the paper figure's rows).
+
+        Rendered through the experiment's registered ``render`` function
+        from the in-memory payload — always reflects ``self.payload``,
+        even after mutation or a ``from_json`` round-trip.
+        """
         return self.experiment.render(self.payload)
 
     def to_dict(self) -> Dict:
+        """JSON-compatible dict of the run: request shape + payload.
+
+        Keys: ``schema_version`` (see :data:`RESULT_SCHEMA_VERSION`),
+        ``experiment``, ``records``, ``elapsed_seconds`` (wall clock,
+        rounded to ms), ``workloads``/``schemes`` (the caller's subset
+        selection, or ``None`` when the experiment defaults were used),
+        ``overrides`` (dotted-path config edits), and ``payload``
+        (serialized through the experiment's declared converter — suite
+        payloads via ``SuiteResults.to_dict``, otherwise the registered
+        ``to_dict`` or the generic dataclass walker).
+        """
         return {
             "schema_version": RESULT_SCHEMA_VERSION,
             "experiment": self.name,
@@ -83,10 +104,21 @@ class ExperimentResult:
         }
 
     def to_json(self, indent: Optional[int] = None) -> str:
+        """:meth:`to_dict` as a JSON string (``indent`` as in ``json.dumps``)."""
         return json.dumps(self.to_dict(), indent=indent)
 
     @classmethod
     def from_dict(cls, d: Dict) -> "ExperimentResult":
+        """Rebuild a result from :meth:`to_dict` output.
+
+        The payload is reconstructed through the experiment's declared
+        ``from_dict`` (suite payloads come back as typed ``SuiteResults``
+        objects; generic payloads stay plain dicts), so
+        ``from_dict(r.to_dict())`` supports the same ``text()``/payload
+        accessors as the original.  Results from a *newer* schema
+        version are rejected with ``ValueError``; older versions are
+        accepted (the schema has been stable since version 1).
+        """
         version = d.get("schema_version", RESULT_SCHEMA_VERSION)
         if version > RESULT_SCHEMA_VERSION:
             raise ValueError(
@@ -106,6 +138,7 @@ class ExperimentResult:
 
     @classmethod
     def from_json(cls, blob: str) -> "ExperimentResult":
+        """:meth:`from_dict` on a JSON string (inverse of :meth:`to_json`)."""
         return cls.from_dict(json.loads(blob))
 
 

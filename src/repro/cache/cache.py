@@ -32,7 +32,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
-from .replacement import make_policy
+from .replacement import SRRIPPolicy, TreePLRUPolicy, make_policy
 
 
 #: Prefetch source codes stored per line (and in MSHR entries).
@@ -88,6 +88,8 @@ class Cache:
         "name", "assoc", "hit_latency", "n_sets", "policy", "stats",
         "_slots", "_map", "_data_ways",
         "_policy_on_hit", "_policy_on_fill", "_policy_victim",
+        "_plru_state", "_plru_keep", "_plru_point", "_plru_victims",
+        "_srrip_rrpv", "_srrip_fill",
     )
 
     def __init__(
@@ -121,6 +123,24 @@ class Cache:
         self._policy_on_hit = self.policy.on_hit
         self._policy_on_fill = self.policy.on_fill
         self._policy_victim = self.policy.victim
+        # Policy state exposed for inline touches on the demand/fill hot
+        # paths (same pattern as the packed metadata table): a PLRU touch
+        # is two mask operations against the packed per-set state int, an
+        # SRRIP touch one array store — no method call.  Policies other
+        # than the two the hierarchy uses fall back to the bound methods.
+        pol = self.policy
+        self._plru_state = self._plru_keep = self._plru_point = None
+        self._plru_victims = None
+        self._srrip_rrpv = None
+        self._srrip_fill = 0
+        if type(pol) is TreePLRUPolicy:
+            self._plru_state = pol._state
+            self._plru_keep = pol._keep
+            self._plru_point = pol._point
+            self._plru_victims = pol._victims  # None above _TABLE_MAX_ASSOC
+        elif type(pol) is SRRIPPolicy:
+            self._srrip_rrpv = pol._rrpv
+            self._srrip_fill = pol.max_rrpv - 1
 
     # ------------------------------------------------------------------
     # geometry helpers
@@ -176,7 +196,17 @@ class Cache:
         demand touch — the definition of a useful prefetch.
         """
         set_idx = line % self.n_sets
-        self._policy_on_hit(set_idx, way)
+        state = self._plru_state
+        if state is not None:
+            state[set_idx] = (
+                state[set_idx] & self._plru_keep[way]
+            ) | self._plru_point[way]
+        else:
+            rrpv = self._srrip_rrpv
+            if rrpv is not None:
+                rrpv[set_idx * self.assoc + way] = 0
+            else:
+                self._policy_on_hit(set_idx, way)
         self.stats.demand_hits += 1
         slot = self._slots[set_idx * self.assoc + way]
         if is_write:
@@ -202,7 +232,17 @@ class Cache:
         if way is None:
             stats.demand_misses += 1
             return None
-        self._policy_on_hit(set_idx, way)
+        state = self._plru_state
+        if state is not None:
+            state[set_idx] = (
+                state[set_idx] & self._plru_keep[way]
+            ) | self._plru_point[way]
+        else:
+            rrpv = self._srrip_rrpv
+            if rrpv is not None:
+                rrpv[set_idx * self.assoc + way] = 0
+            else:
+                self._policy_on_hit(set_idx, way)
         stats.demand_hits += 1
         slot = self._slots[set_idx * self.assoc + way]
         if is_write:
@@ -264,8 +304,7 @@ class Cache:
                     way = w
                     break
         if way is None:
-            restrict = None if data_ways == assoc else range(data_ways)
-            way = self._policy_victim(set_idx, restrict)
+            way = self._pick_way(set_idx, base, data_ways)
             old = slots[base + way]
             old_dirty = old[_DIRTY]
             old_unused_pf = old[_PF] and not old[_USED]
@@ -289,10 +328,43 @@ class Cache:
             pf_source if prefetched else PF_NONE,
         ]
         mapping[line] = way
-        self._policy_on_fill(set_idx, way)
+        self._touch_fill(set_idx, base, way)
         if prefetched:
             self.stats.prefetch_fills += 1
         return evicted
+
+    def _pick_way(self, set_idx: int, base: int, data_ways: int) -> int:
+        """Victim way for a full set, policy touch inlined where possible.
+
+        PLRU (L1/L2, never way-restricted): one lookup in the packed-state
+        victim table.  SRRIP (L3, possibly partitioned): first way holding
+        the maximum RRPV among the data ways, found with C-level
+        ``max``/``index`` over an RRPV slice — identical to the policy's
+        first-max scan.  Anything else calls the policy.
+        """
+        victims = self._plru_victims
+        if victims is not None and data_ways == self.assoc:
+            return victims[self._plru_state[set_idx]]
+        rrpv = self._srrip_rrpv
+        if rrpv is not None:
+            seg = rrpv[base:base + data_ways]
+            return seg.index(max(seg))
+        restrict = None if data_ways == self.assoc else range(data_ways)
+        return self._policy_victim(set_idx, restrict)
+
+    def _touch_fill(self, set_idx: int, base: int, way: int) -> None:
+        """Replacement-state update for a fill, inlined per policy."""
+        state = self._plru_state
+        if state is not None:
+            state[set_idx] = (
+                state[set_idx] & self._plru_keep[way]
+            ) | self._plru_point[way]
+            return
+        rrpv = self._srrip_rrpv
+        if rrpv is not None:
+            rrpv[base + way] = self._srrip_fill
+            return
+        self._policy_on_fill(set_idx, way)
 
     def fill_clean(self, line: int, ready: float) -> None:
         """Demand fill of a clean, non-prefetched line; victim discarded.
@@ -318,8 +390,18 @@ class Cache:
                     way = w
                     break
         if way is None:
-            restrict = None if data_ways == assoc else range(data_ways)
-            way = self._policy_victim(set_idx, restrict)
+            # Victim pick, inlined (see _pick_way).
+            victims = self._plru_victims
+            if victims is not None and data_ways == assoc:
+                way = victims[self._plru_state[set_idx]]
+            else:
+                rrpv = self._srrip_rrpv
+                if rrpv is not None:
+                    seg = rrpv[base:base + data_ways]
+                    way = seg.index(max(seg))
+                else:
+                    restrict = None if data_ways == assoc else range(data_ways)
+                    way = self._policy_victim(set_idx, restrict)
             old = slots[base + way]
             if old[_DIRTY]:
                 self.stats.writebacks += 1
@@ -328,7 +410,18 @@ class Cache:
             del mapping[old[_LINE]]
         slots[base + way] = [line, False, False, False, ready, -1, PF_NONE]
         mapping[line] = way
-        self._policy_on_fill(set_idx, way)
+        # Fill touch, inlined (see _touch_fill).
+        state = self._plru_state
+        if state is not None:
+            state[set_idx] = (
+                state[set_idx] & self._plru_keep[way]
+            ) | self._plru_point[way]
+        else:
+            rrpv = self._srrip_rrpv
+            if rrpv is not None:
+                rrpv[base + way] = self._srrip_fill
+            else:
+                self._policy_on_fill(set_idx, way)
 
     def fill_victim(
         self,
@@ -367,8 +460,18 @@ class Cache:
                     way = w
                     break
         if way is None:
-            restrict = None if data_ways == assoc else range(data_ways)
-            way = self._policy_victim(set_idx, restrict)
+            # Victim pick, inlined (see _pick_way).
+            victims = self._plru_victims
+            if victims is not None and data_ways == assoc:
+                way = victims[self._plru_state[set_idx]]
+            else:
+                rrpv = self._srrip_rrpv
+                if rrpv is not None:
+                    seg = rrpv[base:base + data_ways]
+                    way = seg.index(max(seg))
+                else:
+                    restrict = None if data_ways == assoc else range(data_ways)
+                    way = self._policy_victim(set_idx, restrict)
             old = slots[base + way]
             old_line = old[_LINE]
             old_dirty = old[_DIRTY]
@@ -385,7 +488,18 @@ class Cache:
             pf_source if prefetched else PF_NONE,
         ]
         mapping[line] = way
-        self._policy_on_fill(set_idx, way)
+        # Fill touch, inlined (see _touch_fill).
+        state = self._plru_state
+        if state is not None:
+            state[set_idx] = (
+                state[set_idx] & self._plru_keep[way]
+            ) | self._plru_point[way]
+        else:
+            rrpv = self._srrip_rrpv
+            if rrpv is not None:
+                rrpv[base + way] = self._srrip_fill
+            else:
+                self._policy_on_fill(set_idx, way)
         if prefetched:
             self.stats.prefetch_fills += 1
         return victim

@@ -38,7 +38,7 @@ from ..prefetchers.base import (
 )
 from ..sim.config import SystemConfig
 from .cache import PF_L1, PF_L2, PF_NONE, Cache
-from .mshr import MSHRFile
+from .mshr import MSHREntry, MSHRFile
 
 
 @dataclass(slots=True)
@@ -58,7 +58,7 @@ class Hierarchy:
         "config", "l1d", "l2", "l3", "dram", "tlb", "l2_mshr",
         "l1_prefetcher", "l2_prefetcher", "l2_pf_stats", "l1_pf_stats",
         "metadata_ways", "demand_accesses", "l2_demand_misses",
-        "_offchip_metadata", "_pf_queue",
+        "_offchip_metadata", "_pf_queue", "_l2_observe_fast",
         "_l1_lat_i", "_l1_lat", "_l2_lat", "_l3_lat",
         "_cross_page_ok", "_null_l1_pf", "_null_l2_pf",
     )
@@ -105,6 +105,17 @@ class Hierarchy:
         self._offchip_metadata = bool(
             getattr(self.l2_prefetcher, "uses_offchip_metadata", False)
         )
+        # Fused-model dispatch: prefetchers exposing ``observe_fast(pc,
+        # line) -> [lines]`` (Prophet's packed pass) skip the per-access
+        # L2AccessInfo/PrefetchRequest boxing entirely.  Off-chip metadata
+        # schemes stay on the generic path (their traffic drain hooks in
+        # there).  Rebound by :meth:`set_metadata_ways`: a table resize
+        # makes the prefetcher rebuild its closure.
+        self._l2_observe_fast = (
+            None
+            if self._offchip_metadata
+            else getattr(self.l2_prefetcher, "observe_fast", None)
+        )
         # Prefetch queue: requests that found the MSHR file full wait here
         # and issue as entries retire (temporal prefetchers keep their own
         # request queues in hardware; dropping on a burst would starve all
@@ -123,6 +134,12 @@ class Hierarchy:
         self.l2_prefetcher.on_metadata_resize(
             self.config.metadata_capacity_for_ways(ways)
         )
+        # The resize may have rebuilt the prefetcher's fused closure over
+        # fresh table arrays; re-fetch it so we never drive stale state.
+        if self._l2_observe_fast is not None:
+            self._l2_observe_fast = getattr(
+                self.l2_prefetcher, "observe_fast", None
+            )
 
     # ------------------------------------------------------------------
     # demand path
@@ -205,7 +222,15 @@ class Hierarchy:
                     self.l1_pf_stats.record_useful(trigger)
             self.l1d.fill_clean(line, cycle + latency)
             if not self._null_l2_pf:
-                self._observe_l2(pc, line, cycle, l2_hit=True)
+                # Fused dispatch inlined on the demand path (the generic
+                # path boxes an L2AccessInfo per observe).
+                fast = self._l2_observe_fast
+                if fast is not None:
+                    lines = fast(pc, line)
+                    if lines:
+                        self.issue_l2_prefetch_lines(lines, pc, cycle)
+                else:
+                    self._observe_l2(pc, line, cycle, l2_hit=True)
             return (latency, "l2", consumed_pc, late)
 
         self.l2_demand_misses += 1
@@ -225,9 +250,22 @@ class Hierarchy:
                     self.l2_prefetcher.note_useful(pending.trigger_pc, line)
                 elif pending.pf_source == PF_L1:
                     self.l1_pf_stats.record_useful(pending.trigger_pc)
-            self._fill_l2_and_l1(line, cycle + latency)
+            # _fill_l2_and_l1 inlined (clean demand fill).
+            ready = cycle + latency
+            victim = self.l2.fill_victim(line, ready)
+            if victim is not None:
+                spilled = self.l3.fill_victim(victim[0], ready, False, -1, victim[1])
+                if spilled is not None and spilled[1]:
+                    self.dram.write(ready)
+            self.l1d.fill_clean(line, ready)
             if not self._null_l2_pf:
-                self._observe_l2(pc, line, cycle, l2_hit=False)
+                fast = self._l2_observe_fast
+                if fast is not None:
+                    lines = fast(pc, line)
+                    if lines:
+                        self.issue_l2_prefetch_lines(lines, pc, cycle)
+                else:
+                    self._observe_l2(pc, line, cycle, l2_hit=False)
             return (latency, "l3", consumed_pc, True)
 
         # --- L3 ---
@@ -237,44 +275,64 @@ class Hierarchy:
             hit_level = "l3"
         else:
             latency += self._l3_lat  # tag check before going to DRAM
-            latency += self.dram.read(cycle, is_prefetch=False)
+            # dram.read inlined (demand read: latency + queueing delay).
+            dram = self.dram
+            dstats = dram.stats
+            dstats.reads += 1
+            dstats.demand_reads += 1
+            busy = dram._busy_until
+            start = cycle if cycle > busy else busy
+            dram._busy_until = start + dram._service_cycles
+            latency += dram.config.access_latency + (start - cycle)
             hit_level = "dram"
-        self.l2_mshr.allocate(line, cycle + latency, cycle)  # demand fill
-        self._fill_l2_and_l1(line, cycle + latency, is_write)
+        # mshr.allocate inlined (demand fill; same merge/capacity rules).
+        mshr = self.l2_mshr
+        inflight = mshr._inflight
+        pending = inflight.get(line)
+        if pending is not None and pending.ready > cycle:
+            mshr.merges += 1
+        else:
+            if len(inflight) >= mshr.capacity:
+                mshr._sweep(cycle)  # lazy: only reclaim when at capacity
+            if len(inflight) >= mshr.capacity:
+                mshr.rejects += 1
+            else:
+                inflight[line] = MSHREntry(cycle + latency)
+        # _fill_l2_and_l1 inlined (demand fill, dirty on writes).
+        ready = cycle + latency
+        victim = self.l2.fill_victim(line, ready, False, -1, is_write)
+        if victim is not None:
+            spilled = self.l3.fill_victim(victim[0], ready, False, -1, victim[1])
+            if spilled is not None and spilled[1]:
+                self.dram.write(ready)
+        self.l1d.fill_clean(line, ready)
         if not self._null_l2_pf:
-            self._observe_l2(pc, line, cycle, l2_hit=False)
+            fast = self._l2_observe_fast
+            if fast is not None:
+                lines = fast(pc, line)
+                if lines:
+                    self.issue_l2_prefetch_lines(lines, pc, cycle)
+            else:
+                self._observe_l2(pc, line, cycle, l2_hit=False)
         return (latency, hit_level, -1, False)
 
     # ------------------------------------------------------------------
     # fills and evictions
     # ------------------------------------------------------------------
-    def _fill_l1(self, line: int, ready: float) -> None:
-        self.l1d.fill_clean(line, ready)
-
-    def _fill_l2_and_l1(
-        self,
-        line: int,
-        ready: float,
-        dirty: bool = False,
-        prefetched: bool = False,
-        trigger_pc: int = -1,
-        pf_source: int = PF_NONE,
-    ) -> None:
-        # fill_victim: only the victim's (line, dirty) pair matters here.
-        victim = self.l2.fill_victim(
-            line, ready, prefetched, trigger_pc, dirty, pf_source
-        )
-        if victim is not None:
-            # Mostly-exclusive LLC: L2 victims spill into the L3 data ways.
-            spilled = self.l3.fill_victim(victim[0], ready, False, -1, victim[1])
-            if spilled is not None and spilled[1]:
-                self.dram.write(ready)
-        if not prefetched:
-            self.l1d.fill_clean(line, ready)
+    # The former _fill_l2_and_l1 helper is inlined at its three call
+    # sites (clean demand fill, dirty demand fill, prefetch fill): the
+    # L2 fill's victim spills into the L3 data ways (mostly-exclusive
+    # LLC), and a dirty spill victim becomes a DRAM writeback.
 
     def _observe_l2(
         self, pc: int, line: int, cycle: float, l2_hit: bool, from_l1_pf: bool = False
     ) -> None:
+        fast = self._l2_observe_fast
+        if fast is not None:
+            lines = fast(pc, line)
+            if lines:
+                self.issue_l2_prefetch_lines(lines, pc, cycle)
+            return
         reqs = self.l2_prefetcher.observe(
             L2AccessInfo(pc, line, cycle, l2_hit, from_l1_pf)
         )
@@ -322,6 +380,44 @@ class Hierarchy:
             issued += 1
         return issued
 
+    def issue_l2_prefetch_lines(
+        self, lines: List[int], trigger_pc: int, cycle: float
+    ) -> int:
+        """:meth:`issue_l2_prefetches` for the fused dispatch path.
+
+        Identical issue semantics, but the requests arrive as plain line
+        numbers sharing one trigger PC (every request a temporal
+        prefetcher emits is attributed to the access that triggered the
+        walk), so no :class:`PrefetchRequest` is allocated unless a
+        request has to wait in the MSHR-full queue.
+        """
+        issued = 0
+        mshr = self.l2_mshr
+        mshr_is_full = mshr.is_full
+        inflight = mshr._inflight
+        inflight_get = inflight.get
+        capacity = mshr.capacity
+        queue_append = self._pf_queue.append
+        l2 = self.l2
+        l2_map = l2._map
+        l2_n_sets = l2.n_sets
+        for line in lines:
+            # is_full inlined: it can only be True once the file is at
+            # capacity, and it sweeps only in that case too.
+            if len(inflight) >= capacity and mshr_is_full(cycle):
+                queue_append(PrefetchRequest(line, trigger_pc=trigger_pc))
+                continue
+            # Cheap rejects inlined, exactly as in issue_l2_prefetches.
+            if line < 0 or l2_map[line % l2_n_sets].get(line) is not None:
+                continue
+            # mshr.lookup inlined (same pending-and-not-complete test).
+            pending = inflight_get(line)
+            if pending is not None and pending.ready > cycle:
+                continue
+            self._issue_l2_fill_line(line, trigger_pc, cycle)
+            issued += 1
+        return issued
+
     def _issue_one_l2_prefetch(self, req: PrefetchRequest, cycle: float) -> int:
         """Issue a single L2 prefetch; returns 1 if it went out, else 0."""
         line = req.line
@@ -336,21 +432,49 @@ class Hierarchy:
 
     def _issue_l2_fill(self, req: PrefetchRequest, cycle: float) -> None:
         """The issue path proper; caller has already done the reject checks."""
-        line = req.line
-        mshr = self.l2_mshr
+        self._issue_l2_fill_line(req.line, req.trigger_pc, cycle)
+
+    def _issue_l2_fill_line(self, line: int, trigger_pc: int, cycle: float) -> None:
+        """Unboxed issue path shared by both dispatch flavours."""
         l3 = self.l3
         way = l3._map[line % l3.n_sets].get(line)
         if way is not None:
             l3.on_demand_hit(line, way)
             ready = cycle + self._l3_lat
         else:
-            ready = cycle + self._l3_lat + self.dram.read(
-                cycle, is_prefetch=True
+            # dram.read inlined (prefetch read).
+            dram = self.dram
+            dstats = dram.stats
+            dstats.reads += 1
+            dstats.prefetch_reads += 1
+            busy = dram._busy_until
+            start = cycle if cycle > busy else busy
+            dram._busy_until = start + dram._service_cycles
+            ready = (
+                cycle + self._l3_lat + dram.config.access_latency
+                + (start - cycle)
             )
-        trigger_pc = req.trigger_pc
-        mshr.allocate(line, ready, cycle, True, trigger_pc, PF_L2)
-        self._fill_l2_and_l1(line, ready, False, True, trigger_pc, PF_L2)
-        self.l2_pf_stats.record_issue(trigger_pc)
+        # mshr.allocate inlined (prefetch fill; caller verified no pending
+        # in-flight entry, so only the capacity rules remain).
+        mshr = self.l2_mshr
+        inflight = mshr._inflight
+        if len(inflight) >= mshr.capacity:
+            mshr._sweep(cycle)
+            if len(inflight) >= mshr.capacity:
+                mshr.rejects += 1
+            else:
+                inflight[line] = MSHREntry(ready, True, trigger_pc, pf_source=PF_L2)
+        else:
+            inflight[line] = MSHREntry(ready, True, trigger_pc, pf_source=PF_L2)
+        # _fill_l2_and_l1 inlined (prefetch fill: no L1 fill).
+        victim = self.l2.fill_victim(line, ready, True, trigger_pc, False, PF_L2)
+        if victim is not None:
+            spilled = self.l3.fill_victim(victim[0], ready, False, -1, victim[1])
+            if spilled is not None and spilled[1]:
+                self.dram.write(ready)
+        pf_stats = self.l2_pf_stats
+        pf_stats.issued += 1
+        pf_stats.issued_by_pc[trigger_pc] += 1
         self.l2_prefetcher.note_issued(trigger_pc, line)
 
     def _issue_l1_prefetch(self, pc: int, line: int, cycle: float) -> None:

@@ -17,18 +17,208 @@ Management rules (paper):
   different from the table's answer are prefetched, up to the configured
   candidate count (Fig. 16c sensitivity: 1 is the sweet spot).
 
+Storage layout (this PR's packed fast path): per-entry state lives in flat
+typed arrays indexed by ``slot = set_idx * assoc + way`` — ``_key`` (the
+buffered line, ``-1`` when the way is empty), ``_lru`` (monotonic clock
+stamp) and ``_ntgt`` (stored-target count); the targets themselves and
+their 2-bit usefulness counters are packed ``candidates_per_entry`` to a
+slot in ``_tgt``/``_ctr``.  One table-wide dict ``_slot_of`` maps a
+resident line straight to its slot, so the chain walk's (overwhelmingly
+missing) consult is a single dict get with no modulo or per-set dict
+chain.  Eviction scans the ways of one set, replicating the reference's
+(max counter, LRU) victim choice — clock stamps are unique, so the
+ordering is total and the scan order cannot change the outcome.
+
+The pre-packing implementation is preserved as
+:class:`MultiPathVictimBufferReference`; equivalence tests drive both
+with identical insert/lookup streams (including counter saturation and
+candidate displacement) and assert identical behaviour.
+
 Geometry: 65,536 entries at 43 bits each = 344 KB (Section 5.10).
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 #: Paper geometry (Section 5.10).
 MVB_ENTRIES = 65_536
 MVB_BITS_PER_ENTRY = 43  # 31-bit target + 10-bit tag + 2-bit counter
 COUNTER_MAX = 3  # 2-bit usefulness counter
+
+
+class MultiPathVictimBuffer:
+    """Set-associative victim store for alternate Markov targets (packed)."""
+
+    __slots__ = (
+        "assoc", "n_sets", "capacity", "candidates_per_entry",
+        "_slot_of", "_key", "_lru", "_ntgt", "_tgt", "_ctr",
+        "_clock", "inserts", "hits", "lookups",
+    )
+
+    def __init__(
+        self,
+        entries: int = MVB_ENTRIES,
+        assoc: int = 8,
+        candidates_per_entry: int = 1,
+    ):
+        if candidates_per_entry < 1:
+            raise ValueError("candidates_per_entry must be >= 1")
+        self.assoc = assoc
+        self.n_sets = max(1, entries // assoc)
+        self.capacity = self.n_sets * assoc
+        self.candidates_per_entry = candidates_per_entry
+        n = self.capacity
+        self._slot_of: Dict[int, int] = {}
+        self._key = array("q", [-1]) * n  # -1 == empty way
+        self._lru = array("q", bytes(8 * n))
+        self._ntgt = array("b", bytes(n))
+        self._tgt = array("q", bytes(8 * n * candidates_per_entry))
+        self._ctr = array("b", bytes(n * candidates_per_entry))
+        self._clock = 0
+        self.inserts = 0
+        self.hits = 0
+        self.lookups = 0
+
+    # ------------------------------------------------------------------
+    def insert(self, line: int, target: int, priority: int) -> None:
+        """Buffer a displaced Markov target (only if priority > 0)."""
+        if priority <= 0:
+            return
+        clock = self._clock + 1
+        self._clock = clock
+        slot_of = self._slot_of
+        keys = self._key
+        ntgt = self._ntgt
+        slot = slot_of.get(line)
+        if slot is None:
+            set_idx = line % self.n_sets
+            base = set_idx * self.assoc
+            slot = -1
+            for s in range(base, base + self.assoc):
+                if keys[s] < 0:
+                    slot = s
+                    break
+            if slot < 0:
+                slot = self._evict(base)
+            keys[slot] = line
+            ntgt[slot] = 0
+            slot_of[line] = slot
+        self._lru[slot] = clock
+        cand = self.candidates_per_entry
+        tgt = self._tgt
+        ctr = self._ctr
+        base2 = slot * cand
+        n = ntgt[slot]
+        for i in range(base2, base2 + n):
+            if tgt[i] == target:
+                return
+        if n >= cand:
+            # Displace the coldest stored target (first minimum).
+            ci = base2
+            cmin = ctr[base2]
+            for i in range(base2 + 1, base2 + n):
+                if ctr[i] < cmin:
+                    cmin = ctr[i]
+                    ci = i
+            tgt[ci] = target
+            ctr[ci] = 0
+        else:
+            tgt[base2 + n] = target
+            ctr[base2 + n] = 0
+            ntgt[slot] = n + 1
+        self.inserts += 1
+
+    def _evict(self, base: int) -> int:
+        """Prophet replacement: lowest max-counter first, LRU tie-break.
+
+        Clock stamps are unique, so the (max counter, lru) ordering has no
+        ties and the way-scan order cannot affect the choice.
+        """
+        keys = self._key
+        lru = self._lru
+        ntgt = self._ntgt
+        ctr = self._ctr
+        cand = self.candidates_per_entry
+        victim = -1
+        best_ctr = -1
+        best_lru = -1
+        for s in range(base, base + self.assoc):
+            if keys[s] < 0:
+                continue
+            mx = 0
+            for i in range(s * cand, s * cand + ntgt[s]):
+                c = ctr[i]
+                if c > mx:
+                    mx = c
+            if victim < 0 or mx < best_ctr or (mx == best_ctr and lru[s] < best_lru):
+                victim = s
+                best_ctr = mx
+                best_lru = lru[s]
+        del self._slot_of[keys[victim]]
+        keys[victim] = -1
+        return victim
+
+    # ------------------------------------------------------------------
+    def lookup(self, line: int, exclude: Optional[int] = None) -> List[int]:
+        """Alternate targets for ``line`` (excluding the table's answer)."""
+        self.lookups += 1
+        slot = self._slot_of.get(line)
+        if slot is None:
+            return []
+        return self._consume(slot, -1 if exclude is None else exclude)
+
+    def _consume(self, slot: int, exclude: int) -> List[int]:
+        """Touch a resident entry and return its non-excluded targets.
+
+        Split out of :meth:`lookup` so the prefetcher's chain walk can
+        inline the (overwhelmingly common) miss check and only pay this
+        call on a hit.  ``exclude`` is ``-1`` for "no table answer" —
+        line addresses are non-negative throughout the simulator.
+        """
+        clock = self._clock + 1
+        self._clock = clock
+        self._lru[slot] = clock
+        out: List[int] = []
+        cand = self.candidates_per_entry
+        tgt = self._tgt
+        ctr = self._ctr
+        base2 = slot * cand
+        for i in range(base2, base2 + self._ntgt[slot]):
+            t = tgt[i]
+            if t == exclude:
+                continue
+            if ctr[i] < COUNTER_MAX:
+                ctr[i] += 1
+            out.append(t)
+        if out:
+            self.hits += 1
+        return out
+
+    # ------------------------------------------------------------------
+    def debug_entries(self) -> Dict[int, Tuple[List[int], List[int]]]:
+        """line -> (targets, counters) for every live entry (for tests)."""
+        out: Dict[int, Tuple[List[int], List[int]]] = {}
+        cand = self.candidates_per_entry
+        for line, slot in self._slot_of.items():
+            n = self._ntgt[slot]
+            base2 = slot * cand
+            out[line] = (
+                list(self._tgt[base2:base2 + n]),
+                list(self._ctr[base2:base2 + n]),
+            )
+        return out
+
+    @property
+    def live_entries(self) -> int:
+        return len(self._slot_of)
+
+    @property
+    def storage_bytes(self) -> int:
+        """344 KB at paper geometry (Section 5.10)."""
+        return self.capacity * MVB_BITS_PER_ENTRY // 8
 
 
 @dataclass
@@ -38,8 +228,8 @@ class _MVBEntry:
     lru: int = 0
 
 
-class MultiPathVictimBuffer:
-    """Set-associative victim store for alternate Markov targets."""
+class MultiPathVictimBufferReference:
+    """The pre-packing MVB, kept as the equivalence oracle."""
 
     def __init__(
         self,
@@ -106,12 +296,7 @@ class MultiPathVictimBuffer:
         return self._consume(entry, exclude)
 
     def _consume(self, entry: "_MVBEntry", exclude: Optional[int]) -> List[int]:
-        """Touch a resident entry and return its non-excluded targets.
-
-        Split out of :meth:`lookup` so the prefetcher's chain walk can
-        inline the (overwhelmingly common) miss check and only pay this
-        call on a hit.
-        """
+        """Touch a resident entry and return its non-excluded targets."""
         self._clock += 1
         entry.lru = self._clock
         out: List[int] = []
@@ -127,6 +312,14 @@ class MultiPathVictimBuffer:
         return out
 
     # ------------------------------------------------------------------
+    def debug_entries(self) -> Dict[int, Tuple[List[int], List[int]]]:
+        """line -> (targets, counters) for every live entry (for tests)."""
+        out: Dict[int, Tuple[List[int], List[int]]] = {}
+        for bucket in self._sets:
+            for line, entry in bucket.items():
+                out[line] = (list(entry.targets), list(entry.counters))
+        return out
+
     @property
     def live_entries(self) -> int:
         return sum(len(bucket) for bucket in self._sets)

@@ -80,6 +80,21 @@ class OptimizedBinary:
             config, self.hints, features, miss_counts=self.counters.miss_counts
         )
 
+    def prefetcher_reference(
+        self, config: SystemConfig, features: ProphetFeatures = ProphetFeatures()
+    ) -> ProphetPrefetcher:
+        """The pre-fusion Prophet model over the same hints.
+
+        Used by the equivalence tests and the throughput benchmark's
+        prophet-path section to pin the packed fast path against the
+        reference implementation on identical inputs.
+        """
+        from .prophet import ProphetPrefetcherReference
+
+        return ProphetPrefetcherReference(
+            config, self.hints, features, miss_counts=self.counters.miss_counts
+        )
+
 
 def run_prophet(
     trace: Trace,

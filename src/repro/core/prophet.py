@@ -20,19 +20,51 @@ under half a way.
 The Multi-path Victim Buffer feeds on entries displaced from the table
 (replacements and same-key overwrites with priority > 0) and contributes
 alternate Markov targets to every prefetch walk (Section 4.5).
+
+Hot path (this PR): the whole per-access pipeline — trainer update, hint
+consult, insertion decision, metadata-table train/displace into the MVB,
+and the chain walk with its MVB consults — runs as **one fused pass**
+bound by :meth:`ProphetPrefetcher._bind_observe` over the packed model
+structures.  The closure reads and writes the packed trainer ints, the
+table's combined-key dicts / flat arrays (SRRIP touch inlined), and the
+MVB's slot arrays directly; the only calls left on the per-access path
+are ``MetadataTable.insert_fast`` (once per trained access) and
+``MultiPathVictimBuffer.insert`` (once per displacement), and no
+``PrefetchRequest``/``EvictedMeta``/``L2AccessInfo`` intermediaries are
+allocated — :meth:`ProphetPrefetcher.observe_fast` returns plain line
+numbers and :class:`repro.cache.hierarchy.Hierarchy` issues them
+directly.  Structure-level counters (table lookups/hits, MVB
+lookups/hits) are accumulated in locals and flushed once per access, so
+their totals stay identical to the reference.
+
+The pre-fusion implementation is preserved as
+:class:`ProphetPrefetcherReference` (reference table + reference MVB +
+dataclass trainer + the method-chained observe); equivalence tests pin
+the fused pass to it bit-for-bit, including full-simulation results.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
 from typing import Dict, List, Mapping, Optional
 
+from dataclasses import dataclass
+
 from ..prefetchers.base import L2AccessInfo, PrefetchRequest
-from ..prefetchers.markov import TAG_MASK, MetadataTable
-from ..prefetchers.triangel import TriangelPrefetcher, _TrainerEntry
+from ..prefetchers.markov import TAG_MASK as _TAG_MASK
+from ..prefetchers.triangel import (
+    TriangelPrefetcher,
+    TriangelPrefetcherReference,
+    _T_BLOCKED_MASK,
+    _T_BLOCKED_SHIFT,
+    _T_LAST_SHIFT,
+)
 from ..sim.config import SystemConfig
 from .hints import HintBuffer, HintSet
-from .mvb import MultiPathVictimBuffer
+from .mvb import (
+    COUNTER_MAX,
+    MultiPathVictimBuffer,
+    MultiPathVictimBufferReference,
+)
 
 
 @dataclass(frozen=True)
@@ -68,6 +100,10 @@ class ProphetPrefetcher(TriangelPrefetcher):
 
     name = "prophet"
 
+    #: MVB implementation; the reference subclass swaps in the pre-packing
+    #: buffer so the whole stack can be pinned bit-for-bit.
+    _mvb_cls = MultiPathVictimBuffer
+
     def __init__(
         self,
         config: SystemConfig,
@@ -102,121 +138,315 @@ class ProphetPrefetcher(TriangelPrefetcher):
             # Fig. 19 base: fixed full-size table, no runtime resizing.
             self.initial_ways = config.l3.assoc // 2
 
-        self.table = MetadataTable(
+        self.table = self._table_cls(
             config.metadata_capacity_for_ways(max(1, self.initial_ways)),
             replacement="srrip",
             prophet_priorities=features.replacement,
         )
         self.mvb = (
-            MultiPathVictimBuffer(candidates_per_entry=features.mvb_candidates)
+            self._mvb_cls(candidates_per_entry=features.mvb_candidates)
             if features.mvb
             else None
         )
-        self._bind_walker()
+        self._bind_observe()
 
     # ------------------------------------------------------------------
     def observe(self, access: L2AccessInfo) -> List[PrefetchRequest]:
-        if self.initial_ways == 0 and self._feat_resizing:
-            return []  # temporal prefetching disabled by Equation 3
-        pc, line = access.pc, access.line
-        self._access_index += 1
-        # _trainer_entry inlined (one call per trained access).
-        trainer = self._trainer
-        entry = trainer.get(pc)
-        if entry is None:
-            if len(trainer) >= self.trainer_size:
-                trainer.pop(next(iter(trainer)))
-            entry = _TrainerEntry()
-            trainer[pc] = entry
-        self._update_confidences(entry, line)
+        """API-compatible wrapper over the fused pass.
 
-        hint = self.hint_buffer._entries.get(pc) if self.prophet_enabled else None
-        if hint is not None and self._feat_insertion:
-            # Prophet Insertion Policy: the runtime policy is disabled for
-            # hinted PCs (Section 3.1).
-            allow = hint.insert
-        else:
-            allow = self.runtime_allow(entry)
-
-        if entry.last_line >= 0 and entry.last_line != line and allow:
-            if hint is not None and self._feat_replacement:
-                priority = hint.priority
-            else:
-                priority = RUNTIME_PRIORITY
-            displaced = self.table.insert(entry.last_line, line, priority)
-            if displaced is not None and self.mvb is not None:
-                self.mvb.insert(
-                    displaced.key_line, displaced.target, displaced.priority
-                )
-        entry.last_line = line
-
-        if not allow:
-            return []
-        requests = self._walk_with_mvb(line, pc)
-        return requests
-
-    def _bind_walker(self) -> None:
-        """(Re)build the chain-walk closure over the current table arrays.
-
-        The walk runs once per L2 access and each step is a table probe;
-        closing over the table's internals (instead of chasing attributes
-        per step) is the single hottest-path optimization in the Prophet
-        model.  Must be called again whenever the table is rebuilt —
-        :meth:`on_metadata_resize` does.
+        The fused pass deals in plain line numbers; this wrapper re-boxes
+        them for callers that want :class:`PrefetchRequest` objects
+        (tests, the generic dispatch path).  Chain-depth bookkeeping is
+        informational-only and not reconstructed here; the reference
+        implementation keeps it.
         """
-        mvb = self.mvb
+        pc = access.pc
+        lines = self.observe_fast(pc, access.line)
+        return [PrefetchRequest(line, trigger_pc=pc) for line in lines]
+
+    def _bind_observe(self) -> None:
+        """(Re)build the fused observe closure over the packed model state.
+
+        One closure runs per L2 access; everything it touches — trainer
+        dict, sampler, metadata-table index dicts and entry arrays, MVB
+        slot arrays, pre-flattened hints, feature flags — is closed over
+        as locals, so the per-access path pays no attribute chases and no
+        intermediary allocations.  Must be called again whenever the
+        table is rebuilt — :meth:`on_metadata_resize` does — or when the
+        hint buffer is reloaded.
+        """
+        if self.initial_ways == 0 and self._feat_resizing:
+            # Equation 3 disabled temporal prefetching outright: nothing
+            # trains and nothing is issued.
+            self.observe_fast = lambda pc, line: ()
+            return
+
         table = self.table
-        t_stats = table.stats
-        t_dense_get = table._dense_of.get
-        t_map = table._map
-        t_targets = table._targets
-        t_on_hit = table._policy_on_hit
+        mvb = self.mvb
+        trainer = self._trainer
+        sampler = self._sampler
+        t_dense_of = table._dense_of
+        t_dense_get = t_dense_of.get
+        t_way_of = table._way_of
+        t_way_get = t_way_of.get
+        t_target = table._target
+        t_ckey = table._ckey
+        t_key = table._key
+        t_prio = table._prio
+        t_line_of = table._line_of
         t_n_sets = table.n_sets
+        t_stats = table.stats
+        t_rrpv = table._srrip_rrpv
+        t_fill_rrpv = table._srrip_fill_rrpv
+        t_on_hit = table._policy_on_hit
         t_assoc = table.assoc
+        t_capacity = table.capacity
+        t_insert_fast = table.insert_fast
+        # The training insert is only inlined for the SRRIP table (the
+        # Prophet configuration); anything else falls back to the method.
+        inline_insert = t_rrpv is not None
+        prophet_prio = table.prophet_priorities
         degree = self.degree
-        if mvb is not None:
-            mvb_sets = mvb._sets
-            mvb_n_sets = mvb.n_sets
-            mvb_consume = mvb._consume
+        trainer_size = self.trainer_size
+        sampler_size = self.sampler_size
+        sample_interval = self.sample_interval
+        pattern_threshold = self.pattern_threshold
+        reuse_threshold = self.reuse_threshold
+        filter_enabled = self.insertion_filter_enabled
+        period = self.SAMPLED_INSERTION_PERIOD
+        feat_insertion = self._feat_insertion
+        feat_replacement = self._feat_replacement
+        # Hints flattened to (insert_bit, priority) tuples: no dataclass
+        # attribute chases on the per-access path.
+        if self.prophet_enabled:
+            hint_get = {
+                pc: (h.insert, h.priority)
+                for pc, h in self.hint_buffer._entries.items()
+            }.get
+        else:
+            hint_get = {}.get
+        has_mvb = mvb is not None
+        if has_mvb:
+            m_slot_get = mvb._slot_of.get
+            m_lru = mvb._lru
+            m_ntgt = mvb._ntgt
+            m_tgt = mvb._tgt
+            m_ctr = mvb._ctr
+            m_cand = mvb.candidates_per_entry
+            mvb_insert = mvb.insert
 
-        def walk(line: int, pc: int) -> List[PrefetchRequest]:
-            requests: List[PrefetchRequest] = []
-            append = requests.append
+        def observe_fast(pc: int, line: int) -> List[int]:
+            # --- trainer entry, unpacked into locals -------------------
+            ai = self._access_index + 1
+            self._access_index = ai
+            packed = trainer.get(pc)
+            if packed is None:
+                if len(trainer) >= trainer_size:
+                    trainer.pop(next(iter(trainer)))
+                last = -1
+                blocked = 0
+                pat = 8
+                reuse = 8
+            else:
+                last = (packed >> _T_LAST_SHIFT) - 1
+                blocked = (packed >> _T_BLOCKED_SHIFT) & _T_BLOCKED_MASK
+                pat = (packed >> 4) & 0xF
+                reuse = packed & 0xF
+            trains = last >= 0 and last != line
+            if trains:
+                # PatternConf: table.probe(last), inlined.
+                ck = t_dense_get(last)
+                if ck is not None:
+                    slot = t_way_get(ck)
+                    if slot is not None:
+                        if t_target[slot] == line:
+                            if pat < 15:
+                                pat += 1
+                        elif pat > 0:
+                            pat -= 1
+            # ReuseConf: sampled reuse distance vs. table capacity.
+            seen_at = sampler.get(line)
+            if seen_at is not None:
+                if ai - seen_at <= t_capacity:
+                    if reuse < 15:
+                        reuse += 1
+                elif reuse > 0:
+                    reuse -= 1
+                sampler[line] = ai
+            elif not ai % sample_interval:
+                if len(sampler) >= sampler_size:
+                    sampler.pop(next(iter(sampler)))
+                sampler[line] = ai
+
+            # --- insertion decision: Prophet hint, else runtime policy -
+            hint = hint_get(pc)
+            if hint is not None and feat_insertion:
+                allow = hint[0]
+            elif not filter_enabled:
+                allow = True
+            elif pat >= pattern_threshold and reuse >= reuse_threshold:
+                allow = True
+            else:
+                blocked = (blocked + 1) & _T_BLOCKED_MASK
+                allow = not blocked % period
+
+            # --- train + displace into the MVB -------------------------
+            if trains and allow:
+                if hint is not None and feat_replacement:
+                    priority = hint[1]
+                else:
+                    priority = RUNTIME_PRIORITY
+                if not inline_insert:
+                    displaced = t_insert_fast(last, line, priority)
+                    if displaced is not None and has_mvb:
+                        mvb_insert(displaced[0], displaced[1], displaced[2])
+                else:
+                    # MetadataTable.insert_fast, fully inlined (SRRIP).
+                    ck = t_dense_get(last)
+                    if ck is None:
+                        idx = len(t_line_of)
+                        t_line_of.append(last)
+                        ck = ((idx // t_n_sets) & _TAG_MASK) * t_n_sets + (
+                            idx % t_n_sets
+                        )
+                        t_dense_of[last] = ck
+                    slot = t_way_get(ck)
+                    if slot is not None:
+                        # Resident (possibly aliased) entry: overwrite.
+                        old_target = t_target[slot]
+                        if old_target != line:
+                            old_priority = t_prio[slot]
+                            t_target[slot] = line
+                            t_prio[slot] = priority
+                            t_rrpv[slot] = 0
+                            t_stats.overwrites += 1
+                            if has_mvb and old_priority > 0:
+                                mvb_insert(last, old_target, old_priority)
+                        else:
+                            t_prio[slot] = priority
+                            t_rrpv[slot] = 0
+                    else:
+                        base = (ck % t_n_sets) * t_assoc
+                        free = -1
+                        for s in range(base, base + t_assoc):
+                            if t_ckey[s] < 0:
+                                free = s
+                                break
+                        if free < 0:
+                            # Victim pick, inlined: Prophet priorities
+                            # gate the candidates, SRRIP recency (first
+                            # way with the largest RRPV) breaks ties.
+                            if prophet_prio:
+                                min_prio = t_prio[base]
+                                for s in range(base + 1, base + t_assoc):
+                                    p = t_prio[s]
+                                    if p < min_prio:
+                                        min_prio = p
+                                best_r = -1
+                                for s in range(base, base + t_assoc):
+                                    if t_prio[s] == min_prio:
+                                        r = t_rrpv[s]
+                                        if r > best_r:
+                                            best_r = r
+                                            free = s
+                            else:
+                                free = base
+                                best_r = t_rrpv[base]
+                                for s in range(base + 1, base + t_assoc):
+                                    r = t_rrpv[s]
+                                    if r > best_r:
+                                        best_r = r
+                                        free = s
+                            if has_mvb:
+                                vp = t_prio[free]
+                                if vp > 0:
+                                    mvb_insert(t_key[free], t_target[free], vp)
+                            del t_way_of[t_ckey[free]]
+                            t_stats.replacements += 1
+                            table._live -= 1
+                        t_ckey[free] = ck
+                        t_key[free] = last
+                        t_target[free] = line
+                        t_prio[free] = priority
+                        t_way_of[ck] = free
+                        t_rrpv[free] = t_fill_rrpv
+                        t_stats.insertions += 1
+                        live = table._live + 1
+                        table._live = live
+                        if live > t_stats.peak_allocated:
+                            t_stats.peak_allocated = live
+            trainer[pc] = (
+                ((line + 1) << _T_LAST_SHIFT)
+                | (blocked << _T_BLOCKED_SHIFT)
+                | (pat << 4)
+                | reuse
+            )
+            if not allow:
+                return ()
+
+            # --- chain walk with MVB consults, inlined -----------------
+            out: List[int] = []
+            out_append = out.append
             cursor = line
-            for depth in range(degree):
-                # MetadataTable.lookup inlined (see markov.py for the
-                # reference implementation).
-                t_stats.lookups += 1
-                target = None
-                idx = t_dense_get(cursor)
-                if idx is not None:
-                    set_idx = idx % t_n_sets
-                    way = t_map[set_idx].get((idx // t_n_sets) & TAG_MASK)
-                    if way is not None:
-                        t_stats.hits += 1
-                        t_on_hit(set_idx, way)
-                        target = t_targets[set_idx * t_assoc + way]
-                if mvb is not None:
-                    # MVB miss check inlined (misses dominate); hits take
-                    # the full _consume path.
-                    mvb.lookups += 1
-                    m_entry = mvb_sets[cursor % mvb_n_sets].get(cursor)
-                    if m_entry is not None:
-                        for alt in mvb_consume(m_entry, target):
-                            append(PrefetchRequest(
-                                alt, trigger_pc=pc, chain_depth=depth
-                            ))
-                if target is None:
+            lookups = 0
+            hits = 0
+            m_lookups = 0
+            m_hits = 0
+            depth_left = degree
+            while depth_left:
+                depth_left -= 1
+                lookups += 1
+                target = -1
+                ck = t_dense_get(cursor)
+                if ck is not None:
+                    slot = t_way_get(ck)
+                    if slot is not None:
+                        hits += 1
+                        if t_rrpv is not None:
+                            t_rrpv[slot] = 0
+                        else:
+                            t_on_hit(slot // t_assoc, slot % t_assoc)
+                        target = t_target[slot]
+                if has_mvb:
+                    m_lookups += 1
+                    m_slot = m_slot_get(cursor)
+                    if m_slot is not None:
+                        # MVB hit: touch LRU, serve non-excluded targets.
+                        clk = mvb._clock + 1
+                        mvb._clock = clk
+                        m_lru[m_slot] = clk
+                        base2 = m_slot * m_cand
+                        got = False
+                        for i in range(base2, base2 + m_ntgt[m_slot]):
+                            t = m_tgt[i]
+                            if t == target:
+                                continue
+                            if m_ctr[i] < COUNTER_MAX:
+                                m_ctr[i] += 1
+                            out_append(t)
+                            got = True
+                        if got:
+                            m_hits += 1
+                if target < 0:
                     break
-                append(PrefetchRequest(target, trigger_pc=pc, chain_depth=depth))
+                out_append(target)
                 cursor = target
-            return requests
+            # Flush batched structure counters (totals match the
+            # per-operation increments of the reference implementation).
+            t_stats.lookups += lookups
+            if hits:
+                t_stats.hits += hits
+            if has_mvb:
+                mvb.lookups += m_lookups
+                if m_hits:
+                    mvb.hits += m_hits
+            return out
 
-        self._walk_with_mvb = walk
+        self.observe_fast = observe_fast
 
     def on_metadata_resize(self, capacity_entries: int) -> None:
         super().on_metadata_resize(capacity_entries)
-        self._bind_walker()
+        self._bind_observe()
 
     # ------------------------------------------------------------------
     def desired_metadata_ways(self, current_ways: int) -> Optional[int]:
@@ -240,3 +470,74 @@ class ProphetPrefetcher(TriangelPrefetcher):
         if self.mvb is not None:
             overhead["mvb"] = float(self.mvb.storage_bytes)
         return overhead
+
+
+class ProphetPrefetcherReference(ProphetPrefetcher, TriangelPrefetcherReference):
+    """The pre-fusion Prophet implementation, kept as the oracle.
+
+    Reference metadata table, reference MVB, dataclass trainer entries,
+    and the original method-chained observe path (``_update_confidences``
+    -> ``runtime_allow`` -> ``MetadataTable.insert`` -> chain walk via
+    ``lookup``/``MVB.lookup``).  Equivalence tests assert the fused
+    :class:`ProphetPrefetcher` reproduces it bit-for-bit, up to whole
+    :class:`~repro.sim.results.SimResult` objects.
+    """
+
+    _mvb_cls = MultiPathVictimBufferReference
+
+    def _bind_observe(self) -> None:
+        # The reference path has no fused closure; leaving ``observe_fast``
+        # unset makes the hierarchy use the generic observe() dispatch.
+        pass
+
+    def observe(self, access: L2AccessInfo) -> List[PrefetchRequest]:
+        if self.initial_ways == 0 and self._feat_resizing:
+            return []  # temporal prefetching disabled by Equation 3
+        pc, line = access.pc, access.line
+        self._access_index += 1
+        entry = self._trainer_entry(pc)
+        self._update_confidences(entry, line)
+
+        hint = self.hint_buffer.lookup(pc) if self.prophet_enabled else None
+        if hint is not None and self._feat_insertion:
+            # Prophet Insertion Policy: the runtime policy is disabled for
+            # hinted PCs (Section 3.1).
+            allow = hint.insert
+        else:
+            allow = self.runtime_allow(entry)
+
+        if entry.last_line >= 0 and entry.last_line != line and allow:
+            if hint is not None and self._feat_replacement:
+                priority = hint.priority
+            else:
+                priority = RUNTIME_PRIORITY
+            displaced = self.table.insert(entry.last_line, line, priority)
+            if displaced is not None and self.mvb is not None:
+                self.mvb.insert(
+                    displaced.key_line, displaced.target, displaced.priority
+                )
+        entry.last_line = line
+
+        if not allow:
+            return []
+        return self._walk_with_mvb(line, pc)
+
+    def _walk_with_mvb(self, line: int, pc: int) -> List[PrefetchRequest]:
+        """Chain walk through table + MVB (the pre-fusion semantics)."""
+        requests: List[PrefetchRequest] = []
+        mvb = self.mvb
+        cursor = line
+        for depth in range(self.degree):
+            target = self.table.lookup(cursor)
+            if mvb is not None:
+                for alt in mvb.lookup(cursor, exclude=target):
+                    requests.append(
+                        PrefetchRequest(alt, trigger_pc=pc, chain_depth=depth)
+                    )
+            if target is None:
+                break
+            requests.append(
+                PrefetchRequest(target, trigger_pc=pc, chain_depth=depth)
+            )
+            cursor = target
+        return requests

@@ -211,10 +211,39 @@ def register_experiment(
 ) -> Callable:
     """Class the decorated function as experiment ``name``'s entry point.
 
-    Suite experiments default to selectable workloads/schemes; generic
-    ones opt in explicitly.  Registering the same name from two different
-    modules is an error (the completeness tests rely on this); re-running
-    a module's own registration (``importlib.reload``) is allowed.
+    The decorated function receives one :class:`ExperimentRequest` and
+    returns the experiment's payload; everything else here is metadata a
+    client needs to drive it without importing the module:
+
+    - ``name``: registry key, CLI subcommand, and ``api.run`` argument.
+    - ``description``: one-liner shown by ``repro.cli list`` and the
+      generated ``docs/experiments.md`` catalog.
+    - ``records``: default trace length.  ``None`` marks a *static*
+      experiment (no trace is simulated — e.g. ``storage``): a caller
+      passing ``records`` is rejected instead of silently ignored.
+    - ``render``: payload -> report text (the paper figure's rows).
+    - ``kind``: ``"suite"`` for workload x scheme ``SuiteResults`` grids
+      (first-class chart/CSV/JSON support), ``"generic"`` otherwise.
+    - ``metrics``: chartable metric names, in the order the viz layer
+      should offer them.
+    - ``workloads`` / ``schemes``: the *default* scenario sets a request
+      narrows with ``api.run(workloads=..., schemes=...)``.
+    - ``supports_workloads`` / ``supports_schemes``: whether selection
+      is allowed at all; default ``True`` for suites, ``False``
+      otherwise (pass explicitly for generic experiments that resolve
+      workloads through ``spec_traces``).
+    - ``supports_overrides``: whether dotted-path config overrides /
+      replacement configs apply (``False`` for static experiments whose
+      output is config-independent).
+    - ``to_dict`` / ``from_dict``: payload (de)serializers for the JSON
+      contract; suites default to ``SuiteResults`` round-tripping and
+      generic payloads to :func:`generic_to_dict` (one-way).
+    - ``tabulate``: payload -> (headers, rows) for generic chart/CSV
+      rendering when the payload is not a suite.
+
+    Registering the same name from two different modules is an error
+    (the completeness tests rely on this); re-running a module's own
+    registration (``importlib.reload``) is allowed.
     """
 
     def deco(run_fn: Callable[[ExperimentRequest], Any]) -> Callable:

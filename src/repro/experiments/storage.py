@@ -10,6 +10,12 @@ All three are computed from the same constants the implementation uses,
 so this experiment doubles as a consistency check between the model and
 the paper's arithmetic.  It is *static* — no trace is simulated — so it
 registers with ``records=None`` rather than a zero-record sentinel.
+
+Since the packed-model PR the hardware structures exist in two in-tree
+implementations (packed fast path + ``*Reference`` oracle); the modeled
+hardware budget is a property of the paper's geometry, not of the host
+data layout, so :func:`measure` additionally asserts both report the
+same bytes.
 """
 
 from __future__ import annotations
@@ -17,7 +23,12 @@ from __future__ import annotations
 from typing import Dict
 
 from ..core.hints import HINT_BUFFER_ENTRIES, HintBuffer
-from ..core.mvb import MVB_BITS_PER_ENTRY, MVB_ENTRIES, MultiPathVictimBuffer
+from ..core.mvb import (
+    MVB_BITS_PER_ENTRY,
+    MVB_ENTRIES,
+    MultiPathVictimBuffer,
+    MultiPathVictimBufferReference,
+)
 from ..core.replacement import DEFAULT_PRIORITY_BITS, replacement_state_bytes
 from ..sim.config import MAX_METADATA_ENTRIES
 from ..sim.results import format_table
@@ -26,12 +37,19 @@ from .registry import ExperimentRequest, register_experiment
 
 def measure() -> Dict[str, float]:
     """Storage overhead of each Prophet structure, in KB."""
+    mvb_bytes = MultiPathVictimBuffer().storage_bytes
+    reference_bytes = MultiPathVictimBufferReference().storage_bytes
+    if mvb_bytes != reference_bytes:  # pragma: no cover - consistency guard
+        raise AssertionError(
+            "packed and reference MVB disagree on modeled storage: "
+            f"{mvb_bytes} != {reference_bytes}"
+        )
     return {
         "replacement_state_kb": replacement_state_bytes(
             MAX_METADATA_ENTRIES, DEFAULT_PRIORITY_BITS
         ) / 1024,
         "hint_buffer_kb": HintBuffer(HINT_BUFFER_ENTRIES).storage_bytes / 1024,
-        "mvb_kb": MultiPathVictimBuffer().storage_bytes / 1024,
+        "mvb_kb": mvb_bytes / 1024,
     }
 
 

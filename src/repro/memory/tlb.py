@@ -79,18 +79,29 @@ class TLB:
         self.config = config
         self.stats = TLBStats()
         self._entries: "OrderedDict[int, None]" = OrderedDict()
+        # Same-page fast path: the page of the previous access is by
+        # definition already most-recently-used, so a repeat hit needs no
+        # LRU reordering — spatial locality makes this the common case.
+        self._last_page = -1
 
     def access(self, line: int) -> int:
         """Translate the page of ``line``; returns added latency (0 on hit)."""
-        page = page_of(line)
+        page = line // LINES_PER_PAGE
+        if page == self._last_page:
+            self.stats.hits += 1
+            return 0
         if page in self._entries:
             self._entries.move_to_end(page)
+            self._last_page = page
             self.stats.hits += 1
             return 0
         self.stats.misses += 1
         self._entries[page] = None
+        self._last_page = page
         if len(self._entries) > self.config.entries:
-            self._entries.popitem(last=False)
+            evicted = self._entries.popitem(last=False)[0]
+            if evicted == page:  # pragma: no cover - single-entry TLB only
+                self._last_page = -1
         return self.config.walk_latency
 
     def contains(self, line: int) -> bool:

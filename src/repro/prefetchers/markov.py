@@ -25,6 +25,23 @@ address, which is what makes the compressed format practical.  Aliasing
 between indices that collide in (set, tag) is modeled faithfully — a real
 (small) source of mispredictions in the paper's design that we keep.
 
+Storage layout (this PR's packed fast path): entries live in flat typed
+arrays indexed by ``slot = set_idx * assoc + way`` — ``_ckey`` (the
+entry's combined placement key, ``-1`` when the way is empty), ``_key``
+(the full key line, kept for stats/export/MVB displacement), ``_target``
+and ``_prio``.  The per-set tag->way dicts of the original implementation
+are collapsed into one table-wide dict ``_way_of`` keyed by the *combined
+key* ``ck = tag * n_sets + set_idx``, and ``_dense_of`` maps a line
+straight to its precomputed ``ck`` — a table probe is two dict gets and
+one array read, with zero index arithmetic.  When the replacement policy
+is SRRIP (the Triangel/Prophet configuration) the policy's RRPV array is
+exposed as ``_srrip_rrpv`` so hot callers can inline the touch instead of
+paying a method call per chain-walk step.
+
+The pre-packing implementation is preserved verbatim as
+:class:`MetadataTableReference`; equivalence tests assert the two agree
+operation-for-operation, including stats and displacement reporting.
+
 Counters mirror the PMU events Prophet profiles: ``insertions`` and
 ``replacements``, whose difference is the allocated-entries metric of
 Section 4.1, plus the running peak used by Prophet Resizing.
@@ -32,11 +49,13 @@ Section 4.1, plus the running peak used by Prophet Resizing.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
+from .._accel import get_numpy
 from ..sim.config import METADATA_ENTRIES_PER_LINE, METADATA_TAG_BITS
-from ..cache.replacement import make_policy
+from ..cache.replacement import SRRIPPolicy, make_policy
 
 TAG_MASK = (1 << METADATA_TAG_BITS) - 1
 
@@ -70,7 +89,305 @@ class EvictedMeta:
 
 
 class MetadataTable:
-    """Set-associative compressed Markov table."""
+    """Set-associative compressed Markov table (packed fast path)."""
+
+    __slots__ = (
+        "assoc", "replacement_name", "prophet_priorities",
+        "_dense_of", "_line_of", "n_sets", "capacity",
+        "_ckey", "_key", "_target", "_prio", "_way_of",
+        "policy", "_policy_on_hit", "_policy_on_fill",
+        "_srrip_rrpv", "_srrip_fill_rrpv", "stats", "_live",
+    )
+
+    def __init__(
+        self,
+        capacity_entries: int,
+        assoc: int = METADATA_ENTRIES_PER_LINE,
+        replacement: str = "srrip",
+        prophet_priorities: bool = False,
+    ):
+        if capacity_entries < assoc:
+            capacity_entries = assoc
+        self.assoc = assoc
+        self.replacement_name = replacement
+        self.prophet_priorities = prophet_priorities
+        # Structural index table: line address -> combined placement key;
+        # _line_of keeps first-touch order so geometry changes can replay it.
+        self._dense_of: Dict[int, int] = {}
+        self._line_of: List[int] = []
+        self._build(capacity_entries)
+
+    # ------------------------------------------------------------------
+    def _ck_of_index(self, idx: int) -> int:
+        """Combined placement key of structural index ``idx``."""
+        n_sets = self.n_sets
+        return ((idx // n_sets) & TAG_MASK) * n_sets + idx % n_sets
+
+    def _dense_ck(self, line: int) -> int:
+        """Combined key for ``line``, assigning a structural index on first touch."""
+        ck = self._dense_of.get(line)
+        if ck is None:
+            idx = len(self._line_of)
+            self._line_of.append(line)
+            ck = self._ck_of_index(idx)
+            self._dense_of[line] = ck
+        return ck
+
+    def _build(self, capacity_entries: int) -> None:
+        self.n_sets = max(1, capacity_entries // self.assoc)
+        self.capacity = self.n_sets * self.assoc
+        n = self.capacity
+        self._ckey = array("q", [-1]) * n  # -1 == empty way
+        self._key = array("q", bytes(8 * n))
+        self._target = array("q", bytes(8 * n))
+        self._prio = array("b", bytes(n))
+        self._way_of: Dict[int, int] = {}
+        self.policy = make_policy(self.replacement_name, self.n_sets, self.assoc)
+        # Rebound on every _build/resize; saves an attribute chase per op.
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_fill = self.policy.on_fill
+        # SRRIP fast path: expose the RRPV array so lookups (and Prophet's
+        # fused walk) can touch replacement state without a method call.
+        if type(self.policy) is SRRIPPolicy:
+            self._srrip_rrpv = self.policy._rrpv
+            self._srrip_fill_rrpv = self.policy.max_rrpv - 1
+        else:
+            self._srrip_rrpv = None
+            self._srrip_fill_rrpv = 0
+        self.stats = MetadataStats()
+        self._live = 0
+        # Re-key every known line for the (possibly new) geometry.
+        if self._line_of:
+            self._rebuild_dense_map()
+
+    def _rebuild_dense_map(self) -> None:
+        """Recompute line -> combined-key for the current geometry.
+
+        Optionally vectorized through numpy (``repro._accel``): the rebuild
+        touches every line ever inserted, which dwarfs the O(live entries)
+        re-fill when traces are long.
+        """
+        np = get_numpy()
+        n_sets = self.n_sets
+        if np is not None:
+            idx = np.arange(len(self._line_of), dtype=np.int64)
+            cks = ((idx // n_sets) & TAG_MASK) * n_sets + (idx % n_sets)
+            self._dense_of = dict(zip(self._line_of, cks.tolist()))
+        else:
+            self._dense_of = {
+                line: ((i // n_sets) & TAG_MASK) * n_sets + i % n_sets
+                for i, line in enumerate(self._line_of)
+            }
+
+    # ------------------------------------------------------------------
+    def _find_slot(self, line: int) -> Optional[int]:
+        """Slot of a resident entry, or None; no allocation."""
+        ck = self._dense_of.get(line)
+        if ck is None:
+            return None
+        return self._way_of.get(ck)
+
+    def lookup(self, line: int) -> Optional[int]:
+        """Return the recorded Markov target for ``line`` (or None).
+
+        Tag aliasing between structural indices can return a stale
+        neighbour's target, as in the real compressed format.
+        """
+        stats = self.stats
+        stats.lookups += 1
+        ck = self._dense_of.get(line)
+        if ck is None:
+            return None
+        slot = self._way_of.get(ck)
+        if slot is None:
+            return None
+        stats.hits += 1
+        rrpv = self._srrip_rrpv
+        if rrpv is not None:
+            rrpv[slot] = 0
+        else:
+            assoc = self.assoc
+            self._policy_on_hit(slot // assoc, slot % assoc)
+        return self._target[slot]
+
+    def probe(self, line: int) -> Optional[int]:
+        """Lookup without touching replacement state or counters."""
+        ck = self._dense_of.get(line)
+        if ck is None:
+            return None
+        slot = self._way_of.get(ck)
+        if slot is None:
+            return None
+        return self._target[slot]
+
+    def priority_of(self, line: int) -> Optional[int]:
+        slot = self._find_slot(line)
+        if slot is None:
+            return None
+        return self._prio[slot]
+
+    def insert(
+        self, line: int, target: int, priority: int = 0
+    ) -> Optional[EvictedMeta]:
+        """Record ``line -> target``; returns displaced entry info if any.
+
+        Updating an existing entry with a *different* target counts as an
+        overwrite and returns the old mapping (the Multi-path Victim Buffer
+        feeds on these: the address has multiple Markov targets).
+        """
+        displaced = self.insert_fast(line, target, priority)
+        if displaced is None:
+            return None
+        return EvictedMeta(displaced[0], displaced[1], displaced[2])
+
+    def insert_fast(
+        self, line: int, target: int, priority: int = 0
+    ) -> Optional[Tuple[int, int, int]]:
+        """:meth:`insert` without the :class:`EvictedMeta` allocation.
+
+        The hot path (one call per trained access): returns the displaced
+        ``(key_line, target, priority)`` tuple, or None.  Behaviour is
+        identical to the reference implementation, including the aliasing
+        quirk that an overwrite reports the *probing* line as its key while
+        the stored key line is left untouched.
+        """
+        dense_of = self._dense_of
+        ck = dense_of.get(line)
+        if ck is None:
+            idx = len(self._line_of)
+            self._line_of.append(line)
+            n_sets = self.n_sets
+            ck = ((idx // n_sets) & TAG_MASK) * n_sets + idx % n_sets
+            dense_of[line] = ck
+        way_of = self._way_of
+        slot = way_of.get(ck)
+        targets = self._target
+        prios = self._prio
+        if slot is not None:
+            old_target = targets[slot]
+            old_priority = prios[slot]
+            targets[slot] = target
+            prios[slot] = priority
+            rrpv = self._srrip_rrpv
+            if rrpv is not None:
+                rrpv[slot] = 0
+            else:
+                assoc = self.assoc
+                self._policy_on_hit(slot // assoc, slot % assoc)
+            if old_target != target:
+                self.stats.overwrites += 1
+                return (line, old_target, old_priority)
+            return None
+
+        assoc = self.assoc
+        set_idx = ck % self.n_sets
+        base = set_idx * assoc
+        ckey = self._ckey
+        keys = self._key
+        stats = self.stats
+        evicted: Optional[Tuple[int, int, int]] = None
+        free = -1
+        for s in range(base, base + assoc):
+            if ckey[s] < 0:
+                free = s
+                break
+        if free < 0:
+            free = base + self._pick_victim(set_idx)
+            evicted = (keys[free], targets[free], prios[free])
+            del way_of[ckey[free]]
+            stats.replacements += 1
+            self._live -= 1
+
+        ckey[free] = ck
+        keys[free] = line
+        targets[free] = target
+        prios[free] = priority
+        way_of[ck] = free
+        rrpv = self._srrip_rrpv
+        if rrpv is not None:
+            rrpv[free] = self._srrip_fill_rrpv
+        else:
+            self._policy_on_fill(set_idx, free - base)
+        stats.insertions += 1
+        live = self._live + 1
+        self._live = live
+        if live > stats.peak_allocated:
+            stats.peak_allocated = live
+        return evicted
+
+    def _pick_victim(self, set_idx: int) -> int:
+        base = set_idx * self.assoc
+        if self.prophet_priorities:
+            # Lowest-priority entries are the candidates; the runtime
+            # replacement policy (rank) picks the final victim among them.
+            prios = self._prio
+            min_prio = min(prios[base + w] for w in range(self.assoc))
+            candidates = [
+                w for w in range(self.assoc) if prios[base + w] == min_prio
+            ]
+            return self.policy.victim(set_idx, candidates)
+        return self.policy.victim(set_idx)
+
+    # ------------------------------------------------------------------
+    def resize(self, capacity_entries: int) -> None:
+        """Rebuild the table at a new capacity, keeping what fits.
+
+        Resizes are rare (once per Set-Dueller window, or once at program
+        start for Prophet), so an O(live entries + known lines) rebuild is
+        acceptable; the known-lines re-key is the numpy-accelerated part.
+        """
+        ckey = self._ckey
+        old_entries = [
+            (self._key[i], self._target[i], self._prio[i])
+            for i in range(len(ckey))
+            if ckey[i] >= 0
+        ]
+        old_stats = self.stats
+        self._build(capacity_entries)
+        self.stats = old_stats
+        way_of = self._way_of
+        ckey = self._ckey
+        assoc = self.assoc
+        for key, target, priority in old_entries:
+            ck = self._dense_ck(key)
+            if ck in way_of:
+                continue
+            base = (ck % self.n_sets) * assoc
+            for s in range(base, base + assoc):
+                if ckey[s] < 0:
+                    ckey[s] = ck
+                    self._key[s] = key
+                    self._target[s] = target
+                    self._prio[s] = priority
+                    way_of[ck] = s
+                    self.policy.on_fill(ck % self.n_sets, s - base)
+                    self._live += 1
+                    break
+
+    @property
+    def live_entries(self) -> int:
+        return self._live
+
+    def occupancy(self) -> float:
+        return self._live / self.capacity if self.capacity else 0.0
+
+    def entries(self) -> List[Tuple[int, int, int]]:
+        """(key_line, target, priority) for every live entry (for tests)."""
+        ckey = self._ckey
+        return [
+            (self._key[i], self._target[i], self._prio[i])
+            for i in range(len(ckey))
+            if ckey[i] >= 0
+        ]
+
+
+class MetadataTableReference:
+    """The pre-packing :class:`MetadataTable`, kept as the oracle.
+
+    Same pattern as :func:`repro.sim.engine.run_simulation_reference`:
+    equivalence tests drive both implementations with identical operation
+    streams and assert identical returns, stats, and exported entries.
+    """
 
     __slots__ = (
         "assoc", "replacement_name", "prophet_priorities",
@@ -115,7 +432,6 @@ class MetadataTable:
         self._priority: List[int] = [0] * n
         self._map: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
         self.policy = make_policy(self.replacement_name, self.n_sets, self.assoc)
-        # Rebound on every _build/resize; saves an attribute chase per op.
         self._policy_on_hit = self.policy.on_hit
         self._policy_on_fill = self.policy.on_fill
         self.stats = MetadataStats()
@@ -139,14 +455,8 @@ class MetadataTable:
         return set_idx, way
 
     def lookup(self, line: int) -> Optional[int]:
-        """Return the recorded Markov target for ``line`` (or None).
-
-        Tag aliasing between structural indices can return a stale
-        neighbour's target, as in the real compressed format.
-        """
         stats = self.stats
         stats.lookups += 1
-        # _find() inlined: lookup is called per chain-walk step (hot).
         idx = self._dense_of.get(line)
         if idx is None:
             return None
@@ -160,7 +470,6 @@ class MetadataTable:
         return self._targets[set_idx * self.assoc + way]
 
     def probe(self, line: int) -> Optional[int]:
-        """Lookup without touching replacement state or counters."""
         idx = self._dense_of.get(line)
         if idx is None:
             return None
@@ -181,13 +490,6 @@ class MetadataTable:
     def insert(
         self, line: int, target: int, priority: int = 0
     ) -> Optional[EvictedMeta]:
-        """Record ``line -> target``; returns displaced entry info if any.
-
-        Updating an existing entry with a *different* target counts as an
-        overwrite and returns the old mapping (the Multi-path Victim Buffer
-        feeds on these: the address has multiple Markov targets).
-        """
-        # _index_tag()/_dense() inlined: insert runs once per trained access.
         dense_of = self._dense_of
         idx = dense_of.get(line)
         if idx is None:
@@ -241,11 +543,18 @@ class MetadataTable:
             self.stats.peak_allocated = self._live
         return evicted
 
+    def insert_fast(
+        self, line: int, target: int, priority: int = 0
+    ) -> Optional[Tuple[int, int, int]]:
+        """API parity with the packed table (tuple-valued insert)."""
+        evicted = self.insert(line, target, priority)
+        if evicted is None:
+            return None
+        return (evicted.key_line, evicted.target, evicted.priority)
+
     def _pick_victim(self, set_idx: int) -> int:
         base = set_idx * self.assoc
         if self.prophet_priorities:
-            # Lowest-priority entries are the candidates; the runtime
-            # replacement policy (rank) picks the final victim among them.
             min_prio = min(self._priority[base + w] for w in range(self.assoc))
             candidates = [
                 w for w in range(self.assoc) if self._priority[base + w] == min_prio
@@ -255,11 +564,6 @@ class MetadataTable:
 
     # ------------------------------------------------------------------
     def resize(self, capacity_entries: int) -> None:
-        """Rebuild the table at a new capacity, keeping what fits.
-
-        Resizes are rare (once per Set-Dueller window, or once at program
-        start for Prophet), so an O(live entries) rebuild is acceptable.
-        """
         old_entries = [
             (self._keys[i], self._targets[i], self._priority[i])
             for i in range(len(self._valid))
@@ -294,7 +598,6 @@ class MetadataTable:
         return self._live / self.capacity if self.capacity else 0.0
 
     def entries(self) -> List[Tuple[int, int, int]]:
-        """(key_line, target, priority) for every live entry (for tests)."""
         return [
             (self._keys[i], self._targets[i], self._priority[i])
             for i in range(len(self._valid))

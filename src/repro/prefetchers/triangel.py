@@ -21,6 +21,21 @@ state and three management mechanisms:
 - **Aggressive prefetching**: walks the Markov chain to degree 4, which
   Triangel's own ablation credits with most of its speedup.
 
+Trainer storage (this PR's packed fast path): one packed int per PC in a
+plain dict — ``(last_line + 1) << 24 | blocked << 8 | pattern_conf << 4 |
+reuse_conf`` — instead of a dict of dataclass objects.  ``observe``
+unpacks into locals, trains, and repacks with a single dict store; the
+FIFO eviction of the original (``pop(next(iter(...)))``) carries over
+unchanged because dict order is insertion order either way.  ``blocked``
+is kept modulo 2**16 (it is only ever consulted modulo
+``SAMPLED_INSERTION_PERIOD``, which divides 2**16).  Tests and subclasses
+that need attribute access go through :meth:`TriangelPrefetcher
+._trainer_entry`, which returns a live read/write view.
+
+The pre-packing implementation is preserved as
+:class:`TriangelPrefetcherReference` (dataclass trainer entries + the
+reference metadata table), the oracle for the equivalence tests.
+
 Metadata replacement is SRRIP (the storage-cheap choice Triangel made
 after finding Hawkeye's 13 KB bought only 0.25 %).
 """
@@ -32,10 +47,17 @@ from typing import Dict, List, Optional
 
 from ..sim.config import SystemConfig, MAX_METADATA_ENTRIES
 from .base import L2AccessInfo, L2Prefetcher, PrefetchRequest
-from .markov import MetadataTable
+from .markov import MetadataTable, MetadataTableReference
 
 PATTERN_CONF_MAX = 15
 REUSE_CONF_MAX = 15
+
+#: Packed trainer-entry layout (see module docstring).
+_T_BLOCKED_MASK = 0xFFFF
+_T_LAST_SHIFT = 24
+_T_BLOCKED_SHIFT = 8
+#: A fresh entry: last_line=-1, blocked=0, pattern_conf=8, reuse_conf=8.
+_T_FRESH = (8 << 4) | 8
 
 
 @dataclass(slots=True)
@@ -46,10 +68,68 @@ class _TrainerEntry:
     blocked: int = 0  # rejected insertions since last sampled one
 
 
+class _TrainerView:
+    """Live attribute view over one packed trainer entry.
+
+    Reads and writes go straight through to the packed dict, so tests
+    (and :meth:`TriangelPrefetcher.runtime_allow`) can manipulate trainer
+    state exactly as they did with the dataclass entries.
+    """
+
+    __slots__ = ("_trainer", "_pc")
+
+    def __init__(self, trainer: Dict[int, int], pc: int):
+        self._trainer = trainer
+        self._pc = pc
+
+    def _get(self) -> int:
+        return self._trainer[self._pc]
+
+    @property
+    def last_line(self) -> int:
+        return (self._get() >> _T_LAST_SHIFT) - 1
+
+    @last_line.setter
+    def last_line(self, value: int) -> None:
+        packed = self._get() & ((1 << _T_LAST_SHIFT) - 1)
+        self._trainer[self._pc] = ((value + 1) << _T_LAST_SHIFT) | packed
+
+    @property
+    def pattern_conf(self) -> int:
+        return (self._get() >> 4) & 0xF
+
+    @pattern_conf.setter
+    def pattern_conf(self, value: int) -> None:
+        self._trainer[self._pc] = (self._get() & ~0xF0) | ((value & 0xF) << 4)
+
+    @property
+    def reuse_conf(self) -> int:
+        return self._get() & 0xF
+
+    @reuse_conf.setter
+    def reuse_conf(self, value: int) -> None:
+        self._trainer[self._pc] = (self._get() & ~0xF) | (value & 0xF)
+
+    @property
+    def blocked(self) -> int:
+        return (self._get() >> _T_BLOCKED_SHIFT) & _T_BLOCKED_MASK
+
+    @blocked.setter
+    def blocked(self, value: int) -> None:
+        packed = self._get() & ~(_T_BLOCKED_MASK << _T_BLOCKED_SHIFT)
+        self._trainer[self._pc] = packed | (
+            (value & _T_BLOCKED_MASK) << _T_BLOCKED_SHIFT
+        )
+
+
 class TriangelPrefetcher(L2Prefetcher):
     """Triangel with PatternConf/ReuseConf filtering and Set-Dueller resizing."""
 
     name = "triangel"
+
+    #: Metadata-table implementation; the reference subclass swaps in the
+    #: pre-packing table so the whole stack can be pinned bit-for-bit.
+    _table_cls = MetadataTable
 
     def __init__(
         self,
@@ -73,11 +153,12 @@ class TriangelPrefetcher(L2Prefetcher):
         self.insertion_filter_enabled = insertion_filter_enabled
         self.initial_ways = initial_ways
         self.max_ways = self._ways_for_entries(MAX_METADATA_ENTRIES)
-        self.table = MetadataTable(
+        self.table = self._table_cls(
             config.metadata_capacity_for_ways(initial_ways), replacement=replacement
         )
         self.trainer_size = trainer_size
-        self._trainer: Dict[int, _TrainerEntry] = {}
+        #: pc -> packed trainer entry (reference subclass: pc -> _TrainerEntry).
+        self._trainer: Dict[int, int] = {}
         # Reuse-distance sampler: line -> access index at sampling time.
         self.sampler_size = sampler_size
         self.sample_interval = sample_interval
@@ -92,54 +173,20 @@ class TriangelPrefetcher(L2Prefetcher):
         return max(0, min(self.config.l3.assoc // 2, -(-entries // per_way)))
 
     # ------------------------------------------------------------------
-    def _trainer_entry(self, pc: int) -> _TrainerEntry:
-        entry = self._trainer.get(pc)
-        if entry is None:
-            if len(self._trainer) >= self.trainer_size:
-                self._trainer.pop(next(iter(self._trainer)))
-            entry = _TrainerEntry()
-            self._trainer[pc] = entry
-        return entry
-
-    def _update_confidences(self, entry: _TrainerEntry, line: int) -> None:
-        """Train PatternConf and ReuseConf on one observed access.
-
-        A correctly-predicting metadata access increments PatternConf; a
-        mispredicting or absent one decrements it (the blue/red dots of
-        Fig. 1).  This short-term training is exactly what collapses on
-        interleaved useful/useless bursts: a run of red dots drives the
-        counter to zero and the interleaved genuine patterns that follow
-        are rejected until sampled insertions slowly rebuild confidence —
-        the inefficiency Prophet's profile-guided insertion removes.
-        """
-        if entry.last_line >= 0 and entry.last_line != line:
-            predicted = self.table.probe(entry.last_line)
-            if predicted is not None:
-                if predicted == line:
-                    entry.pattern_conf = min(PATTERN_CONF_MAX, entry.pattern_conf + 1)
-                else:
-                    entry.pattern_conf = max(0, entry.pattern_conf - 1)
-        # --- ReuseConf: does the PC's reuse distance fit the table? ---
-        # (_update_reuse_conf inlined: this runs once per trained access.)
-        sampler = self._sampler
-        seen_at = sampler.get(line)
-        access_index = self._access_index
-        if seen_at is not None:
-            if access_index - seen_at <= self.table.capacity:
-                entry.reuse_conf = min(REUSE_CONF_MAX, entry.reuse_conf + 1)
-            else:
-                entry.reuse_conf = max(0, entry.reuse_conf - 1)
-            sampler[line] = access_index
-        elif access_index % self.sample_interval == 0:
-            if len(sampler) >= self.sampler_size:
-                sampler.pop(next(iter(sampler)))
-            sampler[line] = access_index
+    def _trainer_entry(self, pc: int) -> _TrainerView:
+        """Attribute view of ``pc``'s trainer entry, allocating if needed."""
+        trainer = self._trainer
+        if pc not in trainer:
+            if len(trainer) >= self.trainer_size:
+                trainer.pop(next(iter(trainer)))
+            trainer[pc] = _T_FRESH
+        return _TrainerView(trainer, pc)
 
     #: One in this many blocked insertions proceeds anyway, so PatternConf
     #: can relearn a pattern after collapsing to zero (Triangel's sampling).
     SAMPLED_INSERTION_PERIOD = 32
 
-    def runtime_allow(self, entry: _TrainerEntry) -> bool:
+    def runtime_allow(self, entry) -> bool:
         """The runtime insertion decision (PatternConf x ReuseConf).
 
         When confidence is below threshold, one in
@@ -147,6 +194,11 @@ class TriangelPrefetcher(L2Prefetcher):
         escape a zeroed PatternConf could never observe a correct
         prediction again.  Recovery is deliberately slow, which is why the
         Fig. 1 bursts cost Triangel real coverage.
+
+        ``entry`` is any object with ``pattern_conf``/``reuse_conf``/
+        ``blocked`` attributes (a :class:`_TrainerView` or a reference
+        :class:`_TrainerEntry`); the packed observe path inlines this
+        logic instead of calling it.
         """
         if not self.insertion_filter_enabled:
             return True
@@ -170,14 +222,74 @@ class TriangelPrefetcher(L2Prefetcher):
         return requests
 
     def observe(self, access: L2AccessInfo) -> List[PrefetchRequest]:
+        """Train on one access; packed single-pass rewrite of the reference.
+
+        The trainer entry is unpacked into locals, PatternConf/ReuseConf
+        training and the insertion decision run inline, and one dict store
+        writes the updated entry back — no dataclass instances, no helper
+        calls on the per-access path.
+        """
         pc, line = access.pc, access.line
-        self._access_index += 1
-        entry = self._trainer_entry(pc)
-        self._update_confidences(entry, line)
-        allow = self.runtime_allow(entry)
-        if entry.last_line >= 0 and entry.last_line != line and allow:
-            self.table.insert(entry.last_line, line)
-        entry.last_line = line
+        ai = self._access_index + 1
+        self._access_index = ai
+        trainer = self._trainer
+        packed = trainer.get(pc)
+        if packed is None:
+            if len(trainer) >= self.trainer_size:
+                trainer.pop(next(iter(trainer)))
+            last = -1
+            blocked = 0
+            pat = 8
+            reuse = 8
+        else:
+            last = (packed >> _T_LAST_SHIFT) - 1
+            blocked = (packed >> _T_BLOCKED_SHIFT) & _T_BLOCKED_MASK
+            pat = (packed >> 4) & 0xF
+            reuse = packed & 0xF
+
+        table = self.table
+        trains = last >= 0 and last != line
+        if trains:
+            # --- PatternConf: did the recorded pattern predict this access?
+            predicted = table.probe(last)
+            if predicted is not None:
+                if predicted == line:
+                    if pat < PATTERN_CONF_MAX:
+                        pat += 1
+                elif pat > 0:
+                    pat -= 1
+        # --- ReuseConf: does the PC's reuse distance fit the table? ---
+        sampler = self._sampler
+        seen_at = sampler.get(line)
+        if seen_at is not None:
+            if ai - seen_at <= table.capacity:
+                if reuse < REUSE_CONF_MAX:
+                    reuse += 1
+            elif reuse > 0:
+                reuse -= 1
+            sampler[line] = ai
+        elif not ai % self.sample_interval:
+            if len(sampler) >= self.sampler_size:
+                sampler.pop(next(iter(sampler)))
+            sampler[line] = ai
+
+        # --- runtime_allow, inlined ---
+        if not self.insertion_filter_enabled:
+            allow = True
+        elif pat >= self.pattern_threshold and reuse >= self.reuse_threshold:
+            allow = True
+        else:
+            blocked = (blocked + 1) & _T_BLOCKED_MASK
+            allow = not blocked % self.SAMPLED_INSERTION_PERIOD
+
+        if allow and trains:
+            table.insert_fast(last, line)
+        trainer[pc] = (
+            ((line + 1) << _T_LAST_SHIFT)
+            | (blocked << _T_BLOCKED_SHIFT)
+            | (pat << 4)
+            | reuse
+        )
         if allow:
             return self.chain_requests(line, pc)
         return []
@@ -215,3 +327,69 @@ class TriangelPrefetcher(L2Prefetcher):
             capacity_entries = self.table.assoc
         if capacity_entries != self.table.capacity:
             self.table.resize(capacity_entries)
+
+
+class TriangelPrefetcherReference(TriangelPrefetcher):
+    """The pre-packing Triangel implementation, kept as the oracle.
+
+    Dataclass trainer entries, the reference metadata table, and the
+    original helper-method observe path.  Equivalence tests assert the
+    packed :class:`TriangelPrefetcher` matches it access-for-access.
+    """
+
+    _table_cls = MetadataTableReference
+
+    def _trainer_entry(self, pc: int) -> _TrainerEntry:
+        entry = self._trainer.get(pc)
+        if entry is None:
+            if len(self._trainer) >= self.trainer_size:
+                self._trainer.pop(next(iter(self._trainer)))
+            entry = _TrainerEntry()
+            self._trainer[pc] = entry
+        return entry
+
+    def _update_confidences(self, entry: _TrainerEntry, line: int) -> None:
+        """Train PatternConf and ReuseConf on one observed access.
+
+        A correctly-predicting metadata access increments PatternConf; a
+        mispredicting or absent one decrements it (the blue/red dots of
+        Fig. 1).  This short-term training is exactly what collapses on
+        interleaved useful/useless bursts: a run of red dots drives the
+        counter to zero and the interleaved genuine patterns that follow
+        are rejected until sampled insertions slowly rebuild confidence —
+        the inefficiency Prophet's profile-guided insertion removes.
+        """
+        if entry.last_line >= 0 and entry.last_line != line:
+            predicted = self.table.probe(entry.last_line)
+            if predicted is not None:
+                if predicted == line:
+                    entry.pattern_conf = min(PATTERN_CONF_MAX, entry.pattern_conf + 1)
+                else:
+                    entry.pattern_conf = max(0, entry.pattern_conf - 1)
+        # --- ReuseConf: does the PC's reuse distance fit the table? ---
+        sampler = self._sampler
+        seen_at = sampler.get(line)
+        access_index = self._access_index
+        if seen_at is not None:
+            if access_index - seen_at <= self.table.capacity:
+                entry.reuse_conf = min(REUSE_CONF_MAX, entry.reuse_conf + 1)
+            else:
+                entry.reuse_conf = max(0, entry.reuse_conf - 1)
+            sampler[line] = access_index
+        elif access_index % self.sample_interval == 0:
+            if len(sampler) >= self.sampler_size:
+                sampler.pop(next(iter(sampler)))
+            sampler[line] = access_index
+
+    def observe(self, access: L2AccessInfo) -> List[PrefetchRequest]:
+        pc, line = access.pc, access.line
+        self._access_index += 1
+        entry = self._trainer_entry(pc)
+        self._update_confidences(entry, line)
+        allow = self.runtime_allow(entry)
+        if entry.last_line >= 0 and entry.last_line != line and allow:
+            self.table.insert(entry.last_line, line)
+        entry.last_line = line
+        if allow:
+            return self.chain_requests(line, pc)
+        return []

@@ -24,6 +24,15 @@ arithmetic is inlined with its parameters in locals, and per-PC miss
 accounting uses a :class:`collections.defaultdict`.  The seed
 implementation is preserved as :func:`run_simulation_reference`; a tier-1
 test asserts both produce identical :class:`SimResult` fields.
+
+Prefetcher dispatch: the engine drives the hierarchy, and the hierarchy
+dispatches each trained access to the L2 prefetcher.  Prefetchers that
+expose ``observe_fast(pc, line) -> [lines]`` (Prophet's packed fused
+pass) skip the per-access ``L2AccessInfo``/``PrefetchRequest`` boxing
+entirely; everything else goes through the generic ``observe`` path.
+Both dispatch flavours are bit-identical in simulation output (pinned by
+``tests/test_packed_model_equivalence.py``), so ``ENGINE_VERSION`` — and
+with it every runner cache key — is unchanged by the fast path.
 """
 
 from __future__ import annotations

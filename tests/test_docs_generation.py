@@ -1,0 +1,58 @@
+"""The generated experiment catalog must track the live registry.
+
+``docs/experiments.md`` is rendered by ``scripts/gen_experiment_docs.py``
+from the experiment registry; CI runs the script's ``--check`` mode, and
+this test pins the same property in the tier-1 suite so a stale catalog
+fails close to the change that caused it.
+"""
+
+import importlib.util
+import sys
+from pathlib import Path
+
+import pytest
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SCRIPT = REPO_ROOT / "scripts" / "gen_experiment_docs.py"
+DOC = REPO_ROOT / "docs" / "experiments.md"
+
+
+def _load_generator():
+    spec = importlib.util.spec_from_file_location("gen_experiment_docs", SCRIPT)
+    module = importlib.util.module_from_spec(spec)
+    sys.modules.setdefault("gen_experiment_docs", module)
+    spec.loader.exec_module(module)
+    return module
+
+
+@pytest.fixture(scope="module")
+def generator():
+    return _load_generator()
+
+
+def test_catalog_is_fresh(generator):
+    assert DOC.exists(), (
+        "docs/experiments.md missing; run "
+        "`PYTHONPATH=src python scripts/gen_experiment_docs.py`"
+    )
+    assert DOC.read_text() == generator.render_catalog(), (
+        "docs/experiments.md is stale; regenerate with "
+        "`PYTHONPATH=src python scripts/gen_experiment_docs.py`"
+    )
+
+
+def test_catalog_covers_every_registered_experiment(generator):
+    from repro.experiments import all_experiments
+
+    content = generator.render_catalog()
+    for exp in all_experiments():
+        assert f"## {exp.name}" in content
+        assert exp.description in content
+
+
+def test_check_mode_detects_staleness(generator, tmp_path):
+    stale = tmp_path / "experiments.md"
+    stale.write_text("# outdated\n")
+    assert generator.main(["--check", "--out", str(stale)]) == 2
+    assert generator.main(["--out", str(stale)]) == 0
+    assert generator.main(["--check", "--out", str(stale)]) == 0

@@ -127,8 +127,10 @@ class TestMVB:
             mvb.insert(key, target, prio)
             mvb.lookup(key)
         assert mvb.live_entries <= mvb.capacity
-        for bucket in mvb._sets:
-            assert len(bucket) <= mvb.assoc
-            for entry in bucket.values():
-                assert len(entry.targets) <= candidates
-                assert all(0 <= c <= 3 for c in entry.counters)
+        entries = mvb.debug_entries()
+        per_set = {}
+        for line, (targets, counters) in entries.items():
+            per_set[line % mvb.n_sets] = per_set.get(line % mvb.n_sets, 0) + 1
+            assert len(targets) <= candidates
+            assert all(0 <= c <= 3 for c in counters)
+        assert all(count <= mvb.assoc for count in per_set.values())

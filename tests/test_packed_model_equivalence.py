@@ -1,0 +1,292 @@
+"""The packed Prophet model must match the reference model bit-for-bit.
+
+This PR rewrote the per-access model state as packed flat-array
+structures — :class:`~repro.prefetchers.markov.MetadataTable` (combined
+placement keys + typed entry arrays), :class:`~repro.core.mvb
+.MultiPathVictimBuffer` (slot arrays), the packed-int trainer entries in
+:class:`~repro.prefetchers.triangel.TriangelPrefetcher` — and fused
+Prophet's observe pipeline into one closure.  The pre-packing
+implementations are preserved (``*Reference`` classes, the same pattern
+PR 1 used for the engine loop), and these tests drive both sides with
+identical operation streams:
+
+- structure level: randomized insert/lookup/probe/resize interleavings,
+  including displacement reporting, counter saturation, and the aliasing
+  overwrite quirk;
+- prefetcher level: per-observe request-line equality on real workload
+  access streams;
+- engine level: whole :class:`~repro.sim.results.SimResult` equality on
+  the MVB-heavy workloads (mcf / omnetpp) through both the optimized and
+  the reference simulation loops.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro._accel import set_numpy_enabled
+from repro.core.mvb import (
+    COUNTER_MAX,
+    MultiPathVictimBuffer,
+    MultiPathVictimBufferReference,
+)
+from repro.core.pipeline import OptimizedBinary
+from repro.core.prophet import ProphetFeatures
+from repro.prefetchers.base import L2AccessInfo
+from repro.prefetchers.markov import MetadataTable, MetadataTableReference
+from repro.prefetchers.triangel import (
+    TriangelPrefetcher,
+    TriangelPrefetcherReference,
+)
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation, run_simulation_reference
+from repro.workloads.inputs import make_trace
+
+
+def table_state(t):
+    return {
+        "entries": t.entries(),
+        "live": t.live_entries,
+        "stats": dataclasses.asdict(t.stats),
+    }
+
+
+def drive_tables(a, b, seed, steps=3000, lines=500, resizes=(12, 48, 120, 240)):
+    rng = random.Random(seed)
+    for step in range(steps):
+        op = rng.random()
+        line = rng.randrange(lines)
+        if op < 0.5:
+            target = rng.randrange(lines)
+            prio = rng.randrange(4)
+            ra = a.insert(line, target, prio)
+            rb = b.insert(line, target, prio)
+            assert (ra is None) == (rb is None), step
+            if ra is not None:
+                assert dataclasses.astuple(ra) == dataclasses.astuple(rb), step
+        elif op < 0.75:
+            assert a.lookup(line) == b.lookup(line), step
+        elif op < 0.9:
+            assert a.probe(line) == b.probe(line), step
+            assert a.priority_of(line) == b.priority_of(line), step
+        else:
+            cap = rng.choice(resizes)
+            a.resize(cap)
+            b.resize(cap)
+    assert table_state(a) == table_state(b)
+
+
+class TestMetadataTableEquivalence:
+    @pytest.mark.parametrize("replacement", ["srrip", "lru"])
+    @pytest.mark.parametrize("prophet_priorities", [False, True])
+    def test_randomized_ops(self, replacement, prophet_priorities):
+        for seed in range(3):
+            a = MetadataTable(
+                120, replacement=replacement, prophet_priorities=prophet_priorities
+            )
+            b = MetadataTableReference(
+                120, replacement=replacement, prophet_priorities=prophet_priorities
+            )
+            drive_tables(a, b, seed)
+
+    def test_single_set_pressure(self):
+        """One set: every insert past capacity displaces — maximal churn."""
+        a = MetadataTable(12, assoc=12, prophet_priorities=True)
+        b = MetadataTableReference(12, assoc=12, prophet_priorities=True)
+        drive_tables(a, b, seed=7, steps=2000, lines=100, resizes=(12, 24))
+
+    def test_aliasing_overwrite_reports_probing_line(self):
+        """The compressed format's aliasing quirk must be preserved.
+
+        Two keys that collide in (set, tag) share one entry; overwriting
+        through the second key reports the *probing* key while the stored
+        key line keeps its original value.  The packed table must keep
+        this reference behaviour exactly.
+        """
+        a = MetadataTable(12, assoc=12)
+        b = MetadataTableReference(12, assoc=12)
+        # Structural indices i and i + n_sets*TAG_SPACE alias; with one
+        # set every index lands in it, so indices i and i + 1024 share a
+        # tag.  Insert enough distinct keys to wrap the 10-bit tag space.
+        for i in range(1030):
+            ra = a.insert(i, i + 5000)
+            rb = b.insert(i, i + 5000)
+            assert (ra is None) == (rb is None), i
+            if ra is not None:
+                assert dataclasses.astuple(ra) == dataclasses.astuple(rb), i
+        assert table_state(a) == table_state(b)
+
+    def test_numpy_resize_path_equivalent(self):
+        pytest.importorskip("numpy")
+        try:
+            set_numpy_enabled(True)
+            a = MetadataTable(240)
+            for i in range(400):
+                a.insert(i, i + 1)
+            a.resize(48)
+            a.resize(1200)
+        finally:
+            set_numpy_enabled(None)
+        b = MetadataTable(240)
+        for i in range(400):
+            b.insert(i, i + 1)
+        b.resize(48)
+        b.resize(1200)
+        assert table_state(a) == table_state(b)
+
+
+class TestMVBEquivalence:
+    @pytest.mark.parametrize("geometry", [(8, 1, 1), (8, 2, 1), (32, 4, 2),
+                                          (64, 4, 4), (16, 8, 3)])
+    def test_randomized_ops(self, geometry):
+        entries, assoc, cand = geometry
+        for seed in range(3):
+            rng = random.Random(seed)
+            a = MultiPathVictimBuffer(entries, assoc, cand)
+            b = MultiPathVictimBufferReference(entries, assoc, cand)
+            for step in range(5000):
+                op = rng.random()
+                line = rng.randrange(80)
+                if op < 0.55:
+                    target = rng.randrange(60)
+                    prio = rng.randrange(-1, 4)
+                    a.insert(line, target, prio)
+                    b.insert(line, target, prio)
+                else:
+                    exclude = rng.choice([None, rng.randrange(60)])
+                    assert a.lookup(line, exclude) == b.lookup(line, exclude), step
+                assert a.live_entries == b.live_entries, step
+            assert a.debug_entries() == b.debug_entries()
+            assert (a.inserts, a.hits, a.lookups) == (b.inserts, b.hits, b.lookups)
+
+    def test_counter_saturation(self):
+        """Usefulness counters pin at COUNTER_MAX on both sides."""
+        a = MultiPathVictimBuffer(entries=8, assoc=2, candidates_per_entry=1)
+        b = MultiPathVictimBufferReference(entries=8, assoc=2,
+                                           candidates_per_entry=1)
+        for m in (a, b):
+            m.insert(1, 50, 1)
+            for _ in range(COUNTER_MAX + 4):  # past the 2-bit ceiling
+                assert m.lookup(1) == [50]
+        assert a.debug_entries() == b.debug_entries()
+        ((targets, counters),) = [a.debug_entries()[1]]
+        assert counters == [COUNTER_MAX]
+
+    def test_displacement_of_coldest_candidate(self):
+        """With a full candidate list the first-minimum counter slot goes."""
+        for cls in (MultiPathVictimBuffer, MultiPathVictimBufferReference):
+            m = cls(entries=8, assoc=2, candidates_per_entry=2)
+            m.insert(1, 10, 1)
+            m.insert(1, 20, 1)
+            m.lookup(1, exclude=20)  # warm target 10 only
+            m.insert(1, 30, 1)  # displaces the cold 20
+            assert sorted(m.debug_entries()[1][0]) == [10, 30]
+
+
+def drive_prefetchers(packed, reference, accesses):
+    """Feed both prefetchers one access stream; compare request lines."""
+    for i, (pc, line) in enumerate(accesses):
+        fast = packed.observe(L2AccessInfo(pc=pc, line=line, cycle=0.0,
+                                           l2_hit=False))
+        slow = reference.observe(L2AccessInfo(pc=pc, line=line, cycle=0.0,
+                                              l2_hit=False))
+        assert [r.line for r in fast] == [r.line for r in slow], i
+        assert [r.trigger_pc for r in fast] == [r.trigger_pc for r in slow], i
+
+
+def trace_accesses(label, n):
+    trace = make_trace(label, n)
+    return list(zip(trace.pcs, trace.lines))
+
+
+class TestTriangelEquivalence:
+    def test_observe_stream(self):
+        config = default_config()
+        packed = TriangelPrefetcher(config)
+        reference = TriangelPrefetcherReference(config)
+        drive_prefetchers(packed, reference, trace_accesses("mcf_inp", 12000))
+        assert table_state(packed.table) == table_state(reference.table)
+
+    def test_trainer_view_matches_reference_entry(self):
+        config = default_config()
+        packed = TriangelPrefetcher(config)
+        reference = TriangelPrefetcherReference(config)
+        for pf in (packed, reference):
+            entry = pf._trainer_entry(9)
+            entry.pattern_conf = 3
+            entry.reuse_conf = 12
+            entry.last_line = 77
+        pv, rv = packed._trainer_entry(9), reference._trainer_entry(9)
+        assert (pv.last_line, pv.pattern_conf, pv.reuse_conf, pv.blocked) == (
+            rv.last_line, rv.pattern_conf, rv.reuse_conf, rv.blocked
+        )
+        # runtime_allow mutates blocked identically through the view.
+        allowed_p = [packed.runtime_allow(pv) for _ in range(64)]
+        allowed_r = [reference.runtime_allow(rv) for _ in range(64)]
+        assert allowed_p == allowed_r
+
+
+class TestProphetEquivalence:
+    @pytest.mark.parametrize("label", ["mcf_inp", "omnetpp_omnetpp"])
+    def test_observe_stream(self, label):
+        config = default_config()
+        trace = make_trace(label, 15000)
+        binary = OptimizedBinary.from_profile(trace, config)
+        packed = binary.prefetcher(config)
+        reference = binary.prefetcher_reference(config)
+        drive_prefetchers(packed, reference, list(zip(trace.pcs, trace.lines)))
+        assert table_state(packed.table) == table_state(reference.table)
+        assert packed.mvb.debug_entries() == reference.mvb.debug_entries()
+        assert (packed.mvb.inserts, packed.mvb.hits, packed.mvb.lookups) == (
+            reference.mvb.inserts, reference.mvb.hits, reference.mvb.lookups
+        )
+
+    @pytest.mark.parametrize(
+        "features",
+        [
+            ProphetFeatures(),
+            ProphetFeatures(mvb=False),
+            ProphetFeatures(mvb_candidates=2),
+            ProphetFeatures(replacement=False),
+            ProphetFeatures(insertion=False),
+            ProphetFeatures(runtime="triage"),
+        ],
+        ids=["default", "no-mvb", "mvb2", "no-repl", "no-ins", "triage"],
+    )
+    def test_feature_variants_end_to_end(self, features):
+        config = default_config()
+        trace = make_trace("mcf_inp", 12000)
+        binary = OptimizedBinary.from_profile(trace, config)
+        fast = run_simulation(
+            trace, config, binary.prefetcher(config, features), "prophet"
+        )
+        slow = run_simulation(
+            trace, config, binary.prefetcher_reference(config, features), "prophet"
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+    @pytest.mark.parametrize("label", ["mcf_inp", "omnetpp_omnetpp"])
+    def test_full_simulation_bit_identical(self, label):
+        """Packed model + optimized loop == reference model + seed loop."""
+        config = default_config()
+        trace = make_trace(label, 20000)
+        binary = OptimizedBinary.from_profile(trace, config)
+        fast = run_simulation(
+            trace, config, binary.prefetcher(config), "prophet"
+        )
+        slow = run_simulation_reference(
+            trace, config, binary.prefetcher_reference(config), "prophet"
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)
+
+    def test_triangel_full_simulation_bit_identical(self):
+        config = default_config()
+        trace = make_trace("mcf_inp", 20000)
+        fast = run_simulation(
+            trace, config, TriangelPrefetcher(config), "triangel"
+        )
+        slow = run_simulation_reference(
+            trace, config, TriangelPrefetcherReference(config), "triangel"
+        )
+        assert dataclasses.asdict(fast) == dataclasses.asdict(slow)

@@ -127,7 +127,7 @@ class TestTriangel:
         for _ in range(8):
             for line in [1, 2, 3, 4]:
                 pf.observe(access(5, line))
-        entry = pf._trainer[5]
+        entry = pf._trainer_entry(5)
         assert entry.pattern_conf > 8
 
     def test_pattern_conf_collapses_on_mispredicting_bursts(self):
@@ -138,14 +138,14 @@ class TestTriangel:
         for _ in range(4):  # learn the stable order
             for line in chain:
                 pf.observe(access(5, line))
-        stable_conf = pf._trainer[5].pattern_conf
+        stable_conf = pf._trainer_entry(5).pattern_conf
         import random as _r
         rng = _r.Random(0)
         for _ in range(6):  # reshuffled walks: stale metadata mispredicts
             rng.shuffle(chain)
             for line in chain:
                 pf.observe(access(5, line))
-        assert pf._trainer[5].pattern_conf < min(stable_conf, 8)
+        assert pf._trainer_entry(5).pattern_conf < min(stable_conf, 8)
 
     def test_blocked_pc_stops_prefetching(self):
         cfg = default_config()
