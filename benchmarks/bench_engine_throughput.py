@@ -28,7 +28,8 @@ Results are written to ``BENCH_engine.json`` next to this file (override
 with ``--out``) so successive PRs accumulate a perf trajectory; compare
 the ``records_per_sec`` fields across commits on the same machine.
 Hand-maintained calibration sections already present in the output file
-(``seed_reference``, ``seed_commit``) are preserved across runs.
+(``seed_reference``, ``seed_commit``, ``floors``) are preserved across
+runs.
 
 Usage::
 
@@ -36,9 +37,21 @@ Usage::
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py --smoke
     PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
         --records 200000 --repeats 5 --out /tmp/bench.json
+    PYTHONPATH=src python benchmarks/bench_engine_throughput.py \
+        --records 40000 --repeats 2 --check --out /tmp/bench-gate.json
 
 ``--smoke`` shrinks the run for CI: it validates that the benchmark still
 executes end to end, not that the numbers are meaningful.
+
+``--check`` is the CI regression gate: the fresh run's *intra-run speed
+ratios* are compared against the floors committed in
+``BENCH_engine.json`` (the ``floors`` section, falling back to the
+committed run's own ratios) and the process exits non-zero on a
+>``--tolerance`` (default 30%) regression.  Gating on ratios measured
+within one run — packed model vs the preserved reference rungs,
+interleaved so load drift cancels — keeps the gate meaningful on CI
+machines that are much slower or faster than the reference machine,
+where absolute records/sec floors would be pure noise.
 """
 
 from __future__ import annotations
@@ -62,8 +75,14 @@ DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_engine.json"
 BENCH_WORKLOAD = "mcf_inp"
 
 #: Sections of the output file that are maintained by hand (calibration
-#: notes, seed-commit measurements) and must survive a rerun.
-PRESERVED_SECTIONS = ("seed_reference", "seed_commit")
+#: notes, seed-commit measurements, regression floors) and must survive
+#: a rerun.
+PRESERVED_SECTIONS = ("seed_reference", "seed_commit", "floors")
+
+#: Default allowed regression for ``--check`` before the gate fails.
+#: Generous on purpose: the ratios are intra-run (machine-independent)
+#: but CI smoke runs are short, so they still carry sampling noise.
+REGRESSION_TOLERANCE = 0.30
 
 
 def _measure(fn, n_records: int, repeats: int) -> dict:
@@ -163,6 +182,61 @@ def run_bench(n_records: int, repeats: int) -> dict:
     return result
 
 
+def _ratio_metrics(result: dict) -> dict:
+    """The machine-independent speed ratios of one benchmark run."""
+    path = result["prophet_path"]
+    return {
+        "speedup_packed_vs_reference_model":
+            path["speedup_packed_vs_reference_model"],
+        "speedup_packed_vs_seed_equivalent":
+            path["speedup_packed_vs_seed_equivalent"],
+        "baseline_over_prophet":
+            result["baseline"]["records_per_sec"]
+            / result["prophet"]["records_per_sec"],
+    }
+
+
+#: Ratios built from separately measured blocks rather than interleaved
+#: repeats: a machine-load spike during one block skews them, so they are
+#: reported for information but never auto-derived as gate floors.
+NON_INTERLEAVED_RATIOS = ("baseline_over_prophet",)
+
+
+def check_floors(result: dict, committed: dict, tolerance: float) -> list:
+    """Compare ``result``'s ratios against the committed floors.
+
+    Returns a list of human-readable failure strings (empty = pass).
+    Floors come from the ``floors`` section of ``committed``; when the
+    section is absent, the committed run's own *interleaved* ratios
+    serve as floors (non-interleaved ratios are too load-drift-fragile
+    to gate on — an explicitly committed floor is still honored).
+    """
+    floors = dict(committed.get("floors") or {})
+    if not floors:
+        try:
+            floors = _ratio_metrics(committed)
+        except (KeyError, TypeError, ZeroDivisionError):
+            return ["committed benchmark file has neither a 'floors' "
+                    "section nor usable run ratios to derive them from"]
+        for name in NON_INTERLEAVED_RATIOS:
+            floors.pop(name, None)
+    current = _ratio_metrics(result)
+    failures = []
+    for name, floor in floors.items():
+        if not isinstance(floor, (int, float)):
+            continue  # the "note" field
+        value = current.get(name)
+        if value is None:
+            continue
+        minimum = floor * (1.0 - tolerance)
+        if value < minimum:
+            failures.append(
+                f"{name}: {value:.3f} is below floor {floor:.3f} "
+                f"- {tolerance:.0%} = {minimum:.3f}"
+            )
+    return failures
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--records", type=int, default=150_000,
@@ -173,7 +247,27 @@ def main(argv=None) -> int:
                         help="tiny run for CI: checks execution, not perf")
     parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
                         help=f"output JSON path (default {DEFAULT_OUT})")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 1) when the run's speed ratios "
+                             "regress past --tolerance vs the committed "
+                             "floors")
+    parser.add_argument("--floors", type=Path, default=DEFAULT_OUT,
+                        help="committed benchmark file holding the floors "
+                             f"(default {DEFAULT_OUT})")
+    parser.add_argument("--tolerance", type=float,
+                        default=REGRESSION_TOLERANCE,
+                        help="allowed fractional regression for --check "
+                             f"(default {REGRESSION_TOLERANCE})")
     args = parser.parse_args(argv)
+
+    # Read the committed floors *before* any writing, in case --out and
+    # --floors name the same file.
+    floors_blob = None
+    if args.check:
+        try:
+            floors_blob = args.floors.read_text()
+        except OSError:
+            floors_blob = None
 
     n_records = 5_000 if args.smoke else args.records
     repeats = 1 if args.smoke else args.repeats
@@ -203,6 +297,26 @@ def main(argv=None) -> int:
           f"{path['speedup_packed_vs_reference_model']:.3f}x vs reference model, "
           f"{path['speedup_packed_vs_seed_equivalent']:.3f}x vs seed-equivalent")
     print(f"wrote {args.out}")
+
+    if args.check:
+        if floors_blob is None:
+            print(f"[bench-gate] FAIL: no committed floors at {args.floors}",
+                  file=sys.stderr)
+            return 1
+        try:
+            committed = json.loads(floors_blob)
+        except ValueError:
+            print(f"[bench-gate] FAIL: {args.floors} is not valid JSON",
+                  file=sys.stderr)
+            return 1
+        failures = check_floors(result, committed, args.tolerance)
+        if failures:
+            for failure in failures:
+                print(f"[bench-gate] FAIL: {failure}", file=sys.stderr)
+            return 1
+        current = _ratio_metrics(result)
+        print("[bench-gate] PASS: "
+              + ", ".join(f"{k}={v:.3f}" for k, v in current.items()))
     return 0
 
 

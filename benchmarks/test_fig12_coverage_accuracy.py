@@ -24,10 +24,10 @@ def test_fig12_coverage_accuracy(benchmark):
     print(save_report("fig12_coverage_accuracy", text))
     # Prophet removes more demand misses than Triangel...
     labels = results.labels
-    pr_cov = sum(results.coverage(l, "prophet") for l in labels) / len(labels)
-    tg_cov = sum(results.coverage(l, "triangel") for l in labels) / len(labels)
+    pr_cov = sum(results.coverage(wl, "prophet") for wl in labels) / len(labels)
+    tg_cov = sum(results.coverage(wl, "triangel") for wl in labels) / len(labels)
     assert pr_cov > tg_cov
     # ...at comparable (not worse) accuracy.
-    pr_acc = sum(results.accuracy(l, "prophet") for l in labels) / len(labels)
-    tg_acc = sum(results.accuracy(l, "triangel") for l in labels) / len(labels)
+    pr_acc = sum(results.accuracy(wl, "prophet") for wl in labels) / len(labels)
+    tg_acc = sum(results.accuracy(wl, "triangel") for wl in labels) / len(labels)
     assert pr_acc >= tg_acc - 0.05

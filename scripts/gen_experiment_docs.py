@@ -1,20 +1,24 @@
 #!/usr/bin/env python
-"""Render ``docs/experiments.md`` from the live experiment registry.
+"""Render the registry-generated docs (experiment + workload catalogs).
 
-Every figure/ablation module self-declares through
-:func:`repro.experiments.registry.register_experiment`; this script walks
-the registry and emits one documentation section per experiment — name,
-description, defaults, scenario knobs, chartable metrics, and the
-implementing module — so the catalog documents itself and can never
-drift from the code silently.
+Two artifacts are maintained:
+
+- ``docs/experiments.md`` — fully generated from the experiment registry
+  (:func:`repro.experiments.registry.register_experiment`): one section
+  per experiment with defaults, scenario knobs, metrics, and module.
+- ``docs/workloads.md`` — hand-written narrative with one *generated
+  region* (between the ``BEGIN/END GENERATED`` markers): the shipped
+  workload-source catalog, rendered from the source registry
+  (:mod:`repro.workloads.sources`).  File sources are excluded — they
+  depend on the local trace directory, not the code.
 
 Usage::
 
     PYTHONPATH=src python scripts/gen_experiment_docs.py          # write
     PYTHONPATH=src python scripts/gen_experiment_docs.py --check  # CI
 
-``--check`` regenerates the document in memory and exits non-zero when
-the committed file is stale; CI runs it next to the test suite.
+``--check`` regenerates both documents in memory and exits non-zero when
+a committed file is stale; CI runs it next to the test suite.
 """
 
 from __future__ import annotations
@@ -25,6 +29,11 @@ from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
 DEFAULT_OUT = REPO_ROOT / "docs" / "experiments.md"
+DEFAULT_WORKLOADS_DOC = REPO_ROOT / "docs" / "workloads.md"
+
+SOURCES_BEGIN = ("<!-- BEGIN GENERATED: workload-source catalog "
+                 "(scripts/gen_experiment_docs.py) -->")
+SOURCES_END = "<!-- END GENERATED: workload-source catalog -->"
 
 if str(REPO_ROOT / "src") not in sys.path:
     sys.path.insert(0, str(REPO_ROOT / "src"))
@@ -103,30 +112,92 @@ def render_catalog() -> str:
     return "\n".join(lines)
 
 
-def main(argv=None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
-                        help=f"output path (default {DEFAULT_OUT})")
-    parser.add_argument("--check", action="store_true",
-                        help="fail (exit 2) if the committed file is stale")
-    args = parser.parse_args(argv)
+def render_source_catalog() -> str:
+    """The generated region of ``docs/workloads.md`` (markers excluded).
 
-    content = render_catalog()
-    if args.check:
-        current = args.out.read_text() if args.out.exists() else ""
+    Only code-defined sources (synthetic + generator) are listed: file
+    sources depend on the local trace directory, so they would make the
+    committed document machine-dependent.
+    """
+    from repro.workloads.generators import GENERATOR_SCENARIOS
+    from repro.workloads.sources import all_sources
+
+    sources = [s for s in all_sources().values() if s.kind != "file"]
+    synthetic = [s for s in sources if s.kind == "synthetic"]
+    generator = [s for s in sources if s.kind == "generator"]
+    lines = [
+        f"{len(synthetic)} synthetic personas (SPEC + CRONO) and "
+        f"{len(generator)} generator scenarios ship with the repo; file "
+        "sources appear per trace directory.",
+        "",
+        "| label | family | seed | mlp | description |",
+        "|---|---|---|---|---|",
+    ]
+    for src in generator:
+        scenario = GENERATOR_SCENARIOS[src.label]
+        lines.append(
+            f"| `{scenario.label}` | `{scenario.family}` | {scenario.seed} "
+            f"| {scenario.mlp} | {scenario.description} |"
+        )
+    return "\n".join(lines)
+
+
+def splice_source_catalog(document: str, path: Path = DEFAULT_WORKLOADS_DOC) -> str:
+    """``document`` with the generated region replaced by a fresh render."""
+    try:
+        head, rest = document.split(SOURCES_BEGIN, 1)
+        _, tail = rest.split(SOURCES_END, 1)
+    except ValueError:
+        raise SystemExit(
+            f"{path} is missing the generated-region "
+            f"markers ({SOURCES_BEGIN!r} ... {SOURCES_END!r})"
+        )
+    return (head + SOURCES_BEGIN + "\n" + render_source_catalog()
+            + "\n" + SOURCES_END + tail)
+
+
+def _process(path: Path, content: str, check: bool) -> int:
+    if check:
+        current = path.read_text() if path.exists() else ""
         if current != content:
             print(
-                f"{args.out} is stale; regenerate with "
+                f"{path} is stale; regenerate with "
                 "`PYTHONPATH=src python scripts/gen_experiment_docs.py`",
                 file=sys.stderr,
             )
             return 2
-        print(f"{args.out} is up to date")
+        print(f"{path} is up to date")
         return 0
-    args.out.parent.mkdir(parents=True, exist_ok=True)
-    args.out.write_text(content)
-    print(f"wrote {args.out}")
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_text(content)
+    print(f"wrote {path}")
     return 0
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"experiment catalog path (default {DEFAULT_OUT})")
+    parser.add_argument("--workloads-doc", type=Path,
+                        default=DEFAULT_WORKLOADS_DOC,
+                        help="workloads doc holding the generated source "
+                             f"catalog region (default {DEFAULT_WORKLOADS_DOC})")
+    parser.add_argument("--check", action="store_true",
+                        help="fail (exit 2) if a committed file is stale")
+    args = parser.parse_args(argv)
+
+    status = _process(args.out, render_catalog(), args.check)
+
+    if args.workloads_doc.exists():
+        current = args.workloads_doc.read_text()
+    elif args.check:
+        print(f"{args.workloads_doc} does not exist; the workload-source "
+              "catalog cannot be checked", file=sys.stderr)
+        return 2
+    else:
+        current = SOURCES_BEGIN + "\n" + SOURCES_END + "\n"
+    spliced = splice_source_catalog(current, args.workloads_doc)
+    return max(status, _process(args.workloads_doc, spliced, args.check))
 
 
 if __name__ == "__main__":

@@ -56,16 +56,19 @@ from .sim.engine import run_simulation
 from .sim.results import SimResult, geomean
 from .workloads.base import Trace
 from .workloads.crono import make_crono_trace
+from .workloads.generators import GeneratorScenario, register_generator_scenario
 from .workloads.inputs import make_trace
+from .workloads.sources import TraceSource, import_trace, set_trace_dir
 from .workloads.spec import make_spec_trace, spec_suite
 
-__version__ = "1.3.0"
+__version__ = "1.4.0"
 
 __all__ = [
     "AnalysisParams",
     "CSRHints",
     "CounterSet",
     "DominoPrefetcher",
+    "GeneratorScenario",
     "HintBuffer",
     "HintSet",
     "MISBPrefetcher",
@@ -83,18 +86,22 @@ __all__ = [
     "SimResult",
     "SystemConfig",
     "Trace",
+    "TraceSource",
     "TriagePrefetcher",
     "TriangelPrefetcher",
     "TriangelPrefetcherReference",
     "analyze",
     "default_config",
     "geomean",
+    "import_trace",
     "make_crono_trace",
     "make_spec_trace",
     "make_trace",
     "merge_counters",
     "profile",
+    "register_generator_scenario",
     "run_prophet",
     "run_simulation",
+    "set_trace_dir",
     "spec_suite",
 ]

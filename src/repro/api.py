@@ -147,6 +147,19 @@ def experiments() -> List[Experiment]:
     return all_experiments()
 
 
+def workload_sources():
+    """Every selectable workload source, in catalog order.
+
+    One list covers all three source kinds — built-in synthetic
+    personas, generator scenarios, and trace files discovered in the
+    trace directory (``REPRO_TRACE_DIR`` / ``--trace-dir``).  Any
+    returned label is valid for ``run(..., workloads=[label])``.
+    """
+    from .workloads.sources import all_sources
+
+    return list(all_sources().values())
+
+
 def run(
     name: str,
     *,

@@ -21,7 +21,7 @@ Two ISA flavours matter for Section 4.4:
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Optional
 
 from ..sim.config import LINE_SIZE
 from ..workloads.base import Trace

@@ -37,7 +37,7 @@ from ..prefetchers.base import (
     PrefetchRequest,
 )
 from ..sim.config import SystemConfig
-from .cache import PF_L1, PF_L2, PF_NONE, Cache
+from .cache import PF_L1, PF_L2, Cache
 from .mshr import MSHREntry, MSHRFile
 
 

@@ -4,10 +4,20 @@ Usage::
 
     python -m repro.cli list
     python -m repro.cli fig10 [--records N] [--chart] [--csv] [--json]
-    python -m repro.cli fig10 --workloads mcf_inp,omnetpp_inp --schemes prophet
+    python -m repro.cli fig10 --workloads mcf_inp,gen_phase_mix --schemes prophet
     python -m repro.cli fig10 --set l3.size_kb=4096 --set dram.channels=2
     python -m repro.cli all --records N --out DIR --jobs N
     python -m repro.cli trace mcf_inp [--records N]
+    python -m repro.cli workloads list [--trace-dir DIR]
+    python -m repro.cli workloads describe gen_ptrchase_llc
+    python -m repro.cli workloads import capture.trc [--name LABEL]
+
+The workload catalog is the source registry
+(:mod:`repro.workloads.sources`): built-in synthetic personas, generator
+scenarios, and trace files discovered under ``--trace-dir`` /
+``$REPRO_TRACE_DIR``.  ``workloads import`` copies a captured trace
+(DRAMSim2 k6 text, JSON, or native ``.npz``) into the trace directory
+and prints the catalog label it is now runnable under.
 
 Every experiment comes from the declarative registry
 (:mod:`repro.experiments.registry`); ``list`` prints it.  The scenario
@@ -71,7 +81,7 @@ def run_trace_report(target: str, records: int) -> str:
 
     labels = all_labels() if target == "all" else [target]
     known = set(all_labels())
-    unknown = [l for l in labels if l not in known]
+    unknown = [label for label in labels if label not in known]
     if unknown:
         raise SystemExit(
             f"unknown workload(s): {', '.join(unknown)}; catalog: "
@@ -82,6 +92,55 @@ def run_trace_report(target: str, records: int) -> str:
     if len(characters) == 1:
         text += f"\n  verdict: {characters[0].verdict()}"
     return text
+
+
+def run_workloads_command(args, parser) -> int:
+    """The ``workloads`` subcommands: list / describe / import."""
+    from .workloads import sources
+
+    sub = args.target or "list"
+    if sub == "list":
+        registry = sources.all_sources()
+        print(viz.source_table(registry.values()))
+        active = sources.trace_dir()
+        where = active if active is not None else "none configured"
+        print(f"\n{len(registry)} workload sources  (trace dir: {where})")
+        return 0
+    if sub == "describe":
+        if not args.arg:
+            parser.error("workloads describe requires a workload label")
+        source = sources.get_source(args.arg)
+        if source is None:
+            parser.error(
+                f"unknown workload {args.arg!r}; try 'workloads list'"
+            )
+        records = args.records or 120_000
+        print(f"label:       {source.label}")
+        print(f"kind:        {source.kind}")
+        print(f"description: {source.description}")
+        if source.origin:
+            print(f"origin:      {source.origin}")
+        print(f"digest:      {source.digest(records)}  (at {records} records)")
+        return 0
+    if sub == "import":
+        if not args.arg:
+            parser.error("workloads import requires a trace file path")
+        try:
+            label, dest = sources.import_trace(args.arg, name=args.name)
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+        print(f"imported {args.arg} -> {dest}")
+        print(f"workload label: {label}")
+        print(
+            "run it with e.g. "
+            f"python -m repro.cli fig10 --workloads {label}"
+        )
+        return 0
+    parser.error(
+        f"unknown workloads subcommand {sub!r}; "
+        "expected list, describe, or import"
+    )
+    return 2
 
 
 def make_progress_printer() -> Callable:
@@ -155,14 +214,26 @@ def main(argv=None) -> int:
         prog="repro", description="Regenerate the paper's tables and figures."
     )
     parser.add_argument(
-        "experiment", help="experiment name, 'list', 'all', or 'trace'"
+        "experiment",
+        help="experiment name, 'list', 'all', 'trace', or 'workloads'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
-        help="workload label for the 'trace' command (or 'all')",
+        help="workload label for 'trace' (or 'all'); subcommand for "
+             "'workloads' (list/describe/import)",
+    )
+    parser.add_argument(
+        "arg", nargs="?", default=None,
+        help="extra argument: label for 'workloads describe', trace file "
+             "path for 'workloads import'",
     )
     parser.add_argument("--records", type=int, default=None,
                         help="trace length override")
+    parser.add_argument("--trace-dir", type=Path, default=None,
+                        help="directory of importable trace files "
+                             "(defaults to $REPRO_TRACE_DIR or ./traces)")
+    parser.add_argument("--name", default=None,
+                        help="catalog name for 'workloads import'")
     parser.add_argument("--workloads", default=None,
                         help="comma-separated catalog workload labels")
     parser.add_argument("--schemes", default=None,
@@ -186,6 +257,14 @@ def main(argv=None) -> int:
     parser.add_argument("--verbose", action="store_true",
                         help="print per-job runner progress to stderr")
     args = parser.parse_args(argv)
+
+    if args.trace_dir is not None:
+        from .workloads import sources
+
+        sources.set_trace_dir(args.trace_dir)
+
+    if args.experiment == "workloads":
+        return run_workloads_command(args, parser)
 
     runner = make_runner(
         jobs=args.jobs,

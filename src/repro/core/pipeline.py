@@ -15,8 +15,8 @@ an input, build the optimized binary, and simulate it with Prophet.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from dataclasses import dataclass, field
+from typing import Optional
 
 from ..sim.config import SystemConfig
 from ..sim.engine import run_simulation

@@ -28,7 +28,7 @@ from ..prefetchers.offchip import (
     STMSPrefetcher,
 )
 from ..sim.config import SystemConfig
-from ..sim.results import format_table, geomean
+from ..sim.results import format_table
 from ..workloads.spec import spec_suite
 from .common import (
     SuiteResults,

@@ -24,7 +24,7 @@ from typing import Callable, Dict, List, Optional, Sequence
 
 from ..core.analysis import AnalysisParams
 from ..core.pipeline import OptimizedBinary
-from ..core.prophet import ProphetFeatures, ProphetPrefetcher
+from ..core.prophet import ProphetFeatures
 from ..prefetchers.base import L2Prefetcher
 from ..prefetchers.rpg2 import (
     RPG2Prefetcher,
@@ -312,7 +312,9 @@ def suite_jobs(
     slots: List[tuple] = []
     custom: List[tuple] = []
     for trace in traces:
-        ref = TraceRef.from_trace(trace)
+        # Registry-built traces ride on their source digest (tiny,
+        # by-reference jobs); ad-hoc traces are inlined + content-hashed.
+        ref = TraceRef.for_trace(trace)
         base_job = SimJob(
             "baseline", ref, config, warmup_frac, label="baseline"
         )

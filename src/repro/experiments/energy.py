@@ -11,7 +11,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Optional
 
 from ..core.pipeline import OptimizedBinary
-from ..energy.cacti import EnergyBreakdown, hierarchy_energy, relative_overhead
+from ..energy.cacti import hierarchy_energy, relative_overhead
 from ..prefetchers.triangel import TriangelPrefetcher
 from ..sim.config import SystemConfig, default_config
 from ..sim.engine import run_simulation

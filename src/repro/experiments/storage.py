@@ -23,12 +23,7 @@ from __future__ import annotations
 from typing import Dict
 
 from ..core.hints import HINT_BUFFER_ENTRIES, HintBuffer
-from ..core.mvb import (
-    MVB_BITS_PER_ENTRY,
-    MVB_ENTRIES,
-    MultiPathVictimBuffer,
-    MultiPathVictimBufferReference,
-)
+from ..core.mvb import MultiPathVictimBuffer, MultiPathVictimBufferReference
 from ..core.replacement import DEFAULT_PRIORITY_BITS, replacement_state_bytes
 from ..sim.config import MAX_METADATA_ENTRIES
 from ..sim.results import format_table

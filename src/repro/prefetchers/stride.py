@@ -13,7 +13,7 @@ the irregular remainder.
 
 from __future__ import annotations
 
-from typing import Dict, List, Tuple
+from typing import Dict, List
 
 from .base import L1Prefetcher
 

@@ -47,13 +47,29 @@ def config_from_dict(d: Dict) -> SystemConfig:
 # ----------------------------------------------------------------------
 # trace references
 # ----------------------------------------------------------------------
+#: Per-process memo of by-reference trace resolutions (bounded FIFO).
+_RESOLVE_MEMO: Dict[Tuple[str, int, str], "Trace"] = {}
+_RESOLVE_MEMO_MAX = 8
+
+
+def _memo_put(key: Tuple[str, int, str], trace: Trace) -> None:
+    _RESOLVE_MEMO[key] = trace
+    while len(_RESOLVE_MEMO) > _RESOLVE_MEMO_MAX:
+        _RESOLVE_MEMO.pop(next(iter(_RESOLVE_MEMO)))
+
+
 @dataclass
 class TraceRef:
     """A trace by reference (catalog label) or by value (inline arrays).
 
-    Catalog refs stay tiny (workers regenerate the deterministic persona);
-    inline refs carry the record arrays and are content-hashed, so custom
-    or externally loaded traces cache just as safely.
+    Catalog refs stay tiny (workers regenerate the deterministic persona,
+    rebuild the generator scenario, or reload the trace file); inline
+    refs carry the record arrays and are content-hashed, so custom or
+    externally loaded traces cache just as safely.  The ``digest`` is the
+    part of :attr:`SimJob.cache_key` that identifies the trace — for
+    registry-built traces it is the *source* digest (file bytes /
+    generator parameters / persona label), so editing a trace file or a
+    scenario definition can never alias previously cached results.
     """
 
     label: str
@@ -74,13 +90,44 @@ class TraceRef:
             h.update(b";")
         return cls(trace.label, len(trace), trace, f"trace:{h.hexdigest()}")
 
+    @classmethod
+    def for_trace(cls, trace: Trace) -> "TraceRef":
+        """The cheapest safe ref for ``trace``.
+
+        Traces built through the workload-source registry carry a
+        ``source_digest`` (see
+        :func:`repro.workloads.sources.build_from_source`); those become
+        by-reference jobs — tiny to pickle, and workers re-materialize
+        the trace from its label.  Anything else (hand-built traces,
+        interval slices) is inlined and content-hashed.
+        """
+        digest = getattr(trace, "source_digest", None)
+        if digest:
+            # Prime the resolve memo: the caller already holds the built
+            # trace, so in-process execution must not regenerate it.
+            _memo_put((trace.label, len(trace), digest), trace)
+            return cls(trace.label, len(trace), None, digest)
+        return cls.from_trace(trace)
+
     def resolve(self) -> Trace:
-        """Materialize the trace (regenerating catalog personas)."""
+        """Materialize the trace (regenerating catalog personas).
+
+        By-reference resolutions are memoized per process (keyed on the
+        digest, so two refs with different contents never share): a suite
+        run resolves the same workload once per baseline + scheme job,
+        and regenerating a 100k+-record persona each time would dominate
+        small runs.
+        """
         if self.payload is not None:
             return self.payload
-        from ..workloads.inputs import make_trace
+        key = (self.label, self.n_records, self.digest)
+        trace = _RESOLVE_MEMO.get(key)
+        if trace is None:
+            from ..workloads.inputs import make_trace
 
-        return make_trace(self.label, self.n_records)
+            trace = make_trace(self.label, self.n_records)
+            _memo_put(key, trace)
+        return trace
 
 
 # ----------------------------------------------------------------------

@@ -23,7 +23,7 @@ reports.
 from __future__ import annotations
 
 import io
-from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+from typing import List, Mapping, Optional, Sequence, Tuple
 
 BAR_CHAR = "█"
 HALF_CHAR = "▌"
@@ -61,7 +61,7 @@ def bar_chart(
     if not labels:
         return out.getvalue().rstrip("\n")
     vmax = vmax if vmax is not None else max(values)
-    label_w = max(len(l) for l in labels)
+    label_w = max(len(label) for label in labels)
     for label, value in zip(labels, values):
         bar = _scaled_bar(value, vmax, width)
         out.write(f"{label.ljust(label_w)}  {bar} {fmt.format(value)}\n")
@@ -96,7 +96,7 @@ def grouped_bar_chart(
         v - offset for vals in series.values() for v in vals
     ]
     vmax = max(max(deltas), 1e-12)
-    label_w = max(len(l) for l in labels)
+    label_w = max(len(label) for label in labels)
     name_w = max(len(n) for n in series)
     for i, label in enumerate(labels):
         for j, (name, vals) in enumerate(series.items()):
@@ -314,6 +314,24 @@ def result_chart(result, title: Optional[str] = None) -> str:
     return grouped_bar_chart(
         labels, series,
         title=title if title is not None else f"{result.name}",
+    )
+
+
+def source_table(sources) -> str:
+    """One aligned line per workload source (``repro.cli workloads list``).
+
+    ``sources`` is any iterable of
+    :class:`repro.workloads.sources.TraceSource`; rows keep the
+    registry's listing order and are grouped visually by the kind column.
+    """
+    rows = [(s.label, s.kind, s.description) for s in sources]
+    if not rows:
+        return "(no workload sources)"
+    label_w = max(len(r[0]) for r in rows)
+    kind_w = max(len(r[1]) for r in rows)
+    return "\n".join(
+        f"{label.ljust(label_w)}  {kind.ljust(kind_w)}  {desc}"
+        for label, kind, desc in rows
     )
 
 

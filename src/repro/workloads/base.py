@@ -26,8 +26,8 @@ alternate in the L2 stream.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Sequence, Tuple
 
 def _shuffled_offsets(n: int, spread: int, rng: random.Random) -> List[int]:
     """``n`` unique line offsets drawn from a ``spread``-times larger range,

@@ -1,22 +1,24 @@
 """Input catalog: every named workload/input the experiments use.
 
-Provides one flat registry mapping a label like ``gcc_expr`` or
-``bfs_100000_16`` to a trace factory, so experiments and examples can ask
-for workloads by the exact names the paper's figures use.
+One flat namespace maps a label like ``gcc_expr``, ``bfs_100000_16``,
+``gen_phase_mix``, or an imported trace file's stem to a trace factory,
+so experiments, the Experiment API, and the CLI can ask for workloads by
+name.  The namespace is the workload-source registry
+(:mod:`repro.workloads.sources`): built-in synthetic personas, generator
+scenarios, and trace files discovered in the trace directory all resolve
+through the same functions.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional
+from typing import List, Optional
 
 from .base import Trace
-from .crono import CRONO_WORKLOADS, make_crono_trace
-from .spec import (
-    ASTAR_INPUTS,
-    GCC_INPUTS,
-    SOPLEX_INPUTS,
-    SPEC_WORKLOADS,
-    make_spec_trace,
+from .sources import (
+    all_sources,
+    build_from_source,
+    build_synthetic_trace,
+    get_source,
 )
 
 
@@ -25,20 +27,8 @@ def spec_label(app: str, input_name: str) -> str:
 
 
 def all_labels() -> List[str]:
-    """Every workload label the experiments reference."""
-    labels = [spec_label(app, inp) for app, inp in SPEC_WORKLOADS]
-    labels += [spec_label("gcc", inp) for inp in GCC_INPUTS]
-    labels += [spec_label("astar", inp) for inp in ASTAR_INPUTS]
-    labels += [spec_label("soplex", inp) for inp in SOPLEX_INPUTS]
-    labels += list(CRONO_WORKLOADS)
-    # Deduplicate, preserving order.
-    seen = set()
-    out = []
-    for label in labels:
-        if label not in seen:
-            seen.add(label)
-            out.append(label)
-    return out
+    """Every workload label the experiments can reference."""
+    return list(all_sources())
 
 
 def validate_labels(labels: List[str]) -> List[str]:
@@ -48,7 +38,7 @@ def validate_labels(labels: List[str]) -> List[str]:
     Experiment API's workload selectors.
     """
     known = set(all_labels())
-    unknown = [l for l in labels if l not in known]
+    unknown = [label for label in labels if label not in known]
     if unknown:
         raise ValueError(
             f"unknown workload(s): {', '.join(unknown)}; catalog: "
@@ -57,17 +47,25 @@ def validate_labels(labels: List[str]) -> List[str]:
     return list(labels)
 
 
-def resolve_traces(labels: List[str], n_records: int) -> List[Trace]:
-    """Validate ``labels`` and materialize their traces."""
+def resolve_traces(labels: List[str], n_records: Optional[int]) -> List[Trace]:
+    """Validate ``labels`` and materialize their traces.
+
+    Every trace comes back stamped with its source digest
+    (``trace.source_digest``), which the runner folds into cache keys.
+    """
     return [make_trace(label, n_records) for label in validate_labels(labels)]
 
 
-def make_trace(label: str, n_records: int = 120_000, **kwargs) -> Trace:
-    """Build the trace for any catalog label (SPEC persona or CRONO)."""
-    if label in CRONO_WORKLOADS:
-        return make_crono_trace(label, n_records, **kwargs)
-    app, _, input_name = label.partition("_")
-    if not input_name:
-        # Bare app name: use the Fig. 10 default input.
-        return make_spec_trace(app, None, n_records, **kwargs)
-    return make_spec_trace(app, input_name, n_records, **kwargs)
+def make_trace(label: str, n_records: Optional[int] = 120_000, **kwargs) -> Trace:
+    """Build the trace for any catalog label (synthetic/generator/file).
+
+    Labels resolve through the workload-source registry; bare app names
+    (``"mcf"``) and explicit persona keyword arguments fall back to the
+    SPEC/CRONO factories directly (those traces carry no source digest).
+    """
+    if not kwargs:
+        if get_source(label) is not None:
+            return build_from_source(label, n_records)
+    # Legacy fallback: bare app names ("mcf" -> the Fig. 10 default
+    # input) and explicit persona kwargs share the registry's dispatch.
+    return build_synthetic_trace(label, n_records, **kwargs)

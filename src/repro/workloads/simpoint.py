@@ -15,7 +15,7 @@ per-checkpoint metrics the way the paper aggregates per-benchmark results.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, Dict, List, Sequence
+from typing import Callable, List, Sequence
 
 import numpy as np
 

@@ -1,0 +1,363 @@
+"""Workload-source registry: one namespace for every way a trace exists.
+
+A :class:`TraceSource` describes how a catalog workload's trace is
+*produced*; the registry is the single namespace behind
+``validate_labels``/``resolve_traces``, ``repro.api.run(workloads=...)``
+and the CLI (``repro.cli workloads list/describe/import``).  Three kinds:
+
+- ``synthetic`` — the built-in SPEC personas and CRONO graph kernels,
+  deterministic seeded generators regenerated on demand;
+- ``generator`` — parameterized scenario families
+  (:mod:`repro.workloads.generators`): pointer-chase, BFS frontier,
+  streaming-scan, phase-mixed, entropy noise, with adjustable footprint /
+  entropy / MLP;
+- ``file`` — real captured traces (DRAMSim2 k6 text, JSON, or native
+  ``.npz``) discovered in the *trace directory* (``--trace-dir`` /
+  ``REPRO_TRACE_DIR``, default ``./traces`` when present).  Import one
+  with ``python -m repro.cli workloads import capture.trc``.
+
+Every source supplies a **digest**: a content hash of whatever
+determines the trace's records.  Traces built through the registry carry
+it as ``trace.source_digest``, and the runner folds it into
+``SimJob.cache_key`` (``TraceRef.for_trace``) — so a file source's cached
+results are keyed on the file's *bytes*, and editing the file (or a
+generator scenario's parameters) can never alias stale results.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import os
+import re
+import shutil
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Callable, Dict, List, Optional, Tuple, Union
+
+from .base import Trace
+from .crono import CRONO_WORKLOADS, make_crono_trace
+from .generators import GENERATOR_SCENARIOS, build_scenario, scenario_digest
+from .spec import (
+    ASTAR_INPUTS,
+    GCC_INPUTS,
+    SOPLEX_INPUTS,
+    SPEC_WORKLOADS,
+    make_spec_trace,
+)
+from .tracefile import (
+    load_json_trace,
+    load_k6_trace,
+    load_trace,
+)
+
+#: The three ways a trace can be produced.
+SOURCE_KINDS = ("synthetic", "file", "generator")
+
+#: Environment variable naming the trace directory (file-source discovery).
+TRACE_DIR_ENV = "REPRO_TRACE_DIR"
+
+#: Fallback trace directory, used when it exists and no override is set.
+DEFAULT_TRACE_DIR = Path("traces")
+
+#: Recognized trace-file suffixes -> loader format.
+FILE_FORMATS = {
+    ".trc": "k6",
+    ".k6": "k6",
+    ".trace": "k6",
+    ".json": "json",
+    ".npz": "native",
+}
+
+
+@dataclass
+class TraceSource:
+    """How one catalog label's trace is produced.
+
+    ``build(n_records)`` materializes the trace (``None`` = the source's
+    natural/default length); ``digest(n_records)`` content-hashes
+    everything that determines those records.  ``origin`` is
+    informational: the defining module, family, or file path.
+    """
+
+    label: str
+    kind: str
+    description: str
+    build: Callable[[Optional[int]], Trace]
+    digest: Callable[[Optional[int]], str]
+    origin: str = ""
+
+    def __post_init__(self) -> None:
+        if self.kind not in SOURCE_KINDS:
+            raise ValueError(
+                f"source kind must be one of {SOURCE_KINDS}, got {self.kind!r}"
+            )
+
+
+# ----------------------------------------------------------------------
+# synthetic sources (the built-in personas)
+# ----------------------------------------------------------------------
+def build_synthetic_trace(label: str, n_records: Optional[int], **kwargs) -> Trace:
+    """Dispatch a synthetic label to its CRONO/SPEC factory.
+
+    The single copy of the built-in label dispatch: synthetic sources
+    build through it, and :func:`repro.workloads.inputs.make_trace` uses
+    it as the legacy fallback (bare app names, persona kwargs).
+    """
+    n = n_records if n_records is not None else 120_000
+    if label in CRONO_WORKLOADS:
+        return make_crono_trace(label, n, **kwargs)
+    app, _, input_name = label.partition("_")
+    return make_spec_trace(app, input_name or None, n, **kwargs)
+
+
+def _synthetic_digest(label: str, n_records: Optional[int]) -> str:
+    # Kept in the historical ``TraceRef.from_catalog`` format so cache
+    # keys for the built-in personas stay recognizable and stable.
+    return f"catalog:{label}:{n_records}"
+
+
+def _synthetic_labels() -> List[str]:
+    labels = [f"{app}_{inp}" for app, inp in SPEC_WORKLOADS]
+    labels += [f"gcc_{inp}" for inp in GCC_INPUTS]
+    labels += [f"astar_{inp}" for inp in ASTAR_INPUTS]
+    labels += [f"soplex_{inp}" for inp in SOPLEX_INPUTS]
+    labels += list(CRONO_WORKLOADS)
+    seen, out = set(), []
+    for label in labels:
+        if label not in seen:
+            seen.add(label)
+            out.append(label)
+    return out
+
+
+def _make_synthetic_source(label: str) -> TraceSource:
+    kind = "CRONO graph kernel" if label in CRONO_WORKLOADS else "SPEC persona"
+    return TraceSource(
+        label=label,
+        kind="synthetic",
+        description=f"built-in {kind} (seeded deterministic generator)",
+        build=lambda n, label=label: build_synthetic_trace(label, n),
+        digest=lambda n, label=label: _synthetic_digest(label, n),
+        origin="repro.workloads.crono" if label in CRONO_WORKLOADS
+        else "repro.workloads.spec",
+    )
+
+
+_SYNTHETIC_SOURCES: Dict[str, TraceSource] = {
+    label: _make_synthetic_source(label) for label in _synthetic_labels()
+}
+
+
+# ----------------------------------------------------------------------
+# generator sources
+# ----------------------------------------------------------------------
+def _generator_sources() -> Dict[str, TraceSource]:
+    # Built fresh on each call so user-registered scenarios appear
+    # without any extra wiring.
+    out: Dict[str, TraceSource] = {}
+    for scenario in GENERATOR_SCENARIOS.values():
+        out[scenario.label] = TraceSource(
+            label=scenario.label,
+            kind="generator",
+            description=scenario.description,
+            build=lambda n, s=scenario: build_scenario(s, n),
+            digest=lambda n, s=scenario: scenario_digest(s, n),
+            origin=f"family {scenario.family} (seed {scenario.seed})",
+        )
+    return out
+
+
+# ----------------------------------------------------------------------
+# file sources (trace-directory discovery)
+# ----------------------------------------------------------------------
+def set_trace_dir(path: Optional[Union[str, Path]]) -> None:
+    """Set (or with ``None`` clear) the trace directory process-wide.
+
+    Implemented through ``os.environ`` so runner worker processes —
+    forked or spawned — inherit the setting and can re-resolve file
+    sources by label.
+    """
+    if path is None:
+        os.environ.pop(TRACE_DIR_ENV, None)
+    else:
+        os.environ[TRACE_DIR_ENV] = str(path)
+
+
+def trace_dir() -> Optional[Path]:
+    """The active trace directory, or ``None`` when none is configured.
+
+    Resolution order: ``REPRO_TRACE_DIR`` (what ``--trace-dir`` and
+    :func:`set_trace_dir` write), else ``./traces`` if it exists.
+    """
+    env = os.environ.get(TRACE_DIR_ENV)
+    if env:
+        return Path(env)
+    if DEFAULT_TRACE_DIR.is_dir():
+        return DEFAULT_TRACE_DIR
+    return None
+
+
+def _sanitize_label(stem: str) -> str:
+    label = re.sub(r"[^A-Za-z0-9_]", "_", stem).strip("_")
+    return label or "trace"
+
+
+#: (path, mtime_ns, size) -> sha256 hex; avoids rehashing unchanged files.
+_FILE_HASH_CACHE: Dict[Tuple[str, int, int], str] = {}
+
+
+def file_content_digest(path: Union[str, Path]) -> str:
+    """sha256 of the file's bytes (memoized on (path, mtime, size))."""
+    path = Path(path)
+    stat = path.stat()
+    key = (str(path.resolve()), stat.st_mtime_ns, stat.st_size)
+    cached = _FILE_HASH_CACHE.get(key)
+    if cached is None:
+        cached = hashlib.sha256(path.read_bytes()).hexdigest()
+        _FILE_HASH_CACHE[key] = cached
+    return cached
+
+
+def _load_file_trace(path: Path, label: str, n_records: Optional[int]) -> Trace:
+    fmt = FILE_FORMATS[path.suffix.lower()]
+    if fmt == "native":
+        trace = load_trace(path)
+    elif fmt == "json":
+        trace = load_json_trace(path)
+    else:
+        trace = load_k6_trace(path, name=label, input_name="")
+    if trace.label != label:
+        trace = Trace(label, "", trace.pcs, trace.lines, trace.gaps, trace.mlp)
+    if n_records is not None and len(trace) > n_records:
+        trace = trace.interval(0, n_records)
+    return trace
+
+
+def _make_file_source(path: Path, label: str) -> TraceSource:
+    fmt = FILE_FORMATS[path.suffix.lower()]
+
+    def digest(n: Optional[int], path=path) -> str:
+        return f"file:{file_content_digest(path)}:{n if n is not None else 'all'}"
+
+    return TraceSource(
+        label=label,
+        kind="file",
+        description=f"imported {fmt} trace file ({path.name})",
+        build=lambda n, path=path, label=label: _load_file_trace(path, label, n),
+        digest=digest,
+        origin=str(path),
+    )
+
+
+def file_sources(directory: Optional[Union[str, Path]] = None) -> Dict[str, TraceSource]:
+    """Discover trace files in ``directory`` (default: the trace dir).
+
+    Non-recursive; any file with a recognized suffix becomes a source.
+    Labels are sanitized file stems; a label colliding with a synthetic
+    or generator source (or an earlier file) is prefixed with ``file_``.
+    """
+    directory = Path(directory) if directory is not None else trace_dir()
+    if directory is None or not directory.is_dir():
+        return {}
+    static = set(_SYNTHETIC_SOURCES) | set(GENERATOR_SCENARIOS)
+    out: Dict[str, TraceSource] = {}
+    for path in sorted(directory.iterdir()):
+        if not path.is_file() or path.suffix.lower() not in FILE_FORMATS:
+            continue
+        label = _sanitize_label(path.stem)
+        if label in static or label in out:
+            label = f"file_{label}"
+        if label in out:  # two collisions: disambiguate by format
+            label = f"{label}_{path.suffix.lstrip('.').lower()}"
+        if label in out:
+            continue  # duplicate stems in every dimension: first wins
+        out[label] = _make_file_source(path, label)
+    return out
+
+
+def import_trace(
+    path: Union[str, Path],
+    name: Optional[str] = None,
+    directory: Optional[Union[str, Path]] = None,
+) -> Tuple[str, Path]:
+    """Copy a trace file into the trace directory; returns (label, dest).
+
+    The file is parsed first, so malformed traces are rejected before
+    anything lands in the catalog.  When no trace directory is
+    configured, ``./traces`` is created and activated, making
+    ``repro.cli workloads import capture.trc`` a one-command path from a
+    captured trace to a runnable catalog label.
+    """
+    src = Path(path)
+    if src.suffix.lower() not in FILE_FORMATS:
+        raise ValueError(
+            f"unsupported trace suffix {src.suffix!r}; "
+            f"recognized: {', '.join(sorted(FILE_FORMATS))}"
+        )
+    _load_file_trace(src, _sanitize_label(src.stem), None)  # validate
+    configured = trace_dir()
+    directory = Path(directory) if directory is not None else (
+        configured if configured is not None else DEFAULT_TRACE_DIR
+    )
+    directory.mkdir(parents=True, exist_ok=True)
+    stem = _sanitize_label(name) if name else _sanitize_label(src.stem)
+    dest = directory / f"{stem}{src.suffix.lower()}"
+    if src.resolve() != dest.resolve():
+        shutil.copyfile(src, dest)
+    if configured is None:
+        set_trace_dir(directory)
+    discovered = file_sources(directory)
+    for label, source in discovered.items():
+        if Path(source.origin) == dest:
+            return label, dest
+    raise RuntimeError(f"imported {dest} but could not rediscover it")
+
+
+# ----------------------------------------------------------------------
+# the combined namespace
+# ----------------------------------------------------------------------
+def all_sources() -> Dict[str, TraceSource]:
+    """Every selectable source: synthetic, then generator, then file."""
+    out: Dict[str, TraceSource] = dict(_SYNTHETIC_SOURCES)
+    out.update(_generator_sources())
+    out.update(file_sources())
+    return out
+
+
+def source_labels() -> List[str]:
+    """Every catalog label, in listing order."""
+    return list(all_sources())
+
+
+def get_source(label: str) -> Optional[TraceSource]:
+    """The source behind ``label``, or ``None`` when unknown.
+
+    Precedence mirrors :func:`all_sources` exactly (generator scenarios
+    shadow a same-named synthetic persona; file labels never collide —
+    discovery prefixes them), so the source listed is always the source
+    built.
+    """
+    generator = _generator_sources()
+    if label in generator:
+        return generator[label]
+    if label in _SYNTHETIC_SOURCES:
+        return _SYNTHETIC_SOURCES[label]
+    return file_sources().get(label)
+
+
+def build_from_source(label: str, n_records: Optional[int]) -> Trace:
+    """Materialize ``label`` and stamp its source digest on the trace.
+
+    The stamped ``source_digest`` is what :meth:`TraceRef.for_trace
+    <repro.runner.jobs.TraceRef.for_trace>` folds into runner cache keys.
+    """
+    source = get_source(label)
+    if source is None:
+        raise ValueError(
+            f"unknown workload source {label!r}; see "
+            "`python -m repro.cli workloads list`"
+        )
+    trace = source.build(n_records)
+    trace.source_digest = source.digest(n_records)
+    trace.source_kind = source.kind
+    return trace

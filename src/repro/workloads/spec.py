@@ -34,12 +34,11 @@ from __future__ import annotations
 
 import random
 import zlib
-from typing import Dict, List, Optional
+from typing import List, Optional
 
 from .base import (
     AddressSpace,
     Component,
-    QuasiSequentialComponent,
     RandomComponent,
     StrideComponent,
     TemporalChainComponent,
@@ -328,5 +327,12 @@ def make_spec_trace(
 
 
 def spec_suite(n_records: int = DEFAULT_RECORDS) -> List[Trace]:
-    """The seven Fig. 10 workloads, in paper order."""
-    return [make_spec_trace(app, inp, n_records) for app, inp in SPEC_WORKLOADS]
+    """The seven Fig. 10 workloads, in paper order.
+
+    Resolved through the workload-source registry so each trace carries
+    its source digest (tiny by-reference runner jobs).
+    """
+    from .inputs import resolve_traces
+
+    labels = [f"{app}_{inp}" for app, inp in SPEC_WORKLOADS]
+    return resolve_traces(labels, n_records)

@@ -14,7 +14,15 @@ into the simulator.  Two formats are supported:
   interchange format for captured memory traces
   (:func:`load_k6_trace` / :func:`save_k6_trace`).  k6 traces carry no
   PCs, so loads synthesize a single PC (configurable), and inter-access
-  cycles map to/from the record ``gap`` field via the issue width.
+  cycles map to/from the record ``gap`` field via the issue width;
+- the **JSON** format — a human-editable object holding the three record
+  arrays (``pcs`` optional) plus identity fields
+  (:func:`load_json_trace` / :func:`save_json_trace`), handy for small
+  hand-written scenarios and for tool pipelines that already speak JSON.
+
+All three are discoverable by the workload-source registry
+(:mod:`repro.workloads.sources`): any file in the trace directory with a
+recognized suffix becomes a catalog label.
 """
 
 from __future__ import annotations
@@ -23,9 +31,11 @@ import json
 from pathlib import Path
 from typing import Union
 
-import numpy as np
-
 from .base import Trace
+
+# numpy backs only the .npz native format; keep it lazy so importing the
+# library (and the k6/JSON paths) stays standard-library-only, per
+# docs/architecture.md invariant 7.
 
 #: Format marker written into every trace file (bump on layout changes).
 FORMAT_VERSION = 1
@@ -46,6 +56,8 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
     address space exceed 32 bits — and compressed; a typical 200k-record
     persona lands well under a megabyte.
     """
+    import numpy as np
+
     path = Path(path)
     if path.suffix != ".npz":
         path = path.with_suffix(".npz")
@@ -67,6 +79,8 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
 
 def load_trace(path: Union[str, Path]) -> Trace:
     """Read a trace written by :func:`save_trace` (lossless round-trip)."""
+    import numpy as np
+
     path = Path(path)
     if not path.exists():
         raise FileNotFoundError(path)
@@ -91,6 +105,65 @@ def load_trace(path: Union[str, Path]) -> Trace:
         gaps=[int(x) for x in gaps],
         mlp=int(meta["mlp"]),
     )
+
+
+# ----------------------------------------------------------------------
+# JSON traces
+# ----------------------------------------------------------------------
+def load_json_trace(path: Union[str, Path]) -> Trace:
+    """Read a JSON trace: ``{"lines": [...], "gaps": [...], ...}``.
+
+    Required key: ``lines`` (cache-line addresses).  Optional keys:
+    ``pcs`` (defaults to a single synthetic PC), ``gaps`` (defaults to
+    zeros), ``name``/``input_name``/``mlp`` identity fields.  Array
+    lengths must agree.
+    """
+    path = Path(path)
+    if not path.exists():
+        raise FileNotFoundError(path)
+    try:
+        data = json.loads(path.read_text())
+    except ValueError as exc:
+        raise ValueError(f"{path}: not valid JSON: {exc}") from exc
+    if not isinstance(data, dict) or "lines" not in data:
+        raise ValueError(f"{path}: JSON trace needs a 'lines' array")
+    lines = [int(x) for x in data["lines"]]
+    if not lines:
+        raise ValueError(f"{path}: no records found")
+    raw_pcs = data.get("pcs")
+    raw_gaps = data.get("gaps")
+    pcs = (
+        [int(x) for x in raw_pcs] if raw_pcs is not None
+        else [K6_DEFAULT_PC] * len(lines)
+    )
+    gaps = (
+        [int(x) for x in raw_gaps] if raw_gaps is not None
+        else [0] * len(lines)
+    )
+    if not (len(pcs) == len(lines) == len(gaps)):
+        raise ValueError(f"{path}: pcs/lines/gaps lengths differ")
+    return Trace(
+        name=str(data.get("name") or path.stem),
+        input_name=str(data.get("input_name") or ""),
+        pcs=pcs,
+        lines=lines,
+        gaps=gaps,
+        mlp=int(data.get("mlp", 4)),
+    )
+
+
+def save_json_trace(trace: Trace, path: Union[str, Path]) -> Path:
+    """Write ``trace`` as JSON (lossless inverse of :func:`load_json_trace`)."""
+    path = Path(path)
+    path.write_text(json.dumps({
+        "name": trace.name,
+        "input_name": trace.input_name,
+        "mlp": trace.mlp,
+        "pcs": list(trace.pcs),
+        "lines": list(trace.lines),
+        "gaps": list(trace.gaps),
+    }))
+    return path
 
 
 # ----------------------------------------------------------------------

@@ -13,7 +13,6 @@ from repro.binary import (
 )
 from repro.binary.image import HINT_INSTRUCTION_BYTES
 from repro.core.hints import HINT_BITS, PCHint
-from repro.sim.config import default_config
 from repro.workloads.spec import make_spec_trace
 
 

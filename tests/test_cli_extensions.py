@@ -3,7 +3,7 @@
 import pytest
 
 from repro import cli
-from repro.experiments import REGISTRY, get_experiment
+from repro.experiments import REGISTRY
 
 
 class TestRegistry:

@@ -53,6 +53,57 @@ def test_catalog_covers_every_registered_experiment(generator):
 def test_check_mode_detects_staleness(generator, tmp_path):
     stale = tmp_path / "experiments.md"
     stale.write_text("# outdated\n")
-    assert generator.main(["--check", "--out", str(stale)]) == 2
-    assert generator.main(["--out", str(stale)]) == 0
-    assert generator.main(["--check", "--out", str(stale)]) == 0
+    wl = tmp_path / "workloads.md"
+    wl.write_text(
+        f"# doc\n{generator.SOURCES_BEGIN}\nold\n{generator.SOURCES_END}\n"
+    )
+    assert generator.main(
+        ["--check", "--out", str(stale), "--workloads-doc", str(wl)]
+    ) == 2
+    assert generator.main(
+        ["--out", str(stale), "--workloads-doc", str(wl)]
+    ) == 0
+    assert generator.main(
+        ["--check", "--out", str(stale), "--workloads-doc", str(wl)]
+    ) == 0
+
+
+def test_workloads_doc_region_is_fresh(generator):
+    doc = REPO_ROOT / "docs" / "workloads.md"
+    assert doc.exists(), (
+        "docs/workloads.md missing; run "
+        "`PYTHONPATH=src python scripts/gen_experiment_docs.py`"
+    )
+    current = doc.read_text()
+    assert generator.splice_source_catalog(current) == current, (
+        "docs/workloads.md generated region is stale; regenerate with "
+        "`PYTHONPATH=src python scripts/gen_experiment_docs.py`"
+    )
+
+
+def test_workloads_doc_covers_every_generator_scenario(generator):
+    from repro.workloads.generators import GENERATOR_SCENARIOS
+
+    content = generator.render_source_catalog()
+    for label in GENERATOR_SCENARIOS:
+        assert f"`{label}`" in content
+
+
+def test_workloads_doc_stale_region_detected(generator, tmp_path):
+    wl = tmp_path / "workloads.md"
+    wl.write_text(
+        f"intro\n{generator.SOURCES_BEGIN}\nstale\n{generator.SOURCES_END}\nend\n"
+    )
+    out = tmp_path / "experiments.md"
+    out.write_text(generator.render_catalog())  # experiments doc is fresh
+    assert generator.main(
+        ["--check", "--out", str(out), "--workloads-doc", str(wl)]
+    ) == 2
+    # The hand-written narrative around the region survives a rewrite.
+    assert generator.main(
+        ["--out", str(out), "--workloads-doc", str(wl)]
+    ) == 0
+    text = wl.read_text()
+    assert text.startswith("intro\n")
+    assert text.endswith("end\n")
+    assert "stale" not in text

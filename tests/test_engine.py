@@ -7,7 +7,6 @@ from repro.prefetchers.triangel import TriangelPrefetcher
 from repro.sim.config import default_config
 from repro.sim.cpu import TimingModel
 from repro.sim.engine import make_l1_prefetcher, run_simulation
-from repro.workloads.base import Trace
 from repro.workloads.spec import make_spec_trace
 
 

@@ -38,8 +38,8 @@ class TestFig01Logic:
 
 class TestFig06Logic:
     def test_levels_partition_unit_interval(self):
-        lo = min(l[1] for l in LEVELS)
-        hi = max(l[2] for l in LEVELS)
+        lo = min(level[1] for level in LEVELS)
+        hi = max(level[2] for level in LEVELS)
         assert lo == 0.0 and hi > 1.0
         for acc in (0.0, 0.33, 0.5, 0.99, 1.0):
             matches = [n for n, a, b in LEVELS if a <= acc < b]

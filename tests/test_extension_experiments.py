@@ -13,7 +13,6 @@ from repro.experiments import (
     injection,
     tlb_sensitivity,
 )
-from repro.sim.config import default_config
 
 
 class TestAblationOffchip:

@@ -55,7 +55,6 @@ class TestDemandPath:
 
     def test_l2_hit_after_l1_eviction(self):
         h = make_hierarchy()
-        cfg = default_config()
         h.demand_access(1, 1000, 0.0)
         # Evict line 1000 from L1 by filling its set (same L1 set index).
         sets = h.l1d.n_sets

@@ -78,7 +78,7 @@ class TestFormatTable:
     def test_column_alignment(self):
         text = format_table(["col"], [["x"], ["longer"]])
         lines = text.splitlines()
-        assert len(set(len(l.rstrip()) <= len("longer") + 2 for l in lines))
+        assert len(set(len(line.rstrip()) <= len("longer") + 2 for line in lines))
 
 
 class TestTimingModelEdges:

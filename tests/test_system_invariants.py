@@ -14,7 +14,7 @@ from hypothesis import strategies as st
 
 from repro.cache.cache import Cache
 from repro.cache.hierarchy import Hierarchy
-from repro.prefetchers.base import L2AccessInfo, L2Prefetcher, PrefetchRequest
+from repro.prefetchers.base import L2Prefetcher, PrefetchRequest
 from repro.prefetchers.markov import MetadataTable
 from repro.prefetchers.triangel import TriangelPrefetcher
 from repro.sim.config import default_config

@@ -112,7 +112,7 @@ class TestComponents:
                                       repeat_prob=0.0,
                                       useless_kind="shuffle")
         lines = {comp.next_record(rng)[1] for _ in range(1000)}
-        pool = {l for chain in comp.chains for l in chain}
+        pool = {line for chain in comp.chains for line in chain}
         assert lines <= pool  # shuffled walks recycle pooled addresses
 
     def test_fresh_useless_generates_new_addresses(self):
@@ -121,7 +121,7 @@ class TestComponents:
                                       n_chains=4, chain_len=16,
                                       repeat_prob=0.0, useless_kind="fresh")
         lines = {comp.next_record(rng)[1] for _ in range(1000)}
-        pool = {l for chain in comp.chains for l in chain}
+        pool = {line for chain in comp.chains for line in chain}
         assert not (lines & pool)
 
     def test_invalid_useless_kind(self):
