@@ -24,12 +24,27 @@ equally):
 All three produce bit-identical SimResults (pinned by
 ``tests/test_packed_model_equivalence.py``); only the speed differs.
 
+The **fill_path** section tracks the flat-array cache & fused fill-spill
+kernel specifically, racing the shipping hierarchy against the preserved
+reference classes (``repro.cache.reference.HierarchyReference``: slot
+records, three-call fill-spill chain) under the *same* optimized loop,
+on both bracketing configs:
+
+- ``baseline_flat`` / ``baseline_reference`` — no L2 prefetcher;
+- ``prophet_flat`` / ``prophet_reference``   — Prophet end to end.
+
+All four rungs are interleaved in one round-robin, so the two
+``speedup_flat_vs_reference_*`` ratios are machine-independent; both are
+gated by ``--check`` (floors committed in ``BENCH_engine.json``).  Flat
+and reference are bit-identical in output
+(``tests/test_flat_cache_equivalence.py``).
+
 Results are written to ``BENCH_engine.json`` next to this file (override
 with ``--out``) so successive PRs accumulate a perf trajectory; compare
 the ``records_per_sec`` fields across commits on the same machine.
 Hand-maintained calibration sections already present in the output file
-(``seed_reference``, ``seed_commit``, ``floors``) are preserved across
-runs.
+(``seed_reference``, ``seed_commit``, ``pr4_commit``, ``floors``) are
+preserved across runs.
 
 Usage::
 
@@ -63,6 +78,7 @@ import sys
 import time
 from pathlib import Path
 
+from repro.cache.reference import HierarchyReference
 from repro.core.pipeline import OptimizedBinary
 from repro.sim.config import default_config
 from repro.sim.engine import run_simulation, run_simulation_reference
@@ -77,7 +93,8 @@ BENCH_WORKLOAD = "mcf_inp"
 #: Sections of the output file that are maintained by hand (calibration
 #: notes, seed-commit measurements, regression floors) and must survive
 #: a rerun.
-PRESERVED_SECTIONS = ("seed_reference", "seed_commit", "floors")
+PRESERVED_SECTIONS = ("seed_reference", "seed_commit", "pr4_commit",
+                      "floors")
 
 #: Default allowed regression for ``--check`` before the gate fails.
 #: Generous on purpose: the ratios are intra-run (machine-independent)
@@ -179,13 +196,50 @@ def run_bench(n_records: int, repeats: int) -> dict:
         packed_rps / path["seed_equivalent"]["records_per_sec"], 3
     )
     result["prophet_path"] = path
+
+    def baseline_reference() -> None:
+        run_simulation(
+            trace, config, None, "baseline", hierarchy_cls=HierarchyReference
+        )
+
+    def prophet_reference_hierarchy() -> None:
+        run_simulation(
+            trace, config, binary.prefetcher(config), "prophet",
+            hierarchy_cls=HierarchyReference,
+        )
+
+    fill = _measure_interleaved(
+        [
+            ("baseline_flat", baseline),
+            ("baseline_reference", baseline_reference),
+            ("prophet_flat", prophet),
+            ("prophet_reference", prophet_reference_hierarchy),
+        ],
+        n_records,
+        repeats,
+    )
+    fill["note"] = (
+        "Flat-array cache & fused fill-spill kernel vs the preserved "
+        "reference hierarchy (slot records, three-call fill-spill chain), "
+        "same optimized loop, repeats interleaved across all four rungs. "
+        "Flat and reference are bit-identical in output."
+    )
+    fill["speedup_flat_vs_reference_baseline"] = round(
+        fill["baseline_flat"]["records_per_sec"]
+        / fill["baseline_reference"]["records_per_sec"], 3
+    )
+    fill["speedup_flat_vs_reference_prophet"] = round(
+        fill["prophet_flat"]["records_per_sec"]
+        / fill["prophet_reference"]["records_per_sec"], 3
+    )
+    result["fill_path"] = fill
     return result
 
 
 def _ratio_metrics(result: dict) -> dict:
     """The machine-independent speed ratios of one benchmark run."""
     path = result["prophet_path"]
-    return {
+    metrics = {
         "speedup_packed_vs_reference_model":
             path["speedup_packed_vs_reference_model"],
         "speedup_packed_vs_seed_equivalent":
@@ -194,6 +248,15 @@ def _ratio_metrics(result: dict) -> dict:
             result["baseline"]["records_per_sec"]
             / result["prophet"]["records_per_sec"],
     }
+    fill = result.get("fill_path")
+    if fill is not None:
+        metrics["fill_path_flat_vs_reference_baseline"] = (
+            fill["speedup_flat_vs_reference_baseline"]
+        )
+        metrics["fill_path_flat_vs_reference_prophet"] = (
+            fill["speedup_flat_vs_reference_prophet"]
+        )
+    return metrics
 
 
 #: Ratios built from separately measured blocks rather than interleaved
@@ -296,6 +359,14 @@ def main(argv=None) -> int:
     print("prophet_path speedups: "
           f"{path['speedup_packed_vs_reference_model']:.3f}x vs reference model, "
           f"{path['speedup_packed_vs_seed_equivalent']:.3f}x vs seed-equivalent")
+    fill = result["fill_path"]
+    for kind in ("baseline_flat", "baseline_reference",
+                 "prophet_flat", "prophet_reference"):
+        print(f"fill_path.{kind:19s} {fill[kind]['records_per_sec']:>12,.0f} "
+              "records/sec")
+    print("fill_path speedups (flat vs reference hierarchy): "
+          f"{fill['speedup_flat_vs_reference_baseline']:.3f}x baseline, "
+          f"{fill['speedup_flat_vs_reference_prophet']:.3f}x prophet")
     print(f"wrote {args.out}")
 
     if args.check:

@@ -35,6 +35,7 @@ Quickstart::
     print(prophet.speedup_over(baseline))
 """
 
+from .cache.reference import CacheReference, HierarchyReference, TLBReference
 from .core.analysis import AnalysisParams, analyze
 from .core.hints import CSRHints, HintBuffer, HintSet, PCHint
 from .core.learning import merge_counters
@@ -61,14 +62,16 @@ from .workloads.inputs import make_trace
 from .workloads.sources import TraceSource, import_trace, set_trace_dir
 from .workloads.spec import make_spec_trace, spec_suite
 
-__version__ = "1.4.0"
+__version__ = "1.5.0"
 
 __all__ = [
     "AnalysisParams",
     "CSRHints",
+    "CacheReference",
     "CounterSet",
     "DominoPrefetcher",
     "GeneratorScenario",
+    "HierarchyReference",
     "HintBuffer",
     "HintSet",
     "MISBPrefetcher",
@@ -85,6 +88,7 @@ __all__ = [
     "STMSPrefetcher",
     "SimResult",
     "SystemConfig",
+    "TLBReference",
     "Trace",
     "TraceSource",
     "TriagePrefetcher",

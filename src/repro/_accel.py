@@ -69,3 +69,29 @@ def numpy_enabled() -> bool:
 def get_numpy():
     """The numpy module when acceleration is active, else None."""
     return _import_numpy() if numpy_enabled() else None
+
+
+def scan_tag_range(tags, n_sets: int, assoc: int, way_lo: int, way_hi: int):
+    """Batch tag-match scan over a flat cache tag vector.
+
+    ``tags`` is the cache's ``array('q')`` tag vector (``-1`` == invalid
+    slot).  Returns the flat slot indices (``set * assoc + way``) of every
+    *resident* slot whose way falls in ``[way_lo, way_hi)``, in set-major
+    order — exactly the order the scalar loop visits them — or ``None``
+    when acceleration is off so the caller runs its scalar fallback.
+
+    This is the bulk half of a way repartition
+    (:meth:`repro.cache.cache.Cache.set_data_ways`): finding the lines
+    living in the newly reserved ways is one vectorized compare over the
+    tag matrix instead of a Python loop over every (set, way) slot.  The
+    per-line cleanup (map deletes, writeback counting) stays scalar, so
+    results are identical either way.
+    """
+    np = get_numpy()
+    if np is None or way_hi <= way_lo:
+        return None
+    matrix = np.frombuffer(tags, dtype=np.int64).reshape(n_sets, assoc)
+    region = matrix[:, way_lo:way_hi]
+    sets, offsets = np.nonzero(region != -1)
+    base = sets * assoc + way_lo
+    return (base + offsets).tolist()

@@ -1,4 +1,4 @@
-"""Set-associative cache with prefetch bookkeeping and way partitioning.
+"""Set-associative cache on flat parallel arrays.
 
 This is the building block for all three levels of the simulated hierarchy
 (:mod:`repro.cache.hierarchy`).  Beyond plain hit/miss behaviour it tracks,
@@ -19,19 +19,33 @@ every set for the Markov metadata table (Triage/Triangel/Prophet resizing).
 Reserved ways are invalidated and excluded from fills, shrinking the data
 capacity exactly as the paper's shared-LLC metadata table does.
 
-Storage layout (hot-path note): per-line state lives in one slot record —
-a small list ``[line, dirty, prefetched, used, ready, trigger_pc,
-pf_source]`` per (set, way), ``None`` when invalid — so a fill is a single
-list store instead of eight parallel-array stores, and an eviction reads
-one record.  :meth:`Cache.demand_lookup` fuses probe + hit bookkeeping for
-the hierarchy's demand path.
+Storage layout (hot-path note): per-line state lives in **flat parallel
+arrays** indexed by ``set * assoc + way`` — an ``array('q')`` tag vector
+(``-1`` == invalid), a ``bytearray`` of packed valid/dirty/prefetch flag
+bits (:data:`F_DIRTY`/:data:`F_PF`/:data:`F_USED` plus the pf-source in
+bits 3-4), an ``array('d')`` of ready cycles and an ``array('q')`` of
+trigger PCs — plus one cache-wide ``line -> slot`` dict (a line lives in
+exactly one set, so residency is a single dict probe with no set
+arithmetic) and a per-set resident count.  A fill is four array stores
+and one dict store; an eviction reads its victim's fields straight out of
+the arrays.  Nothing is allocated per access, which is what lets
+:class:`repro.cache.hierarchy.Hierarchy` fuse the whole demand/fill path
+into one kernel closure over these arrays.  The previous slot-record
+implementation survives as
+:class:`repro.cache.reference.CacheReference`, pinned bit-identical by
+``tests/test_flat_cache_equivalence.py``.
+
+Line addresses must be non-negative (``-1`` is the invalid-tag sentinel);
+every trace and prefetch path in the repo already guarantees this.
 """
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass
 from typing import Dict, List, Optional
 
+from .._accel import scan_tag_range
 from .replacement import SRRIPPolicy, TreePLRUPolicy, make_policy
 
 
@@ -40,8 +54,13 @@ PF_NONE = 0
 PF_L1 = 1
 PF_L2 = 2
 
-#: Slot record field indices (see module docstring).
-_LINE, _DIRTY, _PF, _USED, _READY, _TRIGGER, _SRC = range(7)
+#: Packed per-slot flag bits (one byte per (set, way) in ``Cache._flags``).
+#: Bits 3-4 hold the pf-source code; bits 5+ are unused, so ``flags >>
+#: PF_SRC_SHIFT`` recovers it without masking.
+F_DIRTY = 1
+F_PF = 2
+F_USED = 4
+PF_SRC_SHIFT = 3
 
 
 @dataclass(slots=True)
@@ -86,7 +105,8 @@ class Cache:
 
     __slots__ = (
         "name", "assoc", "hit_latency", "n_sets", "policy", "stats",
-        "_slots", "_map", "_data_ways",
+        "_tags", "_flags", "_ready", "_trigger", "_where", "_counts",
+        "_data_ways",
         "_policy_on_hit", "_policy_on_fill", "_policy_victim",
         "_plru_state", "_plru_keep", "_plru_point", "_plru_victims",
         "_srrip_rrpv", "_srrip_fill",
@@ -103,6 +123,8 @@ class Cache:
     ):
         if size_bytes % (assoc * line_size):
             raise ValueError("cache size must be a multiple of assoc * line_size")
+        if assoc > 255:
+            raise ValueError("associativity above 255 is unsupported")
         self.name = name
         self.assoc = assoc
         self.hit_latency = hit_latency
@@ -112,9 +134,16 @@ class Cache:
         self.policy = make_policy(replacement, self.n_sets, assoc)
         self.stats = CacheStats()
 
-        #: One record per (set, way); None == invalid.
-        self._slots: List[Optional[list]] = [None] * (self.n_sets * assoc)
-        self._map: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        n_slots = self.n_sets * assoc
+        #: Flat parallel per-slot state (see module docstring).
+        self._tags = array("q", [-1]) * n_slots
+        self._flags = bytearray(n_slots)
+        self._ready = array("d", [0.0]) * n_slots
+        self._trigger = array("q", [-1]) * n_slots
+        #: line -> slot index; the one residency structure for the cache.
+        self._where: Dict[int, int] = {}
+        #: Resident lines per set (fits a byte: assoc <= 255).
+        self._counts = bytearray(self.n_sets)
         # All ways usable for data by default; the LLC shrinks this when
         # LLC ways are reserved for the metadata table.
         self._data_ways = assoc
@@ -124,10 +153,10 @@ class Cache:
         self._policy_on_fill = self.policy.on_fill
         self._policy_victim = self.policy.victim
         # Policy state exposed for inline touches on the demand/fill hot
-        # paths (same pattern as the packed metadata table): a PLRU touch
-        # is two mask operations against the packed per-set state int, an
-        # SRRIP touch one array store — no method call.  Policies other
-        # than the two the hierarchy uses fall back to the bound methods.
+        # paths and for the hierarchy's fused kernel: a PLRU touch is two
+        # mask operations against the packed per-set state int, an SRRIP
+        # touch one array store — no method call.  Policies other than
+        # the two the hierarchy uses fall back to the bound methods.
         pol = self.policy
         self._plru_state = self._plru_keep = self._plru_point = None
         self._plru_victims = None
@@ -156,27 +185,58 @@ class Cache:
     def capacity_lines(self) -> int:
         return self.n_sets * self._data_ways
 
+    @property
+    def _map(self) -> List[Dict[int, int]]:
+        """Per-set ``line -> way`` dicts, rebuilt on demand.
+
+        Introspection-only view of :attr:`_where`, kept under this name
+        so tests can compare a flat cache and a
+        :class:`~repro.cache.reference.CacheReference` uniformly.  It is
+        a **throwaway copy**: writing into the returned dicts changes
+        nothing, and every access costs O(sets + resident lines) — never
+        touch it on a hot path (the residency structure is ``_where``).
+        """
+        assoc = self.assoc
+        maps: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        for line, idx in self._where.items():
+            maps[idx // assoc][line] = idx % assoc
+        return maps
+
     def set_data_ways(self, ways: int) -> None:
         """Reserve ``assoc - ways`` ways per set (metadata partition).
 
         Lines living in newly reserved ways are invalidated (their dirty
         data is counted as writeback traffic), matching a hardware
-        repartition of the shared LLC.
+        repartition of the shared LLC.  The resident-slot scan over the
+        reserved region is a batch tag-match against the flat tag vector;
+        with :mod:`repro._accel` enabled it runs vectorized.
         """
         if not 0 <= ways <= self.assoc:
             raise ValueError(f"ways must be in [0, {self.assoc}]")
-        if ways < self._data_ways:
-            slots = self._slots
-            for set_idx in range(self.n_sets):
-                base = set_idx * self.assoc
-                for way in range(ways, self._data_ways):
-                    idx = base + way
-                    slot = slots[idx]
-                    if slot is not None:
-                        if slot[_DIRTY]:
-                            self.stats.writebacks += 1
-                        del self._map[set_idx][slot[_LINE]]
-                        slots[idx] = None
+        old_ways = self._data_ways
+        if ways < old_ways:
+            assoc = self.assoc
+            tags = self._tags
+            flags = self._flags
+            where = self._where
+            counts = self._counts
+            stats = self.stats
+            resident = scan_tag_range(tags, self.n_sets, assoc,
+                                      ways, old_ways)
+            if resident is None:
+                resident = [
+                    base + way
+                    for base in range(0, self.n_sets * assoc, assoc)
+                    for way in range(ways, old_ways)
+                    if tags[base + way] != -1
+                ]
+            for idx in resident:
+                if flags[idx] & F_DIRTY:
+                    stats.writebacks += 1
+                del where[tags[idx]]
+                tags[idx] = -1
+                flags[idx] = 0
+                counts[idx // assoc] -= 1
         self._data_ways = ways
 
     # ------------------------------------------------------------------
@@ -184,10 +244,13 @@ class Cache:
     # ------------------------------------------------------------------
     def probe(self, line: int) -> Optional[int]:
         """Return the way holding ``line`` or None; no state change."""
-        return self._map[line % self.n_sets].get(line)
+        idx = self._where.get(line)
+        if idx is None:
+            return None
+        return idx % self.assoc
 
     def contains(self, line: int) -> bool:
-        return self._map[line % self.n_sets].get(line) is not None
+        return line in self._where
 
     def on_demand_hit(self, line: int, way: int, is_write: bool = False) -> bool:
         """Record a demand hit; returns True if this hit consumed a prefetch.
@@ -196,6 +259,7 @@ class Cache:
         demand touch — the definition of a useful prefetch.
         """
         set_idx = line % self.n_sets
+        idx = set_idx * self.assoc + way
         state = self._plru_state
         if state is not None:
             state[set_idx] = (
@@ -204,15 +268,17 @@ class Cache:
         else:
             rrpv = self._srrip_rrpv
             if rrpv is not None:
-                rrpv[set_idx * self.assoc + way] = 0
+                rrpv[idx] = 0
             else:
                 self._policy_on_hit(set_idx, way)
         self.stats.demand_hits += 1
-        slot = self._slots[set_idx * self.assoc + way]
+        flags = self._flags
+        f = flags[idx]
         if is_write:
-            slot[_DIRTY] = True
-        if slot[_PF] and not slot[_USED]:
-            slot[_USED] = True
+            f |= F_DIRTY
+            flags[idx] = f
+        if f & F_PF and not f & F_USED:
+            flags[idx] = f | F_USED
             self.stats.useful_prefetches += 1
             return True
         return False
@@ -221,51 +287,53 @@ class Cache:
         """Fused probe + demand-hit bookkeeping for the hierarchy hot path.
 
         Returns ``None`` on a miss (after counting it), else the tuple
-        ``(consumed, ready_cycle, trigger_pc, pf_source)`` — everything the
-        demand path reads, gathered in one call instead of five
-        (:meth:`probe`, :meth:`ready_cycle`, :meth:`trigger_pc_of`,
-        :meth:`pf_source_of`, :meth:`on_demand_hit`).
+        ``(consumed, ready_cycle, trigger_pc, pf_source)`` — everything
+        the demand path reads, gathered from the flat arrays in one call.
         """
-        set_idx = line % self.n_sets
-        way = self._map[set_idx].get(line)
+        idx = self._where.get(line)
         stats = self.stats
-        if way is None:
+        if idx is None:
             stats.demand_misses += 1
             return None
+        assoc = self.assoc
+        set_idx = idx // assoc
         state = self._plru_state
         if state is not None:
+            way = idx - set_idx * assoc
             state[set_idx] = (
                 state[set_idx] & self._plru_keep[way]
             ) | self._plru_point[way]
         else:
             rrpv = self._srrip_rrpv
             if rrpv is not None:
-                rrpv[set_idx * self.assoc + way] = 0
+                rrpv[idx] = 0
             else:
-                self._policy_on_hit(set_idx, way)
+                self._policy_on_hit(set_idx, idx - set_idx * assoc)
         stats.demand_hits += 1
-        slot = self._slots[set_idx * self.assoc + way]
+        flags = self._flags
+        f = flags[idx]
         if is_write:
-            slot[_DIRTY] = True
+            f |= F_DIRTY
+            flags[idx] = f
         consumed = False
-        if slot[_PF] and not slot[_USED]:
-            slot[_USED] = True
+        if f & F_PF and not f & F_USED:
+            flags[idx] = f | F_USED
             stats.useful_prefetches += 1
             consumed = True
-        return consumed, slot[_READY], slot[_TRIGGER], slot[_SRC]
+        return consumed, self._ready[idx], self._trigger[idx], f >> PF_SRC_SHIFT
 
     def ready_cycle(self, line: int, way: int) -> float:
-        return self._slots[(line % self.n_sets) * self.assoc + way][_READY]
+        return self._ready[(line % self.n_sets) * self.assoc + way]
 
     def trigger_pc_of(self, line: int, way: int) -> int:
-        return self._slots[(line % self.n_sets) * self.assoc + way][_TRIGGER]
+        return self._trigger[(line % self.n_sets) * self.assoc + way]
 
     def pf_source_of(self, line: int, way: int) -> int:
-        return self._slots[(line % self.n_sets) * self.assoc + way][_SRC]
+        return self._flags[(line % self.n_sets) * self.assoc + way] >> PF_SRC_SHIFT
 
     def was_prefetched(self, line: int, way: int) -> bool:
-        slot = self._slots[(line % self.n_sets) * self.assoc + way]
-        return slot[_PF] and not slot[_USED]
+        f = self._flags[(line % self.n_sets) * self.assoc + way]
+        return bool(f & F_PF) and not f & F_USED
 
     def fill(
         self,
@@ -282,52 +350,55 @@ class Cache:
         happens when a prefetch races a demand miss) and evicts nothing.
         This is the fully-reported variant; the hierarchy's hot paths use
         :meth:`fill_clean` (L1 demand fills) and :meth:`fill_victim`
-        (L2/L3 fills, bare ``(line, dirty)`` victim info) instead.
+        (L2/L3 fills, bare ``(line, dirty)`` victim info) instead — and
+        the fused kernel inlines both over the flat arrays.
         """
-        set_idx = line % self.n_sets
-        mapping = self._map[set_idx]
-        assoc = self.assoc
-        base = set_idx * assoc
-        slots = self._slots
-        existing = mapping.get(line)
+        where = self._where
+        flags = self._flags
+        existing = where.get(line)
         if existing is not None:
             if dirty:
-                slots[base + existing][_DIRTY] = True
+                flags[existing] |= F_DIRTY
             return None
 
-        evicted: Optional[EvictedLine] = None
-        way = None
+        set_idx = line % self.n_sets
+        assoc = self.assoc
+        base = set_idx * assoc
+        tags = self._tags
+        counts = self._counts
         data_ways = self._data_ways
-        if len(mapping) < data_ways:
-            for w in range(data_ways):
-                if slots[base + w] is None:
-                    way = w
-                    break
-        if way is None:
+        evicted: Optional[EvictedLine] = None
+        if counts[set_idx] < data_ways:
+            way = tags.index(-1, base, base + data_ways) - base
+            counts[set_idx] += 1
+        else:
             way = self._pick_way(set_idx, base, data_ways)
-            old = slots[base + way]
-            old_dirty = old[_DIRTY]
-            old_unused_pf = old[_PF] and not old[_USED]
+            idx = base + way
+            f = flags[idx]
             evicted = EvictedLine(
-                line=old[_LINE],
-                dirty=old_dirty,
-                prefetched=old[_PF],
-                used=old[_USED],
-                trigger_pc=old[_TRIGGER],
-                pf_source=old[_SRC],
+                line=tags[idx],
+                dirty=bool(f & F_DIRTY),
+                prefetched=bool(f & F_PF),
+                used=bool(f & F_USED),
+                trigger_pc=self._trigger[idx],
+                pf_source=f >> PF_SRC_SHIFT,
             )
             stats = self.stats
-            if old_dirty:
+            if f & F_DIRTY:
                 stats.writebacks += 1
-            if old_unused_pf:
+            if f & F_PF and not f & F_USED:
                 stats.useless_evictions += 1
-            del mapping[old[_LINE]]
+            del where[tags[idx]]
 
-        slots[base + way] = [
-            line, dirty, prefetched, False, ready_cycle, trigger_pc,
-            pf_source if prefetched else PF_NONE,
-        ]
-        mapping[line] = way
+        idx = base + way
+        tags[idx] = line
+        flags[idx] = (
+            (F_PF | (pf_source << PF_SRC_SHIFT) if prefetched else 0)
+            | (F_DIRTY if dirty else 0)
+        )
+        self._ready[idx] = ready_cycle
+        self._trigger[idx] = trigger_pc
+        where[line] = idx
         self._touch_fill(set_idx, base, way)
         if prefetched:
             self.stats.prefetch_fills += 1
@@ -369,59 +440,39 @@ class Cache:
     def fill_clean(self, line: int, ready: float) -> None:
         """Demand fill of a clean, non-prefetched line; victim discarded.
 
-        The specialized L1 path: every record that misses the L1 ends in
-        one of these, so it drops :meth:`fill`'s generality (prefetch
-        bookkeeping, dirty propagation, EvictedLine construction) while
-        keeping identical placement, eviction statistics, and
-        replacement-policy behaviour.
+        The specialized L1 path: identical placement, eviction statistics,
+        and replacement behaviour to :meth:`fill`, minus the prefetch
+        bookkeeping, dirty propagation, and EvictedLine construction.
         """
-        set_idx = line % self.n_sets
-        mapping = self._map[set_idx]
-        if line in mapping:
+        where = self._where
+        if line in where:
             return
+        set_idx = line % self.n_sets
         assoc = self.assoc
         base = set_idx * assoc
-        slots = self._slots
-        way = None
+        tags = self._tags
+        flags = self._flags
+        counts = self._counts
         data_ways = self._data_ways
-        if len(mapping) < data_ways:
-            for w in range(data_ways):
-                if slots[base + w] is None:
-                    way = w
-                    break
-        if way is None:
-            # Victim pick, inlined (see _pick_way).
-            victims = self._plru_victims
-            if victims is not None and data_ways == assoc:
-                way = victims[self._plru_state[set_idx]]
-            else:
-                rrpv = self._srrip_rrpv
-                if rrpv is not None:
-                    seg = rrpv[base:base + data_ways]
-                    way = seg.index(max(seg))
-                else:
-                    restrict = None if data_ways == assoc else range(data_ways)
-                    way = self._policy_victim(set_idx, restrict)
-            old = slots[base + way]
-            if old[_DIRTY]:
-                self.stats.writebacks += 1
-            if old[_PF] and not old[_USED]:
-                self.stats.useless_evictions += 1
-            del mapping[old[_LINE]]
-        slots[base + way] = [line, False, False, False, ready, -1, PF_NONE]
-        mapping[line] = way
-        # Fill touch, inlined (see _touch_fill).
-        state = self._plru_state
-        if state is not None:
-            state[set_idx] = (
-                state[set_idx] & self._plru_keep[way]
-            ) | self._plru_point[way]
+        if counts[set_idx] < data_ways:
+            way = tags.index(-1, base, base + data_ways) - base
+            counts[set_idx] += 1
         else:
-            rrpv = self._srrip_rrpv
-            if rrpv is not None:
-                rrpv[base + way] = self._srrip_fill
-            else:
-                self._policy_on_fill(set_idx, way)
+            way = self._pick_way(set_idx, base, data_ways)
+            idx = base + way
+            f = flags[idx]
+            if f & F_DIRTY:
+                self.stats.writebacks += 1
+            if f & F_PF and not f & F_USED:
+                self.stats.useless_evictions += 1
+            del where[tags[idx]]
+        idx = base + way
+        tags[idx] = line
+        flags[idx] = 0
+        self._ready[idx] = ready
+        self._trigger[idx] = -1
+        where[line] = idx
+        self._touch_fill(set_idx, base, way)
 
     def fill_victim(
         self,
@@ -434,94 +485,88 @@ class Cache:
     ):
         """:meth:`fill` returning only ``(victim_line, victim_dirty)``.
 
-        The hierarchy's L2-fill/L3-spill path needs exactly those two
-        victim fields, so this variant skips the :class:`EvictedLine`
-        record.  Returns ``None`` when nothing was evicted.  Semantics
-        (placement, statistics, policy updates) are identical to
-        :meth:`fill`.
+        The L2-fill/L3-spill path needs exactly those two victim fields,
+        so this variant skips the :class:`EvictedLine` record.  Returns
+        ``None`` when nothing was evicted.  Semantics (placement,
+        statistics, policy updates) are identical to :meth:`fill`.
         """
-        set_idx = line % self.n_sets
-        mapping = self._map[set_idx]
-        assoc = self.assoc
-        base = set_idx * assoc
-        slots = self._slots
-        existing = mapping.get(line)
+        where = self._where
+        flags = self._flags
+        existing = where.get(line)
         if existing is not None:
             if dirty:
-                slots[base + existing][_DIRTY] = True
+                flags[existing] |= F_DIRTY
             return None
 
-        victim = None
-        way = None
+        set_idx = line % self.n_sets
+        assoc = self.assoc
+        base = set_idx * assoc
+        tags = self._tags
+        counts = self._counts
         data_ways = self._data_ways
-        if len(mapping) < data_ways:
-            for w in range(data_ways):
-                if slots[base + w] is None:
-                    way = w
-                    break
-        if way is None:
-            # Victim pick, inlined (see _pick_way).
-            victims = self._plru_victims
-            if victims is not None and data_ways == assoc:
-                way = victims[self._plru_state[set_idx]]
-            else:
-                rrpv = self._srrip_rrpv
-                if rrpv is not None:
-                    seg = rrpv[base:base + data_ways]
-                    way = seg.index(max(seg))
-                else:
-                    restrict = None if data_ways == assoc else range(data_ways)
-                    way = self._policy_victim(set_idx, restrict)
-            old = slots[base + way]
-            old_line = old[_LINE]
-            old_dirty = old[_DIRTY]
+        victim = None
+        if counts[set_idx] < data_ways:
+            way = tags.index(-1, base, base + data_ways) - base
+            counts[set_idx] += 1
+        else:
+            way = self._pick_way(set_idx, base, data_ways)
+            idx = base + way
+            f = flags[idx]
+            old_line = tags[idx]
+            old_dirty = bool(f & F_DIRTY)
             stats = self.stats
             if old_dirty:
                 stats.writebacks += 1
-            if old[_PF] and not old[_USED]:
+            if f & F_PF and not f & F_USED:
                 stats.useless_evictions += 1
-            del mapping[old_line]
+            del where[old_line]
             victim = (old_line, old_dirty)
 
-        slots[base + way] = [
-            line, dirty, prefetched, False, ready_cycle, trigger_pc,
-            pf_source if prefetched else PF_NONE,
-        ]
-        mapping[line] = way
-        # Fill touch, inlined (see _touch_fill).
-        state = self._plru_state
-        if state is not None:
-            state[set_idx] = (
-                state[set_idx] & self._plru_keep[way]
-            ) | self._plru_point[way]
-        else:
-            rrpv = self._srrip_rrpv
-            if rrpv is not None:
-                rrpv[base + way] = self._srrip_fill
-            else:
-                self._policy_on_fill(set_idx, way)
+        idx = base + way
+        tags[idx] = line
+        flags[idx] = (
+            (F_PF | (pf_source << PF_SRC_SHIFT) if prefetched else 0)
+            | (F_DIRTY if dirty else 0)
+        )
+        self._ready[idx] = ready_cycle
+        self._trigger[idx] = trigger_pc
+        where[line] = idx
+        self._touch_fill(set_idx, base, way)
         if prefetched:
             self.stats.prefetch_fills += 1
         return victim
 
     def invalidate(self, line: int) -> bool:
         """Drop ``line`` if resident (used for exclusive-ish L3 behaviour)."""
-        set_idx = line % self.n_sets
-        way = self._map[set_idx].pop(line, None)
-        if way is None:
+        idx = self._where.pop(line, None)
+        if idx is None:
             return False
-        self._slots[set_idx * self.assoc + way] = None
+        self._tags[idx] = -1
+        self._flags[idx] = 0
+        self._counts[idx // self.assoc] -= 1
         return True
 
     def reset_stats(self) -> None:
-        self.stats = CacheStats()
+        """Zero the counters **in place**.
+
+        The fused hierarchy kernel closes over the :class:`CacheStats`
+        object, so the warmup->measure reset must mutate it rather than
+        swap in a fresh instance (the rebind/resize rule, invariant 9).
+        """
+        s = self.stats
+        s.demand_hits = 0
+        s.demand_misses = 0
+        s.prefetch_fills = 0
+        s.useful_prefetches = 0
+        s.useless_evictions = 0
+        s.writebacks = 0
 
     # ------------------------------------------------------------------
     # introspection used by tests and the set-dueller
     # ------------------------------------------------------------------
     def resident_lines(self) -> List[int]:
-        return [line for mapping in self._map for line in mapping]
+        return list(self._where)
 
     def occupancy(self) -> float:
         total = self.n_sets * self._data_ways
-        return sum(len(m) for m in self._map) / total if total else 0.0
+        return len(self._where) / total if total else 0.0

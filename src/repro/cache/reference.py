@@ -1,0 +1,775 @@
+"""Reference oracles for the flat-array cache and hierarchy fill path.
+
+The shipping :class:`repro.cache.cache.Cache` stores per-line state in
+flat parallel arrays and :class:`repro.cache.hierarchy.Hierarchy` runs
+the whole demand path as one fused kernel closure.  This module preserves
+the previous implementations — slot-record cache lines, OrderedDict TLB,
+and the call-per-level hierarchy with separate fill/spill steps — as
+:class:`CacheReference`, :class:`TLBReference`, and
+:class:`HierarchyReference`, per the repo's reference-oracle invariant
+(docs/architecture.md, invariant 3).
+
+``tests/test_flat_cache_equivalence.py`` pins the flat classes to these
+oracles per-operation and per-``SimResult``;
+``benchmarks/bench_engine_throughput.py``'s ``fill_path`` section
+measures the flat stack against them interleaved on the same machine.
+Nothing here is on a hot path — clarity over speed.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict, deque
+from typing import Deque, Dict, List, Optional
+
+from ..memory.dram import DRAMModel
+from ..memory.tlb import LINES_PER_PAGE, TLBConfig, TLBStats, page_of, same_page
+from ..prefetchers.base import (
+    L1Prefetcher,
+    L2AccessInfo,
+    L2Prefetcher,
+    NullL1Prefetcher,
+    NullL2Prefetcher,
+    PrefetcherStats,
+    PrefetchRequest,
+)
+from ..sim.config import SystemConfig
+from .cache import PF_L1, PF_L2, PF_NONE, CacheStats, EvictedLine
+from .hierarchy import AccessResult
+from .mshr import (
+    M_CONSUMED,
+    M_IS_PREFETCH,
+    M_PF_SOURCE,
+    M_READY,
+    M_TRIGGER_PC,
+    MSHRFile,
+)
+from .replacement import SRRIPPolicy, TreePLRUPolicy, make_policy
+
+#: Slot record field indices (one small list per resident (set, way)).
+_LINE, _DIRTY, _PF, _USED, _READY, _TRIGGER, _SRC = range(7)
+
+
+class CacheReference:
+    """The pre-flat set-associative cache: one slot record per line.
+
+    Per-line state lives in a small list ``[line, dirty, prefetched,
+    used, ready, trigger_pc, pf_source]`` per (set, way), ``None`` when
+    invalid, with one ``line -> way`` dict per set.  Semantics are the
+    contract the flat :class:`repro.cache.cache.Cache` must match
+    bit-for-bit.
+    """
+
+    __slots__ = (
+        "name", "assoc", "hit_latency", "n_sets", "policy", "stats",
+        "_slots", "_map", "_data_ways",
+        "_policy_on_hit", "_policy_on_fill", "_policy_victim",
+        "_plru_state", "_plru_keep", "_plru_point", "_plru_victims",
+        "_srrip_rrpv", "_srrip_fill",
+    )
+
+    def __init__(
+        self,
+        name: str,
+        size_bytes: int,
+        assoc: int,
+        hit_latency: int,
+        replacement: str = "lru",
+        line_size: int = 64,
+    ):
+        if size_bytes % (assoc * line_size):
+            raise ValueError("cache size must be a multiple of assoc * line_size")
+        self.name = name
+        self.assoc = assoc
+        self.hit_latency = hit_latency
+        self.n_sets = size_bytes // (assoc * line_size)
+        if self.n_sets == 0:
+            raise ValueError("cache too small for the requested associativity")
+        self.policy = make_policy(replacement, self.n_sets, assoc)
+        self.stats = CacheStats()
+
+        #: One record per (set, way); None == invalid.
+        self._slots: List[Optional[list]] = [None] * (self.n_sets * assoc)
+        self._map: List[Dict[int, int]] = [dict() for _ in range(self.n_sets)]
+        self._data_ways = assoc
+        self._policy_on_hit = self.policy.on_hit
+        self._policy_on_fill = self.policy.on_fill
+        self._policy_victim = self.policy.victim
+        pol = self.policy
+        self._plru_state = self._plru_keep = self._plru_point = None
+        self._plru_victims = None
+        self._srrip_rrpv = None
+        self._srrip_fill = 0
+        if type(pol) is TreePLRUPolicy:
+            self._plru_state = pol._state
+            self._plru_keep = pol._keep
+            self._plru_point = pol._point
+            self._plru_victims = pol._victims
+        elif type(pol) is SRRIPPolicy:
+            self._srrip_rrpv = pol._rrpv
+            self._srrip_fill = pol.max_rrpv - 1
+
+    # ------------------------------------------------------------------
+    # geometry helpers
+    # ------------------------------------------------------------------
+    def set_index(self, line: int) -> int:
+        return line % self.n_sets
+
+    @property
+    def data_ways(self) -> int:
+        return self._data_ways
+
+    @property
+    def capacity_lines(self) -> int:
+        return self.n_sets * self._data_ways
+
+    def set_data_ways(self, ways: int) -> None:
+        if not 0 <= ways <= self.assoc:
+            raise ValueError(f"ways must be in [0, {self.assoc}]")
+        if ways < self._data_ways:
+            slots = self._slots
+            for set_idx in range(self.n_sets):
+                base = set_idx * self.assoc
+                for way in range(ways, self._data_ways):
+                    idx = base + way
+                    slot = slots[idx]
+                    if slot is not None:
+                        if slot[_DIRTY]:
+                            self.stats.writebacks += 1
+                        del self._map[set_idx][slot[_LINE]]
+                        slots[idx] = None
+        self._data_ways = ways
+
+    # ------------------------------------------------------------------
+    # access path
+    # ------------------------------------------------------------------
+    def probe(self, line: int) -> Optional[int]:
+        return self._map[line % self.n_sets].get(line)
+
+    def contains(self, line: int) -> bool:
+        return self._map[line % self.n_sets].get(line) is not None
+
+    def on_demand_hit(self, line: int, way: int, is_write: bool = False) -> bool:
+        set_idx = line % self.n_sets
+        state = self._plru_state
+        if state is not None:
+            state[set_idx] = (
+                state[set_idx] & self._plru_keep[way]
+            ) | self._plru_point[way]
+        else:
+            rrpv = self._srrip_rrpv
+            if rrpv is not None:
+                rrpv[set_idx * self.assoc + way] = 0
+            else:
+                self._policy_on_hit(set_idx, way)
+        self.stats.demand_hits += 1
+        slot = self._slots[set_idx * self.assoc + way]
+        if is_write:
+            slot[_DIRTY] = True
+        if slot[_PF] and not slot[_USED]:
+            slot[_USED] = True
+            self.stats.useful_prefetches += 1
+            return True
+        return False
+
+    def demand_lookup(self, line: int, is_write: bool = False):
+        set_idx = line % self.n_sets
+        way = self._map[set_idx].get(line)
+        stats = self.stats
+        if way is None:
+            stats.demand_misses += 1
+            return None
+        state = self._plru_state
+        if state is not None:
+            state[set_idx] = (
+                state[set_idx] & self._plru_keep[way]
+            ) | self._plru_point[way]
+        else:
+            rrpv = self._srrip_rrpv
+            if rrpv is not None:
+                rrpv[set_idx * self.assoc + way] = 0
+            else:
+                self._policy_on_hit(set_idx, way)
+        stats.demand_hits += 1
+        slot = self._slots[set_idx * self.assoc + way]
+        if is_write:
+            slot[_DIRTY] = True
+        consumed = False
+        if slot[_PF] and not slot[_USED]:
+            slot[_USED] = True
+            stats.useful_prefetches += 1
+            consumed = True
+        return consumed, slot[_READY], slot[_TRIGGER], slot[_SRC]
+
+    def ready_cycle(self, line: int, way: int) -> float:
+        return self._slots[(line % self.n_sets) * self.assoc + way][_READY]
+
+    def trigger_pc_of(self, line: int, way: int) -> int:
+        return self._slots[(line % self.n_sets) * self.assoc + way][_TRIGGER]
+
+    def pf_source_of(self, line: int, way: int) -> int:
+        return self._slots[(line % self.n_sets) * self.assoc + way][_SRC]
+
+    def was_prefetched(self, line: int, way: int) -> bool:
+        slot = self._slots[(line % self.n_sets) * self.assoc + way]
+        return slot[_PF] and not slot[_USED]
+
+    def fill(
+        self,
+        line: int,
+        ready_cycle: float = 0.0,
+        prefetched: bool = False,
+        trigger_pc: int = -1,
+        dirty: bool = False,
+        pf_source: int = PF_NONE,
+    ) -> Optional[EvictedLine]:
+        set_idx = line % self.n_sets
+        mapping = self._map[set_idx]
+        assoc = self.assoc
+        base = set_idx * assoc
+        slots = self._slots
+        existing = mapping.get(line)
+        if existing is not None:
+            if dirty:
+                slots[base + existing][_DIRTY] = True
+            return None
+
+        evicted: Optional[EvictedLine] = None
+        way = None
+        data_ways = self._data_ways
+        if len(mapping) < data_ways:
+            for w in range(data_ways):
+                if slots[base + w] is None:
+                    way = w
+                    break
+        if way is None:
+            way = self._pick_way(set_idx, base, data_ways)
+            old = slots[base + way]
+            old_dirty = old[_DIRTY]
+            old_unused_pf = old[_PF] and not old[_USED]
+            evicted = EvictedLine(
+                line=old[_LINE],
+                dirty=old_dirty,
+                prefetched=old[_PF],
+                used=old[_USED],
+                trigger_pc=old[_TRIGGER],
+                pf_source=old[_SRC],
+            )
+            stats = self.stats
+            if old_dirty:
+                stats.writebacks += 1
+            if old_unused_pf:
+                stats.useless_evictions += 1
+            del mapping[old[_LINE]]
+
+        slots[base + way] = [
+            line, dirty, prefetched, False, ready_cycle, trigger_pc,
+            pf_source if prefetched else PF_NONE,
+        ]
+        mapping[line] = way
+        self._touch_fill(set_idx, base, way)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return evicted
+
+    def _pick_way(self, set_idx: int, base: int, data_ways: int) -> int:
+        victims = self._plru_victims
+        if victims is not None and data_ways == self.assoc:
+            return victims[self._plru_state[set_idx]]
+        rrpv = self._srrip_rrpv
+        if rrpv is not None:
+            seg = rrpv[base:base + data_ways]
+            return seg.index(max(seg))
+        restrict = None if data_ways == self.assoc else range(data_ways)
+        return self._policy_victim(set_idx, restrict)
+
+    def _touch_fill(self, set_idx: int, base: int, way: int) -> None:
+        state = self._plru_state
+        if state is not None:
+            state[set_idx] = (
+                state[set_idx] & self._plru_keep[way]
+            ) | self._plru_point[way]
+            return
+        rrpv = self._srrip_rrpv
+        if rrpv is not None:
+            rrpv[base + way] = self._srrip_fill
+            return
+        self._policy_on_fill(set_idx, way)
+
+    def fill_clean(self, line: int, ready: float) -> None:
+        set_idx = line % self.n_sets
+        mapping = self._map[set_idx]
+        if line in mapping:
+            return
+        assoc = self.assoc
+        base = set_idx * assoc
+        slots = self._slots
+        way = None
+        data_ways = self._data_ways
+        if len(mapping) < data_ways:
+            for w in range(data_ways):
+                if slots[base + w] is None:
+                    way = w
+                    break
+        if way is None:
+            way = self._pick_way(set_idx, base, data_ways)
+            old = slots[base + way]
+            if old[_DIRTY]:
+                self.stats.writebacks += 1
+            if old[_PF] and not old[_USED]:
+                self.stats.useless_evictions += 1
+            del mapping[old[_LINE]]
+        slots[base + way] = [line, False, False, False, ready, -1, PF_NONE]
+        mapping[line] = way
+        self._touch_fill(set_idx, base, way)
+
+    def fill_victim(
+        self,
+        line: int,
+        ready_cycle: float = 0.0,
+        prefetched: bool = False,
+        trigger_pc: int = -1,
+        dirty: bool = False,
+        pf_source: int = PF_NONE,
+    ):
+        set_idx = line % self.n_sets
+        mapping = self._map[set_idx]
+        assoc = self.assoc
+        base = set_idx * assoc
+        slots = self._slots
+        existing = mapping.get(line)
+        if existing is not None:
+            if dirty:
+                slots[base + existing][_DIRTY] = True
+            return None
+
+        victim = None
+        way = None
+        data_ways = self._data_ways
+        if len(mapping) < data_ways:
+            for w in range(data_ways):
+                if slots[base + w] is None:
+                    way = w
+                    break
+        if way is None:
+            way = self._pick_way(set_idx, base, data_ways)
+            old = slots[base + way]
+            old_line = old[_LINE]
+            old_dirty = old[_DIRTY]
+            stats = self.stats
+            if old_dirty:
+                stats.writebacks += 1
+            if old[_PF] and not old[_USED]:
+                stats.useless_evictions += 1
+            del mapping[old_line]
+            victim = (old_line, old_dirty)
+
+        slots[base + way] = [
+            line, dirty, prefetched, False, ready_cycle, trigger_pc,
+            pf_source if prefetched else PF_NONE,
+        ]
+        mapping[line] = way
+        self._touch_fill(set_idx, base, way)
+        if prefetched:
+            self.stats.prefetch_fills += 1
+        return victim
+
+    def invalidate(self, line: int) -> bool:
+        set_idx = line % self.n_sets
+        way = self._map[set_idx].pop(line, None)
+        if way is None:
+            return False
+        self._slots[set_idx * self.assoc + way] = None
+        return True
+
+    def reset_stats(self) -> None:
+        self.stats = CacheStats()
+
+    # ------------------------------------------------------------------
+    # introspection
+    # ------------------------------------------------------------------
+    def resident_lines(self) -> List[int]:
+        return [line for mapping in self._map for line in mapping]
+
+    def occupancy(self) -> float:
+        total = self.n_sets * self._data_ways
+        return sum(len(m) for m in self._map) / total if total else 0.0
+
+
+class TLBReference:
+    """The OrderedDict fully-associative LRU TLB (pre-flat layout)."""
+
+    def __init__(self, config: TLBConfig = TLBConfig()):
+        self.config = config
+        self.stats = TLBStats()
+        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self._last_page = -1
+
+    def access(self, line: int) -> int:
+        page = line // LINES_PER_PAGE
+        if page == self._last_page:
+            self.stats.hits += 1
+            return 0
+        if page in self._entries:
+            self._entries.move_to_end(page)
+            self._last_page = page
+            self.stats.hits += 1
+            return 0
+        self.stats.misses += 1
+        self._entries[page] = None
+        self._last_page = page
+        if len(self._entries) > self.config.entries:
+            evicted = self._entries.popitem(last=False)[0]
+            if evicted == page:  # pragma: no cover - single-entry TLB only
+                self._last_page = -1
+        return self.config.walk_latency
+
+    def contains(self, line: int) -> bool:
+        return page_of(line) in self._entries
+
+    def reset_stats(self) -> None:
+        self.stats = TLBStats()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+
+class HierarchyReference:
+    """The pre-kernel hierarchy: one method call per level, per fill.
+
+    The L2 fill -> L3 spill -> DRAM writeback chain runs as three calls
+    with tuple-boxed victim info per step; the shipping
+    :class:`repro.cache.hierarchy.Hierarchy` fuses it into one kernel.
+    API-compatible with the shipping class (``demand_access``,
+    ``demand_access_fast``, the issue paths), so the engine loop and the
+    equivalence tests can drive either.
+    """
+
+    __slots__ = (
+        "config", "l1d", "l2", "l3", "dram", "tlb", "l2_mshr",
+        "l1_prefetcher", "l2_prefetcher", "l2_pf_stats", "l1_pf_stats",
+        "metadata_ways", "demand_accesses", "l2_demand_misses",
+        "_offchip_metadata", "_pf_queue", "_l2_observe_fast",
+        "_l1_lat_i", "_l1_lat", "_l2_lat", "_l3_lat",
+        "_cross_page_ok", "_null_l1_pf", "_null_l2_pf",
+    )
+
+    def __init__(
+        self,
+        config: SystemConfig,
+        l2_prefetcher: Optional[L2Prefetcher] = None,
+        l1_prefetcher: Optional[L1Prefetcher] = None,
+    ):
+        self.config = config
+        c = config
+        self.l1d = CacheReference(
+            "L1D", c.l1d.size_bytes, c.l1d.assoc, c.l1d.hit_latency, "plru"
+        )
+        self.l2 = CacheReference(
+            "L2", c.l2.size_bytes, c.l2.assoc, c.l2.hit_latency, "plru"
+        )
+        self.l3 = CacheReference(
+            "L3", c.l3.size_bytes, c.l3.assoc, c.l3.hit_latency, "srrip"
+        )
+        self.dram = DRAMModel(c.dram)
+        self.tlb: Optional[TLBReference] = (
+            TLBReference(TLBConfig(c.tlb_entries, c.tlb_walk_latency))
+            if c.tlb_enabled
+            else None
+        )
+        self.l2_mshr = MSHRFile(c.l2.mshrs)
+        self.l1_prefetcher = l1_prefetcher or NullL1Prefetcher()
+        self.l2_prefetcher = l2_prefetcher or NullL2Prefetcher()
+        self.l2_pf_stats = PrefetcherStats()
+        self.l1_pf_stats = PrefetcherStats()
+        self.metadata_ways = 0
+        self.demand_accesses = 0
+        self.l2_demand_misses = 0
+        self._l1_lat_i = c.l1d.hit_latency
+        self._l1_lat = float(c.l1d.hit_latency)
+        self._l2_lat = c.l2.hit_latency
+        self._l3_lat = c.l3.hit_latency
+        self._cross_page_ok = c.l1_pf_cross_page
+        self._null_l1_pf = type(self.l1_prefetcher) is NullL1Prefetcher
+        self._null_l2_pf = type(self.l2_prefetcher) is NullL2Prefetcher
+        self._offchip_metadata = bool(
+            getattr(self.l2_prefetcher, "uses_offchip_metadata", False)
+        )
+        self._l2_observe_fast = (
+            None
+            if self._offchip_metadata
+            else getattr(self.l2_prefetcher, "observe_fast", None)
+        )
+        self._pf_queue: Deque[PrefetchRequest] = deque(maxlen=64)
+
+    # ------------------------------------------------------------------
+    # metadata table partitioning
+    # ------------------------------------------------------------------
+    def set_metadata_ways(self, ways: int) -> None:
+        if not 0 <= ways <= self.config.l3.assoc:
+            raise ValueError("metadata ways out of range")
+        self.metadata_ways = ways
+        self.l3.set_data_ways(self.config.l3.assoc - ways)
+        self.l2_prefetcher.on_metadata_resize(
+            self.config.metadata_capacity_for_ways(ways)
+        )
+        if self._l2_observe_fast is not None:
+            self._l2_observe_fast = getattr(
+                self.l2_prefetcher, "observe_fast", None
+            )
+
+    # ------------------------------------------------------------------
+    # demand path
+    # ------------------------------------------------------------------
+    def demand_access(
+        self, pc: int, line: int, cycle: float, is_write: bool = False
+    ) -> AccessResult:
+        return AccessResult(
+            *self.demand_access_fast(pc, line, cycle, is_write)
+        )
+
+    def demand_access_fast(
+        self, pc: int, line: int, cycle: float, is_write: bool = False
+    ):
+        self.demand_accesses += 1
+        if self._pf_queue:
+            self._drain_pf_queue(cycle)
+        result = self._lookup_and_fill(pc, line, cycle, is_write)
+        tlb = self.tlb
+        if tlb is not None:
+            walk = tlb.access(line)
+            if walk:
+                result = (result[0] + walk,) + result[1:]
+
+        if not self._null_l1_pf:
+            l1_reqs = self.l1_prefetcher.observe(pc, line)
+            if l1_reqs:
+                cross_page_ok = self._cross_page_ok
+                for target in l1_reqs:
+                    if target == line or target < 0:
+                        continue
+                    if not cross_page_ok and not same_page(line, target):
+                        continue
+                    self._issue_l1_prefetch(pc, target, cycle)
+        return result
+
+    def _lookup_and_fill(self, pc: int, line: int, cycle: float, is_write: bool):
+        """Demand lookup; returns ``(latency, level, consumed_pc, late)``."""
+        # --- L1 ---
+        hit = self.l1d.demand_lookup(line, is_write)
+        if hit is not None:
+            if hit[0]:
+                self.l1_pf_stats.record_useful(hit[2])
+            return (self._l1_lat_i, "l1", -1, False)
+
+        # --- L2 ---
+        l2_lat = self._l2_lat
+        latency = self._l1_lat + l2_lat
+        hit = self.l2.demand_lookup(line, is_write)
+        if hit is not None:
+            consumed, ready, trigger, pf_source = hit
+            consumed_pc = -1
+            late = False
+            if ready > cycle + l2_lat:
+                latency = max(latency, ready - cycle)
+                late = True
+            if consumed:
+                consumed_pc = trigger
+                if pf_source == PF_L2:
+                    self.l2_pf_stats.record_useful(trigger)
+                    self.l2_prefetcher.note_useful(trigger, line)
+                elif pf_source == PF_L1:
+                    self.l1_pf_stats.record_useful(trigger)
+            self.l1d.fill_clean(line, cycle + latency)
+            if not self._null_l2_pf:
+                self._observe_l2(pc, line, cycle, l2_hit=True)
+            return (latency, "l2", consumed_pc, late)
+
+        self.l2_demand_misses += 1
+
+        pending = self.l2_mshr.lookup(line, cycle)
+        if pending is not None:
+            latency = max(latency, pending[M_READY] - cycle)
+            consumed_pc = -1
+            if pending[M_IS_PREFETCH] and not pending[M_CONSUMED]:
+                pending[M_CONSUMED] = True
+                trigger = pending[M_TRIGGER_PC]
+                consumed_pc = trigger
+                if pending[M_PF_SOURCE] == PF_L2:
+                    self.l2_pf_stats.record_useful(trigger)
+                    self.l2_prefetcher.note_useful(trigger, line)
+                elif pending[M_PF_SOURCE] == PF_L1:
+                    self.l1_pf_stats.record_useful(trigger)
+            ready = cycle + latency
+            self._fill_l2_and_l1(line, ready)
+            if not self._null_l2_pf:
+                self._observe_l2(pc, line, cycle, l2_hit=False)
+            return (latency, "l3", consumed_pc, True)
+
+        # --- L3 ---
+        hit = self.l3.demand_lookup(line, is_write)
+        if hit is not None:
+            latency += self._l3_lat
+            hit_level = "l3"
+        else:
+            latency += self._l3_lat  # tag check before going to DRAM
+            latency += self.dram.read(cycle)
+            hit_level = "dram"
+        self.l2_mshr.allocate(line, cycle + latency, cycle)
+        ready = cycle + latency
+        self._fill_l2_and_l1(line, ready, dirty=is_write)
+        if not self._null_l2_pf:
+            self._observe_l2(pc, line, cycle, l2_hit=False)
+        return (latency, hit_level, -1, False)
+
+    # ------------------------------------------------------------------
+    # fills and evictions: the three-call spill chain the fused kernel
+    # replaced (L2 fill -> victim spills to L3 -> dirty L3 victim goes to
+    # DRAM as a writeback).
+    # ------------------------------------------------------------------
+    def _fill_l2_and_l1(
+        self,
+        line: int,
+        ready: float,
+        prefetched: bool = False,
+        trigger_pc: int = -1,
+        dirty: bool = False,
+        pf_source: int = PF_NONE,
+        fill_l1: bool = True,
+    ) -> None:
+        victim = self.l2.fill_victim(
+            line, ready, prefetched, trigger_pc, dirty, pf_source
+        )
+        if victim is not None:
+            spilled = self.l3.fill_victim(victim[0], ready, False, -1, victim[1])
+            if spilled is not None and spilled[1]:
+                self.dram.write(ready)
+        if fill_l1:
+            self.l1d.fill_clean(line, ready)
+
+    def _observe_l2(
+        self, pc: int, line: int, cycle: float, l2_hit: bool, from_l1_pf: bool = False
+    ) -> None:
+        fast = self._l2_observe_fast
+        if fast is not None:
+            lines = fast(pc, line)
+            if lines:
+                self.issue_l2_prefetch_lines(lines, pc, cycle)
+            return
+        reqs = self.l2_prefetcher.observe(
+            L2AccessInfo(pc, line, cycle, l2_hit, from_l1_pf)
+        )
+        if self._offchip_metadata:
+            reads, writes = self.l2_prefetcher.drain_metadata_traffic()
+            for _ in range(reads):
+                self.dram.metadata_read(cycle)
+            for _ in range(writes):
+                self.dram.metadata_write(cycle)
+        if reqs:
+            self.issue_l2_prefetches(reqs, cycle)
+
+    # ------------------------------------------------------------------
+    # prefetch issue paths
+    # ------------------------------------------------------------------
+    def _drain_pf_queue(self, cycle: float) -> None:
+        while self._pf_queue and not self.l2_mshr.is_full(cycle):
+            req = self._pf_queue.popleft()
+            self._issue_one_l2_prefetch(req, cycle)
+
+    def issue_l2_prefetches(self, reqs: List[PrefetchRequest], cycle: float) -> int:
+        issued = 0
+        for req in reqs:
+            if self.l2_mshr.is_full(cycle):
+                self._pf_queue.append(req)
+                continue
+            issued += self._issue_one_l2_prefetch(req, cycle)
+        return issued
+
+    def issue_l2_prefetch_lines(
+        self, lines: List[int], trigger_pc: int, cycle: float
+    ) -> int:
+        issued = 0
+        for line in lines:
+            if self.l2_mshr.is_full(cycle):
+                self._pf_queue.append(
+                    PrefetchRequest(line, trigger_pc=trigger_pc)
+                )
+                continue
+            if line < 0 or self.l2.contains(line):
+                continue
+            if self.l2_mshr.lookup(line, cycle) is not None:
+                continue
+            self._issue_l2_fill_line(line, trigger_pc, cycle)
+            issued += 1
+        return issued
+
+    def _issue_one_l2_prefetch(self, req: PrefetchRequest, cycle: float) -> int:
+        line = req.line
+        if line < 0 or self.l2.contains(line):
+            return 0
+        if self.l2_mshr.lookup(line, cycle) is not None:
+            return 0
+        self._issue_l2_fill_line(line, req.trigger_pc, cycle)
+        return 1
+
+    def _issue_l2_fill_line(self, line: int, trigger_pc: int, cycle: float) -> None:
+        l3 = self.l3
+        way = l3.probe(line)
+        if way is not None:
+            l3.on_demand_hit(line, way)
+            ready = cycle + self._l3_lat
+        else:
+            ready = (
+                cycle + self._l3_lat + self.dram.read(cycle, is_prefetch=True)
+            )
+        self.l2_mshr.allocate(line, ready, cycle, True, trigger_pc, PF_L2)
+        self._fill_l2_and_l1(
+            line, ready, True, trigger_pc, False, PF_L2, fill_l1=False
+        )
+        self.l2_pf_stats.record_issue(trigger_pc)
+        self.l2_prefetcher.note_issued(trigger_pc, line)
+
+    def _issue_l1_prefetch(self, pc: int, line: int, cycle: float) -> None:
+        l1d = self.l1d
+        if l1d.contains(line):
+            return
+        l2 = self.l2
+        way = l2.probe(line)
+        if way is not None:
+            l2.on_demand_hit(line, way)
+            ready = cycle + self._l2_lat
+            if not self._null_l2_pf:
+                self._observe_l2(pc, line, cycle, l2_hit=True, from_l1_pf=True)
+        else:
+            mshr = self.l2_mshr
+            if mshr.is_full(cycle):
+                return
+            if mshr.lookup(line, cycle) is not None:
+                return
+            l3 = self.l3
+            way3 = l3.probe(line)
+            if way3 is not None:
+                l3.on_demand_hit(line, way3)
+                ready = cycle + self._l3_lat
+            else:
+                ready = cycle + self._l3_lat + self.dram.read(
+                    cycle, is_prefetch=True
+                )
+            mshr.allocate(line, ready, cycle, True, pc, PF_L1)
+            l2.fill_victim(line, ready, True, pc, False, PF_L1)
+            if not self._null_l2_pf:
+                self._observe_l2(pc, line, cycle, l2_hit=False, from_l1_pf=True)
+        l1d.fill_victim(line, ready, True, pc, False, PF_L1)
+        self.l1_pf_stats.record_issue(pc)
+
+    # ------------------------------------------------------------------
+    # metrics
+    # ------------------------------------------------------------------
+    def dram_traffic(self) -> int:
+        return self.dram.stats.total_traffic
+
+
+__all__ = [
+    "CacheReference",
+    "HierarchyReference",
+    "TLBReference",
+]

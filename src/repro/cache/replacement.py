@@ -18,11 +18,17 @@ replacement policy needs to let the runtime policy break ties among its
 lowest-priority candidates (Section 3.1).
 
 Ways are small integers ``0 .. assoc-1``; policies keep per-way state in
-flat lists indexed by ``set_idx * assoc + way`` for speed.
+preallocated flat storage indexed by ``set_idx * assoc + way`` for speed:
+tree-PLRU packs each set's direction bits into one int (a list entry),
+SRRIP keeps its RRPVs in an ``array('b')`` byte vector.  The cache and
+the hierarchy's fused demand kernel bind this state directly and inline
+the touches; anything that swapped these containers for new objects
+would strand those bindings (see docs/architecture.md, invariant 9).
 """
 
 from __future__ import annotations
 
+from array import array
 from typing import Dict, Iterable, List, Optional, Sequence
 
 
@@ -239,8 +245,12 @@ class SRRIPPolicy(ReplacementPolicy):
 
     def __init__(self, n_sets: int, assoc: int, bits: int = 2):
         super().__init__(n_sets, assoc)
+        if bits > 7:
+            raise ValueError("SRRIP RRPVs are stored as signed bytes (bits <= 7)")
         self.max_rrpv = (1 << bits) - 1
-        self._rrpv: List[int] = [self.max_rrpv] * (n_sets * assoc)
+        #: Packed byte vector, one RRPV per (set, way); values are tiny
+        #: interned ints, and victim scans slice it at C level.
+        self._rrpv = array("b", [self.max_rrpv]) * (n_sets * assoc)
 
     def on_fill(self, set_idx: int, way: int) -> None:
         self._rrpv[set_idx * self.assoc + way] = self.max_rrpv - 1

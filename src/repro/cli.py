@@ -11,6 +11,14 @@ Usage::
     python -m repro.cli workloads list [--trace-dir DIR]
     python -m repro.cli workloads describe gen_ptrchase_llc
     python -m repro.cli workloads import capture.trc [--name LABEL]
+    python -m repro.cli bench [--records N]
+
+``bench`` shells the engine-throughput benchmark
+(``benchmarks/bench_engine_throughput.py``) in ``--smoke`` mode — a quick
+records/sec sanity check of the simulation hot path without having to
+know the benchmarks tree.  Pass ``--records N`` for a longer measured
+run.  The result JSON goes to a scratch file, never to the committed
+``BENCH_engine.json``.
 
 The workload catalog is the source registry
 (:mod:`repro.workloads.sources`): built-in synthetic personas, generator
@@ -143,6 +151,48 @@ def run_workloads_command(args, parser) -> int:
     return 2
 
 
+def run_bench_command(args) -> int:
+    """The ``bench`` convenience subcommand: shell the throughput bench.
+
+    Runs ``benchmarks/bench_engine_throughput.py`` from the repo checkout
+    with this interpreter and this package on ``PYTHONPATH``, in smoke
+    mode unless ``--records`` asks for a longer run.  Results go to a
+    temp file so a sanity check never clobbers the committed trajectory
+    in ``BENCH_engine.json``.
+    """
+    import os
+    import subprocess
+    import tempfile
+
+    bench = Path(__file__).resolve().parents[2] / "benchmarks" \
+        / "bench_engine_throughput.py"
+    if not bench.exists():
+        print(
+            "bench_engine_throughput.py not found (the bench subcommand "
+            f"needs a repo checkout; looked at {bench})",
+            file=sys.stderr,
+        )
+        return 1
+    if args.out is not None:
+        out = args.out
+    else:
+        fd, name = tempfile.mkstemp(prefix="repro-bench-", suffix=".json")
+        os.close(fd)
+        out = Path(name)
+    cmd = [sys.executable, str(bench), "--out", str(out)]
+    if args.records is not None:
+        cmd += ["--records", str(args.records), "--repeats", "2"]
+    else:
+        cmd.append("--smoke")
+    env = dict(os.environ)
+    src_root = str(Path(__file__).resolve().parents[1])  # the src/ dir
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        src_root + os.pathsep + existing if existing else src_root
+    )
+    return subprocess.call(cmd, env=env)
+
+
 def make_progress_printer() -> Callable:
     """Per-job progress lines for --verbose (written to stderr)."""
 
@@ -215,7 +265,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list', 'all', 'trace', or 'workloads'",
+        help="experiment name, 'list', 'all', 'trace', 'workloads', or "
+             "'bench'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -265,6 +316,9 @@ def main(argv=None) -> int:
 
     if args.experiment == "workloads":
         return run_workloads_command(args, parser)
+
+    if args.experiment == "bench":
+        return run_bench_command(args)
 
     runner = make_runner(
         jobs=args.jobs,

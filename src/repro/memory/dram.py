@@ -116,4 +116,12 @@ class DRAMModel:
         return max(0.0, backlog / self._service_cycles)
 
     def reset_stats(self) -> None:
-        self.stats = DRAMStats()
+        # In place: the hierarchy's fused demand kernel closes over the
+        # stats object, so the warmup->measure reset must mutate it.
+        s = self.stats
+        s.reads = 0
+        s.writes = 0
+        s.demand_reads = 0
+        s.prefetch_reads = 0
+        s.metadata_reads = 0
+        s.metadata_writes = 0

@@ -19,8 +19,9 @@ Both features default off so the Table 1 configuration is unchanged; the
 
 from __future__ import annotations
 
-from collections import OrderedDict
+from array import array
 from dataclasses import dataclass
+from typing import Dict
 
 from ..sim.config import LINE_SIZE
 
@@ -73,15 +74,36 @@ class TLBStats:
 
 
 class TLB:
-    """Fully-associative LRU TLB over 4 KiB pages."""
+    """Fully-associative LRU TLB over 4 KiB pages, on flat arrays.
+
+    Storage mirrors the flat cache layout: a preallocated ``array('q')``
+    page-tag vector plus a parallel list of LRU clock stamps, with one
+    ``page -> slot`` dict for O(1) probes.  A hit is a dict probe and one
+    stamp store; a capacity miss picks its victim with a C-level
+    ``min``/``index`` scan of the stamps — exactly the least-recently-used
+    entry the previous OrderedDict implementation evicted (preserved as
+    :class:`repro.cache.reference.TLBReference`, pinned equivalent by
+    ``tests/test_flat_cache_equivalence.py``).
+    """
+
+    __slots__ = (
+        "config", "stats", "_pages", "_slot_of", "_stamp", "_clock",
+        "_used", "_last_page",
+    )
 
     def __init__(self, config: TLBConfig = TLBConfig()):
         self.config = config
         self.stats = TLBStats()
-        self._entries: "OrderedDict[int, None]" = OrderedDict()
+        self._pages = array("q", [-1]) * config.entries
+        self._slot_of: Dict[int, int] = {}
+        #: LRU stamps (a plain list: the clock is unbounded, and list
+        #: stores skip the int boxing an ``array('q')`` read would pay).
+        self._stamp = [0] * config.entries
+        self._clock = 0
+        self._used = 0  # slots handed out so far; free slots fill in order
         # Same-page fast path: the page of the previous access is by
         # definition already most-recently-used, so a repeat hit needs no
-        # LRU reordering — spatial locality makes this the common case.
+        # LRU restamp — spatial locality makes this the common case.
         self._last_page = -1
 
     def access(self, line: int) -> int:
@@ -90,26 +112,35 @@ class TLB:
         if page == self._last_page:
             self.stats.hits += 1
             return 0
-        if page in self._entries:
-            self._entries.move_to_end(page)
+        slot = self._slot_of.get(page)
+        if slot is not None:
+            self._clock += 1
+            self._stamp[slot] = self._clock
             self._last_page = page
             self.stats.hits += 1
             return 0
         self.stats.misses += 1
-        self._entries[page] = None
+        if self._used < self.config.entries:
+            slot = self._used
+            self._used += 1
+        else:
+            stamp = self._stamp
+            slot = stamp.index(min(stamp))
+            del self._slot_of[self._pages[slot]]
+        self._pages[slot] = page
+        self._slot_of[page] = slot
+        self._clock += 1
+        self._stamp[slot] = self._clock
         self._last_page = page
-        if len(self._entries) > self.config.entries:
-            evicted = self._entries.popitem(last=False)[0]
-            if evicted == page:  # pragma: no cover - single-entry TLB only
-                self._last_page = -1
         return self.config.walk_latency
 
     def contains(self, line: int) -> bool:
         """Probe without updating LRU or stats (prefetch-side checks)."""
-        return page_of(line) in self._entries
+        return page_of(line) in self._slot_of
 
     def reset_stats(self) -> None:
-        self.stats = TLBStats()
+        self.stats.hits = 0
+        self.stats.misses = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        return len(self._slot_of)

@@ -22,8 +22,13 @@ from ..sim.config import CacheConfig, CoreConfig, DRAMConfig, SystemConfig
 from ..workloads.base import Trace
 
 #: Version tag for the simulation semantics; part of every cache key.
-#: Bump on any change that alters SimResult values for the same inputs.
-ENGINE_VERSION = "1"
+#: Bump on any change that alters SimResult values for the same inputs —
+#: or, defensively, on a wholesale replacement of a simulation subsystem
+#: even when the equivalence suites prove bit-identity ("2" is the
+#: flat-array cache/hierarchy storage rewrite: the proof covers in-tree
+#: workloads and schemes, and one cold cache is cheaper than a stale
+#: payload silently masquerading as fresh under an untested combination).
+ENGINE_VERSION = "2"
 
 
 # ----------------------------------------------------------------------

@@ -30,9 +30,15 @@ dispatches each trained access to the L2 prefetcher.  Prefetchers that
 expose ``observe_fast(pc, line) -> [lines]`` (Prophet's packed fused
 pass) skip the per-access ``L2AccessInfo``/``PrefetchRequest`` boxing
 entirely; everything else goes through the generic ``observe`` path.
-Both dispatch flavours are bit-identical in simulation output (pinned by
-``tests/test_packed_model_equivalence.py``), so ``ENGINE_VERSION`` — and
-with it every runner cache key — is unchanged by the fast path.
+
+Hierarchy dispatch: the optimized loop binds the hierarchy's fused
+demand kernel (``Hierarchy._demand_kernel``) directly and **re-fetches it
+after every resize poll** — a metadata resize rebinds the kernel over the
+new L3 way split (invariant 9).  ``run_simulation_reference`` drives the
+preserved :class:`repro.cache.reference.HierarchyReference` through the
+seed-era loop, so the equivalence suites pin the flat-array cache stack
+to the slot-record oracle end to end; both accept ``hierarchy_cls`` so
+the bench can race either hierarchy under either loop.
 """
 
 from __future__ import annotations
@@ -42,6 +48,7 @@ from itertools import islice
 from typing import Dict, Optional
 
 from ..cache.hierarchy import Hierarchy
+from ..cache.reference import HierarchyReference
 from ..prefetchers.base import L1Prefetcher, L2Prefetcher, NullL1Prefetcher
 from ..prefetchers.ipcp import IPCPPrefetcher
 from ..prefetchers.stride import StridePrefetcher
@@ -68,11 +75,12 @@ def _setup(
     config: SystemConfig,
     l2_prefetcher: Optional[L2Prefetcher],
     warmup_frac: float,
+    hierarchy_cls: type = Hierarchy,
 ) -> Hierarchy:
     """Build the hierarchy and apply the prefetcher's initial table size."""
     if not 0.0 <= warmup_frac < 1.0:
         raise ValueError("warmup_frac must be in [0, 1)")
-    hierarchy = Hierarchy(config, l2_prefetcher, make_l1_prefetcher(config))
+    hierarchy = hierarchy_cls(config, l2_prefetcher, make_l1_prefetcher(config))
     pf = hierarchy.l2_prefetcher
     initial_ways = getattr(pf, "initial_ways", None)
     if initial_ways is None:
@@ -131,6 +139,17 @@ def _collect(
     )
 
 
+def _demand_fn(hierarchy):
+    """The fastest per-record entry point the hierarchy offers.
+
+    The fused kernel when present (re-fetch after any resize: the kernel
+    is rebound over the new way split), else the tuple-returning method
+    (:class:`HierarchyReference`, or any API-compatible stand-in).
+    """
+    kernel = getattr(hierarchy, "_demand_kernel", None)
+    return kernel if kernel is not None else hierarchy.demand_access_fast
+
+
 def run_simulation(
     trace: Trace,
     config: SystemConfig,
@@ -138,9 +157,18 @@ def run_simulation(
     scheme: str = "baseline",
     warmup_frac: float = 0.25,
     resize_window: int = 8192,
+    hierarchy_cls: Optional[type] = None,
 ) -> SimResult:
-    """Simulate ``trace`` and return measured metrics (post-warmup)."""
-    hierarchy = _setup(trace, config, l2_prefetcher, warmup_frac)
+    """Simulate ``trace`` and return measured metrics (post-warmup).
+
+    ``hierarchy_cls`` overrides the hierarchy implementation (default
+    :class:`Hierarchy`); the throughput bench passes
+    :class:`HierarchyReference` to race the flat fill path against its
+    oracle under the same loop.
+    """
+    hierarchy = _setup(
+        trace, config, l2_prefetcher, warmup_frac, hierarchy_cls or Hierarchy
+    )
     pf = hierarchy.l2_prefetcher
     timing = TimingModel.for_config(config, trace.mlp)
     n = len(trace)
@@ -150,7 +178,7 @@ def run_simulation(
     issue_width = timing.issue_width
     hide = timing.hide_cycles
     mlp = timing.mlp
-    demand_access = hierarchy.demand_access_fast
+    demand_access = _demand_fn(hierarchy)
     desired_metadata_ways = pf.desired_metadata_ways
     max_meta_ways = config.l3.assoc // 2
 
@@ -171,6 +199,7 @@ def run_simulation(
             desired = desired_metadata_ways(hierarchy.metadata_ways)
             if desired is not None and desired != hierarchy.metadata_ways:
                 hierarchy.set_metadata_ways(max(0, min(desired, max_meta_ways)))
+                demand_access = _demand_fn(hierarchy)
     if warmup_records:
         _reset_measurement(hierarchy)
 
@@ -198,6 +227,7 @@ def run_simulation(
             desired = desired_metadata_ways(hierarchy.metadata_ways)
             if desired is not None and desired != hierarchy.metadata_ways:
                 hierarchy.set_metadata_ways(max(0, min(desired, max_meta_ways)))
+                demand_access = _demand_fn(hierarchy)
 
     measured_instructions = gap_total + (n - warmup_records)
     return _collect(
@@ -213,14 +243,22 @@ def run_simulation_reference(
     scheme: str = "baseline",
     warmup_frac: float = 0.25,
     resize_window: int = 8192,
+    hierarchy_cls: Optional[type] = None,
 ) -> SimResult:
     """The seed (pre-optimization) simulation loop, kept as the oracle.
 
-    Tier-1 tests assert :func:`run_simulation` produces an identical
-    :class:`SimResult`; any divergence means the optimized loop changed
+    Drives the preserved :class:`HierarchyReference` (slot-record caches,
+    OrderedDict TLB, three-call fill-spill chain) by default, so the
+    equivalence suites pin the optimized loop *and* the flat-array cache
+    stack against the seed semantics in one comparison.  Tier-1 tests
+    assert :func:`run_simulation` produces an identical
+    :class:`SimResult`; any divergence means an optimization changed
     semantics, not just speed.
     """
-    hierarchy = _setup(trace, config, l2_prefetcher, warmup_frac)
+    hierarchy = _setup(
+        trace, config, l2_prefetcher, warmup_frac,
+        hierarchy_cls or HierarchyReference,
+    )
     pf = hierarchy.l2_prefetcher
     timing = TimingModel.for_config(config, trace.mlp)
     warmup_records = int(len(trace) * warmup_frac)

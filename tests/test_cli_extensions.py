@@ -70,3 +70,25 @@ class TestChartCommand:
                          "--no-cache"]) == 0
         csv_text = (tmp_path / "storage.csv").read_text()
         assert csv_text.startswith("structure,")
+
+
+class TestBenchCommand:
+    """`repro.cli bench` shells the throughput benchmark in smoke mode."""
+
+    def test_bench_smoke_runs_and_writes_scratch_json(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "bench.json"
+        assert cli.main(["bench", "--records", "600", "--out", str(out)]) == 0
+        blob = json.loads(out.read_text())
+        assert "fill_path" in blob and "prophet_path" in blob
+        assert blob["fill_path"]["speedup_flat_vs_reference_prophet"] > 0
+
+    def test_bench_never_touches_committed_trajectory(self):
+        from pathlib import Path
+
+        committed = Path(cli.__file__).resolve().parents[2] / "benchmarks" \
+            / "BENCH_engine.json"
+        before = committed.read_text()
+        assert cli.main(["bench", "--records", "400"]) == 0
+        assert committed.read_text() == before

@@ -1,0 +1,314 @@
+"""Flat-array cache stack vs the preserved reference oracles.
+
+The shipping :class:`repro.cache.cache.Cache`, :class:`repro.memory.tlb.TLB`,
+and :class:`repro.cache.hierarchy.Hierarchy` (fused fill-spill kernel) must
+be **bit-identical** in behaviour to the slot-record / OrderedDict /
+call-per-level implementations preserved in :mod:`repro.cache.reference`.
+Randomized op and access streams drive both sides in lockstep and compare
+every return value plus the full statistics surface; whole-``SimResult``
+equality pins the stack end to end through both engine loops.
+"""
+
+import dataclasses
+import random
+
+import pytest
+
+from repro import _accel
+from repro.cache.cache import PF_L1, PF_L2, Cache
+from repro.cache.hierarchy import Hierarchy
+from repro.cache.reference import (
+    CacheReference,
+    HierarchyReference,
+    TLBReference,
+)
+from repro.core.pipeline import OptimizedBinary
+from repro.memory.tlb import TLB, TLBConfig
+from repro.prefetchers.stride import StridePrefetcher
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.sim.config import default_config
+from repro.sim.engine import run_simulation
+from repro.workloads.inputs import make_trace
+
+
+def cache_pair(assoc=4, sets=8, replacement="plru"):
+    size = 64 * assoc * sets
+    return (
+        Cache("F", size, assoc, 2, replacement),
+        CacheReference("R", size, assoc, 2, replacement),
+    )
+
+
+def assert_same_cache_state(flat: Cache, ref: CacheReference, line_space):
+    assert dataclasses.asdict(flat.stats) == dataclasses.asdict(ref.stats)
+    assert sorted(flat.resident_lines()) == sorted(ref.resident_lines())
+    assert flat.occupancy() == ref.occupancy()
+    for line in line_space:
+        way_f, way_r = flat.probe(line), ref.probe(line)
+        assert way_f == way_r, line
+        if way_f is not None:
+            assert flat.ready_cycle(line, way_f) == ref.ready_cycle(line, way_r)
+            assert flat.trigger_pc_of(line, way_f) == ref.trigger_pc_of(line, way_r)
+            assert flat.pf_source_of(line, way_f) == ref.pf_source_of(line, way_r)
+            assert flat.was_prefetched(line, way_f) == ref.was_prefetched(
+                line, way_r
+            )
+
+
+class TestCacheOpEquivalence:
+    """Randomized per-op streams: every return value must match."""
+
+    @pytest.mark.parametrize("replacement", ["plru", "srrip", "lru"])
+    @pytest.mark.parametrize("seed", [11, 42])
+    def test_randomized_ops(self, replacement, seed):
+        rng = random.Random(seed)
+        flat, ref = cache_pair(replacement=replacement)
+        lines = range(96)  # 8 sets -> 12-way aliasing pressure
+        for step in range(4000):
+            op = rng.randrange(8)
+            line = rng.randrange(96)
+            if op <= 2:
+                w = rng.random() < 0.3
+                assert flat.demand_lookup(line, w) == ref.demand_lookup(line, w), step
+            elif op == 3:
+                ready = round(rng.uniform(0, 500), 3)
+                pf = rng.random() < 0.5
+                src = rng.choice([PF_L1, PF_L2])
+                trig = rng.randrange(1 << 20)
+                dirty = rng.random() < 0.3
+                assert flat.fill(line, ready, pf, trig, dirty, src) == ref.fill(
+                    line, ready, pf, trig, dirty, src
+                ), step
+            elif op == 4:
+                ready = round(rng.uniform(0, 500), 3)
+                pf = rng.random() < 0.5
+                src = rng.choice([PF_L1, PF_L2])
+                trig = rng.randrange(1 << 20)
+                dirty = rng.random() < 0.3
+                assert flat.fill_victim(
+                    line, ready, pf, trig, dirty, src
+                ) == ref.fill_victim(line, ready, pf, trig, dirty, src), step
+            elif op == 5:
+                ready = round(rng.uniform(0, 500), 3)
+                flat.fill_clean(line, ready)
+                ref.fill_clean(line, ready)
+            elif op == 6:
+                assert flat.invalidate(line) == ref.invalidate(line), step
+            else:
+                way = flat.probe(line)
+                assert way == ref.probe(line), step
+                if way is not None:
+                    w = rng.random() < 0.3
+                    assert flat.on_demand_hit(line, way, w) == ref.on_demand_hit(
+                        line, way, w
+                    ), step
+        assert_same_cache_state(flat, ref, lines)
+
+    @pytest.mark.parametrize("use_numpy", [False, True])
+    def test_partition_resize_stream(self, use_numpy):
+        """Shrink/grow the data-way split mid-stream (batch tag scan)."""
+        if use_numpy and _accel.get_numpy() is None:
+            _accel.set_numpy_enabled(True)
+            if _accel.get_numpy() is None:  # pragma: no cover - no numpy
+                _accel.set_numpy_enabled(None)
+                pytest.skip("numpy unavailable")
+        try:
+            if use_numpy:
+                _accel.set_numpy_enabled(True)
+            rng = random.Random(7)
+            flat, ref = cache_pair(assoc=8, sets=4, replacement="srrip")
+            for step in range(2500):
+                op = rng.randrange(10)
+                line = rng.randrange(64)
+                if op == 0:
+                    # >= 1: filling a zero-way cache raises in both
+                    # implementations (the hierarchy never does it).
+                    ways = rng.randrange(1, 9)
+                    flat.set_data_ways(ways)
+                    ref.set_data_ways(ways)
+                    assert flat.data_ways == ref.data_ways
+                    assert flat.capacity_lines == ref.capacity_lines
+                elif op <= 4:
+                    dirty = rng.random() < 0.5
+                    assert flat.fill_victim(
+                        line, float(step), False, -1, dirty
+                    ) == ref.fill_victim(line, float(step), False, -1, dirty)
+                else:
+                    w = rng.random() < 0.4
+                    assert flat.demand_lookup(line, w) == ref.demand_lookup(line, w)
+            assert_same_cache_state(flat, ref, range(64))
+        finally:
+            _accel.set_numpy_enabled(None)
+
+    def test_map_compat_view(self):
+        """The ``_map`` property mirrors the reference per-set dicts."""
+        flat, ref = cache_pair()
+        for line in range(40):
+            flat.fill(line)
+            ref.fill(line)
+        assert [dict(m) for m in flat._map] == [dict(m) for m in ref._map]
+
+
+class TestTLBEquivalence:
+    def test_randomized_translation_stream(self):
+        cfg = TLBConfig(entries=8, walk_latency=30)
+        flat, ref = TLB(cfg), TLBReference(cfg)
+        rng = random.Random(3)
+        line = 0
+        for step in range(6000):
+            # Mixed same-page runs (the fast path) and page jumps that
+            # overflow the 8 entries (LRU eviction pressure).
+            if rng.random() < 0.6:
+                line += rng.randrange(4)  # stay on / near the same page
+            else:
+                line = rng.randrange(40) * 64  # jump across 40 pages
+            assert flat.access(line) == ref.access(line), step
+            assert flat.contains(line) == ref.contains(line)
+        assert len(flat) == len(ref)
+        assert flat.stats.hits == ref.stats.hits
+        assert flat.stats.misses == ref.stats.misses
+        for page_line in range(0, 40 * 64, 64):
+            assert flat.contains(page_line) == ref.contains(page_line)
+
+
+def drive_pair(flat, ref, n=4000, seed=17, write_frac=0.25, pointer_frac=0.5):
+    """Lockstep demand streams; asserts per-access AccessResult equality."""
+    rng = random.Random(seed)
+    cycle = 0.0
+    line = 0
+    for step in range(n):
+        pc = rng.randrange(48)
+        if rng.random() < pointer_frac:
+            line = (line * 7 + pc * 13 + 5) % 6000  # chase-y, re-visiting
+        else:
+            line = rng.randrange(6000)
+        w = rng.random() < write_frac
+        a = flat.demand_access(pc, line, cycle, w)
+        b = ref.demand_access(pc, line, cycle, w)
+        assert a == b, step
+        cycle += 1.0 + a.latency * 0.25
+
+
+def assert_same_hierarchy_state(flat, ref):
+    for level in ("l1d", "l2", "l3"):
+        f, r = getattr(flat, level), getattr(ref, level)
+        assert dataclasses.asdict(f.stats) == dataclasses.asdict(r.stats), level
+        assert sorted(f.resident_lines()) == sorted(r.resident_lines()), level
+    assert dataclasses.asdict(flat.dram.stats) == dataclasses.asdict(ref.dram.stats)
+    assert flat.l2_mshr.merges == ref.l2_mshr.merges
+    assert flat.l2_mshr.rejects == ref.l2_mshr.rejects
+    assert flat.demand_accesses == ref.demand_accesses
+    assert flat.l2_demand_misses == ref.l2_demand_misses
+    for side in ("l1_pf_stats", "l2_pf_stats"):
+        f, r = getattr(flat, side), getattr(ref, side)
+        assert f.issued == r.issued and f.useful == r.useful, side
+        assert dict(f.issued_by_pc) == dict(r.issued_by_pc), side
+        assert dict(f.useful_by_pc) == dict(r.useful_by_pc), side
+
+
+class TestHierarchyEquivalence:
+    def test_baseline_with_stride_l1(self):
+        config = default_config()
+        flat = Hierarchy(config, None, StridePrefetcher(degree=4))
+        ref = HierarchyReference(config, None, StridePrefetcher(degree=4))
+        drive_pair(flat, ref)
+        assert_same_hierarchy_state(flat, ref)
+
+    def test_triangel_with_dirty_spill_chains(self):
+        """Writes make L2 victims dirty -> L3 spills -> DRAM writebacks.
+
+        Shrunken caches so the working set overflows the L3 and dirty
+        spill victims actually reach DRAM.
+        """
+        base = default_config()
+        config = dataclasses.replace(
+            base,
+            l1d=dataclasses.replace(base.l1d, size_bytes=8 * 1024),
+            l2=dataclasses.replace(base.l2, size_bytes=16 * 1024),
+            l3=dataclasses.replace(base.l3, size_bytes=64 * 1024),
+        )
+        flat = Hierarchy(config, TriangelPrefetcher(config), StridePrefetcher())
+        ref = HierarchyReference(
+            config, TriangelPrefetcher(config), StridePrefetcher()
+        )
+        drive_pair(flat, ref, n=5000, write_frac=0.5)
+        assert flat.dram.stats.writes > 0  # the chain actually exercised
+        assert_same_hierarchy_state(flat, ref)
+
+    def test_mshr_saturation(self):
+        """A 2-entry MSHR file forces merges, rejects, and queueing."""
+        config = dataclasses.replace(
+            default_config(),
+            l2=dataclasses.replace(default_config().l2, mshrs=2),
+        )
+        flat = Hierarchy(config, TriangelPrefetcher(config), StridePrefetcher())
+        ref = HierarchyReference(
+            config, TriangelPrefetcher(config), StridePrefetcher()
+        )
+        drive_pair(flat, ref, n=4000, seed=23)
+        assert ref.l2_mshr.merges + ref.l2_mshr.rejects > 0
+        assert_same_hierarchy_state(flat, ref)
+
+    def test_tlb_same_page_fast_path(self):
+        config = default_config().with_tlb(entries=8, walk_latency=30)
+        flat = Hierarchy(config, None, StridePrefetcher())
+        ref = HierarchyReference(config, None, StridePrefetcher())
+        drive_pair(flat, ref, n=4000, seed=5, pointer_frac=0.2)
+        assert flat.tlb.stats.misses > 0
+        assert flat.tlb.stats.hits == ref.tlb.stats.hits
+        assert flat.tlb.stats.misses == ref.tlb.stats.misses
+        assert_same_hierarchy_state(flat, ref)
+
+    def test_resize_rebinds_kernel_mid_stream(self):
+        """set_metadata_ways mid-stream: the kernel must be rebound over
+        the new L3 way split (invariant 9)."""
+        config = default_config()
+        flat = Hierarchy(config, None, StridePrefetcher())
+        ref = HierarchyReference(config, None, StridePrefetcher())
+        drive_pair(flat, ref, n=1500, seed=2)
+        for ways in (4, 8, 2, 0):
+            flat.set_metadata_ways(ways)
+            ref.set_metadata_ways(ways)
+            drive_pair(flat, ref, n=1500, seed=100 + ways)
+        assert_same_hierarchy_state(flat, ref)
+
+
+class TestSimResultEquivalence:
+    """Whole-run equality through run_simulation, flat vs reference."""
+
+    @pytest.mark.parametrize("label", ["mcf_inp", "omnetpp_omnetpp"])
+    def test_baseline(self, label):
+        config = default_config()
+        trace = make_trace(label, 12000)
+        flat = run_simulation(trace, config, None, "baseline")
+        ref = run_simulation(
+            trace, config, None, "baseline", hierarchy_cls=HierarchyReference
+        )
+        assert dataclasses.asdict(flat) == dataclasses.asdict(ref)
+
+    def test_prophet(self):
+        config = default_config()
+        trace = make_trace("mcf_inp", 12000)
+        binary = OptimizedBinary.from_profile(trace, config)
+        flat = run_simulation(trace, config, binary.prefetcher(config), "prophet")
+        ref = run_simulation(
+            trace, config, binary.prefetcher(config), "prophet",
+            hierarchy_cls=HierarchyReference,
+        )
+        assert dataclasses.asdict(flat) == dataclasses.asdict(ref)
+
+    def test_numpy_smoke_identical(self):
+        """REPRO_NUMPY only vectorizes bulk scans; results are identical."""
+        if _accel._import_numpy() is None:  # pragma: no cover - no numpy
+            pytest.skip("numpy unavailable")
+        config = default_config()
+        trace = make_trace("mcf_inp", 8000)
+        base = run_simulation(trace, config, TriangelPrefetcher(config), "triangel")
+        try:
+            _accel.set_numpy_enabled(True)
+            accel = run_simulation(
+                trace, config, TriangelPrefetcher(config), "triangel"
+            )
+        finally:
+            _accel.set_numpy_enabled(None)
+        assert dataclasses.asdict(base) == dataclasses.asdict(accel)

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.cache.mshr import MSHRFile
+from repro.cache.mshr import (
+    M_CONSUMED,
+    M_IS_PREFETCH,
+    M_PF_SOURCE,
+    M_READY,
+    M_TRIGGER_PC,
+    MSHRFile,
+)
 from repro.memory.dram import DRAMModel
 from repro.sim.config import DRAMConfig, LINE_SIZE
 
@@ -12,7 +19,7 @@ class TestMSHR:
         m = MSHRFile(4)
         assert m.allocate(10, ready_cycle=100.0, cycle=0.0)
         entry = m.lookup(10, 50.0)
-        assert entry is not None and entry.ready == 100.0
+        assert entry is not None and entry[M_READY] == 100.0
 
     def test_completed_entries_invisible(self):
         m = MSHRFile(4)
@@ -24,7 +31,7 @@ class TestMSHR:
         m.allocate(10, 100.0, 0.0)
         assert m.allocate(10, 200.0, 1.0)  # merge
         assert m.merges == 1
-        assert m.lookup(10, 50.0).ready == 100.0  # original ready kept
+        assert m.lookup(10, 50.0)[M_READY] == 100.0  # original ready kept
 
     def test_full_rejects(self):
         m = MSHRFile(1)
@@ -48,8 +55,9 @@ class TestMSHR:
         m = MSHRFile(4)
         m.allocate(7, 100.0, 0.0, is_prefetch=True, trigger_pc=0x33, pf_source=2)
         e = m.lookup(7, 1.0)
-        assert e.is_prefetch and e.trigger_pc == 0x33 and e.pf_source == 2
-        assert not e.consumed
+        assert e[M_IS_PREFETCH] and e[M_TRIGGER_PC] == 0x33
+        assert e[M_PF_SOURCE] == 2
+        assert not e[M_CONSUMED]
 
     def test_invalid_capacity(self):
         with pytest.raises(ValueError):
