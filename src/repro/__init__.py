@@ -25,14 +25,19 @@ simulation users and pool workers don't need.)
 Quickstart::
 
     from repro import (
-        default_config, make_spec_trace, run_simulation, OptimizedBinary
+        default_config, make_spec_trace, simulate, OptimizedBinary
     )
     config = default_config()
     trace = make_spec_trace("mcf")
-    baseline = run_simulation(trace, config, None, "baseline")
+    baseline = simulate(trace, config, None, "baseline")
     binary = OptimizedBinary.from_profile(trace, config)
-    prophet = run_simulation(trace, config, binary.prefetcher(config), "prophet")
+    prophet = simulate(trace, config, binary.prefetcher(config), "prophet")
     print(prophet.speedup_over(baseline))
+
+``simulate`` picks the fastest bit-identical engine rung — the
+numpy-batched core when acceleration is available (``REPRO_NUMPY``
+unset/on), else the scalar loop; ``run_simulation`` always runs the
+scalar loop.
 """
 
 from .cache.reference import CacheReference, HierarchyReference, TLBReference
@@ -53,7 +58,7 @@ from .prefetchers.rpg2 import RPG2Prefetcher
 from .prefetchers.triage import TriagePrefetcher
 from .prefetchers.triangel import TriangelPrefetcher, TriangelPrefetcherReference
 from .sim.config import SystemConfig, default_config
-from .sim.engine import run_simulation
+from .sim.engine import run_simulation, run_simulation_batched, simulate
 from .sim.results import SimResult, geomean
 from .workloads.base import Trace
 from .workloads.crono import make_crono_trace
@@ -62,7 +67,7 @@ from .workloads.inputs import make_trace
 from .workloads.sources import TraceSource, import_trace, set_trace_dir
 from .workloads.spec import make_spec_trace, spec_suite
 
-__version__ = "1.5.0"
+__version__ = "1.6.0"
 
 __all__ = [
     "AnalysisParams",
@@ -106,6 +111,8 @@ __all__ = [
     "register_generator_scenario",
     "run_prophet",
     "run_simulation",
+    "run_simulation_batched",
     "set_trace_dir",
+    "simulate",
     "spec_suite",
 ]

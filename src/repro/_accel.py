@@ -1,54 +1,95 @@
-"""Optional numpy acceleration, behind an explicit feature flag.
+"""Optional numpy acceleration behind a single cached capability probe.
 
-The packed model structures (:class:`repro.prefetchers.markov.MetadataTable`,
-:class:`repro.core.mvb.MultiPathVictimBuffer`) are plain ``array``-backed
-Python by default — the per-access hot path is scalar and CPython beats
-numpy at scalar indexing.  What numpy *is* good at is the bulk work those
-structures occasionally do: recomputing every structural index's (set, tag)
-placement when the metadata table is rebuilt at a new geometry.  That path
-is vectorized here, gated so the default build has zero third-party
-dependencies at runtime.
+Two things live here:
 
-Enable with either::
+- the **capability probe** (:func:`numpy_capability`): one lazy import +
+  version check per process, logging a single clear line when numpy is
+  missing or too old, so every accelerated call site asks a cached
+  question instead of wrapping its own ``ImportError`` handling;
+- the **selection flag** (:func:`numpy_enabled`): which paths actually
+  *use* numpy.  The ``REPRO_NUMPY`` environment variable is tri-state:
 
-    REPRO_NUMPY=1 python -m repro.cli fig10 ...
+  - unset  -> **auto**: acceleration is on whenever the capability probe
+    passes (the batched engine rung self-selects);
+  - ``0`` / ``false`` / ``no`` / ``off`` -> off, even with numpy present
+    (forces the pure-Python engines and bulk paths);
+  - any other value -> on; if numpy is missing the probe's log line
+    explains the silent fall-back to the scalar paths.
 
-or programmatically::
+Programmatic override: ``_accel.set_numpy_enabled(True/False)`` wins over
+the environment; ``set_numpy_enabled(None)`` restores it.
 
-    from repro import _accel
-    _accel.set_numpy_enabled(True)
-
-The flag is process-wide.  When numpy is not importable the flag is
-silently treated as off — results are identical either way (equivalence
-tests pin this), only the bulk-rebuild speed differs.
+Results are identical with acceleration on or off (the equivalence
+suites pin this) — only throughput differs.  Trace *storage*
+(:class:`repro.workloads.base.Trace`) keys off the capability probe
+directly, not this flag: a structured-array trace behaves identically to
+the list fallback either way.
 """
 
 from __future__ import annotations
 
+import logging
 import os
-from typing import Optional
+from typing import NamedTuple, Optional
+
+log = logging.getLogger(__name__)
 
 _ENV_FLAG = "REPRO_NUMPY"
+
+#: Oldest numpy the vectorized paths are tested against.
+MIN_NUMPY_VERSION = (1, 22)
 
 #: Tri-state programmatic override: None -> follow the environment.
 _forced: Optional[bool] = None
 
-_numpy = None
-_numpy_checked = False
+
+class NumpyCapability(NamedTuple):
+    """Result of the one-time numpy probe."""
+
+    module: Optional[object]  # the numpy module when usable, else None
+    reason: str  # "" when usable, else why not
+
+    @property
+    def ok(self) -> bool:
+        return self.module is not None
 
 
-def _import_numpy():
-    """Import numpy once, lazily; None when unavailable."""
-    global _numpy, _numpy_checked
-    if not _numpy_checked:
-        _numpy_checked = True
-        try:
-            import numpy  # noqa: F401
+_capability: Optional[NumpyCapability] = None
 
-            _numpy = numpy
-        except ImportError:  # pragma: no cover - environment dependent
-            _numpy = None
-    return _numpy
+
+def numpy_capability() -> NumpyCapability:
+    """Probe numpy once per process: importable and recent enough.
+
+    The verdict is cached; the degraded outcome is logged exactly once,
+    so a no-numpy environment states clearly that the scalar engines are
+    in use instead of raising per call site.
+    """
+    global _capability
+    if _capability is None:
+        _capability = _probe()
+        if not _capability.ok:
+            log.info(
+                "numpy acceleration unavailable (%s); using pure-Python "
+                "fallback paths", _capability.reason,
+            )
+    return _capability
+
+
+def _probe() -> NumpyCapability:
+    try:
+        import numpy
+    except ImportError:  # pragma: no cover - environment dependent
+        return NumpyCapability(None, "numpy is not installed")
+    try:
+        version = tuple(int(x) for x in numpy.__version__.split(".")[:2])
+    except ValueError:  # pragma: no cover - nonstandard dev builds pass
+        return NumpyCapability(numpy, "")
+    if version < MIN_NUMPY_VERSION:  # pragma: no cover - old environments
+        want = ".".join(map(str, MIN_NUMPY_VERSION))
+        return NumpyCapability(
+            None, f"numpy {numpy.__version__} is older than {want}"
+        )
+    return NumpyCapability(numpy, "")
 
 
 def set_numpy_enabled(enabled: Optional[bool]) -> None:
@@ -58,17 +99,21 @@ def set_numpy_enabled(enabled: Optional[bool]) -> None:
 
 
 def numpy_enabled() -> bool:
-    """True when numpy acceleration is requested *and* importable."""
+    """True when numpy acceleration is selected *and* the probe passes."""
     if _forced is not None:
         want = _forced
     else:
-        want = os.environ.get(_ENV_FLAG, "").lower() in ("1", "true", "yes", "on")
-    return bool(want and _import_numpy() is not None)
+        env = os.environ.get(_ENV_FLAG)
+        if env is None:
+            want = True  # auto: on whenever numpy is usable
+        else:
+            want = env.lower() not in ("0", "false", "no", "off", "")
+    return bool(want and numpy_capability().ok)
 
 
 def get_numpy():
     """The numpy module when acceleration is active, else None."""
-    return _import_numpy() if numpy_enabled() else None
+    return numpy_capability().module if numpy_enabled() else None
 
 
 def scan_tag_range(tags, n_sets: int, assoc: int, way_lo: int, way_hi: int):

@@ -19,7 +19,7 @@ from dataclasses import dataclass, field
 from typing import Optional
 
 from ..sim.config import SystemConfig
-from ..sim.engine import run_simulation
+from ..sim.engine import simulate
 from ..sim.results import SimResult
 from ..workloads.base import Trace
 from .analysis import AnalysisParams, analyze
@@ -108,4 +108,4 @@ def run_prophet(
     if binary is None:
         binary = OptimizedBinary.from_profile(trace, config, params, warmup_frac)
     pf = binary.prefetcher(config, features)
-    return run_simulation(trace, config, pf, "prophet", warmup_frac)
+    return simulate(trace, config, pf, "prophet", warmup_frac)

@@ -14,7 +14,7 @@ metadata entries (insertions − replacements); its running peak drives
 Prophet Resizing.
 
 In this reproduction the PMU *is* the simulator's per-PC accounting: the
-profiler runs :func:`repro.sim.engine.run_simulation` with the simplified
+profiler runs :func:`repro.sim.engine.simulate` with the simplified
 configuration and packages the counters into a :class:`CounterSet`, the
 byte-sized artifact that Steps 2 and 3 operate on.
 """
@@ -26,7 +26,7 @@ from typing import Dict, Optional
 
 from ..prefetchers.triage import TriagePrefetcher
 from ..sim.config import MAX_METADATA_ENTRIES, SystemConfig
-from ..sim.engine import run_simulation
+from ..sim.engine import simulate
 from ..sim.results import SimResult
 from ..workloads.base import Trace
 
@@ -114,7 +114,7 @@ def profile(
     merge handles their later appearance.
     """
     pf = simplified_prefetcher(config)
-    result = run_simulation(trace, config, pf, "profiling", warmup_frac)
+    result = simulate(trace, config, pf, "profiling", warmup_frac)
     return counters_from_result(result, min_issued, pf.insert_key_counts())
 
 

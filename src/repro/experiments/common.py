@@ -36,7 +36,7 @@ from ..prefetchers.triangel import TriangelPrefetcher
 from ..runner import SimJob, TraceRef, get_runner
 from ..runner.runner import Runner
 from ..sim.config import SystemConfig, config_digest, default_config
-from ..sim.engine import run_simulation
+from ..sim.engine import simulate
 from ..sim.results import SimResult, format_table, geomean
 from ..workloads.base import Trace
 
@@ -184,7 +184,7 @@ def make_rpg2(trace: Trace, config: SystemConfig, base: SimResult):
 
     def evaluate(distance: int) -> float:
         pf = RPG2Prefetcher(kernels).with_distance(distance)
-        return run_simulation(tune_trace, config, pf, "rpg2-tune").ipc
+        return simulate(tune_trace, config, pf, "rpg2-tune").ipc
 
     best, _ = binary_search_distance(evaluate)
     return RPG2Prefetcher(kernels).with_distance(best)
@@ -369,7 +369,7 @@ def evaluate_suite(
     for trace, name, factory in custom:
         base = results.by_workload[trace.label]["baseline"]
         pf = factory(trace, config, base)
-        results.by_workload[trace.label][name] = run_simulation(
+        results.by_workload[trace.label][name] = simulate(
             trace, config, pf, name, warmup_frac
         )
     return results

@@ -14,7 +14,7 @@ from ..core.pipeline import OptimizedBinary
 from ..energy.cacti import hierarchy_energy, relative_overhead
 from ..prefetchers.triangel import TriangelPrefetcher
 from ..sim.config import SystemConfig, default_config
-from ..sim.engine import run_simulation
+from ..sim.engine import simulate
 from ..sim.results import format_table
 from .common import spec_traces
 from .registry import ExperimentRequest, register_experiment
@@ -40,7 +40,7 @@ def run(
     for trace in spec_traces(n_records, workloads):
 
         tg = TriangelPrefetcher(config)
-        tg_res = run_simulation(trace, config, tg, "triangel")
+        tg_res = simulate(trace, config, tg, "triangel")
         tg_energy = hierarchy_energy(
             tg_res, config,
             metadata_accesses=tg.table.stats.lookups + tg.table.stats.insertions,
@@ -48,7 +48,7 @@ def run(
 
         binary = OptimizedBinary.from_profile(trace, config)
         pf = binary.prefetcher(config)
-        pr_res = run_simulation(trace, config, pf, "prophet")
+        pr_res = simulate(trace, config, pf, "prophet")
         overheads = pf.storage_overhead_bytes()
         pr_energy = hierarchy_energy(
             pr_res, config,

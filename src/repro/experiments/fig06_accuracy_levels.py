@@ -60,9 +60,9 @@ def measure_levels(
     config = config or default_config()
     trace = make_trace(app, n_records)
     from ..core.profiler import simplified_prefetcher
-    from ..sim.engine import run_simulation
+    from ..sim.engine import simulate
 
-    result = run_simulation(trace, config, simplified_prefetcher(config),
+    result = simulate(trace, config, simplified_prefetcher(config),
                             "profiling")
     active: Dict[int, float] = {}
     for pc, misses in result.miss_by_pc.items():

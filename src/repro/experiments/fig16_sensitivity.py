@@ -21,7 +21,7 @@ from ..core.pipeline import OptimizedBinary
 from ..core.profiler import profile
 from ..core.prophet import ProphetFeatures
 from ..sim.config import SystemConfig, default_config
-from ..sim.engine import run_simulation
+from ..sim.engine import simulate
 from ..sim.results import format_table, geomean
 from .common import spec_traces
 from .registry import ExperimentRequest, register_experiment
@@ -68,14 +68,14 @@ def run(
             results.sweeps[sweep][point] = {}
 
     for trace in spec_traces(n_records, workloads):
-        base = run_simulation(trace, config, None, "baseline")
+        base = simulate(trace, config, None, "baseline")
         counters = profile(trace, config)
 
         def speedup(params: AnalysisParams, features: ProphetFeatures) -> float:
             hints = analyze(counters, config, params)
             binary = OptimizedBinary(trace.name, counters, hints, params)
             pf = binary.prefetcher(config, features)
-            res = run_simulation(trace, config, pf, "prophet")
+            res = simulate(trace, config, pf, "prophet")
             return res.speedup_over(base)
 
         for el_acc in EL_ACC_VALUES:

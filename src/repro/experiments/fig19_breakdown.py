@@ -20,7 +20,7 @@ from typing import Dict, List, Optional
 from ..core.pipeline import OptimizedBinary
 from ..core.prophet import ProphetFeatures
 from ..sim.config import SystemConfig, default_config
-from ..sim.engine import run_simulation
+from ..sim.engine import simulate
 from ..sim.results import format_table, geomean
 from .common import spec_traces
 from .registry import ExperimentRequest, register_experiment
@@ -77,11 +77,11 @@ def run(
         traffic={name: {} for name, _ in STATES},
     )
     for trace in spec_traces(n_records, workloads):
-        base = run_simulation(trace, config, None, "baseline")
+        base = simulate(trace, config, None, "baseline")
         binary = OptimizedBinary.from_profile(trace, config)
         for name, features in STATES:
             pf = binary.prefetcher(config, features)
-            res = run_simulation(trace, config, pf, name)
+            res = simulate(trace, config, pf, name)
             results.speedup[name][trace.label] = res.speedup_over(base)
             results.traffic[name][trace.label] = res.traffic_over(base)
     return results

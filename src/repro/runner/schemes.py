@@ -35,7 +35,7 @@ from ..prefetchers.rpg2 import (
 from ..prefetchers.triage import TriagePrefetcher
 from ..prefetchers.triangel import TriangelPrefetcher
 from ..sim.config import SystemConfig
-from ..sim.engine import run_simulation
+from ..sim.engine import simulate
 from ..sim.results import SimResult
 from ..workloads.base import Trace
 from .jobs import SimJob
@@ -52,13 +52,13 @@ def _label(job: SimJob, default: str) -> str:
 
 
 def run_baseline(job, trace, config, deps):
-    return run_simulation(
+    return simulate(
         trace, config, None, _label(job, "baseline"), job.warmup_frac
     )
 
 
 def run_triangel(job, trace, config, deps):
-    return run_simulation(
+    return simulate(
         trace, config, TriangelPrefetcher(config), _label(job, "triangel"),
         job.warmup_frac,
     )
@@ -75,25 +75,25 @@ def run_triage(job, trace, config, deps):
         resize_enabled=p.get("resize_enabled", True),
         track_inserts=p.get("track_inserts", False),
     )
-    return run_simulation(trace, config, pf, _label(job, "triage"), job.warmup_frac)
+    return simulate(trace, config, pf, _label(job, "triage"), job.warmup_frac)
 
 
 def run_stms(job, trace, config, deps):
-    return run_simulation(
+    return simulate(
         trace, config, STMSPrefetcher(degree=4), _label(job, "stms"),
         job.warmup_frac,
     )
 
 
 def run_domino(job, trace, config, deps):
-    return run_simulation(
+    return simulate(
         trace, config, DominoPrefetcher(degree=4), _label(job, "domino"),
         job.warmup_frac,
     )
 
 
 def run_misb(job, trace, config, deps):
-    return run_simulation(
+    return simulate(
         trace, config, MISBPrefetcher(degree=4), _label(job, "misb"),
         job.warmup_frac,
     )
@@ -118,11 +118,11 @@ def run_rpg2(job, trace, config, deps):
 
         def evaluate(distance: int) -> float:
             tuned = RPG2Prefetcher(kernels).with_distance(distance)
-            return run_simulation(tune_trace, config, tuned, "rpg2-tune").ipc
+            return simulate(tune_trace, config, tuned, "rpg2-tune").ipc
 
         best, _ = binary_search_distance(evaluate)
         pf = RPG2Prefetcher(kernels).with_distance(best)
-    return run_simulation(trace, config, pf, _label(job, "rpg2"), job.warmup_frac)
+    return simulate(trace, config, pf, _label(job, "rpg2"), job.warmup_frac)
 
 
 def run_profile(job, trace, config, deps):
@@ -150,7 +150,7 @@ def run_prophet(job, trace, config, deps):
     """Prophet Steps 2+: analyze profiled counters, attach hints, simulate."""
     counters: CounterSet = deps["profile"]
     pf = _prophet_from_counters(counters, config, job.param_dict())
-    return run_simulation(trace, config, pf, _label(job, "prophet"), job.warmup_frac)
+    return simulate(trace, config, pf, _label(job, "prophet"), job.warmup_frac)
 
 
 def run_prophet_learned(job, trace, config, deps):
@@ -167,7 +167,7 @@ def run_prophet_learned(job, trace, config, deps):
     for nxt in chain[1:]:
         counters = merge_counters(counters, nxt, loop_cap)
     pf = _prophet_from_counters(counters, config, p)
-    return run_simulation(trace, config, pf, _label(job, "prophet"), job.warmup_frac)
+    return simulate(trace, config, pf, _label(job, "prophet"), job.warmup_frac)
 
 
 SCHEME_REGISTRY: Dict[str, Executor] = {

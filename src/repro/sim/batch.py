@@ -1,0 +1,434 @@
+"""Vectorized record-batch pre-pass for the demand engine.
+
+:func:`repro.sim.engine.run_simulation_batched` walks the trace in
+record batches.  For each batch this module precomputes derived
+per-record vectors (L1 set index, predicted slot, timing step, page) in
+one numpy pass, classifies the *branch-light stretches* — runs of
+records that are predicted L1 hits with no prefetch interaction, no TLB
+walk, and no resize poll — and retires whole runs with vectorized
+stat/timing accumulation.  Everything else (misses, fills,
+prefetch-training accesses, poll boundaries) falls back to the fused
+scalar ``_demand_kernel``, one record at a time, in exact stream order.
+
+Bit-identity contract (pinned by ``tests/test_batched_engine_equivalence``):
+
+- **Classification is advisory, retirement is verified.**  The batch
+  classifier reads a *snapshot* of the flat L1 tag/flag arrays; by the
+  time a run retires, residue records may have evicted or refilled
+  lines.  Retirement therefore re-verifies the whole run against live
+  ``frombuffer`` views of the same arrays and retires only the verified
+  prefix; the first failing record drops to the scalar kernel.  A
+  wrongly-predicted *miss* simply runs scalar — the kernel handles hits
+  too — so misclassification can only cost speed, never correctness.
+- **A retired record's semantic footprint is exactly the kernel's L1-hit
+  path**: ``demand_accesses``, the PLRU touch, ``demand_hits``, the
+  same-page TLB hit count, and the stride-table training write.  Records
+  whose L1 hit would do *more* (consume a prefetched line, pay a TLB
+  walk, advance the stride automaton into its issuing regime) are
+  classified unsafe and run scalar.
+- **Float timing chains are reproduced exactly**: ``cycle`` and
+  ``measured_cycles`` are IEEE-754 left-to-right accumulations, which
+  ``np.cumsum`` over a per-record step vector reproduces bit-for-bit
+  (numpy's cumsum is strictly sequential; the step division
+  ``(gap + 1) / issue_width`` is the same correctly-rounded float64 op
+  elementwise).
+- **The stride automaton is retired in closed form only in its safe
+  regime** (confidence <= 1, where no prefetch can issue): after any
+  safe record the entry is exactly ``[line, delta, delta_repeated]``, so
+  a run's final table state is one write per distinct PC.  Any record
+  that could reach confidence 2 — or follow one that could — is unsafe,
+  as is any batch whose new PCs could overflow the table (eviction order
+  depends on interleaving).  New-PC insertions are replayed in first-
+  occurrence order so dict (FIFO-eviction) order stays identical.
+
+The scalar residue path and the engine's poll/warmup bookkeeping stay in
+:mod:`repro.sim.engine`; this module only classifies and retires.
+"""
+
+from __future__ import annotations
+
+from ..cache.cache import F_PF, F_USED
+from ..memory.tlb import LINES_PER_PAGE
+from ..prefetchers.stride import StridePrefetcher
+
+#: Minimum verified-run length worth a vectorized retirement; shorter
+#: runs pay more in numpy call overhead than they save.
+RUN_MIN = 32
+
+#: Consecutive scalar L1 *hits* that mark a classification snapshot as
+#: stale (the snapshot predicted misses; the live cache disagrees).  The
+#: engine then re-classifies the batch remainder — e.g. the cold first
+#: batch, whose snapshot of an empty L1 predicts no hit at all.
+RECLASSIFY_STREAK = 64
+
+#: Default records per classification batch.
+DEFAULT_BATCH_SIZE = 8192
+
+
+class Batch:
+    """Classified view of trace records ``[start, stop)``.
+
+    ``fast`` may be demoted in place by failed retirements (a record
+    whose live state no longer matches the snapshot runs scalar).
+    ``pcs``/``lines``/``gaps`` are Python-int lists materialized only
+    when the batch's first residue record needs them
+    (:meth:`BatchDriver.materialize_lists`) — an all-retired batch never
+    boxes a single record.
+    """
+
+    __slots__ = (
+        "start", "stop", "pcs", "lines", "gaps", "fast", "run_end",
+        "slots", "lines_arr", "delta", "trained", "has_runs",
+        "pc_group", "group_pc",
+    )
+
+
+class BatchDriver:
+    """Per-simulation classify/retire engine over one trace's arrays."""
+
+    def __init__(self, np, hierarchy, trace, timing, batch_size):
+        self.np = np
+        self.hier = hierarchy
+        self.batch_size = max(1, int(batch_size))
+        l1 = hierarchy.l1d
+        self.l1_assoc = l1.assoc
+        self.l1_n_sets = l1.n_sets
+        self.l1_stats = l1.stats
+        self.l1_state = l1._plru_state
+        self.l1_keep = l1._plru_keep
+        self.l1_point = l1._plru_point
+        # Live views over the flat L1 arrays: classification snapshots
+        # them with fancy-indexed copies; retirement re-reads them live.
+        self.tags_live = np.frombuffer(l1._tags, dtype=np.int64)
+        self.flags_live = np.frombuffer(l1._flags, dtype=np.uint8)
+        self.tlb = hierarchy.tlb
+        self.pf_queue = hierarchy._pf_queue
+        l1pf = hierarchy.l1_prefetcher
+        self.stride_table = (
+            l1pf._table if type(l1pf) is StridePrefetcher else None
+        )
+        self.stride_capacity = (
+            l1pf.table_size if type(l1pf) is StridePrefetcher else 0
+        )
+        self.issue_width = timing.issue_width
+        # An L1 hit must hide inside the OoO window for the fast path's
+        # zero-stall retirement to hold; any L1 prefetcher other than the
+        # inlined stride design (or none) trains per record and cannot be
+        # replayed in closed form.
+        inline_pf = self.stride_table is not None or hierarchy._null_l1_pf
+        self.fast_possible = (
+            hierarchy._l1_lat_i <= timing.hide_cycles
+            and inline_pf
+            and self.l1_state is not None
+        )
+        self.pcs_np = trace.column("pc")
+        self.lines_np = trace.column("line")
+        self.gaps_np = trace.column("gap")
+        self.steps_np = (self.gaps_np + 1) / self.issue_width
+        # Scratch: position vector for scatter-based occurrence maps and
+        # a last-touch slot map over the (dense) L1 slot domain — both
+        # replace per-retirement sorts with O(run) scatters.
+        self._arange = np.arange(min(self.batch_size, len(trace)) + 1)
+        self._slot_lastpos = np.empty(
+            self.l1_n_sets * self.l1_assoc, dtype=np.int64
+        )
+        # Whole-trace prefix sum of instruction steps: an O(1) upper
+        # bound on any L1-hit run's end cycle (hit runs never stall), for
+        # :meth:`queue_blocked_through`.
+        self._mshr = hierarchy.l2_mshr
+        csum = np.empty(len(trace) + 1)
+        csum[0] = 0.0
+        np.cumsum(self.steps_np, out=csum[1:])
+        self._step_csum = csum
+        if self.tlb is not None:
+            pages = self.lines_np // LINES_PER_PAGE
+            # Every demand access translates, so at record i the TLB's
+            # last-page register holds page[i-1]: the zero-state same-page
+            # fast path applies exactly when consecutive pages match.
+            same = np.empty(len(pages), dtype=bool)
+            same[:1] = False
+            same[1:] = pages[1:] == pages[:-1]
+            self.tlb_fast = same
+        else:
+            self.tlb_fast = None
+
+    # ------------------------------------------------------------------
+    # classification
+    # ------------------------------------------------------------------
+    def classify(self, start: int, stop: int) -> Batch:
+        np = self.np
+        b = Batch()
+        b.start = start
+        b.stop = stop
+        b.pcs = b.lines = b.gaps = None
+        k = stop - start
+        b.lines_arr = self.lines_np[start:stop]
+        if not self.fast_possible:
+            b.fast = np.zeros(k, dtype=bool)
+            b.run_end = np.zeros(k, dtype=np.int64)
+            b.slots = None
+            b.delta = b.trained = b.pc_group = b.group_pc = None
+            b.has_runs = False
+            return b
+        lines = b.lines_arr
+        sets = lines % self.l1_n_sets
+        tag_rows = self.tags_live.reshape(self.l1_n_sets, self.l1_assoc)[sets]
+        eq = tag_rows == lines[:, None]
+        hit = eq.any(axis=1)
+        ways = np.argmax(eq, axis=1)
+        slots = sets * self.l1_assoc + ways
+        flags = self.flags_live[slots]
+        # Consuming an unused prefetched line mutates flags and credits
+        # the prefetcher — scalar territory.
+        plain = ((flags & F_PF) == 0) | ((flags & F_USED) != 0)
+        fast = hit & plain
+        if self.tlb_fast is not None:
+            fast &= self.tlb_fast[start:stop]
+        if self.stride_table is not None:
+            fast &= self._stride_classify(b, start, stop)
+        else:
+            b.delta = b.trained = b.pc_group = b.group_pc = None
+        b.fast = fast
+        b.slots = slots
+        # run_end[i]: first non-fast index >= i (batch-relative), so the
+        # maximal fast run starting at i is [i, run_end[i]).
+        idx = self._arange[:k]
+        nonfast_pos = np.where(fast, k, idx)
+        b.run_end = np.minimum.accumulate(nonfast_pos[::-1])[::-1]
+        # A batch whose longest run is below RUN_MIN never retires; the
+        # engine drives it through a tight all-scalar loop instead of
+        # testing ``fast`` per record.
+        b.has_runs = bool(((b.run_end - idx) >= RUN_MIN).any())
+        return b
+
+    def materialize_lists(self, b: Batch) -> None:
+        """Box the batch's records for the scalar residue path (once)."""
+        b.pcs = self.pcs_np[b.start:b.stop].tolist()
+        b.lines = self.lines_np[b.start:b.stop].tolist()
+        b.gaps = self.gaps_np[b.start:b.stop].tolist()
+
+    def _stride_classify(self, b: Batch, start: int, stop: int):
+        """Safe-regime closure of the per-PC stride automaton.
+
+        Returns the per-record ``safe`` flags and stores on ``b`` the
+        closed-form ``[line, delta, trained]`` entry values a retirement
+        writes back, plus each record's dense PC-group id (used by
+        :meth:`_writeback_stride` for sort-free occurrence maps).
+        Sorting by PC (stable) turns each PC's records into one
+        contiguous group whose delta/confidence chain vectorizes.
+        """
+        np = self.np
+        table = self.stride_table
+        pcs = self.pcs_np[start:stop]
+        lines = self.lines_np[start:stop]
+        k = stop - start
+        order = np.argsort(pcs, kind="stable")
+        sp = pcs[order]
+        sl = lines[order]
+        starts = np.empty(k, dtype=bool)
+        starts[:1] = True
+        starts[1:] = sp[1:] != sp[:-1]
+        head_pos = np.flatnonzero(starts)
+        n_groups = len(head_pos)
+        head_prev_line = np.empty(n_groups, dtype=np.int64)
+        head_prev_stride = np.empty(n_groups, dtype=np.int64)
+        head_conf_ge1 = np.empty(n_groups, dtype=bool)
+        head_conf_ge2 = np.empty(n_groups, dtype=bool)
+        head_new = np.empty(n_groups, dtype=bool)
+        n_new = 0
+        get = table.get
+        group_pc = sp[head_pos].tolist()
+        for gi, pc in enumerate(group_pc):
+            entry = get(pc)
+            if entry is None:
+                head_new[gi] = True
+                head_prev_line[gi] = 0
+                head_prev_stride[gi] = 0
+                head_conf_ge1[gi] = head_conf_ge2[gi] = False
+                n_new += 1
+            else:
+                head_new[gi] = False
+                head_prev_line[gi] = entry[0]
+                head_prev_stride[gi] = entry[1]
+                head_conf_ge1[gi] = entry[2] >= 1
+                head_conf_ge2[gi] = entry[2] >= 2
+        if len(table) + n_new > self.stride_capacity:
+            # Insertions would evict; eviction (FIFO) order depends on
+            # exactly when each insertion lands — whole batch scalar.
+            b.delta = b.trained = b.pc_group = b.group_pc = None
+            return np.zeros(k, dtype=bool)
+        prev_line = np.empty(k, dtype=np.int64)
+        prev_line[1:] = sl[:-1]
+        prev_line[head_pos] = head_prev_line
+        delta = sl - prev_line
+        new_heads = head_pos[head_new]
+        # A table-miss record only inserts [line, 0, 0]; it never trains.
+        delta[new_heads] = 0
+        prev_stride = np.empty(k, dtype=np.int64)
+        prev_stride[1:] = delta[:-1]
+        prev_stride[head_pos] = head_prev_stride
+        trained = (delta == prev_stride) & (prev_stride != 0)
+        trained[new_heads] = False
+        # conf(i-1) >= 1 in the safe regime iff record i-1 trained; a
+        # trained record on conf >= 1 reaches conf 2 (issuing regime).
+        prev_conf1 = np.empty(k, dtype=bool)
+        prev_conf1[1:] = trained[:-1]
+        prev_conf1[head_pos] = head_conf_ge1
+        unsafe = trained & prev_conf1
+        # conf >= 2 entries may issue (or decay off the closed form) on
+        # their very next access regardless of the new delta.
+        unsafe[head_pos] |= head_conf_ge2
+        # Once a PC leaves the safe regime, its later records in the
+        # batch are unpredictable at classification time: propagate.
+        cum = np.cumsum(unsafe)
+        group_id = np.cumsum(starts) - 1
+        cum_before = cum[head_pos] - unsafe[head_pos]
+        bad = (cum - cum_before[group_id]) >= 1
+        safe = np.empty(k, dtype=bool)
+        delta_o = np.empty(k, dtype=np.int64)
+        trained_o = np.empty(k, dtype=bool)
+        pc_group = np.empty(k, dtype=np.int64)
+        safe[order] = ~bad
+        delta_o[order] = delta
+        trained_o[order] = trained
+        pc_group[order] = group_id
+        b.delta = delta_o
+        b.trained = trained_o
+        b.pc_group = pc_group
+        b.group_pc = group_pc
+        return safe
+
+    def queue_blocked_through(self, q: int, r: int, cycle: float) -> bool:
+        """True when a pending prefetch queue stays blocked over run
+        ``[q, r)``.
+
+        Queued prefetches issue only when the L2 MSHR file stops being
+        full; if at least ``capacity`` in-flight fills complete *after*
+        the run's end cycle (upper-bounded via the step prefix sum, plus
+        a one-cycle pad for float slack), ``is_full`` holds at every
+        record's cycle, the kernel's drain is a no-op for the whole run
+        (sweeping already-complete entries is unobservable), and the run
+        may retire with the queue still pending.
+        """
+        csum = self._step_csum
+        end_bound = cycle + float(csum[r] - csum[q]) + 1.0
+        live = 0
+        for entry in self._mshr._inflight.values():
+            if entry[0] > end_bound:
+                live += 1
+        return live >= self._mshr.capacity
+
+    # ------------------------------------------------------------------
+    # retirement
+    # ------------------------------------------------------------------
+    def retire(self, b: Batch, q: int, r: int, cycle: float,
+               measured_cycles: float, measuring: bool):
+        """Verify run ``[q, r)`` against live state and retire its prefix.
+
+        Returns ``(retired, cycle, measured_cycles, gap_sum)``; a failed
+        head verification retires nothing and demotes ``fast[q]`` so the
+        engine's scalar path takes over.
+        """
+        np = self.np
+        lo = q - b.start
+        hi = r - b.start
+        slots = b.slots[lo:hi]
+        lines = b.lines_arr[lo:hi]
+        flags = self.flags_live[slots]
+        ok = (self.tags_live[slots] == lines) & (
+            ((flags & F_PF) == 0) | ((flags & F_USED) != 0)
+        )
+        k = hi - lo
+        if not ok.all():
+            k = int(np.argmin(ok))
+            b.fast[lo + k] = False
+            if k == 0:
+                return 0, cycle, measured_cycles, 0
+            slots = slots[:k]
+        # Timing: the scalar loop's `cycle += step` chain, reproduced by
+        # a sequential cumsum seeded with the current accumulator.
+        steps = self.steps_np[q:q + k]
+        buf = np.empty(k + 1)
+        buf[0] = cycle
+        buf[1:] = steps
+        np.cumsum(buf, out=buf)
+        cycle = float(buf[-1])
+        gap_sum = 0
+        if measuring:
+            buf[0] = measured_cycles
+            buf[1:] = steps
+            np.cumsum(buf, out=buf)
+            measured_cycles = float(buf[-1])
+            gap_sum = int(self.gaps_np[q:q + k].sum())
+        self.hier.demand_accesses += k
+        self.l1_stats.demand_hits += k
+        if self.tlb is not None:
+            # Same-page fast path: one stats bump, no LRU movement.
+            self.tlb.stats.hits += k
+        self._fold_plru(slots, k)
+        if self.stride_table is not None:
+            self._writeback_stride(b, lo, k)
+        return k, cycle, measured_cycles, gap_sum
+
+    def _fold_plru(self, slots, k: int):
+        """Apply the run's PLRU touches as one write per distinct slot.
+
+        Each touch assigns fixed values to the tree bits on its way's
+        path, so a state bit's final value comes from the *last* touch
+        covering it: applying distinct slots in last-occurrence order
+        reproduces the full touch sequence.  The slot domain is dense
+        (``n_sets * assoc``), so last occurrences come from one scatter
+        over a reusable map — no sort of the run.
+        """
+        np = self.np
+        lastpos = self._slot_lastpos
+        lastpos.fill(-1)
+        lastpos[slots] = self._arange[:k]
+        touched = np.flatnonzero(lastpos >= 0)
+        order = touched[np.argsort(lastpos[touched])]
+        state = self.l1_state
+        keep = self.l1_keep
+        point = self.l1_point
+        assoc = self.l1_assoc
+        for slot in order.tolist():
+            set_idx, way = divmod(slot, assoc)
+            state[set_idx] = (state[set_idx] & keep[way]) | point[way]
+
+    def _writeback_stride(self, b: Batch, lo: int, k: int):
+        """Final stride-table state for a retired run, per distinct PC.
+
+        Safe-regime closure: after its last record a PC's entry is
+        ``[last_line, last_delta, last_trained]``.  New PCs insert in
+        first-occurrence order (the batch-level capacity guard ensured
+        no eviction), keeping dict order identical to the scalar replay.
+        Occurrence maps are scatters over the batch's dense PC-group ids
+        (from :meth:`_stride_classify`) — no sort of the run.
+        """
+        np = self.np
+        table = self.stride_table
+        lines = b.lines_arr
+        groups = b.pc_group[lo:lo + k]
+        pos = self._arange[:k]
+        n_groups = len(b.group_pc)
+        lastpos = np.full(n_groups, -1, dtype=np.int64)
+        lastpos[groups] = pos
+        firstpos = np.empty(n_groups, dtype=np.int64)
+        firstpos[groups[::-1]] = pos[::-1]
+        touched = np.flatnonzero(lastpos >= 0)
+        first_t = firstpos[touched]
+        order = touched[np.argsort(first_t)].tolist()
+        first_l = firstpos.tolist()
+        last_l = lastpos.tolist()
+        group_pc = b.group_pc
+        for g in order:
+            pc = group_pc[g]
+            if pc not in table:
+                table[pc] = [int(lines[lo + first_l[g]]), 0, 0]
+        delta = b.delta
+        trained = b.trained
+        for g in order:
+            i = lo + last_l[g]
+            entry = table[group_pc[g]]
+            entry[0] = int(lines[i])
+            entry[1] = int(delta[i])
+            entry[2] = int(trained[i])

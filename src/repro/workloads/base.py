@@ -26,8 +26,17 @@ alternate in the L2 stream.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass
-from typing import Dict, Iterator, List, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
+
+from .._accel import numpy_capability
+
+#: Structured dtype of one trace record; ``None`` when numpy is absent
+#: (the pure-Python list fallback is used instead).
+TRACE_DTYPE = None
+_np = numpy_capability().module
+if _np is not None:
+    TRACE_DTYPE = _np.dtype([("pc", "<i8"), ("line", "<i8"), ("gap", "<i8")])
+
 
 def _shuffled_offsets(n: int, spread: int, rng: random.Random) -> List[int]:
     """``n`` unique line offsets drawn from a ``spread``-times larger range,
@@ -39,23 +48,109 @@ def _shuffled_offsets(n: int, spread: int, rng: random.Random) -> List[int]:
     return offsets
 
 
-@dataclass
 class Trace:
-    """An immutable memory-access trace plus bookkeeping."""
+    """An immutable memory-access trace plus bookkeeping.
 
-    name: str
-    input_name: str
-    pcs: List[int]
-    lines: List[int]
-    gaps: List[int]
-    mlp: int = 4  # workload memory-level-parallelism hint for the timing model
+    Records are stored as one numpy structured array (:data:`TRACE_DTYPE`)
+    when numpy is available, falling back to three parallel Python lists
+    otherwise.  The storage backend is an implementation detail:
 
-    def __post_init__(self) -> None:
-        if not (len(self.pcs) == len(self.lines) == len(self.gaps)):
+    - ``trace.pcs`` / ``trace.lines`` / ``trace.gaps`` always return
+      Python-int lists (materialized lazily and cached), so every scalar
+      consumer — the engines' record streams, digest hashing, analysis
+      code, JSON serialization — sees plain ints regardless of backend;
+    - ``trace.records_array`` / ``trace.column(name)`` expose the
+      structured array and its int64 field views (``None`` without
+      numpy) for the vectorized batch engine and the trace-file writers.
+
+    Pickling ships only the identity fields plus the record storage; the
+    cached lists are dropped, so runner workers receive arrays.
+    """
+
+    mlp: int
+
+    def __init__(
+        self,
+        name: str,
+        input_name: str,
+        pcs: Sequence[int],
+        lines: Sequence[int],
+        gaps: Sequence[int],
+        mlp: int = 4,  # workload memory-level-parallelism hint for the timing model
+    ):
+        if not (len(pcs) == len(lines) == len(gaps)):
             raise ValueError("pcs/lines/gaps must have equal length")
+        self.name = name
+        self.input_name = input_name
+        self.mlp = mlp
+        self._pcs: Optional[List[int]] = None
+        self._lines: Optional[List[int]] = None
+        self._gaps: Optional[List[int]] = None
+        if TRACE_DTYPE is not None:
+            rec = _np.empty(len(pcs), dtype=TRACE_DTYPE)
+            rec["pc"] = _np.asarray(pcs, dtype=_np.int64)
+            rec["line"] = _np.asarray(lines, dtype=_np.int64)
+            rec["gap"] = _np.asarray(gaps, dtype=_np.int64)
+            self._rec = rec
+        else:  # pragma: no cover - exercised by the no-numpy CI leg
+            self._rec = None
+            self._pcs = list(pcs)
+            self._lines = list(lines)
+            self._gaps = list(gaps)
+
+    @classmethod
+    def from_records(
+        cls, name: str, input_name: str, records, mlp: int = 4
+    ) -> "Trace":
+        """Wrap an existing :data:`TRACE_DTYPE` structured array (no copy)."""
+        trace = cls.__new__(cls)
+        trace.name = name
+        trace.input_name = input_name
+        trace.mlp = mlp
+        trace._rec = records
+        trace._pcs = trace._lines = trace._gaps = None
+        return trace
+
+    # -- storage accessors ---------------------------------------------
+    @property
+    def records_array(self):
+        """The structured record array, or ``None`` without numpy."""
+        return self._rec
+
+    def column(self, field: str):
+        """Int64 view of one record field, or ``None`` without numpy."""
+        return self._rec[field] if self._rec is not None else None
+
+    @property
+    def pcs(self) -> List[int]:
+        if self._pcs is None:
+            self._pcs = self._rec["pc"].tolist()
+        return self._pcs
+
+    @property
+    def lines(self) -> List[int]:
+        if self._lines is None:
+            self._lines = self._rec["line"].tolist()
+        return self._lines
+
+    @property
+    def gaps(self) -> List[int]:
+        if self._gaps is None:
+            self._gaps = self._rec["gap"].tolist()
+        return self._gaps
 
     def __len__(self) -> int:
-        return len(self.pcs)
+        return len(self._rec) if self._rec is not None else len(self._pcs)
+
+    def __getstate__(self):
+        state = dict(self.__dict__)
+        if state.get("_rec") is not None:
+            # Workers receive the record array; lists rematerialize lazily.
+            state["_pcs"] = state["_lines"] = state["_gaps"] = None
+        return state
+
+    def __repr__(self) -> str:
+        return f"Trace({self.label!r}, records={len(self)}, mlp={self.mlp})"
 
     @property
     def label(self) -> str:
@@ -64,16 +159,22 @@ class Trace:
     @property
     def instructions(self) -> int:
         """Total instructions: one memory op per record plus its gap."""
-        return len(self.pcs) + sum(self.gaps)
+        if self._rec is not None:
+            return len(self._rec) + int(self._rec["gap"].sum())
+        return len(self._pcs) + sum(self._gaps)
 
     def interval(self, start: int, stop: int) -> "Trace":
         """A contiguous slice (used by SimPoint checkpointing)."""
+        if self._rec is not None:
+            return Trace.from_records(
+                self.name, self.input_name, self._rec[start:stop].copy(), self.mlp
+            )
         return Trace(
             self.name,
             self.input_name,
-            self.pcs[start:stop],
-            self.lines[start:stop],
-            self.gaps[start:stop],
+            self._pcs[start:stop],
+            self._lines[start:stop],
+            self._gaps[start:stop],
             self.mlp,
         )
 

@@ -356,6 +356,15 @@ STARTER_SCENARIOS: Tuple[GeneratorScenario, ...] = (
         params=(("footprint_lines", 4_096), ("entropy", 0.05)),
     ),
     GeneratorScenario(
+        "gen_hot_l1", "pointer_chase",
+        "L1-resident pointer chase (12 KB footprint, conflict-free set "
+        "mapping, zero entropy): maximal hit runs, the batched engine's "
+        "best case",
+        seed=15, mlp=2,
+        params=(("footprint_lines", 192), ("entropy", 0.0),
+                ("repeat_prob", 1.0)),
+    ),
+    GeneratorScenario(
         "gen_ptrchase_llc", "pointer_chase",
         "pointer chase sized to the LLC (2 MB footprint, moderate entropy)",
         seed=12, mlp=4,

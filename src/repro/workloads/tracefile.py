@@ -67,11 +67,20 @@ def save_trace(trace: Trace, path: Union[str, Path]) -> Path:
         "input_name": trace.input_name,
         "mlp": trace.mlp,
     }
+    rec = trace.records_array
+    if rec is not None:
+        # Record-array-backed trace: save the columns directly, no
+        # per-record boxing.
+        pcs, lines, gaps = rec["pc"], rec["line"], rec["gap"]
+    else:
+        pcs = np.asarray(trace.pcs, dtype=np.int64)
+        lines = np.asarray(trace.lines, dtype=np.int64)
+        gaps = np.asarray(trace.gaps, dtype=np.int64)
     np.savez_compressed(
         path,
-        pcs=np.asarray(trace.pcs, dtype=np.int64),
-        lines=np.asarray(trace.lines, dtype=np.int64),
-        gaps=np.asarray(trace.gaps, dtype=np.int64),
+        pcs=pcs,
+        lines=lines,
+        gaps=gaps,
         meta=np.frombuffer(json.dumps(meta).encode(), dtype=np.uint8),
     )
     return path
@@ -96,6 +105,21 @@ def load_trace(path: Union[str, Path]) -> Trace:
     if version != FORMAT_VERSION:
         raise ValueError(
             f"{path}: trace format version {version!r}, expected {FORMAT_VERSION}"
+        )
+    from .base import TRACE_DTYPE
+
+    if TRACE_DTYPE is not None:
+        # Build the structured record array directly from the stored
+        # columns — the loaded trace is batched-engine-ready with no
+        # per-record boxing.
+        if not (len(pcs) == len(lines) == len(gaps)):
+            raise ValueError(f"{path}: pcs/lines/gaps lengths differ")
+        rec = np.empty(len(pcs), dtype=TRACE_DTYPE)
+        rec["pc"] = pcs
+        rec["line"] = lines
+        rec["gap"] = gaps
+        return Trace.from_records(
+            meta["name"], meta["input_name"], rec, mlp=int(meta["mlp"])
         )
     return Trace(
         name=meta["name"],

@@ -1,0 +1,24 @@
+"""Shared test fixtures and markers.
+
+``requires_numpy`` marks tests that exercise the numpy-backed engine
+rung or record-array machinery directly.  In a scalar-only environment
+(no numpy, or one older than the floor in :mod:`repro._accel`) those
+tests are skipped rather than failed — the library itself degrades to
+the scalar engines there, and the remaining suite pins that behaviour.
+"""
+
+import pytest
+
+from repro._accel import numpy_capability
+
+
+def pytest_collection_modifyitems(config, items):
+    cap = numpy_capability()
+    if cap.ok:
+        return
+    skip = pytest.mark.skip(
+        reason=f"numpy unavailable ({cap.reason}); scalar engines only"
+    )
+    for item in items:
+        if "requires_numpy" in item.keywords:
+            item.add_marker(skip)

@@ -1,0 +1,192 @@
+"""The batched engine rung must match both scalar rungs bit-for-bit.
+
+``run_simulation_batched`` classifies record batches with a vectorized
+pre-pass and retires whole L1-hit runs in closed form; everything it
+cannot prove safe runs through the same fused scalar kernel as
+``run_simulation``.  These tests pin the whole ``SimResult`` — cycles
+(IEEE-754 accumulation order included), per-PC maps, prefetch stats,
+metadata counters — against both the flat loop and the seed-era
+reference loop, on representative personas and on adversarial cases
+aimed at the batch machinery itself: resize polls landing mid-batch,
+MSHR saturation (prefetch-queue backpressure), warmup boundaries that
+do not align with batch edges, and degenerate batch sizes.
+
+``batch_size`` is a throughput knob with no semantic effect: it must
+never reach ``SimJob`` or its cache key, and adding the batched rung
+must not bump ``ENGINE_VERSION`` (all rungs produce identical results,
+so cached results stay valid).
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import _accel
+from repro.prefetchers.triangel import TriangelPrefetcher
+from repro.runner.jobs import ENGINE_VERSION, SimJob, TraceRef
+from repro.sim.config import default_config
+from repro.sim.engine import (
+    run_simulation,
+    run_simulation_batched,
+    run_simulation_reference,
+    simulate,
+)
+from repro.workloads.inputs import make_trace
+
+requires_numpy = pytest.mark.requires_numpy
+
+
+@pytest.fixture(scope="module")
+def config():
+    return default_config()
+
+
+def assert_rungs_identical(trace, config, make_pf, scheme,
+                           batch_size=None, **kwargs):
+    flat = run_simulation(trace, config, make_pf(), scheme, **kwargs)
+    ref = run_simulation_reference(trace, config, make_pf(), scheme, **kwargs)
+    batched = run_simulation_batched(
+        trace, config, make_pf(), scheme, batch_size=batch_size, **kwargs
+    )
+    assert dataclasses.asdict(flat) == dataclasses.asdict(ref)
+    assert dataclasses.asdict(batched) == dataclasses.asdict(flat)
+
+
+@requires_numpy
+@pytest.mark.parametrize("label", ["mcf_inp", "omnetpp_omnetpp", "gcc_166"])
+def test_baseline_identical(label, config):
+    trace = make_trace(label, 20000)
+    assert_rungs_identical(trace, config, lambda: None, "baseline")
+
+
+@requires_numpy
+def test_hot_l1_identical(config):
+    # The bench workload: nearly every measure-phase record retires
+    # through the vectorized path, so any closed-form error shows here.
+    trace = make_trace("gen_hot_l1", 30000)
+    assert_rungs_identical(trace, config, lambda: None, "baseline")
+
+
+@requires_numpy
+def test_triangel_identical(config):
+    trace = make_trace("mcf_inp", 20000)
+    assert_rungs_identical(
+        trace, config, lambda: TriangelPrefetcher(config), "triangel"
+    )
+
+
+@requires_numpy
+def test_prophet_identical(config):
+    from repro.core.pipeline import OptimizedBinary
+
+    trace = make_trace("mcf_inp", 20000)
+    binary = OptimizedBinary.from_profile(trace, config)
+    assert_rungs_identical(
+        trace, config, lambda: binary.prefetcher(config), "prophet"
+    )
+
+
+@requires_numpy
+def test_resize_polls_inside_batch(config):
+    # resize_window far below the batch size: polls (and kernel rebinds)
+    # land mid-batch, and runs must never cross them (invariant 10).
+    trace = make_trace("mcf_inp", 20000)
+    assert_rungs_identical(
+        trace, config, lambda: TriangelPrefetcher(config), "triangel",
+        resize_window=1024, warmup_frac=0.6,
+    )
+
+
+@requires_numpy
+def test_mshr_saturation_identical(config):
+    # A 2-entry L2 MSHR file keeps the prefetch queue backed up, so
+    # retirement must prove the queue stays blocked across each run.
+    cfg = dataclasses.replace(config, l2=dataclasses.replace(config.l2, mshrs=2))
+    trace = make_trace("omnetpp_inp", 20000)
+    assert_rungs_identical(trace, cfg, lambda: None, "baseline")
+    assert_rungs_identical(
+        trace, cfg, lambda: TriangelPrefetcher(cfg), "triangel"
+    )
+
+
+@requires_numpy
+def test_warmup_boundary_not_batch_aligned(config):
+    # warmup ends at record 6600 with 997-record batches: the
+    # measurement reset lands mid-stream, never on a batch edge.
+    trace = make_trace("mcf_inp", 20000)
+    assert_rungs_identical(
+        trace, config, lambda: None, "baseline",
+        batch_size=997, warmup_frac=0.33,
+    )
+
+
+@requires_numpy
+@pytest.mark.parametrize("batch_size", [1, 10**6])
+def test_degenerate_batch_sizes(batch_size, config):
+    trace = make_trace("mcf_inp", 6000)
+    assert_rungs_identical(
+        trace, config, lambda: None, "baseline", batch_size=batch_size
+    )
+
+
+@requires_numpy
+def test_tlb_enabled_identical(config):
+    # The same-page TLB fast path is part of the retired footprint.
+    cfg = config.with_tlb()
+    trace = make_trace("mcf_inp", 20000)
+    assert_rungs_identical(trace, cfg, lambda: None, "baseline")
+
+
+@requires_numpy
+def test_l1_prefetcher_variants_identical(config):
+    # ipcp cannot be replayed in closed form (classification must turn
+    # the fast path off); "none" removes stride training entirely.
+    trace = make_trace("mcf_inp", 12000)
+    for kind in ("ipcp", "none"):
+        cfg = config.with_l1_prefetcher(kind)
+        assert_rungs_identical(trace, cfg, lambda: None, "baseline")
+
+
+def test_simulate_dispatches_and_honors_flag(config):
+    trace = make_trace("mcf_inp", 8000)
+    expected = run_simulation(trace, config, None, "baseline")
+    assert dataclasses.asdict(simulate(trace, config, None, "baseline")) \
+        == dataclasses.asdict(expected)
+    _accel.set_numpy_enabled(False)
+    try:
+        # Forced off: the dispatcher must take the scalar loop and still
+        # produce the identical result.
+        forced = simulate(trace, config, None, "baseline")
+    finally:
+        _accel.set_numpy_enabled(None)
+    assert dataclasses.asdict(forced) == dataclasses.asdict(expected)
+
+
+def test_numpy_flag_tri_state(monkeypatch):
+    monkeypatch.delenv("REPRO_NUMPY", raising=False)
+    auto = _accel.numpy_enabled()
+    assert auto == _accel.numpy_capability().ok  # auto: on when usable
+    monkeypatch.setenv("REPRO_NUMPY", "0")
+    assert not _accel.numpy_enabled()
+    monkeypatch.setenv("REPRO_NUMPY", "off")
+    assert not _accel.numpy_enabled()
+    monkeypatch.setenv("REPRO_NUMPY", "1")
+    assert _accel.numpy_enabled() == _accel.numpy_capability().ok
+    _accel.set_numpy_enabled(False)
+    try:
+        assert not _accel.numpy_enabled()  # override beats the env
+    finally:
+        _accel.set_numpy_enabled(None)
+
+
+def test_batch_size_never_enters_cache_keys(config):
+    # The knob must not exist anywhere in the job spec: same key fields,
+    # same engine version, no batch_size field to leak.
+    assert ENGINE_VERSION == "2"
+    field_names = {f.name for f in dataclasses.fields(SimJob)}
+    assert "batch_size" not in field_names
+    trace = make_trace("mcf_inp", 2000)
+    job = SimJob("baseline", TraceRef.from_trace(trace), config)
+    assert job.cache_key == SimJob(
+        "baseline", TraceRef.from_trace(trace), config
+    ).cache_key

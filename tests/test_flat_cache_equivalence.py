@@ -299,7 +299,7 @@ class TestSimResultEquivalence:
 
     def test_numpy_smoke_identical(self):
         """REPRO_NUMPY only vectorizes bulk scans; results are identical."""
-        if _accel._import_numpy() is None:  # pragma: no cover - no numpy
+        if not _accel.numpy_capability().ok:  # pragma: no cover - no numpy
             pytest.skip("numpy unavailable")
         config = default_config()
         trace = make_trace("mcf_inp", 8000)
