@@ -1,0 +1,377 @@
+"""Serve-mode load benchmark: req/s, tail latency, dedup absorption.
+
+Hammers a ``repro.serve`` service with a **closed-loop multi-threaded
+client** (every client thread submits a request, polls the job to
+completion, fetches the result, then immediately issues the next one)
+over a mix of:
+
+- **duplicate** requests — one fixed experiment submission repeated by
+  every client, exercising both dedup layers: concurrent copies coalesce
+  onto the in-flight job, later copies are served straight from the
+  result table;
+- **distinct** requests — a pool of small submissions differing in
+  record count, exercising end-to-end execution under concurrency (and,
+  underneath, the shared ``.repro-cache`` across repeated sweeps).
+
+By default the benchmark spawns its own server (``python -m repro.cli
+serve --port 0``) so the measured path is the real subprocess service,
+not an in-process shortcut; point ``--url`` at a running server to
+load-test across machines.
+
+Every completed response is checked for **byte parity** against a
+direct in-process ``api.run`` of the same request (the service
+canonicalizes ``elapsed`` to 0.0 — results are deterministic bytes).
+
+Output (``BENCH_serve.json``, preserved section-wise across runs):
+sustained req/s, p50/p95/p99 latency, and the dedup/cache absorption
+ratios.  ``--smoke`` shrinks the run for CI and still requires at least
+one dedup hit and full parity.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import random
+import subprocess
+import sys
+import tempfile
+import threading
+import time
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+if str(SRC_ROOT) not in sys.path:
+    sys.path.insert(0, str(SRC_ROOT))
+
+import repro.api as api  # noqa: E402
+from repro.serve import ServeClient, canonical_result_json  # noqa: E402
+
+DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_serve.json"
+
+#: The fixed submission every duplicate request repeats.
+DUPLICATE_REQUEST = {
+    "experiment": "fig10",
+    "records": 3000,
+    "workloads": ["mcf_inp"],
+    "schemes": ["triangel"],
+}
+
+
+def distinct_requests(count: int, base_records: int = 2000) -> list:
+    """``count`` small submissions that can never dedup onto each other.
+
+    Record counts differ, so the request digests differ, so each is a
+    real job — the non-absorbable share of the traffic.
+    """
+    return [
+        {
+            "experiment": "fig10",
+            "records": base_records + 100 * i,
+            "workloads": ["mcf_inp"],
+            "schemes": ["triangel"],
+        }
+        for i in range(count)
+    ]
+
+
+def percentile(sorted_values: list, q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    rank = max(0, min(len(sorted_values) - 1,
+                      int(round(q * (len(sorted_values) - 1)))))
+    return sorted_values[rank]
+
+
+# ----------------------------------------------------------------------
+# server lifecycle
+# ----------------------------------------------------------------------
+def spawn_server(workers: int, runner_jobs: int, cache_dir: str):
+    """Start ``python -m repro.cli serve`` and scrape the announced URL."""
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_ROOT) + os.pathsep + existing if existing else str(SRC_ROOT)
+    )
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.cli", "serve",
+            "--port", "0",
+            "--workers", str(workers),
+            "--jobs", str(runner_jobs),
+            "--cache-dir", cache_dir,
+        ],
+        stdout=subprocess.PIPE,
+        text=True,
+        env=env,
+    )
+    line = proc.stdout.readline().strip()
+    if "serving on" not in line:
+        proc.kill()
+        raise RuntimeError(f"server failed to announce itself: {line!r}")
+    url = line.split()[2]
+    return proc, url
+
+
+# ----------------------------------------------------------------------
+# the closed loop
+# ----------------------------------------------------------------------
+def client_loop(
+    url: str,
+    client_id: int,
+    n_requests: int,
+    dup_fraction: float,
+    pool: list,
+    out_latencies: list,
+    out_errors: list,
+    dedup_flags: list,
+    lock: threading.Lock,
+) -> None:
+    """One closed-loop client: submit -> poll -> fetch, ``n_requests`` times.
+
+    Seeded per client, so the duplicate/distinct interleaving is
+    reproducible run to run.
+    """
+    rng = random.Random(0xC0FFEE + client_id)
+    client = ServeClient(url, timeout=60.0)
+    for i in range(n_requests):
+        if rng.random() < dup_fraction:
+            payload = DUPLICATE_REQUEST
+        else:
+            payload = pool[(client_id + i) % len(pool)]
+        start = time.perf_counter()
+        try:
+            status, body = client.submit(payload)
+            if "job" not in body:
+                raise RuntimeError(f"rejected ({status}): {body}")
+            job_id = body["job"]["id"]
+            summary = client.wait(job_id, timeout=120.0, interval=0.005)
+            if summary["state"] != "done":
+                raise RuntimeError(f"job failed: {summary['error']}")
+            client.result_bytes(job_id)
+        except Exception as exc:  # noqa: BLE001 - collect, don't crash the loop
+            with lock:
+                out_errors.append(f"client {client_id} req {i}: {exc}")
+            continue
+        elapsed = time.perf_counter() - start
+        with lock:
+            out_latencies.append(elapsed)
+            dedup_flags.append(bool(body.get("deduped")))
+
+
+def check_parity(url: str, requests: list) -> dict:
+    """Every request's served bytes vs a direct in-process ``api.run``."""
+    client = ServeClient(url, timeout=60.0)
+    identical = 0
+    mismatches = []
+    for payload in requests:
+        served = client.run(payload, timeout=120.0)
+        direct = api.run(
+            payload["experiment"],
+            records=payload.get("records"),
+            workloads=payload.get("workloads"),
+            schemes=payload.get("schemes"),
+            overrides=payload.get("overrides") or {},
+        )
+        expected = canonical_result_json(direct).encode()
+        if served == expected:
+            identical += 1
+        else:
+            mismatches.append(payload)
+    return {
+        "checked": len(requests),
+        "identical": identical,
+        "mismatches": mismatches,
+    }
+
+
+# ----------------------------------------------------------------------
+def run_bench(
+    url: str,
+    clients: int,
+    requests_per_client: int,
+    dup_fraction: float,
+    distinct_pool: int,
+) -> dict:
+    pool = distinct_requests(distinct_pool)
+    service = ServeClient(url, timeout=60.0)
+    stats_before = service.stats()
+
+    latencies: list = []
+    errors: list = []
+    dedup_flags: list = []
+    lock = threading.Lock()
+    threads = [
+        threading.Thread(
+            target=client_loop,
+            args=(url, i, requests_per_client, dup_fraction, pool,
+                  latencies, errors, dedup_flags, lock),
+        )
+        for i in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+
+    stats_after = service.stats()
+    parity = check_parity(url, [DUPLICATE_REQUEST] + pool)
+
+    latencies.sort()
+    completed = len(latencies)
+    jobs = stats_after["jobs"]
+    runner = stats_after["runner"]
+    d_submitted = jobs["submitted"] - stats_before["jobs"]["submitted"]
+    d_dedup = jobs["dedup_hits"] - stats_before["jobs"]["dedup_hits"]
+    d_executed = runner["executed"] - stats_before["runner"]["executed"]
+    d_cache = runner["cache_hits"] - stats_before["runner"]["cache_hits"]
+    return {
+        "config": {
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "dup_fraction": dup_fraction,
+            "distinct_pool": distinct_pool,
+            "duplicate_request": DUPLICATE_REQUEST,
+        },
+        "throughput": {
+            "requests_completed": completed,
+            "requests_failed": len(errors),
+            "wall_seconds": round(wall, 3),
+            "req_per_sec": round(completed / wall, 2) if wall else 0.0,
+        },
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1e3, 2),
+            "p95": round(percentile(latencies, 0.95) * 1e3, 2),
+            "p99": round(percentile(latencies, 0.99) * 1e3, 2),
+            "mean": round(sum(latencies) / completed * 1e3, 2)
+            if completed else 0.0,
+            "max": round(latencies[-1] * 1e3, 2) if latencies else 0.0,
+        },
+        "absorption": {
+            "requests_submitted": d_submitted,
+            "dedup_hits": d_dedup,
+            "dedup_inflight": (jobs["dedup_inflight"]
+                               - stats_before["jobs"]["dedup_inflight"]),
+            "dedup_done": (jobs["dedup_done"]
+                           - stats_before["jobs"]["dedup_done"]),
+            "dedup_ratio": round(d_dedup / d_submitted, 4)
+            if d_submitted else 0.0,
+            "runner_executed": d_executed,
+            "runner_cache_hits": d_cache,
+            "sim_cache_ratio": round(d_cache / (d_cache + d_executed), 4)
+            if (d_cache + d_executed) else 0.0,
+        },
+        "parity": parity,
+        "errors": errors[:10],
+    }
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small run for CI (4 clients x 5 requests); "
+                             "still asserts dedup and byte parity")
+    parser.add_argument("--url", default=None,
+                        help="target an already-running server instead of "
+                             "spawning one")
+    parser.add_argument("--clients", type=int, default=None,
+                        help="closed-loop client threads "
+                             "(default 4 smoke / 16 full)")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client (default 5 smoke / 25 full)")
+    parser.add_argument("--dup-fraction", type=float, default=0.6,
+                        help="probability a request is the duplicate "
+                             "template (default 0.6)")
+    parser.add_argument("--distinct-pool", type=int, default=None,
+                        help="number of distinct request templates "
+                             "(default 4 smoke / 10 full)")
+    parser.add_argument("--workers", type=int, default=4,
+                        help="server worker threads when spawning "
+                             "(default 4)")
+    parser.add_argument("--runner-jobs", type=int, default=1,
+                        help="runner process-pool size when spawning "
+                             "(default 1: thread-level concurrency only)")
+    parser.add_argument("--out", type=Path, default=DEFAULT_OUT,
+                        help=f"output JSON path (default {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    clients = args.clients or (4 if args.smoke else 16)
+    requests = args.requests or (5 if args.smoke else 25)
+    pool_size = args.distinct_pool or (4 if args.smoke else 10)
+
+    proc = None
+    tmpdir = None
+    if args.url is not None:
+        url = args.url
+    else:
+        tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
+        proc, url = spawn_server(args.workers, args.runner_jobs, tmpdir.name)
+    try:
+        result = run_bench(
+            url, clients, requests, args.dup_fraction, pool_size
+        )
+    finally:
+        if proc is not None:
+            try:
+                ServeClient(url, timeout=5.0).shutdown()
+                proc.wait(timeout=10)
+            except Exception:  # noqa: BLE001 - teardown best-effort
+                proc.kill()
+        if tmpdir is not None:
+            tmpdir.cleanup()
+
+    mode = "smoke" if args.smoke else "full"
+    result["mode"] = mode
+    section = {mode: result}
+
+    # Preserve the other mode's section across reruns (the committed
+    # file carries a reference-machine 'full' run; CI rewrites 'smoke').
+    if args.out.exists():
+        try:
+            previous = json.loads(args.out.read_text())
+        except (OSError, ValueError):
+            previous = {}
+        for key, value in previous.items():
+            if key not in section:
+                section[key] = value
+    args.out.write_text(json.dumps(section, indent=2) + "\n")
+
+    thr = result["throughput"]
+    lat = result["latency_ms"]
+    absorb = result["absorption"]
+    parity = result["parity"]
+    print(f"[{mode}] {thr['requests_completed']} requests in "
+          f"{thr['wall_seconds']}s -> {thr['req_per_sec']} req/s")
+    print(f"latency ms: p50={lat['p50']} p95={lat['p95']} p99={lat['p99']} "
+          f"max={lat['max']}")
+    print(f"absorption: {absorb['dedup_hits']}/{absorb['requests_submitted']} "
+          f"deduped (ratio {absorb['dedup_ratio']}), runner executed "
+          f"{absorb['runner_executed']} / cache hits "
+          f"{absorb['runner_cache_hits']}")
+    print(f"parity: {parity['identical']}/{parity['checked']} byte-identical "
+          f"to direct api.run")
+    print(f"wrote {args.out}")
+
+    failures = []
+    if thr["requests_failed"]:
+        failures.append(
+            f"{thr['requests_failed']} request(s) failed: "
+            + "; ".join(result["errors"][:3])
+        )
+    if absorb["dedup_hits"] < 1:
+        failures.append("expected at least one dedup hit")
+    if parity["identical"] != parity["checked"]:
+        failures.append(f"parity mismatches: {parity['mismatches']}")
+    if failures:
+        print("FAIL: " + " | ".join(failures), file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -10,7 +10,16 @@ from conftest import records, save_report
 
 from repro.experiments import ablation_ways
 
-N = records(100_000)
+# 250k records, not 100k: at 100k the synthetic personas' temporal
+# working sets all fit the 2-way table, so every workload ties at
+# ways=2 (bigger tables only pay the LLC-capacity cost) and the
+# "workloads disagree about the best size" assertion fails.  The
+# disagreement the paper observes needs enough trace for the
+# big-footprint workloads (mcf, omnetpp, astar) to overflow 2 ways —
+# measured at 250k they prefer ways=4 while sphinx3 still prefers 2.
+# Root-caused 2026-08: a trace-length sizing bug in this harness, not a
+# model property; the sweep itself honors the size knob at any length.
+N = records(250_000)
 
 
 def test_ways_ablation(benchmark):

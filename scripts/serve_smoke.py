@@ -1,0 +1,87 @@
+"""End-to-end smoke of serve mode over the real CLI subprocess.
+
+Starts ``python -m repro.cli serve`` on an ephemeral port, submits one
+tiny experiment over HTTP, polls the job to completion, asserts the
+served bytes match a direct in-process ``api.run`` of the same request
+(the serve determinism invariant), then shuts the server down cleanly
+and checks its exit code.  CI runs this as the ``serve-smoke`` step.
+"""
+
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+SRC_ROOT = REPO_ROOT / "src"
+if str(SRC_ROOT) not in sys.path:
+    sys.path.insert(0, str(SRC_ROOT))
+
+import repro.api as api  # noqa: E402
+from repro.serve import ServeClient, canonical_result_json  # noqa: E402
+
+REQUEST = {
+    "experiment": "fig10",
+    "records": 4000,
+    "workloads": ["mcf_inp"],
+    "schemes": ["triangel"],
+}
+
+
+def main() -> int:
+    env = dict(os.environ)
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = (
+        str(SRC_ROOT) + os.pathsep + existing if existing else str(SRC_ROOT)
+    )
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        proc = subprocess.Popen(
+            [sys.executable, "-m", "repro.cli", "serve",
+             "--port", "0", "--workers", "2", "--cache-dir", tmp],
+            stdout=subprocess.PIPE, text=True, env=env,
+        )
+        try:
+            line = proc.stdout.readline().strip()
+            assert "serving on" in line, f"no announce line: {line!r}"
+            url = line.split()[2]
+            print(f"server up at {url}")
+
+            client = ServeClient(url, timeout=30.0)
+            assert client.health() == (200, {"status": "ok"})
+
+            status, body = client.submit(REQUEST)
+            assert status == 202, (status, body)
+            job_id = body["job"]["id"]
+            summary = client.wait(job_id, timeout=120.0)
+            assert summary["state"] == "done", summary
+            print(f"job {job_id} done "
+                  f"({summary['progress']['done']} sims)")
+
+            served = client.result_bytes(job_id)
+            direct = api.run(
+                REQUEST["experiment"], records=REQUEST["records"],
+                workloads=REQUEST["workloads"], schemes=REQUEST["schemes"],
+            )
+            assert served == canonical_result_json(direct).encode(), \
+                "served bytes diverge from direct api.run"
+            print("parity OK: served bytes == direct api.run")
+
+            # A duplicate submission must coalesce, not re-run.
+            status, body = client.submit(REQUEST)
+            assert (status, body["deduped"]) == (200, True), (status, body)
+            print("dedup OK: duplicate submission coalesced")
+
+            client.shutdown()
+            rc = proc.wait(timeout=15)
+            assert rc == 0, f"server exited {rc}"
+            print("clean shutdown OK")
+        except BaseException:
+            proc.kill()
+            raise
+    print("serve smoke OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

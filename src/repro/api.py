@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import json
 import time
+from contextlib import nullcontext
 from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
 
@@ -215,7 +216,16 @@ def run(
         jobs=jobs, cache_dir=cache_dir, progress=progress
     )
     start = time.perf_counter()
-    with use_runner(active):
+    # With a *shared* runner, route this call's progress events through a
+    # context-local scope instead of mutating the runner (concurrent
+    # api.run calls against one runner — the serve worker pool — each
+    # keep their own progress sink).
+    scope = (
+        active.progress_scope(progress)
+        if (runner is not None and progress is not None)
+        else nullcontext()
+    )
+    with scope, use_runner(active):
         payload = exp.run(req)
     elapsed = time.perf_counter() - start
     return ExperimentResult(

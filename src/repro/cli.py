@@ -12,6 +12,16 @@ Usage::
     python -m repro.cli workloads describe gen_ptrchase_llc
     python -m repro.cli workloads import capture.trc [--name LABEL]
     python -m repro.cli bench [--records N] [--batch-size N]
+    python -m repro.cli serve [--port N] [--host H] [--workers N] \
+        [--jobs N] [--cache-dir DIR]
+
+``serve`` runs the long-running simulation job service
+(:mod:`repro.serve`): submit experiment requests over HTTP/JSON, poll
+progress, fetch byte-deterministic results, with identical requests
+deduplicated against in-flight jobs and the result cache.  ``--port 0``
+binds an ephemeral port (announced on stdout); ``--workers`` sizes the
+request worker pool and ``--jobs``/``--cache-dir`` configure the one
+shared Runner behind it.  See ``docs/serve.md``.
 
 ``bench`` shells the engine-throughput benchmark
 (``benchmarks/bench_engine_throughput.py``) in ``--smoke`` mode — a quick
@@ -50,11 +60,17 @@ processes, ``--cache-dir``/``--no-cache`` control the on-disk result
 cache (default ``.repro-cache/``), ``--verbose`` prints per-job
 progress.  The runner's executed/cache-hit counts are logged after every
 simulating command.
+
+Failures under ``--json`` keep stdout machine-readable: instead of an
+argparse usage message, the CLI prints the same ``{"error": {"code":
+..., "message": ...}}`` envelope the serve API uses for 4xx bodies, and
+exits non-zero.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from pathlib import Path
 from typing import Callable, List, Optional
@@ -62,7 +78,23 @@ from typing import Callable, List, Optional
 from . import api, viz
 from .experiments import all_experiments, get_experiment
 from .runner import make_runner
+from .serve.schemas import error_envelope
 from .sim.config import parse_override
+
+
+def _fail(parser, args, code: str, message: str) -> int:
+    """Report a CLI failure; machine-readable under ``--json``.
+
+    With ``--json`` the caller asked for structured stdout, so the
+    failure is structured too: the serve API's error envelope on stdout
+    and exit code 2.  Without it, defer to ``parser.error`` (usage
+    message on stderr, SystemExit(2)) exactly as before.
+    """
+    if getattr(args, "json", False):
+        print(json.dumps(error_envelope(code, message)))
+        return 2
+    parser.error(message)
+    return 2  # unreachable; parser.error raises
 
 
 def list_experiments() -> str:
@@ -197,6 +229,20 @@ def run_bench_command(args) -> int:
     return subprocess.call(cmd, env=env)
 
 
+def run_serve_command(args) -> int:
+    """The ``serve`` subcommand: run the simulation job service."""
+    from .serve import serve_forever
+
+    return serve_forever(
+        host=args.host,
+        port=args.port,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        workers=args.workers,
+        quiet=not args.verbose,
+    )
+
+
 def make_progress_printer() -> Callable:
     """Per-job progress lines for --verbose (written to stderr)."""
 
@@ -269,8 +315,8 @@ def main(argv=None) -> int:
     )
     parser.add_argument(
         "experiment",
-        help="experiment name, 'list', 'all', 'trace', 'workloads', or "
-             "'bench'",
+        help="experiment name, 'list', 'all', 'trace', 'workloads', "
+             "'bench', or 'serve'",
     )
     parser.add_argument(
         "target", nargs="?", default=None,
@@ -311,6 +357,14 @@ def main(argv=None) -> int:
                         help="result cache directory (default .repro-cache)")
     parser.add_argument("--verbose", action="store_true",
                         help="print per-job runner progress to stderr")
+    parser.add_argument("--port", type=int, default=8086,
+                        help="listen port for 'serve' (0 = ephemeral; the "
+                             "bound port is announced on stdout)")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="listen address for 'serve' (default loopback)")
+    parser.add_argument("--workers", type=int, default=2,
+                        help="request worker threads for 'serve' (each "
+                             "executes one job at a time; default 2)")
     parser.add_argument("--batch-size", type=int, default=None,
                         help="records per classification batch for the "
                              "batched engine rungs of 'bench' (throughput "
@@ -328,6 +382,9 @@ def main(argv=None) -> int:
 
     if args.experiment == "bench":
         return run_bench_command(args)
+
+    if args.experiment == "serve":
+        return run_serve_command(args)
 
     runner = make_runner(
         jobs=args.jobs,
@@ -367,7 +424,10 @@ def main(argv=None) -> int:
     names = registered if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in registered]
     if unknown:
-        parser.error(f"unknown experiment(s): {', '.join(unknown)}; try 'list'")
+        return _fail(
+            parser, args, "unknown-experiment",
+            f"unknown experiment(s): {', '.join(unknown)}; try 'list'",
+        )
     running_all = args.experiment == "all"
     for name in names:
         try:
@@ -375,7 +435,7 @@ def main(argv=None) -> int:
                                running_all=running_all)
         except ValueError as exc:
             if not running_all:
-                parser.error(str(exc))
+                return _fail(parser, args, "invalid-request", str(exc))
             # A sweep must not abort because one experiment cannot take a
             # flag (e.g. fig01 accepts a single workload only).
             print(f"[skip] {name}: {exc}", file=sys.stderr)

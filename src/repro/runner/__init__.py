@@ -21,10 +21,11 @@ Layers:
 
 from .context import get_runner, make_runner, set_runner, use_runner
 from .jobs import ENGINE_VERSION, SimJob, TraceRef, config_from_dict, config_to_dict
-from .runner import ResultCache, Runner, RunnerStats
+from .runner import ProgressTracker, ResultCache, Runner, RunnerStats
 
 __all__ = [
     "ENGINE_VERSION",
+    "ProgressTracker",
     "ResultCache",
     "Runner",
     "RunnerStats",

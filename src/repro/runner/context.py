@@ -1,21 +1,37 @@
-"""Process-wide active Runner.
+"""Context-local active Runner.
 
 The experiment modules fetch their Runner from here, so one CLI-level
 ``Runner`` (configured with ``--jobs`` / ``--cache-dir`` / ``--no-cache``)
 is shared by every figure an invocation touches.  The default runner is
 serial with no cache — library callers and tests see exactly the
 historical inline behavior unless they opt in.
+
+The active runner lives in a :class:`contextvars.ContextVar`, not a
+module global: concurrent callers (the ``repro.serve`` worker threads,
+or any library embedding that runs experiments from multiple threads)
+each see their own installation, so two overlapping ``use_runner``
+scopes can never race each other's restore.  A thread that never
+installs anything falls back to one process-wide default runner, built
+lazily under a lock.
 """
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
+from contextvars import ContextVar
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Union
 
 from .runner import Runner
 
-_ACTIVE: Optional[Runner] = None
+#: The context-local active runner (``None`` = fall back to the default).
+_ACTIVE: ContextVar[Optional[Runner]] = ContextVar("repro_active_runner",
+                                                   default=None)
+
+#: Process-wide fallback for contexts that never installed a runner.
+_DEFAULT: Optional[Runner] = None
+_DEFAULT_LOCK = threading.Lock()
 
 
 def make_runner(
@@ -38,27 +54,47 @@ def make_runner(
     )
 
 
+def _default_runner() -> Runner:
+    """The process-wide fallback runner (serial, cache-less), built once.
+
+    Double-checked under a lock so concurrent first calls from multiple
+    threads agree on a single instance.
+    """
+    global _DEFAULT
+    if _DEFAULT is None:
+        with _DEFAULT_LOCK:
+            if _DEFAULT is None:
+                _DEFAULT = Runner(jobs=1, cache_dir=None, use_cache=False)
+    return _DEFAULT
+
+
 def get_runner() -> Runner:
     """The active runner (a serial, cache-less one if none was set)."""
-    global _ACTIVE
-    if _ACTIVE is None:
-        _ACTIVE = Runner(jobs=1, cache_dir=None, use_cache=False)
-    return _ACTIVE
+    runner = _ACTIVE.get()
+    if runner is not None:
+        return runner
+    return _default_runner()
 
 
 def set_runner(runner: Optional[Runner]) -> None:
-    """Install (or with ``None`` reset) the process-wide runner."""
-    global _ACTIVE
-    _ACTIVE = runner
+    """Install (or with ``None`` reset) the context's active runner.
+
+    Only the current context (thread / asyncio task) is affected; other
+    threads keep whatever they installed, or the shared default.
+    """
+    _ACTIVE.set(runner)
 
 
 @contextmanager
 def use_runner(runner: Runner) -> Iterator[Runner]:
-    """Temporarily install ``runner`` (restores the previous one)."""
-    global _ACTIVE
-    previous = _ACTIVE
-    _ACTIVE = runner
+    """Temporarily install ``runner`` (restores the previous one).
+
+    Scoped to the current context: concurrent ``use_runner`` blocks in
+    different threads are fully independent, and the restore uses the
+    ContextVar token, so even re-entrant nesting unwinds correctly.
+    """
+    token = _ACTIVE.set(runner)
     try:
         yield runner
     finally:
-        _ACTIVE = previous
+        _ACTIVE.reset(token)

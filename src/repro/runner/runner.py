@@ -18,7 +18,11 @@ tier-1 test asserts this).
 from __future__ import annotations
 
 import json
+import os
+import threading
 from concurrent.futures import ProcessPoolExecutor
+from contextlib import contextmanager
+from contextvars import ContextVar
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Dict, List, Optional, Sequence, Union
@@ -73,7 +77,14 @@ class ResultCache:
             return None  # corrupt entry: treat as a miss and overwrite
 
     def put(self, key: str, payload: Payload) -> None:
-        tmp = self._path(key).with_suffix(".tmp")
+        # Unique temp name per writer: concurrent threads (the serve
+        # worker pool) or processes sharing one cache directory may
+        # store overlapping job graphs; each writes its own temp file
+        # and the final rename is atomic, so readers never see a torn
+        # entry and writers never clobber each other's temp.
+        tmp = self._path(key).with_suffix(
+            f".{os.getpid()}-{threading.get_ident()}.tmp"
+        )
         tmp.write_text(json.dumps(payload_to_dict(payload)))
         tmp.replace(self._path(key))
 
@@ -97,6 +108,64 @@ class RunnerStats:
     def total(self) -> int:
         return self.cache_hits + self.executed
 
+    def to_dict(self) -> Dict[str, int]:
+        return {
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "total": self.total,
+        }
+
+
+#: Context-local progress override; see :meth:`Runner.progress_scope`.
+_PROGRESS_OVERRIDE: ContextVar[Optional[ProgressFn]] = ContextVar(
+    "repro_runner_progress", default=None
+)
+
+
+class ProgressTracker:
+    """A thread-safe progress snapshot, usable as a Runner progress fn.
+
+    Install one per logical request (``api.run(..., progress=tracker)``)
+    and read :meth:`snapshot` from any other thread — the ``repro.serve``
+    job table does exactly this to report live per-job progress counters
+    over HTTP.  ``done``/``total`` reflect the most recent
+    :meth:`Runner.run` call in the request (an experiment may run several
+    job graphs); ``cache_hits``/``executed`` accumulate across all of
+    them.  An optional ``forward`` callable receives every raw event.
+    """
+
+    def __init__(self, forward: Optional[ProgressFn] = None):
+        self._lock = threading.Lock()
+        self._forward = forward
+        self.total = 0
+        self.done = 0
+        self.cache_hits = 0
+        self.executed = 0
+        self.last_event = ""
+
+    def __call__(self, event: str, job: "SimJob", done: int, total: int) -> None:
+        with self._lock:
+            self.total = total
+            self.done = done
+            if event == "cache-hit":
+                self.cache_hits += 1
+            elif event == "done":
+                self.executed += 1
+            self.last_event = event
+        if self._forward is not None:
+            self._forward(event, job, done, total)
+
+    def snapshot(self) -> Dict[str, Union[int, str]]:
+        """A consistent point-in-time copy of the counters."""
+        with self._lock:
+            return {
+                "total": self.total,
+                "done": self.done,
+                "cache_hits": self.cache_hits,
+                "executed": self.executed,
+                "last_event": self.last_event,
+            }
+
 
 class Runner:
     """Executes SimJob graphs with optional parallelism and caching."""
@@ -114,11 +183,32 @@ class Runner:
         )
         self.progress = progress
         self.stats = RunnerStats()
+        self._stats_lock = threading.Lock()
 
     # ------------------------------------------------------------------
+    @contextmanager
+    def progress_scope(self, progress: Optional[ProgressFn]):
+        """Route this context's progress events to ``progress``.
+
+        A *shared* Runner (one serve process, many concurrent requests)
+        has a single constructor-time ``progress`` attribute; this scope
+        overrides it through a ContextVar, so each thread/request gets
+        its own progress sink without mutating shared state.  ``None``
+        leaves the constructor default in effect.
+        """
+        if progress is None:
+            yield self
+            return
+        token = _PROGRESS_OVERRIDE.set(progress)
+        try:
+            yield self
+        finally:
+            _PROGRESS_OVERRIDE.reset(token)
+
     def _emit(self, event: str, job: SimJob, done: int, total: int) -> None:
-        if self.progress is not None:
-            self.progress(event, job, done, total)
+        fn = _PROGRESS_OVERRIDE.get() or self.progress
+        if fn is not None:
+            fn(event, job, done, total)
 
     def run(self, jobs: Sequence[SimJob]) -> List[Payload]:
         """Execute ``jobs`` (and their deps); returns payloads in order."""
@@ -165,7 +255,8 @@ class Runner:
                     cached = self.cache.get(key) if self.cache else None
                     if cached is not None:
                         results[key] = cached
-                        self.stats.cache_hits += 1
+                        with self._stats_lock:
+                            self.stats.cache_hits += 1
                         done += 1
                         self._emit("cache-hit", job, done, total)
                     else:
@@ -212,7 +303,8 @@ class Runner:
         total: int,
     ) -> int:
         results[job.cache_key] = payload
-        self.stats.executed += 1
+        with self._stats_lock:
+            self.stats.executed += 1
         if self.cache is not None:
             self.cache.put(job.cache_key, payload)
         done += 1

@@ -1,0 +1,45 @@
+"""Serve mode: a long-running simulation job service over HTTP/JSON.
+
+Layers (all stdlib; no new dependencies):
+
+- :mod:`repro.serve.schemas` — wire schemas: validated
+  :class:`ServeRequest` bodies, the content-hash request digest
+  (dedup key *and* job id), and the shared error envelope;
+- :mod:`repro.serve.jobs`    — the thread-safe :class:`JobTable`
+  (queued/running/done/failed lifecycle, in-flight + result-table
+  request dedup);
+- :mod:`repro.serve.server`  — :class:`ExperimentService` (worker pool
+  around one shared Runner + cache) and the ``ThreadingHTTPServer``
+  transport; :func:`serve_forever` is what ``repro.cli serve`` runs;
+- :mod:`repro.serve.client`  — :class:`ServeClient`, the stdlib client
+  the load benchmark, CI smoke, and tests drive the service with.
+
+See ``docs/serve.md`` for the endpoint reference and dedup semantics.
+"""
+
+from .client import ServeClient
+from .jobs import DONE, FAILED, QUEUED, RUNNING, JobRecord, JobTable
+from .schemas import ServeError, ServeRequest, error_envelope
+from .server import (
+    ExperimentService,
+    canonical_result_json,
+    make_server,
+    serve_forever,
+)
+
+__all__ = [
+    "DONE",
+    "FAILED",
+    "QUEUED",
+    "RUNNING",
+    "ExperimentService",
+    "JobRecord",
+    "JobTable",
+    "ServeClient",
+    "ServeError",
+    "ServeRequest",
+    "canonical_result_json",
+    "error_envelope",
+    "make_server",
+    "serve_forever",
+]

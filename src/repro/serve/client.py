@@ -1,0 +1,122 @@
+"""A minimal stdlib client for the serve API.
+
+Used by the load benchmark, the CI serve-smoke, and the test suite —
+and handy interactively::
+
+    from repro.serve import ServeClient
+
+    client = ServeClient("http://127.0.0.1:8086")
+    status, body = client.submit({"experiment": "fig10", "records": 2000,
+                                  "workloads": ["mcf_inp"],
+                                  "schemes": ["triangel"]})
+    job_id = body["job"]["id"]
+    client.wait(job_id)
+    blob = client.result_bytes(job_id)        # ExperimentResult JSON
+
+Every method returns decoded JSON plus the HTTP status; nothing raises
+on 4xx/5xx (the body *is* the error envelope), only on transport
+failures and :meth:`wait` timeouts.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+import urllib.error
+import urllib.request
+from typing import Any, Dict, Optional, Tuple
+
+
+class ServeClient:
+    """Thin HTTP/JSON client bound to one service base URL."""
+
+    def __init__(self, base_url: str, timeout: float = 30.0):
+        self.base_url = base_url.rstrip("/")
+        self.timeout = timeout
+
+    # ------------------------------------------------------------------
+    def _request(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, bytes]:
+        data = json.dumps(payload).encode() if payload is not None else None
+        req = urllib.request.Request(
+            self.base_url + path,
+            data=data,
+            method=method,
+            headers={"Content-Type": "application/json"} if data else {},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                return resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            return exc.code, exc.read()
+
+    def _json(
+        self, method: str, path: str, payload: Optional[Dict] = None
+    ) -> Tuple[int, Dict[str, Any]]:
+        status, blob = self._request(method, path, payload)
+        return status, json.loads(blob)
+
+    # ------------------------------------------------------------------
+    def health(self) -> Tuple[int, Dict]:
+        return self._json("GET", "/healthz")
+
+    def stats(self) -> Dict:
+        return self._json("GET", "/v1/stats")[1]
+
+    def jobs(self) -> Dict:
+        return self._json("GET", "/v1/jobs")[1]
+
+    def job(self, job_id: str) -> Tuple[int, Dict]:
+        return self._json("GET", f"/v1/jobs/{job_id}")
+
+    def result_bytes(self, job_id: str) -> bytes:
+        """The stored result document, as served (byte-exact)."""
+        status, blob = self._request("GET", f"/v1/jobs/{job_id}/result")
+        if status != 200:
+            raise RuntimeError(
+                f"result for {job_id} not available (HTTP {status}): "
+                f"{blob.decode(errors='replace')}"
+            )
+        return blob
+
+    def submit(self, payload: Dict) -> Tuple[int, Dict]:
+        """POST /v1/experiments; 202 = new job, 200 = deduplicated."""
+        return self._json("POST", "/v1/experiments", payload)
+
+    def shutdown(self) -> Tuple[int, Dict]:
+        return self._json("POST", "/v1/shutdown")
+
+    # ------------------------------------------------------------------
+    def wait(
+        self, job_id: str, timeout: float = 120.0, interval: float = 0.02
+    ) -> Dict:
+        """Poll until the job finishes; returns its final summary.
+
+        Raises ``TimeoutError`` after ``timeout`` seconds and
+        ``RuntimeError`` if the job id disappears.
+        """
+        deadline = time.monotonic() + timeout
+        while True:
+            status, summary = self.job(job_id)
+            if status != 200:
+                raise RuntimeError(f"job {job_id} lookup failed: {summary}")
+            if summary["state"] in ("done", "failed"):
+                return summary
+            if time.monotonic() > deadline:
+                raise TimeoutError(
+                    f"job {job_id} still {summary['state']} "
+                    f"after {timeout:.0f}s"
+                )
+            time.sleep(interval)
+
+    def run(self, payload: Dict, timeout: float = 120.0) -> bytes:
+        """Submit + wait + fetch: one request's full round trip."""
+        _, body = self.submit(payload)
+        if "job" not in body:
+            raise RuntimeError(f"submission rejected: {body}")
+        job_id = body["job"]["id"]
+        summary = self.wait(job_id, timeout=timeout)
+        if summary["state"] != "done":
+            raise RuntimeError(f"job {job_id} failed: {summary['error']}")
+        return self.result_bytes(job_id)

@@ -1,0 +1,171 @@
+"""The service's job table: states, progress, and request dedup.
+
+One :class:`JobRecord` per *distinct* request digest.  Submitting a
+request whose digest is already in the table does not create work:
+
+- digest maps to a queued/running job  → the caller coalesces onto the
+  in-flight job (``dedup_inflight``);
+- digest maps to a completed job       → the stored result bytes are
+  served straight from the table (``dedup_done``) — and even across a
+  service restart the shared ``.repro-cache`` absorbs the re-execution,
+  because job digests and sim cache keys hash the same content;
+- digest maps to a *failed* job        → the record is replaced and the
+  request re-executed (failures are not cached).
+
+All table state is guarded by one lock; records hand out JSON-ready
+summaries so the HTTP layer never touches fields directly.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Dict, List, Optional, Tuple
+
+from ..runner import ProgressTracker
+from .schemas import ServeRequest
+
+#: Job lifecycle states.
+QUEUED = "queued"
+RUNNING = "running"
+DONE = "done"
+FAILED = "failed"
+
+#: States in which a new identical request coalesces instead of re-running.
+_DEDUPABLE = (QUEUED, RUNNING, DONE)
+
+
+class JobRecord:
+    """One distinct experiment request and its lifecycle."""
+
+    def __init__(self, request: ServeRequest, digest: str):
+        self.request = request
+        self.digest = digest
+        self.id = digest[:32]
+        self.state = QUEUED
+        self.created = time.time()
+        self.started: Optional[float] = None
+        self.finished: Optional[float] = None
+        self.dedup_hits = 0
+        self.tracker: Optional[ProgressTracker] = None
+        self.result_json: Optional[str] = None
+        self.error: Optional[Dict] = None
+
+    # ------------------------------------------------------------------
+    @property
+    def elapsed(self) -> Optional[float]:
+        """Wall-clock execution time (None until the job starts)."""
+        if self.started is None:
+            return None
+        end = self.finished if self.finished is not None else time.time()
+        return end - self.started
+
+    def summary(self) -> Dict:
+        """JSON-ready view of the job (the GET /v1/jobs/<id> body)."""
+        elapsed = self.elapsed
+        return {
+            "id": self.id,
+            "digest": self.digest,
+            "state": self.state,
+            "request": self.request.to_dict(),
+            "created_at": round(self.created, 3),
+            "started_at": round(self.started, 3) if self.started else None,
+            "finished_at": round(self.finished, 3) if self.finished else None,
+            "elapsed_seconds": round(elapsed, 3) if elapsed is not None else None,
+            "dedup_hits": self.dedup_hits,
+            "progress": self.tracker.snapshot() if self.tracker else None,
+            "error": self.error,
+        }
+
+
+class JobTable:
+    """Thread-safe digest-keyed store of every job the service has seen."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._jobs: Dict[str, JobRecord] = {}  # digest -> record, in order
+        self.submitted = 0
+        self.dedup_inflight = 0
+        self.dedup_done = 0
+        self.completed = 0
+        self.failed = 0
+
+    # ------------------------------------------------------------------
+    def submit(self, request: ServeRequest) -> Tuple[JobRecord, bool]:
+        """Register a request; returns ``(record, created)``.
+
+        ``created`` is False when the request coalesced onto an existing
+        job (in-flight or completed) — the caller must only enqueue work
+        when it is True.  The dedup decision and the table insert are one
+        critical section, so two identical concurrent submissions can
+        never both create a job.
+        """
+        digest = request.digest()
+        with self._lock:
+            self.submitted += 1
+            existing = self._jobs.get(digest)
+            if existing is not None and existing.state in _DEDUPABLE:
+                existing.dedup_hits += 1
+                if existing.state == DONE:
+                    self.dedup_done += 1
+                else:
+                    self.dedup_inflight += 1
+                return existing, False
+            record = JobRecord(request, digest)
+            self._jobs[digest] = record
+            return record, True
+
+    def get(self, job_id: str) -> Optional[JobRecord]:
+        with self._lock:
+            for record in self._jobs.values():
+                if record.id == job_id:
+                    return record
+        return None
+
+    def all(self) -> List[JobRecord]:
+        """Every record, in first-submission order."""
+        with self._lock:
+            return list(self._jobs.values())
+
+    # ------------------------------------------------------------------
+    def mark_running(self, record: JobRecord, tracker: ProgressTracker) -> None:
+        with self._lock:
+            record.state = RUNNING
+            record.started = time.time()
+            record.tracker = tracker
+
+    def mark_done(self, record: JobRecord, result_json: str) -> None:
+        with self._lock:
+            record.state = DONE
+            record.finished = time.time()
+            record.result_json = result_json
+            self.completed += 1
+
+    def mark_failed(self, record: JobRecord, error: Dict) -> None:
+        with self._lock:
+            record.state = FAILED
+            record.finished = time.time()
+            record.error = error
+            self.failed += 1
+
+    # ------------------------------------------------------------------
+    def counters(self) -> Dict[str, int]:
+        """Aggregate counters for GET /v1/stats."""
+        with self._lock:
+            by_state: Dict[str, int] = {
+                QUEUED: 0, RUNNING: 0, DONE: 0, FAILED: 0,
+            }
+            for record in self._jobs.values():
+                by_state[record.state] += 1
+            return {
+                "submitted": self.submitted,
+                "distinct": len(self._jobs),
+                "queued": by_state[QUEUED],
+                "running": by_state[RUNNING],
+                "done": by_state[DONE],
+                "failed": by_state[FAILED],
+                "completed": self.completed,
+                "dedup_inflight": self.dedup_inflight,
+                "dedup_done": self.dedup_done,
+                "dedup_hits": self.dedup_inflight + self.dedup_done,
+            }

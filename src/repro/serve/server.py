@@ -1,0 +1,375 @@
+"""The long-running simulation job service.
+
+One process wraps :func:`repro.api.run` behind an HTTP/JSON interface
+(stdlib only — :class:`http.server.ThreadingHTTPServer` for transport,
+a small worker thread pool for execution):
+
+- ``POST /v1/experiments``      validated body -> job id (202; 200 when
+  the request coalesced onto an existing job);
+- ``GET  /v1/jobs``             every job, first-submission order;
+- ``GET  /v1/jobs/<id>``        state + live progress counters;
+- ``GET  /v1/jobs/<id>/result`` the stored ``ExperimentResult`` JSON;
+- ``GET  /v1/stats``            uptime, job/dedup/runner-cache counters;
+- ``GET  /healthz``             liveness;
+- ``POST /v1/shutdown``         graceful stop (the CLI/bench use it).
+
+**One shared Runner** (with one on-disk cache) sits behind the job
+queue; worker threads execute jobs through ``api.run`` with a
+context-local progress tracker, so concurrent requests never race each
+other's runner installation (the context refactor in
+:mod:`repro.runner.context`) or progress sink
+(:meth:`Runner.progress_scope`).  Duplicate traffic is absorbed twice:
+identical in-flight requests coalesce in the :class:`JobTable` before
+any work is queued, and whatever does execute hits the content-hash
+result cache underneath.
+
+Results are **deterministic bytes**: the stored payload is
+``ExperimentResult.to_json()`` with ``elapsed`` canonicalized to 0.0
+(wall-clock lives in the job summary, not the result), so two runs of
+one request — on one server or across restarts — serve byte-identical
+documents, and the load benchmark can assert parity against a direct
+``api.run``.
+"""
+
+from __future__ import annotations
+
+import json
+import queue
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .. import api
+from ..runner import ProgressTracker, Runner, make_runner
+from .jobs import DONE, FAILED, JobRecord, JobTable
+from .schemas import ServeError, ServeRequest, error_envelope
+
+#: Largest accepted request body (a submission is a few hundred bytes).
+MAX_BODY_BYTES = 1 << 20
+
+
+class _Server(ThreadingHTTPServer):
+    """ThreadingHTTPServer tuned for bursty load.
+
+    The stdlib default listen backlog (5) resets connections when many
+    clients connect in one burst — the load benchmark's closed-loop
+    clients all dial in simultaneously, and urllib opens a fresh
+    connection per request.  A deeper backlog absorbs the burst.
+    """
+
+    daemon_threads = True
+    request_queue_size = 128
+
+
+def canonical_result_json(result: "api.ExperimentResult") -> str:
+    """The service's byte-stable serialization of a result.
+
+    ``elapsed`` is the one non-deterministic field in
+    ``ExperimentResult.to_dict``; zeroing it makes the document a pure
+    function of the request content (the simulations themselves are
+    deterministic), which is what lets identical requests dedup to
+    byte-identical responses.
+    """
+    result.elapsed = 0.0
+    return result.to_json()
+
+
+class ExperimentService:
+    """Job queue + worker pool + shared Runner behind the HTTP layer."""
+
+    def __init__(
+        self,
+        jobs: int = 1,
+        cache_dir=None,
+        workers: int = 2,
+        runner: Optional[Runner] = None,
+    ):
+        self.runner = runner if runner is not None else make_runner(
+            jobs=jobs, cache_dir=cache_dir
+        )
+        self.table = JobTable()
+        self.queue: "queue.Queue[Optional[str]]" = queue.Queue()
+        self.workers = max(1, int(workers))
+        self.started_at = time.time()
+        self._threads = [
+            threading.Thread(
+                target=self._work, name=f"serve-worker-{i}", daemon=True
+            )
+            for i in range(self.workers)
+        ]
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        for t in self._threads:
+            t.start()
+
+    def stop(self, timeout: float = 5.0) -> None:
+        """Drain the workers (one sentinel each) and join them."""
+        if not self._running:
+            return
+        self._running = False
+        for _ in self._threads:
+            self.queue.put(None)
+        for t in self._threads:
+            t.join(timeout=timeout)
+
+    # ------------------------------------------------------------------
+    def submit(self, payload) -> Tuple[int, Dict]:
+        """Validate + register a submission; returns (status, body).
+
+        202 for a newly created job, 200 when the request deduplicated
+        onto an existing one (in-flight or already completed).
+        """
+        request = ServeRequest.from_payload(payload)
+        record, created = self.table.submit(request)
+        if created:
+            self.queue.put(record.digest)
+        body = {"job": record.summary(), "deduped": not created}
+        return (202 if created else 200), body
+
+    def _work(self) -> None:
+        while True:
+            digest = self.queue.get()
+            if digest is None:
+                return
+            record = next(
+                (r for r in self.table.all() if r.digest == digest), None
+            )
+            if record is None:  # replaced after a failure re-submit
+                continue
+            self._execute(record)
+
+    def _execute(self, record: JobRecord) -> None:
+        tracker = ProgressTracker()
+        self.table.mark_running(record, tracker)
+        req = record.request
+        try:
+            result = api.run(
+                req.experiment,
+                records=req.records,
+                workloads=req.workloads,
+                schemes=req.schemes,
+                overrides=req.overrides,
+                runner=self.runner,
+                progress=tracker,
+            )
+            self.table.mark_done(record, canonical_result_json(result))
+        except Exception as exc:  # noqa: BLE001 - a job must never kill a worker
+            self.table.mark_failed(
+                record,
+                error_envelope(
+                    "execution-failed", f"{type(exc).__name__}: {exc}"
+                ),
+            )
+
+    # ------------------------------------------------------------------
+    def stats(self) -> Dict:
+        """The GET /v1/stats body."""
+        return {
+            "uptime_seconds": round(time.time() - self.started_at, 3),
+            "workers": self.workers,
+            "runner_jobs": self.runner.jobs,
+            "cache_dir": (
+                str(self.runner.cache.root) if self.runner.cache else None
+            ),
+            "jobs": self.table.counters(),
+            "runner": self.runner.stats.to_dict(),
+        }
+
+
+class ServeHandler(BaseHTTPRequestHandler):
+    """Routes HTTP requests onto the bound :class:`ExperimentService`."""
+
+    server_version = "repro-serve/1"
+    protocol_version = "HTTP/1.1"
+    service: ExperimentService  # bound by make_server
+    quiet = True
+
+    # ------------------------------------------------------------------
+    def log_message(self, fmt: str, *args) -> None:  # noqa: A003
+        if not self.quiet:
+            super().log_message(fmt, *args)
+
+    def _send_json(self, status: int, body: Dict) -> None:
+        self._send_bytes(status, json.dumps(body).encode())
+
+    def _send_bytes(
+        self, status: int, blob: bytes,
+        content_type: str = "application/json",
+    ) -> None:
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(blob)))
+        self.end_headers()
+        self.wfile.write(blob)
+
+    def _send_error_envelope(
+        self, status: int, code: str, message: str, **details
+    ) -> None:
+        self._send_json(status, error_envelope(code, message, **details))
+
+    # ------------------------------------------------------------------
+    def do_GET(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/") or "/"
+        try:
+            if path == "/healthz":
+                self._send_json(200, {"status": "ok"})
+            elif path == "/v1/stats":
+                self._send_json(200, self.service.stats())
+            elif path == "/v1/jobs":
+                self._send_json(
+                    200,
+                    {"jobs": [r.summary() for r in self.service.table.all()]},
+                )
+            elif path.startswith("/v1/jobs/"):
+                self._get_job(path[len("/v1/jobs/"):])
+            else:
+                self._send_error_envelope(
+                    404, "not-found", f"no route for GET {path}"
+                )
+        except ServeError as exc:
+            self._send_json(exc.status, exc.envelope())
+
+    def _get_job(self, rest: str) -> None:
+        want_result = rest.endswith("/result")
+        job_id = rest[:-len("/result")] if want_result else rest
+        record = self.service.table.get(job_id)
+        if record is None:
+            self._send_error_envelope(
+                404, "unknown-job", f"no job with id {job_id!r}"
+            )
+            return
+        if not want_result:
+            self._send_json(200, record.summary())
+            return
+        if record.state == DONE:
+            self._send_bytes(200, record.result_json.encode())
+        elif record.state == FAILED:
+            self._send_json(500, record.error)
+        else:
+            self._send_error_envelope(
+                409, "job-not-finished",
+                f"job {job_id} is {record.state}; poll /v1/jobs/{job_id}",
+                state=record.state,
+            )
+
+    # ------------------------------------------------------------------
+    def do_POST(self) -> None:  # noqa: N802 - http.server API
+        path = urlsplit(self.path).path.rstrip("/")
+        if path == "/v1/experiments":
+            self._post_experiment()
+        elif path == "/v1/shutdown":
+            self._send_json(200, {"status": "shutting down"})
+            threading.Thread(target=self.server.shutdown, daemon=True).start()
+        else:
+            self._send_error_envelope(
+                404, "not-found", f"no route for POST {path}"
+            )
+
+    def _post_experiment(self) -> None:
+        try:
+            length = int(self.headers.get("Content-Length") or 0)
+        except ValueError:
+            length = -1
+        if length <= 0:
+            self._send_error_envelope(
+                400, "invalid-request", "a JSON body is required"
+            )
+            return
+        if length > MAX_BODY_BYTES:
+            self._send_error_envelope(
+                413, "payload-too-large",
+                f"body exceeds {MAX_BODY_BYTES} bytes",
+            )
+            return
+        try:
+            payload = json.loads(self.rfile.read(length))
+        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+            self._send_error_envelope(
+                400, "invalid-json", f"body is not valid JSON: {exc}"
+            )
+            return
+        try:
+            status, body = self.service.submit(payload)
+        except ServeError as exc:
+            self._send_json(exc.status, exc.envelope())
+            return
+        self._send_json(status, body)
+
+
+def make_server(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 1,
+    cache_dir=None,
+    workers: int = 2,
+    runner: Optional[Runner] = None,
+    quiet: bool = True,
+) -> Tuple[ThreadingHTTPServer, ExperimentService]:
+    """Build (but do not start) the HTTP server + service pair.
+
+    ``port=0`` binds an ephemeral port (read it back from
+    ``server.server_address``).  The caller owns the lifecycle::
+
+        server, service = make_server(port=0)
+        service.start()
+        threading.Thread(target=server.serve_forever, daemon=True).start()
+        ...
+        server.shutdown(); service.stop()
+    """
+    service = ExperimentService(
+        jobs=jobs, cache_dir=cache_dir, workers=workers, runner=runner
+    )
+    handler = type(
+        "BoundServeHandler", (ServeHandler,),
+        {"service": service, "quiet": quiet},
+    )
+    server = _Server((host, port), handler)
+    return server, service
+
+
+def serve_forever(
+    host: str = "127.0.0.1",
+    port: int = 0,
+    jobs: int = 1,
+    cache_dir=None,
+    workers: int = 2,
+    quiet: bool = True,
+    announce=print,
+) -> int:
+    """Run the service until shutdown (the ``cli serve`` entry point).
+
+    Announces ``serving on http://host:port`` (flushed immediately, so
+    wrappers that spawned the process can scrape the ephemeral port),
+    then blocks in ``serve_forever``.  Returns 0 on a clean shutdown
+    (Ctrl-C or POST /v1/shutdown).
+    """
+    server, service = make_server(
+        host=host, port=port, jobs=jobs, cache_dir=cache_dir,
+        workers=workers, quiet=quiet,
+    )
+    bound_host, bound_port = server.server_address[:2]
+    cache_note = (
+        service.runner.cache.root if service.runner.cache else "disabled"
+    )
+    announce(
+        f"serving on http://{bound_host}:{bound_port}  "
+        f"(workers={service.workers}, runner jobs={service.runner.jobs}, "
+        f"cache={cache_note})",
+        flush=True,
+    )
+    service.start()
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        pass
+    finally:
+        server.server_close()
+        service.stop()
+    return 0

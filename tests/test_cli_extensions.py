@@ -72,6 +72,50 @@ class TestChartCommand:
         assert csv_text.startswith("structure,")
 
 
+class TestJsonErrorEnvelope:
+    """CLI failures under ``--json`` emit the serve API's error envelope
+    on stdout with a non-zero exit, instead of argparse's usage text."""
+
+    def test_unknown_experiment_json_envelope(self, capsys):
+        import json
+
+        rc = cli.main(["nope", "--json"])
+        assert rc == 2
+        body = json.loads(capsys.readouterr().out)
+        assert set(body) == {"error"}
+        assert body["error"]["code"] == "unknown-experiment"
+        assert "nope" in body["error"]["message"]
+
+    def test_invalid_workload_json_envelope(self, capsys):
+        import json
+
+        rc = cli.main(["fig10", "--json", "--no-cache",
+                       "--workloads", "bogus_workload"])
+        assert rc == 2
+        body = json.loads(capsys.readouterr().out)
+        assert body["error"]["code"] == "invalid-request"
+        assert "bogus_workload" in body["error"]["message"]
+
+    def test_envelope_schema_matches_serve_api(self, capsys):
+        import json
+
+        from repro.serve import ServeError, ServeRequest
+
+        cli.main(["nope", "--json"])
+        cli_body = json.loads(capsys.readouterr().out)
+        with pytest.raises(ServeError) as exc:
+            ServeRequest.from_payload({"experiment": "nope"})
+        serve_body = exc.value.envelope()
+        assert set(cli_body) == set(serve_body) == {"error"}
+        assert set(cli_body["error"]) >= {"code", "message"}
+
+    def test_without_json_still_exits_via_argparse(self, capsys):
+        with pytest.raises(SystemExit) as exc:
+            cli.main(["nope"])
+        assert exc.value.code == 2
+        assert "unknown experiment" in capsys.readouterr().err
+
+
 class TestBenchCommand:
     """`repro.cli bench` shells the throughput benchmark in smoke mode."""
 

@@ -1,0 +1,154 @@
+"""Concurrency regression tests for the context-local active Runner.
+
+The PR-7 serve mode runs experiments from a worker thread pool against
+one process; the old module-global ``_ACTIVE`` meant two overlapping
+``use_runner`` scopes in different threads raced each other's restore.
+These tests pin the ContextVar semantics: per-thread isolation, one
+shared lazily-built default, and correct nested restores.
+"""
+
+import threading
+
+from repro.runner import Runner, get_runner, make_runner, set_runner, use_runner
+from repro.runner import context as runner_context
+
+
+def _fresh_default():
+    """Reset the process-wide default runner (tests only)."""
+    runner_context._DEFAULT = None
+
+
+class TestContextIsolation:
+    def test_use_runner_installs_and_restores(self):
+        before = get_runner()
+        mine = make_runner(jobs=1)
+        with use_runner(mine) as active:
+            assert active is mine
+            assert get_runner() is mine
+        assert get_runner() is before
+
+    def test_nested_use_runner_unwinds_in_order(self):
+        outer, inner = make_runner(), make_runner()
+        with use_runner(outer):
+            with use_runner(inner):
+                assert get_runner() is inner
+            assert get_runner() is outer
+
+    def test_set_runner_none_falls_back_to_default(self):
+        mine = make_runner()
+        set_runner(mine)
+        assert get_runner() is mine
+        set_runner(None)
+        default = get_runner()
+        assert default is not mine
+        assert default is get_runner()  # stable default instance
+
+    def test_threads_see_their_own_runner(self):
+        """N threads install N runners concurrently; no cross-talk."""
+        n = 8
+        barrier = threading.Barrier(n)
+        failures = []
+
+        def worker(idx: int) -> None:
+            mine = make_runner(jobs=1)
+            with use_runner(mine):
+                barrier.wait(timeout=10)  # all scopes overlap right now
+                for _ in range(200):
+                    if get_runner() is not mine:
+                        failures.append(idx)
+                        return
+            if get_runner() is mine:  # scope must not leak
+                failures.append(idx)
+
+        threads = [
+            threading.Thread(target=worker, args=(i,)) for i in range(n)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert not failures
+
+    def test_thread_without_install_gets_shared_default(self):
+        """Threads that never install a runner share one default."""
+        _fresh_default()
+        n = 8
+        barrier = threading.Barrier(n)
+        seen = []
+        lock = threading.Lock()
+
+        def worker() -> None:
+            barrier.wait(timeout=10)  # racing first-builds of the default
+            runner = get_runner()
+            with lock:
+                seen.append(runner)
+
+        threads = [threading.Thread(target=worker) for _ in range(n)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(seen) == n
+        assert all(r is seen[0] for r in seen)
+        assert isinstance(seen[0], Runner)
+
+    def test_main_thread_unaffected_by_worker_install(self):
+        before = get_runner()
+        done = threading.Event()
+        release = threading.Event()
+
+        def worker() -> None:
+            with use_runner(make_runner()):
+                done.set()
+                release.wait(timeout=10)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert done.wait(timeout=10)
+        assert get_runner() is before  # worker's install is invisible here
+        release.set()
+        t.join(timeout=10)
+
+
+class TestProgressScope:
+    def test_scope_routes_events_per_thread(self):
+        """One shared Runner, two threads, two progress sinks."""
+        shared = make_runner()
+        events = {"a": [], "b": []}
+        barrier = threading.Barrier(2)
+
+        def worker(key: str) -> None:
+            def sink(event, job, done, total):
+                events[key].append(event)
+
+            with shared.progress_scope(sink):
+                barrier.wait(timeout=10)
+                for _ in range(50):
+                    shared._emit("done", None, 1, 1)
+
+        threads = [
+            threading.Thread(target=worker, args=(k,)) for k in ("a", "b")
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=30)
+        assert len(events["a"]) == 50
+        assert len(events["b"]) == 50
+
+    def test_scope_overrides_and_restores_constructor_progress(self):
+        base_events = []
+        shared = make_runner(progress=lambda *a: base_events.append(a[0]))
+        scoped = []
+        with shared.progress_scope(lambda *a: scoped.append(a[0])):
+            shared._emit("start", None, 0, 1)
+        shared._emit("done", None, 1, 1)
+        assert scoped == ["start"]
+        assert base_events == ["done"]
+
+    def test_none_scope_is_a_no_op(self):
+        base_events = []
+        shared = make_runner(progress=lambda *a: base_events.append(a[0]))
+        with shared.progress_scope(None):
+            shared._emit("start", None, 0, 1)
+        assert base_events == ["start"]

@@ -1,0 +1,333 @@
+"""Tests for the serve subsystem: endpoints, dedup, parity, envelopes.
+
+The server under test is the real HTTP stack (``ThreadingHTTPServer`` on
+an ephemeral loopback port) with the real worker pool — requests travel
+the same wire path production traffic would.
+"""
+
+import json
+import threading
+
+import pytest
+
+import repro.api as api
+from repro.serve import (
+    ServeClient,
+    ServeError,
+    ServeRequest,
+    canonical_result_json,
+    make_server,
+)
+
+#: A tiny but real simulation request (two SimJobs: baseline + triangel).
+TINY = {
+    "experiment": "fig10",
+    "records": 2500,
+    "workloads": ["mcf_inp"],
+    "schemes": ["triangel"],
+}
+
+
+def start_server(**kwargs):
+    server, service = make_server(port=0, **kwargs)
+    service.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    return server, service, url
+
+
+@pytest.fixture()
+def live():
+    """A running service: (client, service); torn down afterwards."""
+    server, service, url = start_server(workers=2)
+    try:
+        yield ServeClient(url), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# wire schema / digest
+# ----------------------------------------------------------------------
+class TestServeRequest:
+    def test_digest_is_deterministic_and_content_addressed(self):
+        a = ServeRequest.from_payload(dict(TINY))
+        b = ServeRequest.from_payload(dict(TINY))
+        assert a.digest() == b.digest()
+        assert a.job_id() == b.job_id() == a.digest()[:32]
+
+    def test_digest_ignores_override_key_order(self):
+        base = {"experiment": "fig10", "records": 2500}
+        x = ServeRequest.from_payload(
+            {**base, "overrides": {"l3.size_kb": 4096, "l2.size_kb": 512}}
+        )
+        y = ServeRequest.from_payload(
+            {**base, "overrides": {"l2.size_kb": 512, "l3.size_kb": 4096}}
+        )
+        assert x.digest() == y.digest()
+
+    def test_digest_distinguishes_every_request_knob(self):
+        digests = {
+            ServeRequest.from_payload(p).digest()
+            for p in (
+                TINY,
+                {**TINY, "records": 2600},
+                {**TINY, "workloads": ["omnetpp_inp"]},
+                {**TINY, "schemes": ["prophet"]},
+                {**TINY, "overrides": {"l3.size_kb": 4096}},
+                {"experiment": "fig11", "records": 2500,
+                 "workloads": ["mcf_inp"], "schemes": ["triangel"]},
+            )
+        }
+        assert len(digests) == 6
+
+    def test_defaults_distinct_from_explicit_selection(self):
+        # The result JSON echoes the request shape (None vs a list), so
+        # the digests must differ even when the labels resolve equally.
+        from repro.experiments import get_experiment
+
+        implicit = ServeRequest.from_payload(
+            {"experiment": "fig10", "records": 2500}
+        )
+        explicit = ServeRequest.from_payload(
+            {"experiment": "fig10", "records": 2500,
+             "workloads": list(get_experiment("fig10").workloads)}
+        )
+        assert implicit.workloads is None
+        assert implicit.digest() != explicit.digest()
+
+    @pytest.mark.parametrize("payload,code", [
+        ("not a dict", "invalid-request"),
+        ({}, "invalid-request"),
+        ({"experiment": "nope"}, "unknown-experiment"),
+        ({"experiment": "fig10", "records": 0}, "invalid-request"),
+        ({"experiment": "fig10", "records": True}, "invalid-request"),
+        ({"experiment": "storage", "records": 500}, "invalid-request"),
+        ({"experiment": "fig10", "workloads": []}, "invalid-request"),
+        ({"experiment": "fig10", "workloads": ["bogus"]}, "unknown-workload"),
+        ({"experiment": "fig10", "schemes": ["bogus"]}, "unknown-scheme"),
+        ({"experiment": "fig10", "overrides": {"bogus.path": 1}},
+         "invalid-override"),
+        ({"experiment": "fig10", "experment": 1}, "unexpected-field"),
+    ])
+    def test_validation_rejects(self, payload, code):
+        with pytest.raises(ServeError) as exc:
+            ServeRequest.from_payload(payload)
+        assert exc.value.status == 400
+        assert exc.value.code == code
+        assert exc.value.envelope()["error"]["code"] == code
+
+
+# ----------------------------------------------------------------------
+# endpoints
+# ----------------------------------------------------------------------
+class TestEndpoints:
+    def test_healthz(self, live):
+        client, _ = live
+        assert client.health() == (200, {"status": "ok"})
+
+    def test_round_trip_and_parity_with_direct_api_run(self, live):
+        client, service = live
+        status, body = client.submit(TINY)
+        assert status == 202 and body["deduped"] is False
+        job_id = body["job"]["id"]
+        # Deterministic id: derived from the request digest, nothing else.
+        assert job_id == ServeRequest.from_payload(dict(TINY)).job_id()
+        summary = client.wait(job_id)
+        assert summary["state"] == "done"
+        assert summary["progress"]["done"] == summary["progress"]["total"] > 0
+        assert summary["elapsed_seconds"] is not None
+        served = client.result_bytes(job_id)
+        direct = api.run("fig10", records=2500, workloads=["mcf_inp"],
+                         schemes=["triangel"])
+        assert served == canonical_result_json(direct).encode()
+        # The served document round-trips through the library type.
+        again = api.ExperimentResult.from_json(served.decode())
+        assert again.name == "fig10"
+
+    def test_jobs_listing_and_stats(self, live):
+        client, _ = live
+        client.run(TINY)
+        listing = client.jobs()["jobs"]
+        assert len(listing) == 1 and listing[0]["state"] == "done"
+        stats = client.stats()
+        assert stats["jobs"]["completed"] == 1
+        assert stats["runner"]["executed"] >= 1
+        assert stats["uptime_seconds"] >= 0
+        assert stats["workers"] == 2
+
+    def test_error_envelopes_over_http(self, live):
+        client, _ = live
+        status, body = client.submit({"experiment": "nope"})
+        assert status == 400
+        assert body["error"]["code"] == "unknown-experiment"
+        status, body = client.job("feedfacefeedfacefeedfacefeedface")
+        assert status == 404
+        assert body["error"]["code"] == "unknown-job"
+        status, blob = client._request("GET", "/v1/nothing-here")
+        assert status == 404
+        assert json.loads(blob)["error"]["code"] == "not-found"
+        status, blob = client._request("POST", "/v1/experiments")
+        assert status == 400  # no body
+        # Invalid JSON body.
+        import urllib.error
+        import urllib.request
+
+        req = urllib.request.Request(
+            client.base_url + "/v1/experiments",
+            data=b"{nope", method="POST",
+            headers={"Content-Type": "application/json"},
+        )
+        try:
+            with urllib.request.urlopen(req, timeout=10) as resp:
+                status, blob = resp.status, resp.read()
+        except urllib.error.HTTPError as exc:
+            status, blob = exc.code, exc.read()
+        assert status == 400
+        assert json.loads(blob)["error"]["code"] == "invalid-json"
+
+    def test_result_before_completion_is_409(self):
+        # Workers never started: the job stays queued.
+        server, service = make_server(port=0, workers=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            client = ServeClient(url)
+            _, body = client.submit(TINY)
+            job_id = body["job"]["id"]
+            status, blob = client._request("GET", f"/v1/jobs/{job_id}/result")
+            assert status == 409
+            assert json.loads(blob)["error"]["code"] == "job-not-finished"
+        finally:
+            server.shutdown()
+            server.server_close()
+
+    def test_failed_jobs_report_500_and_are_resubmittable(
+        self, live, monkeypatch
+    ):
+        client, service = live
+        boom = RuntimeError("engine exploded")
+
+        def exploding_run(*args, **kwargs):
+            raise boom
+
+        monkeypatch.setattr(api, "run", exploding_run)
+        _, body = client.submit(TINY)
+        summary = client.wait(body["job"]["id"])
+        assert summary["state"] == "failed"
+        assert summary["error"]["error"]["code"] == "execution-failed"
+        assert "engine exploded" in summary["error"]["error"]["message"]
+        status, blob = client._request(
+            "GET", f"/v1/jobs/{body['job']['id']}/result"
+        )
+        assert status == 500
+        # Failures are not cached: the same digest re-executes once the
+        # fault is gone.
+        monkeypatch.undo()
+        status, body2 = client.submit(TINY)
+        assert status == 202 and body2["deduped"] is False
+        assert client.wait(body2["job"]["id"])["state"] == "done"
+
+
+# ----------------------------------------------------------------------
+# dedup semantics (the satellite's required coverage)
+# ----------------------------------------------------------------------
+class TestDedup:
+    def test_concurrent_identical_posts_one_job_identical_bytes(self):
+        """Two identical concurrent POSTs -> one underlying job, two
+        byte-identical results; a third afterwards never re-runs."""
+        # Workers deliberately not started yet: both submissions are
+        # guaranteed to overlap in-flight, no timing games.
+        server, service = make_server(port=0, workers=1)
+        thread = threading.Thread(target=server.serve_forever, daemon=True)
+        thread.start()
+        url = f"http://127.0.0.1:{server.server_address[1]}"
+        try:
+            client = ServeClient(url)
+            responses = []
+            lock = threading.Lock()
+
+            def post() -> None:
+                resp = client.submit(TINY)
+                with lock:
+                    responses.append(resp)
+
+            posters = [threading.Thread(target=post) for _ in range(2)]
+            for t in posters:
+                t.start()
+            for t in posters:
+                t.join(timeout=30)
+
+            statuses = sorted(status for status, _ in responses)
+            assert statuses == [200, 202]  # exactly one created the job
+            ids = {body["job"]["id"] for _, body in responses}
+            assert len(ids) == 1  # one underlying job
+            dedup_flags = sorted(body["deduped"] for _, body in responses)
+            assert dedup_flags == [False, True]
+
+            # Only now let the worker pool drain the queue.
+            service.start()
+            job_id = ids.pop()
+            summary = client.wait(job_id)
+            assert summary["state"] == "done"
+            assert summary["dedup_hits"] == 1
+            first = client.result_bytes(job_id)
+            second = client.result_bytes(job_id)
+            assert first == second  # byte-identical documents
+
+            executed_before = client.stats()["runner"]["executed"]
+            status, body = client.submit(TINY)
+            assert status == 200 and body["deduped"] is True
+            assert body["job"]["state"] == "done"  # served from the table
+            third = client.result_bytes(job_id)
+            assert third == first
+            assert client.stats()["runner"]["executed"] == executed_before
+            counters = client.stats()["jobs"]
+            assert counters["distinct"] == 1
+            assert counters["dedup_inflight"] == 1
+            assert counters["dedup_done"] == 1
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.stop()
+
+    def test_distinct_requests_do_not_dedup(self, live):
+        client, _ = live
+        _, a = client.submit(TINY)
+        _, b = client.submit({**TINY, "records": 2600})
+        assert a["job"]["id"] != b["job"]["id"]
+        assert not a["deduped"] and not b["deduped"]
+        for body in (a, b):
+            client.wait(body["job"]["id"])
+        assert client.stats()["jobs"]["distinct"] == 2
+
+    def test_disk_cache_absorbs_across_service_instances(self, tmp_path):
+        """A restarted service re-runs the job, but the shared
+        .repro-cache absorbs every simulation underneath."""
+        cache_dir = tmp_path / "cache"
+        server1, service1, url1 = start_server(workers=1,
+                                               cache_dir=cache_dir)
+        try:
+            first = ServeClient(url1).run(TINY)
+            executed_first = service1.runner.stats.executed
+            assert executed_first >= 1
+        finally:
+            server1.shutdown()
+            server1.server_close()
+            service1.stop()
+
+        server2, service2, url2 = start_server(workers=1,
+                                               cache_dir=cache_dir)
+        try:
+            second = ServeClient(url2).run(TINY)
+            assert second == first  # deterministic across restarts
+            assert service2.runner.stats.executed == 0
+            assert service2.runner.stats.cache_hits == executed_first
+        finally:
+            server2.shutdown()
+            server2.server_close()
+            service2.stop()
