@@ -26,6 +26,15 @@ Output (``BENCH_serve.json``, preserved section-wise across runs):
 sustained req/s, p50/p95/p99 latency, and the dedup/cache absorption
 ratios.  ``--smoke`` shrinks the run for CI and still requires at least
 one dedup hit and full parity.
+
+``--overload`` switches to the backpressure benchmark: the server is
+spawned with a small ``--max-queue``, the client fleet is sized at ~2x
+capacity (workers + queue slots), and every request is distinct, so
+admission control *must* reject some submissions with 429.  Clients
+honor the ``Retry-After`` hint and resubmit; the run records the 429
+rate, the post-backoff completion ratio (must be 1.0), tail latency
+under saturation, and the maximum queue depth a monitor thread ever
+observed (must stay within the bound).
 """
 
 from __future__ import annotations
@@ -89,7 +98,9 @@ def percentile(sorted_values: list, q: float) -> float:
 # ----------------------------------------------------------------------
 # server lifecycle
 # ----------------------------------------------------------------------
-def spawn_server(workers: int, runner_jobs: int, cache_dir: str):
+def spawn_server(
+    workers: int, runner_jobs: int, cache_dir: str, max_queue: int = 64
+):
     """Start ``python -m repro.cli serve`` and scrape the announced URL."""
     env = dict(os.environ)
     existing = env.get("PYTHONPATH")
@@ -103,6 +114,7 @@ def spawn_server(workers: int, runner_jobs: int, cache_dir: str):
             "--workers", str(workers),
             "--jobs", str(runner_jobs),
             "--cache-dir", cache_dir,
+            "--max-queue", str(max_queue),
         ],
         stdout=subprocess.PIPE,
         text=True,
@@ -271,11 +283,171 @@ def run_bench(
     }
 
 
+# ----------------------------------------------------------------------
+# overload mode: more clients than the admission bound allows
+# ----------------------------------------------------------------------
+def overload_client(
+    url: str,
+    client_id: int,
+    n_requests: int,
+    requests_per_client: int,
+    out_latencies: list,
+    out_rejections: list,
+    out_errors: list,
+    lock: threading.Lock,
+) -> None:
+    """One overload client: submit distinct jobs, back off on every 429.
+
+    Each (client, request) pair gets a unique record count, so nothing
+    dedups — every submission competes for a real queue slot.  The
+    retry sleep honors the server's ``retry_after`` hint, capped so the
+    benchmark stays fast.
+    """
+    client = ServeClient(url, timeout=60.0)
+    for i in range(n_requests):
+        idx = client_id * requests_per_client + i
+        payload = {
+            "experiment": "fig10",
+            "records": 1500 + 50 * idx,
+            "workloads": ["mcf_inp"],
+            "schemes": ["triangel"],
+        }
+        start = time.perf_counter()
+        try:
+            while True:
+                status, body = client.submit(payload)
+                if status == 429:
+                    details = body.get("error", {}).get("details", {})
+                    hint = details.get("retry_after") or 0.25
+                    with lock:
+                        out_rejections.append(idx)
+                    time.sleep(min(float(hint), 0.25))
+                    continue
+                if "job" not in body:
+                    raise RuntimeError(f"rejected ({status}): {body}")
+                break
+            summary = client.wait(body["job"]["id"], timeout=120.0,
+                                  interval=0.005)
+            if summary["state"] != "done":
+                raise RuntimeError(f"job failed: {summary['error']}")
+        except Exception as exc:  # noqa: BLE001 - collect, don't crash the loop
+            with lock:
+                out_errors.append(f"client {client_id} req {i}: {exc}")
+            continue
+        with lock:
+            out_latencies.append(time.perf_counter() - start)
+
+
+def run_overload_bench(
+    url: str,
+    clients: int,
+    requests_per_client: int,
+    max_queue: int,
+    workers: int,
+) -> dict:
+    """Drive ~2x-capacity load and measure how admission control holds.
+
+    Capacity = workers + queue slots; ``clients`` is sized above it, so
+    a healthy run *must* see 429s — and, because every client backs off
+    and retries, must still complete every request eventually.
+    """
+    service = ServeClient(url, timeout=60.0)
+    stats_before = service.stats()
+
+    latencies: list = []
+    rejections: list = []
+    errors: list = []
+    lock = threading.Lock()
+    depth_samples: list = []
+    stop = threading.Event()
+
+    queued_samples: list = []
+
+    def monitor() -> None:
+        mon = ServeClient(url, timeout=10.0)
+        while not stop.is_set():
+            try:
+                stats = mon.stats()
+            except Exception:  # noqa: BLE001 - server may be briefly saturated
+                stop.wait(0.02)
+                continue
+            depth_samples.append(stats["queue_depth"])
+            queued_samples.append(stats["queued"])
+            stop.wait(0.02)
+
+    mon_thread = threading.Thread(target=monitor, daemon=True)
+    threads = [
+        threading.Thread(
+            target=overload_client,
+            args=(url, i, requests_per_client, requests_per_client,
+                  latencies, rejections, errors, lock),
+        )
+        for i in range(clients)
+    ]
+    wall_start = time.perf_counter()
+    mon_thread.start()
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    wall = time.perf_counter() - wall_start
+    stop.set()
+    mon_thread.join(timeout=5)
+
+    stats_after = service.stats()
+    rejected_full = (stats_after["jobs"]["rejected_full"]
+                     - stats_before["jobs"]["rejected_full"])
+    total = clients * requests_per_client
+    completed = len(latencies)
+    submits = completed + len(rejections)
+    latencies.sort()
+    return {
+        "config": {
+            "clients": clients,
+            "requests_per_client": requests_per_client,
+            "max_queue": max_queue,
+            "workers": workers,
+            "capacity": workers + max_queue,
+        },
+        "throughput": {
+            "requests_total": total,
+            "requests_completed": completed,
+            "requests_failed": len(errors),
+            "wall_seconds": round(wall, 3),
+            "req_per_sec": round(completed / wall, 2) if wall else 0.0,
+        },
+        "latency_ms": {
+            "p50": round(percentile(latencies, 0.50) * 1e3, 2),
+            "p95": round(percentile(latencies, 0.95) * 1e3, 2),
+            "p99": round(percentile(latencies, 0.99) * 1e3, 2),
+            "max": round(latencies[-1] * 1e3, 2) if latencies else 0.0,
+        },
+        "backpressure": {
+            "rejections_client_observed": len(rejections),
+            "rejections_server_counted": rejected_full,
+            "rejection_rate": round(len(rejections) / submits, 4)
+            if submits else 0.0,
+            "completion_ratio": round(completed / total, 4) if total else 0.0,
+            "max_queued_observed": max(queued_samples, default=0),
+            "max_pending_observed": max(depth_samples, default=0),
+            "depth_samples": len(depth_samples),
+        },
+        "errors": errors[:10],
+    }
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--smoke", action="store_true",
                         help="small run for CI (4 clients x 5 requests); "
                              "still asserts dedup and byte parity")
+    parser.add_argument("--overload", action="store_true",
+                        help="overload mode: clients > queue capacity, "
+                             "measuring 429 rate, post-backoff completion "
+                             "and bounded queue depth")
+    parser.add_argument("--max-queue", type=int, default=None,
+                        help="admission bound for the spawned server "
+                             "(default 4 in overload mode, 64 otherwise)")
     parser.add_argument("--url", default=None,
                         help="target an already-running server instead of "
                              "spawning one")
@@ -300,8 +472,15 @@ def main(argv=None) -> int:
                         help=f"output JSON path (default {DEFAULT_OUT})")
     args = parser.parse_args(argv)
 
-    clients = args.clients or (4 if args.smoke else 16)
-    requests = args.requests or (5 if args.smoke else 25)
+    if args.overload:
+        # Size the fleet at ~2x capacity so admission control must act.
+        max_queue = args.max_queue or 4
+        clients = args.clients or 2 * (args.workers + max_queue)
+        requests = args.requests or (2 if args.smoke else 4)
+    else:
+        max_queue = args.max_queue or 64
+        clients = args.clients or (4 if args.smoke else 16)
+        requests = args.requests or (5 if args.smoke else 25)
     pool_size = args.distinct_pool or (4 if args.smoke else 10)
 
     proc = None
@@ -310,11 +489,17 @@ def main(argv=None) -> int:
         url = args.url
     else:
         tmpdir = tempfile.TemporaryDirectory(prefix="repro-serve-bench-")
-        proc, url = spawn_server(args.workers, args.runner_jobs, tmpdir.name)
+        proc, url = spawn_server(args.workers, args.runner_jobs, tmpdir.name,
+                                 max_queue=max_queue)
     try:
-        result = run_bench(
-            url, clients, requests, args.dup_fraction, pool_size
-        )
+        if args.overload:
+            result = run_overload_bench(
+                url, clients, requests, max_queue, args.workers
+            )
+        else:
+            result = run_bench(
+                url, clients, requests, args.dup_fraction, pool_size
+            )
     finally:
         if proc is not None:
             try:
@@ -325,7 +510,7 @@ def main(argv=None) -> int:
         if tmpdir is not None:
             tmpdir.cleanup()
 
-    mode = "smoke" if args.smoke else "full"
+    mode = "overload" if args.overload else ("smoke" if args.smoke else "full")
     result["mode"] = mode
     section = {mode: result}
 
@@ -343,30 +528,53 @@ def main(argv=None) -> int:
 
     thr = result["throughput"]
     lat = result["latency_ms"]
-    absorb = result["absorption"]
-    parity = result["parity"]
     print(f"[{mode}] {thr['requests_completed']} requests in "
           f"{thr['wall_seconds']}s -> {thr['req_per_sec']} req/s")
     print(f"latency ms: p50={lat['p50']} p95={lat['p95']} p99={lat['p99']} "
           f"max={lat['max']}")
-    print(f"absorption: {absorb['dedup_hits']}/{absorb['requests_submitted']} "
-          f"deduped (ratio {absorb['dedup_ratio']}), runner executed "
-          f"{absorb['runner_executed']} / cache hits "
-          f"{absorb['runner_cache_hits']}")
-    print(f"parity: {parity['identical']}/{parity['checked']} byte-identical "
-          f"to direct api.run")
+    failures = []
+    if args.overload:
+        back = result["backpressure"]
+        print(f"backpressure: {back['rejections_client_observed']} 429s "
+              f"(server counted {back['rejections_server_counted']}), "
+              f"rejection rate {back['rejection_rate']}, completion ratio "
+              f"{back['completion_ratio']}, max queued "
+              f"{back['max_queued_observed']}/{max_queue}")
+        # A healthy overload run is rejected AND recovers: backoff turns
+        # every 429 into an eventual completion, queue stays bounded.
+        if back["rejections_client_observed"] < 1:
+            failures.append("overload run never hit the admission bound")
+        if back["completion_ratio"] != 1.0:
+            failures.append(
+                f"completion ratio {back['completion_ratio']} != 1.0 "
+                "after backoff"
+            )
+        if back["max_queued_observed"] > max_queue:
+            failures.append(
+                f"queued depth {back['max_queued_observed']} exceeded "
+                f"the admission bound {max_queue}"
+            )
+    else:
+        absorb = result["absorption"]
+        parity = result["parity"]
+        print(f"absorption: "
+              f"{absorb['dedup_hits']}/{absorb['requests_submitted']} "
+              f"deduped (ratio {absorb['dedup_ratio']}), runner executed "
+              f"{absorb['runner_executed']} / cache hits "
+              f"{absorb['runner_cache_hits']}")
+        print(f"parity: {parity['identical']}/{parity['checked']} "
+              f"byte-identical to direct api.run")
+        if absorb["dedup_hits"] < 1:
+            failures.append("expected at least one dedup hit")
+        if parity["identical"] != parity["checked"]:
+            failures.append(f"parity mismatches: {parity['mismatches']}")
     print(f"wrote {args.out}")
 
-    failures = []
     if thr["requests_failed"]:
         failures.append(
             f"{thr['requests_failed']} request(s) failed: "
             + "; ".join(result["errors"][:3])
         )
-    if absorb["dedup_hits"] < 1:
-        failures.append("expected at least one dedup hit")
-    if parity["identical"] != parity["checked"]:
-        failures.append(f"parity mismatches: {parity['mismatches']}")
     if failures:
         print("FAIL: " + " | ".join(failures), file=sys.stderr)
         return 1

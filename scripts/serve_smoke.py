@@ -1,16 +1,30 @@
 """End-to-end smoke of serve mode over the real CLI subprocess.
 
-Starts ``python -m repro.cli serve`` on an ephemeral port, submits one
-tiny experiment over HTTP, polls the job to completion, asserts the
-served bytes match a direct in-process ``api.run`` of the same request
-(the serve determinism invariant), then shuts the server down cleanly
-and checks its exit code.  CI runs this as the ``serve-smoke`` step.
+Two phases, both against ``python -m repro.cli serve`` on an ephemeral
+port (the real production entry point, not an in-process shortcut):
+
+1. **Round trip** — submit one tiny experiment over HTTP, poll the job
+   to completion, assert the served bytes match a direct in-process
+   ``api.run`` of the same request (the serve determinism invariant),
+   check dedup coalescing, then shut down via ``POST /v1/shutdown`` and
+   check the exit code.
+
+2. **Restart recovery** — submit a fresh request, SIGTERM the server
+   mid-flight (graceful drain must finish the job and exit 0), restart
+   on the same cache dir, and assert the *new* process answers for the
+   old job id from its durable table — same state, byte-identical
+   result, without re-running anything.
+
+CI runs this as the ``serve-smoke`` step.
 """
 
 import os
+import signal
 import subprocess
 import sys
 import tempfile
+import time
+import urllib.request
 from pathlib import Path
 
 REPO_ROOT = Path(__file__).resolve().parent.parent
@@ -28,57 +42,134 @@ REQUEST = {
     "schemes": ["triangel"],
 }
 
+#: Distinct from REQUEST so phase 2 exercises a fresh job, not dedup.
+RESTART_REQUEST = {**REQUEST, "records": 3500}
 
-def main() -> int:
+
+def spawn(cache_dir: str):
+    """Start the serve CLI on an ephemeral port: (proc, url)."""
     env = dict(os.environ)
     existing = env.get("PYTHONPATH")
     env["PYTHONPATH"] = (
         str(SRC_ROOT) + os.pathsep + existing if existing else str(SRC_ROOT)
     )
-    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
-        proc = subprocess.Popen(
-            [sys.executable, "-m", "repro.cli", "serve",
-             "--port", "0", "--workers", "2", "--cache-dir", tmp],
-            stdout=subprocess.PIPE, text=True, env=env,
+    proc = subprocess.Popen(
+        [sys.executable, "-m", "repro.cli", "serve",
+         "--port", "0", "--workers", "2", "--cache-dir", cache_dir],
+        stdout=subprocess.PIPE, text=True, env=env,
+    )
+    line = proc.stdout.readline().strip()
+    assert "serving on" in line, f"no announce line: {line!r}"
+    return proc, line.split()[2]
+
+
+def phase_round_trip(tmp: str) -> None:
+    proc, url = spawn(tmp)
+    try:
+        print(f"server up at {url}")
+        client = ServeClient(url, timeout=30.0)
+        assert client.health() == (200, {"status": "ok"})
+
+        status, body = client.submit(REQUEST)
+        assert status == 202, (status, body)
+        job_id = body["job"]["id"]
+        summary = client.wait(job_id, timeout=120.0)
+        assert summary["state"] == "done", summary
+        print(f"job {job_id} done "
+              f"({summary['progress']['done']} sims)")
+
+        served = client.result_bytes(job_id)
+        direct = api.run(
+            REQUEST["experiment"], records=REQUEST["records"],
+            workloads=REQUEST["workloads"], schemes=REQUEST["schemes"],
         )
-        try:
-            line = proc.stdout.readline().strip()
-            assert "serving on" in line, f"no announce line: {line!r}"
-            url = line.split()[2]
-            print(f"server up at {url}")
+        assert served == canonical_result_json(direct).encode(), \
+            "served bytes diverge from direct api.run"
+        print("parity OK: served bytes == direct api.run")
 
-            client = ServeClient(url, timeout=30.0)
-            assert client.health() == (200, {"status": "ok"})
+        # A duplicate submission must coalesce, not re-run.
+        status, body = client.submit(REQUEST)
+        assert (status, body["deduped"]) == (200, True), (status, body)
+        print("dedup OK: duplicate submission coalesced")
 
-            status, body = client.submit(REQUEST)
-            assert status == 202, (status, body)
-            job_id = body["job"]["id"]
-            summary = client.wait(job_id, timeout=120.0)
-            assert summary["state"] == "done", summary
-            print(f"job {job_id} done "
-                  f"({summary['progress']['done']} sims)")
-
-            served = client.result_bytes(job_id)
-            direct = api.run(
-                REQUEST["experiment"], records=REQUEST["records"],
-                workloads=REQUEST["workloads"], schemes=REQUEST["schemes"],
+        # A few SSE frames over the real wire: summary first, then the
+        # terminal event for an already-done job.
+        with urllib.request.urlopen(
+            f"{url}/v1/jobs/{job_id}/events", timeout=30
+        ) as resp:
+            assert resp.headers["Content-Type"].startswith(
+                "text/event-stream"
             )
-            assert served == canonical_result_json(direct).encode(), \
-                "served bytes diverge from direct api.run"
-            print("parity OK: served bytes == direct api.run")
+            blob = resp.read()
+        assert b"event: summary" in blob and b"event: done" in blob, blob
+        print("sse OK: summary + done frames streamed")
 
-            # A duplicate submission must coalesce, not re-run.
-            status, body = client.submit(REQUEST)
-            assert (status, body["deduped"]) == (200, True), (status, body)
-            print("dedup OK: duplicate submission coalesced")
+        client.shutdown()
+        rc = proc.wait(timeout=15)
+        assert rc == 0, f"server exited {rc}"
+        print("clean shutdown OK")
+    except BaseException:
+        proc.kill()
+        raise
 
-            client.shutdown()
-            rc = proc.wait(timeout=15)
-            assert rc == 0, f"server exited {rc}"
-            print("clean shutdown OK")
-        except BaseException:
-            proc.kill()
-            raise
+
+def phase_restart_recovery(tmp: str) -> None:
+    proc, url = spawn(tmp)
+    job_id = None
+    try:
+        client = ServeClient(url, timeout=30.0)
+        status, body = client.submit(RESTART_REQUEST)
+        assert status == 202, (status, body)
+        job_id = body["job"]["id"]
+        # SIGTERM right away: the graceful drain must finish the job
+        # (persisting it DONE) before the process exits 0.
+        proc.send_signal(signal.SIGTERM)
+        rc = proc.wait(timeout=120)
+        assert rc == 0, f"server exited {rc} on SIGTERM"
+        print(f"sigterm OK: drained job {job_id} and exited 0")
+    except BaseException:
+        proc.kill()
+        raise
+
+    proc, url = spawn(tmp)
+    try:
+        client = ServeClient(url, timeout=30.0)
+        deadline = time.monotonic() + 60
+        while True:
+            status, body = client.job(job_id)
+            if status == 200 and body["state"] == "done":
+                break
+            assert time.monotonic() < deadline, (status, body)
+            time.sleep(0.1)
+        assert body.get("recovered") is True, body
+        served = client.result_bytes(job_id)
+        direct = api.run(
+            RESTART_REQUEST["experiment"],
+            records=RESTART_REQUEST["records"],
+            workloads=RESTART_REQUEST["workloads"],
+            schemes=RESTART_REQUEST["schemes"],
+        )
+        assert served == canonical_result_json(direct).encode(), \
+            "recovered bytes diverge from direct api.run"
+        # Served from the durable table: the fresh runner never ran.
+        stats = client.stats()
+        assert stats["runner"]["executed"] == 0, stats["runner"]
+        assert stats["jobs"]["recovered"] >= 1, stats["jobs"]
+        print("restart OK: new process answers the old job id "
+              "byte-identically without re-running")
+
+        client.shutdown()
+        rc = proc.wait(timeout=15)
+        assert rc == 0, f"server exited {rc}"
+    except BaseException:
+        proc.kill()
+        raise
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="repro-serve-smoke-") as tmp:
+        phase_round_trip(tmp)
+        phase_restart_recovery(tmp)
     print("serve smoke OK")
     return 0
 

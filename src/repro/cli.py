@@ -240,6 +240,7 @@ def run_serve_command(args) -> int:
         cache_dir=None if args.no_cache else args.cache_dir,
         workers=args.workers,
         quiet=not args.verbose,
+        max_queue=args.max_queue,
     )
 
 
@@ -365,6 +366,10 @@ def main(argv=None) -> int:
     parser.add_argument("--workers", type=int, default=2,
                         help="request worker threads for 'serve' (each "
                              "executes one job at a time; default 2)")
+    parser.add_argument("--max-queue", type=int, default=64,
+                        help="admission bound for 'serve': queued jobs "
+                             "past this get 429 + Retry-After "
+                             "(default 64)")
     parser.add_argument("--batch-size", type=int, default=None,
                         help="records per classification batch for the "
                              "batched engine rungs of 'bench' (throughput "

@@ -132,11 +132,18 @@ class ProgressTracker:
     :meth:`Runner.run` call in the request (an experiment may run several
     job graphs); ``cache_hits``/``executed`` accumulate across all of
     them.  An optional ``forward`` callable receives every raw event.
+
+    Every event bumps a monotonically-increasing ``version`` and wakes
+    :meth:`wait_for_change` waiters — a streaming consumer (the serve
+    SSE endpoint) blocks on the condition instead of busy-polling, and
+    emits exactly one frame per state change.
     """
 
     def __init__(self, forward: Optional[ProgressFn] = None):
         self._lock = threading.Lock()
+        self._change = threading.Condition(self._lock)
         self._forward = forward
+        self.version = 0
         self.total = 0
         self.done = 0
         self.cache_hits = 0
@@ -152,6 +159,8 @@ class ProgressTracker:
             elif event == "done":
                 self.executed += 1
             self.last_event = event
+            self.version += 1
+            self._change.notify_all()
         if self._forward is not None:
             self._forward(event, job, done, total)
 
@@ -159,12 +168,25 @@ class ProgressTracker:
         """A consistent point-in-time copy of the counters."""
         with self._lock:
             return {
+                "version": self.version,
                 "total": self.total,
                 "done": self.done,
                 "cache_hits": self.cache_hits,
                 "executed": self.executed,
                 "last_event": self.last_event,
             }
+
+    def wait_for_change(self, seen_version: int, timeout: float) -> int:
+        """Block until ``version`` advances past ``seen_version``.
+
+        Returns the current version either way — callers re-check state
+        after every wakeup (the timeout doubles as the heartbeat tick
+        for streaming consumers).
+        """
+        with self._change:
+            if self.version == seen_version:
+                self._change.wait(timeout)
+            return self.version
 
 
 class Runner:

@@ -7,20 +7,25 @@ Layers (all stdlib; no new dependencies):
   (dedup key *and* job id), and the shared error envelope;
 - :mod:`repro.serve.jobs`    — the thread-safe :class:`JobTable`
   (queued/running/done/failed lifecycle, in-flight + result-table
-  request dedup);
+  request dedup, bounded-queue admission control) and the durable
+  :class:`JobStore` (atomic JSON records under the cache dir; a
+  restarted server answers for pre-crash jobs);
 - :mod:`repro.serve.server`  — :class:`ExperimentService` (worker pool
-  around one shared Runner + cache) and the ``ThreadingHTTPServer``
-  transport; :func:`serve_forever` is what ``repro.cli serve`` runs;
+  around one shared Runner + cache, draining shutdown, SSE progress
+  streams) and the ``ThreadingHTTPServer`` transport;
+  :func:`serve_forever` is what ``repro.cli serve`` runs;
 - :mod:`repro.serve.client`  — :class:`ServeClient`, the stdlib client
-  the load benchmark, CI smoke, and tests drive the service with.
+  the load benchmark, CI smoke, and tests drive the service with
+  (typed transport errors, 429/reset retry with backoff, ``stream()``).
 
 See ``docs/serve.md`` for the endpoint reference and dedup semantics.
 """
 
 from .client import ServeClient
-from .jobs import DONE, FAILED, QUEUED, RUNNING, JobRecord, JobTable
+from .jobs import DONE, FAILED, QUEUED, RUNNING, JobRecord, JobStore, JobTable
 from .schemas import ServeError, ServeRequest, error_envelope
 from .server import (
+    DEFAULT_MAX_QUEUE,
     ExperimentService,
     canonical_result_json,
     make_server,
@@ -28,12 +33,14 @@ from .server import (
 )
 
 __all__ = [
+    "DEFAULT_MAX_QUEUE",
     "DONE",
     "FAILED",
     "QUEUED",
     "RUNNING",
     "ExperimentService",
     "JobRecord",
+    "JobStore",
     "JobTable",
     "ServeClient",
     "ServeError",

@@ -13,43 +13,85 @@ and handy interactively::
     client.wait(job_id)
     blob = client.result_bytes(job_id)        # ExperimentResult JSON
 
+    for event, payload in client.stream(job_id):   # SSE instead of polling
+        print(event, payload)
+
 Every method returns decoded JSON plus the HTTP status; nothing raises
 on 4xx/5xx (the body *is* the error envelope), only on transport
-failures and :meth:`wait` timeouts.
+failures and :meth:`wait` timeouts.  Transport failures are **typed**:
+a connection reset/refusal is retried ``retries`` times with
+exponential backoff (safe — submissions are content-addressed, so a
+replay dedups instead of double-running), then surfaces as a
+:class:`ServeError` with code ``connection-failed`` rather than a bare
+``URLError``.  429 ``queue-full`` responses can be retried too
+(:meth:`submit` honors the server's ``retry_after`` hint).
 """
 
 from __future__ import annotations
 
+import http.client
 import json
 import time
 import urllib.error
 import urllib.request
-from typing import Any, Dict, Optional, Tuple
+from typing import Any, Dict, Iterator, Optional, Tuple
+
+from .schemas import ServeError
 
 
 class ServeClient:
-    """Thin HTTP/JSON client bound to one service base URL."""
+    """Thin HTTP/JSON client bound to one service base URL.
 
-    def __init__(self, base_url: str, timeout: float = 30.0):
+    ``retries``/``backoff`` govern transport-level retry (connection
+    refused/reset, a server mid-restart): each attempt sleeps
+    ``backoff * 2**attempt`` before the next.  HTTP error *statuses* are
+    returned, never raised — except via :meth:`submit`'s opt-in 429
+    retry loop, which still returns the final envelope when the queue
+    stays full.
+    """
+
+    def __init__(
+        self,
+        base_url: str,
+        timeout: float = 30.0,
+        retries: int = 2,
+        backoff: float = 0.05,
+    ):
         self.base_url = base_url.rstrip("/")
         self.timeout = timeout
+        self.retries = max(0, int(retries))
+        self.backoff = float(backoff)
 
     # ------------------------------------------------------------------
     def _request(
         self, method: str, path: str, payload: Optional[Dict] = None
     ) -> Tuple[int, bytes]:
         data = json.dumps(payload).encode() if payload is not None else None
-        req = urllib.request.Request(
-            self.base_url + path,
-            data=data,
-            method=method,
-            headers={"Content-Type": "application/json"} if data else {},
-        )
-        try:
-            with urllib.request.urlopen(req, timeout=self.timeout) as resp:
-                return resp.status, resp.read()
-        except urllib.error.HTTPError as exc:
-            return exc.code, exc.read()
+        last: Optional[BaseException] = None
+        for attempt in range(self.retries + 1):
+            req = urllib.request.Request(
+                self.base_url + path,
+                data=data,
+                method=method,
+                headers={"Content-Type": "application/json"} if data else {},
+            )
+            try:
+                with urllib.request.urlopen(req, timeout=self.timeout) as resp:
+                    return resp.status, resp.read()
+            except urllib.error.HTTPError as exc:
+                return exc.code, exc.read()
+            except (OSError, http.client.HTTPException) as exc:
+                # URLError, ConnectionResetError, RemoteDisconnected,
+                # socket timeouts ... — transient transport faults.
+                last = exc
+                if attempt < self.retries:
+                    time.sleep(self.backoff * (2 ** attempt))
+        raise ServeError(
+            503, "connection-failed",
+            f"{method} {path} failed after {self.retries + 1} attempt(s): "
+            f"{type(last).__name__}: {last}",
+            attempts=self.retries + 1,
+        ) from last
 
     def _json(
         self, method: str, path: str, payload: Optional[Dict] = None
@@ -80,12 +122,72 @@ class ServeClient:
             )
         return blob
 
-    def submit(self, payload: Dict) -> Tuple[int, Dict]:
-        """POST /v1/experiments; 202 = new job, 200 = deduplicated."""
-        return self._json("POST", "/v1/experiments", payload)
+    def submit(
+        self, payload: Dict, retry_on_429: int = 0
+    ) -> Tuple[int, Dict]:
+        """POST /v1/experiments; 202 = new job, 200 = deduplicated.
+
+        With ``retry_on_429 > 0``, a ``queue-full`` refusal is retried
+        up to that many times, sleeping the server's ``retry_after``
+        hint (falling back to the client backoff) between attempts; the
+        final response is returned either way, so callers can still
+        inspect the envelope when the queue never opened up.
+        """
+        for attempt in range(retry_on_429 + 1):
+            status, body = self._json("POST", "/v1/experiments", payload)
+            if status != 429 or attempt == retry_on_429:
+                return status, body
+            details = body.get("error", {}).get("details", {})
+            delay = details.get("retry_after") or self.backoff
+            time.sleep(float(delay))
+        return status, body  # pragma: no cover - loop always returns
 
     def shutdown(self) -> Tuple[int, Dict]:
         return self._json("POST", "/v1/shutdown")
+
+    # ------------------------------------------------------------------
+    def stream(
+        self, job_id: str, timeout: Optional[float] = None
+    ) -> Iterator[Tuple[str, Optional[Dict]]]:
+        """GET /v1/jobs/<id>/events — yield ``(event, payload)`` tuples.
+
+        Parses the SSE wire format; heartbeat comments are swallowed
+        (they only keep the socket's read timeout from firing).  The
+        iterator ends after the server's terminal ``done``/``failed``
+        event closes the stream.  Errors (unknown job, ...) raise a
+        typed :class:`ServeError` carrying the parsed envelope.
+        """
+        req = urllib.request.Request(self.base_url + f"/v1/jobs/{job_id}/events")
+        try:
+            resp = urllib.request.urlopen(
+                req, timeout=timeout if timeout is not None else self.timeout
+            )
+        except urllib.error.HTTPError as exc:
+            blob = exc.read()
+            try:
+                err = json.loads(blob)["error"]
+            except (ValueError, KeyError):
+                err = {"code": "stream-failed", "message": blob.decode(errors="replace")}
+            raise ServeError(
+                exc.code, err.get("code", "stream-failed"),
+                err.get("message", ""), **(err.get("details") or {})
+            ) from None
+        with resp:
+            event: Optional[str] = None
+            data_lines = []
+            for raw in resp:
+                line = raw.decode().rstrip("\r\n")
+                if not line:
+                    if data_lines:
+                        payload = json.loads("\n".join(data_lines))
+                        yield (event or "message"), payload
+                    event, data_lines = None, []
+                elif line.startswith(":"):
+                    continue  # heartbeat comment
+                elif line.startswith("event:"):
+                    event = line[len("event:"):].strip()
+                elif line.startswith("data:"):
+                    data_lines.append(line[len("data:"):].strip())
 
     # ------------------------------------------------------------------
     def wait(
@@ -110,9 +212,11 @@ class ServeClient:
                 )
             time.sleep(interval)
 
-    def run(self, payload: Dict, timeout: float = 120.0) -> bytes:
+    def run(
+        self, payload: Dict, timeout: float = 120.0, retry_on_429: int = 0
+    ) -> bytes:
         """Submit + wait + fetch: one request's full round trip."""
-        _, body = self.submit(payload)
+        _, body = self.submit(payload, retry_on_429=retry_on_429)
         if "job" not in body:
             raise RuntimeError(f"submission rejected: {body}")
         job_id = body["job"]["id"]

@@ -1,4 +1,4 @@
-"""The service's job table: states, progress, and request dedup.
+"""The service's job table: states, progress, dedup, durability, admission.
 
 One :class:`JobRecord` per *distinct* request digest.  Submitting a
 request whose digest is already in the table does not create work:
@@ -12,18 +12,41 @@ request whose digest is already in the table does not create work:
 - digest maps to a *failed* job        → the record is replaced and the
   request re-executed (failures are not cached).
 
+Two serve-hardening layers live here as well:
+
+- **Admission control.**  ``submit`` takes the service's queue bound and
+  draining flag; a request that would *create* work is refused with a
+  structured 429 (``queue-full``, when the number of QUEUED records has
+  reached the bound) or 503 (``draining``) — both carrying a
+  ``retry_after`` hint — while reads and dedup lookups keep working.
+  The admission decision, the dedup decision, and the table insert are
+  one critical section, so the bound can never be oversubscribed by a
+  race.
+
+- **Durability.**  With a :class:`JobStore` attached, every lifecycle
+  transition persists the record as one JSON file under the store root
+  (atomic tmp-file + rename, the same idiom as the runner's
+  ``ResultCache``).  A restarted service calls :meth:`JobTable.recover`:
+  DONE/FAILED records come back verbatim (stored result documents are
+  byte-identical across the restart — architecture invariant 12), and
+  QUEUED/RUNNING records — work interrupted by the crash — are reset to
+  QUEUED and handed back for re-execution.
+
 All table state is guarded by one lock; records hand out JSON-ready
 summaries so the HTTP layer never touches fields directly.
 """
 
 from __future__ import annotations
 
+import json
+import os
 import threading
 import time
-from typing import Dict, List, Optional, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple, Union
 
 from ..runner import ProgressTracker
-from .schemas import ServeRequest
+from .schemas import ServeError, ServeRequest
 
 #: Job lifecycle states.
 QUEUED = "queued"
@@ -50,6 +73,8 @@ class JobRecord:
         self.tracker: Optional[ProgressTracker] = None
         self.result_json: Optional[str] = None
         self.error: Optional[Dict] = None
+        #: True when this record was loaded from a JobStore after a restart.
+        self.recovered = False
 
     # ------------------------------------------------------------------
     @property
@@ -73,32 +98,162 @@ class JobRecord:
             "finished_at": round(self.finished, 3) if self.finished else None,
             "elapsed_seconds": round(elapsed, 3) if elapsed is not None else None,
             "dedup_hits": self.dedup_hits,
+            "recovered": self.recovered,
             "progress": self.tracker.snapshot() if self.tracker else None,
             "error": self.error,
         }
+
+    # ------------------------------------------------------------------
+    def to_state_dict(self) -> Dict:
+        """The durable on-disk form (everything but the live tracker)."""
+        return {
+            "digest": self.digest,
+            "state": self.state,
+            "request": self.request.to_dict(),
+            "created_at": self.created,
+            "started_at": self.started,
+            "finished_at": self.finished,
+            "dedup_hits": self.dedup_hits,
+            "result_json": self.result_json,
+            "error": self.error,
+        }
+
+    @classmethod
+    def from_state_dict(cls, d: Dict) -> "JobRecord":
+        """Rebuild a record from :meth:`to_state_dict` output.
+
+        The request is reconstructed field-by-field (already validated
+        when first submitted); the stored digest stays authoritative —
+        it is the job id clients hold, and for DONE records the stored
+        result bytes must be served for it verbatim.
+        """
+        req = d["request"]
+        request = ServeRequest(
+            experiment=req["experiment"],
+            records=req.get("records"),
+            workloads=list(req["workloads"]) if req.get("workloads") else None,
+            schemes=list(req["schemes"]) if req.get("schemes") else None,
+            overrides=dict(req.get("overrides") or {}),
+        )
+        record = cls(request, d["digest"])
+        record.state = d["state"]
+        record.created = d["created_at"]
+        record.started = d.get("started_at")
+        record.finished = d.get("finished_at")
+        record.dedup_hits = int(d.get("dedup_hits") or 0)
+        record.result_json = d.get("result_json")
+        record.error = d.get("error")
+        return record
+
+
+class JobStore:
+    """Durable JSON records of every job, one file per digest.
+
+    Writes are atomic (unique tmp file per writer + ``rename``), so a
+    crash mid-write never leaves a torn record and concurrent worker
+    threads sharing one store never clobber each other.  Corrupt or
+    unreadable files are skipped on load — durability must never stop
+    the service from booting.
+    """
+
+    def __init__(self, root: Union[str, Path]):
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+
+    def _path(self, digest: str) -> Path:
+        return self.root / f"{digest}.json"
+
+    def save(self, record: JobRecord) -> None:
+        path = self._path(record.digest)
+        tmp = path.with_suffix(
+            f".{os.getpid()}-{threading.get_ident()}.tmp"
+        )
+        tmp.write_text(json.dumps(record.to_state_dict()))
+        tmp.replace(path)
+
+    def load_all(self) -> List[JobRecord]:
+        """Every readable record, ordered by first submission time."""
+        records = []
+        for path in self.root.glob("*.json"):
+            try:
+                records.append(
+                    JobRecord.from_state_dict(json.loads(path.read_text()))
+                )
+            except (OSError, ValueError, KeyError, TypeError):
+                continue  # corrupt/partial entry: skip, don't crash the boot
+        records.sort(key=lambda r: r.created)
+        return records
 
 
 class JobTable:
     """Thread-safe digest-keyed store of every job the service has seen."""
 
-    def __init__(self) -> None:
+    def __init__(self, store: Optional[JobStore] = None) -> None:
         self._lock = threading.Lock()
         self._jobs: Dict[str, JobRecord] = {}  # digest -> record, in order
+        self.store = store
         self.submitted = 0
         self.dedup_inflight = 0
         self.dedup_done = 0
         self.completed = 0
         self.failed = 0
+        self.rejected_full = 0
+        self.rejected_draining = 0
+        self.recovered = 0
 
     # ------------------------------------------------------------------
-    def submit(self, request: ServeRequest) -> Tuple[JobRecord, bool]:
+    def _persist(self, record: JobRecord) -> None:
+        """Write-through to the durable store (no-op when not durable)."""
+        if self.store is not None:
+            self.store.save(record)
+
+    def recover(self) -> List[JobRecord]:
+        """Load the durable store into an empty table.
+
+        DONE/FAILED records are restored verbatim (their stored result
+        documents keep serving byte-identically); QUEUED/RUNNING records
+        were interrupted by the previous process's death, are reset to
+        QUEUED (persisted, so a second crash sees the same picture), and
+        returned so the service can re-enqueue them.
+        """
+        if self.store is None:
+            return []
+        requeue: List[JobRecord] = []
+        with self._lock:
+            for record in self.store.load_all():
+                if record.digest in self._jobs:
+                    continue
+                record.recovered = True
+                if record.state in (QUEUED, RUNNING):
+                    record.state = QUEUED
+                    record.started = None
+                    record.finished = None
+                    self.store.save(record)
+                    requeue.append(record)
+                self._jobs[record.digest] = record
+                self.recovered += 1
+        return requeue
+
+    # ------------------------------------------------------------------
+    def submit(
+        self,
+        request: ServeRequest,
+        max_queued: Optional[int] = None,
+        retry_after: Optional[float] = None,
+        draining: bool = False,
+    ) -> Tuple[JobRecord, bool]:
         """Register a request; returns ``(record, created)``.
 
         ``created`` is False when the request coalesced onto an existing
         job (in-flight or completed) — the caller must only enqueue work
-        when it is True.  The dedup decision and the table insert are one
+        when it is True.  Admission control applies only to requests that
+        would create work: with ``draining`` set a new job is refused
+        with 503, and with ``max_queued`` set a new job is refused with
+        429 once that many records sit in the QUEUED state.  The dedup
+        decision, the admission decision, and the table insert are one
         critical section, so two identical concurrent submissions can
-        never both create a job.
+        never both create a job and the queue bound can never be raced
+        past.
         """
         digest = request.digest()
         with self._lock:
@@ -111,8 +266,31 @@ class JobTable:
                 else:
                     self.dedup_inflight += 1
                 return existing, False
+            if draining:
+                self.rejected_draining += 1
+                raise ServeError(
+                    503, "draining",
+                    "service is draining; finishing in-flight jobs and "
+                    "refusing new work",
+                    retry_after=retry_after,
+                )
+            if max_queued is not None:
+                queued = sum(
+                    1 for r in self._jobs.values() if r.state == QUEUED
+                )
+                if queued >= max_queued:
+                    self.rejected_full += 1
+                    raise ServeError(
+                        429, "queue-full",
+                        f"job queue is full ({queued} queued, "
+                        f"bound {max_queued}); retry after backoff",
+                        queued=queued,
+                        max_queue=max_queued,
+                        retry_after=retry_after,
+                    )
             record = JobRecord(request, digest)
             self._jobs[digest] = record
+            self._persist(record)
             return record, True
 
     def get(self, job_id: str) -> Optional[JobRecord]:
@@ -133,6 +311,7 @@ class JobTable:
             record.state = RUNNING
             record.started = time.time()
             record.tracker = tracker
+            self._persist(record)
 
     def mark_done(self, record: JobRecord, result_json: str) -> None:
         with self._lock:
@@ -140,6 +319,7 @@ class JobTable:
             record.finished = time.time()
             record.result_json = result_json
             self.completed += 1
+            self._persist(record)
 
     def mark_failed(self, record: JobRecord, error: Dict) -> None:
         with self._lock:
@@ -147,8 +327,14 @@ class JobTable:
             record.finished = time.time()
             record.error = error
             self.failed += 1
+            self._persist(record)
 
     # ------------------------------------------------------------------
+    def queued_count(self) -> int:
+        """Number of records currently waiting for a worker."""
+        with self._lock:
+            return sum(1 for r in self._jobs.values() if r.state == QUEUED)
+
     def counters(self) -> Dict[str, int]:
         """Aggregate counters for GET /v1/stats."""
         with self._lock:
@@ -168,4 +354,7 @@ class JobTable:
                 "dedup_inflight": self.dedup_inflight,
                 "dedup_done": self.dedup_done,
                 "dedup_hits": self.dedup_inflight + self.dedup_done,
+                "rejected_full": self.rejected_full,
+                "rejected_draining": self.rejected_draining,
+                "recovered": self.recovered,
             }

@@ -30,7 +30,7 @@ from __future__ import annotations
 import hashlib
 import json
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional
+from typing import Any, Dict, List, Optional, Tuple
 
 
 def error_envelope(code: str, message: str, **details: Any) -> Dict[str, Any]:
@@ -55,6 +55,18 @@ class ServeError(Exception):
         self.code = code
         self.message = message
         self.details = details
+
+    @property
+    def retry_after(self) -> Optional[float]:
+        """Seconds the client should back off (429/503 admission errors).
+
+        Carried in ``details`` so it reaches clients twice: as the
+        standard ``Retry-After`` response header *and* inside the error
+        envelope (urllib-style clients that only see the body still get
+        the backoff hint).
+        """
+        value = self.details.get("retry_after")
+        return float(value) if value is not None else None
 
     def envelope(self) -> Dict[str, Any]:
         return error_envelope(self.code, self.message, **self.details)
@@ -102,7 +114,9 @@ class ServeRequest:
             raise ServeError(
                 400, "invalid-request", "request body must be a JSON object"
             )
-        unknown = sorted(set(payload) - set(_REQUEST_FIELDS))
+        # Keys may be any hashable once decoded from non-JSON sources
+        # (direct from_payload calls) — stringify before formatting.
+        unknown = sorted(repr(k) for k in set(payload) - set(_REQUEST_FIELDS))
         if unknown:
             raise ServeError(
                 400, "unexpected-field",
@@ -246,6 +260,29 @@ class ServeRequest:
         }
         blob = json.dumps(spec, sort_keys=True).encode()
         return hashlib.sha256(blob).hexdigest()
+
+    def canonical(self) -> Tuple:
+        """The request's *identity*: everything the digest may depend on.
+
+        Two requests with equal canonical forms must produce equal
+        digests, and two with different canonical forms must never alias
+        (the property suite in ``tests/test_serve_schemas_properties.py``
+        fuzzes exactly this equivalence).  ``records=None`` resolves to
+        the experiment default (the result document carries the resolved
+        count), while the workload/scheme selections stay *raw* — the
+        result JSON echoes ``None`` vs. an explicit list.
+        """
+        from ..experiments import get_experiment
+
+        exp = get_experiment(self.experiment)
+        records = self.records if self.records is not None else exp.records
+        return (
+            self.experiment,
+            records,
+            tuple(self.workloads) if self.workloads is not None else None,
+            tuple(self.schemes) if self.schemes is not None else None,
+            tuple(sorted(self.overrides.items())),
+        )
 
     def job_id(self) -> str:
         """The deterministic job id: a digest prefix, nothing else."""

@@ -5,13 +5,17 @@ One process wraps :func:`repro.api.run` behind an HTTP/JSON interface
 a small worker thread pool for execution):
 
 - ``POST /v1/experiments``      validated body -> job id (202; 200 when
-  the request coalesced onto an existing job);
+  the request coalesced onto an existing job; 429 ``queue-full`` +
+  ``Retry-After`` under overload; 503 ``draining`` during shutdown);
 - ``GET  /v1/jobs``             every job, first-submission order;
 - ``GET  /v1/jobs/<id>``        state + live progress counters;
 - ``GET  /v1/jobs/<id>/result`` the stored ``ExperimentResult`` JSON;
+- ``GET  /v1/jobs/<id>/events`` live progress as a Server-Sent-Events
+  stream (heartbeats while idle; closes after the terminal event);
 - ``GET  /v1/stats``            uptime, job/dedup/runner-cache counters;
 - ``GET  /healthz``             liveness;
-- ``POST /v1/shutdown``         graceful stop (the CLI/bench use it).
+- ``POST /v1/shutdown``         graceful stop: drain in-flight jobs,
+  refuse new ones, then exit (the CLI/bench use it; SIGTERM too).
 
 **One shared Runner** (with one on-disk cache) sits behind the job
 queue; worker threads execute jobs through ``api.run`` with a
@@ -22,6 +26,22 @@ other's runner installation (the context refactor in
 identical in-flight requests coalesce in the :class:`JobTable` before
 any work is queued, and whatever does execute hits the content-hash
 result cache underneath.
+
+Three robustness layers harden the service for sustained traffic:
+
+- **Admission control** — the job queue is bounded (``max_queue``);
+  submissions that would create work past the bound get a structured
+  429 with a ``Retry-After`` hint, and during draining a 503.  Dedup
+  lookups and reads always keep working.
+- **Durable jobs** — with a cache dir, every job-record transition is
+  persisted (:class:`JobStore`, atomic writes); a restarted server
+  answers ``GET /v1/jobs/<id>`` for pre-crash submissions, serving
+  completed results byte-identically and re-running interrupted ones.
+- **Worker supervision** — a job can never take a worker down: even a
+  worker-killing ``BaseException`` out of a job marks the record FAILED
+  (``worker-fault`` envelope) and the worker thread keeps draining the
+  queue.  A client that vanishes mid-SSE only ends its own connection
+  thread.
 
 Results are **deterministic bytes**: the stored payload is
 ``ExperimentResult.to_json()`` with ``elapsed`` canonicalized to 0.0
@@ -34,20 +54,29 @@ documents, and the load benchmark can assert parity against a direct
 from __future__ import annotations
 
 import json
+import math
 import queue
+import signal
 import threading
 import time
 from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
-from typing import Dict, Optional, Tuple
+from pathlib import Path
+from typing import Dict, Iterator, Optional, Tuple
 from urllib.parse import urlsplit
 
 from .. import api
 from ..runner import ProgressTracker, Runner, make_runner
-from .jobs import DONE, FAILED, JobRecord, JobTable
+from .jobs import DONE, FAILED, JobRecord, JobStore, JobTable
 from .schemas import ServeError, ServeRequest, error_envelope
 
 #: Largest accepted request body (a submission is a few hundred bytes).
 MAX_BODY_BYTES = 1 << 20
+
+#: Default bound on the number of QUEUED jobs (admission control).
+DEFAULT_MAX_QUEUE = 64
+
+#: Default Retry-After hint (seconds) on 429/503 admission refusals.
+DEFAULT_RETRY_AFTER = 1.0
 
 
 class _Server(ThreadingHTTPServer):
@@ -85,13 +114,27 @@ class ExperimentService:
         cache_dir=None,
         workers: int = 2,
         runner: Optional[Runner] = None,
+        max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
+        retry_after: float = DEFAULT_RETRY_AFTER,
+        durable: bool = True,
     ):
         self.runner = runner if runner is not None else make_runner(
             jobs=jobs, cache_dir=cache_dir
         )
-        self.table = JobTable()
+        # The durable job table lives beside the sim cache: same root,
+        # its own subdirectory (the runner cache globs *.json flat).
+        store_root = cache_dir if cache_dir is not None else (
+            self.runner.cache.root if self.runner.cache else None
+        )
+        store = (
+            JobStore(Path(store_root) / "serve-jobs")
+            if durable and store_root is not None else None
+        )
+        self.table = JobTable(store=store)
         self.queue: "queue.Queue[Optional[str]]" = queue.Queue()
         self.workers = max(1, int(workers))
+        self.max_queue = max(1, int(max_queue)) if max_queue else None
+        self.retry_after = float(retry_after)
         self.started_at = time.time()
         self._threads = [
             threading.Thread(
@@ -100,12 +143,22 @@ class ExperimentService:
             for i in range(self.workers)
         ]
         self._running = False
+        self._draining = threading.Event()
+        self._pending = 0  # enqueued digests not yet fully processed
+        self._pending_cond = threading.Condition()
+        # Jobs interrupted by a previous process's death, waiting for
+        # start() to re-enqueue them (already QUEUED in the table, so
+        # GET /v1/jobs answers for them immediately).
+        self._requeue = self.table.recover()
 
     # ------------------------------------------------------------------
     def start(self) -> None:
         if self._running:
             return
         self._running = True
+        for record in self._requeue:
+            self._enqueue(record.digest)
+        self._requeue = []
         for t in self._threads:
             t.start()
 
@@ -119,17 +172,63 @@ class ExperimentService:
         for t in self._threads:
             t.join(timeout=timeout)
 
+    def drain(self, timeout: Optional[float] = None) -> bool:
+        """Graceful shutdown: refuse new work, finish what's in flight.
+
+        Sets the draining flag (new submissions -> 503; dedup lookups
+        and reads keep working), waits until every enqueued job has been
+        fully processed, then stops the worker pool.  Returns True when
+        the queue drained inside ``timeout`` (None = wait forever).
+        """
+        self._draining.set()
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._pending_cond:
+            while self._pending > 0:
+                remaining = (
+                    None if deadline is None else deadline - time.monotonic()
+                )
+                if remaining is not None and remaining <= 0:
+                    break
+                self._pending_cond.wait(
+                    1.0 if remaining is None else min(remaining, 1.0)
+                )
+            drained = self._pending == 0
+        self.stop()
+        return drained
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
     # ------------------------------------------------------------------
+    def _enqueue(self, digest: str) -> None:
+        with self._pending_cond:
+            self._pending += 1
+        self.queue.put(digest)
+
+    def _task_done(self) -> None:
+        with self._pending_cond:
+            self._pending -= 1
+            self._pending_cond.notify_all()
+
     def submit(self, payload) -> Tuple[int, Dict]:
         """Validate + register a submission; returns (status, body).
 
         202 for a newly created job, 200 when the request deduplicated
-        onto an existing one (in-flight or already completed).
+        onto an existing one (in-flight or already completed).  Raises
+        :class:`ServeError` 429 (queue full) / 503 (draining) when the
+        request would create work the service must refuse — dedup hits
+        are still served in both states.
         """
         request = ServeRequest.from_payload(payload)
-        record, created = self.table.submit(request)
+        record, created = self.table.submit(
+            request,
+            max_queued=self.max_queue,
+            retry_after=self.retry_after,
+            draining=self._draining.is_set(),
+        )
         if created:
-            self.queue.put(record.digest)
+            self._enqueue(record.digest)
         body = {"job": record.summary(), "deduped": not created}
         return (202 if created else 200), body
 
@@ -141,9 +240,25 @@ class ExperimentService:
             record = next(
                 (r for r in self.table.all() if r.digest == digest), None
             )
-            if record is None:  # replaced after a failure re-submit
-                continue
-            self._execute(record)
+            try:
+                if record is not None:
+                    self._execute(record)
+            except BaseException as exc:  # noqa: BLE001 - worker supervision
+                # _execute absorbs Exception; anything that still gets
+                # here is a worker-killing fault (KeyboardInterrupt,
+                # SystemExit, ...).  The job is marked failed with an
+                # envelope and the worker thread survives — a job must
+                # never take a worker down.
+                if record is not None and record.state not in (DONE, FAILED):
+                    self.table.mark_failed(
+                        record,
+                        error_envelope(
+                            "worker-fault",
+                            f"worker hit {type(exc).__name__}: {exc}",
+                        ),
+                    )
+            finally:
+                self._task_done()
 
     def _execute(self, record: JobRecord) -> None:
         tracker = ProgressTracker()
@@ -169,11 +284,56 @@ class ExperimentService:
             )
 
     # ------------------------------------------------------------------
+    def events(
+        self,
+        record: JobRecord,
+        poll: float = 0.05,
+        heartbeat: float = 10.0,
+    ) -> Iterator[Tuple[str, Optional[Dict]]]:
+        """Yield ``(event, payload)`` tuples for one job's SSE stream.
+
+        Opens with a ``summary`` event, emits a ``progress`` event per
+        observed change (tracker-version driven — the generator blocks
+        on the tracker's condition, not a busy loop), a ``heartbeat``
+        (rendered as an SSE comment) after ``heartbeat`` quiet seconds,
+        and ends with the terminal ``done``/``failed`` event.
+        """
+        yield "summary", record.summary()
+        last_beat = time.monotonic()
+        seen = None
+        while True:
+            state = record.state
+            if state in (DONE, FAILED):
+                yield ("done" if state == DONE else "failed"), record.summary()
+                return
+            tracker = record.tracker
+            snap = tracker.snapshot() if tracker is not None else None
+            cur = (state, snap["version"] if snap else None)
+            if cur != seen:
+                seen = cur
+                yield "progress", {"state": state, "progress": snap}
+                last_beat = time.monotonic()
+            elif time.monotonic() - last_beat >= heartbeat:
+                yield "heartbeat", None
+                last_beat = time.monotonic()
+            if tracker is not None and snap is not None:
+                tracker.wait_for_change(snap["version"], timeout=poll)
+            else:
+                time.sleep(poll)
+
+    # ------------------------------------------------------------------
     def stats(self) -> Dict:
         """The GET /v1/stats body."""
+        with self._pending_cond:
+            pending = self._pending
         return {
             "uptime_seconds": round(time.time() - self.started_at, 3),
+            "state": "draining" if self._draining.is_set() else "running",
             "workers": self.workers,
+            "max_queue": self.max_queue,
+            "queue_depth": pending,
+            "queued": self.table.queued_count(),
+            "durable": self.table.store is not None,
             "runner_jobs": self.runner.jobs,
             "cache_dir": (
                 str(self.runner.cache.root) if self.runner.cache else None
@@ -190,6 +350,9 @@ class ServeHandler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     service: ExperimentService  # bound by make_server
     quiet = True
+    #: SSE pacing knobs (class-level so tests can shrink the heartbeat).
+    sse_poll = 0.05
+    sse_heartbeat = 10.0
 
     # ------------------------------------------------------------------
     def log_message(self, fmt: str, *args) -> None:  # noqa: A003
@@ -202,10 +365,13 @@ class ServeHandler(BaseHTTPRequestHandler):
     def _send_bytes(
         self, status: int, blob: bytes,
         content_type: str = "application/json",
+        retry_after: Optional[float] = None,
     ) -> None:
         self.send_response(status)
         self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(blob)))
+        if retry_after is not None:
+            self.send_header("Retry-After", str(max(1, math.ceil(retry_after))))
         self.end_headers()
         self.wfile.write(blob)
 
@@ -213,6 +379,13 @@ class ServeHandler(BaseHTTPRequestHandler):
         self, status: int, code: str, message: str, **details
     ) -> None:
         self._send_json(status, error_envelope(code, message, **details))
+
+    def _send_serve_error(self, exc: ServeError) -> None:
+        self._send_bytes(
+            exc.status,
+            json.dumps(exc.envelope()).encode(),
+            retry_after=exc.retry_after,
+        )
 
     # ------------------------------------------------------------------
     def do_GET(self) -> None:  # noqa: N802 - http.server API
@@ -234,16 +407,25 @@ class ServeHandler(BaseHTTPRequestHandler):
                     404, "not-found", f"no route for GET {path}"
                 )
         except ServeError as exc:
-            self._send_json(exc.status, exc.envelope())
+            self._send_serve_error(exc)
 
     def _get_job(self, rest: str) -> None:
         want_result = rest.endswith("/result")
-        job_id = rest[:-len("/result")] if want_result else rest
+        want_events = rest.endswith("/events")
+        if want_result:
+            job_id = rest[:-len("/result")]
+        elif want_events:
+            job_id = rest[:-len("/events")]
+        else:
+            job_id = rest
         record = self.service.table.get(job_id)
         if record is None:
             self._send_error_envelope(
                 404, "unknown-job", f"no job with id {job_id!r}"
             )
+            return
+        if want_events:
+            self._stream_job_events(record)
             return
         if not want_result:
             self._send_json(200, record.summary())
@@ -259,14 +441,48 @@ class ServeHandler(BaseHTTPRequestHandler):
                 state=record.state,
             )
 
+    def _stream_job_events(self, record: JobRecord) -> None:
+        """GET /v1/jobs/<id>/events — chunked-by-close SSE stream.
+
+        No Content-Length: the stream ends when the terminal event has
+        been written and the connection closes (``Connection: close``).
+        A client that half-closes mid-stream raises a broken-pipe out of
+        the write; that ends *this connection's* thread quietly — the
+        worker pool and every other connection are untouched.
+        """
+        self.send_response(200)
+        self.send_header("Content-Type", "text/event-stream")
+        self.send_header("Cache-Control", "no-store")
+        self.send_header("Connection", "close")
+        self.end_headers()
+        self.close_connection = True
+        try:
+            for event, payload in self.service.events(
+                record, poll=self.sse_poll, heartbeat=self.sse_heartbeat
+            ):
+                if event == "heartbeat":
+                    frame = b": heartbeat\n\n"
+                else:
+                    frame = (
+                        f"event: {event}\ndata: {json.dumps(payload)}\n\n"
+                    ).encode()
+                self.wfile.write(frame)
+                self.wfile.flush()
+        except (BrokenPipeError, ConnectionResetError, OSError):
+            pass  # client went away mid-stream; nothing else to do
+
     # ------------------------------------------------------------------
     def do_POST(self) -> None:  # noqa: N802 - http.server API
         path = urlsplit(self.path).path.rstrip("/")
         if path == "/v1/experiments":
             self._post_experiment()
         elif path == "/v1/shutdown":
-            self._send_json(200, {"status": "shutting down"})
-            threading.Thread(target=self.server.shutdown, daemon=True).start()
+            self._send_json(200, {"status": "draining"})
+            threading.Thread(
+                target=_graceful_shutdown,
+                args=(self.server, self.service),
+                daemon=True,
+            ).start()
         else:
             self._send_error_envelope(
                 404, "not-found", f"no route for POST {path}"
@@ -298,9 +514,19 @@ class ServeHandler(BaseHTTPRequestHandler):
         try:
             status, body = self.service.submit(payload)
         except ServeError as exc:
-            self._send_json(exc.status, exc.envelope())
+            self._send_serve_error(exc)
             return
         self._send_json(status, body)
+
+
+def _graceful_shutdown(
+    server: ThreadingHTTPServer,
+    service: ExperimentService,
+    timeout: float = 60.0,
+) -> None:
+    """Drain in-flight jobs (refusing new ones), then stop the server."""
+    service.drain(timeout=timeout)
+    server.shutdown()
 
 
 def make_server(
@@ -311,6 +537,9 @@ def make_server(
     workers: int = 2,
     runner: Optional[Runner] = None,
     quiet: bool = True,
+    max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
+    retry_after: float = DEFAULT_RETRY_AFTER,
+    durable: bool = True,
 ) -> Tuple[ThreadingHTTPServer, ExperimentService]:
     """Build (but do not start) the HTTP server + service pair.
 
@@ -324,7 +553,8 @@ def make_server(
         server.shutdown(); service.stop()
     """
     service = ExperimentService(
-        jobs=jobs, cache_dir=cache_dir, workers=workers, runner=runner
+        jobs=jobs, cache_dir=cache_dir, workers=workers, runner=runner,
+        max_queue=max_queue, retry_after=retry_after, durable=durable,
     )
     handler = type(
         "BoundServeHandler", (ServeHandler,),
@@ -342,18 +572,36 @@ def serve_forever(
     workers: int = 2,
     quiet: bool = True,
     announce=print,
+    max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
 ) -> int:
     """Run the service until shutdown (the ``cli serve`` entry point).
 
     Announces ``serving on http://host:port`` (flushed immediately, so
     wrappers that spawned the process can scrape the ephemeral port),
-    then blocks in ``serve_forever``.  Returns 0 on a clean shutdown
-    (Ctrl-C or POST /v1/shutdown).
+    then blocks in ``serve_forever``.  Returns 0 on a clean shutdown —
+    Ctrl-C, ``POST /v1/shutdown``, or SIGTERM; the latter two drain
+    in-flight jobs (new submissions get 503 ``draining``) before the
+    process exits, and the durable job table keeps every record
+    answerable after a restart on the same cache dir.
     """
     server, service = make_server(
         host=host, port=port, jobs=jobs, cache_dir=cache_dir,
-        workers=workers, quiet=quiet,
+        workers=workers, quiet=quiet, max_queue=max_queue,
     )
+
+    def _on_sigterm(signum, frame) -> None:
+        # The handler must not block: drain + shutdown on a side thread
+        # while the main thread keeps running serve_forever until the
+        # shutdown lands.
+        threading.Thread(
+            target=_graceful_shutdown, args=(server, service), daemon=True
+        ).start()
+
+    try:
+        signal.signal(signal.SIGTERM, _on_sigterm)
+    except ValueError:
+        pass  # not the main thread: embedding caller owns signals
+
     bound_host, bound_port = server.server_address[:2]
     cache_note = (
         service.runner.cache.root if service.runner.cache else "disabled"
@@ -361,7 +609,7 @@ def serve_forever(
     announce(
         f"serving on http://{bound_host}:{bound_port}  "
         f"(workers={service.workers}, runner jobs={service.runner.jobs}, "
-        f"cache={cache_note})",
+        f"max queue={service.max_queue}, cache={cache_note})",
         flush=True,
     )
     service.start()

@@ -1,0 +1,229 @@
+"""Reusable fault-injection helpers for driving ``repro.serve``.
+
+The serve hardening layer (admission control, durable jobs, SSE
+streams, worker supervision) is pinned by *driving the real service
+into its failure modes*, not by unit-testing internals.  These helpers
+are the shared harness for that — and are deliberately free of pytest
+machinery so the future distributed-runner work (ROADMAP item 1) can
+reuse them to fault-inject remote pool backends:
+
+- :class:`FaultPlan` + :func:`faulty_api_run` — a programmable seam in
+  front of ``api.run`` as the serve workers see it: hold jobs hostage
+  behind an event (to build real queue pressure), raise a typed
+  exception (execution failure), or detonate a worker-killing
+  ``BaseException`` (supervision coverage);
+- :func:`start_service` / :func:`live_service` — the real HTTP stack on
+  an ephemeral loopback port, torn down cleanly;
+- :func:`abrupt_sse_disconnect` — a raw-socket SSE client that reads a
+  few frames and vanishes mid-stream (the half-close case);
+- :func:`raw_response` — one raw HTTP exchange returning status,
+  headers, and body (for asserting transport details like
+  ``Retry-After`` that urllib-level clients normalize away).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import socket
+import struct
+import threading
+from typing import Dict, Optional, Tuple
+from urllib.parse import urlsplit
+
+import repro.api as api
+from repro.serve import ServeClient, make_server
+
+
+class FaultPlan:
+    """Programmable faults injected into ``api.run`` as workers call it.
+
+    Exactly one mode is active at a time; :meth:`clear` restores
+    pass-through.  ``entered`` is set the moment any worker reaches the
+    seam — tests use it to synchronize "the worker is now busy" without
+    sleeps.  ``calls`` counts every arrival.
+    """
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._mode: Optional[Tuple] = None
+        self.gate = threading.Event()
+        self.gate.set()
+        self.entered = threading.Event()
+        self.calls = 0
+
+    # -- modes ----------------------------------------------------------
+    def hold(self) -> None:
+        """Make every run block until :meth:`release` (queue pressure)."""
+        with self._lock:
+            self._mode = ("hold",)
+            self.gate.clear()
+
+    def release(self) -> None:
+        """Open the gate held by :meth:`hold` (runs proceed for real)."""
+        self.gate.set()
+
+    def fail_with(self, exc: BaseException) -> None:
+        """Make every run raise ``exc``.
+
+        An ``Exception`` exercises the normal execution-failure path; a
+        ``BaseException`` (``KeyboardInterrupt``, ``SystemExit``) is a
+        worker-killing fault — the supervision layer must absorb it.
+        """
+        with self._lock:
+            self._mode = ("raise", exc)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._mode = None
+            self.gate.set()
+
+    # -- the seam -------------------------------------------------------
+    def apply(self, real_run, *args, **kwargs):
+        with self._lock:
+            self.calls += 1
+            mode = self._mode
+        self.entered.set()
+        if mode is not None:
+            if mode[0] == "hold":
+                if not self.gate.wait(timeout=60.0):
+                    raise TimeoutError("FaultPlan gate never released")
+            elif mode[0] == "raise":
+                raise mode[1]
+        return real_run(*args, **kwargs)
+
+
+@contextlib.contextmanager
+def faulty_api_run():
+    """Patch ``repro.api.run`` with a :class:`FaultPlan` seam.
+
+    The serve workers resolve ``api.run`` through the module attribute
+    on every call, so the patch is live for jobs already queued.  Always
+    restores the real function.
+    """
+    plan = FaultPlan()
+    real = api.run
+
+    def wrapped(*args, **kwargs):
+        return plan.apply(real, *args, **kwargs)
+
+    api.run = wrapped
+    try:
+        yield plan
+    finally:
+        api.run = real
+
+
+# ----------------------------------------------------------------------
+# service lifecycle
+# ----------------------------------------------------------------------
+def start_service(start_workers: bool = True, **kwargs):
+    """The real HTTP stack on an ephemeral port: (server, service, url).
+
+    ``start_workers=False`` leaves the queue undrained — submissions
+    pile up deterministically (no timing games) until
+    ``service.start()``.
+    """
+    server, service = make_server(port=0, **kwargs)
+    if start_workers:
+        service.start()
+    thread = threading.Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    url = f"http://127.0.0.1:{server.server_address[1]}"
+    return server, service, url
+
+
+@contextlib.contextmanager
+def live_service(start_workers: bool = True, **kwargs):
+    """Context-managed service: yields ``(client, service)``."""
+    server, service, url = start_service(start_workers=start_workers, **kwargs)
+    try:
+        yield ServeClient(url), service
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.stop()
+
+
+# ----------------------------------------------------------------------
+# raw-socket clients (transport-level assertions)
+# ----------------------------------------------------------------------
+def _connect(url: str) -> Tuple[socket.socket, str]:
+    parts = urlsplit(url)
+    sock = socket.create_connection((parts.hostname, parts.port), timeout=10.0)
+    return sock, parts.hostname
+
+
+def raw_response(
+    url: str, method: str, path: str, body: Optional[bytes] = None
+) -> Tuple[int, Dict[str, str], bytes]:
+    """One raw HTTP/1.1 exchange: returns (status, headers, body).
+
+    Exists because urllib folds response headers on error statuses away
+    from the simple ``(status, json)`` client API — admission tests need
+    to see ``Retry-After`` itself.
+    """
+    sock, host = _connect(url)
+    try:
+        head = (
+            f"{method} {path} HTTP/1.1\r\nHost: {host}\r\n"
+            f"Connection: close\r\n"
+        )
+        if body is not None:
+            head += (
+                "Content-Type: application/json\r\n"
+                f"Content-Length: {len(body)}\r\n"
+            )
+        payload = head.encode() + b"\r\n" + (body or b"")
+        sock.sendall(payload)
+        blob = b""
+        while True:
+            chunk = sock.recv(65536)
+            if not chunk:
+                break
+            blob += chunk
+    finally:
+        sock.close()
+    head_blob, _, rest = blob.partition(b"\r\n\r\n")
+    lines = head_blob.decode(errors="replace").split("\r\n")
+    status = int(lines[0].split()[1])
+    headers = {}
+    for line in lines[1:]:
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    return status, headers, rest
+
+
+def abrupt_sse_disconnect(
+    url: str, job_id: str, min_bytes: int = 1, until: Optional[bytes] = None
+) -> bytes:
+    """Open the SSE stream, read part of it, vanish.
+
+    Reads until ≥ ``min_bytes`` arrived (and, when given, the ``until``
+    marker has been seen), then closes the socket without any protocol
+    goodbye while the server is (typically) still writing frames — the
+    half-close the server's stream loop must absorb without disturbing
+    workers or other connections.  Returns whatever was read (headers +
+    leading frames).
+    """
+    sock, host = _connect(url)
+    try:
+        sock.sendall(
+            f"GET /v1/jobs/{job_id}/events HTTP/1.1\r\n"
+            f"Host: {host}\r\n\r\n".encode()
+        )
+        seen = b""
+        while len(seen) < min_bytes or (until is not None and until not in seen):
+            chunk = sock.recv(4096)
+            if not chunk:
+                break
+            seen += chunk
+    finally:
+        # Hard close: best-effort RST so the server sees a reset, not a
+        # graceful FIN (the nastier flavor of client disappearance).
+        with contextlib.suppress(OSError):
+            sock.setsockopt(
+                socket.SOL_SOCKET, socket.SO_LINGER,
+                struct.pack("ii", 1, 0),
+            )
+        sock.close()
+    return seen

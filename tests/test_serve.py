@@ -307,10 +307,17 @@ class TestDedup:
 
     def test_disk_cache_absorbs_across_service_instances(self, tmp_path):
         """A restarted service re-runs the job, but the shared
-        .repro-cache absorbs every simulation underneath."""
+        .repro-cache absorbs every simulation underneath.
+
+        Durability is off here on purpose: with the durable job table
+        (tests/test_serve_faults.py) the restarted service would serve
+        the stored result without ever touching the runner — this test
+        pins the *sim-cache* absorption layer underneath it.
+        """
         cache_dir = tmp_path / "cache"
         server1, service1, url1 = start_server(workers=1,
-                                               cache_dir=cache_dir)
+                                               cache_dir=cache_dir,
+                                               durable=False)
         try:
             first = ServeClient(url1).run(TINY)
             executed_first = service1.runner.stats.executed
@@ -321,7 +328,8 @@ class TestDedup:
             service1.stop()
 
         server2, service2, url2 = start_server(workers=1,
-                                               cache_dir=cache_dir)
+                                               cache_dir=cache_dir,
+                                               durable=False)
         try:
             second = ServeClient(url2).run(TINY)
             assert second == first  # deterministic across restarts

@@ -1,0 +1,204 @@
+"""Property tests for the serve wire schemas (Hypothesis).
+
+Generalizes the hand-picked digest-knob cases in ``tests/test_serve.py``
+into two fuzzed laws:
+
+1. **Digest ≡ canonical identity.**  ``ServeRequest.digest`` must be a
+   pure function of the request's canonical form (experiment, resolved
+   records, *raw* workload/scheme selection, key-sorted overrides) —
+   equal canonical forms always hash equal (key order, dict insertion
+   order, list-vs-tuple spelling never matter), and *distinct* canonical
+   forms never alias (defaults-vs-explicit included).  Aliasing here
+   would silently serve one config's results for another — the serve
+   twin of cache-key invariant 2.
+
+2. **Strict validation.**  Any fuzzed corruption of a valid body —
+   unknown fields, wrong types, bogus names, malformed overrides — is
+   rejected with a structured 400 :class:`ServeError` (JSON-serializable
+   envelope, stable kebab-case code), never an arbitrary exception out
+   of a worker thread.
+"""
+
+import json
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+from hypothesis import HealthCheck, given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.serve import ServeError, ServeRequest  # noqa: E402
+
+#: Small known-good building blocks (kept tiny so digest() — which
+#: resolves real workload-source digests — stays fast per example).
+EXPERIMENTS = ("fig10", "fig11")
+WORKLOADS = ("mcf_inp", "omnetpp_inp", "gcc_166")
+SCHEMES = ("triangel", "prophet")
+OVERRIDE_VALUES = {
+    "l3.size_kb": (1024, 2048, 4096),
+    "l2.size_kb": (256, 512, 1024),
+}
+
+COMMON_SETTINGS = settings(
+    max_examples=40,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+
+def subset_or_none(pool):
+    """None (experiment defaults) or a non-empty ordered subset."""
+    return st.one_of(
+        st.none(),
+        st.lists(st.sampled_from(pool), min_size=1,
+                 max_size=len(pool), unique=True),
+    )
+
+
+@st.composite
+def valid_payloads(draw):
+    payload = {"experiment": draw(st.sampled_from(EXPERIMENTS))}
+    records = draw(st.one_of(st.none(),
+                             st.integers(min_value=1000, max_value=4000)))
+    if records is not None:
+        payload["records"] = records
+    workloads = draw(subset_or_none(WORKLOADS))
+    if workloads is not None:
+        payload["workloads"] = workloads
+    schemes = draw(subset_or_none(SCHEMES))
+    if schemes is not None:
+        payload["schemes"] = schemes
+    paths = draw(st.lists(st.sampled_from(sorted(OVERRIDE_VALUES)),
+                          unique=True, max_size=len(OVERRIDE_VALUES)))
+    if paths:
+        payload["overrides"] = {
+            p: draw(st.sampled_from(OVERRIDE_VALUES[p])) for p in paths
+        }
+    return payload
+
+
+# ----------------------------------------------------------------------
+# digest laws
+# ----------------------------------------------------------------------
+class TestDigestProperties:
+    @COMMON_SETTINGS
+    @given(payload=valid_payloads(), data=st.data())
+    def test_digest_stable_under_representation_changes(self, payload, data):
+        """Key order / container spelling never change the digest."""
+        request = ServeRequest.from_payload(dict(payload))
+        digest = request.digest()
+        assert len(digest) == 64 and int(digest, 16) >= 0
+        assert request.job_id() == digest[:32]
+
+        # Shuffle override insertion order and top-level key order.
+        shuffled = dict(payload)
+        if "overrides" in shuffled:
+            items = list(shuffled["overrides"].items())
+            perm = data.draw(st.permutations(items))
+            shuffled["overrides"] = dict(perm)
+        top = data.draw(st.permutations(list(shuffled.items())))
+        shuffled = dict(top)
+        # Spell list fields as tuples (from_payload accepts either).
+        for key in ("workloads", "schemes"):
+            if shuffled.get(key) is not None:
+                shuffled[key] = tuple(shuffled[key])
+        again = ServeRequest.from_payload(shuffled)
+        assert again.digest() == digest
+        assert again.canonical() == request.canonical()
+
+    @COMMON_SETTINGS
+    @given(a=valid_payloads(), b=valid_payloads())
+    def test_digests_alias_iff_canonical_forms_equal(self, a, b):
+        """Two requests collide exactly when their identities match.
+
+        Covers every knob pair Hypothesis cares to generate — including
+        defaults-vs-explicit selections (raw ``None`` differs from a
+        spelled-out default list) and records-default resolution (an
+        explicit ``records`` equal to the experiment default *is* the
+        same request: the result document is identical).
+        """
+        ra = ServeRequest.from_payload(dict(a))
+        rb = ServeRequest.from_payload(dict(b))
+        assert (ra.digest() == rb.digest()) == (ra.canonical() == rb.canonical())
+
+    @COMMON_SETTINGS
+    @given(payload=valid_payloads())
+    def test_round_trip_through_to_dict_preserves_identity(self, payload):
+        """A summary-echoed request resubmitted is the same job."""
+        request = ServeRequest.from_payload(dict(payload))
+        echoed = {k: v for k, v in request.to_dict().items() if v is not None}
+        if not request.overrides:
+            echoed.pop("overrides", None)
+        again = ServeRequest.from_payload(echoed)
+        assert again.digest() == request.digest()
+
+
+# ----------------------------------------------------------------------
+# strict validation of fuzzed bodies
+# ----------------------------------------------------------------------
+def corrupt(payload, kind, junk):
+    """Apply one corruption to a valid payload."""
+    p = dict(payload)
+    if kind == "unknown-field":
+        p[junk or "bogus_field"] = 1
+    elif kind == "experiment":
+        p["experiment"] = junk
+    elif kind == "records":
+        p["records"] = junk
+    elif kind == "workloads":
+        p["workloads"] = junk
+    elif kind == "schemes":
+        p["schemes"] = junk
+    elif kind == "overrides":
+        p["overrides"] = junk
+    return p
+
+
+#: Values that are the wrong shape for any field they land in.
+JUNK = st.one_of(
+    st.none(), st.booleans(), st.integers(max_value=0),
+    st.floats(allow_nan=False), st.text(max_size=8).filter(
+        lambda s: s not in EXPERIMENTS
+    ),
+    st.lists(st.integers(), max_size=3),
+    st.dictionaries(st.text(max_size=6), st.integers(), max_size=2),
+)
+
+
+class TestStrictValidation:
+    @COMMON_SETTINGS
+    @given(
+        payload=valid_payloads(),
+        kind=st.sampled_from(
+            ["unknown-field", "experiment", "records",
+             "workloads", "schemes", "overrides"]
+        ),
+        junk=JUNK,
+    )
+    def test_fuzzed_corruptions_get_structured_400(self, payload, kind, junk):
+        corrupted = corrupt(payload, kind, junk)
+        try:
+            request = ServeRequest.from_payload(corrupted)
+        except ServeError as exc:
+            assert exc.status == 400
+            envelope = exc.envelope()
+            code = envelope["error"]["code"]
+            assert code and code == code.lower()
+            json.dumps(envelope)  # the 400 body must always serialize
+        else:
+            # The corruption happened to produce a *valid* body (e.g.
+            # junk None = field omitted, or a junk dict that is a real
+            # override set) — then it must behave like one: digest and
+            # canonical form are well-defined.
+            assert len(request.digest()) == 64
+
+    @COMMON_SETTINGS
+    @given(body=st.one_of(
+        st.none(), st.booleans(), st.integers(), st.floats(allow_nan=False),
+        st.text(max_size=20), st.lists(st.integers(), max_size=4),
+    ))
+    def test_non_object_bodies_rejected(self, body):
+        with pytest.raises(ServeError) as exc:
+            ServeRequest.from_payload(body)
+        assert exc.value.status == 400
+        assert exc.value.code == "invalid-request"
