@@ -56,6 +56,7 @@ if str(SRC_ROOT) not in sys.path:
     sys.path.insert(0, str(SRC_ROOT))
 
 import repro.api as api  # noqa: E402
+from repro.runner import ExecutionPolicy  # noqa: E402
 from repro.serve import ServeClient, canonical_result_json  # noqa: E402
 
 DEFAULT_OUT = Path(__file__).resolve().parent / "BENCH_serve.json"
@@ -187,6 +188,9 @@ def check_parity(url: str, requests: list) -> dict:
             workloads=payload.get("workloads"),
             schemes=payload.get("schemes"),
             overrides=payload.get("overrides") or {},
+            # Serial in-process reference executor: parity must hold
+            # against *any* backend (invariant 13), so use the simplest.
+            execution=ExecutionPolicy(pool="inline"),
         )
         expected = canonical_result_json(direct).encode()
         if served == expected:

@@ -33,6 +33,7 @@ if str(SRC_ROOT) not in sys.path:
     sys.path.insert(0, str(SRC_ROOT))
 
 import repro.api as api  # noqa: E402
+from repro.runner import ExecutionPolicy  # noqa: E402
 from repro.serve import ServeClient, canonical_result_json  # noqa: E402
 
 REQUEST = {
@@ -82,6 +83,7 @@ def phase_round_trip(tmp: str) -> None:
         direct = api.run(
             REQUEST["experiment"], records=REQUEST["records"],
             workloads=REQUEST["workloads"], schemes=REQUEST["schemes"],
+            execution=ExecutionPolicy(pool="inline"),
         )
         assert served == canonical_result_json(direct).encode(), \
             "served bytes diverge from direct api.run"
@@ -148,6 +150,7 @@ def phase_restart_recovery(tmp: str) -> None:
             records=RESTART_REQUEST["records"],
             workloads=RESTART_REQUEST["workloads"],
             schemes=RESTART_REQUEST["schemes"],
+            execution=ExecutionPolicy(pool="inline"),
         )
         assert served == canonical_result_json(direct).encode(), \
             "recovered bytes diverge from direct api.run"

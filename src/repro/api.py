@@ -11,8 +11,11 @@ shape and execution, and returns a structured result::
         workloads=["mcf_inp", "omnetpp_inp"],   # any catalog labels
         schemes=["triangel", "prophet"],        # named scheme factories
         overrides={"l3.size_kb": 4096},         # dotted-path config edits
-        jobs=4,                                 # process-pool fan-out
-        cache_dir=".repro-cache",               # on-disk result reuse
+        execution=api.ExecutionPolicy(          # how/where jobs execute:
+            pool="local",                       #   local | inline |
+            jobs=4,                             #   ssh:hosts.txt | loopback
+            cache_dir=".repro-cache",           # on-disk result reuse
+        ),
     )
     print(result.text())                        # the figure's report rows
     result.payload.geomean_speedup("prophet")   # typed payload underneath
@@ -20,23 +23,27 @@ shape and execution, and returns a structured result::
     again = api.ExperimentResult.from_json(blob)
 
 ``run`` owns the whole execution lifecycle: it builds the
-:class:`~repro.runner.Runner` from ``jobs``/``cache_dir`` (or accepts a
-shared one), installs it for the duration of the experiment, and restores
-the previous runner afterwards — no module-level ``set_runner``
-choreography.  The CLI is a thin client of exactly this function.
+:class:`~repro.runner.Runner` (and its pool backend) from the
+:class:`~repro.runner.ExecutionPolicy` — or accepts a shared ``runner``
+— installs it for the duration of the experiment, restores the previous
+runner afterwards, and releases the pool.  No module-level
+``set_runner`` choreography.  The CLI is a thin client of exactly this
+function.  The flat ``jobs=``/``cache_dir=`` kwargs from before the
+policy object still work but are deprecated.
 """
 
 from __future__ import annotations
 
 import json
 import time
+import warnings
 from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence
+from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from .experiments import ExperimentRequest, all_experiments, get_experiment
 from .experiments.registry import Experiment
-from .runner import Runner, make_runner, use_runner
+from .runner import ExecutionPolicy, Runner, coerce_policy, use_runner
 from .sim.config import SystemConfig
 
 #: Version stamp written into every ExperimentResult dict.
@@ -62,6 +69,12 @@ class ExperimentResult:
     workloads: Optional[List[str]] = None
     schemes: Optional[List[str]] = None
     overrides: Dict[str, Any] = field(default_factory=dict)
+    #: How the run executed (``ExecutionPolicy.to_dict()`` form), or
+    #: ``None`` when a pre-built runner was supplied.  Metadata only: it
+    #: never affects the payload (invariant 13 — results are
+    #: byte-identical across backends), and serve's canonical result
+    #: bytes null it out along with ``elapsed``.
+    execution: Optional[Dict[str, Any]] = None
 
     @property
     def experiment(self) -> Experiment:
@@ -88,7 +101,9 @@ class ExperimentResult:
         ``experiment``, ``records``, ``elapsed_seconds`` (wall clock,
         rounded to ms), ``workloads``/``schemes`` (the caller's subset
         selection, or ``None`` when the experiment defaults were used),
-        ``overrides`` (dotted-path config edits), and ``payload``
+        ``overrides`` (dotted-path config edits), ``execution`` (the
+        :class:`~repro.runner.ExecutionPolicy` the run executed under,
+        as a dict, or ``None``), and ``payload``
         (serialized through the experiment's declared converter — suite
         payloads via ``SuiteResults.to_dict``, otherwise the registered
         ``to_dict`` or the generic dataclass walker).
@@ -101,6 +116,7 @@ class ExperimentResult:
             "workloads": list(self.workloads) if self.workloads is not None else None,
             "schemes": list(self.schemes) if self.schemes is not None else None,
             "overrides": dict(self.overrides),
+            "execution": dict(self.execution) if self.execution else None,
             "payload": self.experiment.payload_to_dict(self.payload),
         }
 
@@ -135,6 +151,7 @@ class ExperimentResult:
             workloads=d.get("workloads"),
             schemes=d.get("schemes"),
             overrides=dict(d.get("overrides") or {}),
+            execution=d.get("execution"),
         )
 
     @classmethod
@@ -161,6 +178,11 @@ def workload_sources():
     return list(all_sources().values())
 
 
+#: Sentinel distinguishing "not passed" from explicit values for the
+#: deprecated flat execution kwargs.
+_UNSET: Any = object()
+
+
 def run(
     name: str,
     *,
@@ -169,10 +191,11 @@ def run(
     schemes: Optional[Sequence[str]] = None,
     overrides: Optional[Mapping[str, Any]] = None,
     config: Optional[SystemConfig] = None,
-    jobs: int = 1,
-    cache_dir=None,
+    execution: Optional[Union[ExecutionPolicy, Dict[str, Any]]] = None,
     runner: Optional[Runner] = None,
     progress: Optional[Callable] = None,
+    jobs: int = _UNSET,
+    cache_dir: Any = _UNSET,
 ) -> ExperimentResult:
     """Run one registered experiment and return its structured result.
 
@@ -183,15 +206,44 @@ def run(
     - ``overrides`` are dotted-path config overrides
       (``{"l3.size_kb": 2048}``) applied on top of the experiment's base
       config; ``config`` replaces that base config outright;
-    - ``jobs``/``cache_dir``/``progress`` build the
-      :class:`~repro.runner.Runner` for this run, or pass a shared
-      ``runner`` (the CLI does, so one cache serves a whole invocation).
+    - ``execution`` is the :class:`~repro.runner.ExecutionPolicy` (or
+      its dict form) that decides how jobs execute — pool backend,
+      fan-out, caching, per-job timeout, retries.  Alternatively pass a
+      shared ``runner`` (the CLI and serve do, so one cache and one pool
+      serve a whole invocation); ``progress`` overrides the progress
+      sink either way.
 
     The runner is installed only for the duration of the call; the
-    previously active runner is restored afterwards.
+    previously active runner is restored afterwards, and a runner this
+    call built (from ``execution``) is closed — its pool released —
+    before returning.
+
+    .. deprecated::
+        The flat ``jobs=``/``cache_dir=`` kwargs; use
+        ``execution=ExecutionPolicy(jobs=..., cache_dir=...)``.
     """
     exp = get_experiment(name)
     overrides = dict(overrides or {})
+    policy = coerce_policy(execution)
+
+    if jobs is not _UNSET or cache_dir is not _UNSET:
+        if policy is not None:
+            raise ValueError(
+                "pass either execution=ExecutionPolicy(...) or the "
+                "deprecated flat jobs=/cache_dir= kwargs, not both"
+            )
+        warnings.warn(
+            "api.run(jobs=..., cache_dir=...) is deprecated; pass "
+            "execution=ExecutionPolicy(jobs=..., cache_dir=...) instead",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        policy = ExecutionPolicy(
+            jobs=jobs if jobs is not _UNSET else 1,
+            cache_dir=cache_dir if cache_dir is not _UNSET else None,
+        )
+    if policy is not None and runner is not None:
+        raise ValueError("pass either execution= or runner=, not both")
 
     if exp.static and records is not None:
         raise ValueError(
@@ -212,9 +264,14 @@ def run(
         overrides=overrides,
         config=config,
     )
-    active = runner if runner is not None else make_runner(
-        jobs=jobs, cache_dir=cache_dir, progress=progress
-    )
+    if runner is not None:
+        active, owned = runner, False
+    else:
+        if policy is None:
+            policy = ExecutionPolicy()  # serial, cache-less: the default
+        if progress is not None:
+            policy = policy.with_progress(progress)
+        active, owned = policy.make_runner(), True
     start = time.perf_counter()
     # With a *shared* runner, route this call's progress events through a
     # context-local scope instead of mutating the runner (concurrent
@@ -225,9 +282,14 @@ def run(
         if (runner is not None and progress is not None)
         else nullcontext()
     )
-    with scope, use_runner(active):
-        payload = exp.run(req)
+    try:
+        with scope, use_runner(active):
+            payload = exp.run(req)
+    finally:
+        if owned:
+            active.close()
     elapsed = time.perf_counter() - start
+    recorded = getattr(active, "policy", None)
     return ExperimentResult(
         name=name,
         records=req.records,
@@ -236,4 +298,5 @@ def run(
         workloads=list(workloads) if workloads is not None else None,
         schemes=list(schemes) if schemes is not None else None,
         overrides=overrides,
+        execution=recorded.to_dict() if recorded is not None else None,
     )

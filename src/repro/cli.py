@@ -7,13 +7,16 @@ Usage::
     python -m repro.cli fig10 --workloads mcf_inp,gen_phase_mix --schemes prophet
     python -m repro.cli fig10 --set l3.size_kb=4096 --set dram.channels=2
     python -m repro.cli all --records N --out DIR --jobs N
+    python -m repro.cli all --records N --pool ssh:hosts.txt --jobs 64
     python -m repro.cli trace mcf_inp [--records N]
     python -m repro.cli workloads list [--trace-dir DIR]
     python -m repro.cli workloads describe gen_ptrchase_llc
     python -m repro.cli workloads import capture.trc [--name LABEL]
+    python -m repro.cli pool probe hosts.txt
+    python -m repro.cli cas gc [--cache-dir DIR] [--max-age-days N]
     python -m repro.cli bench [--records N] [--batch-size N]
     python -m repro.cli serve [--port N] [--host H] [--workers N] \
-        [--jobs N] [--cache-dir DIR]
+        [--jobs N] [--cache-dir DIR] [--pool SPEC]
 
 ``serve`` runs the long-running simulation job service
 (:mod:`repro.serve`): submit experiment requests over HTTP/JSON, poll
@@ -54,12 +57,25 @@ default report text, ``--chart`` (ASCII bars), ``--csv``, or ``--json``
 (the full serialized ``ExperimentResult``).  With ``--out DIR`` each
 rendering is also written to ``DIR/<name>.{txt,csv,json}``.
 
-Execution flags build the one shared :class:`repro.runner.Runner` for
-the whole invocation: ``--jobs N`` fans simulations out over N worker
-processes, ``--cache-dir``/``--no-cache`` control the on-disk result
+Execution flags build one shared
+:class:`repro.runner.ExecutionPolicy` (and from it the one shared
+:class:`repro.runner.Runner`) for the whole invocation: ``--pool``
+selects the execution backend (``local`` process pool, serial
+``inline``, ``ssh:hosts.txt`` multi-host fan-out, ``loopback[:N]``
+local subprocess workers over the ssh protocol), ``--jobs N`` sizes the
+fan-out, ``--timeout``/``--retries`` bound per-job failure handling on
+remote pools, ``--cache-dir``/``--no-cache`` control the on-disk result
 cache (default ``.repro-cache/``), ``--verbose`` prints per-job
 progress.  The runner's executed/cache-hit counts are logged after every
 simulating command.
+
+``pool probe hosts.txt`` health-checks every host in a hosts file
+(python reachable, ``repro`` importable, ENGINE_VERSION compatible)
+without running any jobs; ``pool probe loopback[:N]`` does the same
+against local subprocess workers.  ``cas gc`` / ``cas verify`` maintain
+a shared ``--cache-dir``: ``gc`` prunes corrupt entries, orphaned temp
+files, and (with ``--max-age-days``) stale results; ``verify`` reports
+digest-verification counts without modifying anything.
 
 Failures under ``--json`` keep stdout machine-readable: instead of an
 argparse usage message, the CLI prints the same ``{"error": {"code":
@@ -77,7 +93,7 @@ from typing import Callable, List, Optional
 
 from . import api, viz
 from .experiments import all_experiments, get_experiment
-from .runner import make_runner
+from .runner import ExecutionPolicy, PoolError, make_runner
 from .serve.schemas import error_envelope
 from .sim.config import parse_override
 
@@ -236,11 +252,95 @@ def run_serve_command(args) -> int:
     return serve_forever(
         host=args.host,
         port=args.port,
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
         workers=args.workers,
         quiet=not args.verbose,
         max_queue=args.max_queue,
+        execution=_execution_policy(args),
+    )
+
+
+def run_pool_command(args, parser) -> int:
+    """The ``pool`` subcommand: probe (health-check a hosts file)."""
+    from .runner import ENGINE_VERSION, HostSpec, load_hosts_file, probe_hosts
+
+    if args.target != "probe":
+        parser.error(
+            f"unknown pool subcommand {args.target!r}; expected: probe"
+        )
+    spec = args.arg
+    if not spec:
+        parser.error("pool probe requires a hosts file (or loopback[:N])")
+    if spec.startswith("loopback"):
+        _, _, n = spec.partition(":")
+        specs = [HostSpec(name=f"loopback/{i}") for i in range(int(n or 2))]
+        rows = probe_hosts(specs, loopback=True)
+    else:
+        try:
+            specs = load_hosts_file(spec)
+        except (OSError, ValueError) as exc:
+            parser.error(str(exc))
+        rows = probe_hosts(specs)
+    print(f"driver ENGINE_VERSION={ENGINE_VERSION}")
+    width = max(len(r["host"]) for r in rows)
+    bad = 0
+    for row in rows:
+        if row["ok"] and row["compatible"]:
+            numpy_note = "numpy" if row["numpy"] else "no-numpy"
+            status = (f"ok    python {row['python']}  "
+                      f"engine {row['engine_version']}  {numpy_note}")
+        else:
+            bad += 1
+            detail = row["error"] or (
+                f"incompatible: engine {row['engine_version']!r} "
+                f"(driver {ENGINE_VERSION!r})"
+            )
+            status = f"FAIL  {detail}"
+        print(f"  {row['host']:{width}s}  {status}")
+    print(f"{len(rows) - bad}/{len(rows)} hosts usable")
+    return 0 if bad == 0 else 1
+
+
+def run_cas_command(args, parser) -> int:
+    """The ``cas`` subcommand: gc / verify the content-addressed cache."""
+    from .runner import ResultCache
+
+    sub = args.target or "verify"
+    cache_dir = Path(args.cache_dir)
+    if not cache_dir.exists():
+        parser.error(f"cache dir {cache_dir} does not exist")
+    cache = ResultCache(cache_dir)
+    if sub == "gc":
+        stats = cache.gc(max_age_days=args.max_age_days)
+        print(
+            f"cas gc {cache_dir}: kept {stats['kept']}, removed "
+            f"{stats['removed_corrupt']} corrupt, "
+            f"{stats['removed_stale']} stale, "
+            f"{stats['removed_tmp']} orphaned temp file(s)"
+        )
+        return 0
+    if sub == "verify":
+        stats = cache.verify()
+        print(
+            f"cas verify {cache_dir}: {stats['entries']} entries — "
+            f"{stats['verified']} digest-verified, {stats['legacy']} "
+            f"legacy (pre-digest), {stats['corrupt']} corrupt"
+        )
+        return 0 if stats["corrupt"] == 0 else 1
+    parser.error(f"unknown cas subcommand {sub!r}; expected: gc, verify")
+    return 2
+
+
+def _execution_policy(args) -> ExecutionPolicy:
+    """The one shared ExecutionPolicy for this CLI invocation."""
+    return ExecutionPolicy(
+        pool=args.pool,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        no_cache=args.no_cache,
+        progress=make_progress_printer() if args.verbose else None,
+        verbose=args.verbose,
+        per_job_timeout=args.timeout,
+        retries=args.retries,
     )
 
 
@@ -352,6 +452,19 @@ def main(argv=None) -> int:
                         help="print the serialized ExperimentResult as JSON")
     parser.add_argument("--jobs", type=int, default=1,
                         help="worker processes for simulations (default 1)")
+    parser.add_argument("--pool", default="local",
+                        help="execution backend: local | inline | "
+                             "ssh:hosts.txt | loopback[:N] (default local)")
+    parser.add_argument("--timeout", type=float, default=None,
+                        help="per-job timeout in seconds (remote pools "
+                             "retry on another host; local pools fail)")
+    parser.add_argument("--retries", type=int, default=2,
+                        help="retry budget per job on remote pools "
+                             "(default 2; each retry prefers a host that "
+                             "has not failed the job)")
+    parser.add_argument("--max-age-days", type=float, default=None,
+                        help="for 'cas gc': also drop valid cache entries "
+                             "older than this many days")
     parser.add_argument("--no-cache", action="store_true",
                         help="disable the on-disk result cache")
     parser.add_argument("--cache-dir", type=Path, default=Path(".repro-cache"),
@@ -391,29 +504,11 @@ def main(argv=None) -> int:
     if args.experiment == "serve":
         return run_serve_command(args)
 
-    runner = make_runner(
-        jobs=args.jobs,
-        cache_dir=None if args.no_cache else args.cache_dir,
-        progress=make_progress_printer() if args.verbose else None,
-    )
+    if args.experiment == "pool":
+        return run_pool_command(args, parser)
 
-    def report_runner_stats() -> None:
-        stats = runner.stats
-        if stats.total == 0:
-            return
-        cache_note = (
-            "cache disabled" if args.no_cache
-            else f"cache hits: {stats.cache_hits} ({args.cache_dir})"
-        )
-        # With a machine-readable rendering, stdout is exactly the
-        # result(s); keep diagnostics on stderr so `--json | jq` and
-        # `--csv > out.csv` stay parseable.
-        machine_readable = args.json or args.csv or args.chart
-        print(
-            f"[runner] jobs={args.jobs}  simulated: {stats.executed}  "
-            f"{cache_note}",
-            file=sys.stderr if machine_readable else sys.stdout,
-        )
+    if args.experiment == "cas":
+        return run_cas_command(args, parser)
 
     if args.experiment == "list":
         print(list_experiments())
@@ -425,29 +520,66 @@ def main(argv=None) -> int:
         print(run_trace_report(args.target, args.records or 60_000))
         return 0
 
+    try:
+        runner = make_runner(_execution_policy(args))
+    except (PoolError, ValueError, OSError) as exc:
+        return _fail(parser, args, "pool-unavailable", str(exc))
+    # A SIGTERM mid-sweep drains gracefully on remote pools: in-flight
+    # jobs finish (and bank their payloads in the cache), new
+    # submissions fail, and the CLI exits with an error instead of
+    # dropping completed work on the floor.
+    pool = getattr(runner, "_pool", None)
+    if pool is not None and hasattr(pool, "install_sigterm_drain"):
+        pool.install_sigterm_drain()
+
+    def report_runner_stats() -> None:
+        stats = runner.stats
+        if stats.total == 0:
+            return
+        cache_note = (
+            "cache disabled" if args.no_cache
+            else f"cache hits: {stats.cache_hits} ({args.cache_dir})"
+        )
+        backend = runner.pool_info().get("backend", "local")
+        # With a machine-readable rendering, stdout is exactly the
+        # result(s); keep diagnostics on stderr so `--json | jq` and
+        # `--csv > out.csv` stay parseable.
+        machine_readable = args.json or args.csv or args.chart
+        print(
+            f"[runner] pool={backend}  jobs={args.jobs}  "
+            f"simulated: {stats.executed}  {cache_note}",
+            file=sys.stderr if machine_readable else sys.stdout,
+        )
+
     registered = [exp.name for exp in all_experiments()]
     names = registered if args.experiment == "all" else [args.experiment]
     unknown = [n for n in names if n not in registered]
     if unknown:
+        runner.close()
         return _fail(
             parser, args, "unknown-experiment",
             f"unknown experiment(s): {', '.join(unknown)}; try 'list'",
         )
     running_all = args.experiment == "all"
-    for name in names:
-        try:
-            text = _render_one(args, name, runner, args.out,
-                               running_all=running_all)
-        except ValueError as exc:
-            if not running_all:
-                return _fail(parser, args, "invalid-request", str(exc))
-            # A sweep must not abort because one experiment cannot take a
-            # flag (e.g. fig01 accepts a single workload only).
-            print(f"[skip] {name}: {exc}", file=sys.stderr)
-            continue
-        print(text)
-        if not args.json:
-            print()
+    try:
+        for name in names:
+            try:
+                text = _render_one(args, name, runner, args.out,
+                                   running_all=running_all)
+            except ValueError as exc:
+                if not running_all:
+                    return _fail(parser, args, "invalid-request", str(exc))
+                # A sweep must not abort because one experiment cannot take
+                # a flag (e.g. fig01 accepts a single workload only).
+                print(f"[skip] {name}: {exc}", file=sys.stderr)
+                continue
+            except PoolError as exc:
+                return _fail(parser, args, "pool-failure", str(exc))
+            print(text)
+            if not args.json:
+                print()
+    finally:
+        runner.close()
     report_runner_stats()
     return 0
 

@@ -23,6 +23,7 @@ from contextvars import ContextVar
 from pathlib import Path
 from typing import Callable, Iterator, Optional, Union
 
+from .policy import ExecutionPolicy
 from .runner import Runner
 
 #: The context-local active runner (``None`` = fall back to the default).
@@ -35,17 +36,28 @@ _DEFAULT_LOCK = threading.Lock()
 
 
 def make_runner(
-    jobs: int = 1,
+    jobs: Union[int, ExecutionPolicy] = 1,
     cache_dir: Optional[Union[str, Path]] = None,
     progress: Optional[Callable] = None,
 ) -> Runner:
-    """Build a Runner from the Experiment API's execution knobs.
+    """Build a Runner from an :class:`ExecutionPolicy` (or flat knobs).
 
-    ``cache_dir=None`` disables the on-disk cache (the library default);
-    pass a directory to opt in.  This is the one place
-    :func:`repro.api.run` and the CLI construct runners, so the knob
-    semantics stay identical everywhere.
+    This is the one place :func:`repro.api.run`, serve, and the CLI
+    construct runners, so the knob semantics stay identical everywhere.
+    Pass an :class:`ExecutionPolicy` as the sole argument for the full
+    knob set (pool backend, timeouts, retries); the historical flat form
+    ``make_runner(jobs, cache_dir, progress)`` still works and means a
+    local pool (``cache_dir=None`` disables the on-disk cache — the
+    library default).
     """
+    if isinstance(jobs, ExecutionPolicy):
+        policy = jobs
+        if cache_dir is not None or progress is not None:
+            raise TypeError(
+                "make_runner(policy) takes no extra knobs — put them on "
+                "the ExecutionPolicy"
+            )
+        return policy.make_runner()
     return Runner(
         jobs=jobs,
         cache_dir=cache_dir,
@@ -86,15 +98,23 @@ def set_runner(runner: Optional[Runner]) -> None:
 
 
 @contextmanager
-def use_runner(runner: Runner) -> Iterator[Runner]:
+def use_runner(runner: Union[Runner, ExecutionPolicy]) -> Iterator[Runner]:
     """Temporarily install ``runner`` (restores the previous one).
 
-    Scoped to the current context: concurrent ``use_runner`` blocks in
-    different threads are fully independent, and the restore uses the
-    ContextVar token, so even re-entrant nesting unwinds correctly.
+    Accepts a built :class:`Runner` or an :class:`ExecutionPolicy` — a
+    policy is materialized on entry and closed (pool released) on exit,
+    so ``with use_runner(ExecutionPolicy(pool="ssh:hosts.txt")): ...``
+    is the complete lifecycle.  Scoped to the current context:
+    concurrent ``use_runner`` blocks in different threads are fully
+    independent, and the restore uses the ContextVar token, so even
+    re-entrant nesting unwinds correctly.
     """
-    token = _ACTIVE.set(runner)
+    owned = isinstance(runner, ExecutionPolicy)
+    active = runner.make_runner() if owned else runner
+    token = _ACTIVE.set(active)
     try:
-        yield runner
+        yield active
     finally:
         _ACTIVE.reset(token)
+        if owned:
+            active.close()

@@ -1,0 +1,178 @@
+"""ExecutionPolicy: every execution knob in one declarative object.
+
+Before this existed, ``jobs`` / ``cache_dir`` / ``no_cache`` /
+``progress`` / ``verbose`` were sprinkled as flat kwargs across
+``api.run``, ``use_runner``, the CLI, and serve — and a new knob (pool
+backend, per-job timeout, retries) would have had to be added to every
+signature.  Now each entry point takes a single
+``execution=ExecutionPolicy(...)`` and the policy knows how to build
+its own :class:`~repro.runner.pools.Pool` and
+:class:`~repro.runner.runner.Runner`.
+
+Pool specs (the ``pool`` field / the CLI ``--pool`` flag):
+
+- ``"local"``        — process-pool fan-out on this machine (default);
+- ``"inline"``       — serial in-process, debuggable;
+- ``"ssh:HOSTS"``    — multi-host fan-out over ssh; ``HOSTS`` is a
+  hosts-file path (see :class:`~repro.runner.pools.HostSpec`);
+- ``"loopback[:N]"`` — the SSH protocol against N local subprocesses
+  (default: ``jobs``); used by CI and useful for crash isolation.
+
+The policy is JSON-serializable (``to_dict`` / ``from_dict``, minus the
+``progress`` callable) and rides along in ``ExperimentResult`` metadata,
+so a stored result records how it was executed.
+"""
+
+from __future__ import annotations
+
+import sys
+from dataclasses import dataclass, field, replace
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple, Union
+
+from .pools import InlinePool, LocalPool, LoopbackPool, Pool, SSHPool
+from .runner import ProgressFn, Runner
+
+#: Pool spec backends accepted by :class:`ExecutionPolicy`.
+POOL_BACKENDS = ("local", "inline", "ssh", "loopback")
+
+
+def parse_pool_spec(spec: str) -> Tuple[str, Optional[str]]:
+    """Split a pool spec into ``(backend, arg)``; validates the backend."""
+    backend, _, arg = str(spec).partition(":")
+    if backend not in POOL_BACKENDS:
+        raise ValueError(
+            f"unknown pool backend {backend!r} "
+            f"(expected one of {', '.join(POOL_BACKENDS)})"
+        )
+    if backend == "ssh" and not arg:
+        raise ValueError("ssh pool needs a hosts file: --pool ssh:hosts.txt")
+    return backend, arg or None
+
+
+def _print_progress(event: str, job, done: int, total: int) -> None:
+    """The default ``verbose=True`` progress sink (stderr, one line/event)."""
+    label = job.label or job.scheme
+    print(f"[{done}/{total}] {event:9s} {label} @ {job.trace.label}",
+          file=sys.stderr)
+
+
+@dataclass(frozen=True)
+class ExecutionPolicy:
+    """How experiment jobs execute: backend, fan-out, caching, failure."""
+
+    pool: str = "local"
+    jobs: int = 1
+    cache_dir: Optional[Union[str, Path]] = None
+    no_cache: bool = False
+    progress: Optional[ProgressFn] = field(default=None, compare=False)
+    verbose: bool = False
+    per_job_timeout: Optional[float] = None
+    retries: int = 2
+
+    def __post_init__(self):
+        parse_pool_spec(self.pool)  # fail fast on a bad spec
+        object.__setattr__(self, "jobs", max(1, int(self.jobs)))
+        if self.cache_dir is not None:
+            # Normalized to str so to_dict/from_dict round-trips compare
+            # equal and the policy is JSON-stable.
+            object.__setattr__(self, "cache_dir", str(self.cache_dir))
+
+    # -- derived --------------------------------------------------------
+    @property
+    def backend(self) -> str:
+        return parse_pool_spec(self.pool)[0]
+
+    @property
+    def pool_arg(self) -> Optional[str]:
+        return parse_pool_spec(self.pool)[1]
+
+    @property
+    def effective_cache_dir(self) -> Optional[Union[str, Path]]:
+        return None if self.no_cache else self.cache_dir
+
+    def effective_progress(self) -> Optional[ProgressFn]:
+        if self.progress is not None:
+            return self.progress
+        return _print_progress if self.verbose else None
+
+    # -- factories ------------------------------------------------------
+    def make_pool(self) -> Optional[Pool]:
+        """The policy's pool backend; ``None`` means the Runner's
+        per-run ephemeral :class:`LocalPool` default."""
+        backend, arg = parse_pool_spec(self.pool)
+        if backend == "local":
+            return None
+        if backend == "inline":
+            return InlinePool()
+        if backend == "loopback":
+            workers = int(arg) if arg else self.jobs
+            return LoopbackPool(
+                workers=workers,
+                per_job_timeout=self.per_job_timeout,
+                retries=self.retries,
+                verbose=self.verbose,
+            )
+        return SSHPool(
+            arg,
+            jobs=self.jobs,
+            per_job_timeout=self.per_job_timeout,
+            retries=self.retries,
+            verbose=self.verbose,
+        )
+
+    def make_runner(self) -> Runner:
+        """A Runner executing through this policy's pool backend."""
+        runner = Runner(
+            jobs=self.jobs,
+            cache_dir=self.effective_cache_dir,
+            use_cache=self.effective_cache_dir is not None,
+            progress=self.effective_progress(),
+            pool=self.make_pool(),
+            per_job_timeout=self.per_job_timeout,
+        )
+        runner.policy = self
+        return runner
+
+    # -- (de)serialization ---------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        """JSON-compatible form (``progress`` is a callable: excluded)."""
+        return {
+            "pool": self.pool,
+            "jobs": self.jobs,
+            "cache_dir": str(self.cache_dir) if self.cache_dir else None,
+            "no_cache": self.no_cache,
+            "verbose": self.verbose,
+            "per_job_timeout": self.per_job_timeout,
+            "retries": self.retries,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "ExecutionPolicy":
+        return cls(
+            pool=d.get("pool", "local"),
+            jobs=d.get("jobs", 1),
+            cache_dir=d.get("cache_dir"),
+            no_cache=d.get("no_cache", False),
+            verbose=d.get("verbose", False),
+            per_job_timeout=d.get("per_job_timeout"),
+            retries=d.get("retries", 2),
+        )
+
+    def with_progress(self, progress: Optional[ProgressFn]) -> "ExecutionPolicy":
+        return replace(self, progress=progress)
+
+
+#: Type accepted by entry points that take either form.
+PolicyLike = Union[ExecutionPolicy, Dict[str, Any]]
+
+
+def coerce_policy(value: Optional[PolicyLike]) -> Optional[ExecutionPolicy]:
+    """Accept an ExecutionPolicy or its dict form (wire requests)."""
+    if value is None or isinstance(value, ExecutionPolicy):
+        return value
+    if isinstance(value, dict):
+        return ExecutionPolicy.from_dict(value)
+    raise TypeError(
+        f"execution must be an ExecutionPolicy or dict, not {type(value)!r}"
+    )

@@ -1,0 +1,846 @@
+"""Execution pool backends: where a Runner's job levels actually run.
+
+The :class:`Pool` contract is deliberately small — ``submit`` buffers
+one job, ``drain`` executes/collects everything submitted since the
+last drain, ``close`` releases resources — because the Runner already
+owns everything stateful about a run (dedup, dependency levels, the
+result cache, progress accounting).  A pool only ever sees
+content-addressed inputs (a dep-stripped :class:`SimJob` plus its
+dependency payloads) and returns payloads, so a job's result is
+byte-identical no matter which backend or host produced it
+(architecture invariant 13).
+
+Backends:
+
+- :class:`InlinePool`   — serial, in-process, fully debuggable (a
+  breakpoint inside an executor works); exceptions propagate raw.
+- :class:`LocalPool`    — the historical ``ProcessPoolExecutor`` fan-out;
+  the behavior-identical default.
+- :class:`SSHPool`      — multi-host fan-out: ships
+  :mod:`repro.runner.worker` as source to each host over ``ssh``
+  (JSON-lines RPC on stdin/stdout), with startup health probes, per-job
+  timeout, retry-with-backoff on a *different* host, dead-host eviction
+  with automatic re-queue, and graceful drain on SIGTERM.
+- :class:`LoopbackPool` — an :class:`SSHPool` whose "hosts" are local
+  subprocesses: the full remote protocol and robustness matrix with no
+  sshd, which is how CI and the fault suite exercise the SSH path.
+
+Failure surface: local backends re-raise the executor's original
+exception (``ValueError`` for an unknown scheme, etc.); remote backends
+wrap everything in :class:`PoolError` — a deterministic job failure
+raises after the drain completes (the pool stays usable), while
+infrastructure failures (every host dead, retries exhausted) raise as
+soon as they are known.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import queue
+import shlex
+import signal
+import subprocess
+import sys
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import TimeoutError as FutureTimeoutError
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterator, List, Optional, Sequence, Tuple, Union
+
+from . import schemes as _schemes
+from .jobs import ENGINE_VERSION, SimJob
+from .worker import BOOTSTRAP, job_to_dict
+
+#: drain() invokes this right before a job starts executing (token arg);
+#: the Runner uses it to emit its "start" progress events in the same
+#: order the historical execution loop did.
+OnStart = Optional[Callable[[str], None]]
+
+
+class PoolError(RuntimeError):
+    """A job or pool-infrastructure failure surfaced by a backend."""
+
+
+# ----------------------------------------------------------------------
+# the contract
+# ----------------------------------------------------------------------
+class Pool:
+    """Executes buffered jobs; see the module docstring for the contract.
+
+    ``persistent`` distinguishes backends that outlive one
+    :meth:`Runner.run` call (remote pools with live host connections)
+    from per-run throwaways; the Runner serializes concurrent runs
+    through a persistent pool and closes it in ``Runner.close()``.
+    """
+
+    name = "abstract"
+    persistent = False
+
+    def submit(
+        self, token: str, job: SimJob, dep_payloads: Dict[str, Any]
+    ) -> None:
+        raise NotImplementedError
+
+    def drain(self, on_start: OnStart = None) -> Iterator[Tuple[str, Any]]:
+        raise NotImplementedError
+
+    def close(self) -> None:  # pragma: no cover - trivial default
+        pass
+
+    def describe(self) -> Dict[str, Any]:
+        return {"backend": self.name}
+
+
+class InlinePool(Pool):
+    """Serial in-process execution — the debuggable reference backend."""
+
+    name = "inline"
+    persistent = True  # stateless between drains; safe to share
+
+    def __init__(self) -> None:
+        self._tasks: List[Tuple[str, SimJob, Dict[str, Any]]] = []
+
+    def submit(self, token, job, dep_payloads):
+        self._tasks.append((token, job, dep_payloads))
+
+    def drain(self, on_start: OnStart = None):
+        tasks, self._tasks = self._tasks, []
+        for token, job, deps in tasks:
+            if on_start is not None:
+                on_start(token)
+            # Looked up through the module so test seams (FaultPlan)
+            # can patch repro.runner.schemes.execute_job.
+            yield token, _schemes.execute_job(job, deps)
+
+    def describe(self):
+        return {"backend": self.name, "jobs": 1}
+
+
+class LocalPool(Pool):
+    """The historical ``ProcessPoolExecutor`` fan-out (default backend).
+
+    ``per_job_timeout`` bounds each future's collection; on expiry the
+    pool is marked broken (its workers may be wedged) and a
+    :class:`PoolError` raises — there is no local retry, because a local
+    timeout means the machine itself is saturated or the job is wrong,
+    and re-running it on the same machine cannot help.
+    """
+
+    name = "local"
+
+    def __init__(self, jobs: int = 1, per_job_timeout: Optional[float] = None):
+        self.jobs = max(1, int(jobs))
+        self.per_job_timeout = per_job_timeout
+        self._tasks: List[Tuple[str, SimJob, Dict[str, Any]]] = []
+        self._executor: Optional[ProcessPoolExecutor] = None
+        self._broken = False
+
+    def submit(self, token, job, dep_payloads):
+        self._tasks.append((token, job, dep_payloads))
+
+    def drain(self, on_start: OnStart = None):
+        tasks, self._tasks = self._tasks, []
+        if self.jobs == 1 or len(tasks) == 1:
+            # Serial fast path: no executor, raw exceptions, interleaved
+            # start/done events — byte-for-byte the historical behavior.
+            for token, job, deps in tasks:
+                if on_start is not None:
+                    on_start(token)
+                yield token, _schemes.execute_job(job, deps)
+            return
+        if self._executor is None:
+            self._executor = ProcessPoolExecutor(max_workers=self.jobs)
+        futures = []
+        for token, job, deps in tasks:
+            if on_start is not None:
+                on_start(token)
+            futures.append(
+                (token, self._executor.submit(_schemes.execute_job,
+                                              job.stripped(), deps))
+            )
+        # Collect in submission order: deterministic results.
+        for token, future in futures:
+            try:
+                payload = future.result(timeout=self.per_job_timeout)
+            except FutureTimeoutError:
+                self._broken = True
+                raise PoolError(
+                    f"job {token[:12]} exceeded the per-job timeout of "
+                    f"{self.per_job_timeout}s in the local pool"
+                ) from None
+            yield token, payload
+
+    def close(self):
+        if self._executor is not None:
+            self._executor.shutdown(
+                wait=not self._broken, cancel_futures=self._broken
+            )
+            self._executor = None
+
+    def describe(self):
+        return {
+            "backend": self.name,
+            "jobs": self.jobs,
+            "per_job_timeout": self.per_job_timeout,
+        }
+
+
+# ----------------------------------------------------------------------
+# hosts files
+# ----------------------------------------------------------------------
+@dataclass
+class HostSpec:
+    """One line of a hosts file: a host name plus per-host options.
+
+    Format (whitespace-separated, ``#`` comments)::
+
+        # host            options (all optional)
+        node01
+        user@node02       python=/opt/py312/bin/python3 slots=4
+        node03            path=/nfs/repro/src env.REPRO_NUMPY=1
+
+    ``python`` is the remote interpreter (default ``python3``);
+    ``slots`` is how many concurrent workers the host runs; ``path`` is
+    the directory containing the ``repro`` package on that host (default:
+    the driver's own src path — i.e. a shared filesystem); ``env.K=V``
+    entries are exported into each worker's environment.
+    """
+
+    name: str
+    python: Optional[str] = None
+    slots: int = 1
+    path: Optional[str] = None
+    env: Dict[str, str] = field(default_factory=dict)
+
+
+def parse_hosts(text: str) -> List[HostSpec]:
+    specs: List[HostSpec] = []
+    for lineno, raw in enumerate(text.splitlines(), 1):
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        tokens = line.split()
+        spec = HostSpec(name=tokens[0])
+        for token in tokens[1:]:
+            key, sep, value = token.partition("=")
+            if not sep:
+                raise ValueError(
+                    f"hosts file line {lineno}: bad option {token!r} "
+                    "(expected key=value)"
+                )
+            if key == "python":
+                spec.python = value
+            elif key == "slots":
+                spec.slots = max(1, int(value))
+            elif key == "path":
+                spec.path = value
+            elif key.startswith("env."):
+                spec.env[key[4:]] = value
+            else:
+                raise ValueError(
+                    f"hosts file line {lineno}: unknown option {key!r}"
+                )
+        specs.append(spec)
+    if not specs:
+        raise ValueError("hosts file has no hosts")
+    return specs
+
+
+def load_hosts_file(path: Union[str, Path]) -> List[HostSpec]:
+    return parse_hosts(Path(path).read_text())
+
+
+def _driver_src_path() -> str:
+    """The directory containing the driver's ``repro`` package."""
+    import repro
+
+    return str(Path(repro.__file__).resolve().parents[1])
+
+
+#: Driver environment forwarded to every worker (spec.env overrides).
+_FORWARDED_ENV = ("REPRO_TRACE_DIR", "REPRO_NUMPY")
+
+
+def _worker_header(spec: HostSpec) -> Dict[str, Any]:
+    env = {k: os.environ[k] for k in _FORWARDED_ENV if k in os.environ}
+    env.update(spec.env)
+    return {
+        "source_len": len(_worker_source()),
+        "sys_path": [spec.path or _driver_src_path()],
+        "env": env,
+    }
+
+
+_WORKER_SOURCE: Optional[str] = None
+
+
+def _worker_source() -> str:
+    global _WORKER_SOURCE
+    if _WORKER_SOURCE is None:
+        from . import worker as worker_mod
+
+        _WORKER_SOURCE = Path(worker_mod.__file__).read_text()
+    return _WORKER_SOURCE
+
+
+# ----------------------------------------------------------------------
+# remote workers (one subprocess per host slot)
+# ----------------------------------------------------------------------
+_EOF = object()  # reader sentinel: the worker's stdout closed
+
+
+class _RemoteWorker:
+    """One worker subprocess: spawn, ship source, JSON-lines RPC."""
+
+    def __init__(self, wid: int, spec: HostSpec, argv: Sequence[str],
+                 verbose: bool = False):
+        self.wid = wid
+        self.spec = spec
+        self.argv = list(argv)
+        self.verbose = verbose
+        self.proc: Optional[subprocess.Popen] = None
+        self.alive = False
+        self.reason: Optional[str] = None
+        self.completed = 0
+        self.failures = 0
+        self.hello: Optional[Dict[str, Any]] = None
+        self._q: "queue.Queue[Any]" = queue.Queue()
+        self._reader: Optional[threading.Thread] = None
+
+    def start(self) -> None:
+        self.proc = subprocess.Popen(
+            self.argv,
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            stderr=None if self.verbose else subprocess.DEVNULL,
+            text=True,
+        )
+        self._reader = threading.Thread(
+            target=self._read_loop, name=f"pool-reader-{self.wid}", daemon=True
+        )
+        self._reader.start()
+        header = _worker_header(self.spec)
+        self.proc.stdin.write(json.dumps(header) + "\n")
+        self.proc.stdin.write(_worker_source())
+        self.proc.stdin.flush()
+        self.alive = True
+
+    def _read_loop(self) -> None:
+        try:
+            for line in self.proc.stdout:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    self._q.put(json.loads(line))
+                except json.JSONDecodeError:
+                    continue  # stray output on stdout; protocol lines only
+        except ValueError:  # pipe closed under the reader
+            pass
+        self._q.put(_EOF)
+
+    def send(self, msg: Dict[str, Any]) -> None:
+        self.proc.stdin.write(json.dumps(msg) + "\n")
+        self.proc.stdin.flush()
+
+    def recv(self, timeout: Optional[float]) -> Any:
+        """Next protocol message, ``None`` on timeout, ``_EOF`` on death."""
+        try:
+            return self._q.get(timeout=timeout)
+        except queue.Empty:
+            return None
+
+    def probe(self, timeout: float, strict: bool = True) -> Dict[str, Any]:
+        """Health-check: returns the hello dict.
+
+        With ``strict`` (the pool startup path) an import failure or an
+        ENGINE_VERSION mismatch raises :class:`PoolError` — dispatching
+        work to an incompatible host would poison a shared cache with
+        non-comparable results.  ``strict=False`` (the ``pool probe``
+        CLI) returns the raw hello for reporting.
+        """
+        try:
+            self.send({"op": "probe"})
+        except (OSError, ValueError) as exc:
+            raise PoolError(f"{self.spec.name}: probe send failed: {exc}")
+        msg = self.recv(timeout)
+        if msg is None:
+            raise PoolError(
+                f"{self.spec.name}: no probe response within {timeout}s"
+            )
+        if msg is _EOF:
+            raise PoolError(f"{self.spec.name}: worker exited during probe")
+        if msg.get("op") != "hello":
+            raise PoolError(f"{self.spec.name}: unexpected probe reply {msg}")
+        self.hello = msg
+        if strict and msg.get("error"):
+            raise PoolError(f"{self.spec.name}: repro import failed: "
+                            f"{msg['error']}")
+        if strict and msg.get("engine_version") != ENGINE_VERSION:
+            raise PoolError(
+                f"{self.spec.name}: ENGINE_VERSION mismatch "
+                f"(host {msg.get('engine_version')!r} != driver "
+                f"{ENGINE_VERSION!r}) — results would not be comparable"
+            )
+        return msg
+
+    def shutdown(self, grace: float = 2.0) -> None:
+        if self.proc is None:
+            return
+        try:
+            if self.proc.poll() is None:
+                self.send({"op": "shutdown"})
+        except (OSError, ValueError):
+            pass
+        try:
+            self.proc.wait(timeout=grace)
+        except subprocess.TimeoutExpired:
+            self.kill()
+
+    def kill(self) -> None:
+        self.alive = False
+        if self.proc is not None and self.proc.poll() is None:
+            self.proc.kill()
+            try:
+                self.proc.wait(timeout=5)
+            except subprocess.TimeoutExpired:  # pragma: no cover
+                pass
+
+
+class _Task:
+    """One submitted job plus its retry bookkeeping."""
+
+    __slots__ = ("token", "msg", "attempts", "tried", "errors")
+
+    def __init__(self, token: str, msg: Dict[str, Any]):
+        self.token = token
+        self.msg = msg
+        self.attempts = 0
+        self.tried: set = set()
+        self.errors: List[str] = []
+
+
+# ----------------------------------------------------------------------
+# the remote pool
+# ----------------------------------------------------------------------
+class SSHPool(Pool):
+    """Multi-host fan-out over ssh (see the module docstring).
+
+    ``hosts`` is a hosts-file path, hosts-file text content is not
+    accepted — pass ``parse_hosts`` output (a list of
+    :class:`HostSpec`) for programmatic construction.  ``jobs`` above
+    the hosts-file slot total replicates hosts round-robin up to
+    ``jobs`` workers (``--jobs 256`` over 32 hosts = 8 workers each).
+
+    Robustness: every worker is probed at startup (python importable,
+    ENGINE_VERSION match) and evicted on failure; a job that times out
+    or loses its worker is re-queued with exponential backoff and
+    preferentially retried on a host that has not yet failed it; a task
+    whose retries are exhausted — or a pool with no live hosts left —
+    surfaces as :class:`PoolError`.  :meth:`request_drain` (wired to
+    SIGTERM via :meth:`install_sigterm_drain`) rejects new submissions
+    while letting everything in flight finish, so a terminated ``cli
+    all`` still banks its completed payloads in the cache.
+    """
+
+    name = "ssh"
+    persistent = True
+
+    def __init__(
+        self,
+        hosts: Union[str, Path, Sequence[HostSpec]],
+        *,
+        jobs: Optional[int] = None,
+        per_job_timeout: Optional[float] = None,
+        retries: int = 2,
+        backoff: float = 0.25,
+        probe_timeout: float = 60.0,
+        verbose: bool = False,
+    ):
+        if isinstance(hosts, (str, Path)):
+            specs = load_hosts_file(hosts)
+        else:
+            specs = list(hosts)
+        self.per_job_timeout = per_job_timeout
+        self.retries = max(0, int(retries))
+        self.backoff = backoff
+        self.verbose = verbose
+
+        self._lock = threading.Lock()
+        self._task_q: "queue.Queue[_Task]" = queue.Queue()
+        self._result_q: "queue.Queue[Tuple[str, str, Any]]" = queue.Queue()
+        self._outstanding = 0
+        self._retrying = 0
+        self._submitted_tokens: List[str] = []
+        self._draining = False
+        self._closed = False
+        self._prev_sigterm = None
+
+        self.workers = [
+            _RemoteWorker(i, spec, self._argv(spec), verbose=verbose)
+            for i, spec in enumerate(self._expand(specs, jobs))
+        ]
+        self._start_and_probe(probe_timeout)
+        self._dispatchers = [
+            threading.Thread(
+                target=self._dispatch, args=(w,),
+                name=f"pool-dispatch-{w.wid}", daemon=True,
+            )
+            for w in self.workers
+            if w.alive
+        ]
+        for t in self._dispatchers:
+            t.start()
+
+    # -- setup ----------------------------------------------------------
+    @staticmethod
+    def _expand(specs: List[HostSpec], jobs: Optional[int]) -> List[HostSpec]:
+        expanded: List[HostSpec] = []
+        for spec in specs:
+            expanded.extend([spec] * spec.slots)
+        target = max(len(expanded), jobs or 0)
+        i = 0
+        while len(expanded) < target:
+            expanded.append(specs[i % len(specs)])
+            i += 1
+        return expanded
+
+    def _argv(self, spec: HostSpec) -> List[str]:
+        python = spec.python or "python3"
+        return [
+            "ssh", "-o", "BatchMode=yes", spec.name,
+            f"{python} -c {shlex.quote(BOOTSTRAP)}",
+        ]
+
+    def _start_and_probe(self, probe_timeout: float) -> None:
+        errors: List[str] = []
+
+        def boot(worker: _RemoteWorker) -> None:
+            try:
+                worker.start()
+                worker.probe(probe_timeout)
+            except (PoolError, OSError) as exc:
+                worker.reason = str(exc)
+                worker.kill()
+                errors.append(str(exc))
+
+        threads = [
+            threading.Thread(target=boot, args=(w,), daemon=True)
+            for w in self.workers
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        if not any(w.alive for w in self.workers):
+            self.close()
+            raise PoolError(
+                "no usable pool hosts: " + "; ".join(errors or ["(none)"])
+            )
+
+    # -- submit / drain -------------------------------------------------
+    def submit(self, token, job, dep_payloads):
+        from .runner import payload_to_dict
+
+        if self._closed:
+            raise PoolError("pool is closed")
+        if self._draining:
+            raise PoolError(
+                "pool is draining (SIGTERM received); "
+                "not accepting new jobs"
+            )
+        msg = {
+            "op": "job",
+            "token": token,
+            "job": job_to_dict(job.stripped()),
+            "deps": {r: payload_to_dict(p) for r, p in dep_payloads.items()},
+        }
+        with self._lock:
+            self._outstanding += 1
+            self._submitted_tokens.append(token)
+        self._task_q.put(_Task(token, msg))
+
+    def drain(self, on_start: OnStart = None):
+        from .runner import payload_from_dict
+
+        with self._lock:
+            tokens, self._submitted_tokens = self._submitted_tokens, []
+        if on_start is not None:
+            for token in tokens:
+                on_start(token)
+        failures: List[str] = []
+        stalls = 0
+        while True:
+            with self._lock:
+                if self._outstanding == 0:
+                    break
+            try:
+                kind, token, value = self._result_q.get(timeout=0.25)
+            except queue.Empty:
+                stalls = self._check_stall(stalls)
+                continue
+            stalls = 0
+            with self._lock:
+                self._outstanding -= 1
+            if kind == "ok":
+                yield token, payload_from_dict(value)
+            else:
+                failures.append(f"job {token[:12]}…: {value}")
+        if failures:
+            raise PoolError(
+                f"{len(failures)} job(s) failed in the {self.name} pool: "
+                + "; ".join(failures)
+            )
+
+    def _check_stall(self, stalls: int) -> int:
+        """Handle a drain poll that found no results."""
+        if self._alive_workers() or self._retrying:
+            return 0
+        # No host can make progress: fail whatever is still queued.
+        flushed = False
+        while True:
+            try:
+                task = self._task_q.get_nowait()
+            except queue.Empty:
+                break
+            flushed = True
+            errors = "; ".join(task.errors) or "never dispatched"
+            self._result_q.put(
+                ("failed", task.token, f"{errors}; no live hosts remain")
+            )
+        if flushed:
+            return 0
+        stalls += 1
+        if stalls > 40:  # ~10s of zero progress with zero live hosts
+            raise PoolError(
+                "all pool hosts died with jobs still outstanding"
+            )
+        return stalls
+
+    def _alive_workers(self) -> int:
+        return sum(1 for w in self.workers if w.alive)
+
+    # -- dispatcher (one thread per worker) -----------------------------
+    def _dispatch(self, worker: _RemoteWorker) -> None:
+        while not self._closed:
+            try:
+                task = self._task_q.get(timeout=0.1)
+            except queue.Empty:
+                continue
+            if not worker.alive:
+                self._task_q.put(task)
+                return
+            if worker.spec.name in task.tried and self._untried_host(task):
+                # Prefer a host that has not already failed this task.
+                self._task_q.put(task)
+                time.sleep(0.02)
+                continue
+            try:
+                worker.send(task.msg)
+            except (OSError, ValueError):
+                self._worker_failed(worker, task, "send failed (pipe closed)")
+                return
+            msg = worker.recv(self.per_job_timeout)
+            if msg is None:
+                self._worker_failed(
+                    worker, task,
+                    f"timed out after {self.per_job_timeout}s",
+                )
+                return
+            if msg is _EOF:
+                self._worker_failed(worker, task, "worker died mid-job")
+                return
+            op = msg.get("op")
+            if op == "result":
+                worker.completed += 1
+                self._result_q.put(("ok", task.token, msg["payload"]))
+            elif op == "job-error":
+                # Deterministic executor failure: retrying elsewhere
+                # would produce the same error, so surface it directly.
+                worker.failures += 1
+                self._result_q.put(("job-error", task.token, msg["error"]))
+            else:
+                self._worker_failed(
+                    worker, task, f"protocol violation: {msg!r}"
+                )
+                return
+
+    def _untried_host(self, task: _Task) -> bool:
+        return any(
+            w.alive and w.spec.name not in task.tried for w in self.workers
+        )
+
+    def _worker_failed(
+        self, worker: _RemoteWorker, task: _Task, reason: str
+    ) -> None:
+        """Evict the worker's host and re-queue (or fail) its task."""
+        worker.reason = reason
+        worker.failures += 1
+        worker.kill()
+        task.attempts += 1
+        task.tried.add(worker.spec.name)
+        task.errors.append(f"{worker.spec.name}: {reason}")
+        if task.attempts > self.retries or not self._alive_workers():
+            self._result_q.put(
+                ("failed", task.token,
+                 f"gave up after {task.attempts} attempt(s): "
+                 + "; ".join(task.errors))
+            )
+            return
+        with self._lock:
+            self._retrying += 1
+        try:
+            time.sleep(self.backoff * (2 ** (task.attempts - 1)))
+            self._task_q.put(task)
+        finally:
+            with self._lock:
+                self._retrying -= 1
+
+    # -- lifecycle ------------------------------------------------------
+    def request_drain(self) -> None:
+        """Stop accepting jobs; everything in flight still completes."""
+        self._draining = True
+
+    def install_sigterm_drain(self) -> bool:
+        """Wire SIGTERM to :meth:`request_drain` (main thread only).
+
+        Chains any previously installed handler.  Returns whether the
+        handler was installed.
+        """
+        if threading.current_thread() is not threading.main_thread():
+            return False
+        prev = signal.getsignal(signal.SIGTERM)
+
+        def handler(signum, frame):
+            self.request_drain()
+            if callable(prev):
+                prev(signum, frame)
+
+        signal.signal(signal.SIGTERM, handler)
+        self._prev_sigterm = prev
+        return True
+
+    def close(self):
+        if self._closed:
+            return
+        self._closed = True
+        for worker in self.workers:
+            if worker.alive:
+                worker.shutdown()
+            else:
+                worker.kill()
+        if self._prev_sigterm is not None:
+            try:
+                signal.signal(signal.SIGTERM, self._prev_sigterm)
+            except ValueError:  # not the main thread; leave the chain
+                pass
+            self._prev_sigterm = None
+
+    def describe(self):
+        hosts = [
+            {
+                "host": w.spec.name,
+                "alive": w.alive,
+                "completed": w.completed,
+                "failures": w.failures,
+                "reason": w.reason,
+                "python": (w.hello or {}).get("python"),
+            }
+            for w in self.workers
+        ]
+        return {
+            "backend": self.name,
+            "workers": len(self.workers),
+            "alive": self._alive_workers(),
+            "dead": len(self.workers) - self._alive_workers(),
+            "retries": self.retries,
+            "per_job_timeout": self.per_job_timeout,
+            "draining": self._draining,
+            "hosts": hosts,
+        }
+
+
+class LoopbackPool(SSHPool):
+    """An :class:`SSHPool` whose hosts are local subprocesses.
+
+    Same bootstrap, same JSON-lines protocol, same robustness matrix —
+    minus sshd.  This is the CI stand-in for the SSH backend and the
+    substrate of the pool fault suite; it is also a practical local
+    backend in its own right (unlike :class:`LocalPool` it isolates
+    worker crashes and supports retry/eviction).
+    """
+
+    name = "loopback"
+
+    def __init__(self, workers: int = 2,
+                 hosts: Optional[Sequence[HostSpec]] = None, **kwargs):
+        specs = (
+            list(hosts)
+            if hosts is not None
+            else [HostSpec(name=f"loopback/{i}") for i in range(max(1, workers))]
+        )
+        super().__init__(specs, **kwargs)
+
+    def _argv(self, spec: HostSpec) -> List[str]:
+        return [spec.python or sys.executable, "-c", BOOTSTRAP]
+
+
+# ----------------------------------------------------------------------
+# health probing (cli `pool probe`)
+# ----------------------------------------------------------------------
+def probe_hosts(
+    specs: Sequence[HostSpec], *, loopback: bool = False, timeout: float = 30.0
+) -> List[Dict[str, Any]]:
+    """Probe each host once; returns one report row per host.
+
+    Rows carry ``host``, ``ok``, ``python``, ``engine_version``,
+    ``numpy``, ``compatible`` (ENGINE_VERSION matches the driver's) and
+    ``error``.  Used by ``python -m repro.cli pool probe hosts.txt``.
+    """
+    rows: List[Dict[str, Any]] = []
+    lock = threading.Lock()
+
+    def one(i: int, spec: HostSpec) -> None:
+        if loopback:
+            argv = [spec.python or sys.executable, "-c", BOOTSTRAP]
+        else:
+            python = spec.python or "python3"
+            argv = ["ssh", "-o", "BatchMode=yes", spec.name,
+                    f"{python} -c {shlex.quote(BOOTSTRAP)}"]
+        worker = _RemoteWorker(i, spec, argv)
+        row: Dict[str, Any] = {
+            "host": spec.name, "ok": False, "python": None,
+            "engine_version": None, "numpy": None,
+            "compatible": False, "error": None,
+        }
+        try:
+            worker.start()
+            hello = worker.probe(timeout, strict=False)
+            row.update(
+                ok=not hello.get("error"),
+                python=hello.get("python"),
+                engine_version=hello.get("engine_version"),
+                numpy=hello.get("numpy"),
+                compatible=hello.get("engine_version") == ENGINE_VERSION,
+                error=hello.get("error"),
+            )
+        except (PoolError, OSError) as exc:
+            row["error"] = str(exc)
+        finally:
+            worker.shutdown(grace=1.0)
+        with lock:
+            rows.append(row)
+
+    threads = [
+        threading.Thread(target=one, args=(i, spec), daemon=True)
+        for i, spec in enumerate(specs)
+    ]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    rows.sort(key=lambda r: r["host"])
+    return rows

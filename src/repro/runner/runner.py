@@ -1,4 +1,4 @@
-"""Job-graph execution: process pool, result cache, progress reporting.
+"""Job-graph execution: pool backends, result cache, progress reporting.
 
 :class:`Runner.run` takes any list of :class:`~repro.runner.jobs.SimJob`
 (dependencies included by reference), deduplicates them by cache key,
@@ -6,31 +6,38 @@ executes them level by level (a job only runs after its dependencies),
 and returns payloads in the order of the input list — results are
 deterministic regardless of worker scheduling.
 
-With ``jobs=1`` (the default) everything runs in-process, matching the
-historical serial path exactly; with ``jobs=N`` each dependency level
-fans out over a ``ProcessPoolExecutor``.  An optional
-:class:`ResultCache` persists every payload as JSON keyed by the job
-hash, so identical work — across figures, commands, and sessions — is
-never simulated twice.  Cached payloads round-trip bit-identically (a
-tier-1 test asserts this).
+Each level executes through a :class:`~repro.runner.pools.Pool` backend:
+with ``jobs=1`` (the default) the per-run local pool runs everything
+in-process, matching the historical serial path exactly; ``jobs=N``
+fans out over a process pool; an injected persistent pool (SSH,
+loopback — see :mod:`repro.runner.pools` and
+:class:`~repro.runner.policy.ExecutionPolicy`) fans out across hosts.
+An optional :class:`ResultCache` — a digest-verified, write-once,
+multi-writer-safe content-addressed store — persists every payload as
+JSON keyed by the job hash, so identical work — across figures,
+commands, sessions, and machines — is never simulated twice.  Cached
+payloads round-trip bit-identically (a tier-1 test asserts this).
 """
 
 from __future__ import annotations
 
+import hashlib
 import json
 import os
 import threading
-from concurrent.futures import ProcessPoolExecutor
+import time
 from contextlib import contextmanager
 from contextvars import ContextVar
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Callable, Dict, List, Optional, Sequence, Union
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
 from ..core.profiler import CounterSet
 from ..sim.results import SimResult
 from .jobs import SimJob
-from .schemes import execute_job
+
+if TYPE_CHECKING:  # pools imports back into this module lazily
+    from .pools import Pool as PoolType
 
 #: Payloads a job can produce.
 Payload = Union[SimResult, CounterSet]
@@ -57,36 +64,115 @@ def payload_from_dict(d: Dict) -> Payload:
     raise ValueError(f"unknown payload kind {kind!r}")
 
 
+class CacheIntegrityError(RuntimeError):
+    """Two different payloads claimed the same content-addressed key.
+
+    Cache keys hash *everything* that determines a result (invariant 2),
+    so this can only mean divergent engines are sharing one cache dir —
+    e.g. an NFS ``--cache-dir`` written by a host whose simulation
+    semantics drifted without an ``ENGINE_VERSION`` bump.  Failing loud
+    beats silently serving whichever write won.
+    """
+
+
+def _payload_digest(blob_dict: Dict) -> str:
+    """Canonical sha256 of a payload's tagged-dict form."""
+    canon = json.dumps(blob_dict, sort_keys=True).encode()
+    return hashlib.sha256(canon).hexdigest()
+
+
 class ResultCache:
-    """On-disk JSON store of job payloads, one file per cache key."""
+    """Content-addressed on-disk store of job payloads (CAS).
+
+    One JSON file per cache key; each entry wraps the tagged payload
+    dict with its own sha256 (``{"sha256": ..., "payload": {...}}``).
+    The store is safe for many concurrent writers across machines — the
+    intended deployment is one ``--cache-dir`` on NFS shared by every
+    pool host:
+
+    - **atomic publish** — writers stage a uniquely named temp file
+      (pid+tid) and ``rename`` it in, so readers never see torn bytes;
+    - **verified reads** — :meth:`get` recomputes the digest and treats
+      any mismatch (torn NFS write, bit rot) as a miss;
+    - **write-once** — :meth:`put` keeps an existing valid entry: equal
+      digests are the common benign race (two hosts computed the same
+      job), while a *different* valid payload under the same key raises
+      :class:`CacheIntegrityError`;
+    - **gc** — :meth:`gc` prunes corrupt entries, orphaned temp files,
+      and (optionally) entries older than ``max_age_days``.
+
+    Entries from before the digest envelope (bare tagged dicts) still
+    read back, unverified, so existing caches keep their hits.
+    """
 
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
+        self.verify_failures = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
 
+    @staticmethod
+    def _parse(text: str) -> Optional[Dict]:
+        """The payload dict of a valid entry (either format), else None."""
+        try:
+            entry = json.loads(text)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if "sha256" in entry and "payload" in entry:
+            blob = entry["payload"]
+            if _payload_digest(blob) != entry["sha256"]:
+                return None
+            return blob
+        return entry if "kind" in entry else None  # pre-CAS format
+
     def get(self, key: str) -> Optional[Payload]:
         path = self._path(key)
-        if not path.exists():
-            return None
         try:
-            return payload_from_dict(json.loads(path.read_text()))
-        except (ValueError, KeyError, json.JSONDecodeError):
-            return None  # corrupt entry: treat as a miss and overwrite
+            text = path.read_text()
+        except OSError:
+            return None
+        blob = self._parse(text)
+        if blob is None:
+            self.verify_failures += 1
+            return None  # corrupt or digest-mismatched: a miss
+        try:
+            return payload_from_dict(blob)
+        except (ValueError, KeyError, TypeError):
+            self.verify_failures += 1
+            return None
 
     def put(self, key: str, payload: Payload) -> None:
+        blob = payload_to_dict(payload)
+        digest = _payload_digest(blob)
+        path = self._path(key)
+        if path.exists():
+            try:
+                existing = self._parse(path.read_text())
+            except OSError:  # racing writer/gc: treat as absent
+                existing = None
+            if existing is not None:
+                if _payload_digest(existing) == digest:
+                    return  # write-once: first valid writer wins
+                raise CacheIntegrityError(
+                    f"cache key {key[:12]}… already holds a different "
+                    "payload — divergent engines are sharing this cache "
+                    "dir (missing ENGINE_VERSION bump?)"
+                )
+            # invalid/corrupt entry: fall through and replace it
         # Unique temp name per writer: concurrent threads (the serve
-        # worker pool) or processes sharing one cache directory may
-        # store overlapping job graphs; each writes its own temp file
-        # and the final rename is atomic, so readers never see a torn
-        # entry and writers never clobber each other's temp.
-        tmp = self._path(key).with_suffix(
+        # worker pool) or processes/hosts sharing one cache directory
+        # may store overlapping job graphs; each writes its own temp
+        # file and the final rename is atomic, so readers never see a
+        # torn entry and writers never clobber each other's temp.
+        tmp = path.with_suffix(
             f".{os.getpid()}-{threading.get_ident()}.tmp"
         )
-        tmp.write_text(json.dumps(payload_to_dict(payload)))
-        tmp.replace(self._path(key))
+        tmp.write_text(json.dumps({"sha256": digest, "payload": blob}))
+        tmp.replace(path)
 
     def clear(self) -> int:
         """Delete every cached entry; returns the number removed."""
@@ -95,6 +181,61 @@ class ResultCache:
             path.unlink()
             removed += 1
         return removed
+
+    def verify(self) -> Dict[str, int]:
+        """Scan every entry; counts without modifying anything."""
+        stats = {"entries": 0, "verified": 0, "legacy": 0, "corrupt": 0}
+        for path in self.root.glob("*.json"):
+            stats["entries"] += 1
+            try:
+                entry = json.loads(path.read_text())
+            except (OSError, json.JSONDecodeError):
+                stats["corrupt"] += 1
+                continue
+            blob = self._parse(json.dumps(entry))
+            if blob is None:
+                stats["corrupt"] += 1
+            elif isinstance(entry, dict) and "sha256" in entry:
+                stats["verified"] += 1
+            else:
+                stats["legacy"] += 1
+        return stats
+
+    def gc(self, max_age_days: Optional[float] = None) -> Dict[str, int]:
+        """Prune the store; returns removal counts.
+
+        Always removes corrupt/digest-mismatched entries and orphaned
+        temp files older than an hour (a crashed writer's leftovers);
+        with ``max_age_days`` also drops valid entries whose mtime is
+        older — the retention knob for long-lived NFS caches.
+        """
+        now = time.time()
+        stats = {"kept": 0, "removed_corrupt": 0, "removed_stale": 0,
+                 "removed_tmp": 0}
+        for path in self.root.glob("*.tmp"):
+            try:
+                if now - path.stat().st_mtime > 3600:
+                    path.unlink()
+                    stats["removed_tmp"] += 1
+            except OSError:
+                continue
+        for path in self.root.glob("*.json"):
+            try:
+                text = path.read_text()
+                mtime = path.stat().st_mtime
+            except OSError:
+                continue
+            if self._parse(text) is None:
+                path.unlink(missing_ok=True)
+                stats["removed_corrupt"] += 1
+            elif max_age_days is not None and (
+                now - mtime > max_age_days * 86400.0
+            ):
+                path.unlink(missing_ok=True)
+                stats["removed_stale"] += 1
+            else:
+                stats["kept"] += 1
+        return stats
 
 
 @dataclass
@@ -190,7 +331,19 @@ class ProgressTracker:
 
 
 class Runner:
-    """Executes SimJob graphs with optional parallelism and caching."""
+    """Executes SimJob graphs through a pool backend, with caching.
+
+    The Runner owns everything stateful about a run — dedup, dependency
+    levels, the result cache, progress accounting — and delegates the
+    actual execution of each level to a
+    :class:`~repro.runner.pools.Pool`.  With no explicit ``pool`` it
+    builds a throwaway per-run :class:`~repro.runner.pools.LocalPool`
+    (``jobs=1`` ≡ the historical serial path); a *persistent* pool
+    (``InlinePool``, ``SSHPool``, ``LoopbackPool`` — usually injected by
+    :meth:`ExecutionPolicy.make_runner`) is reused across runs,
+    serialized under a lock for concurrent callers (the serve worker
+    threads), and released by :meth:`close`.
+    """
 
     def __init__(
         self,
@@ -198,14 +351,37 @@ class Runner:
         cache_dir: Optional[Union[str, Path]] = None,
         use_cache: bool = True,
         progress: Optional[ProgressFn] = None,
+        pool: Optional["PoolType"] = None,
+        per_job_timeout: Optional[float] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = (
             ResultCache(cache_dir) if (use_cache and cache_dir is not None) else None
         )
         self.progress = progress
+        self.per_job_timeout = per_job_timeout
         self.stats = RunnerStats()
+        self.policy = None  # set by ExecutionPolicy.make_runner
         self._stats_lock = threading.Lock()
+        self._pool = pool
+        self._pool_lock = threading.Lock()
+        self._closed = False
+
+    def close(self) -> None:
+        """Release the persistent pool (if any); idempotent."""
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+
+    def pool_info(self) -> Dict:
+        """The execution backend's state (serve exposes this in stats)."""
+        if self._pool is not None:
+            return self._pool.describe()
+        return {
+            "backend": "local",
+            "jobs": self.jobs,
+            "per_job_timeout": self.per_job_timeout,
+        }
 
     # ------------------------------------------------------------------
     @contextmanager
@@ -262,52 +438,67 @@ class Runner:
         for job in order.values():
             depth_of(job)
 
+        if self._pool is not None:
+            # Persistent backend (remote hosts, shared inline): serialize
+            # concurrent run() calls — serve worker threads share one
+            # Runner — so submit/drain windows never interleave.
+            with self._pool_lock:
+                return self._run_levels(jobs, order, depth, self._pool)
+        from .pools import LocalPool
+
+        pool = LocalPool(jobs=self.jobs, per_job_timeout=self.per_job_timeout)
+        try:
+            return self._run_levels(jobs, order, depth, pool)
+        finally:
+            pool.close()
+
+    def _run_levels(
+        self,
+        jobs: Sequence[SimJob],
+        order: Dict[str, SimJob],
+        depth: Dict[str, int],
+        pool: "PoolType",
+    ) -> List[Payload]:
         total = len(order)
         done = 0
         results: Dict[str, Payload] = {}
-        pool: Optional[ProcessPoolExecutor] = None
-        try:
-            for level in sorted(set(depth.values())):
-                level_jobs = [
-                    j for j in order.values() if depth[j.cache_key] == level
-                ]
-                pending: List[SimJob] = []
-                for job in level_jobs:
-                    key = job.cache_key
-                    cached = self.cache.get(key) if self.cache else None
-                    if cached is not None:
-                        results[key] = cached
-                        with self._stats_lock:
-                            self.stats.cache_hits += 1
-                        done += 1
-                        self._emit("cache-hit", job, done, total)
-                    else:
-                        pending.append(job)
+        # drain() calls this right as each job starts executing; `state`
+        # tracks the live done-count so interleaved serial start/done
+        # events carry the same counters the historical loop emitted.
+        state = {"done": 0}
 
-                if not pending:
-                    continue
-                if self.jobs == 1 or len(pending) == 1:
-                    for job in pending:
-                        self._emit("start", job, done, total)
-                        payload = execute_job(job, self._dep_payloads(job, results))
-                        done = self._record(job, payload, results, done, total)
+        def on_start(token: str) -> None:
+            self._emit("start", order[token], state["done"], total)
+
+        for level in sorted(set(depth.values())):
+            level_jobs = [
+                j for j in order.values() if depth[j.cache_key] == level
+            ]
+            pending: List[SimJob] = []
+            for job in level_jobs:
+                key = job.cache_key
+                cached = self.cache.get(key) if self.cache else None
+                if cached is not None:
+                    results[key] = cached
+                    with self._stats_lock:
+                        self.stats.cache_hits += 1
+                    done += 1
+                    self._emit("cache-hit", job, done, total)
                 else:
-                    if pool is None:
-                        pool = ProcessPoolExecutor(max_workers=self.jobs)
-                    futures = []
-                    for job in pending:
-                        self._emit("start", job, done, total)
-                        futures.append((job, pool.submit(
-                            execute_job,
-                            job.stripped(),
-                            self._dep_payloads(job, results),
-                        )))
-                    # Collect in submission order: deterministic results.
-                    for job, future in futures:
-                        done = self._record(job, future.result(), results, done, total)
-        finally:
-            if pool is not None:
-                pool.shutdown()
+                    pending.append(job)
+
+            if not pending:
+                continue
+            state["done"] = done
+            for job in pending:
+                pool.submit(
+                    job.cache_key, job, self._dep_payloads(job, results)
+                )
+            for token, payload in pool.drain(on_start):
+                done = self._record(
+                    order[token], payload, results, done, total
+                )
+                state["done"] = done
 
         return [results[job.cache_key] for job in jobs]
 

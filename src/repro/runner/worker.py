@@ -1,0 +1,230 @@
+"""Self-contained pool worker: JSON-lines RPC over stdin/stdout.
+
+This module is both imported by the driver (for the job wire format) and
+*shipped as source* to pool hosts: :data:`BOOTSTRAP` is a one-liner the
+driver passes to ``python3 -c`` on each host; it reads a JSON header
+(env + sys.path), then this file's source, ``exec``'s it, and calls
+:func:`main`.  Nothing is installed on the remote side — the only
+requirements are a python3 and (for catalog traces or an NFS cache) a
+visible ``repro`` source tree, whose path the header provides.
+
+Protocol (one JSON object per line, driver → worker / worker → driver):
+
+- ``{"op": "probe"}`` → ``{"op": "hello", "host", "pid", "python",
+  "engine_version", "numpy", "error"}`` — ``error`` is set (and
+  ``engine_version`` null) when ``repro`` fails to import, so the driver
+  can health-check compatibility before dispatching work.
+- ``{"op": "job", "token", "job": {...}, "deps": {role: payload}}`` →
+  ``{"op": "result", "token", "payload"}`` on success, or
+  ``{"op": "job-error", "token", "error"}`` on a deterministic executor
+  failure (the driver does *not* retry those — same job, same error).
+- ``{"op": "shutdown"}`` → worker exits 0.
+
+Everything on the wire is content-addressed or content-hashed data
+(architecture invariant 13): jobs travel as their spec (catalog label or
+inline arrays + config dict), payloads as the same tagged dicts the
+result cache stores, so a job's bytes are identical no matter which
+backend or host produced them.
+
+Fault injection for the pool fault suite, via ``REPRO_WORKER_FAULT``:
+``die:N`` (hard-exit on the Nth job received), ``hang:N`` (sleep forever
+on the Nth job — trips the per-job timeout), ``sleep:S`` (S seconds of
+latency before every job).  Faults are per-host (the hosts file / pool
+spec sets env per host), which is what lets the suite prove retry lands
+on a *different* host.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import sys
+import time
+from typing import Any, Dict, Optional, TextIO
+
+#: Shipped verbatim as the single ``python3 -c`` argument on each host.
+#: It reads one JSON header line ({"source_len", "sys_path", "env"}),
+#: applies env + sys.path, reads exactly ``source_len`` characters of
+#: this module's source from stdin, and runs ``main()``.  Kept free of
+#: single quotes so ``shlex.quote`` wraps it losslessly for ssh.
+BOOTSTRAP = (
+    "import sys,os,json;"
+    "h=json.loads(sys.stdin.readline());"
+    "os.environ.update(h.get(\"env\") or {});"
+    "sys.path[:0]=h.get(\"sys_path\") or [];"
+    "src=sys.stdin.read(h[\"source_len\"]);"
+    "g={\"__name__\":\"repro_pool_worker\"};"
+    "exec(compile(src,\"repro-pool-worker\",\"exec\"),g);"
+    "sys.exit(g[\"main\"]())"
+)
+
+
+# ----------------------------------------------------------------------
+# wire format: jobs and payloads as JSON-compatible dicts
+# ----------------------------------------------------------------------
+def trace_ref_to_dict(ref) -> Dict[str, Any]:
+    """Wire form of a TraceRef: by-reference label or inline arrays."""
+    d: Dict[str, Any] = {
+        "label": ref.label,
+        "n_records": ref.n_records,
+        "digest": ref.digest,
+        "inline": None,
+    }
+    if ref.payload is not None:
+        trace = ref.payload
+        d["inline"] = {
+            "name": trace.name,
+            "input_name": trace.input_name,
+            "mlp": trace.mlp,
+            "pcs": trace.pcs,
+            "lines": trace.lines,
+            "gaps": trace.gaps,
+        }
+    return d
+
+
+def trace_ref_from_dict(d: Dict[str, Any]):
+    from repro.runner.jobs import TraceRef
+    from repro.workloads.base import Trace
+
+    payload = None
+    inline = d.get("inline")
+    if inline is not None:
+        payload = Trace(
+            inline["name"], inline["input_name"],
+            inline["pcs"], inline["lines"], inline["gaps"],
+            mlp=inline["mlp"],
+        )
+    return TraceRef(d["label"], d["n_records"], payload, d["digest"])
+
+
+def job_to_dict(job) -> Dict[str, Any]:
+    """Wire form of a dep-stripped SimJob (dep payloads travel separately)."""
+    from repro.runner.jobs import config_to_dict
+
+    return {
+        "scheme": job.scheme,
+        "trace": trace_ref_to_dict(job.trace),
+        "config": config_to_dict(job.config),
+        "warmup_frac": job.warmup_frac,
+        "params": [list(p) for p in job.params],
+        "label": job.label,
+    }
+
+
+def job_from_dict(d: Dict[str, Any]):
+    from repro.runner.jobs import SimJob, config_from_dict
+
+    return SimJob(
+        scheme=d["scheme"],
+        trace=trace_ref_from_dict(d["trace"]),
+        config=config_from_dict(d["config"]),
+        warmup_frac=d["warmup_frac"],
+        params=tuple((name, value) for name, value in d["params"]),
+        deps={},
+        label=d["label"],
+    )
+
+
+# ----------------------------------------------------------------------
+# fault injection (pool fault suite)
+# ----------------------------------------------------------------------
+class _Fault:
+    def __init__(self, spec: str):
+        self.kind, _, arg = spec.partition(":")
+        self.arg = float(arg) if arg else 0.0
+        self.jobs_seen = 0
+
+    def on_job(self) -> None:
+        self.jobs_seen += 1
+        if self.kind == "sleep":
+            time.sleep(self.arg)
+        elif self.kind == "die" and self.jobs_seen >= int(self.arg):
+            os._exit(13)
+        elif self.kind == "hang" and self.jobs_seen >= int(self.arg):
+            time.sleep(3600.0)
+
+
+# ----------------------------------------------------------------------
+# the worker loop
+# ----------------------------------------------------------------------
+def _hello() -> Dict[str, Any]:
+    info: Dict[str, Any] = {
+        "op": "hello",
+        "host": socket.gethostname(),
+        "pid": os.getpid(),
+        "python": "%d.%d.%d" % sys.version_info[:3],
+        "engine_version": None,
+        "numpy": False,
+        "error": None,
+    }
+    try:
+        from repro import _accel
+        from repro.runner.jobs import ENGINE_VERSION
+
+        info["engine_version"] = ENGINE_VERSION
+        info["numpy"] = bool(_accel.numpy_capability().ok)
+    except Exception as exc:  # noqa: BLE001 - reported, not swallowed
+        info["error"] = f"{type(exc).__name__}: {exc}"
+    return info
+
+
+def _run_job(msg: Dict[str, Any]) -> Dict[str, Any]:
+    token = msg.get("token")
+    try:
+        from repro.runner.runner import payload_from_dict, payload_to_dict
+        from repro.runner.schemes import execute_job
+
+        job = job_from_dict(msg["job"])
+        deps = {
+            role: payload_from_dict(d) for role, d in (msg.get("deps") or {}).items()
+        }
+        payload = execute_job(job, deps)
+        return {"op": "result", "token": token,
+                "payload": payload_to_dict(payload)}
+    except Exception as exc:  # noqa: BLE001 - becomes a structured job-error
+        return {"op": "job-error", "token": token,
+                "error": f"{type(exc).__name__}: {exc}"}
+
+
+def main(stdin: Optional[TextIO] = None, stdout: Optional[TextIO] = None) -> int:
+    """Serve the JSON-lines protocol until shutdown or EOF."""
+    inp = stdin or sys.stdin
+    out = stdout or sys.stdout
+    # Stray prints from the simulation stack must never corrupt the
+    # protocol stream: everything except our replies goes to stderr.
+    sys.stdout = sys.stderr
+
+    fault_spec = os.environ.get("REPRO_WORKER_FAULT")
+    fault = _Fault(fault_spec) if fault_spec else None
+
+    def reply(obj: Dict[str, Any]) -> None:
+        out.write(json.dumps(obj) + "\n")
+        out.flush()
+
+    for line in inp:
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            msg = json.loads(line)
+        except json.JSONDecodeError:
+            reply({"op": "protocol-error", "error": f"bad line: {line[:200]!r}"})
+            continue
+        op = msg.get("op")
+        if op == "probe":
+            reply(_hello())
+        elif op == "job":
+            if fault is not None:
+                fault.on_job()
+            reply(_run_job(msg))
+        elif op == "shutdown":
+            return 0
+        else:
+            reply({"op": "protocol-error", "error": f"unknown op {op!r}"})
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via subprocess
+    sys.exit(main())

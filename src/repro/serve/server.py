@@ -65,7 +65,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from urllib.parse import urlsplit
 
 from .. import api
-from ..runner import ProgressTracker, Runner, make_runner
+from ..runner import ExecutionPolicy, ProgressTracker, Runner, coerce_policy
 from .jobs import DONE, FAILED, JobRecord, JobStore, JobTable
 from .schemas import ServeError, ServeRequest, error_envelope
 
@@ -95,13 +95,17 @@ class _Server(ThreadingHTTPServer):
 def canonical_result_json(result: "api.ExperimentResult") -> str:
     """The service's byte-stable serialization of a result.
 
-    ``elapsed`` is the one non-deterministic field in
-    ``ExperimentResult.to_dict``; zeroing it makes the document a pure
-    function of the request content (the simulations themselves are
-    deterministic), which is what lets identical requests dedup to
-    byte-identical responses.
+    ``elapsed`` and ``execution`` are the non-deterministic fields in
+    ``ExperimentResult.to_dict`` (wall clock, and *how* the server ran
+    the jobs — pool backend, fan-out); nulling both makes the document a
+    pure function of the request content (the simulations themselves are
+    deterministic, and invariant 13 guarantees payload bytes are
+    identical across pool backends), which is what lets identical
+    requests dedup to byte-identical responses — even across servers
+    running different pools.
     """
     result.elapsed = 0.0
+    result.execution = None
     return result.to_json()
 
 
@@ -117,15 +121,24 @@ class ExperimentService:
         max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
         retry_after: float = DEFAULT_RETRY_AFTER,
         durable: bool = True,
+        execution: Optional[ExecutionPolicy] = None,
     ):
-        self.runner = runner if runner is not None else make_runner(
-            jobs=jobs, cache_dir=cache_dir
-        )
+        # ``execution`` is the full policy (pool backend, timeouts,
+        # retries); the flat ``jobs``/``cache_dir`` kwargs remain as the
+        # local-pool shorthand.  A caller-supplied ``runner`` wins over
+        # both and stays caller-owned (tests share one across services).
+        policy = coerce_policy(execution)
+        if policy is None:
+            policy = ExecutionPolicy(jobs=jobs, cache_dir=cache_dir)
+        self._owns_runner = runner is None
+        self.runner = runner if runner is not None else policy.make_runner()
         # The durable job table lives beside the sim cache: same root,
         # its own subdirectory (the runner cache globs *.json flat).
         store_root = cache_dir if cache_dir is not None else (
-            self.runner.cache.root if self.runner.cache else None
+            policy.effective_cache_dir if self._owns_runner else None
         )
+        if store_root is None and self.runner.cache:
+            store_root = self.runner.cache.root
         store = (
             JobStore(Path(store_root) / "serve-jobs")
             if durable and store_root is not None else None
@@ -163,14 +176,23 @@ class ExperimentService:
             t.start()
 
     def stop(self, timeout: float = 5.0) -> None:
-        """Drain the workers (one sentinel each) and join them."""
+        """Drain the workers (one sentinel each) and join them.
+
+        A runner the service built itself is closed afterwards — that
+        releases any persistent pool (ssh/loopback workers) behind it.
+        A caller-supplied runner stays open; the caller owns it.
+        """
         if not self._running:
+            if self._owns_runner:
+                self.runner.close()
             return
         self._running = False
         for _ in self._threads:
             self.queue.put(None)
         for t in self._threads:
             t.join(timeout=timeout)
+        if self._owns_runner:
+            self.runner.close()
 
     def drain(self, timeout: Optional[float] = None) -> bool:
         """Graceful shutdown: refuse new work, finish what's in flight.
@@ -340,6 +362,7 @@ class ExperimentService:
             ),
             "jobs": self.table.counters(),
             "runner": self.runner.stats.to_dict(),
+            "pool": self.runner.pool_info(),
         }
 
 
@@ -540,6 +563,7 @@ def make_server(
     max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
     retry_after: float = DEFAULT_RETRY_AFTER,
     durable: bool = True,
+    execution: Optional[ExecutionPolicy] = None,
 ) -> Tuple[ThreadingHTTPServer, ExperimentService]:
     """Build (but do not start) the HTTP server + service pair.
 
@@ -555,6 +579,7 @@ def make_server(
     service = ExperimentService(
         jobs=jobs, cache_dir=cache_dir, workers=workers, runner=runner,
         max_queue=max_queue, retry_after=retry_after, durable=durable,
+        execution=execution,
     )
     handler = type(
         "BoundServeHandler", (ServeHandler,),
@@ -573,6 +598,7 @@ def serve_forever(
     quiet: bool = True,
     announce=print,
     max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
+    execution: Optional[ExecutionPolicy] = None,
 ) -> int:
     """Run the service until shutdown (the ``cli serve`` entry point).
 
@@ -587,6 +613,7 @@ def serve_forever(
     server, service = make_server(
         host=host, port=port, jobs=jobs, cache_dir=cache_dir,
         workers=workers, quiet=quiet, max_queue=max_queue,
+        execution=execution,
     )
 
     def _on_sigterm(signum, frame) -> None:
@@ -606,10 +633,12 @@ def serve_forever(
     cache_note = (
         service.runner.cache.root if service.runner.cache else "disabled"
     )
+    pool_note = service.runner.pool_info().get("backend", "local")
     announce(
         f"serving on http://{bound_host}:{bound_port}  "
         f"(workers={service.workers}, runner jobs={service.runner.jobs}, "
-        f"max queue={service.max_queue}, cache={cache_note})",
+        f"pool={pool_note}, max queue={service.max_queue}, "
+        f"cache={cache_note})",
         flush=True,
     )
     service.start()

@@ -1,0 +1,326 @@
+"""Pool robustness matrix: death, timeout, eviction, drain, CAS safety.
+
+The distributed pool's failure handling is pinned by *driving real
+worker subprocesses into real failures* via ``REPRO_WORKER_FAULT``
+(per-host, through the hosts-spec env — which is what lets the suite
+prove a retry lands on a *different* host): ``die:N`` hard-exits on the
+Nth job, ``hang:N`` sleeps forever (trips the per-job timeout),
+``sleep:S`` adds latency.  The in-process backends reuse the serve
+fault harness's :class:`FaultPlan` seam around
+``repro.runner.schemes.execute_job``.
+
+The CAS half covers the multi-writer cache contract the pools rely on
+for NFS-shared ``--cache-dir``: digest-verified reads, write-once keys,
+concurrent writers, and ``cas gc`` hygiene.
+"""
+
+import json
+import os
+import signal
+import threading
+import time
+
+import pytest
+
+from serve_faults import FaultPlan
+from repro.runner import (
+    CacheIntegrityError,
+    HostSpec,
+    InlinePool,
+    LoopbackPool,
+    PoolError,
+    ResultCache,
+    Runner,
+    SimJob,
+    TraceRef,
+)
+from repro.runner import schemes as schemes_mod
+from repro.runner.runner import payload_to_dict
+from repro.sim.config import default_config
+from repro.sim.results import SimResult
+from repro.workloads.spec import make_spec_trace
+
+
+@pytest.fixture(scope="module")
+def config():
+    return default_config()
+
+
+@pytest.fixture(scope="module")
+def traces():
+    return [
+        make_spec_trace("mcf", None, 2000),
+        make_spec_trace("omnetpp", None, 2000),
+    ]
+
+
+@pytest.fixture(scope="module")
+def job_set(config, traces):
+    mcf, omnetpp = (TraceRef.from_trace(t) for t in traces)
+    return [
+        SimJob("baseline", mcf, config),
+        SimJob("triangel", mcf, config),
+        SimJob("baseline", omnetpp, config),
+    ]
+
+
+@pytest.fixture(scope="module")
+def serial_payloads(job_set):
+    return Runner(jobs=1, use_cache=False).run(job_set)
+
+
+def _canon(payloads):
+    return sorted(json.dumps(payload_to_dict(p), sort_keys=True)
+                  for p in payloads)
+
+
+def faulty(name, fault):
+    return HostSpec(name=name, env={"REPRO_WORKER_FAULT": fault})
+
+
+# ----------------------------------------------------------------------
+# worker death / timeout / eviction / retry
+# ----------------------------------------------------------------------
+class TestWorkerFaults:
+    def test_death_evicts_host_and_retries_elsewhere(
+        self, job_set, serial_payloads
+    ):
+        # Host 0 hard-exits on its first job; host 1 is slowed slightly
+        # so host 0 is guaranteed to pick up work before the steady host
+        # clears the queue.  The dead host's job must be re-queued and
+        # complete on the steady host with identical bytes.
+        pool = LoopbackPool(hosts=[
+            faulty("dies/0", "die:1"),
+            faulty("steady/1", "sleep:0.2"),
+        ], retries=2, backoff=0.05)
+        try:
+            got = Runner(use_cache=False, pool=pool).run(job_set)
+            assert _canon(got) == _canon(serial_payloads)
+            info = pool.describe()
+            assert info["dead"] == 1 and info["alive"] == 1
+            dead = next(h for h in info["hosts"] if not h["alive"])
+            assert dead["host"] == "dies/0"
+            assert "died" in dead["reason"]
+            steady = next(h for h in info["hosts"] if h["alive"])
+            assert steady["completed"] == len(job_set)
+        finally:
+            pool.close()
+
+    def test_timeout_evicts_host_and_retries_elsewhere(
+        self, job_set, serial_payloads
+    ):
+        # Host 0 hangs forever on its first job: the per-job timeout
+        # must fire, evict it, and re-run the job on the steady host.
+        pool = LoopbackPool(hosts=[
+            faulty("hangs/0", "hang:1"),
+            faulty("steady/1", "sleep:0.2"),
+        ], per_job_timeout=5.0, retries=2, backoff=0.05)
+        try:
+            got = Runner(use_cache=False, pool=pool).run(job_set)
+            assert _canon(got) == _canon(serial_payloads)
+            info = pool.describe()
+            assert info["dead"] == 1
+            dead = next(h for h in info["hosts"] if not h["alive"])
+            assert "timed out" in dead["reason"]
+        finally:
+            pool.close()
+
+    def test_all_hosts_dead_fails_loud(self, job_set):
+        pool = LoopbackPool(hosts=[faulty("dies/0", "die:1")],
+                            retries=2, backoff=0.05)
+        try:
+            with pytest.raises(PoolError, match="failed"):
+                Runner(use_cache=False, pool=pool).run(job_set)
+            assert pool.describe()["alive"] == 0
+        finally:
+            pool.close()
+
+    def test_job_error_is_not_retried(self, config, traces):
+        # A deterministic executor failure would fail identically on
+        # every host: it must surface once, with zero retries and zero
+        # evictions.
+        pool = LoopbackPool(workers=2, retries=2, backoff=0.05)
+        try:
+            bad = SimJob("nope", TraceRef.from_trace(traces[0]), config)
+            with pytest.raises(PoolError, match="unknown scheme"):
+                Runner(use_cache=False, pool=pool).run([bad])
+            info = pool.describe()
+            assert info["alive"] == 2
+            assert sum(h["failures"] for h in info["hosts"]) == 1
+        finally:
+            pool.close()
+
+
+# ----------------------------------------------------------------------
+# graceful drain
+# ----------------------------------------------------------------------
+class TestGracefulDrain:
+    def test_request_drain_finishes_in_flight_rejects_new(
+        self, config, traces, job_set, serial_payloads
+    ):
+        pool = LoopbackPool(workers=2)
+        try:
+            for job in job_set:
+                pool.submit(job.cache_key, job, {})
+            pool.request_drain()
+            extra = SimJob("prophet", TraceRef.from_trace(traces[0]), config,
+                           deps={})
+            with pytest.raises(PoolError, match="draining"):
+                pool.submit(extra.cache_key, extra, {})
+            got = dict(pool.drain())
+            assert len(got) == len(job_set)
+            assert _canon(got.values()) == _canon(serial_payloads)
+        finally:
+            pool.close()
+
+    def test_sigterm_triggers_drain_and_close_restores_handler(self):
+        prev = signal.getsignal(signal.SIGTERM)
+        pool = LoopbackPool(workers=1)
+        try:
+            assert pool.install_sigterm_drain()
+            os.kill(os.getpid(), signal.SIGTERM)
+            deadline = time.monotonic() + 5.0
+            while not pool._draining and time.monotonic() < deadline:
+                time.sleep(0.01)
+            assert pool._draining
+            assert pool.describe()["draining"]
+        finally:
+            pool.close()
+        assert signal.getsignal(signal.SIGTERM) == prev
+
+
+# ----------------------------------------------------------------------
+# FaultPlan seam (in-process backends reuse the serve fault harness)
+# ----------------------------------------------------------------------
+class TestFaultPlanSeam:
+    @pytest.fixture
+    def plan(self, monkeypatch):
+        plan = FaultPlan()
+        real = schemes_mod.execute_job
+        monkeypatch.setattr(
+            schemes_mod, "execute_job",
+            lambda *a, **kw: plan.apply(real, *a, **kw),
+        )
+        return plan
+
+    def test_inline_pool_propagates_injected_failure(
+        self, plan, config, traces
+    ):
+        job = SimJob("baseline", TraceRef.from_trace(traces[0]), config)
+        runner = Runner(use_cache=False, pool=InlinePool())
+        plan.fail_with(RuntimeError("injected"))
+        with pytest.raises(RuntimeError, match="injected"):
+            runner.run([job])
+        # Clearing the fault restores pass-through on the same pool.
+        plan.clear()
+        [payload] = runner.run([job])
+        assert payload is not None
+        assert plan.calls == 2
+
+    def test_held_job_completes_after_release(self, plan, config, traces):
+        job = SimJob("baseline", TraceRef.from_trace(traces[0]), config)
+        runner = Runner(use_cache=False, pool=InlinePool())
+        plan.hold()
+        done = []
+        worker = threading.Thread(
+            target=lambda: done.extend(runner.run([job])), daemon=True
+        )
+        worker.start()
+        assert plan.entered.wait(timeout=10.0)
+        assert not done
+        plan.release()
+        worker.join(timeout=30.0)
+        assert len(done) == 1
+
+
+# ----------------------------------------------------------------------
+# the content-addressed store under concurrency and corruption
+# ----------------------------------------------------------------------
+def _payload(cycles=100.0):
+    return SimResult("w", "s", 1, cycles, 0, 0, 0, 0, 0)
+
+
+class TestContentAddressedStore:
+    def test_concurrent_writers_stay_digest_clean(self, tmp_path):
+        # Many writers (threads here; hosts over NFS in deployment)
+        # racing the same keys must leave only verified entries.
+        cache = ResultCache(tmp_path)
+        keys = [f"key{i}" for i in range(4)]
+        errors = []
+
+        def hammer():
+            try:
+                for _ in range(25):
+                    for key in keys:
+                        cache.put(key, _payload())
+            except Exception as exc:  # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=hammer) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        stats = cache.verify()
+        assert stats == {"entries": 4, "verified": 4, "legacy": 0,
+                         "corrupt": 0}
+        assert not list(tmp_path.glob("*.tmp"))
+        for key in keys:
+            assert cache.get(key) == _payload()
+
+    def test_write_once_equal_payload_is_benign(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", _payload())
+        cache.put("k", _payload())  # same digest: no-op
+        assert cache.verify()["entries"] == 1
+
+    def test_divergent_payload_raises_integrity_error(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", _payload(100.0))
+        with pytest.raises(CacheIntegrityError, match="different"):
+            cache.put("k", _payload(200.0))
+        # The original entry survives untouched.
+        assert cache.get("k") == _payload(100.0)
+
+    def test_digest_mismatch_reads_as_miss(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("k", _payload(100.0))
+        path = tmp_path / "k.json"
+        entry = json.loads(path.read_text())
+        entry["payload"]["data"]["cycles"] = 999.0  # bit-rot the payload
+        path.write_text(json.dumps(entry))
+        assert cache.get("k") is None
+        assert cache.verify_failures == 1
+        # put() treats the corrupt entry as absent and repairs it.
+        cache.put("k", _payload(100.0))
+        assert cache.get("k") == _payload(100.0)
+
+    def test_legacy_entries_still_read(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        (tmp_path / "old.json").write_text(
+            json.dumps(payload_to_dict(_payload()))
+        )
+        assert cache.get("old") == _payload()
+        assert cache.verify()["legacy"] == 1
+
+    def test_gc_prunes_corrupt_stale_and_orphans(self, tmp_path):
+        cache = ResultCache(tmp_path)
+        cache.put("keep", _payload())
+        (tmp_path / "bad.json").write_text("{torn")
+        orphan = tmp_path / "x.123-456.tmp"
+        orphan.write_text("{}")
+        os.utime(orphan, (time.time() - 7200, time.time() - 7200))
+        fresh_tmp = tmp_path / "y.789-012.tmp"
+        fresh_tmp.write_text("{}")  # a live writer's temp: must survive
+        stats = cache.gc()
+        assert stats["removed_corrupt"] == 1
+        assert stats["removed_tmp"] == 1
+        assert stats["kept"] == 1
+        assert fresh_tmp.exists() and not orphan.exists()
+        # Retention: max_age_days drops even valid entries.
+        old = tmp_path / "keep.json"
+        os.utime(old, (time.time() - 86400 * 3,) * 2)
+        stats = cache.gc(max_age_days=1)
+        assert stats["removed_stale"] == 1
+        assert cache.get("keep") is None

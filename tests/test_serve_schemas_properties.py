@@ -140,7 +140,10 @@ def corrupt(payload, kind, junk):
     """Apply one corruption to a valid payload."""
     p = dict(payload)
     if kind == "unknown-field":
-        p[junk or "bogus_field"] = 1
+        # The junk is the *field name* here: JSON object keys are
+        # strings (and non-str/unhashable junk can't be a dict key at
+        # all), so anything else falls back to a fixed bogus name.
+        p[junk if isinstance(junk, str) and junk else "bogus_field"] = 1
     elif kind == "experiment":
         p["experiment"] = junk
     elif kind == "records":
