@@ -67,7 +67,7 @@ from .workloads.inputs import make_trace
 from .workloads.sources import TraceSource, import_trace, set_trace_dir
 from .workloads.spec import make_spec_trace, spec_suite
 
-__version__ = "1.9.0"
+__version__ = "1.10.0"
 
 __all__ = [
     "AnalysisParams",

@@ -43,7 +43,7 @@ from typing import Any, Callable, Dict, List, Mapping, Optional, Sequence, Union
 
 from .experiments import ExperimentRequest, all_experiments, get_experiment
 from .experiments.registry import Experiment
-from .runner import ExecutionPolicy, Runner, coerce_policy, use_runner
+from .runner import ExecutionPolicy, JobFailure, Runner, coerce_policy, use_runner
 from .sim.config import SystemConfig
 
 #: Version stamp written into every ExperimentResult dict.
@@ -75,6 +75,12 @@ class ExperimentResult:
     #: byte-identical across backends), and serve's canonical result
     #: bytes null it out along with ``elapsed``.
     execution: Optional[Dict[str, Any]] = None
+    #: Structured per-job failures recorded during this run (empty on a
+    #: clean run).  Populated under tolerant failure policies
+    #: (``on_error="skip"``/``"retry:N"``): every failed or dep-skipped
+    #: job appears here with its content-addressed key — a partial sweep
+    #: never silently drops a failure (architecture invariant 14).
+    failures: List[JobFailure] = field(default_factory=list)
 
     @property
     def experiment(self) -> Experiment:
@@ -90,9 +96,17 @@ class ExperimentResult:
 
         Rendered through the experiment's registered ``render`` function
         from the in-memory payload — always reflects ``self.payload``,
-        even after mutation or a ``from_json`` round-trip.
+        even after mutation or a ``from_json`` round-trip.  A partial
+        run appends its failure records, one line per failed job.
         """
-        return self.experiment.render(self.payload)
+        body = self.experiment.render(self.payload)
+        if self.failures:
+            lines = "\n".join(f"  {f.describe()}" for f in self.failures)
+            body = (
+                f"{body}\n\n{len(self.failures)} job failure(s) "
+                f"(on_error policy kept the run going):\n{lines}"
+            )
+        return body
 
     def to_dict(self) -> Dict:
         """JSON-compatible dict of the run: request shape + payload.
@@ -108,7 +122,7 @@ class ExperimentResult:
         payloads via ``SuiteResults.to_dict``, otherwise the registered
         ``to_dict`` or the generic dataclass walker).
         """
-        return {
+        d = {
             "schema_version": RESULT_SCHEMA_VERSION,
             "experiment": self.name,
             "records": self.records,
@@ -119,6 +133,11 @@ class ExperimentResult:
             "execution": dict(self.execution) if self.execution else None,
             "payload": self.experiment.payload_to_dict(self.payload),
         }
+        if self.failures:
+            # Only present on a partial run, so a resumed (gap-closing)
+            # run serializes byte-identically to a fault-free one.
+            d["failures"] = [f.to_dict() for f in self.failures]
+        return d
 
     def to_json(self, indent: Optional[int] = None) -> str:
         """:meth:`to_dict` as a JSON string (``indent`` as in ``json.dumps``)."""
@@ -152,6 +171,9 @@ class ExperimentResult:
             schemes=d.get("schemes"),
             overrides=dict(d.get("overrides") or {}),
             execution=d.get("execution"),
+            failures=[
+                JobFailure.from_dict(f) for f in (d.get("failures") or [])
+            ],
         )
 
     @classmethod
@@ -282,6 +304,7 @@ def run(
         if (runner is not None and progress is not None)
         else nullcontext()
     )
+    failures_before = len(active.failure_log)
     try:
         with scope, use_runner(active):
             payload = exp.run(req)
@@ -299,4 +322,5 @@ def run(
         schemes=list(schemes) if schemes is not None else None,
         overrides=overrides,
         execution=recorded.to_dict() if recorded is not None else None,
+        failures=list(active.failure_log[failures_before:]),
     )

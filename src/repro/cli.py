@@ -69,10 +69,27 @@ cache (default ``.repro-cache/``), ``--verbose`` prints per-job
 progress.  The runner's executed/cache-hit counts are logged after every
 simulating command.
 
+Resilience flags (see ``docs/robustness.md``): ``--on-error
+raise|skip|retry:N`` sets the per-job failure policy — under ``skip``
+(or after ``retry:N`` attempts) a failing job becomes a structured
+``JobFailure`` record in the result instead of aborting the run, and
+jobs depending on it are marked skipped.  ``--faults SPEC`` activates a
+deterministic seeded fault-injection schedule (:mod:`repro.faults`;
+inline JSON or ``@path``) for chaos testing.  ``cli all`` checkpoints
+each sweep to a manifest under ``<cache-dir>/sweeps/`` (per-experiment
+completed/failed job keys); ``--resume`` replays only the experiments
+that did not finish cleanly, with the content-addressed cache
+guaranteeing the resumed results are byte-identical to an uninterrupted
+run.  ``serve --job-retention N`` prunes DONE/FAILED jobs older than N
+seconds from the job table.
+
 ``pool probe hosts.txt`` health-checks every host in a hosts file
 (python reachable, ``repro`` importable, ENGINE_VERSION compatible)
 without running any jobs; ``pool probe loopback[:N]`` does the same
-against local subprocess workers.  ``cas gc`` / ``cas verify`` maintain
+against local subprocess workers.  ``pool describe <spec>`` boots the
+pool and prints its ``describe()`` state as JSON — per-host liveness
+and the worker-side ``cache_probe`` hit counters among it.
+``cas gc`` / ``cas verify`` maintain
 a shared ``--cache-dir``: ``gc`` prunes corrupt entries, orphaned temp
 files, and (with ``--max-age-days``) stale results; ``verify`` reports
 digest-verification counts without modifying anything.
@@ -86,14 +103,16 @@ exits non-zero.
 from __future__ import annotations
 
 import argparse
+import hashlib
 import json
+import os
 import sys
 from pathlib import Path
-from typing import Callable, List, Optional
+from typing import Callable, Dict, List, Optional
 
 from . import api, viz
 from .experiments import all_experiments, get_experiment
-from .runner import ExecutionPolicy, PoolError, make_runner
+from .runner import ENGINE_VERSION, ExecutionPolicy, PoolError, make_runner
 from .serve.schemas import error_envelope
 from .sim.config import parse_override
 
@@ -256,16 +275,20 @@ def run_serve_command(args) -> int:
         quiet=not args.verbose,
         max_queue=args.max_queue,
         execution=_execution_policy(args),
+        job_retention=args.job_retention,
     )
 
 
 def run_pool_command(args, parser) -> int:
-    """The ``pool`` subcommand: probe (health-check a hosts file)."""
+    """The ``pool`` subcommands: probe / describe."""
     from .runner import ENGINE_VERSION, HostSpec, load_hosts_file, probe_hosts
 
+    if args.target == "describe":
+        return _pool_describe(args, parser)
     if args.target != "probe":
         parser.error(
-            f"unknown pool subcommand {args.target!r}; expected: probe"
+            f"unknown pool subcommand {args.target!r}; "
+            "expected: probe, describe"
         )
     spec = args.arg
     if not spec:
@@ -330,6 +353,38 @@ def run_cas_command(args, parser) -> int:
     return 2
 
 
+def _pool_describe(args, parser) -> int:
+    """``pool describe <spec>``: the backend's live state, as JSON.
+
+    Boots the pool (same handshake as a run), prints ``describe()`` —
+    backend, per-host alive/dead/completed/failure counts, and the
+    worker-side ``cache_probe`` hit counters — and shuts it down.
+    """
+    spec = args.arg or args.pool
+    if not spec:
+        parser.error(
+            "pool describe requires a pool spec "
+            "(inline, local, loopback[:N], ssh:hosts.txt)"
+        )
+    policy = ExecutionPolicy(
+        pool=spec,
+        jobs=args.jobs,
+        cache_dir=None if args.no_cache else args.cache_dir,
+        no_cache=args.no_cache,
+        per_job_timeout=args.timeout,
+        retries=args.retries,
+    )
+    try:
+        runner = make_runner(policy)
+    except (PoolError, ValueError, OSError) as exc:
+        parser.error(str(exc))
+    try:
+        print(json.dumps(runner.pool_info(), indent=2, sort_keys=True))
+    finally:
+        runner.close()
+    return 0
+
+
 def _execution_policy(args) -> ExecutionPolicy:
     """The one shared ExecutionPolicy for this CLI invocation."""
     return ExecutionPolicy(
@@ -341,6 +396,8 @@ def _execution_policy(args) -> ExecutionPolicy:
         verbose=args.verbose,
         per_job_timeout=args.timeout,
         retries=args.retries,
+        on_error=args.on_error,
+        faults=args.faults,
     )
 
 
@@ -364,9 +421,133 @@ def _split_csv(value: Optional[str]) -> Optional[List[str]]:
     return items or None
 
 
+# -- sweep manifest (checkpoint / --resume) ----------------------------
+#
+# ``cli all`` is a long fan-out; before this, one PoolError threw away
+# every completed experiment.  Now each sweep writes a manifest under
+# ``<cache-dir>/sweeps/<digest>.json`` — keyed by a digest of the sweep
+# request (experiments, records, workloads, schemes, overrides, engine
+# version) so the same command resumes its own checkpoint and a
+# different one never collides.  The manifest records, per experiment,
+# its status plus the completed/failed job cache keys; ``--resume``
+# skips cleanly-finished experiments and replays only the gap, with the
+# content-addressed cache guaranteeing the replayed subset is
+# byte-identical to an uninterrupted run.
+
+def _sweep_spec(args, names: List[str]) -> Dict:
+    """The JSON-stable identity of one ``cli all`` sweep request."""
+    return {
+        "engine_version": ENGINE_VERSION,
+        "experiments": list(names),
+        "records": args.records,
+        "workloads": args.workloads,
+        "schemes": args.schemes,
+        "set": sorted(args.set or []),
+    }
+
+
+def _sweep_digest(spec: Dict) -> str:
+    blob = json.dumps(spec, sort_keys=True).encode("utf-8")
+    return hashlib.sha256(blob).hexdigest()[:16]
+
+
+class SweepManifest:
+    """Durable per-sweep checkpoint: experiment status + job keys."""
+
+    VERSION = 1
+
+    def __init__(self, path: Path, spec: Dict):
+        self.path = Path(path)
+        self.spec = spec
+        self.experiments: Dict[str, Dict] = {}
+
+    @classmethod
+    def open(cls, cache_dir: Path, spec: Dict, resume: bool) -> "SweepManifest":
+        """Load the sweep's manifest (``--resume``) or start a fresh one."""
+        path = Path(cache_dir) / "sweeps" / f"{_sweep_digest(spec)}.json"
+        manifest = cls(path, spec)
+        if resume and path.exists():
+            try:
+                data = json.loads(path.read_text())
+                if data.get("spec") == spec:
+                    manifest.experiments = data.get("experiments", {})
+            except (OSError, ValueError) as exc:
+                print(f"[resume] ignoring unreadable manifest {path}: {exc}",
+                      file=sys.stderr)
+        return manifest
+
+    def record(self, name: str, status: str,
+               completed: Optional[set] = None,
+               failed: Optional[Dict[str, str]] = None,
+               failures: Optional[List[Dict]] = None,
+               error: Optional[str] = None) -> None:
+        entry: Dict = {"status": status}
+        if completed:
+            entry["completed"] = sorted(completed)
+        if failed:
+            entry["failed"] = dict(sorted(failed.items()))
+        if failures:
+            entry["failures"] = failures
+        if error:
+            entry["error"] = error
+        self.experiments[name] = entry
+        self.save()
+
+    def clean(self, name: str) -> bool:
+        """True iff ``name`` finished with zero failed jobs — resumable
+        runs skip it; anything partial or failed is replayed."""
+        entry = self.experiments.get(name)
+        return bool(entry) and entry.get("status") == "done" \
+            and not entry.get("failed") and not entry.get("failures")
+
+    def save(self) -> None:
+        """Atomic write (tmp + rename) so a crash never leaves a
+        half-written checkpoint behind."""
+        payload = {
+            "version": self.VERSION,
+            "spec": self.spec,
+            "experiments": self.experiments,
+        }
+        try:
+            self.path.parent.mkdir(parents=True, exist_ok=True)
+            tmp = self.path.with_suffix(f".tmp.{os.getpid()}")
+            tmp.write_text(json.dumps(payload, sort_keys=True, indent=1))
+            os.replace(tmp, self.path)
+        except OSError as exc:
+            print(f"[sweep] manifest write failed ({exc}); "
+                  "resume will replay this experiment", file=sys.stderr)
+
+
+class _JobLedger:
+    """Progress sink that buckets job cache keys per experiment.
+
+    Installed via :meth:`Runner.progress_scope` around each experiment
+    of a sweep; forwards every event to the runner's own progress fn so
+    ``--verbose`` output is unchanged.
+    """
+
+    def __init__(self, forward=None):
+        self.forward = forward
+        self.completed: set = set()
+        self.failed: Dict[str, str] = {}
+
+    def begin(self) -> None:
+        self.completed = set()
+        self.failed = {}
+
+    def __call__(self, event: str, job, done: int, total: int) -> None:
+        if event in ("done", "cache-hit"):
+            self.completed.add(job.cache_key)
+            self.failed.pop(job.cache_key, None)
+        elif event in ("failed", "skipped"):
+            self.failed[job.cache_key] = event
+        if self.forward is not None:
+            self.forward(event, job, done, total)
+
+
 def _render_one(args, name: str, runner, out_dir: Optional[Path],
-                running_all: bool = False) -> str:
-    """Run one experiment through the facade and render/persist it."""
+                running_all: bool = False):
+    """Run one experiment through the facade; returns (text, result)."""
     exp = get_experiment(name)
     workloads = _split_csv(args.workloads)
     schemes = _split_csv(args.schemes)
@@ -407,7 +588,7 @@ def _render_one(args, name: str, runner, out_dir: Optional[Path],
     if out_dir is not None:
         out_dir.mkdir(parents=True, exist_ok=True)
         (out_dir / f"{name}{suffix}").write_text(text + "\n")
-    return text
+    return text, result
 
 
 def main(argv=None) -> int:
@@ -462,6 +643,26 @@ def main(argv=None) -> int:
                         help="retry budget per job on remote pools "
                              "(default 2; each retry prefers a host that "
                              "has not failed the job)")
+    parser.add_argument("--on-error", default="raise",
+                        help="per-job failure policy: raise (abort — "
+                             "default), skip (record a structured "
+                             "JobFailure and keep the sweep going), or "
+                             "retry:N (N extra attempts, then skip)")
+    parser.add_argument("--faults", default=None, metavar="SPEC",
+                        help="deterministic fault-injection schedule for "
+                             "chaos testing: inline JSON "
+                             "('{\"seed\":7,\"faults\":[...]}') or @path "
+                             "to a JSON file (see repro.faults)")
+    parser.add_argument("--resume", action="store_true",
+                        help="for 'all': resume an interrupted sweep "
+                             "from its manifest under "
+                             "<cache-dir>/sweeps/, replaying only "
+                             "experiments that did not finish cleanly")
+    parser.add_argument("--job-retention", type=float, default=None,
+                        help="for 'serve': prune DONE/FAILED jobs older "
+                             "than this many seconds from the job table "
+                             "(at startup, periodically, and on "
+                             "recovery; default: keep forever)")
     parser.add_argument("--max-age-days", type=float, default=None,
                         help="for 'cas gc': also drop valid cache entries "
                              "older than this many days")
@@ -520,6 +721,23 @@ def main(argv=None) -> int:
         print(run_trace_report(args.target, args.records or 60_000))
         return 0
 
+    registered = [exp.name for exp in all_experiments()]
+    names = registered if args.experiment == "all" else [args.experiment]
+    unknown = [n for n in names if n not in registered]
+    if unknown:
+        return _fail(
+            parser, args, "unknown-experiment",
+            f"unknown experiment(s): {', '.join(unknown)}; try 'list'",
+        )
+    running_all = args.experiment == "all"
+    if args.resume and not running_all:
+        return _fail(parser, args, "invalid-request",
+                     "--resume only applies to 'all' sweeps")
+    if args.resume and args.no_cache:
+        return _fail(parser, args, "invalid-request",
+                     "--resume needs the cache (drop --no-cache): resumed "
+                     "jobs replay byte-identically from the CAS")
+
     try:
         runner = make_runner(_execution_policy(args))
     except (PoolError, ValueError, OSError) as exc:
@@ -540,32 +758,46 @@ def main(argv=None) -> int:
             "cache disabled" if args.no_cache
             else f"cache hits: {stats.cache_hits} ({args.cache_dir})"
         )
-        backend = runner.pool_info().get("backend", "local")
+        info = runner.pool_info()
+        backend = info.get("backend", "local")
+        probe_hits = info.get("cache_probe_hits") or 0
+        probe_note = (
+            f"  worker probe hits: {probe_hits}" if probe_hits else ""
+        )
         # With a machine-readable rendering, stdout is exactly the
         # result(s); keep diagnostics on stderr so `--json | jq` and
         # `--csv > out.csv` stay parseable.
         machine_readable = args.json or args.csv or args.chart
         print(
             f"[runner] pool={backend}  jobs={args.jobs}  "
-            f"simulated: {stats.executed}  {cache_note}",
+            f"simulated: {stats.executed}  {cache_note}{probe_note}",
             file=sys.stderr if machine_readable else sys.stdout,
         )
 
-    registered = [exp.name for exp in all_experiments()]
-    names = registered if args.experiment == "all" else [args.experiment]
-    unknown = [n for n in names if n not in registered]
-    if unknown:
-        runner.close()
-        return _fail(
-            parser, args, "unknown-experiment",
-            f"unknown experiment(s): {', '.join(unknown)}; try 'list'",
-        )
-    running_all = args.experiment == "all"
+    # Sweep checkpointing: 'all' runs with a live cache keep a manifest
+    # of per-experiment job keys so an interrupted sweep resumes from
+    # where it stopped instead of starting over.
+    manifest = ledger = None
+    if running_all and not args.no_cache:
+        spec = _sweep_spec(args, names)
+        manifest = SweepManifest.open(args.cache_dir, spec, resume=args.resume)
+        ledger = _JobLedger(forward=runner.progress)
+    tolerant = args.on_error != "raise"
+    failed_experiments: List[str] = []
     try:
         for name in names:
+            if args.resume and manifest is not None and manifest.clean(name):
+                done_jobs = len(manifest.experiments[name].get("completed", []))
+                print(f"[resume] {name}: already complete "
+                      f"({done_jobs} job(s) checkpointed); skipping",
+                      file=sys.stderr)
+                continue
+            if ledger is not None:
+                ledger.begin()
             try:
-                text = _render_one(args, name, runner, args.out,
-                                   running_all=running_all)
+                with runner.progress_scope(ledger):
+                    text, result = _render_one(args, name, runner, args.out,
+                                               running_all=running_all)
             except ValueError as exc:
                 if not running_all:
                     return _fail(parser, args, "invalid-request", str(exc))
@@ -574,13 +806,60 @@ def main(argv=None) -> int:
                 print(f"[skip] {name}: {exc}", file=sys.stderr)
                 continue
             except PoolError as exc:
+                if manifest is not None:
+                    manifest.record(
+                        name, "failed", error=str(exc),
+                        completed=ledger.completed if ledger else None,
+                        failed=ledger.failed if ledger else None,
+                    )
+                if running_all and tolerant:
+                    # Under a tolerant policy one collapsed experiment is
+                    # checkpointed as failed and the sweep keeps going;
+                    # --resume replays exactly the gap.
+                    failed_experiments.append(name)
+                    print(f"[fail] {name}: {exc}", file=sys.stderr)
+                    continue
                 return _fail(parser, args, "pool-failure", str(exc))
+            except Exception as exc:  # noqa: BLE001 - tolerant sweeps only
+                if not (running_all and tolerant):
+                    raise
+                # Under on_error=skip a policy-skipped job reaches the
+                # experiment's analysis as a None payload, which not
+                # every experiment tolerates.  The sweep checkpoints the
+                # experiment as failed instead of aborting wholesale;
+                # --resume re-runs it (completed jobs are cache hits).
+                if manifest is not None:
+                    manifest.record(
+                        name, "failed",
+                        error=f"{type(exc).__name__}: {exc}",
+                        completed=ledger.completed if ledger else None,
+                        failed=ledger.failed if ledger else None,
+                    )
+                failed_experiments.append(name)
+                print(f"[fail] {name}: {type(exc).__name__}: {exc}",
+                      file=sys.stderr)
+                continue
+            if manifest is not None:
+                manifest.record(
+                    name, "done",
+                    completed=ledger.completed if ledger else None,
+                    failed=ledger.failed if ledger else None,
+                    failures=[f.to_dict() for f in result.failures],
+                )
             print(text)
             if not args.json:
                 print()
     finally:
         runner.close()
     report_runner_stats()
+    if failed_experiments:
+        print(
+            f"[sweep] {len(failed_experiments)} experiment(s) failed: "
+            f"{', '.join(failed_experiments)} — rerun with --resume to "
+            "replay only the gap",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 

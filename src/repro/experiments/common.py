@@ -34,7 +34,7 @@ from ..prefetchers.rpg2 import (
 from ..prefetchers.triage import TriagePrefetcher
 from ..prefetchers.triangel import TriangelPrefetcher
 from ..runner import SimJob, TraceRef, get_runner
-from ..runner.runner import Runner
+from ..runner.runner import JobFailure, Runner
 from ..sim.config import SystemConfig, config_digest, default_config
 from ..sim.engine import simulate
 from ..sim.results import SimResult, format_table, geomean
@@ -49,14 +49,24 @@ SUITE_SCHEMA_VERSION = 1
 
 @dataclass
 class SuiteResults:
-    """Results for one experiment: per-workload, per-scheme SimResults."""
+    """Results for one experiment: per-workload, per-scheme SimResults.
+
+    Under a tolerant failure policy (``on_error="skip"``/``"retry:N"``)
+    a suite may be *partial*: failed (workload, scheme) cells are absent
+    from ``by_workload`` and each carries a structured
+    :class:`~repro.runner.runner.JobFailure` in :attr:`failures` —
+    nothing is ever silently dropped (architecture invariant 14).
+    Metric accessors raise ``KeyError`` on a missing cell;
+    :meth:`table` and the geomeans skip incomplete rows instead.
+    """
 
     schemes: List[str]
     by_workload: Dict[str, Dict[str, SimResult]] = field(default_factory=dict)
+    failures: List[JobFailure] = field(default_factory=list)
 
     def to_dict(self) -> Dict:
         """JSON-compatible dict for persisting a whole experiment run."""
-        return {
+        d = {
             "schema_version": SUITE_SCHEMA_VERSION,
             "schemes": list(self.schemes),
             "by_workload": {
@@ -64,6 +74,11 @@ class SuiteResults:
                 for label, per_scheme in self.by_workload.items()
             },
         }
+        if self.failures:
+            # Only present when partial, so a resumed (gap-closing) run
+            # serializes byte-identically to a fault-free one.
+            d["failures"] = [f.to_dict() for f in self.failures]
+        return d
 
     @classmethod
     def from_dict(cls, d: Dict) -> "SuiteResults":
@@ -81,6 +96,9 @@ class SuiteResults:
                 }
                 for label, per_scheme in d["by_workload"].items()
             },
+            failures=[
+                JobFailure.from_dict(f) for f in d.get("failures", [])
+            ],
         )
 
     def save(self, path) -> None:
@@ -117,20 +135,39 @@ class SuiteResults:
     def labels(self) -> List[str]:
         return list(self.by_workload)
 
+    def has_cell(self, label: str, scheme: str) -> bool:
+        """Did (workload, scheme) produce a result (and its baseline)?"""
+        per_scheme = self.by_workload.get(label, {})
+        return scheme in per_scheme and "baseline" in per_scheme
+
     def geomean_speedup(self, scheme: str) -> float:
-        return geomean([self.speedup(label, scheme) for label in self.labels])
+        return self.geomean_metric(scheme, "speedup")
 
     def geomean_metric(self, scheme: str, metric: str) -> float:
         fn = getattr(self, metric)
-        return geomean([fn(label, scheme) for label in self.labels])
+        values = [
+            fn(label, scheme)
+            for label in self.labels
+            if self.has_cell(label, scheme)
+        ]
+        return geomean(values) if values else float("nan")
 
     def table(self, metric: str = "speedup", title: Optional[str] = None) -> str:
-        """Render the figure's rows: one line per workload plus geomean."""
+        """Render the figure's rows: one line per workload plus geomean.
+
+        Failed/skipped cells of a partial suite render as ``n/a`` and
+        drop out of the geomean; the structured failure records render
+        separately (``ExperimentResult.text()``).
+        """
         fn = getattr(self, metric)
         rows = []
         for label in self.labels:
             rows.append(
-                [label] + [f"{fn(label, s):.3f}" for s in self.schemes]
+                [label]
+                + [
+                    f"{fn(label, s):.3f}" if self.has_cell(label, s) else "n/a"
+                    for s in self.schemes
+                ]
             )
         rows.append(
             ["Geomean"]
@@ -362,14 +399,47 @@ def evaluate_suite(
     results = SuiteResults(schemes=list(schemes))
 
     jobs, slots, custom = suite_jobs(list(traces), config, schemes, warmup_frac)
+    failures_before = len(runner.failure_log)
     payloads = runner.run(jobs)
     for (label, name), payload in zip(slots, payloads):
+        # A None payload means the job failed or was dep-skipped under a
+        # tolerant on_error policy; its JobFailure is in the runner's
+        # failure_log (collected into results.failures below).
+        if payload is None:
+            continue
         results.by_workload.setdefault(label, {})[name] = payload
 
+    tolerant = runner.on_error != "raise"
+    base_key = {
+        slot: job.cache_key for slot, job in zip(slots, jobs)
+    }
+    extra_failures: List[JobFailure] = []
     for trace, name, factory in custom:
-        base = results.by_workload[trace.label]["baseline"]
-        pf = factory(trace, config, base)
-        results.by_workload[trace.label][name] = simulate(
-            trace, config, pf, name, warmup_frac
-        )
+        base = results.by_workload.get(trace.label, {}).get("baseline")
+        key = base_key.get((trace.label, "baseline"), "")
+        if base is None:
+            # Only reachable in tolerant mode (otherwise the baseline's
+            # failure already raised): record the skip, keyed by the
+            # baseline job this custom factory depended on.
+            extra_failures.append(JobFailure(
+                key=key, scheme=name, label=name, trace=trace.label,
+                kind="skipped",
+                error="SKIPPED(dep): baseline failed for this workload",
+            ))
+            continue
+        try:
+            pf = factory(trace, config, base)
+            results.by_workload[trace.label][name] = simulate(
+                trace, config, pf, name, warmup_frac
+            )
+        except Exception as exc:  # noqa: BLE001 - structured under skip
+            if not tolerant:
+                raise
+            extra_failures.append(JobFailure(
+                key=key, scheme=name, label=name, trace=trace.label,
+                kind="error", error=f"{type(exc).__name__}: {exc}",
+            ))
+    results.failures = (
+        list(runner.failure_log[failures_before:]) + extra_failures
+    )
     return results

@@ -1,0 +1,393 @@
+"""Deterministic, seeded fault injection across the whole stack.
+
+Chaos testing the resilience semantics (``on_error`` policies, retry,
+checkpoint/resume, CAS quarantine) needs faults that are *repeatable*:
+the same schedule against the same request must fire the same faults at
+the same injection points, run after run, machine after machine.  This
+module is that one seam — it replaces the two ad-hoc harnesses that
+grew before it (raw ``REPRO_WORKER_FAULT`` strings in the pool fault
+suite, the serve suite's ``FaultPlan``) with a declarative,
+JSON-serializable :class:`FaultSchedule`.
+
+A schedule is a seed plus a list of :class:`FaultSpec` entries.  Each
+spec names an **injection point** (``site``), a fault ``kind``, and a
+**trigger** — a count condition (``at`` = the Nth invocation of that
+site, ``after`` = every invocation past the Nth, ``every`` = every Nth)
+and/or a probability ``p`` whose firing decision is derived from
+``sha256(seed, site, invocation)`` — never from ``random`` — so every
+replay is bit-identical.
+
+Named injection points (each is one :func:`fire` call in the stack):
+
+======================  ====================================================
+site                    where it fires
+======================  ====================================================
+``engine.simulate``     :func:`repro.sim.engine.simulate`, once per call
+                        (the per-record hot loop is never instrumented)
+``job.execute``         :func:`repro.runner.schemes.execute_job` — every
+                        backend funnels jobs through it, driver-side pools
+                        and shipped workers alike
+``cache.read``          :meth:`repro.runner.runner.ResultCache.get`
+``cache.write``         :meth:`repro.runner.runner.ResultCache.put`
+``serve.execute``       :meth:`repro.serve.server.ExperimentService._execute`
+``pool.worker``         not a ``fire`` call: remote pools translate
+                        matching specs into the worker's existing
+                        ``REPRO_WORKER_FAULT`` env seam, per host (see
+                        :meth:`FaultSchedule.worker_fault_for`)
+======================  ====================================================
+
+Fault kinds: ``error`` raises :class:`FaultInjected`, ``io-error``
+raises ``OSError``, ``sleep`` injects latency, ``corrupt`` is returned
+to the call site (the cache read path bit-rots the entry it just read,
+driving the real verification/quarantine machinery), and ``die`` /
+``hang`` (``pool.worker`` only) hard-exit or wedge a worker subprocess.
+
+Activation: pass a schedule (or its dict/JSON form) to
+``ExecutionPolicy(faults=...)`` — the Runner scopes it around each run —
+or set ``REPRO_FAULTS`` to the schedule JSON (a ``@path`` reads a file).
+Remote pools forward the schedule to every worker through the bootstrap
+header env, so a fleet replays one schedule coherently.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from fnmatch import fnmatch
+from typing import Any, Dict, List, Optional, Sequence, Union
+
+#: Environment variable carrying a schedule (JSON, or ``@path`` to one).
+ENV_FLAG = "REPRO_FAULTS"
+
+#: Injection points a spec may name (``pool.worker`` is env-translated).
+SITES = (
+    "engine.simulate",
+    "job.execute",
+    "cache.read",
+    "cache.write",
+    "serve.execute",
+    "pool.worker",
+)
+
+#: Fault kinds; ``die``/``hang`` are only meaningful for ``pool.worker``.
+KINDS = ("error", "io-error", "corrupt", "sleep", "die", "hang")
+
+
+class FaultInjected(RuntimeError):
+    """The exception an ``error``-kind fault raises at its site."""
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """One declarative fault: site + kind + trigger.
+
+    Triggers compose: a spec with both ``every=2`` and ``p=0.5`` fires
+    on even invocations that also pass the seeded coin flip.  With no
+    trigger at all the spec fires on every invocation of its site.
+    ``host`` (``pool.worker`` only) is an ``fnmatch`` pattern against
+    the pool host name.  ``arg`` is the kind's numeric parameter —
+    seconds for ``sleep``; for ``die``/``hang`` the job ordinal comes
+    from ``at`` (matching the ``REPRO_WORKER_FAULT`` wire format).
+    """
+
+    site: str
+    kind: str = "error"
+    at: Optional[int] = None
+    after: Optional[int] = None
+    every: Optional[int] = None
+    p: Optional[float] = None
+    host: Optional[str] = None
+    arg: Optional[float] = None
+    message: str = "injected fault"
+
+    def __post_init__(self):
+        if self.site not in SITES:
+            raise ValueError(
+                f"unknown fault site {self.site!r} "
+                f"(expected one of {', '.join(SITES)})"
+            )
+        if self.kind not in KINDS:
+            raise ValueError(
+                f"unknown fault kind {self.kind!r} "
+                f"(expected one of {', '.join(KINDS)})"
+            )
+        if self.kind in ("die", "hang") and self.site != "pool.worker":
+            raise ValueError(
+                f"fault kind {self.kind!r} only applies to the "
+                "pool.worker site"
+            )
+        if self.p is not None and not (0.0 <= self.p <= 1.0):
+            raise ValueError(f"fault probability must be in [0, 1], got {self.p}")
+
+    # ------------------------------------------------------------------
+    def matches(self, n: int, seed: int) -> bool:
+        """Does this spec fire on the ``n``-th invocation of its site?
+
+        Pure function of ``(spec, n, seed)`` — no process state, no
+        clock, no ``random`` — which is what makes a chaos run replay
+        bit-identically.
+        """
+        if self.at is not None and n != self.at:
+            return False
+        if self.after is not None and n <= self.after:
+            return False
+        if self.every is not None and n % self.every != 0:
+            return False
+        if self.p is not None:
+            blob = f"{seed}:{self.site}:{n}".encode()
+            digest = hashlib.sha256(blob).digest()
+            draw = int.from_bytes(digest[:8], "big") / float(1 << 64)
+            if draw >= self.p:
+                return False
+        return True
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        d: Dict[str, Any] = {"site": self.site, "kind": self.kind}
+        for name in ("at", "after", "every", "p", "host", "arg"):
+            value = getattr(self, name)
+            if value is not None:
+                d[name] = value
+        if self.message != "injected fault":
+            d["message"] = self.message
+        return d
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultSpec":
+        known = {
+            "site", "kind", "at", "after", "every", "p", "host", "arg",
+            "message",
+        }
+        unknown = sorted(set(d) - known)
+        if unknown:
+            raise ValueError(f"unknown FaultSpec field(s): {', '.join(unknown)}")
+        return cls(**d)
+
+
+@dataclass(frozen=True)
+class FaultSchedule:
+    """A seed plus an ordered list of :class:`FaultSpec` entries.
+
+    JSON round-trips exactly (``to_dict``/``from_dict``/``to_json``/
+    ``from_json``), and equal schedules fire identically — the firing
+    decision for invocation ``n`` of a site depends only on the specs
+    and ``sha256(seed, site, n)``.
+    """
+
+    seed: int = 0
+    specs: tuple = field(default_factory=tuple)
+
+    def __post_init__(self):
+        object.__setattr__(self, "seed", int(self.seed))
+        object.__setattr__(
+            self,
+            "specs",
+            tuple(
+                s if isinstance(s, FaultSpec) else FaultSpec.from_dict(s)
+                for s in self.specs
+            ),
+        )
+
+    # ------------------------------------------------------------------
+    def match(self, site: str, n: int) -> Optional[FaultSpec]:
+        """The first spec firing on the ``n``-th invocation of ``site``."""
+        for spec in self.specs:
+            if spec.site == site and spec.matches(n, self.seed):
+                return spec
+        return None
+
+    def worker_fault_for(self, host: str) -> Optional[str]:
+        """The ``REPRO_WORKER_FAULT`` string for ``host`` (or None).
+
+        ``pool.worker`` specs are not fired in-process: remote pools
+        call this per host and export the result into that worker's
+        environment — the same seam the pool fault suite always used,
+        now driven from one declarative schedule.
+        """
+        for spec in self.specs:
+            if spec.site != "pool.worker":
+                continue
+            if spec.host is not None and not fnmatch(host, spec.host):
+                continue
+            if spec.kind in ("die", "hang"):
+                return f"{spec.kind}:{int(spec.at or 1)}"
+            if spec.kind == "sleep":
+                return f"sleep:{spec.arg if spec.arg is not None else 0.0}"
+        return None
+
+    def has_site(self, site: str) -> bool:
+        return any(spec.site == site for spec in self.specs)
+
+    # ------------------------------------------------------------------
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "seed": self.seed,
+            "faults": [spec.to_dict() for spec in self.specs],
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict[str, Any]) -> "FaultSchedule":
+        unknown = sorted(set(d) - {"seed", "faults"})
+        if unknown:
+            raise ValueError(
+                f"unknown FaultSchedule field(s): {', '.join(unknown)}"
+            )
+        return cls(
+            seed=int(d.get("seed", 0)),
+            specs=tuple(
+                FaultSpec.from_dict(s) for s in (d.get("faults") or [])
+            ),
+        )
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_json(cls, blob: str) -> "FaultSchedule":
+        return cls.from_dict(json.loads(blob))
+
+
+#: Forms accepted wherever a schedule can be passed (policy, CLI, env).
+ScheduleLike = Union[FaultSchedule, Dict[str, Any], str]
+
+
+def coerce_schedule(value: Optional[ScheduleLike]) -> Optional[FaultSchedule]:
+    """Accept a FaultSchedule, its dict form, JSON text, or ``@path``."""
+    if value is None or isinstance(value, FaultSchedule):
+        return value
+    if isinstance(value, dict):
+        return FaultSchedule.from_dict(value)
+    if isinstance(value, str):
+        text = value.strip()
+        if text.startswith("@"):
+            from pathlib import Path
+
+            text = Path(text[1:]).read_text()
+        return FaultSchedule.from_json(text)
+    raise TypeError(
+        f"faults must be a FaultSchedule, dict, or JSON string, "
+        f"not {type(value)!r}"
+    )
+
+
+# ----------------------------------------------------------------------
+# activation + the fire() seam
+# ----------------------------------------------------------------------
+class _FaultState:
+    """One active schedule plus its per-site invocation counters."""
+
+    def __init__(self, schedule: FaultSchedule):
+        self.schedule = schedule
+        self._lock = threading.Lock()
+        self._counts: Dict[str, int] = {}
+        self.fired: Dict[str, int] = {}
+
+    def next_match(self, site: str) -> Optional[FaultSpec]:
+        with self._lock:
+            n = self._counts.get(site, 0) + 1
+            self._counts[site] = n
+            spec = self.schedule.match(site, n)
+            if spec is not None:
+                self.fired[site] = self.fired.get(site, 0) + 1
+            return spec
+
+
+_active: Optional[_FaultState] = None
+_env_checked = False
+_lock = threading.Lock()
+
+
+def activate(schedule: Optional[ScheduleLike]) -> None:
+    """Install ``schedule`` process-wide (None deactivates)."""
+    global _active, _env_checked
+    with _lock:
+        coerced = coerce_schedule(schedule)
+        _active = _FaultState(coerced) if coerced is not None else None
+        _env_checked = True  # explicit activation wins over the env
+
+
+def deactivate() -> None:
+    activate(None)
+
+
+@contextmanager
+def scope(schedule: Optional[ScheduleLike]):
+    """Activate ``schedule`` for a ``with`` block (None = no-op).
+
+    Invocation counters reset on entry, so two runs under the same
+    schedule see the same firing pattern.
+    """
+    if schedule is None:
+        yield
+        return
+    global _active, _env_checked
+    with _lock:
+        prev, prev_checked = _active, _env_checked
+        _active = _FaultState(coerce_schedule(schedule))
+        _env_checked = True
+    try:
+        yield
+    finally:
+        with _lock:
+            _active, _env_checked = prev, prev_checked
+
+
+def _state() -> Optional[_FaultState]:
+    global _active, _env_checked
+    if _active is not None:
+        return _active
+    if _env_checked:
+        return None
+    with _lock:
+        if not _env_checked:
+            _env_checked = True
+            spec = os.environ.get(ENV_FLAG)
+            if spec:
+                try:
+                    _active = _FaultState(coerce_schedule(spec))
+                except (ValueError, OSError, TypeError):
+                    _active = None  # a bad env spec must not crash runs
+        return _active
+
+
+def fire(site: str, detail: str = "") -> Optional[FaultSpec]:
+    """The injection seam: call once per invocation of a named site.
+
+    A no-op (and cheap: one global read) when no schedule is active.
+    When the active schedule fires at this invocation: ``error`` raises
+    :class:`FaultInjected`, ``io-error`` raises ``OSError``, ``sleep``
+    blocks ``arg`` seconds, and ``corrupt`` is *returned* for the call
+    site to apply (only the cache paths know what corruption means).
+    """
+    state = _state()
+    if state is None:
+        return None
+    spec = state.next_match(site)
+    if spec is None:
+        return None
+    suffix = f" [{detail}]" if detail else ""
+    if spec.kind == "error":
+        raise FaultInjected(f"{spec.message} (site {site}){suffix}")
+    if spec.kind == "io-error":
+        raise OSError(f"{spec.message} (injected io-error at {site}){suffix}")
+    if spec.kind == "sleep":
+        time.sleep(spec.arg if spec.arg is not None else 0.0)
+    return spec
+
+
+def fired_counts() -> Dict[str, int]:
+    """Per-site fired counters of the active schedule (tests/debugging)."""
+    state = _state()
+    return dict(state.fired) if state is not None else {}
+
+
+def make_schedule(
+    seed: int = 0, specs: Sequence[Union[FaultSpec, Dict[str, Any]]] = (),
+) -> FaultSchedule:
+    """Convenience constructor accepting specs as dicts or FaultSpecs."""
+    return FaultSchedule(seed=seed, specs=tuple(specs))

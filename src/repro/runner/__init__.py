@@ -45,16 +45,19 @@ from .pools import (
 )
 from .runner import (
     CacheIntegrityError,
+    JobFailure,
     ProgressTracker,
     ResultCache,
     Runner,
     RunnerStats,
+    parse_on_error,
 )
 
 __all__ = [
     "ENGINE_VERSION",
     "CacheIntegrityError",
     "ExecutionPolicy",
+    "JobFailure",
     "HostSpec",
     "InlinePool",
     "LocalPool",
@@ -75,6 +78,7 @@ __all__ = [
     "load_hosts_file",
     "make_runner",
     "parse_hosts",
+    "parse_on_error",
     "parse_pool_spec",
     "probe_hosts",
     "set_runner",

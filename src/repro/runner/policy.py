@@ -30,8 +30,9 @@ from dataclasses import dataclass, field, replace
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple, Union
 
+from .. import faults as _faults
 from .pools import InlinePool, LocalPool, LoopbackPool, Pool, SSHPool
-from .runner import ProgressFn, Runner
+from .runner import ProgressFn, Runner, parse_on_error
 
 #: Pool spec backends accepted by :class:`ExecutionPolicy`.
 POOL_BACKENDS = ("local", "inline", "ssh", "loopback")
@@ -69,14 +70,28 @@ class ExecutionPolicy:
     verbose: bool = False
     per_job_timeout: Optional[float] = None
     retries: int = 2
+    #: Per-job failure policy: "raise" (abort the run — historical
+    #: default), "skip" (record a JobFailure, keep the sweep going), or
+    #: "retry:N" (N extra attempts, then skip).
+    on_error: str = "raise"
+    #: Optional deterministic fault schedule (repro.faults.FaultSchedule,
+    #: its dict form, JSON text, or "@path"); chaos-testing knob.
+    faults: Optional[Any] = None
 
     def __post_init__(self):
         parse_pool_spec(self.pool)  # fail fast on a bad spec
+        parse_on_error(self.on_error)  # fail fast on a bad policy
         object.__setattr__(self, "jobs", max(1, int(self.jobs)))
         if self.cache_dir is not None:
             # Normalized to str so to_dict/from_dict round-trips compare
             # equal and the policy is JSON-stable.
             object.__setattr__(self, "cache_dir", str(self.cache_dir))
+        if self.faults is not None:
+            # Normalized to a FaultSchedule once, up front, so a bad
+            # schedule fails here rather than mid-sweep.
+            object.__setattr__(
+                self, "faults", _faults.coerce_schedule(self.faults)
+            )
 
     # -- derived --------------------------------------------------------
     @property
@@ -112,6 +127,8 @@ class ExecutionPolicy:
                 per_job_timeout=self.per_job_timeout,
                 retries=self.retries,
                 verbose=self.verbose,
+                cache_dir=self.effective_cache_dir,
+                faults=self.faults,
             )
         return SSHPool(
             arg,
@@ -119,6 +136,8 @@ class ExecutionPolicy:
             per_job_timeout=self.per_job_timeout,
             retries=self.retries,
             verbose=self.verbose,
+            cache_dir=self.effective_cache_dir,
+            faults=self.faults,
         )
 
     def make_runner(self) -> Runner:
@@ -130,6 +149,8 @@ class ExecutionPolicy:
             progress=self.effective_progress(),
             pool=self.make_pool(),
             per_job_timeout=self.per_job_timeout,
+            on_error=self.on_error,
+            faults=self.faults,
         )
         runner.policy = self
         return runner
@@ -145,6 +166,8 @@ class ExecutionPolicy:
             "verbose": self.verbose,
             "per_job_timeout": self.per_job_timeout,
             "retries": self.retries,
+            "on_error": self.on_error,
+            "faults": self.faults.to_dict() if self.faults else None,
         }
 
     @classmethod
@@ -157,6 +180,8 @@ class ExecutionPolicy:
             verbose=d.get("verbose", False),
             per_job_timeout=d.get("per_job_timeout"),
             retries=d.get("retries", 2),
+            on_error=d.get("on_error", "raise"),
+            faults=d.get("faults"),
         )
 
     def with_progress(self, progress: Optional[ProgressFn]) -> "ExecutionPolicy":

@@ -36,6 +36,7 @@ soon as they are known.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import queue
 import shlex
@@ -54,10 +55,18 @@ from . import schemes as _schemes
 from .jobs import ENGINE_VERSION, SimJob
 from .worker import BOOTSTRAP, job_to_dict
 
+log = logging.getLogger(__name__)
+
 #: drain() invokes this right before a job starts executing (token arg);
 #: the Runner uses it to emit its "start" progress events in the same
 #: order the historical execution loop did.
 OnStart = Optional[Callable[[str], None]]
+
+#: drain() invokes this per failed job — ``(token, error, info)`` where
+#: ``info`` may carry ``host``/``attempts`` — *instead of* raising, when
+#: the caller passes one (the Runner does under ``on_error != "raise"``).
+#: With no callback every backend keeps its historical failure surface.
+OnError = Optional[Callable[[str, str, Dict[str, Any]], None]]
 
 
 class PoolError(RuntimeError):
@@ -84,7 +93,9 @@ class Pool:
     ) -> None:
         raise NotImplementedError
 
-    def drain(self, on_start: OnStart = None) -> Iterator[Tuple[str, Any]]:
+    def drain(
+        self, on_start: OnStart = None, on_error: OnError = None
+    ) -> Iterator[Tuple[str, Any]]:
         raise NotImplementedError
 
     def close(self) -> None:  # pragma: no cover - trivial default
@@ -106,14 +117,22 @@ class InlinePool(Pool):
     def submit(self, token, job, dep_payloads):
         self._tasks.append((token, job, dep_payloads))
 
-    def drain(self, on_start: OnStart = None):
+    def drain(self, on_start: OnStart = None, on_error: OnError = None):
         tasks, self._tasks = self._tasks, []
         for token, job, deps in tasks:
             if on_start is not None:
                 on_start(token)
             # Looked up through the module so test seams (FaultPlan)
             # can patch repro.runner.schemes.execute_job.
-            yield token, _schemes.execute_job(job, deps)
+            if on_error is None:
+                yield token, _schemes.execute_job(job, deps)
+                continue
+            try:
+                payload = _schemes.execute_job(job, deps)
+            except Exception as exc:  # noqa: BLE001 - structured report
+                on_error(token, f"{type(exc).__name__}: {exc}", {})
+                continue
+            yield token, payload
 
     def describe(self):
         return {"backend": self.name, "jobs": 1}
@@ -141,7 +160,7 @@ class LocalPool(Pool):
     def submit(self, token, job, dep_payloads):
         self._tasks.append((token, job, dep_payloads))
 
-    def drain(self, on_start: OnStart = None):
+    def drain(self, on_start: OnStart = None, on_error: OnError = None):
         tasks, self._tasks = self._tasks, []
         if self.jobs == 1 or len(tasks) == 1:
             # Serial fast path: no executor, raw exceptions, interleaved
@@ -149,7 +168,15 @@ class LocalPool(Pool):
             for token, job, deps in tasks:
                 if on_start is not None:
                     on_start(token)
-                yield token, _schemes.execute_job(job, deps)
+                if on_error is None:
+                    yield token, _schemes.execute_job(job, deps)
+                    continue
+                try:
+                    payload = _schemes.execute_job(job, deps)
+                except Exception as exc:  # noqa: BLE001
+                    on_error(token, f"{type(exc).__name__}: {exc}", {})
+                    continue
+                yield token, payload
             return
         if self._executor is None:
             self._executor = ProcessPoolExecutor(max_workers=self.jobs)
@@ -171,6 +198,11 @@ class LocalPool(Pool):
                     f"job {token[:12]} exceeded the per-job timeout of "
                     f"{self.per_job_timeout}s in the local pool"
                 ) from None
+            except Exception as exc:  # noqa: BLE001
+                if on_error is None:
+                    raise
+                on_error(token, f"{type(exc).__name__}: {exc}", {})
+                continue
             yield token, payload
 
     def close(self):
@@ -261,12 +293,17 @@ def _driver_src_path() -> str:
 
 
 #: Driver environment forwarded to every worker (spec.env overrides).
-_FORWARDED_ENV = ("REPRO_TRACE_DIR", "REPRO_NUMPY")
+_FORWARDED_ENV = (
+    "REPRO_TRACE_DIR", "REPRO_NUMPY", "REPRO_CACHE_DIR", "REPRO_FAULTS",
+)
 
 
-def _worker_header(spec: HostSpec) -> Dict[str, Any]:
+def _worker_header(
+    spec: HostSpec, extra_env: Optional[Dict[str, str]] = None
+) -> Dict[str, Any]:
     env = {k: os.environ[k] for k in _FORWARDED_ENV if k in os.environ}
-    env.update(spec.env)
+    env.update(extra_env or {})  # pool-level injection (cache dir, faults)
+    env.update(spec.env)  # per-host options always win
     return {
         "source_len": len(_worker_source()),
         "sys_path": [spec.path or _driver_src_path()],
@@ -296,16 +333,19 @@ class _RemoteWorker:
     """One worker subprocess: spawn, ship source, JSON-lines RPC."""
 
     def __init__(self, wid: int, spec: HostSpec, argv: Sequence[str],
-                 verbose: bool = False):
+                 verbose: bool = False,
+                 extra_env: Optional[Dict[str, str]] = None):
         self.wid = wid
         self.spec = spec
         self.argv = list(argv)
         self.verbose = verbose
+        self.extra_env = dict(extra_env or {})
         self.proc: Optional[subprocess.Popen] = None
         self.alive = False
         self.reason: Optional[str] = None
         self.completed = 0
         self.failures = 0
+        self.probe_hits = 0
         self.hello: Optional[Dict[str, Any]] = None
         self._q: "queue.Queue[Any]" = queue.Queue()
         self._reader: Optional[threading.Thread] = None
@@ -322,7 +362,7 @@ class _RemoteWorker:
             target=self._read_loop, name=f"pool-reader-{self.wid}", daemon=True
         )
         self._reader.start()
-        header = _worker_header(self.spec)
+        header = _worker_header(self.spec, self.extra_env)
         self.proc.stdin.write(json.dumps(header) + "\n")
         self.proc.stdin.write(_worker_source())
         self.proc.stdin.flush()
@@ -384,6 +424,15 @@ class _RemoteWorker:
                 f"{self.spec.name}: ENGINE_VERSION mismatch "
                 f"(host {msg.get('engine_version')!r} != driver "
                 f"{ENGINE_VERSION!r}) — results would not be comparable"
+            )
+        if msg.get("numpy_error"):
+            # The numpy capability probe blowing up is not a reason to
+            # evict the host: the worker already demoted itself to the
+            # scalar engine (bit-identical results, invariant 13), so it
+            # stays in the fleet — just slower, and loudly so.
+            log.warning(
+                "%s: numpy probe failed (%s); host demoted to the "
+                "scalar engine", self.spec.name, msg["numpy_error"],
             )
         return msg
 
@@ -459,6 +508,8 @@ class SSHPool(Pool):
         backoff: float = 0.25,
         probe_timeout: float = 60.0,
         verbose: bool = False,
+        cache_dir: Optional[Union[str, Path]] = None,
+        faults: Optional[Any] = None,
     ):
         if isinstance(hosts, (str, Path)):
             specs = load_hosts_file(hosts)
@@ -468,6 +519,14 @@ class SSHPool(Pool):
         self.retries = max(0, int(retries))
         self.backoff = backoff
         self.verbose = verbose
+        #: Worker-side result-cache dir (NFS or per-host): workers that
+        #: see it answer ``cache_probe`` RPCs so the driver skips
+        #: serializing jobs whose payload the fleet already holds.
+        self.cache_dir = str(cache_dir) if cache_dir is not None else None
+        #: Optional repro.faults.FaultSchedule shipped to every worker
+        #: (REPRO_FAULTS env) with pool.worker entries translated to the
+        #: per-host REPRO_WORKER_FAULT seam.
+        self.faults = faults
 
         self._lock = threading.Lock()
         self._task_q: "queue.Queue[_Task]" = queue.Queue()
@@ -480,7 +539,8 @@ class SSHPool(Pool):
         self._prev_sigterm = None
 
         self.workers = [
-            _RemoteWorker(i, spec, self._argv(spec), verbose=verbose)
+            _RemoteWorker(i, spec, self._argv(spec), verbose=verbose,
+                          extra_env=self._worker_env(spec))
             for i, spec in enumerate(self._expand(specs, jobs))
         ]
         self._start_and_probe(probe_timeout)
@@ -496,6 +556,18 @@ class SSHPool(Pool):
             t.start()
 
     # -- setup ----------------------------------------------------------
+    def _worker_env(self, spec: HostSpec) -> Dict[str, str]:
+        """Pool-level env injected into one worker (spec.env overrides)."""
+        env: Dict[str, str] = {}
+        if self.cache_dir:
+            env["REPRO_CACHE_DIR"] = self.cache_dir
+        if self.faults is not None:
+            env["REPRO_FAULTS"] = self.faults.to_json()
+            worker_fault = self.faults.worker_fault_for(spec.name)
+            if worker_fault:
+                env["REPRO_WORKER_FAULT"] = worker_fault
+        return env
+
     @staticmethod
     def _expand(specs: List[HostSpec], jobs: Optional[int]) -> List[HostSpec]:
         expanded: List[HostSpec] = []
@@ -563,7 +635,7 @@ class SSHPool(Pool):
             self._submitted_tokens.append(token)
         self._task_q.put(_Task(token, msg))
 
-    def drain(self, on_start: OnStart = None):
+    def drain(self, on_start: OnStart = None, on_error: OnError = None):
         from .runner import payload_from_dict
 
         with self._lock:
@@ -587,8 +659,10 @@ class SSHPool(Pool):
                 self._outstanding -= 1
             if kind == "ok":
                 yield token, payload_from_dict(value)
+            elif on_error is not None:
+                on_error(token, value["error"], value)
             else:
-                failures.append(f"job {token[:12]}…: {value}")
+                failures.append(f"job {token[:12]}…: {value['error']}")
         if failures:
             raise PoolError(
                 f"{len(failures)} job(s) failed in the {self.name} pool: "
@@ -609,7 +683,9 @@ class SSHPool(Pool):
             flushed = True
             errors = "; ".join(task.errors) or "never dispatched"
             self._result_q.put(
-                ("failed", task.token, f"{errors}; no live hosts remain")
+                ("failed", task.token,
+                 {"error": f"{errors}; no live hosts remain",
+                  "host": None, "attempts": max(1, task.attempts)})
             )
         if flushed:
             return 0
@@ -638,6 +714,11 @@ class SSHPool(Pool):
                 self._task_q.put(task)
                 time.sleep(0.02)
                 continue
+            probe = self._cache_probe(worker, task)
+            if probe == "hit":
+                continue
+            if probe == "dead":
+                return
             try:
                 worker.send(task.msg)
             except (OSError, ValueError):
@@ -661,12 +742,53 @@ class SSHPool(Pool):
                 # Deterministic executor failure: retrying elsewhere
                 # would produce the same error, so surface it directly.
                 worker.failures += 1
-                self._result_q.put(("job-error", task.token, msg["error"]))
+                self._result_q.put(
+                    ("job-error", task.token,
+                     {"error": msg["error"], "host": worker.spec.name,
+                      "attempts": task.attempts + 1})
+                )
             else:
                 self._worker_failed(
                     worker, task, f"protocol violation: {msg!r}"
                 )
                 return
+
+    def _cache_probe(self, worker: _RemoteWorker, task: _Task) -> str:
+        """Ask the worker whether its cache already holds this token.
+
+        The token *is* the content-addressed cache key (invariant 2), so
+        a host with an NFS/local ``--cache-dir`` can answer from disk and
+        the driver skips serializing the job and its dep payloads
+        entirely.  Returns ``"hit"`` (result queued), ``"miss"``
+        (dispatch normally) or ``"dead"`` (worker failed; task
+        re-queued/failed by :meth:`_worker_failed`).
+        """
+        if not (worker.hello or {}).get("cache"):
+            return "miss"
+        try:
+            worker.send({"op": "cache_probe", "token": task.token})
+        except (OSError, ValueError):
+            self._worker_failed(worker, task, "send failed (pipe closed)")
+            return "dead"
+        msg = worker.recv(self.per_job_timeout)
+        if msg is None:
+            self._worker_failed(
+                worker, task,
+                f"cache probe timed out after {self.per_job_timeout}s",
+            )
+            return "dead"
+        if msg is _EOF:
+            self._worker_failed(worker, task, "worker died during cache probe")
+            return "dead"
+        if msg.get("op") != "cache-probe":
+            self._worker_failed(worker, task, f"protocol violation: {msg!r}")
+            return "dead"
+        if msg.get("hit"):
+            worker.completed += 1
+            worker.probe_hits += 1
+            self._result_q.put(("ok", task.token, msg["payload"]))
+            return "hit"
+        return "miss"
 
     def _untried_host(self, task: _Task) -> bool:
         return any(
@@ -686,8 +808,9 @@ class SSHPool(Pool):
         if task.attempts > self.retries or not self._alive_workers():
             self._result_q.put(
                 ("failed", task.token,
-                 f"gave up after {task.attempts} attempt(s): "
-                 + "; ".join(task.errors))
+                 {"error": f"gave up after {task.attempts} attempt(s): "
+                           + "; ".join(task.errors),
+                  "host": worker.spec.name, "attempts": task.attempts})
             )
             return
         with self._lock:
@@ -746,8 +869,10 @@ class SSHPool(Pool):
                 "alive": w.alive,
                 "completed": w.completed,
                 "failures": w.failures,
+                "probe_hits": w.probe_hits,
                 "reason": w.reason,
                 "python": (w.hello or {}).get("python"),
+                "numpy": (w.hello or {}).get("numpy"),
             }
             for w in self.workers
         ]
@@ -759,6 +884,8 @@ class SSHPool(Pool):
             "retries": self.retries,
             "per_job_timeout": self.per_job_timeout,
             "draining": self._draining,
+            "cache_dir": self.cache_dir,
+            "cache_probe_hits": sum(w.probe_hits for w in self.workers),
             "hosts": hosts,
         }
 

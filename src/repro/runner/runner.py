@@ -23,18 +23,23 @@ from __future__ import annotations
 
 import hashlib
 import json
+import logging
 import os
 import threading
 import time
+from collections import deque
 from contextlib import contextmanager
 from contextvars import ContextVar
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
 from typing import TYPE_CHECKING, Callable, Dict, List, Optional, Sequence, Union
 
+from .. import faults as _faults
 from ..core.profiler import CounterSet
 from ..sim.results import SimResult
 from .jobs import SimJob
+
+log = logging.getLogger(__name__)
 
 if TYPE_CHECKING:  # pools imports back into this module lazily
     from .pools import Pool as PoolType
@@ -105,10 +110,14 @@ class ResultCache:
     read back, unverified, so existing caches keep their hits.
     """
 
+    #: Subdirectory corrupt entries are moved into (never re-globbed).
+    QUARANTINE_DIR = "quarantine"
+
     def __init__(self, root: Union[str, Path]):
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self.verify_failures = 0
+        self.quarantined = 0
 
     def _path(self, key: str) -> Path:
         return self.root / f"{key}.json"
@@ -129,23 +138,51 @@ class ResultCache:
             return blob
         return entry if "kind" in entry else None  # pre-CAS format
 
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry aside instead of silently dropping it.
+
+        Quarantined files keep their bytes under
+        ``<root>/quarantine/`` for postmortem (was it a torn NFS write?
+        divergent engines? actual bit rot?) — a re-simulation heals the
+        cache either way, but the evidence is no longer destroyed.
+        """
+        qdir = self.root / self.QUARANTINE_DIR
+        try:
+            qdir.mkdir(exist_ok=True)
+            path.replace(qdir / path.name)
+            self.quarantined += 1
+            log.warning(
+                "cache entry %s failed digest verification; quarantined "
+                "to %s", path.name, qdir,
+            )
+        except OSError:
+            pass  # racing reader already moved it, or FS trouble: a miss
+
     def get(self, key: str) -> Optional[Payload]:
         path = self._path(key)
         try:
+            fault = _faults.fire("cache.read", detail=key[:12])
             text = path.read_text()
         except OSError:
             return None
+        if fault is not None and fault.kind == "corrupt":
+            # Simulated bit rot: mangle the bytes just read so the real
+            # verification + quarantine machinery runs end to end.
+            text = text[:-1] if text else "{torn"
         blob = self._parse(text)
         if blob is None:
             self.verify_failures += 1
+            self._quarantine(path)
             return None  # corrupt or digest-mismatched: a miss
         try:
             return payload_from_dict(blob)
         except (ValueError, KeyError, TypeError):
             self.verify_failures += 1
+            self._quarantine(path)
             return None
 
     def put(self, key: str, payload: Payload) -> None:
+        _faults.fire("cache.write", detail=key[:12])
         blob = payload_to_dict(payload)
         digest = _payload_digest(blob)
         path = self._path(key)
@@ -244,6 +281,8 @@ class RunnerStats:
 
     cache_hits: int = 0
     executed: int = 0
+    failed: int = 0
+    skipped: int = 0
 
     @property
     def total(self) -> int:
@@ -253,8 +292,112 @@ class RunnerStats:
         return {
             "cache_hits": self.cache_hits,
             "executed": self.executed,
+            "failed": self.failed,
+            "skipped": self.skipped,
             "total": self.total,
         }
+
+
+#: Cap on the error text carried in a JobFailure record (full tracebacks
+#: belong in logs; the structured record needs the identifying head).
+MAX_FAILURE_ERROR = 500
+
+
+@dataclass
+class JobFailure:
+    """One job that did not produce a payload, as a structured record.
+
+    Every failure a partial sweep surfaces carries one of these
+    (architecture invariant 14): the content-addressed job ``key`` makes
+    it re-runnable and cross-referenceable against the cache/manifest,
+    ``kind`` distinguishes an executor ``error`` from a dependency
+    ``skipped``, and ``host``/``attempts`` record where remote pools
+    gave up.  JSON round-trips via ``to_dict``/``from_dict``.
+    """
+
+    key: str
+    scheme: str
+    label: str
+    trace: str
+    kind: str = "error"  # "error" | "skipped"
+    error: str = ""
+    host: Optional[str] = None
+    attempts: int = 1
+
+    def __post_init__(self):
+        if len(self.error) > MAX_FAILURE_ERROR:
+            self.error = self.error[: MAX_FAILURE_ERROR - 1] + "…"
+
+    @classmethod
+    def for_job(cls, job: SimJob, **kwargs) -> "JobFailure":
+        return cls(
+            key=job.cache_key,
+            scheme=job.scheme,
+            label=job.label or job.scheme,
+            trace=job.trace.label,
+            **kwargs,
+        )
+
+    def to_dict(self) -> Dict:
+        return {
+            "key": self.key,
+            "scheme": self.scheme,
+            "label": self.label,
+            "trace": self.trace,
+            "kind": self.kind,
+            "error": self.error,
+            "host": self.host,
+            "attempts": self.attempts,
+        }
+
+    @classmethod
+    def from_dict(cls, d: Dict) -> "JobFailure":
+        return cls(
+            key=d["key"],
+            scheme=d.get("scheme", ""),
+            label=d.get("label", ""),
+            trace=d.get("trace", ""),
+            kind=d.get("kind", "error"),
+            error=d.get("error", ""),
+            host=d.get("host"),
+            attempts=int(d.get("attempts", 1)),
+        )
+
+    def describe(self) -> str:
+        """One human-readable report line (result.text(), CLI logs)."""
+        where = f" on {self.host}" if self.host else ""
+        tries = f" after {self.attempts} attempt(s)" if self.attempts > 1 else ""
+        return (
+            f"[{self.kind}] {self.label} @ {self.trace}: {self.error}"
+            f"{where}{tries} (job {self.key[:12]})"
+        )
+
+
+#: Valid ``on_error`` policy names (plus ``retry:N``).
+ON_ERROR_POLICIES = ("raise", "skip", "retry")
+
+
+def parse_on_error(value: str) -> "tuple[str, int]":
+    """``(mode, extra_attempts)`` from an ``on_error`` policy string.
+
+    ``"raise"`` aborts the run on the first failure (the historical
+    behavior), ``"skip"`` records a :class:`JobFailure` and keeps going,
+    ``"retry:N"`` re-submits a failed job up to N more times before
+    recording the failure and continuing like ``skip``.
+    """
+    if value in ("raise", "skip"):
+        return value, 0
+    if value.startswith("retry:"):
+        try:
+            n = int(value.split(":", 1)[1])
+        except ValueError:
+            n = 0
+        if n >= 1:
+            return "retry", n
+    raise ValueError(
+        f"invalid on_error policy {value!r}; expected 'raise', 'skip', "
+        "or 'retry:N' with N >= 1"
+    )
 
 
 #: Context-local progress override; see :meth:`Runner.progress_scope`.
@@ -280,6 +423,9 @@ class ProgressTracker:
     emits exactly one frame per state change.
     """
 
+    #: Bounded per-version history kept for SSE ``Last-Event-ID`` replay.
+    HISTORY = 256
+
     def __init__(self, forward: Optional[ProgressFn] = None):
         self._lock = threading.Lock()
         self._change = threading.Condition(self._lock)
@@ -289,7 +435,11 @@ class ProgressTracker:
         self.done = 0
         self.cache_hits = 0
         self.executed = 0
+        self.failures = 0
         self.last_event = ""
+        self._history: "deque[Dict[str, Union[int, str]]]" = deque(
+            maxlen=self.HISTORY
+        )
 
     def __call__(self, event: str, job: "SimJob", done: int, total: int) -> None:
         with self._lock:
@@ -299,23 +449,41 @@ class ProgressTracker:
                 self.cache_hits += 1
             elif event == "done":
                 self.executed += 1
+            elif event in ("failed", "skipped"):
+                self.failures += 1
             self.last_event = event
             self.version += 1
+            self._history.append(self._snapshot_locked())
             self._change.notify_all()
         if self._forward is not None:
             self._forward(event, job, done, total)
 
+    def _snapshot_locked(self) -> Dict[str, Union[int, str]]:
+        return {
+            "version": self.version,
+            "total": self.total,
+            "done": self.done,
+            "cache_hits": self.cache_hits,
+            "executed": self.executed,
+            "failures": self.failures,
+            "last_event": self.last_event,
+        }
+
     def snapshot(self) -> Dict[str, Union[int, str]]:
         """A consistent point-in-time copy of the counters."""
         with self._lock:
-            return {
-                "version": self.version,
-                "total": self.total,
-                "done": self.done,
-                "cache_hits": self.cache_hits,
-                "executed": self.executed,
-                "last_event": self.last_event,
-            }
+            return self._snapshot_locked()
+
+    def history_since(self, version: int) -> List[Dict[str, Union[int, str]]]:
+        """Retained snapshots with ``version`` strictly past the given one.
+
+        The replay source for resumable SSE: a reconnecting client sends
+        the last event id it saw and gets every missed progress version
+        that is still in the bounded history (older ones are summarized
+        by the current snapshot anyway — counters are monotonic).
+        """
+        with self._lock:
+            return [s for s in self._history if s["version"] > version]
 
     def wait_for_change(self, seen_version: int, timeout: float) -> int:
         """Block until ``version`` advances past ``seen_version``.
@@ -353,6 +521,8 @@ class Runner:
         progress: Optional[ProgressFn] = None,
         pool: Optional["PoolType"] = None,
         per_job_timeout: Optional[float] = None,
+        on_error: str = "raise",
+        faults: Optional["_faults.FaultSchedule"] = None,
     ):
         self.jobs = max(1, int(jobs))
         self.cache = (
@@ -360,8 +530,14 @@ class Runner:
         )
         self.progress = progress
         self.per_job_timeout = per_job_timeout
+        self.on_error, self.max_retries = parse_on_error(on_error)
+        self.faults = _faults.coerce_schedule(faults)
         self.stats = RunnerStats()
         self.policy = None  # set by ExecutionPolicy.make_runner
+        #: Every JobFailure this Runner has recorded, in order; callers
+        #: that need "failures of *my* run" (api.run, evaluate_suite)
+        #: note the length before running and slice the tail after.
+        self.failure_log: List[JobFailure] = []
         self._stats_lock = threading.Lock()
         self._pool = pool
         self._pool_lock = threading.Lock()
@@ -408,8 +584,16 @@ class Runner:
         if fn is not None:
             fn(event, job, done, total)
 
-    def run(self, jobs: Sequence[SimJob]) -> List[Payload]:
-        """Execute ``jobs`` (and their deps); returns payloads in order."""
+    def run(self, jobs: Sequence[SimJob]) -> List[Optional[Payload]]:
+        """Execute ``jobs`` (and their deps); returns payloads in order.
+
+        With ``on_error="raise"`` (the default) the first failure
+        propagates and every returned payload is real.  Under ``"skip"``
+        / ``"retry:N"`` a failed or dep-skipped job yields ``None`` in
+        its slot and a structured :class:`JobFailure` appended to
+        :attr:`failure_log` — no failure is ever silently dropped
+        (architecture invariant 14).
+        """
         # Deduplicate the transitive closure by cache key.
         order: Dict[str, SimJob] = {}
 
@@ -438,19 +622,26 @@ class Runner:
         for job in order.values():
             depth_of(job)
 
-        if self._pool is not None:
-            # Persistent backend (remote hosts, shared inline): serialize
-            # concurrent run() calls — serve worker threads share one
-            # Runner — so submit/drain windows never interleave.
-            with self._pool_lock:
-                return self._run_levels(jobs, order, depth, self._pool)
-        from .pools import LocalPool
+        # Activate this runner's fault schedule (if any) for the span of
+        # the run: engine/cache/job injection points fire in-process; a
+        # remote pool additionally ships the schedule to its workers via
+        # the REPRO_FAULTS env (see SSHPool).
+        with _faults.scope(self.faults):
+            if self._pool is not None:
+                # Persistent backend (remote hosts, shared inline):
+                # serialize concurrent run() calls — serve worker threads
+                # share one Runner — so submit/drain never interleave.
+                with self._pool_lock:
+                    return self._run_levels(jobs, order, depth, self._pool)
+            from .pools import LocalPool
 
-        pool = LocalPool(jobs=self.jobs, per_job_timeout=self.per_job_timeout)
-        try:
-            return self._run_levels(jobs, order, depth, pool)
-        finally:
-            pool.close()
+            pool = LocalPool(
+                jobs=self.jobs, per_job_timeout=self.per_job_timeout
+            )
+            try:
+                return self._run_levels(jobs, order, depth, pool)
+            finally:
+                pool.close()
 
     def _run_levels(
         self,
@@ -458,10 +649,12 @@ class Runner:
         order: Dict[str, SimJob],
         depth: Dict[str, int],
         pool: "PoolType",
-    ) -> List[Payload]:
+    ) -> List[Optional[Payload]]:
         total = len(order)
         done = 0
         results: Dict[str, Payload] = {}
+        failed: Dict[str, JobFailure] = {}
+        tolerant = self.on_error != "raise"
         # drain() calls this right as each job starts executing; `state`
         # tracks the live done-count so interleaved serial start/done
         # events carry the same counters the historical loop emitted.
@@ -470,6 +663,20 @@ class Runner:
         def on_start(token: str) -> None:
             self._emit("start", order[token], state["done"], total)
 
+        def record_failure(failure: JobFailure) -> None:
+            nonlocal done
+            failed[failure.key] = failure
+            with self._stats_lock:
+                if failure.kind == "skipped":
+                    self.stats.skipped += 1
+                else:
+                    self.stats.failed += 1
+            done += 1
+            self._emit(
+                "skipped" if failure.kind == "skipped" else "failed",
+                order[failure.key], done, total,
+            )
+
         for level in sorted(set(depth.values())):
             level_jobs = [
                 j for j in order.values() if depth[j.cache_key] == level
@@ -477,6 +684,28 @@ class Runner:
             pending: List[SimJob] = []
             for job in level_jobs:
                 key = job.cache_key
+                dead_dep = next(
+                    (
+                        dep
+                        for role in sorted(job.deps)
+                        for dep in (job.deps[role],)
+                        if dep.cache_key in failed
+                    ),
+                    None,
+                )
+                if dead_dep is not None:
+                    dep_failure = failed[dead_dep.cache_key]
+                    record_failure(JobFailure.for_job(
+                        job,
+                        kind="skipped",
+                        error=(
+                            f"SKIPPED(dep): dependency "
+                            f"{dep_failure.label} @ {dep_failure.trace} "
+                            f"{dep_failure.kind} "
+                            f"(job {dead_dep.cache_key[:12]})"
+                        ),
+                    ))
+                    continue
                 cached = self.cache.get(key) if self.cache else None
                 if cached is not None:
                     results[key] = cached
@@ -489,18 +718,53 @@ class Runner:
 
             if not pending:
                 continue
-            state["done"] = done
-            for job in pending:
-                pool.submit(
-                    job.cache_key, job, self._dep_payloads(job, results)
-                )
-            for token, payload in pool.drain(on_start):
-                done = self._record(
-                    order[token], payload, results, done, total
-                )
-                state["done"] = done
 
-        return [results[job.cache_key] for job in jobs]
+            attempt = 0
+            to_run = pending
+            while to_run:
+                state["done"] = done
+                for job in to_run:
+                    pool.submit(
+                        job.cache_key, job, self._dep_payloads(job, results)
+                    )
+                level_failures: Dict[str, JobFailure] = {}
+
+                def on_error(token: str, error: str, info: Dict) -> None:
+                    level_failures[token] = JobFailure.for_job(
+                        order[token],
+                        kind="error",
+                        error=error,
+                        host=info.get("host"),
+                        attempts=attempt + int(info.get("attempts") or 1),
+                    )
+
+                for token, payload in pool.drain(
+                    on_start, on_error if tolerant else None
+                ):
+                    done = self._record(
+                        order[token], payload, results, done, total
+                    )
+                    state["done"] = done
+                if not level_failures:
+                    break
+                attempt += 1
+                if attempt > self.max_retries:
+                    for failure in level_failures.values():
+                        record_failure(failure)
+                    break
+                to_run = [order[t] for t in sorted(level_failures)]
+                log.warning(
+                    "retrying %d failed job(s), attempt %d/%d",
+                    len(to_run), attempt, self.max_retries,
+                )
+
+        if failed:
+            flist = list(failed.values())
+            with self._stats_lock:
+                self.failure_log.extend(flist)
+            for failure in flist:
+                log.warning("job failed: %s", failure.describe())
+        return [results.get(job.cache_key) for job in jobs]
 
     def _dep_payloads(
         self, job: SimJob, results: Dict[str, Payload]
@@ -519,7 +783,17 @@ class Runner:
         with self._stats_lock:
             self.stats.executed += 1
         if self.cache is not None:
-            self.cache.put(job.cache_key, payload)
+            try:
+                self.cache.put(job.cache_key, payload)
+            except OSError as exc:
+                # A failed cache write must not discard a completed
+                # payload — the result is in hand; only persistence is
+                # degraded (the job will re-run next time instead of
+                # hitting).  CacheIntegrityError still propagates.
+                log.warning(
+                    "cache write failed for job %s: %s",
+                    job.cache_key[:12], exc,
+                )
         done += 1
         self._emit("done", job, done, total)
         return done

@@ -22,6 +22,7 @@ from __future__ import annotations
 
 from typing import Callable, Dict, Optional
 
+from .. import faults as _faults
 from ..core.analysis import AnalysisParams, analyze
 from ..core.learning import DEFAULT_LOOP_CAP, merge_counters
 from ..core.profiler import CounterSet, profile
@@ -186,6 +187,7 @@ SCHEME_REGISTRY: Dict[str, Executor] = {
 
 def execute_job(job: SimJob, dep_payloads: Optional[Dict[str, object]] = None):
     """Worker entry point: resolve the trace and run the executor."""
+    _faults.fire("job.execute", detail=f"{job.scheme}:{job.trace.label}")
     fn = SCHEME_REGISTRY.get(job.scheme)
     if fn is None:
         raise ValueError(

@@ -18,6 +18,10 @@ Protocol (one JSON object per line, driver → worker / worker → driver):
   ``{"op": "result", "token", "payload"}`` on success, or
   ``{"op": "job-error", "token", "error"}`` on a deterministic executor
   failure (the driver does *not* retry those — same job, same error).
+- ``{"op": "cache_probe", "token"}`` → ``{"op": "cache-probe", "token",
+  "hit", "payload"}`` — a hit answers from the worker's local/NFS
+  result cache (``REPRO_CACHE_DIR``), letting the driver skip
+  serializing the job and its dependency payloads entirely.
 - ``{"op": "shutdown"}`` → worker exits 0.
 
 Everything on the wire is content-addressed or content-hashed data
@@ -157,17 +161,62 @@ def _hello() -> Dict[str, Any]:
         "python": "%d.%d.%d" % sys.version_info[:3],
         "engine_version": None,
         "numpy": False,
+        "numpy_error": None,
+        "cache": os.environ.get("REPRO_CACHE_DIR") or None,
         "error": None,
     }
     try:
-        from repro import _accel
         from repro.runner.jobs import ENGINE_VERSION
 
         info["engine_version"] = ENGINE_VERSION
-        info["numpy"] = bool(_accel.numpy_capability().ok)
     except Exception as exc:  # noqa: BLE001 - reported, not swallowed
         info["error"] = f"{type(exc).__name__}: {exc}"
+        return info
+    # The numpy probe is deliberately separate from the repro import:
+    # a host whose numpy is broken (bad BLAS, partial install) is still
+    # a usable fleet member — the scalar engine produces bit-identical
+    # results — so demote it instead of letting the driver evict it.
+    try:
+        from repro import _accel
+
+        info["numpy"] = bool(_accel.numpy_capability().ok)
+    except Exception as exc:  # noqa: BLE001 - demote, don't evict
+        info["numpy"] = False
+        info["numpy_error"] = f"{type(exc).__name__}: {exc}"
+        os.environ["REPRO_NUMPY"] = "0"  # pin this worker to scalar
     return info
+
+
+_PROBE_CACHE = None  # lazily constructed ResultCache for cache_probe ops
+
+
+def _cache_probe(msg: Dict[str, Any]) -> Dict[str, Any]:
+    """Answer a driver cache probe from the worker-local result cache.
+
+    The probed token is the job's content-addressed cache key; on a hit
+    the payload travels back in the same tagged-dict wire form a job
+    result uses, so the driver records it identically (invariant 13).
+    """
+    global _PROBE_CACHE
+    reply: Dict[str, Any] = {
+        "op": "cache-probe", "token": msg.get("token"),
+        "hit": False, "payload": None,
+    }
+    cache_dir = os.environ.get("REPRO_CACHE_DIR")
+    if not cache_dir:
+        return reply
+    try:
+        from repro.runner.runner import ResultCache, payload_to_dict
+
+        if _PROBE_CACHE is None or str(_PROBE_CACHE.root) != cache_dir:
+            _PROBE_CACHE = ResultCache(cache_dir)
+        payload = _PROBE_CACHE.get(str(msg.get("token")))
+        if payload is not None:
+            reply["hit"] = True
+            reply["payload"] = payload_to_dict(payload)
+    except Exception:  # noqa: BLE001 - a probe failure is just a miss
+        pass
+    return reply
 
 
 def _run_job(msg: Dict[str, Any]) -> Dict[str, Any]:
@@ -215,6 +264,8 @@ def main(stdin: Optional[TextIO] = None, stdout: Optional[TextIO] = None) -> int
         op = msg.get("op")
         if op == "probe":
             reply(_hello())
+        elif op == "cache_probe":
+            reply(_cache_probe(msg))
         elif op == "job":
             if fault is not None:
                 fault.on_job()

@@ -147,7 +147,11 @@ class ServeClient:
 
     # ------------------------------------------------------------------
     def stream(
-        self, job_id: str, timeout: Optional[float] = None
+        self,
+        job_id: str,
+        timeout: Optional[float] = None,
+        last_event_id: Optional[int] = None,
+        reconnects: Optional[int] = None,
     ) -> Iterator[Tuple[str, Optional[Dict]]]:
         """GET /v1/jobs/<id>/events — yield ``(event, payload)`` tuples.
 
@@ -156,8 +160,58 @@ class ServeClient:
         iterator ends after the server's terminal ``done``/``failed``
         event closes the stream.  Errors (unknown job, ...) raise a
         typed :class:`ServeError` carrying the parsed envelope.
+
+        The stream is **resumable**: progress frames carry an SSE ``id``
+        (the server's progress version).  A connection dropped mid-job is
+        reopened automatically (up to ``reconnects`` times, default the
+        client's ``retries``), sending the last seen id as
+        ``Last-Event-ID`` — the server replays every missed progress
+        version from its bounded history, so the consumer sees a gapless
+        event sequence across the reconnect.  Pass ``last_event_id`` to
+        resume an earlier stream by hand.
         """
-        req = urllib.request.Request(self.base_url + f"/v1/jobs/{job_id}/events")
+        budget = self.retries if reconnects is None else max(0, int(reconnects))
+        last_id = last_event_id
+        attempt = 0
+        while True:
+            try:
+                for event, payload, event_id in self._stream_once(
+                    job_id, timeout, last_id
+                ):
+                    if event_id is not None:
+                        last_id = event_id
+                        attempt = 0  # progress: reset the reconnect budget
+                    yield event, payload
+                    if event in ("done", "failed"):
+                        return
+                return  # server closed after a terminal event we yielded
+            except (OSError, http.client.HTTPException) as exc:
+                # Dropped mid-stream (server restart, broken pipe ...):
+                # reconnect and let Last-Event-ID close the gap.
+                if attempt >= budget:
+                    raise ServeError(
+                        503, "stream-interrupted",
+                        f"event stream for {job_id} dropped after "
+                        f"{attempt + 1} attempt(s): "
+                        f"{type(exc).__name__}: {exc}",
+                        last_event_id=last_id,
+                    ) from exc
+                attempt += 1
+                time.sleep(self.backoff * (2 ** (attempt - 1)))
+
+    def _stream_once(
+        self,
+        job_id: str,
+        timeout: Optional[float],
+        last_event_id: Optional[int],
+    ) -> Iterator[Tuple[str, Optional[Dict], Optional[int]]]:
+        """One SSE connection; yields ``(event, payload, event_id)``."""
+        headers = {}
+        if last_event_id is not None:
+            headers["Last-Event-ID"] = str(last_event_id)
+        req = urllib.request.Request(
+            self.base_url + f"/v1/jobs/{job_id}/events", headers=headers
+        )
         try:
             resp = urllib.request.urlopen(
                 req, timeout=timeout if timeout is not None else self.timeout
@@ -174,18 +228,24 @@ class ServeClient:
             ) from None
         with resp:
             event: Optional[str] = None
+            event_id: Optional[int] = None
             data_lines = []
             for raw in resp:
                 line = raw.decode().rstrip("\r\n")
                 if not line:
                     if data_lines:
                         payload = json.loads("\n".join(data_lines))
-                        yield (event or "message"), payload
-                    event, data_lines = None, []
+                        yield (event or "message"), payload, event_id
+                    event, event_id, data_lines = None, None, []
                 elif line.startswith(":"):
                     continue  # heartbeat comment
                 elif line.startswith("event:"):
                     event = line[len("event:"):].strip()
+                elif line.startswith("id:"):
+                    try:
+                        event_id = int(line[len("id:"):].strip())
+                    except ValueError:
+                        event_id = None
                 elif line.startswith("data:"):
                     data_lines.append(line[len("data:"):].strip())
 

@@ -171,6 +171,13 @@ class JobStore:
         tmp.write_text(json.dumps(record.to_state_dict()))
         tmp.replace(path)
 
+    def delete(self, digest: str) -> None:
+        """Drop one durable record (job-table GC); missing is fine."""
+        try:
+            self._path(digest).unlink()
+        except OSError:
+            pass
+
     def load_all(self) -> List[JobRecord]:
         """Every readable record, ordered by first submission time."""
         records = []
@@ -200,6 +207,7 @@ class JobTable:
         self.rejected_full = 0
         self.rejected_draining = 0
         self.recovered = 0
+        self.pruned = 0
 
     # ------------------------------------------------------------------
     def _persist(self, record: JobRecord) -> None:
@@ -207,21 +215,34 @@ class JobTable:
         if self.store is not None:
             self.store.save(record)
 
-    def recover(self) -> List[JobRecord]:
+    def recover(self, max_age: Optional[float] = None) -> List[JobRecord]:
         """Load the durable store into an empty table.
 
         DONE/FAILED records are restored verbatim (their stored result
         documents keep serving byte-identically); QUEUED/RUNNING records
         were interrupted by the previous process's death, are reset to
         QUEUED (persisted, so a second crash sees the same picture), and
-        returned so the service can re-enqueue them.
+        returned so the service can re-enqueue them.  With ``max_age``
+        set (the ``--job-retention`` policy), terminal records that
+        finished more than that many seconds ago are pruned instead of
+        recovered — their durable files are deleted, so the retired ids
+        answer 404 rather than resurrecting forever.
         """
         if self.store is None:
             return []
         requeue: List[JobRecord] = []
+        cutoff = None if max_age is None else time.time() - max_age
         with self._lock:
             for record in self.store.load_all():
                 if record.digest in self._jobs:
+                    continue
+                if (
+                    cutoff is not None
+                    and record.state in (DONE, FAILED)
+                    and (record.finished or record.created) < cutoff
+                ):
+                    self.store.delete(record.digest)
+                    self.pruned += 1
                     continue
                 record.recovered = True
                 if record.state in (QUEUED, RUNNING):
@@ -330,6 +351,32 @@ class JobTable:
             self._persist(record)
 
     # ------------------------------------------------------------------
+    def prune(self, max_age: float) -> int:
+        """Drop terminal (DONE/FAILED) records older than ``max_age`` s.
+
+        The job-table GC behind ``serve --job-retention N``: a
+        long-running service would otherwise accumulate one record (and
+        one durable file) per distinct request forever.  Only terminal
+        records age out — queued/running work is never touched — and the
+        durable file is deleted with the table entry, so the id stays
+        gone across restarts.  Returns the number pruned.
+        """
+        cutoff = time.time() - max_age
+        pruned = 0
+        with self._lock:
+            for digest in list(self._jobs):
+                record = self._jobs[digest]
+                if record.state not in (DONE, FAILED):
+                    continue
+                if (record.finished or record.created) >= cutoff:
+                    continue
+                del self._jobs[digest]
+                if self.store is not None:
+                    self.store.delete(digest)
+                pruned += 1
+            self.pruned += pruned
+        return pruned
+
     def queued_count(self) -> int:
         """Number of records currently waiting for a worker."""
         with self._lock:
@@ -357,4 +404,5 @@ class JobTable:
                 "rejected_full": self.rejected_full,
                 "rejected_draining": self.rejected_draining,
                 "recovered": self.recovered,
+                "pruned": self.pruned,
             }

@@ -65,6 +65,7 @@ from typing import Dict, Iterator, Optional, Tuple
 from urllib.parse import urlsplit
 
 from .. import api
+from .. import faults as _faults
 from ..runner import ExecutionPolicy, ProgressTracker, Runner, coerce_policy
 from .jobs import DONE, FAILED, JobRecord, JobStore, JobTable
 from .schemas import ServeError, ServeRequest, error_envelope
@@ -122,6 +123,7 @@ class ExperimentService:
         retry_after: float = DEFAULT_RETRY_AFTER,
         durable: bool = True,
         execution: Optional[ExecutionPolicy] = None,
+        job_retention: Optional[float] = None,
     ):
         # ``execution`` is the full policy (pool backend, timeouts,
         # retries); the flat ``jobs``/``cache_dir`` kwargs remain as the
@@ -159,10 +161,18 @@ class ExperimentService:
         self._draining = threading.Event()
         self._pending = 0  # enqueued digests not yet fully processed
         self._pending_cond = threading.Condition()
+        # Job-table GC: with a retention policy, terminal records older
+        # than ``job_retention`` seconds are pruned at recovery, at
+        # startup, and periodically while serving.
+        self.job_retention = (
+            float(job_retention) if job_retention is not None else None
+        )
+        self._gc_stop = threading.Event()
+        self._gc_thread: Optional[threading.Thread] = None
         # Jobs interrupted by a previous process's death, waiting for
         # start() to re-enqueue them (already QUEUED in the table, so
         # GET /v1/jobs answers for them immediately).
-        self._requeue = self.table.recover()
+        self._requeue = self.table.recover(max_age=self.job_retention)
 
     # ------------------------------------------------------------------
     def start(self) -> None:
@@ -174,6 +184,22 @@ class ExperimentService:
         self._requeue = []
         for t in self._threads:
             t.start()
+        if self.job_retention is not None:
+            self.table.prune(self.job_retention)
+            self._gc_thread = threading.Thread(
+                target=self._gc_loop, name="serve-job-gc", daemon=True
+            )
+            self._gc_thread.start()
+
+    def _gc_loop(self) -> None:
+        """Periodic job-table GC (``--job-retention``): prune terminal
+        records older than the retention window until stop() fires.
+        The sweep interval is half the retention window, clamped to
+        [0.5s, 60s] — tight enough that short test retentions take
+        effect, loose enough to cost nothing in production."""
+        interval = min(60.0, max(0.5, self.job_retention / 2.0))
+        while not self._gc_stop.wait(interval):
+            self.table.prune(self.job_retention)
 
     def stop(self, timeout: float = 5.0) -> None:
         """Drain the workers (one sentinel each) and join them.
@@ -187,6 +213,9 @@ class ExperimentService:
                 self.runner.close()
             return
         self._running = False
+        self._gc_stop.set()
+        if self._gc_thread is not None:
+            self._gc_thread.join(timeout=timeout)
         for _ in self._threads:
             self.queue.put(None)
         for t in self._threads:
@@ -287,6 +316,9 @@ class ExperimentService:
         self.table.mark_running(record, tracker)
         req = record.request
         try:
+            # Named chaos seam: a scheduled serve.execute fault fails the
+            # job through the same path as any real execution error.
+            _faults.fire("serve.execute", detail=req.experiment)
             result = api.run(
                 req.experiment,
                 records=req.records,
@@ -311,32 +343,49 @@ class ExperimentService:
         record: JobRecord,
         poll: float = 0.05,
         heartbeat: float = 10.0,
-    ) -> Iterator[Tuple[str, Optional[Dict]]]:
-        """Yield ``(event, payload)`` tuples for one job's SSE stream.
+        last_event_id: Optional[int] = None,
+    ) -> Iterator[Tuple[str, Optional[Dict], Optional[int]]]:
+        """Yield ``(event, payload, event_id)`` for one job's SSE stream.
 
         Opens with a ``summary`` event, emits a ``progress`` event per
         observed change (tracker-version driven — the generator blocks
         on the tracker's condition, not a busy loop), a ``heartbeat``
         (rendered as an SSE comment) after ``heartbeat`` quiet seconds,
         and ends with the terminal ``done``/``failed`` event.
+
+        ``event_id`` is the tracker's progress version — the handler
+        writes it as the SSE ``id:`` field.  A reconnecting client sends
+        the last id it saw (``Last-Event-ID``); every missed version
+        still in the tracker's bounded history is replayed first, so a
+        dropped connection loses no progress frames.
         """
-        yield "summary", record.summary()
+        yield "summary", record.summary(), None
         last_beat = time.monotonic()
         seen = None
+        if last_event_id is not None and record.tracker is not None:
+            for snap in record.tracker.history_since(last_event_id):
+                yield "progress", {"state": record.state, "progress": snap}, \
+                    snap["version"]
+                seen = (record.state, snap["version"])
+                last_beat = time.monotonic()
         while True:
             state = record.state
             if state in (DONE, FAILED):
-                yield ("done" if state == DONE else "failed"), record.summary()
+                tracker = record.tracker
+                final_id = tracker.snapshot()["version"] if tracker else None
+                yield ("done" if state == DONE else "failed"), \
+                    record.summary(), final_id
                 return
             tracker = record.tracker
             snap = tracker.snapshot() if tracker is not None else None
             cur = (state, snap["version"] if snap else None)
             if cur != seen:
                 seen = cur
-                yield "progress", {"state": state, "progress": snap}
+                yield "progress", {"state": state, "progress": snap}, \
+                    (snap["version"] if snap else None)
                 last_beat = time.monotonic()
             elif time.monotonic() - last_beat >= heartbeat:
-                yield "heartbeat", None
+                yield "heartbeat", None, None
                 last_beat = time.monotonic()
             if tracker is not None and snap is not None:
                 tracker.wait_for_change(snap["version"], timeout=poll)
@@ -353,6 +402,7 @@ class ExperimentService:
             "state": "draining" if self._draining.is_set() else "running",
             "workers": self.workers,
             "max_queue": self.max_queue,
+            "job_retention": self.job_retention,
             "queue_depth": pending,
             "queued": self.table.queued_count(),
             "durable": self.table.store is not None,
@@ -472,7 +522,19 @@ class ServeHandler(BaseHTTPRequestHandler):
         A client that half-closes mid-stream raises a broken-pipe out of
         the write; that ends *this connection's* thread quietly — the
         worker pool and every other connection are untouched.
+
+        Progress frames carry an SSE ``id:`` (the tracker's progress
+        version); a reconnecting client replays the gap by sending it
+        back as ``Last-Event-ID`` (``ServeClient.stream`` does this
+        automatically).
         """
+        last_event_id: Optional[int] = None
+        raw_id = self.headers.get("Last-Event-ID")
+        if raw_id is not None:
+            try:
+                last_event_id = int(raw_id)
+            except ValueError:
+                last_event_id = None  # unparseable: full live stream
         self.send_response(200)
         self.send_header("Content-Type", "text/event-stream")
         self.send_header("Cache-Control", "no-store")
@@ -480,14 +542,17 @@ class ServeHandler(BaseHTTPRequestHandler):
         self.end_headers()
         self.close_connection = True
         try:
-            for event, payload in self.service.events(
-                record, poll=self.sse_poll, heartbeat=self.sse_heartbeat
+            for event, payload, event_id in self.service.events(
+                record, poll=self.sse_poll, heartbeat=self.sse_heartbeat,
+                last_event_id=last_event_id,
             ):
                 if event == "heartbeat":
                     frame = b": heartbeat\n\n"
                 else:
+                    id_line = f"id: {event_id}\n" if event_id is not None else ""
                     frame = (
-                        f"event: {event}\ndata: {json.dumps(payload)}\n\n"
+                        f"{id_line}event: {event}\n"
+                        f"data: {json.dumps(payload)}\n\n"
                     ).encode()
                 self.wfile.write(frame)
                 self.wfile.flush()
@@ -564,6 +629,7 @@ def make_server(
     retry_after: float = DEFAULT_RETRY_AFTER,
     durable: bool = True,
     execution: Optional[ExecutionPolicy] = None,
+    job_retention: Optional[float] = None,
 ) -> Tuple[ThreadingHTTPServer, ExperimentService]:
     """Build (but do not start) the HTTP server + service pair.
 
@@ -579,7 +645,7 @@ def make_server(
     service = ExperimentService(
         jobs=jobs, cache_dir=cache_dir, workers=workers, runner=runner,
         max_queue=max_queue, retry_after=retry_after, durable=durable,
-        execution=execution,
+        execution=execution, job_retention=job_retention,
     )
     handler = type(
         "BoundServeHandler", (ServeHandler,),
@@ -599,6 +665,7 @@ def serve_forever(
     announce=print,
     max_queue: Optional[int] = DEFAULT_MAX_QUEUE,
     execution: Optional[ExecutionPolicy] = None,
+    job_retention: Optional[float] = None,
 ) -> int:
     """Run the service until shutdown (the ``cli serve`` entry point).
 
@@ -613,7 +680,7 @@ def serve_forever(
     server, service = make_server(
         host=host, port=port, jobs=jobs, cache_dir=cache_dir,
         workers=workers, quiet=quiet, max_queue=max_queue,
-        execution=execution,
+        execution=execution, job_retention=job_retention,
     )
 
     def _on_sigterm(signum, frame) -> None:

@@ -48,6 +48,7 @@ from itertools import islice
 from typing import Dict, Optional
 
 from .. import _accel
+from .. import faults as _faults
 from ..cache.hierarchy import Hierarchy
 from ..cache.reference import HierarchyReference
 from ..prefetchers.base import L1Prefetcher, L2Prefetcher, NullL1Prefetcher
@@ -469,6 +470,9 @@ def simulate(
     (pinned by the equivalence suites), so the choice — like
     ``batch_size`` — must never influence result cache keys.
     """
+    # One named injection point per simulation call (never per record:
+    # the hot loop stays untouched); see repro.faults.
+    _faults.fire("engine.simulate", detail=f"{scheme}:{trace.name}")
     if (
         hierarchy_cls in (None, Hierarchy)
         and trace.records_array is not None

@@ -1,13 +1,17 @@
 """Pool robustness matrix: death, timeout, eviction, drain, CAS safety.
 
 The distributed pool's failure handling is pinned by *driving real
-worker subprocesses into real failures* via ``REPRO_WORKER_FAULT``
-(per-host, through the hosts-spec env — which is what lets the suite
-prove a retry lands on a *different* host): ``die:N`` hard-exits on the
-Nth job, ``hang:N`` sleeps forever (trips the per-job timeout),
-``sleep:S`` adds latency.  The in-process backends reuse the serve
-fault harness's :class:`FaultPlan` seam around
-``repro.runner.schemes.execute_job``.
+worker subprocesses into real failures* through the unified
+:mod:`repro.faults` schedule: declarative ``pool.worker`` specs
+(matched per host by name pattern) are translated by the pool into the
+worker's ``REPRO_WORKER_FAULT`` env seam — ``die`` hard-exits on the
+``at``-th job, ``hang`` sleeps forever (trips the per-job timeout),
+``sleep`` adds latency.  Driving faults per host through the one
+schedule is what lets the suite prove a retry lands on a *different*
+host.  In-process backends inject through the same module's
+``job.execute`` site; the serve harness's :class:`FaultPlan` remains
+only as a synchronization gate (hold a job hostage, release it) — a
+thing a declarative schedule cannot express.
 
 The CAS half covers the multi-writer cache contract the pools rely on
 for NFS-shared ``--cache-dir``: digest-verified reads, write-once keys,
@@ -23,6 +27,7 @@ import time
 import pytest
 
 from serve_faults import FaultPlan
+from repro.faults import FaultInjected, make_schedule
 from repro.runner import (
     CacheIntegrityError,
     HostSpec,
@@ -74,8 +79,8 @@ def _canon(payloads):
                   for p in payloads)
 
 
-def faulty(name, fault):
-    return HostSpec(name=name, env={"REPRO_WORKER_FAULT": fault})
+def hosts(*names):
+    return [HostSpec(name=name) for name in names]
 
 
 # ----------------------------------------------------------------------
@@ -89,10 +94,12 @@ class TestWorkerFaults:
         # so host 0 is guaranteed to pick up work before the steady host
         # clears the queue.  The dead host's job must be re-queued and
         # complete on the steady host with identical bytes.
-        pool = LoopbackPool(hosts=[
-            faulty("dies/0", "die:1"),
-            faulty("steady/1", "sleep:0.2"),
-        ], retries=2, backoff=0.05)
+        schedule = make_schedule(11, [
+            dict(site="pool.worker", kind="die", at=1, host="dies/*"),
+            dict(site="pool.worker", kind="sleep", arg=0.2, host="steady/*"),
+        ])
+        pool = LoopbackPool(hosts=hosts("dies/0", "steady/1"),
+                            retries=2, backoff=0.05, faults=schedule)
         try:
             got = Runner(use_cache=False, pool=pool).run(job_set)
             assert _canon(got) == _canon(serial_payloads)
@@ -111,10 +118,13 @@ class TestWorkerFaults:
     ):
         # Host 0 hangs forever on its first job: the per-job timeout
         # must fire, evict it, and re-run the job on the steady host.
-        pool = LoopbackPool(hosts=[
-            faulty("hangs/0", "hang:1"),
-            faulty("steady/1", "sleep:0.2"),
-        ], per_job_timeout=5.0, retries=2, backoff=0.05)
+        schedule = make_schedule(11, [
+            dict(site="pool.worker", kind="hang", at=1, host="hangs/*"),
+            dict(site="pool.worker", kind="sleep", arg=0.2, host="steady/*"),
+        ])
+        pool = LoopbackPool(hosts=hosts("hangs/0", "steady/1"),
+                            per_job_timeout=5.0, retries=2, backoff=0.05,
+                            faults=schedule)
         try:
             got = Runner(use_cache=False, pool=pool).run(job_set)
             assert _canon(got) == _canon(serial_payloads)
@@ -126,8 +136,11 @@ class TestWorkerFaults:
             pool.close()
 
     def test_all_hosts_dead_fails_loud(self, job_set):
-        pool = LoopbackPool(hosts=[faulty("dies/0", "die:1")],
-                            retries=2, backoff=0.05)
+        schedule = make_schedule(11, [
+            dict(site="pool.worker", kind="die", at=1),
+        ])
+        pool = LoopbackPool(hosts=hosts("dies/0"),
+                            retries=2, backoff=0.05, faults=schedule)
         try:
             with pytest.raises(PoolError, match="failed"):
                 Runner(use_cache=False, pool=pool).run(job_set)
@@ -190,34 +203,50 @@ class TestGracefulDrain:
 
 
 # ----------------------------------------------------------------------
-# FaultPlan seam (in-process backends reuse the serve fault harness)
+# the unified repro.faults seam on in-process backends
 # ----------------------------------------------------------------------
-class TestFaultPlanSeam:
-    @pytest.fixture
-    def plan(self, monkeypatch):
+class TestFaultSeam:
+    def test_inline_pool_propagates_injected_failure(self, config, traces):
+        # A scheduled job.execute fault surfaces exactly like a real
+        # executor error; the same pool without a schedule passes clean.
+        job = SimJob("baseline", TraceRef.from_trace(traces[0]), config)
+        pool = InlinePool()
+        schedule = make_schedule(3, [
+            dict(site="job.execute", kind="error", at=1),
+        ])
+        with pytest.raises(FaultInjected, match="job.execute"):
+            Runner(use_cache=False, pool=pool, faults=schedule).run([job])
+        [payload] = Runner(use_cache=False, pool=pool).run([job])
+        assert payload is not None
+
+    def test_schedule_fires_identically_across_runs(self, config, traces):
+        # Counters reset each run: the 2nd job fails in both runs.
+        jobs = [
+            SimJob("baseline", TraceRef.from_trace(traces[0]), config),
+            SimJob("baseline", TraceRef.from_trace(traces[1]), config),
+        ]
+        schedule = make_schedule(3, [
+            dict(site="job.execute", kind="error", at=2),
+        ])
+        runner = Runner(use_cache=False, pool=InlinePool(),
+                        faults=schedule, on_error="skip")
+        for _ in range(2):
+            got = runner.run(jobs)
+            assert got[0] is not None and got[1] is None
+        assert len(runner.failure_log) == 2
+        assert {f.key for f in runner.failure_log} == {jobs[1].cache_key}
+
+    def test_held_job_completes_after_release(
+        self, monkeypatch, config, traces
+    ):
+        # FaultPlan survives as the synchronization gate (a declarative
+        # schedule cannot hold a job hostage behind an event).
         plan = FaultPlan()
         real = schemes_mod.execute_job
         monkeypatch.setattr(
             schemes_mod, "execute_job",
             lambda *a, **kw: plan.apply(real, *a, **kw),
         )
-        return plan
-
-    def test_inline_pool_propagates_injected_failure(
-        self, plan, config, traces
-    ):
-        job = SimJob("baseline", TraceRef.from_trace(traces[0]), config)
-        runner = Runner(use_cache=False, pool=InlinePool())
-        plan.fail_with(RuntimeError("injected"))
-        with pytest.raises(RuntimeError, match="injected"):
-            runner.run([job])
-        # Clearing the fault restores pass-through on the same pool.
-        plan.clear()
-        [payload] = runner.run([job])
-        assert payload is not None
-        assert plan.calls == 2
-
-    def test_held_job_completes_after_release(self, plan, config, traces):
         job = SimJob("baseline", TraceRef.from_trace(traces[0]), config)
         runner = Runner(use_cache=False, pool=InlinePool())
         plan.hold()

@@ -55,6 +55,17 @@ class TestCliPoolParity:
         assert "driver ENGINE_VERSION=" in out
         assert "2/2 hosts usable" in out
 
+    def test_pool_describe_reports_probe_counters(self, tmp_path, capsys):
+        assert cli.main([
+            "pool", "describe", "loopback:2",
+            "--cache-dir", str(tmp_path / "cache"),
+        ]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["backend"] == "loopback"
+        assert doc["cache_probe_hits"] == 0
+        assert [h["probe_hits"] for h in doc["hosts"]] == [0, 0]
+        assert all(h["alive"] for h in doc["hosts"])
+
     def test_pool_probe_reports_bad_host(self, tmp_path, capsys):
         hosts = tmp_path / "hosts.txt"
         hosts.write_text(

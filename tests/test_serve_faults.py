@@ -24,6 +24,8 @@ from serve_faults import (
 )
 
 import repro.api as api
+from repro import faults as _faults
+from repro.faults import make_schedule
 from repro.serve import (
     DONE,
     FAILED,
@@ -78,13 +80,22 @@ class TestWorkerFaults:
             assert client.wait(body2["job"]["id"])["state"] == "done"
 
     def test_plain_exception_still_uses_execution_failed_envelope(self):
+        # Driven through the unified repro.faults seam: the scheduled
+        # serve.execute fault takes the same path as any real execution
+        # error and lands in the execution-failed envelope.
+        schedule = make_schedule(5, [
+            dict(site="serve.execute", kind="error", at=1),
+        ])
         with live_service(workers=1, durable=False) as (client, _):
-            with faulty_api_run() as plan:
-                plan.fail_with(RuntimeError("engine exploded"))
+            _faults.activate(schedule)
+            try:
                 _, body = client.submit(TINY)
                 summary = client.wait(body["job"]["id"])
+            finally:
+                _faults.deactivate()
             assert summary["state"] == "failed"
             assert summary["error"]["error"]["code"] == "execution-failed"
+            assert "serve.execute" in summary["error"]["error"]["message"]
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +259,52 @@ class TestDurableRecovery:
         finally:
             teardown(server2, service2)
 
+    def test_retention_prunes_old_terminal_jobs_across_restart(self, tmp_path):
+        """--job-retention: aged-out DONE records are pruned at recovery
+        (table entry and durable file both gone; the id answers 404)."""
+        cache = tmp_path / "cache"
+        server1, service1, url1 = start_service(workers=1, cache_dir=cache)
+        try:
+            client1 = ServeClient(url1)
+            client1.run(TINY)
+            job_id = client1.jobs()["jobs"][0]["id"]
+        finally:
+            teardown(server1, service1)
+        store_dir = cache / "serve-jobs"
+        for path in store_dir.glob("*.json"):
+            rec = json.loads(path.read_text())
+            rec["finished_at"] = time.time() - 3600
+            path.write_text(json.dumps(rec))
+        server2, service2, url2 = start_service(
+            workers=1, cache_dir=cache, job_retention=60.0
+        )
+        try:
+            client2 = ServeClient(url2)
+            status, _ = client2.job(job_id)
+            assert status == 404
+            assert service2.table.counters()["pruned"] == 1
+            assert not list(store_dir.glob("*.json"))
+            assert client2.stats()["job_retention"] == 60.0
+        finally:
+            teardown(server2, service2)
+
+    def test_periodic_gc_prunes_live_table(self):
+        """The retention GC thread ages terminal records out of a
+        running service without touching live work."""
+        with live_service(
+            workers=1, durable=False, job_retention=0.2
+        ) as (client, service):
+            client.run(TINY)
+            deadline = time.monotonic() + 10.0
+            while (
+                service.table.counters()["done"] > 0
+                and time.monotonic() < deadline
+            ):
+                time.sleep(0.05)
+            counters = service.table.counters()
+            assert counters["done"] == 0
+            assert counters["pruned"] >= 1
+
     def test_corrupt_store_entries_never_block_boot(self, tmp_path):
         cache = tmp_path / "cache"
         jobs_dir = cache / "serve-jobs"
@@ -292,6 +349,26 @@ class TestStreaming:
                 events = list(client.stream(body["job"]["id"]))
             assert events[-1][0] == "failed"
             assert events[-1][1]["error"]["error"]["code"] == "execution-failed"
+
+    def test_resumable_stream_replays_missed_progress(self):
+        # A reconnecting client sends Last-Event-ID (the tracker version
+        # of the last progress frame it saw); the server replays every
+        # missed retained version before the terminal event, gaplessly
+        # and in order.
+        with live_service(workers=1) as (client, service):
+            _, body = client.submit(TINY)
+            job_id = body["job"]["id"]
+            client.wait(job_id)
+            record = service.table.get(job_id)
+            total = record.tracker.snapshot()["version"]
+            assert total >= 2
+            events = list(client.stream(job_id, last_event_id=1))
+            kinds = [kind for kind, _ in events]
+            assert kinds[0] == "summary" and kinds[-1] == "done"
+            versions = [
+                p["progress"]["version"] for k, p in events if k == "progress"
+            ]
+            assert versions == list(range(2, total + 1))
 
     def test_stream_unknown_job_raises_typed_error(self):
         with live_service(workers=1) as (client, _):
